@@ -1,0 +1,173 @@
+// Package repro's top-level benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation, plus functional benchmarks
+// that drive the real in-process protocol stacks. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benchmarks time the full regeneration of that experiment's
+// data (the simulator sweep); the functional benchmarks report real bytes
+// moved per second through the emulated fabric under each mechanism.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/distributed"
+	"repro/internal/models"
+	"repro/internal/netsim"
+	"repro/internal/transport"
+)
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(bench.Table2().Rows) != 6 {
+			b.Fatal("table 2 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(bench.Figure7().Rows) == 0 {
+			b.Fatal("figure 7 empty")
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(bench.Figure8().Rows) == 0 {
+			b.Fatal("figure 8 empty")
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(bench.Figure9().Rows) == 0 {
+			b.Fatal("figure 9 empty")
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	// The convergence experiment trains real models; keep the per-op run
+	// short and let testing.B decide repetitions.
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Figure10(int64(i+1), 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(bench.Figure11().Rows) == 0 {
+			b.Fatal("figure 11 empty")
+		}
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(bench.Figure12().Rows) == 0 {
+			b.Fatal("figure 12 empty")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(bench.Table3().Rows) != 6 {
+			b.Fatal("table 3 incomplete")
+		}
+	}
+}
+
+// BenchmarkSimulatedIteration prices one simulated PS iteration per
+// benchmark and mechanism (the inner loop of Figures 9/11/12).
+func BenchmarkSimulatedIteration(b *testing.B) {
+	for _, spec := range models.All() {
+		for _, kind := range []distributed.Kind{distributed.GRPCTCP, distributed.GRPCRDMA, distributed.RDMA} {
+			b.Run(fmt.Sprintf("%s/%s", spec.Name, kind), func(b *testing.B) {
+				sim := netsim.NewClusterSim(8, kind, false)
+				for i := 0; i < b.N; i++ {
+					if sim.IterationUS(spec, 32) <= 0 {
+						b.Fatal("non-positive iteration time")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMicroTransfer drives the real in-process stacks: one tensor per
+// iteration from worker0 to ps0 under each mechanism (the functional
+// counterpart of Figure 8). SetBytes reports true payload throughput.
+func BenchmarkMicroTransfer(b *testing.B) {
+	kinds := []distributed.Kind{
+		distributed.GRPCTCP, distributed.GRPCRDMA,
+		distributed.RDMACopy, distributed.RDMA,
+	}
+	for _, kind := range kinds {
+		for _, size := range []int{64 << 10, 1 << 20} {
+			b.Run(fmt.Sprintf("%s/%s", kind, humanKB(size)), func(b *testing.B) {
+				res, err := bench.FunctionalMicro(kind, size, b.N)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(size))
+				_ = res
+			})
+		}
+	}
+}
+
+func humanKB(b int) string {
+	if b >= 1<<20 {
+		return fmt.Sprintf("%dMB", b>>20)
+	}
+	return fmt.Sprintf("%dKB", b>>10)
+}
+
+// BenchmarkPSTrainingStep measures a real distributed training step on the
+// in-process cluster for each mechanism.
+func BenchmarkPSTrainingStep(b *testing.B) {
+	kinds := []distributed.Kind{
+		distributed.GRPCTCP, distributed.GRPCRDMA,
+		distributed.RDMACopy, distributed.RDMA,
+	}
+	for _, kind := range kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			job, err := distributed.BuildMLPTraining(distributed.MLPConfig{
+				Workers: 2, PSCount: 2, Batch: 16,
+				In: 64, Hidden: 128, Classes: 10, LR: 0.1,
+			}, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl, err := distributed.Launch(job.Builder, distributed.Config{
+				Kind:       kind,
+				ArenaBytes: 32 << 20,
+				RingCfg:    transport.RingConfig{Slots: 32, SlotSize: 64 << 10},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			if err := job.InitAll(cl); err != nil {
+				b.Fatal(err)
+			}
+			feeds := job.SyntheticDataset(3)
+			fetches := map[string][]string{}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Step(i, feeds, fetches); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

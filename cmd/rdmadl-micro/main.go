@@ -1,0 +1,34 @@
+// Command rdmadl-micro runs the §5.1 micro-benchmark on the real in-process
+// protocol stacks: a tensor of the given sizes is transferred from worker0
+// to ps0 (which consumes it with reduce_max) under all four communication
+// mechanisms, measuring host wall time.
+//
+// Usage:
+//
+//	rdmadl-micro [-iters N] [-maxsize BYTES]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	iters := flag.Int("iters", 20, "iterations per configuration")
+	maxSize := flag.Int("maxsize", 16<<20, "largest tensor size in bytes")
+	flag.Parse()
+
+	var sizes []int
+	for s := 4 << 10; s <= *maxSize; s <<= 2 {
+		sizes = append(sizes, s)
+	}
+	t, err := bench.FunctionalMicroTable(sizes, *iters)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdmadl-micro: %v\n", err)
+		os.Exit(1)
+	}
+	t.Fprint(os.Stdout)
+}

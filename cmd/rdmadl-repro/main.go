@@ -1,0 +1,108 @@
+// Command rdmadl-repro regenerates every table and figure of the paper's
+// evaluation section and prints them as aligned text (or CSV).
+//
+// Usage:
+//
+//	rdmadl-repro [-experiment all|table2|figure7|figure8|figure9|figure10|
+//	              figure11|figure12|table3|claims|qps] [-csv] [-iters N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	outdir := flag.String("outdir", "", "also write each experiment as <name>.csv into this directory")
+	iters := flag.Int("iters", 0, "override convergence run length (0 = defaults)")
+	seed := flag.Int64("seed", 42, "seed for the convergence training runs")
+	flag.Parse()
+
+	csvIndex := make(map[string]int)
+	emit := func(t *bench.Table) {
+		if *csv {
+			t.CSV(os.Stdout)
+			fmt.Println()
+		} else {
+			t.Fprint(os.Stdout)
+		}
+		if *outdir != "" {
+			name := *experiment
+			if csvIndex[name] > 0 {
+				name = fmt.Sprintf("%s_%d", name, csvIndex[name])
+			}
+			csvIndex[*experiment]++
+			path := fmt.Sprintf("%s/%s.csv", *outdir, name)
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rdmadl-repro: %v\n", err)
+				os.Exit(1)
+			}
+			t.CSV(f)
+			f.Close()
+		}
+	}
+	runFig10 := func() error {
+		tables, _, err := bench.Figure10(*seed, *iters)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			emit(t)
+		}
+		return nil
+	}
+
+	gens := map[string]func() error{
+		"table2":    func() error { emit(bench.Table2()); return nil },
+		"figure7":   func() error { emit(bench.Figure7()); return nil },
+		"figure8":   func() error { emit(bench.Figure8()); return nil },
+		"figure9":   func() error { emit(bench.Figure9()); return nil },
+		"figure10":  runFig10,
+		"figure11":  func() error { emit(bench.Figure11()); return nil },
+		"figure12":  func() error { emit(bench.Figure12()); return nil },
+		"table3":    func() error { emit(bench.Table3()); return nil },
+		"claims":    func() error { emit(bench.Section51Claims()); return nil },
+		"qps":       func() error { emit(bench.QPSweep()); return nil },
+		"bandwidth": func() error { emit(bench.BandwidthSweep()); return nil },
+		"placement": func() error { emit(bench.PlacementSweep()); return nil },
+		// Not part of "all": drives the real in-process protocol stacks and
+		// takes noticeably longer than the simulator sweeps.
+		"functional": func() error {
+			t, err := bench.FunctionalMicroTable([]int{64 << 10, 1 << 20, 4 << 20}, 10)
+			if err != nil {
+				return err
+			}
+			emit(t)
+			return nil
+		},
+	}
+	order := []string{"table2", "figure7", "figure8", "figure9", "figure10",
+		"figure11", "figure12", "table3", "claims", "qps", "bandwidth", "placement"}
+
+	if *experiment == "all" {
+		for _, name := range order {
+			*experiment = name
+			if err := gens[name](); err != nil {
+				fmt.Fprintf(os.Stderr, "rdmadl-repro: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	gen, ok := gens[*experiment]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rdmadl-repro: unknown experiment %q (want one of %v)\n",
+			*experiment, order)
+		os.Exit(2)
+	}
+	if err := gen(); err != nil {
+		fmt.Fprintf(os.Stderr, "rdmadl-repro: %v\n", err)
+		os.Exit(1)
+	}
+}

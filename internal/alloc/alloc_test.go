@@ -1,0 +1,268 @@
+package alloc
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestHeapAllocate(t *testing.T) {
+	var h Heap
+	b, err := h.Allocate(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Data) != 100 {
+		t.Errorf("len = %d", len(b.Data))
+	}
+	if uintptr(unsafe.Pointer(&b.Data[0]))%8 != 0 {
+		t.Error("heap buffer misaligned")
+	}
+	if b.InRegisteredMemory() {
+		t.Error("heap buffer claims registered memory")
+	}
+	if err := b.Free(); err != nil {
+		t.Errorf("heap free: %v", err)
+	}
+	if _, err := h.Allocate(-1); !errors.Is(err, ErrBadSize) {
+		t.Errorf("negative size: %v", err)
+	}
+	zero, err := h.Allocate(0)
+	if err != nil || len(zero.Data) != 0 {
+		t.Errorf("zero alloc: %v, %d", err, len(zero.Data))
+	}
+}
+
+func TestArenaBasic(t *testing.T) {
+	a := NewArena(make([]byte, 1024))
+	b1, err := a.Allocate(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1.Data) != 100 || b1.Off != 0 {
+		t.Errorf("b1: len %d off %d", len(b1.Data), b1.Off)
+	}
+	if !b1.InRegisteredMemory() {
+		t.Error("arena buffer should report registered memory")
+	}
+	b2, err := a.Allocate(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Off != 104 { // 100 rounded to 104
+		t.Errorf("b2.Off = %d, want 104", b2.Off)
+	}
+	st := a.Stats()
+	if st.InUse != 104+200 || st.Allocs != 2 || st.Total != 1024 {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := a.Free(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(b1); !errors.Is(err, ErrBadFree) {
+		t.Errorf("double free: %v", err)
+	}
+	if a.Stats().InUse != 200 {
+		t.Errorf("in use after free = %d", a.Stats().InUse)
+	}
+}
+
+func TestArenaZeroesMemory(t *testing.T) {
+	a := NewArena(make([]byte, 64))
+	b, _ := a.Allocate(32)
+	for i := range b.Data {
+		b.Data[i] = 0xFF
+	}
+	if err := a.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := a.Allocate(32)
+	for i, v := range b2.Data {
+		if v != 0 {
+			t.Fatalf("reused byte %d = %#x, want 0", i, v)
+		}
+	}
+}
+
+func TestArenaOutOfMemory(t *testing.T) {
+	a := NewArena(make([]byte, 64))
+	if _, err := a.Allocate(65); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("oversize: %v", err)
+	}
+	b, _ := a.Allocate(64)
+	if _, err := a.Allocate(8); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("full arena: %v", err)
+	}
+	if err := a.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Allocate(64); err != nil {
+		t.Errorf("after free: %v", err)
+	}
+}
+
+func TestArenaCoalescing(t *testing.T) {
+	a := NewArena(make([]byte, 96))
+	b1, _ := a.Allocate(32)
+	b2, _ := a.Allocate(32)
+	b3, _ := a.Allocate(32)
+	// Free out of order; the final state must be one block of 96.
+	for _, b := range []*Buffer{b2, b1, b3} {
+		if err := a.Free(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := a.Stats()
+	if st.FreeBlocks != 1 {
+		t.Errorf("free blocks = %d, want 1 (coalesced)", st.FreeBlocks)
+	}
+	if a.FreeBytes() != 96 {
+		t.Errorf("free bytes = %d", a.FreeBytes())
+	}
+	if _, err := a.Allocate(96); err != nil {
+		t.Errorf("full-size alloc after coalesce: %v", err)
+	}
+}
+
+func TestArenaBestFit(t *testing.T) {
+	a := NewArena(make([]byte, 256))
+	b1, _ := a.Allocate(64)
+	b2, _ := a.Allocate(32)
+	b3, _ := a.Allocate(64)
+	_ = b2
+	if err := a.Free(b1); err != nil { // hole of 64 at 0
+		t.Fatal(err)
+	}
+	if err := a.Free(b3); err == nil { // hole of 64 at 96... plus tail
+		// b3's hole coalesces with the tail free span, so the 64-byte hole
+		// at offset 0 is now the *best* fit for a 64-byte request.
+		b4, err := a.Allocate(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b4.Off != 0 {
+			t.Errorf("best-fit chose offset %d, want 0", b4.Off)
+		}
+	} else {
+		t.Fatal(err)
+	}
+}
+
+func TestArenaForeignFree(t *testing.T) {
+	a := NewArena(make([]byte, 64))
+	b := NewArena(make([]byte, 64))
+	buf, _ := a.Allocate(8)
+	if err := b.Free(buf); !errors.Is(err, ErrBadFree) {
+		t.Errorf("foreign free: %v", err)
+	}
+	if err := a.Free(nil); !errors.Is(err, ErrBadFree) {
+		t.Errorf("nil free: %v", err)
+	}
+}
+
+func TestArenaConcurrent(t *testing.T) {
+	a := NewArena(make([]byte, 1<<16))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			var held []*Buffer
+			for i := 0; i < 200; i++ {
+				if rng.Intn(2) == 0 && len(held) > 0 {
+					k := rng.Intn(len(held))
+					if err := a.Free(held[k]); err != nil {
+						t.Error(err)
+						return
+					}
+					held = append(held[:k], held[k+1:]...)
+				} else {
+					b, err := a.Allocate(rng.Intn(512) + 1)
+					if err != nil {
+						continue // arena can be transiently full
+					}
+					held = append(held, b)
+				}
+			}
+			for _, b := range held {
+				if err := a.Free(b); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.InUse != 0 {
+		t.Errorf("leaked %d bytes", st.InUse)
+	}
+	if st.FreeBlocks != 1 {
+		t.Errorf("fragmentation after full free: %d blocks", st.FreeBlocks)
+	}
+}
+
+// Property: any sequence of allocations yields non-overlapping buffers, and
+// freeing everything restores the full arena as a single span.
+func TestArenaPropertyNoOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		size := 1 << 12
+		a := NewArena(make([]byte, size))
+		type allocation struct{ off, size int }
+		var live []allocation
+		var bufs []*Buffer
+		for i := 0; i < 50; i++ {
+			n := rng.Intn(300) + 1
+			b, err := a.Allocate(n)
+			if err != nil {
+				break
+			}
+			rounded := (n + 7) / 8 * 8
+			for _, l := range live {
+				if b.Off < l.off+l.size && l.off < b.Off+rounded {
+					t.Fatalf("overlap: [%d,+%d) with [%d,+%d)", b.Off, rounded, l.off, l.size)
+				}
+			}
+			live = append(live, allocation{b.Off, rounded})
+			bufs = append(bufs, b)
+		}
+		rng.Shuffle(len(bufs), func(i, j int) { bufs[i], bufs[j] = bufs[j], bufs[i] })
+		for _, b := range bufs {
+			if err := a.Free(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if a.FreeBytes() != size || a.Stats().FreeBlocks != 1 {
+			t.Fatalf("arena not fully restored: %d free, %d blocks",
+				a.FreeBytes(), a.Stats().FreeBlocks)
+		}
+	}
+}
+
+func TestArenaEmptyBlock(t *testing.T) {
+	a := NewArena(nil)
+	if _, err := a.Allocate(1); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("empty arena alloc: %v", err)
+	}
+	if a.FreeBytes() != 0 {
+		t.Error("empty arena has free bytes")
+	}
+}
+
+func BenchmarkArenaAllocFree(b *testing.B) {
+	a := NewArena(make([]byte, 1<<20))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := a.Allocate(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/distributed"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Note:   "a note",
+		Header: []string{"a", "b"},
+	}
+	tab.AddRow("1", "hello, world")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a note", "hello, world"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	tab.CSV(&buf)
+	if !strings.Contains(buf.String(), `"hello, world"`) {
+		t.Errorf("CSV quoting failed: %s", buf.String())
+	}
+}
+
+func TestTable2Rows(t *testing.T) {
+	tab := Table2()
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	// LSTM row must carry the exact paper size.
+	for _, row := range tab.Rows {
+		if row[1] == "LSTM" && row[2] != "35.93" {
+			t.Errorf("LSTM size cell = %q", row[2])
+		}
+	}
+}
+
+func TestFigure7Monotone(t *testing.T) {
+	tab := Figure7()
+	prev := 2.0
+	for _, row := range tab.Rows {
+		f, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f > prev {
+			t.Errorf("CCDF not non-increasing: %v after %v", f, prev)
+		}
+		prev = f
+	}
+	if len(tab.Rows) < 5 {
+		t.Error("too few CCDF thresholds")
+	}
+}
+
+func TestFigure8HasCrashPoint(t *testing.T) {
+	tab := Figure8()
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "1GB" || last[2] != "crash" {
+		t.Errorf("1GB gRPC.RDMA cell = %q (want the paper's crash marker)", last[2])
+	}
+	// RDMA column is always the fastest.
+	for _, row := range tab.Rows {
+		z, _ := strconv.ParseFloat(row[4], 64)
+		tcp, _ := strconv.ParseFloat(row[1], 64)
+		if z >= tcp {
+			t.Errorf("row %v: zerocp not faster than TCP", row[0])
+		}
+	}
+}
+
+func TestFigure9Complete(t *testing.T) {
+	tab := Figure9()
+	// 6 benchmarks x (7 or 8) batch sizes.
+	if len(tab.Rows) != 4*8+2*7 {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if !strings.HasPrefix(row[5], "+") {
+			t.Errorf("%s batch %s: improvement %q not positive", row[0], row[1], row[5])
+		}
+	}
+}
+
+func TestFigure11IncludesLocal(t *testing.T) {
+	tab := Figure11()
+	locals := 0
+	for _, row := range tab.Rows {
+		if row[1] == "Local" {
+			locals++
+		}
+	}
+	if locals != 3 {
+		t.Errorf("local baselines = %d, want 3", locals)
+	}
+}
+
+func TestFigure12AndTable3(t *testing.T) {
+	for _, tab := range []*Table{Figure12(), Table3()} {
+		if len(tab.Rows) != 6 {
+			t.Errorf("%s: rows = %d", tab.Title, len(tab.Rows))
+		}
+	}
+	for _, row := range Table3().Rows {
+		no, _ := strconv.ParseFloat(row[1], 64)
+		yes, _ := strconv.ParseFloat(row[2], 64)
+		if yes > no {
+			t.Errorf("%s: GDR slower (%v > %v)", row[0], yes, no)
+		}
+	}
+}
+
+func TestSection51Claims(t *testing.T) {
+	tab := Section51Claims()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestQPSweepImproves(t *testing.T) {
+	tab := QPSweep()
+	first, _ := strconv.ParseFloat(strings.TrimSuffix(tab.Rows[0][1], "ms"), 64)
+	last, _ := strconv.ParseFloat(strings.TrimSuffix(tab.Rows[len(tab.Rows)-1][1], "ms"), 64)
+	if last >= first {
+		t.Errorf("more QPs did not help: %v -> %v", first, last)
+	}
+}
+
+func TestConvergenceShortRun(t *testing.T) {
+	tables, results, err := Figure10(7, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 || len(results) != 3 {
+		t.Fatalf("panels = %d/%d", len(tables), len(results))
+	}
+	for _, res := range results {
+		if res.SpeedupOver(distributed.GRPCTCP) <= 1.2 {
+			t.Errorf("%s: speedup over TCP %.2f, want > 1.2", res.App, res.SpeedupOver(distributed.GRPCTCP))
+		}
+		if res.SpeedupOver(distributed.GRPCRDMA) <= 1.0 {
+			t.Errorf("%s: no speedup over gRPC.RDMA", res.App)
+		}
+		first := res.Points[0].Metric
+		last := res.Points[len(res.Points)-1].Metric
+		if last >= first {
+			t.Errorf("%s: metric did not improve (%.3f -> %.3f)", res.App, first, last)
+		}
+		// Time axes are consistent: RDMA always reaches a given iteration
+		// sooner.
+		for _, p := range res.Points {
+			if p.SecondsBy["RDMA.zerocp"] >= p.SecondsBy["gRPC.TCP"] {
+				t.Errorf("%s: RDMA not faster at iteration %d", res.App, p.Iteration)
+			}
+		}
+	}
+}
+
+func TestFunctionalMicroOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional micro is slow under -short")
+	}
+	const size = 1 << 20
+	z, err := FunctionalMicro(distributed.RDMA, size, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := FunctionalMicro(distributed.GRPCTCP, size, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The real zero-copy path must beat the real serialize+copy+TCP path.
+	if z.PerIter >= tcp.PerIter {
+		t.Errorf("functional: zerocp %v not faster than tcp %v", z.PerIter, tcp.PerIter)
+	}
+}
+
+func TestFunctionalMicroValidation(t *testing.T) {
+	if _, err := FunctionalMicro(distributed.RDMA, 3, 1); err == nil {
+		t.Error("non-multiple-of-4 size accepted")
+	}
+}
+
+func TestBandwidthSweepMonotone(t *testing.T) {
+	tab := BandwidthSweep()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	prev := -1.0
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(row[3], "+"), "%"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Errorf("improvement not monotone: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestPlacementSweep(t *testing.T) {
+	tab := PlacementSweep()
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		sp, err := strconv.ParseFloat(strings.TrimSuffix(row[4], "x"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp < 1.0 {
+			t.Errorf("%s: partitioning slowed things down (%.2fx)", row[0], sp)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/distributed"
+	"repro/internal/exec"
+	"repro/internal/models"
+	"repro/internal/netsim"
+)
+
+// Figure 10 (convergence of real applications) composes two ingredients:
+//
+//  1. a real SGD training run of the scaled-down application, which yields
+//     the metric-vs-iteration curve (identical across communication
+//     mechanisms, because synchronous data parallelism performs the same
+//     update sequence regardless of transport), and
+//  2. the simulator's per-iteration wall time for the application's
+//     full-size communication profile on 8 servers, one per mechanism,
+//
+// giving metric-vs-time curves whose horizontal stretching reproduces the
+// paper's figure: the same curve reached ~3x sooner with the device
+// mechanism than with gRPC over TCP.
+
+// ConvergencePoint is one sample of a metric-vs-time curve.
+type ConvergencePoint struct {
+	Iteration int
+	Metric    float64
+	// SecondsBy maps mechanism name to elapsed wall time at this point.
+	SecondsBy map[string]float64
+}
+
+// ConvergenceResult is one application's Figure 10 panel.
+type ConvergenceResult struct {
+	App        string
+	MetricName string
+	Points     []ConvergencePoint
+	// IterUS maps mechanism name to simulated per-iteration time.
+	IterUS map[string]float64
+}
+
+// SpeedupOver returns how much faster the RDMA mechanism reaches any given
+// metric level than the baseline (the ratio of per-iteration times).
+func (r *ConvergenceResult) SpeedupOver(base distributed.Kind) float64 {
+	return r.IterUS[base.String()] / r.IterUS[distributed.RDMA.String()]
+}
+
+// appBuilder constructs a trainable application.
+type appBuilder func(seed int64) (*models.TrainableApp, error)
+
+// RunConvergence trains one application for iters iterations and prices its
+// iterations under every mechanism.
+func RunConvergence(build appBuilder, iters, sampleEvery int, seed int64) (*ConvergenceResult, error) {
+	app, err := build(seed)
+	if err != nil {
+		return nil, err
+	}
+	e, err := exec.New(app.Graph, exec.Config{Vars: app.Vars})
+	if err != nil {
+		return nil, err
+	}
+	res := &ConvergenceResult{
+		App:        app.Name,
+		MetricName: app.Metric,
+		IterUS:     make(map[string]float64),
+	}
+	// Per-iteration times of the full-size distributed app (batch 32).
+	for _, kind := range mechanisms {
+		sim := netsim.NewClusterSim(8, kind, false)
+		res.IterUS[kind.String()] = sim.IterationUS(app.CommSpec, 32)
+	}
+	// Batches are generated ahead of the training loop on a background
+	// goroutine, the way the paper's workers "load the sample data from
+	// local disk in parallel with the training process".
+	pipeline := data.NewPrefetcher(app.NextFeeds, 2)
+	defer pipeline.Close()
+	for iter := 0; iter < iters; iter++ {
+		feeds, err := pipeline.Next()
+		if err != nil {
+			return nil, err
+		}
+		out, err := e.Run(iter, feeds, app.LossName, app.StepName)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s iteration %d: %w", app.Name, iter, err)
+		}
+		if iter%sampleEvery != 0 && iter != iters-1 {
+			continue
+		}
+		metric := app.MetricValue(out[app.LossName].Float32s()[0])
+		pt := ConvergencePoint{Iteration: iter, Metric: metric, SecondsBy: map[string]float64{}}
+		for name, us := range res.IterUS {
+			pt.SecondsBy[name] = float64(iter+1) * us / 1e6
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Figure10 regenerates the three convergence panels. iters scales run
+// length (the default 0 selects per-app defaults suitable for the repro
+// binary).
+func Figure10(seed int64, iters int) ([]*Table, []*ConvergenceResult, error) {
+	apps := []struct {
+		build appBuilder
+		iters int
+	}{
+		{models.NewSeq2SeqApp, 240},
+		{models.NewCIFARApp, 160},
+		{models.NewSEApp, 160},
+	}
+	var tables []*Table
+	var results []*ConvergenceResult
+	for _, a := range apps {
+		n := a.iters
+		if iters > 0 {
+			n = iters
+		}
+		sample := n / 12
+		if sample < 1 {
+			sample = 1
+		}
+		res, err := RunConvergence(a.build, n, sample, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		t := &Table{
+			Title: fmt.Sprintf("Figure 10: convergence of %s (%s vs wall time, 8 workers)",
+				res.App, res.MetricName),
+			Note: fmt.Sprintf("RDMA reaches any target %.1fx sooner than gRPC.TCP, %.0f%% sooner than gRPC.RDMA",
+				res.SpeedupOver(distributed.GRPCTCP),
+				(res.SpeedupOver(distributed.GRPCRDMA)-1)*100),
+			Header: []string{"Iteration", res.MetricName,
+				"t(gRPC.TCP) s", "t(gRPC.RDMA) s", "t(RDMA) s"},
+		}
+		for _, p := range res.Points {
+			t.AddRow(fmt.Sprintf("%d", p.Iteration),
+				fmt.Sprintf("%.4f", p.Metric),
+				fmt.Sprintf("%.2f", p.SecondsBy[distributed.GRPCTCP.String()]),
+				fmt.Sprintf("%.2f", p.SecondsBy[distributed.GRPCRDMA.String()]),
+				fmt.Sprintf("%.2f", p.SecondsBy[distributed.RDMA.String()]))
+		}
+		tables = append(tables, t)
+		results = append(results, res)
+	}
+	return tables, results, nil
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/distributed"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Functional micro-benchmark: unlike Figure8 (which prices transfers with
+// the calibrated simulator), this drives the *real* protocol stacks of the
+// in-process cluster — the flag-byte RDMA writes, the ring-buffer
+// fragmentation, the RPC serialization — and measures host wall time. The
+// absolute numbers reflect this machine's memcpy bandwidth, but the
+// structural ordering (zerocp <= cp <= gRPC paths) comes from the real code
+// paths executing their real copies.
+
+// FunctionalMicroResult is one measured configuration.
+type FunctionalMicroResult struct {
+	Kind    distributed.Kind
+	Size    int
+	Iters   int
+	PerIter time.Duration
+}
+
+// FunctionalMicro transfers a [size/4]-element float32 tensor from worker0
+// to ps0 (which reduces it) iters times under the given mechanism and
+// returns the per-iteration wall time.
+func FunctionalMicro(kind distributed.Kind, size, iters int) (*FunctionalMicroResult, error) {
+	if size%4 != 0 || size <= 0 {
+		return nil, fmt.Errorf("bench: size %d must be a positive multiple of 4", size)
+	}
+	b := graph.NewBuilder()
+	b.OnTask("worker0")
+	x := b.Placeholder("x", graph.Static(tensor.Float32, size/4))
+	b.OnTask("ps0")
+	b.ReduceMax("sink", x)
+	cl, err := distributed.Launch(b, distributed.Config{
+		Kind:       kind,
+		ArenaBytes: size*4 + (1 << 20),
+		RingCfg:    transport.RingConfig{Slots: 32, SlotSize: 64 << 10},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	payload := tensor.New(tensor.Float32, size/4)
+	payload.Fill(1)
+	feeds := map[string]map[string]*tensor.Tensor{"worker0": {"x": payload}}
+	fetches := map[string][]string{"ps0": {"sink"}}
+
+	// Warm-up iteration (also the tracing iteration for the zero-copy
+	// mechanism).
+	if _, err := cl.Step(0, feeds, fetches); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for iter := 1; iter <= iters; iter++ {
+		if _, err := cl.Step(iter, feeds, fetches); err != nil {
+			return nil, err
+		}
+	}
+	return &FunctionalMicroResult{
+		Kind: kind, Size: size, Iters: iters,
+		PerIter: time.Since(start) / time.Duration(iters),
+	}, nil
+}
+
+// FunctionalMicroTable measures all four mechanisms over the given sizes.
+func FunctionalMicroTable(sizes []int, iters int) (*Table, error) {
+	t := &Table{
+		Title:  "Functional micro-benchmark (real in-process protocol stacks, host wall time)",
+		Note:   "absolute times reflect this machine; the ordering is the structural result",
+		Header: []string{"Size", "gRPC.TCP", "gRPC.RDMA", "RDMA.cp", "RDMA.zerocp"},
+	}
+	kinds := []distributed.Kind{
+		distributed.GRPCTCP, distributed.GRPCRDMA,
+		distributed.RDMACopy, distributed.RDMA,
+	}
+	for _, size := range sizes {
+		row := []string{humanBytes(int64(size))}
+		for _, kind := range kinds {
+			res, err := FunctionalMicro(kind, size, iters)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %v at %d bytes: %w", kind, size, err)
+			}
+			row = append(row, res.PerIter.String())
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

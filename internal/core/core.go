@@ -1,0 +1,130 @@
+// Package core is the front door to the paper's primary contribution: the
+// RDMA "device" communication library (§3.1–§3.3), the RDMA-aware graph
+// analysis (§3.4), and the distributed data-flow runtime that ties them
+// together (§4). It re-exports the public surface of the underlying
+// packages so a user can work against one import, and provides the
+// high-level TrainingSession convenience wrapper.
+//
+// Layering (bottom up):
+//
+//	rdma        device/fabric emulation: memory regions, QPs/CQs, one-sided
+//	            verbs, static- and dynamic-placement tensor transfer
+//	alloc       registered-memory arena allocation
+//	graph       data-flow graphs, operators, autodiff
+//	analyzer    partitioning + allocation-site tracing
+//	exec        polling-async graph execution
+//	distributed the parameter-server cluster with all four mechanisms
+package core
+
+import (
+	"repro/internal/analyzer"
+	"repro/internal/distributed"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/rdma"
+	"repro/internal/tensor"
+)
+
+// Device-library surface (Table 1 of the paper).
+type (
+	// Fabric is the emulated RDMA network.
+	Fabric = rdma.Fabric
+	// Device is one emulated RDMA NIC.
+	Device = rdma.Device
+	// DeviceConfig parameterizes CreateDevice.
+	DeviceConfig = rdma.Config
+	// MemRegion is a registered memory region.
+	MemRegion = rdma.MemRegion
+	// Channel is a QP-backed connection to one peer.
+	Channel = rdma.Channel
+)
+
+// NewFabric creates an emulated RDMA network.
+func NewFabric() *Fabric { return rdma.NewFabric() }
+
+// CreateDevice creates a device on the fabric (CreateRdmaDevice, Table 1).
+func CreateDevice(f *Fabric, cfg DeviceConfig) (*Device, error) {
+	return rdma.CreateDevice(f, cfg)
+}
+
+// Graph-building surface.
+type (
+	// GraphBuilder constructs data-flow graphs.
+	GraphBuilder = graph.Builder
+	// Node is one data-flow graph vertex.
+	Node = graph.Node
+	// Tensor is the dense tensor type.
+	Tensor = tensor.Tensor
+)
+
+// NewGraphBuilder returns an empty graph builder.
+func NewGraphBuilder() *GraphBuilder { return graph.NewBuilder() }
+
+// Gradients extends a graph with reverse-mode gradient nodes.
+func Gradients(b *GraphBuilder, loss *Node, targets []*Node) (map[*Node]*Node, error) {
+	return graph.Gradients(b, loss, targets)
+}
+
+// Distributed-runtime surface.
+type (
+	// Mechanism selects the communication mechanism.
+	Mechanism = distributed.Kind
+	// Cluster is an in-process multi-server deployment.
+	Cluster = distributed.Cluster
+	// ClusterConfig parameterizes Launch.
+	ClusterConfig = distributed.Config
+	// EdgeSpec describes one cross-server tensor edge.
+	EdgeSpec = analyzer.EdgeSpec
+	// VarStore holds variables for single-server execution.
+	VarStore = exec.VarStore
+)
+
+// The four evaluated mechanisms.
+const (
+	GRPCTCP  = distributed.GRPCTCP
+	GRPCRDMA = distributed.GRPCRDMA
+	RDMA     = distributed.RDMA
+	RDMACopy = distributed.RDMACopy
+)
+
+// Launch partitions the graph and brings up one server per task.
+func Launch(b *GraphBuilder, cfg ClusterConfig) (*Cluster, error) {
+	return distributed.Launch(b, cfg)
+}
+
+// TrainingSession wraps a launched cluster with the bookkeeping a training
+// loop needs (iteration counter, loss aggregation).
+type TrainingSession struct {
+	cluster *Cluster
+	iter    int
+}
+
+// NewTrainingSession launches the graph and returns a session. Initialize
+// variables with Cluster (via Session.Cluster) before stepping.
+func NewTrainingSession(b *GraphBuilder, cfg ClusterConfig) (*TrainingSession, error) {
+	cl, err := distributed.Launch(b, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TrainingSession{cluster: cl}, nil
+}
+
+// Cluster exposes the underlying cluster (variable init, metrics, topology).
+func (s *TrainingSession) Cluster() *Cluster { return s.cluster }
+
+// Iteration returns the next iteration number Step will run.
+func (s *TrainingSession) Iteration() int { return s.iter }
+
+// Step runs one synchronous iteration and advances the counter.
+func (s *TrainingSession) Step(feeds map[string]map[string]*Tensor,
+	fetches map[string][]string) (map[string]map[string]*Tensor, error) {
+	out, err := s.cluster.Step(s.iter, feeds, fetches)
+	if err != nil {
+		return nil, err
+	}
+	s.iter++
+	return out, nil
+}
+
+// Close tears the cluster down.
+func (s *TrainingSession) Close() { s.cluster.Close() }

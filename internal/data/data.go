@@ -1,0 +1,84 @@
+// Package data provides the input pipeline for training runs: batch
+// generators and a prefetcher that produces batches ahead of consumption on
+// a background goroutine — the paper's convergence applications "load the
+// sample data from local disk in parallel with the training process" (§5.2),
+// and this is that overlap.
+package data
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// ErrClosed is returned by Next after Close.
+var ErrClosed = errors.New("data: prefetcher closed")
+
+// Batch is one iteration's placeholder bindings.
+type Batch = map[string]*tensor.Tensor
+
+// Generator produces the iter-th batch. It runs on the prefetcher's
+// goroutine and must be self-contained (own its RNG).
+type Generator func(iter int) Batch
+
+// Prefetcher runs a Generator ahead of the consumer, keeping up to depth
+// batches buffered.
+type Prefetcher struct {
+	ch   chan Batch
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPrefetcher starts prefetching with the given pipeline depth (≥1).
+func NewPrefetcher(gen Generator, depth int) *Prefetcher {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Prefetcher{
+		ch:   make(chan Batch, depth),
+		stop: make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer close(p.ch)
+		for iter := 0; ; iter++ {
+			batch := gen(iter)
+			select {
+			case p.ch <- batch:
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// Next returns the next batch in order, blocking until one is ready.
+func (p *Prefetcher) Next() (Batch, error) {
+	b, ok := <-p.ch
+	if !ok {
+		return nil, ErrClosed
+	}
+	return b, nil
+}
+
+// Close stops the generator goroutine and drains the pipeline.
+func (p *Prefetcher) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.stop)
+	p.mu.Unlock()
+	// Drain so the generator's pending send unblocks, then wait.
+	for range p.ch {
+	}
+	p.wg.Wait()
+}

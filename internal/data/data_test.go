@@ -1,0 +1,82 @@
+package data
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+func TestPrefetcherOrder(t *testing.T) {
+	gen := func(iter int) Batch {
+		x := tensor.New(tensor.Int32, 1)
+		x.Int32s()[0] = int32(iter)
+		return Batch{"x": x}
+	}
+	p := NewPrefetcher(gen, 4)
+	defer p.Close()
+	for i := 0; i < 50; i++ {
+		b, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := b["x"].Int32s()[0]; got != int32(i) {
+			t.Fatalf("batch %d delivered out of order: %d", i, got)
+		}
+	}
+}
+
+func TestPrefetcherOverlapsGeneration(t *testing.T) {
+	const genDelay = 2 * time.Millisecond
+	gen := func(iter int) Batch {
+		time.Sleep(genDelay)
+		return Batch{}
+	}
+	p := NewPrefetcher(gen, 8)
+	defer p.Close()
+	// Let the pipeline fill.
+	time.Sleep(10 * genDelay)
+	// Consuming buffered batches must be much faster than generating them.
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := p.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 4*genDelay {
+		t.Errorf("consuming 5 prefetched batches took %v; pipeline not overlapping", elapsed)
+	}
+}
+
+func TestPrefetcherClose(t *testing.T) {
+	var produced atomic.Int64
+	gen := func(iter int) Batch {
+		produced.Add(1)
+		return Batch{}
+	}
+	p := NewPrefetcher(gen, 2)
+	if _, err := p.Next(); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close() // idempotent
+	if _, err := p.Next(); !errors.Is(err, ErrClosed) {
+		t.Errorf("next after close: %v", err)
+	}
+	// The generator must have stopped (bounded production).
+	n := produced.Load()
+	time.Sleep(5 * time.Millisecond)
+	if produced.Load() != n {
+		t.Error("generator kept producing after Close")
+	}
+}
+
+func TestPrefetcherDepthClamp(t *testing.T) {
+	p := NewPrefetcher(func(int) Batch { return Batch{} }, 0)
+	defer p.Close()
+	if _, err := p.Next(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,546 @@
+package distributed
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/analyzer"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/rdma"
+	"repro/internal/rpc"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Config parameterizes a cluster launch.
+type Config struct {
+	// Kind selects the communication mechanism.
+	Kind Kind
+	// ArenaBytes is the per-server registered-memory arena size
+	// (default 64 MiB). The graph analyzer registers it once, §3.4.
+	ArenaBytes int
+	// ExecWorkers is the per-server executor worker count (default 4).
+	ExecWorkers int
+	// RingCfg tunes the gRPC.RDMA ring transport.
+	RingCfg transport.RingConfig
+	// NumCQs and QPsPerPeer configure the RDMA devices (default 4/4, the
+	// paper's evaluation setting).
+	NumCQs, QPsPerPeer int
+	// PollTimeout aborts a step whose receive operators make no progress
+	// (dead peer, partitioned fabric). Default 30s; negative disables.
+	PollTimeout time.Duration
+	// Trace, when non-nil, records every server's operator executions into
+	// one timeline (chrome trace-event format).
+	Trace *trace.Recorder
+}
+
+func (c *Config) setDefaults() {
+	if c.ArenaBytes == 0 {
+		c.ArenaBytes = 64 << 20
+	}
+	if c.ExecWorkers == 0 {
+		c.ExecWorkers = 4
+	}
+	if c.PollTimeout == 0 {
+		c.PollTimeout = 30 * time.Second
+	} else if c.PollTimeout < 0 {
+		c.PollTimeout = 0
+	}
+}
+
+// Server is one emulated machine: an RDMA device, a registered arena, a
+// variable store, and an executor over its graph partition.
+type Server struct {
+	Task     string
+	Dev      *rdma.Device
+	ArenaMR  *rdma.MemRegion
+	Arena    *alloc.Arena
+	Policy   *analyzer.TracingPolicy
+	VarStore *exec.VarStore
+	Exec     *exec.Executor
+	Env      *Env
+	Metrics  *metrics.Comm
+
+	rpcSrv  *rpc.Server
+	rpcAddr string
+
+	descMu     sync.Mutex
+	descs      map[string][]byte // edge key -> marshaled slot descriptor
+	qpCounters map[string]int    // per-peer round-robin QP assignment
+}
+
+// Cluster is an in-process multi-server deployment of one partitioned
+// data-flow graph.
+type Cluster struct {
+	cfg     Config
+	fabric  *rdma.Fabric
+	servers map[string]*Server
+	result  *analyzer.Result
+}
+
+// edgeDescMethod and edgeScratchMethod are the vanilla-RPC methods used for
+// address distribution (§3.1: "a simple vanilla RPC mechanism ... for this
+// auxiliary purpose of distributing remote memory addresses").
+const (
+	edgeDescMethod    = "edge.desc"
+	edgeScratchMethod = "edge.scratch"
+	rpcTimeout        = 10 * time.Second
+)
+
+// Launch partitions the builder's graph with the mechanism's Send/Recv
+// operators, creates one server per task, performs address distribution,
+// and builds per-partition executors. Variables must then be initialized
+// with InitVariable before the first Step.
+func Launch(b *graph.Builder, cfg Config) (*Cluster, error) {
+	cfg.setDefaults()
+	factory := commFactory(cfg.Kind)
+	res, err := analyzer.Partition(b, factory, analyzer.WithPostHook(orderSendsBeforeUpdates))
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, fabric: rdma.NewFabric(), servers: make(map[string]*Server)}
+	for _, task := range res.Tasks {
+		srv, err := c.newServer(task)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.servers[task] = srv
+	}
+	c.result = res
+	if cfg.Kind.UsesRPC() {
+		err = c.setupRPCEdges(res)
+	} else {
+		err = c.setupRDMAEdges(res)
+	}
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	for _, task := range res.Tasks {
+		srv := c.servers[task]
+		srv.Exec, err = exec.New(res.Graph, exec.Config{
+			Task:        task,
+			Workers:     cfg.ExecWorkers,
+			Vars:        srv.VarStore,
+			Policy:      srv.Policy,
+			Env:         srv.Env,
+			PollTimeout: cfg.PollTimeout,
+			Trace:       cfg.Trace,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) newServer(task string) (*Server, error) {
+	dev, err := rdma.CreateDevice(c.fabric, rdma.Config{
+		Endpoint:   task,
+		NumCQs:     c.cfg.NumCQs,
+		QPsPerPeer: c.cfg.QPsPerPeer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	arenaMR, err := dev.AllocateMemRegion(c.cfg.ArenaBytes)
+	if err != nil {
+		return nil, err
+	}
+	arena := alloc.NewArena(arenaMR.Bytes())
+	policy := analyzer.NewTracingPolicy(arena, c.cfg.Kind.ZeroCopy())
+	m := &metrics.Comm{}
+	srv := &Server{
+		Task:     task,
+		Dev:      dev,
+		ArenaMR:  arenaMR,
+		Arena:    arena,
+		Policy:   policy,
+		VarStore: exec.NewVarStore(),
+		Metrics:  m,
+		descs:    make(map[string][]byte),
+	}
+	srv.Env = newEnv(task, c.cfg.Kind, policy, m, arena, arenaMR)
+	dev.RegisterRPC(edgeDescMethod, func(from string, req []byte) ([]byte, error) {
+		srv.descMu.Lock()
+		defer srv.descMu.Unlock()
+		d, ok := srv.descs[string(req)]
+		if !ok {
+			return nil, fmt.Errorf("%w: no slot descriptor for edge %q on %s", ErrSetup, req, task)
+		}
+		return d, nil
+	})
+	dev.RegisterRPC(edgeScratchMethod, func(from string, req []byte) ([]byte, error) {
+		key, desc, err := splitKeyPayload(req)
+		if err != nil {
+			return nil, err
+		}
+		scratch, err := rdma.UnmarshalDynSlotDesc(desc)
+		if err != nil {
+			return nil, err
+		}
+		st, err := srv.Env.dynRecvState(key)
+		if err != nil {
+			return nil, err
+		}
+		st.mu.Lock()
+		st.senderScratch = scratch
+		st.mu.Unlock()
+		return nil, nil
+	})
+	return srv, nil
+}
+
+// orderSendsBeforeUpdates adds control dependencies so that a variable's
+// outbound weight send happens before ApplySGD mutates it in place: within
+// iteration i workers receive θᵢ while the server transitions to θᵢ₊₁,
+// exactly the synchronous parameter-server schedule. The paper relies on
+// "the control dependency of the loop in the graph" for the same ordering.
+func orderSendsBeforeUpdates(b *graph.Builder, edges []analyzer.EdgeSpec, sends map[string]*graph.Node) error {
+	applyByVar := make(map[string][]*graph.Node)
+	for _, n := range b.Nodes() {
+		if varName, ok := graph.UpdatedVariable(n.Op()); ok {
+			applyByVar[varName] = append(applyByVar[varName], n)
+		}
+	}
+	for _, e := range edges {
+		send := sends[e.Key]
+		for _, apply := range applyByVar[e.SrcNode] {
+			if apply.Task() == e.SrcTask {
+				b.ControlDep(apply, send)
+			}
+		}
+	}
+	return b.Err()
+}
+
+func commFactory(kind Kind) analyzer.CommFactory {
+	return func(spec analyzer.EdgeSpec) (graph.Op, graph.Op, error) {
+		if kind.UsesRPC() {
+			return &rpcSendOp{spec: spec}, &rpcRecvOp{spec: spec}, nil
+		}
+		if spec.Sig.Static {
+			return &rdmaSendOp{spec: spec}, &rdmaRecvOp{spec: spec}, nil
+		}
+		return &rdmaSendDynOp{spec: spec}, &rdmaRecvDynOp{spec: spec}, nil
+	}
+}
+
+// setupRDMAEdges performs the two setup phases: receivers preallocate slots
+// and publish descriptors; senders fetch descriptors, build their staging
+// or scratch state, and (for dynamic edges) push their scratch descriptor
+// back for the ack path.
+func (c *Cluster) setupRDMAEdges(res *analyzer.Result) error {
+	// Phase A: receiver-side preallocation.
+	for _, e := range res.Edges {
+		dst := c.servers[e.DstTask]
+		if e.Sig.Static {
+			payload := e.Sig.ByteSize()
+			mr, err := dst.Dev.AllocateMemRegion(rdma.StaticSlotSize(payload))
+			if err != nil {
+				return fmt.Errorf("edge %s: %w", e.Key, err)
+			}
+			recv, err := rdma.NewStaticReceiver(mr, 0, payload)
+			if err != nil {
+				return fmt.Errorf("edge %s: %w", e.Key, err)
+			}
+			dst.Env.mu.Lock()
+			dst.Env.staticRecv[e.Key] = &staticRecvState{spec: e, recv: recv}
+			dst.Env.mu.Unlock()
+			dst.putDesc(e.Key, recv.Desc().Marshal())
+		} else {
+			metaMR, err := dst.Dev.AllocateMemRegion(rdma.DynMetaSize)
+			if err != nil {
+				return fmt.Errorf("edge %s: %w", e.Key, err)
+			}
+			ch, err := dst.Dev.GetChannel(e.SrcTask, dst.nextQP(e.SrcTask, c.cfg.QPsPerPeer))
+			if err != nil {
+				return fmt.Errorf("edge %s: %w", e.Key, err)
+			}
+			recv, err := rdma.NewDynReceiver(ch, metaMR, 0)
+			if err != nil {
+				return fmt.Errorf("edge %s: %w", e.Key, err)
+			}
+			dst.Env.mu.Lock()
+			dst.Env.dynRecv[e.Key] = &dynRecvState{spec: e, recv: recv}
+			dst.Env.mu.Unlock()
+			dst.putDesc(e.Key, recv.Desc().Marshal())
+		}
+	}
+	// Phase B: sender-side setup via address distribution.
+	for _, e := range res.Edges {
+		src := c.servers[e.SrcTask]
+		ch, err := src.Dev.GetChannel(e.DstTask, src.nextQP(e.DstTask, c.cfg.QPsPerPeer))
+		if err != nil {
+			return fmt.Errorf("edge %s: %w", e.Key, err)
+		}
+		descBytes, err := ch.Call(edgeDescMethod, []byte(e.Key), rpcTimeout)
+		if err != nil {
+			return fmt.Errorf("edge %s: %w", e.Key, err)
+		}
+		if e.Sig.Static {
+			desc, err := rdma.UnmarshalStaticSlotDesc(descBytes)
+			if err != nil {
+				return fmt.Errorf("edge %s: %w", e.Key, err)
+			}
+			slot, err := src.stagingFor(e.SrcNode, e.Sig)
+			if err != nil {
+				return fmt.Errorf("edge %s: %w", e.Key, err)
+			}
+			sender, err := rdma.NewStaticSender(ch, slot.mr, 0, desc)
+			if err != nil {
+				return fmt.Errorf("edge %s: %w", e.Key, err)
+			}
+			src.Env.mu.Lock()
+			src.Env.staticSend[e.Key] = &staticSendState{spec: e, slot: slot, sender: sender}
+			src.Env.mu.Unlock()
+			if c.cfg.Kind.ZeroCopy() {
+				src.Policy.BindStaging(e.SrcNode, slot.tensor)
+			}
+		} else {
+			desc, err := rdma.UnmarshalDynSlotDesc(descBytes)
+			if err != nil {
+				return fmt.Errorf("edge %s: %w", e.Key, err)
+			}
+			scratchMR, err := src.Dev.AllocateMemRegion(rdma.DynMetaSize)
+			if err != nil {
+				return fmt.Errorf("edge %s: %w", e.Key, err)
+			}
+			sender, err := rdma.NewDynSender(ch, scratchMR, 0, desc)
+			if err != nil {
+				return fmt.Errorf("edge %s: %w", e.Key, err)
+			}
+			src.Env.mu.Lock()
+			src.Env.dynSend[e.Key] = &dynSendState{spec: e, sender: sender, dev: src.Dev}
+			src.Env.mu.Unlock()
+			req := joinKeyPayload(e.Key, sender.ScratchDesc().Marshal())
+			if _, err := ch.Call(edgeScratchMethod, req, rpcTimeout); err != nil {
+				return fmt.Errorf("edge %s scratch distribution: %w", e.Key, err)
+			}
+		}
+	}
+	return nil
+}
+
+// stagingFor returns (or creates) the shared sender staging slot for a
+// source node; fan-out edges to several destinations share it.
+func (s *Server) stagingFor(srcNode string, sig graph.Sig) (*stagingSlot, error) {
+	s.Env.mu.Lock()
+	defer s.Env.mu.Unlock()
+	if slot, ok := s.Env.stagings[srcNode]; ok {
+		return slot, nil
+	}
+	slot, err := newStagingSlot(s.Dev, sig.DType, sig.Shape)
+	if err != nil {
+		return nil, err
+	}
+	s.Env.stagings[srcNode] = slot
+	return slot, nil
+}
+
+func (s *Server) putDesc(key string, d []byte) {
+	s.descMu.Lock()
+	defer s.descMu.Unlock()
+	s.descs[key] = d
+}
+
+// nextQP spreads edges over the QPs to a peer in round-robin order,
+// following the paper's load-balancing guidance (§3.1).
+func (s *Server) nextQP(peer string, qpsPerPeer int) int {
+	if qpsPerPeer == 0 {
+		qpsPerPeer = 4
+	}
+	s.descMu.Lock()
+	defer s.descMu.Unlock()
+	if s.qpCounters == nil {
+		s.qpCounters = make(map[string]int)
+	}
+	idx := s.qpCounters[peer] % qpsPerPeer
+	s.qpCounters[peer]++
+	return idx
+}
+
+// setupRPCEdges builds the gRPC-baseline data path: one RPC server per
+// machine on the chosen substrate, one client per (src, dst) pair.
+func (c *Cluster) setupRPCEdges(res *analyzer.Result) error {
+	listenNet := func(srv *Server) transport.Network {
+		if c.cfg.Kind == GRPCTCP {
+			return transport.TCPNetwork()
+		}
+		return transport.RingNetwork(srv.Dev, c.cfg.RingCfg)
+	}
+	for _, task := range res.Tasks {
+		srv := c.servers[task]
+		l, err := listenNet(srv).Listen("")
+		if err != nil {
+			return err
+		}
+		srv.rpcSrv = rpc.NewServer(l)
+		registerPushService(srv.Env, srv.rpcSrv.Register)
+		srv.rpcSrv.Start()
+		srv.rpcAddr = srv.rpcSrv.Addr()
+	}
+	for _, e := range res.Edges {
+		src, dst := c.servers[e.SrcTask], c.servers[e.DstTask]
+		src.Env.mu.Lock()
+		_, have := src.Env.rpcClients[e.DstTask]
+		src.Env.mu.Unlock()
+		if have {
+			continue
+		}
+		var net transport.Network
+		if c.cfg.Kind == GRPCTCP {
+			net = transport.TCPNetwork()
+		} else {
+			net = transport.RingNetwork(src.Dev, c.cfg.RingCfg)
+		}
+		client, err := rpc.Dial(net, dst.rpcAddr)
+		if err != nil {
+			return fmt.Errorf("edge %s: dial %s: %w", e.Key, dst.rpcAddr, err)
+		}
+		src.Env.mu.Lock()
+		src.Env.rpcClients[e.DstTask] = client
+		src.Env.mu.Unlock()
+	}
+	return nil
+}
+
+// InitVariable creates a variable's backing tensor on its server, placing
+// it inside the sender staging slot when the zero-copy analysis decided the
+// variable is transferred (so weight pushes need no copy at all), and calls
+// init to fill it.
+func (c *Cluster) InitVariable(name string, init func(*tensor.Tensor)) error {
+	node, err := c.result.Graph.Node(name)
+	if err != nil {
+		return err
+	}
+	if !graph.IsVariable(node) {
+		return fmt.Errorf("%w: %q is not a variable", ErrSetup, name)
+	}
+	srv, ok := c.servers[node.Task()]
+	if !ok {
+		return fmt.Errorf("%w: no server for task %q", ErrSetup, node.Task())
+	}
+	var t *tensor.Tensor
+	srv.Env.mu.Lock()
+	slot, staged := srv.Env.stagings[name]
+	srv.Env.mu.Unlock()
+	if staged && c.cfg.Kind.ZeroCopy() {
+		t = slot.tensor
+	} else {
+		sig := node.Sig()
+		t = tensor.New(sig.DType, sig.Shape...)
+	}
+	if init != nil {
+		init(t)
+	}
+	return srv.VarStore.Create(name, t)
+}
+
+// Step runs one synchronous iteration on every server concurrently. feeds
+// and fetches are keyed by task; the returned values mirror fetches.
+func (c *Cluster) Step(iter int, feeds map[string]map[string]*tensor.Tensor,
+	fetches map[string][]string) (map[string]map[string]*tensor.Tensor, error) {
+	type result struct {
+		task string
+		out  map[string]*tensor.Tensor
+		err  error
+	}
+	ch := make(chan result, len(c.servers))
+	for task, srv := range c.servers {
+		go func(task string, srv *Server) {
+			out, err := srv.Exec.Run(iter, feeds[task], fetches[task]...)
+			ch <- result{task: task, out: out, err: err}
+		}(task, srv)
+	}
+	outs := make(map[string]map[string]*tensor.Tensor, len(c.servers))
+	var firstErr error
+	for range c.servers {
+		r := <-ch
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("task %s: %w", r.task, r.err)
+		}
+		outs[r.task] = r.out
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return outs, nil
+}
+
+// Result exposes the partitioning outcome.
+func (c *Cluster) Result() *analyzer.Result { return c.result }
+
+// Fabric exposes the emulated network, for fault injection in tests.
+func (c *Cluster) Fabric() *rdma.Fabric { return c.fabric }
+
+// Server returns the server running the given task.
+func (c *Cluster) Server(task string) *Server { return c.servers[task] }
+
+// MetricsSnapshot returns per-task communication counters.
+func (c *Cluster) MetricsSnapshot() map[string]metrics.CommSnapshot {
+	out := make(map[string]metrics.CommSnapshot, len(c.servers))
+	for task, srv := range c.servers {
+		out[task] = srv.Metrics.Snapshot()
+	}
+	return out
+}
+
+// VarTensor returns a variable's backing tensor (from whichever server owns
+// it).
+func (c *Cluster) VarTensor(name string) (*tensor.Tensor, error) {
+	node, err := c.result.Graph.Node(name)
+	if err != nil {
+		return nil, err
+	}
+	srv, ok := c.servers[node.Task()]
+	if !ok {
+		return nil, fmt.Errorf("%w: no server for %q", ErrSetup, node.Task())
+	}
+	return srv.VarStore.VarTensor(name)
+}
+
+// Close tears the cluster down: RPC clients and servers first, then
+// devices.
+func (c *Cluster) Close() {
+	for _, srv := range c.servers {
+		srv.Env.mu.Lock()
+		for _, cl := range srv.Env.rpcClients {
+			cl.Close()
+		}
+		srv.Env.rpcClients = make(map[string]*rpc.Client)
+		srv.Env.mu.Unlock()
+		if srv.rpcSrv != nil {
+			srv.rpcSrv.Close()
+		}
+	}
+	for _, srv := range c.servers {
+		srv.Dev.Close()
+	}
+}
+
+func joinKeyPayload(key string, payload []byte) []byte {
+	buf := make([]byte, 0, 2+len(key)+len(payload))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(key)))
+	buf = append(buf, key...)
+	return append(buf, payload...)
+}
+
+func splitKeyPayload(req []byte) (string, []byte, error) {
+	if len(req) < 2 {
+		return "", nil, fmt.Errorf("%w: short key/payload frame", ErrSetup)
+	}
+	n := int(binary.LittleEndian.Uint16(req))
+	if len(req) < 2+n {
+		return "", nil, fmt.Errorf("%w: truncated key/payload frame", ErrSetup)
+	}
+	return string(req[2 : 2+n]), req[2+n:], nil
+}

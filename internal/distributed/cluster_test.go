@@ -1,0 +1,457 @@
+package distributed
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// buildPSTraining constructs a data-parallel softmax classifier: each
+// worker holds a replica computing gradients against shared variables that
+// live on parameter servers (round-robin), which sum the workers' gradients
+// and apply SGD — the architecture of the paper's Figure 3.
+func buildPSTraining(t testing.TB, workers, psCount, batch, in, classes int, lr float32) (*graph.Builder, []string) {
+	t.Helper()
+	b := graph.NewBuilder()
+	psTask := func(i int) string { return fmt.Sprintf("ps%d", i%psCount) }
+
+	b.OnTask(psTask(0))
+	w := b.Variable("w", graph.Static(tensor.Float32, in, classes))
+	b.OnTask(psTask(1))
+	bias := b.Variable("bias", graph.Static(tensor.Float32, classes))
+
+	workerGrads := make(map[*graph.Node][]*graph.Node) // var -> per-worker grads
+	var tasks []string
+	for k := 0; k < workers; k++ {
+		task := fmt.Sprintf("worker%d", k)
+		tasks = append(tasks, task)
+		b.OnTask(task)
+		x := b.Placeholder(fmt.Sprintf("x%d", k), graph.Static(tensor.Float32, batch, in))
+		labels := b.Placeholder(fmt.Sprintf("labels%d", k), graph.Static(tensor.Int32, batch))
+		logits := b.BiasAdd(fmt.Sprintf("logits%d", k), b.MatMul(fmt.Sprintf("mm%d", k), x, w), bias)
+		loss := b.SoftmaxXent(fmt.Sprintf("loss%d", k), logits, labels)
+		grads, err := graph.Gradients(b, loss, []*graph.Node{w, bias})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workerGrads[w] = append(workerGrads[w], grads[w])
+		workerGrads[bias] = append(workerGrads[bias], grads[bias])
+	}
+	// Parameter-server side: sum the workers' gradients, apply SGD.
+	for v, grads := range workerGrads {
+		b.OnTask(v.Task())
+		sum := grads[0]
+		for i := 1; i < len(grads); i++ {
+			sum = b.Add(fmt.Sprintf("gsum%s_%d", v.Name(), i), sum, grads[i])
+		}
+		b.ApplySGD("apply_"+v.Name(), v, sum, lr)
+	}
+	return b, tasks
+}
+
+// trainCluster runs iterations of the PS graph and returns the per-
+// iteration mean loss across workers.
+func trainCluster(t testing.TB, kind Kind, workers, iters int) ([]float32, *Cluster) {
+	t.Helper()
+	const batch, in, classes, psCount = 8, 12, 4, 2
+	b, workerTasks := buildPSTraining(t, workers, psCount, batch, in, classes, 0.2)
+	cfg := Config{
+		Kind:       kind,
+		ArenaBytes: 1 << 20,
+		RingCfg:    transport.RingConfig{Slots: 16, SlotSize: 8 << 10},
+	}
+	cl, err := Launch(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	if err := cl.InitVariable("w", func(tt *tensor.Tensor) { tensor.GlorotInit(tt, rng) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.InitVariable("bias", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fixed synthetic dataset per worker (so runs are comparable across
+	// mechanisms).
+	feeds := make(map[string]map[string]*tensor.Tensor)
+	fetches := make(map[string][]string)
+	dataRng := rand.New(rand.NewSource(7))
+	for k, task := range workerTasks {
+		x := tensor.New(tensor.Float32, batch, in)
+		labels := tensor.New(tensor.Int32, batch)
+		tensor.RandomUniform(x, dataRng, 1)
+		tensor.RandomLabels(labels, dataRng, classes)
+		feeds[task] = map[string]*tensor.Tensor{
+			fmt.Sprintf("x%d", k):      x,
+			fmt.Sprintf("labels%d", k): labels,
+		}
+		fetches[task] = []string{fmt.Sprintf("loss%d", k)}
+	}
+
+	var losses []float32
+	for iter := 0; iter < iters; iter++ {
+		out, err := cl.Step(iter, feeds, fetches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float32
+		for k, task := range workerTasks {
+			sum += out[task][fmt.Sprintf("loss%d", k)].Float32s()[0]
+		}
+		losses = append(losses, sum/float32(len(workerTasks)))
+	}
+	return losses, cl
+}
+
+func TestPSTrainingAllMechanisms(t *testing.T) {
+	kinds := []Kind{GRPCTCP, GRPCRDMA, RDMA, RDMACopy}
+	finals := make(map[Kind]float32)
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			losses, cl := trainCluster(t, kind, 2, 15)
+			defer cl.Close()
+			first, last := losses[0], losses[len(losses)-1]
+			if last > first*0.7 {
+				t.Errorf("loss did not drop: first %v last %v (%v)", first, last, losses)
+			}
+			finals[kind] = last
+		})
+	}
+	// All mechanisms compute the same math: final losses must agree.
+	var ref float32
+	var refKind Kind
+	for kind, l := range finals {
+		ref, refKind = l, kind
+		break
+	}
+	for kind, l := range finals {
+		d := l - ref
+		if d < 0 {
+			d = -d
+		}
+		if d > 1e-3 {
+			t.Errorf("final loss differs: %v=%v vs %v=%v", kind, l, refKind, ref)
+		}
+	}
+}
+
+func TestZeroCopyMetrics(t *testing.T) {
+	// With graph analysis on, sender-side copies happen only during the
+	// tracing iteration; afterwards every transfer is zero-copy.
+	_, cl := trainCluster(t, RDMA, 2, 6)
+	defer cl.Close()
+	var copiesAfterTrace, zero int64
+	for _, m := range cl.MetricsSnapshot() {
+		copiesAfterTrace += m.MemCopies
+		zero += m.ZeroCopyOps
+	}
+	if zero == 0 {
+		t.Error("no zero-copy transfers recorded")
+	}
+	// 6 iterations, 8 edges (2 grads + 2 weights, x2 workers): iteration 0
+	// pays at most one copy per edge; later iterations none.
+	if copiesAfterTrace > 8 {
+		t.Errorf("memcopies = %d, want <= 8 (tracing iteration only)", copiesAfterTrace)
+	}
+
+	// The ablation keeps copying forever.
+	_, cl2 := trainCluster(t, RDMACopy, 2, 6)
+	defer cl2.Close()
+	var copies2 int64
+	for _, m := range cl2.MetricsSnapshot() {
+		copies2 += m.MemCopies
+	}
+	if copies2 < 8*5 {
+		t.Errorf("RDMA.cp made only %d copies, expected one per edge per iteration", copies2)
+	}
+}
+
+func TestSerializationOnlyInRPC(t *testing.T) {
+	_, cl := trainCluster(t, GRPCRDMA, 2, 4)
+	defer cl.Close()
+	var ser int64
+	for _, m := range cl.MetricsSnapshot() {
+		ser += m.SerializedBytes
+	}
+	if ser == 0 {
+		t.Error("gRPC mechanism recorded no serialization")
+	}
+	_, cl2 := trainCluster(t, RDMA, 2, 4)
+	defer cl2.Close()
+	for task, m := range cl2.MetricsSnapshot() {
+		if m.SerializedBytes != 0 {
+			t.Errorf("RDMA mechanism serialized %d bytes on %s", m.SerializedBytes, task)
+		}
+	}
+}
+
+func TestDynamicEdgeTransfer(t *testing.T) {
+	// A dynamic-shaped tensor crossing servers exercises the §3.3 protocol
+	// (RdmaSendDyn/RdmaRecvDyn) under the RDMA mechanism and the RPC path
+	// under gRPC.
+	for _, kind := range []Kind{RDMA, GRPCTCP, GRPCRDMA} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			b := graph.NewBuilder()
+			b.OnTask("worker0")
+			x := b.Placeholder("x", graph.Dyn(tensor.Float32, -1, 4))
+			double := b.Scale("double", x, 2)
+			b.OnTask("ps0")
+			sink := b.ReduceMax("sink", double)
+			_ = sink
+			cl, err := Launch(b, Config{Kind: kind, ArenaBytes: 1 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			if kind == RDMA {
+				if len(cl.Result().DynamicEdges()) != 1 {
+					t.Fatalf("expected one dynamic edge, got %+v", cl.Result().Edges)
+				}
+			}
+			for iter, batch := range []int{2, 5, 1, 7} {
+				x := tensor.New(tensor.Float32, batch, 4)
+				x.Fill(float32(iter + 1))
+				out, err := cl.Step(iter,
+					map[string]map[string]*tensor.Tensor{"worker0": {"x": x}},
+					map[string][]string{"ps0": {"sink"}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := out["ps0"]["sink"].Float32s()[0]
+				want := float32(2 * (iter + 1))
+				if got != want {
+					t.Errorf("iter %d: sink = %v, want %v", iter, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestInitVariableErrors(t *testing.T) {
+	b := graph.NewBuilder()
+	b.OnTask("ps0")
+	b.Variable("w", graph.Static(tensor.Float32, 2))
+	x := b.Placeholder("x", graph.Static(tensor.Float32, 2))
+	b.OnTask("worker0")
+	b.Identity("use", x)
+	cl, err := Launch(b, Config{Kind: RDMA, ArenaBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.InitVariable("nope", nil); !errors.Is(err, graph.ErrNotFound) {
+		t.Errorf("unknown variable: %v", err)
+	}
+	if err := cl.InitVariable("x", nil); !errors.Is(err, ErrSetup) {
+		t.Errorf("non-variable: %v", err)
+	}
+	if err := cl.InitVariable("w", nil); err != nil {
+		t.Errorf("valid init: %v", err)
+	}
+	if err := cl.InitVariable("w", nil); err == nil {
+		t.Error("double init accepted")
+	}
+	if _, err := cl.VarTensor("w"); err != nil {
+		t.Errorf("VarTensor: %v", err)
+	}
+}
+
+func TestStagedVariableIsZeroCopySource(t *testing.T) {
+	// Under the zero-copy mechanism a transferred variable's storage IS the
+	// staging slot, so the weight push needs no copy even at iteration 0.
+	b := graph.NewBuilder()
+	b.OnTask("ps0")
+	w := b.Variable("w", graph.Static(tensor.Float32, 8))
+	b.OnTask("worker0")
+	b.Identity("use", w)
+	cl, err := Launch(b, Config{Kind: RDMA, ArenaBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.InitVariable("w", func(t *tensor.Tensor) { t.Fill(3) }); err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 3; iter++ {
+		out, err := cl.Step(iter, nil, map[string][]string{"worker0": {"use"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out["worker0"]["use"].Float32s()[0] != 3 {
+			t.Errorf("iter %d: got %v", iter, out["worker0"]["use"].Float32s()[0])
+		}
+	}
+	ps := cl.Server("ps0").Metrics.Snapshot()
+	if ps.MemCopies != 0 {
+		t.Errorf("weight push made %d copies, want 0", ps.MemCopies)
+	}
+	if ps.ZeroCopyOps == 0 {
+		t.Error("no zero-copy pushes recorded")
+	}
+}
+
+func TestMechanismStrings(t *testing.T) {
+	if GRPCTCP.String() != "gRPC.TCP" || GRPCRDMA.String() != "gRPC.RDMA" ||
+		RDMA.String() != "RDMA.zerocp" || RDMACopy.String() != "RDMA.cp" {
+		t.Error("mechanism names wrong")
+	}
+	if !GRPCTCP.UsesRPC() || RDMA.UsesRPC() {
+		t.Error("UsesRPC wrong")
+	}
+	if !RDMA.ZeroCopy() || RDMACopy.ZeroCopy() {
+		t.Error("ZeroCopy wrong")
+	}
+}
+
+func TestTraceIntegration(t *testing.T) {
+	job, err := BuildMLPTraining(MLPConfig{
+		Workers: 2, PSCount: 1, Batch: 4,
+		In: 8, Hidden: 8, Classes: 3, LR: 0.1,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(0)
+	cl, err := Launch(job.Builder, Config{Kind: RDMA, ArenaBytes: 1 << 20, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := job.InitAll(cl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Step(0, job.SyntheticDataset(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	// Every task contributes a lane; send/recv operators appear.
+	lanes := map[string]bool{}
+	cats := map[string]bool{}
+	for _, e := range rec.Events() {
+		lanes[e.PID] = true
+		cats[e.Category] = true
+	}
+	for _, task := range []string{"worker0", "worker1", "ps0"} {
+		if !lanes[task] {
+			t.Errorf("no trace lane for %s", task)
+		}
+	}
+	if !cats["RdmaSend"] || !cats["RdmaRecv"] {
+		t.Errorf("transfer operators missing from trace categories: %v", cats)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty trace JSON")
+	}
+}
+
+func TestLaunchFailurePaths(t *testing.T) {
+	// Builder already failed: Launch must surface the construction error.
+	b := graph.NewBuilder()
+	b.Identity("bad", nil)
+	if _, err := Launch(b, Config{Kind: RDMA}); err == nil {
+		t.Error("failed builder accepted")
+	}
+	// Cross-task control dependencies are rejected by the partitioner.
+	b2 := graph.NewBuilder()
+	b2.OnTask("a")
+	x := b2.Placeholder("x", graph.Static(tensor.Float32, 1))
+	b2.OnTask("b")
+	y := b2.Placeholder("y", graph.Static(tensor.Float32, 1))
+	b2.ControlDep(y, x)
+	if _, err := Launch(b2, Config{Kind: RDMA}); err == nil {
+		t.Error("cross-task control dep accepted")
+	}
+}
+
+func TestClusterCloseIdempotent(t *testing.T) {
+	b := graph.NewBuilder()
+	b.OnTask("a")
+	x := b.Placeholder("x", graph.Static(tensor.Float32, 1))
+	b.OnTask("b")
+	b.Identity("y", x)
+	cl, err := Launch(b, Config{Kind: GRPCTCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	cl.Close()
+}
+
+func TestOptimizerVariantsOverPS(t *testing.T) {
+	// Momentum and Adam run their in-place updates on the PS while weights
+	// stream to workers zero-copy; slot variables must not disturb the
+	// staging placement.
+	for _, opt := range []string{"momentum", "adam"} {
+		opt := opt
+		t.Run(opt, func(t *testing.T) {
+			job, err := BuildMLPTraining(MLPConfig{
+				Workers: 2, PSCount: 2, Batch: 8,
+				In: 12, Hidden: 16, Classes: 4, LR: 0.05,
+				Optimizer: opt,
+			}, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl, err := Launch(job.Builder, Config{Kind: RDMA, ArenaBytes: 4 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			if err := job.InitAll(cl); err != nil {
+				t.Fatal(err)
+			}
+			feeds := job.SyntheticDataset(4)
+			fetches := map[string][]string{}
+			for k, task := range job.WorkerTasks {
+				fetches[task] = []string{job.LossName(k)}
+			}
+			var first, last float32
+			for iter := 0; iter < 25; iter++ {
+				out, err := cl.Step(iter, feeds, fetches)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sum float32
+				for k, task := range job.WorkerTasks {
+					sum += out[task][job.LossName(k)].Float32s()[0]
+				}
+				if iter == 0 {
+					first = sum / 2
+				}
+				last = sum / 2
+			}
+			if last > first*0.7 {
+				t.Errorf("%s over PS did not converge: %v -> %v", opt, first, last)
+			}
+			// Weight pushes stay zero-copy despite the slot updates.
+			for _, ps := range []string{"ps0", "ps1"} {
+				if m := cl.Server(ps).Metrics.Snapshot(); m.MemCopies != 0 {
+					t.Errorf("%s on %s made %d weight-push copies", opt, ps, m.MemCopies)
+				}
+			}
+		})
+	}
+
+	if _, err := BuildMLPTraining(MLPConfig{
+		Workers: 1, PSCount: 1, Batch: 2, In: 2, Hidden: 2, Classes: 2,
+		LR: 0.1, Optimizer: "adagrad",
+	}, 1); !errors.Is(err, ErrSetup) {
+		t.Errorf("unknown optimizer: %v", err)
+	}
+}

@@ -1,0 +1,229 @@
+package distributed
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/analyzer"
+	"repro/internal/metrics"
+	"repro/internal/rdma"
+	"repro/internal/rpc"
+	"repro/internal/tensor"
+)
+
+// Errors of the distributed runtime.
+var (
+	ErrSetup = errors.New("distributed: setup error")
+	ErrComm  = errors.New("distributed: communication error")
+)
+
+// Env is one server's communication environment; send/recv kernels reach it
+// through graph.Context.Env.
+type Env struct {
+	Task    string
+	Kind    Kind
+	Policy  *analyzer.TracingPolicy
+	Metrics *metrics.Comm
+
+	arena   *alloc.Arena
+	arenaMR *rdma.MemRegion
+
+	mu         sync.Mutex
+	staticSend map[string]*staticSendState
+	staticRecv map[string]*staticRecvState
+	dynSend    map[string]*dynSendState
+	dynRecv    map[string]*dynRecvState
+	stagings   map[string]*stagingSlot // by source node name
+	rpcClients map[string]*rpc.Client  // by destination task
+	mailboxes  map[string]*mailbox     // by edge key
+}
+
+func newEnv(task string, kind Kind, pol *analyzer.TracingPolicy, m *metrics.Comm,
+	arena *alloc.Arena, arenaMR *rdma.MemRegion) *Env {
+	return &Env{
+		Task: task, Kind: kind, Policy: pol, Metrics: m,
+		arena: arena, arenaMR: arenaMR,
+		staticSend: make(map[string]*staticSendState),
+		staticRecv: make(map[string]*staticRecvState),
+		dynSend:    make(map[string]*dynSendState),
+		dynRecv:    make(map[string]*dynRecvState),
+		stagings:   make(map[string]*stagingSlot),
+		rpcClients: make(map[string]*rpc.Client),
+		mailboxes:  make(map[string]*mailbox),
+	}
+}
+
+// stagingSlot is a sender-side registered buffer shaped like one tensor
+// plus the tail flag word; when graph analysis is on, the source tensor is
+// produced directly inside it (variables at setup, transient tensors via
+// allocation-site tracing).
+type stagingSlot struct {
+	mr     *rdma.MemRegion
+	tensor *tensor.Tensor // aliases mr payload bytes
+	// sendMu serializes copy-then-write sequences: edges fanning out of one
+	// source share the slot, and a bounce copy (RDMA.cp path, or the
+	// tracing iteration) must not overwrite bytes an in-flight sibling
+	// write is still reading.
+	sendMu sync.Mutex
+}
+
+// newStagingSlot registers a slot for one static payload.
+func newStagingSlot(dev *rdma.Device, dt tensor.DType, shape tensor.Shape) (*stagingSlot, error) {
+	payload := shape.NumElements() * dt.Size()
+	mr, err := dev.AllocateMemRegion(rdma.StaticSlotSize(payload))
+	if err != nil {
+		return nil, err
+	}
+	t, err := tensor.FromBytes(dt, shape, mr.Bytes()[:payload])
+	if err != nil {
+		return nil, err
+	}
+	return &stagingSlot{mr: mr, tensor: t}, nil
+}
+
+type staticSendState struct {
+	spec   analyzer.EdgeSpec
+	slot   *stagingSlot
+	sender *rdma.StaticSender
+}
+
+type staticRecvState struct {
+	spec analyzer.EdgeSpec
+	recv *rdma.StaticReceiver
+}
+
+type dynSendState struct {
+	spec    analyzer.EdgeSpec
+	sender  *rdma.DynSender
+	dev     *rdma.Device
+	scratch *rdma.MemRegion // copy fallback payload area, grown on demand
+}
+
+type dynRecvState struct {
+	spec          analyzer.EdgeSpec
+	recv          *rdma.DynReceiver
+	senderScratch rdma.DynSlotDesc
+
+	mu      sync.Mutex
+	meta    rdma.DynMeta // pending metadata between Poll and Compute
+	hasMeta bool
+	// deferred arena frees: buffers become reusable two iterations later.
+	pendingFree []pendingBuf
+}
+
+type pendingBuf struct {
+	iter int
+	buf  *alloc.Buffer
+}
+
+// deferFree schedules a receive buffer for release and frees buffers at
+// least two iterations old — by then the synchronous training step
+// guarantees every consumer of the received tensor has finished.
+func (st *dynRecvState) deferFree(iter int, buf *alloc.Buffer, env *Env) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.pendingFree = append(st.pendingFree, pendingBuf{iter: iter, buf: buf})
+	keep := st.pendingFree[:0]
+	for _, p := range st.pendingFree {
+		if p.iter <= iter-2 {
+			_ = env.arena.Free(p.buf)
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	st.pendingFree = keep
+}
+
+// mailbox carries tensors for one RPC edge from the service handler to the
+// recv kernel. Poll moves an arrived item into the stash; Compute takes it.
+type mailbox struct {
+	ch chan mailboxItem
+
+	mu      sync.Mutex
+	stashed mailboxItem
+	hasItem bool
+}
+
+type mailboxItem struct {
+	seq int
+	t   *tensor.Tensor
+}
+
+func newMailbox() *mailbox { return &mailbox{ch: make(chan mailboxItem, 4)} }
+
+func (mb *mailbox) stash(item mailboxItem) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.stashed, mb.hasItem = item, true
+}
+
+func (mb *mailbox) takeStash() (mailboxItem, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	item, ok := mb.stashed, mb.hasItem
+	mb.hasItem = false
+	return item, ok
+}
+
+func (e *Env) staticSendState(key string) (*staticSendState, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.staticSend[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: static send edge %q not set up on %s", ErrComm, key, e.Task)
+	}
+	return st, nil
+}
+
+func (e *Env) staticRecvState(key string) (*staticRecvState, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.staticRecv[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: static recv edge %q not set up on %s", ErrComm, key, e.Task)
+	}
+	return st, nil
+}
+
+func (e *Env) dynSendState(key string) (*dynSendState, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.dynSend[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: dynamic send edge %q not set up on %s", ErrComm, key, e.Task)
+	}
+	return st, nil
+}
+
+func (e *Env) dynRecvState(key string) (*dynRecvState, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.dynRecv[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: dynamic recv edge %q not set up on %s", ErrComm, key, e.Task)
+	}
+	return st, nil
+}
+
+func (e *Env) client(task string) (*rpc.Client, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.rpcClients[task]
+	if !ok {
+		return nil, fmt.Errorf("%w: no RPC client for task %q on %s", ErrComm, task, e.Task)
+	}
+	return c, nil
+}
+
+func (e *Env) mailbox(key string) *mailbox {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	mb, ok := e.mailboxes[key]
+	if !ok {
+		mb = newMailbox()
+		e.mailboxes[key] = mb
+	}
+	return mb
+}

@@ -1,0 +1,50 @@
+// Package distributed runs data-flow graphs across an in-process cluster of
+// servers in the parameter-server architecture, with all four communication
+// mechanisms the paper evaluates:
+//
+//	GRPCTCP      — the RPC library over loopback TCP (TensorFlow's default).
+//	GRPCRDMA     — the same RPC library over the RDMA ring transport
+//	               (TensorFlow r1.x's RDMA-under-gRPC, with bounce buffers,
+//	               fragmentation, and in-library copies).
+//	RDMA         — the paper's contribution: zero-copy transfer through the
+//	               device interface, static placement (§3.2) or dynamic
+//	               allocation (§3.3) chosen per edge by graph analysis, with
+//	               allocation-site tracing eliminating sender-side copies.
+//	RDMACopy     — the ablation of §5.1/Figure 12: the same device transfer
+//	               but with graph analysis disabled, so every send first
+//	               copies the tensor into a registered staging buffer.
+package distributed
+
+// Kind selects the communication mechanism.
+type Kind int
+
+// The four mechanisms of the evaluation.
+const (
+	GRPCTCP Kind = iota
+	GRPCRDMA
+	RDMA
+	RDMACopy
+)
+
+func (k Kind) String() string {
+	switch k {
+	case GRPCTCP:
+		return "gRPC.TCP"
+	case GRPCRDMA:
+		return "gRPC.RDMA"
+	case RDMA:
+		return "RDMA.zerocp"
+	case RDMACopy:
+		return "RDMA.cp"
+	default:
+		return "unknown"
+	}
+}
+
+// UsesRPC reports whether the mechanism moves tensors through the RPC
+// library.
+func (k Kind) UsesRPC() bool { return k == GRPCTCP || k == GRPCRDMA }
+
+// ZeroCopy reports whether graph analysis (staging placement and
+// allocation-site tracing) is enabled.
+func (k Kind) ZeroCopy() bool { return k == RDMA }

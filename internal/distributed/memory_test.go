@@ -1,0 +1,77 @@
+package distributed
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// TestArenaStableOverManyDynamicIterations: the dynamic protocol allocates
+// a fresh receive buffer per iteration and the sender promotes its payload
+// sites into the arena; the deferred-free logic must keep arena occupancy
+// bounded over a long run (leaks here would exhaust registered memory on
+// real hardware).
+func TestArenaStableOverManyDynamicIterations(t *testing.T) {
+	b := graph.NewBuilder()
+	b.OnTask("worker0")
+	x := b.Placeholder("x", graph.Dyn(tensor.Float32, -1, 32))
+	act := b.Tanh("act", b.Scale("scale", x, 0.5))
+	b.OnTask("ps0")
+	b.ReduceMax("sink", act)
+	cl, err := Launch(b, Config{Kind: RDMA, ArenaBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const iters = 200
+	var peakWorker, peakPS int
+	for iter := 0; iter < iters; iter++ {
+		batch := 1 + (iter*7)%23 // varying shapes every iteration
+		xs := tensor.New(tensor.Float32, batch, 32)
+		xs.Fill(1)
+		if _, err := cl.Step(iter,
+			map[string]map[string]*tensor.Tensor{"worker0": {"x": xs}},
+			map[string][]string{"ps0": {"sink"}}); err != nil {
+			t.Fatalf("iteration %d: %v", iter, err)
+		}
+		if u := cl.Server("worker0").Arena.Stats().InUse; u > peakWorker {
+			peakWorker = u
+		}
+		if u := cl.Server("ps0").Arena.Stats().InUse; u > peakPS {
+			peakPS = u
+		}
+	}
+	// Bound: a handful of in-flight buffers of the largest batch
+	// (23x32 float32 ≈ 3 KB), not hundreds.
+	const bound = 64 << 10
+	if peakWorker > bound {
+		t.Errorf("worker arena peaked at %d bytes (leak?)", peakWorker)
+	}
+	if peakPS > bound {
+		t.Errorf("ps arena peaked at %d bytes (leak?)", peakPS)
+	}
+	// After the run, occupancy must be near zero (only the last couple of
+	// iterations' buffers may still be deferred).
+	if u := cl.Server("ps0").Arena.Stats().InUse; u > 16<<10 {
+		t.Errorf("ps arena still holds %d bytes after the run", u)
+	}
+}
+
+// TestRegionCountBounded: the §3.4 argument for arena registration —
+// the number of registered regions must not grow with iterations.
+func TestRegionCountBounded(t *testing.T) {
+	losses, cl := trainCluster(t, RDMA, 2, 3)
+	defer cl.Close()
+	_ = losses
+	before := cl.Server("worker0").Dev.RegionCount()
+	// Burn more iterations on a fresh identical cluster and compare.
+	losses2, cl2 := trainCluster(t, RDMA, 2, 12)
+	defer cl2.Close()
+	_ = losses2
+	after := cl2.Server("worker0").Dev.RegionCount()
+	if after != before {
+		t.Errorf("region count grew with iterations: %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,248 @@
+package distributed
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// buildModelParallel splits a 2-layer network across two servers: layer 1
+// (and its weights) on serverA, layer 2 plus the loss on serverB —
+// activations flow forward across the cut, their gradients flow back
+// (Figure 2's model-parallel placement).
+func buildModelParallel(t *testing.T) (*graph.Builder, []*graph.Node) {
+	t.Helper()
+	const batch, in, hid, classes = 4, 8, 6, 3
+	b := graph.NewBuilder()
+	b.OnTask("serverA")
+	x := b.Placeholder("x", graph.Static(tensor.Float32, batch, in))
+	w1 := b.Variable("w1", graph.Static(tensor.Float32, in, hid))
+	h := b.Tanh("h", b.MatMul("mm1", x, w1))
+	b.OnTask("serverB")
+	w2 := b.Variable("w2", graph.Static(tensor.Float32, hid, classes))
+	labels := b.Placeholder("labels", graph.Static(tensor.Int32, batch))
+	loss := b.SoftmaxXent("loss", b.MatMul("mm2", h, w2), labels)
+	grads, err := graph.Gradients(b, loss, []*graph.Node{w1, w2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each variable updates on its own server.
+	b.OnTask("serverA")
+	b.ApplySGD("apply_w1", w1, grads[w1], 0.3)
+	b.OnTask("serverB")
+	b.ApplySGD("apply_w2", w2, grads[w2], 0.3)
+	return b, []*graph.Node{w1, w2}
+}
+
+func TestModelParallelTraining(t *testing.T) {
+	b, _ := buildModelParallel(t)
+	cl, err := Launch(b, Config{Kind: RDMA, ArenaBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// The cut must carry tensors in both directions: the activation
+	// forward (A->B) and its gradient backward (B->A).
+	var fwd, bwd bool
+	for _, e := range cl.Result().Edges {
+		if e.SrcTask == "serverA" && e.DstTask == "serverB" {
+			fwd = true
+		}
+		if e.SrcTask == "serverB" && e.DstTask == "serverA" {
+			bwd = true
+		}
+	}
+	if !fwd || !bwd {
+		t.Fatalf("expected edges both ways across the cut, got %+v", cl.Result().Edges)
+	}
+
+	rng := rand.New(rand.NewSource(21))
+	if err := cl.InitVariable("w1", func(tt *tensor.Tensor) { tensor.GlorotInit(tt, rng) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.InitVariable("w2", func(tt *tensor.Tensor) { tensor.GlorotInit(tt, rng) }); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(tensor.Float32, 4, 8)
+	tensor.RandomUniform(x, rng, 1)
+	labels := tensor.New(tensor.Int32, 4)
+	tensor.RandomLabels(labels, rng, 3)
+	feeds := map[string]map[string]*tensor.Tensor{
+		"serverA": {"x": x},
+		"serverB": {"labels": labels},
+	}
+	fetches := map[string][]string{"serverB": {"loss"}}
+	var first, last float32
+	for iter := 0; iter < 25; iter++ {
+		out, err := cl.Step(iter, feeds, fetches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := out["serverB"]["loss"].Float32s()[0]
+		if iter == 0 {
+			first = l
+		}
+		last = l
+	}
+	if last > first*0.7 {
+		t.Errorf("model-parallel training did not converge: %v -> %v", first, last)
+	}
+}
+
+func TestPartitionedFabricFailsStep(t *testing.T) {
+	b, _ := buildModelParallel(t)
+	cl, err := Launch(b, Config{
+		Kind:        RDMA,
+		ArenaBytes:  1 << 20,
+		PollTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.InitVariable("w1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.InitVariable("w2", nil); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(tensor.Float32, 4, 8)
+	labels := tensor.New(tensor.Int32, 4)
+	feeds := map[string]map[string]*tensor.Tensor{
+		"serverA": {"x": x},
+		"serverB": {"labels": labels},
+	}
+
+	// Healthy step first.
+	if _, err := cl.Step(0, feeds, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the fabric: the step must fail (poll timeout or unreachable),
+	// not hang.
+	cl.Fabric().Partition("serverA", "serverB")
+	_, err = cl.Step(1, feeds, nil)
+	if err == nil {
+		t.Fatal("step succeeded across a partitioned fabric")
+	}
+	if !errors.Is(err, exec.ErrPollTimeout) && !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("unexpected failure mode: %v", err)
+	}
+	// Heal and recover.
+	cl.Fabric().Heal("serverA", "serverB")
+	if _, err := cl.Step(2, feeds, nil); err != nil {
+		t.Fatalf("step after heal: %v", err)
+	}
+}
+
+func TestClusterCheckpointRoundtrip(t *testing.T) {
+	losses, cl := trainCluster(t, RDMA, 2, 5)
+	defer cl.Close()
+	_ = losses
+
+	var snap bytes.Buffer
+	if err := cl.SaveCheckpoint(&snap); err != nil {
+		t.Fatal(err)
+	}
+	wBefore, err := cl.VarTensor("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := wBefore.Clone()
+	savedPtr := &wBefore.Bytes()[0]
+
+	// Perturb, restore, verify in-place equality.
+	wBefore.Fill(123)
+	if err := cl.LoadCheckpoint(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	wAfter, _ := cl.VarTensor("w")
+	if !wAfter.Equal(saved) {
+		t.Error("checkpoint restore did not recover the variable")
+	}
+	if &wAfter.Bytes()[0] != savedPtr {
+		t.Error("restore must preserve the registered-memory placement")
+	}
+}
+
+func TestModelParallelMatchesSingleServer(t *testing.T) {
+	// The same network trained model-parallel and single-server must
+	// produce identical losses (the partition changes placement, not math).
+	runLosses := func(split bool) []float32 {
+		const batch, in, hid, classes = 4, 8, 6, 3
+		b := graph.NewBuilder()
+		taskA, taskB := "only", "only"
+		if split {
+			taskA, taskB = "serverA", "serverB"
+		}
+		b.OnTask(taskA)
+		x := b.Placeholder("x", graph.Static(tensor.Float32, batch, in))
+		w1 := b.Variable("w1", graph.Static(tensor.Float32, in, hid))
+		h := b.Tanh("h", b.MatMul("mm1", x, w1))
+		b.OnTask(taskB)
+		w2 := b.Variable("w2", graph.Static(tensor.Float32, hid, classes))
+		labels := b.Placeholder("labels", graph.Static(tensor.Int32, batch))
+		loss := b.SoftmaxXent("loss", b.MatMul("mm2", h, w2), labels)
+		grads, err := graph.Gradients(b, loss, []*graph.Node{w1, w2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.OnTask(taskA)
+		b.ApplySGD("apply_w1", w1, grads[w1], 0.3)
+		b.OnTask(taskB)
+		b.ApplySGD("apply_w2", w2, grads[w2], 0.3)
+
+		cl, err := Launch(b, Config{Kind: RDMA, ArenaBytes: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		rng := rand.New(rand.NewSource(33))
+		if err := cl.InitVariable("w1", func(tt *tensor.Tensor) { tensor.GlorotInit(tt, rng) }); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.InitVariable("w2", func(tt *tensor.Tensor) { tensor.GlorotInit(tt, rng) }); err != nil {
+			t.Fatal(err)
+		}
+		dataRng := rand.New(rand.NewSource(44))
+		x0 := tensor.New(tensor.Float32, batch, in)
+		tensor.RandomUniform(x0, dataRng, 1)
+		l0 := tensor.New(tensor.Int32, batch)
+		tensor.RandomLabels(l0, dataRng, classes)
+		feeds := map[string]map[string]*tensor.Tensor{
+			taskA: {"x": x0},
+		}
+		if split {
+			feeds[taskB] = map[string]*tensor.Tensor{"labels": l0}
+		} else {
+			feeds[taskA]["labels"] = l0
+		}
+		var out []float32
+		for iter := 0; iter < 10; iter++ {
+			res, err := cl.Step(iter, feeds, map[string][]string{taskB: {"loss"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res[taskB]["loss"].Float32s()[0])
+		}
+		return out
+	}
+	single := runLosses(false)
+	parallel := runLosses(true)
+	for i := range single {
+		d := single[i] - parallel[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > 1e-5 {
+			t.Fatalf("iter %d: single %v vs model-parallel %v", i, single[i], parallel[i])
+		}
+	}
+}

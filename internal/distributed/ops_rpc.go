@@ -1,0 +1,140 @@
+package distributed
+
+import (
+	"fmt"
+
+	"repro/internal/analyzer"
+	"repro/internal/graph"
+	"repro/internal/rpc"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// RPC-baseline operator kernels: the sender serializes the tensor into a
+// wire message and pushes it with a unary call; the receiving server's
+// service handler deserializes into a fresh buffer and places it in the
+// edge's mailbox, which the recv kernel polls. Every stage pays the copies
+// the paper attributes to the RPC abstraction (§2.2).
+
+// pushMethod is the tensor-push RPC method name.
+const pushMethod = "tensor.push"
+
+// --- RPCSend ---
+
+type rpcSendOp struct{ spec analyzer.EdgeSpec }
+
+func (op *rpcSendOp) Name() string { return "RPCSend" }
+
+func (op *rpcSendOp) InferSig(in []graph.Sig) (graph.Sig, error) {
+	if err := wantEdgeInput("RPCSend", in, 1); err != nil {
+		return graph.Sig{}, err
+	}
+	return in[0], nil
+}
+
+func (op *rpcSendOp) ComputeAsync(ctx *graph.Context, done func(error)) {
+	env, err := commEnv(ctx)
+	if err != nil {
+		done(err)
+		return
+	}
+	client, err := env.client(op.spec.DstTask)
+	if err != nil {
+		done(err)
+		return
+	}
+	in := ctx.Inputs[0]
+	shape := make([]int64, in.Shape().Rank())
+	for i, d := range in.Shape() {
+		shape[i] = int64(d)
+	}
+	msg := wire.TensorMessage{
+		Name:    op.spec.Key,
+		DType:   uint32(in.DType()),
+		Shape:   shape,
+		Payload: in.Bytes(),
+		Seq:     uint64(ctx.Iter) + 1,
+	}
+	enc := msg.Marshal() // serialization: copies the payload
+	env.Metrics.AddSerialized(len(enc))
+	env.Metrics.AddCopy(in.ByteSize())
+	env.Metrics.AddSent(len(enc))
+	ctx.Output = in
+	// The unary call blocks; run it off the scheduler worker.
+	go func() {
+		_, err := client.Call(pushMethod, enc)
+		done(err)
+	}()
+}
+
+// --- RPCRecv (polls the edge mailbox) ---
+
+type rpcRecvOp struct{ spec analyzer.EdgeSpec }
+
+func (op *rpcRecvOp) Name() string { return "RPCRecv" }
+
+func (op *rpcRecvOp) InferSig(in []graph.Sig) (graph.Sig, error) {
+	if err := wantEdgeInput("RPCRecv", in, 0); err != nil {
+		return graph.Sig{}, err
+	}
+	return op.spec.Sig, nil
+}
+
+func (op *rpcRecvOp) Poll(ctx *graph.Context) (bool, error) {
+	env, err := commEnv(ctx)
+	if err != nil {
+		return false, err
+	}
+	mb := env.mailbox(op.spec.Key)
+	select {
+	case item := <-mb.ch:
+		if item.seq != ctx.Iter+1 {
+			return false, fmt.Errorf("%w: edge %s received seq %d at iteration %d",
+				ErrComm, op.spec.Key, item.seq, ctx.Iter)
+		}
+		mb.stash(item)
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+func (op *rpcRecvOp) Compute(ctx *graph.Context) error {
+	env, err := commEnv(ctx)
+	if err != nil {
+		return err
+	}
+	mb := env.mailbox(op.spec.Key)
+	item, ok := mb.takeStash()
+	if !ok {
+		return fmt.Errorf("%w: RPCRecv scheduled without a message", ErrComm)
+	}
+	env.Metrics.AddRecv(item.t.ByteSize())
+	ctx.Output = item.t
+	return nil
+}
+
+// registerPushService installs the tensor-push handler on a server's RPC
+// server, routing messages into per-edge mailboxes.
+func registerPushService(env *Env, register func(method string, h rpc.Handler)) {
+	register(pushMethod, func(req []byte) ([]byte, error) {
+		var msg wire.TensorMessage
+		if err := msg.Unmarshal(req); err != nil { // deserialization copy
+			return nil, err
+		}
+		env.Metrics.AddSerialized(len(req))
+		env.Metrics.AddCopy(len(msg.Payload))
+		dt := tensor.DType(msg.DType)
+		shape := make(tensor.Shape, len(msg.Shape))
+		for i, d := range msg.Shape {
+			shape[i] = int(d)
+		}
+		t, err := tensor.FromBytes(dt, shape, msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		mb := env.mailbox(msg.Name)
+		mb.ch <- mailboxItem{seq: int(msg.Seq), t: t}
+		return nil, nil
+	})
+}

@@ -1,0 +1,170 @@
+package distributed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// MLPConfig describes a data-parallel MLP classifier training job in the
+// parameter-server architecture (the paper's Figure 3 layout): one replica
+// per worker computing gradients against shared variables that live on the
+// PS tasks round-robin; the PS sums the workers' gradients and applies SGD.
+type MLPConfig struct {
+	Workers int
+	PSCount int
+	Batch   int
+	In      int
+	Hidden  int
+	Classes int
+	LR      float32
+	// Optimizer selects "sgd" (default), "momentum" (0.9), or "adam".
+	Optimizer string
+}
+
+// VarInit pairs a variable name with its initializer.
+type VarInit struct {
+	Name string
+	Init func(*tensor.Tensor)
+}
+
+// MLPJob is the built graph plus everything needed to run it.
+type MLPJob struct {
+	Builder     *graph.Builder
+	WorkerTasks []string
+	VarInits    []VarInit
+	// LossName returns worker k's loss fetch target.
+	LossName func(worker int) string
+	// FeedNames returns worker k's input/label placeholder names.
+	FeedNames func(worker int) (x, labels string)
+	Config    MLPConfig
+}
+
+// lookup finds a node by name among the builder's nodes.
+func lookup(b *graph.Builder, name string) (*graph.Node, error) {
+	for _, n := range b.Nodes() {
+		if n.Name() == name {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: node %q not found", ErrSetup, name)
+}
+
+// BuildMLPTraining constructs the job. Initialize variables with
+// Cluster.InitVariable using the returned VarInits after Launch.
+func BuildMLPTraining(cfg MLPConfig, seed int64) (*MLPJob, error) {
+	if cfg.Workers < 1 || cfg.PSCount < 1 {
+		return nil, fmt.Errorf("%w: need at least one worker and one ps", ErrSetup)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	psTask := func(i int) string { return fmt.Sprintf("ps%d", i%cfg.PSCount) }
+
+	b.OnTask(psTask(0))
+	w1 := b.Variable("w1", graph.Static(tensor.Float32, cfg.In, cfg.Hidden))
+	b.OnTask(psTask(1))
+	b1 := b.Variable("b1", graph.Static(tensor.Float32, cfg.Hidden))
+	b.OnTask(psTask(2))
+	w2 := b.Variable("w2", graph.Static(tensor.Float32, cfg.Hidden, cfg.Classes))
+	b.OnTask(psTask(3))
+	b2 := b.Variable("b2", graph.Static(tensor.Float32, cfg.Classes))
+	vars := []*graph.Node{w1, b1, w2, b2}
+
+	grads := make(map[*graph.Node][]*graph.Node)
+	var workerTasks []string
+	for k := 0; k < cfg.Workers; k++ {
+		task := fmt.Sprintf("worker%d", k)
+		workerTasks = append(workerTasks, task)
+		b.OnTask(task)
+		x := b.Placeholder(fmt.Sprintf("x%d", k), graph.Static(tensor.Float32, cfg.Batch, cfg.In))
+		labels := b.Placeholder(fmt.Sprintf("labels%d", k), graph.Static(tensor.Int32, cfg.Batch))
+		h := b.ReLU(fmt.Sprintf("h%d", k),
+			b.BiasAdd(fmt.Sprintf("z1_%d", k), b.MatMul(fmt.Sprintf("mm1_%d", k), x, w1), b1))
+		logits := b.BiasAdd(fmt.Sprintf("logits%d", k),
+			b.MatMul(fmt.Sprintf("mm2_%d", k), h, w2), b2)
+		loss := b.SoftmaxXent(fmt.Sprintf("loss%d", k), logits, labels)
+		g, err := graph.Gradients(b, loss, vars)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vars {
+			grads[v] = append(grads[v], g[v])
+		}
+	}
+	for _, v := range vars {
+		b.OnTask(v.Task())
+		sum := grads[v][0]
+		for i := 1; i < len(grads[v]); i++ {
+			sum = b.Add(fmt.Sprintf("gsum_%s_%d", v.Name(), i), sum, grads[v][i])
+		}
+		switch cfg.Optimizer {
+		case "", "sgd":
+			b.ApplySGD("apply_"+v.Name(), v, sum, cfg.LR)
+		case "momentum":
+			b.ApplyMomentum("apply_"+v.Name(), v, sum, cfg.LR, 0.9)
+		case "adam":
+			b.ApplyAdam("apply_"+v.Name(), v, sum, cfg.LR)
+		default:
+			return nil, fmt.Errorf("%w: unknown optimizer %q", ErrSetup, cfg.Optimizer)
+		}
+	}
+	// Drop dangling gradient nodes (e.g. toward placeholders): keep the
+	// losses and optimizer updates.
+	keep := b.StatefulNodes()
+	for k := 0; k < cfg.Workers; k++ {
+		n, err := lookup(b, fmt.Sprintf("loss%d", k))
+		if err != nil {
+			return nil, err
+		}
+		keep = append(keep, n)
+	}
+	b.Prune(keep...)
+	if b.Err() != nil {
+		return nil, b.Err()
+	}
+
+	inits := []VarInit{
+		{Name: "w1", Init: func(t *tensor.Tensor) { tensor.GlorotInit(t, rng) }},
+		{Name: "b1", Init: nil},
+		{Name: "w2", Init: func(t *tensor.Tensor) { tensor.GlorotInit(t, rng) }},
+		{Name: "b2", Init: nil},
+	}
+	return &MLPJob{
+		Builder:     b,
+		WorkerTasks: workerTasks,
+		VarInits:    inits,
+		LossName:    func(k int) string { return fmt.Sprintf("loss%d", k) },
+		FeedNames: func(k int) (string, string) {
+			return fmt.Sprintf("x%d", k), fmt.Sprintf("labels%d", k)
+		},
+		Config: cfg,
+	}, nil
+}
+
+// SyntheticDataset produces fixed per-worker minibatches (a learnable
+// random classification problem shared across runs for comparability).
+func (j *MLPJob) SyntheticDataset(seed int64) map[string]map[string]*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	feeds := make(map[string]map[string]*tensor.Tensor, len(j.WorkerTasks))
+	for k, task := range j.WorkerTasks {
+		x := tensor.New(tensor.Float32, j.Config.Batch, j.Config.In)
+		labels := tensor.New(tensor.Int32, j.Config.Batch)
+		tensor.RandomUniform(x, rng, 1)
+		tensor.RandomLabels(labels, rng, j.Config.Classes)
+		xn, ln := j.FeedNames(k)
+		feeds[task] = map[string]*tensor.Tensor{xn: x, ln: labels}
+	}
+	return feeds
+}
+
+// InitAll runs every variable initializer against the cluster.
+func (j *MLPJob) InitAll(cl *Cluster) error {
+	for _, vi := range j.VarInits {
+		if err := cl.InitVariable(vi.Name, vi.Init); err != nil {
+			return err
+		}
+	}
+	return nil
+}

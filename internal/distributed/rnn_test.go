@@ -1,0 +1,161 @@
+package distributed
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// buildRNNPS constructs an unrolled recurrent classifier with the shared
+// recurrent weights on a parameter server: the hardest case for the
+// allocation-site tracing, because one variable has many readers per
+// iteration and its gradient accumulates across time steps before crossing
+// back to the PS.
+func buildRNNPS(t testing.TB, steps int) (*graph.Builder, []string) {
+	t.Helper()
+	const batch, vocab, hidden, classes = 8, 12, 16, 4
+	b := graph.NewBuilder()
+	b.OnTask("ps0")
+	wxh := b.Variable("wxh", graph.Static(tensor.Float32, vocab, hidden))
+	whh := b.Variable("whh", graph.Static(tensor.Float32, hidden, hidden))
+	b.OnTask("ps1")
+	wout := b.Variable("wout", graph.Static(tensor.Float32, hidden, classes))
+
+	b.OnTask("worker0")
+	h := b.Const("h0", tensor.New(tensor.Float32, batch, hidden))
+	for s := 0; s < steps; s++ {
+		x := b.Placeholder(fmt.Sprintf("x%d", s), graph.Static(tensor.Float32, batch, vocab))
+		h = b.Tanh(fmt.Sprintf("h%d", s+1),
+			b.Add(fmt.Sprintf("pre%d", s),
+				b.MatMul(fmt.Sprintf("xh%d", s), x, wxh),
+				b.MatMul(fmt.Sprintf("hh%d", s), h, whh)))
+	}
+	labels := b.Placeholder("labels", graph.Static(tensor.Int32, batch))
+	loss := b.SoftmaxXent("loss", b.MatMul("out", h, wout), labels)
+	grads, err := graph.Gradients(b, loss, []*graph.Node{wxh, whh, wout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.OnTask("ps0")
+	b.ApplySGD("apply_wxh", wxh, grads[wxh], 0.2)
+	b.ApplySGD("apply_whh", whh, grads[whh], 0.2)
+	b.OnTask("ps1")
+	b.ApplySGD("apply_wout", wout, grads[wout], 0.2)
+	return b, []string{"wxh", "whh", "wout"}
+}
+
+func TestRNNSharedWeightsOverPS(t *testing.T) {
+	const steps = 3
+	b, varNames := buildRNNPS(t, steps)
+	cl, err := Launch(b, Config{Kind: RDMA, ArenaBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rng := rand.New(rand.NewSource(61))
+	for _, name := range varNames {
+		if err := cl.InitVariable(name, func(tt *tensor.Tensor) { tensor.GlorotInit(tt, rng) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The recurrent weights cross once per direction despite having many
+	// readers: one weight edge ps->worker, one accumulated-gradient edge
+	// worker->ps per variable.
+	if got := len(cl.Result().Edges); got != 6 {
+		for _, e := range cl.Result().Edges {
+			t.Logf("edge: %+v", e)
+		}
+		t.Fatalf("edges = %d, want 6 (3 vars x 2 directions)", got)
+	}
+
+	dataRng := rand.New(rand.NewSource(62))
+	feeds := map[string]map[string]*tensor.Tensor{"worker0": {}}
+	for s := 0; s < steps; s++ {
+		x := tensor.New(tensor.Float32, 8, 12)
+		tensor.RandomUniform(x, dataRng, 1)
+		feeds["worker0"][fmt.Sprintf("x%d", s)] = x
+	}
+	labels := tensor.New(tensor.Int32, 8)
+	tensor.RandomLabels(labels, dataRng, 4)
+	feeds["worker0"]["labels"] = labels
+
+	var first, last float32
+	const iters = 30
+	for iter := 0; iter < iters; iter++ {
+		out, err := cl.Step(iter, feeds, map[string][]string{"worker0": {"loss"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := out["worker0"]["loss"].Float32s()[0]
+		if iter == 0 {
+			first = l
+		}
+		last = l
+	}
+	if last > first*0.7 {
+		t.Errorf("RNN-over-PS did not converge: %v -> %v", first, last)
+	}
+	// Tracing must have promoted the accumulated-gradient sites: after the
+	// first iteration the worker's sends are zero-copy.
+	m := cl.Server("worker0").Metrics.Snapshot()
+	if m.ZeroCopyOps == 0 {
+		t.Error("no zero-copy gradient pushes recorded")
+	}
+	expectedCopies := int64(3) // one per gradient edge, tracing iteration only
+	if m.MemCopies > expectedCopies {
+		t.Errorf("worker made %d copies, want <= %d (tracing iteration only)",
+			m.MemCopies, expectedCopies)
+	}
+}
+
+func TestLargerClusterFourByFour(t *testing.T) {
+	// 4 workers x 4 PS under the zero-copy mechanism: exercises QP
+	// round-robin, many concurrent edges, and multi-shard round-robin
+	// variable placement.
+	job, err := BuildMLPTraining(MLPConfig{
+		Workers: 4, PSCount: 4, Batch: 8,
+		In: 12, Hidden: 16, Classes: 4, LR: 0.25,
+	}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Launch(job.Builder, Config{Kind: RDMA, ArenaBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := job.InitAll(cl); err != nil {
+		t.Fatal(err)
+	}
+	feeds := job.SyntheticDataset(10)
+	fetches := map[string][]string{}
+	for k, task := range job.WorkerTasks {
+		fetches[task] = []string{job.LossName(k)}
+	}
+	var first, last float32
+	for iter := 0; iter < 20; iter++ {
+		out, err := cl.Step(iter, feeds, fetches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float32
+		for k, task := range job.WorkerTasks {
+			sum += out[task][job.LossName(k)].Float32s()[0]
+		}
+		mean := sum / 4
+		if iter == 0 {
+			first = mean
+		}
+		last = mean
+	}
+	if last > first*0.7 {
+		t.Errorf("4x4 training did not converge: %v -> %v", first, last)
+	}
+	// 4 variables x 4 workers x 2 directions = 32 edges.
+	if got := len(cl.Result().Edges); got != 32 {
+		t.Errorf("edges = %d, want 32", got)
+	}
+}

@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// Checkpointing: variables serialize as length-prefixed wire.TensorMessage
+// frames. Restore happens *in place* into the existing tensors, so the
+// RDMA-aware placement (variables living inside sender staging slots)
+// survives a restore — the address-stability property §3.2 depends on.
+
+const checkpointMagic = uint32(0x52444d41) // "RDMA"
+
+// Save writes every variable (sorted by name, for determinism).
+func (s *VarStore) Save(w io.Writer) error {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.vars))
+	for n := range s.vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	type entry struct {
+		name string
+		t    *tensor.Tensor
+	}
+	entries := make([]entry, len(names))
+	for i, n := range names {
+		entries[i] = entry{name: n, t: s.vars[n]}
+	}
+	s.mu.RUnlock()
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], checkpointMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(entries)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("%w: writing header: %v", ErrVar, err)
+	}
+	for _, e := range entries {
+		shape := make([]int64, e.t.Shape().Rank())
+		for i, d := range e.t.Shape() {
+			shape[i] = int64(d)
+		}
+		msg := wire.TensorMessage{
+			Name:    e.name,
+			DType:   uint32(e.t.DType()),
+			Shape:   shape,
+			Payload: e.t.Bytes(),
+		}
+		frame := msg.Marshal()
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+		if _, err := w.Write(lenBuf[:]); err != nil {
+			return fmt.Errorf("%w: writing %q: %v", ErrVar, e.name, err)
+		}
+		if _, err := w.Write(frame); err != nil {
+			return fmt.Errorf("%w: writing %q: %v", ErrVar, e.name, err)
+		}
+	}
+	return nil
+}
+
+// Load restores variables in place. Every checkpointed variable must
+// already exist with a matching dtype and shape; extra live variables are
+// left untouched (so optimizer slots created after the checkpoint survive).
+func (s *VarStore) Load(r io.Reader) error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: reading header: %v", ErrVar, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[:4]) != checkpointMagic {
+		return fmt.Errorf("%w: not a checkpoint (bad magic)", ErrVar)
+	}
+	count := binary.LittleEndian.Uint32(hdr[4:])
+	for i := uint32(0); i < count; i++ {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return fmt.Errorf("%w: reading frame %d: %v", ErrVar, i, err)
+		}
+		frame := make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
+		if _, err := io.ReadFull(r, frame); err != nil {
+			return fmt.Errorf("%w: reading frame %d: %v", ErrVar, i, err)
+		}
+		var msg wire.TensorMessage
+		if err := msg.Unmarshal(frame); err != nil {
+			return fmt.Errorf("%w: decoding frame %d: %v", ErrVar, i, err)
+		}
+		t, err := s.VarTensor(msg.Name)
+		if err != nil {
+			return fmt.Errorf("%w: checkpoint has %q but the store does not", ErrVar, msg.Name)
+		}
+		if uint32(t.DType()) != msg.DType {
+			return fmt.Errorf("%w: %q dtype mismatch (%v vs %d)", ErrVar, msg.Name, t.DType(), msg.DType)
+		}
+		if len(msg.Payload) != t.ByteSize() {
+			return fmt.Errorf("%w: %q payload %d bytes, variable holds %d",
+				ErrVar, msg.Name, len(msg.Payload), t.ByteSize())
+		}
+		copy(t.Bytes(), msg.Payload)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package exec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	s := NewVarStore()
+	w, _ := tensor.FromFloat32(tensor.Shape{2, 3}, []float32{1, 2, 3, 4, 5, 6})
+	bias, _ := tensor.FromFloat32(tensor.Shape{3}, []float32{7, 8, 9})
+	labels := tensor.New(tensor.Int32, 2)
+	labels.Int32s()[1] = -4
+	for name, tt := range map[string]*tensor.Tensor{"w": w, "bias": bias, "labels": labels} {
+		if err := s.Create(name, tt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the live values, restore, verify in-place recovery.
+	wPtr := &w.Bytes()[0]
+	w.Fill(0)
+	bias.Fill(0)
+	labels.Zero()
+	if err := s.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if w.Float32s()[5] != 6 || bias.Float32s()[0] != 7 || labels.Int32s()[1] != -4 {
+		t.Error("restore did not recover values")
+	}
+	if &w.Bytes()[0] != wPtr {
+		t.Error("restore must be in place (address stability for RDMA placement)")
+	}
+}
+
+func TestCheckpointDeterministic(t *testing.T) {
+	s := NewVarStore()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		tt := tensor.New(tensor.Float32, 4)
+		tt.Fill(1)
+		if err := s.Create(name, tt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b1, b2 bytes.Buffer
+	if err := s.Save(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("checkpoints are not byte-identical")
+	}
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	s := NewVarStore()
+	v := tensor.New(tensor.Float32, 2)
+	if err := s.Create("v", v); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bad magic.
+	bad := append([]byte{1, 2, 3, 4}, buf.Bytes()[4:]...)
+	if err := s.Load(bytes.NewReader(bad)); !errors.Is(err, ErrVar) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Truncated stream.
+	if err := s.Load(bytes.NewReader(buf.Bytes()[:6])); !errors.Is(err, ErrVar) {
+		t.Errorf("truncated: %v", err)
+	}
+	// Checkpoint references a variable the store lacks.
+	s2 := NewVarStore()
+	if err := s2.Load(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrVar) {
+		t.Errorf("missing var: %v", err)
+	}
+	// Shape mismatch.
+	s3 := NewVarStore()
+	if err := s3.Create("v", tensor.New(tensor.Float32, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.Load(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrVar) {
+		t.Errorf("shape mismatch: %v", err)
+	}
+	// DType mismatch.
+	s4 := NewVarStore()
+	if err := s4.Create("v", tensor.New(tensor.Int32, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s4.Load(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrVar) {
+		t.Errorf("dtype mismatch: %v", err)
+	}
+}
+
+func TestCheckpointExtraLiveVarsSurvive(t *testing.T) {
+	// Optimizer slots created after the checkpoint must survive a restore.
+	s := NewVarStore()
+	v := tensor.New(tensor.Float32, 2)
+	v.Fill(3)
+	if err := s.Create("v", v); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	slot := tensor.New(tensor.Float32, 2)
+	slot.Fill(9)
+	if err := s.Create("v/velocity", slot); err != nil {
+		t.Fatal(err)
+	}
+	v.Fill(0)
+	if err := s.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if v.Float32s()[0] != 3 {
+		t.Error("v not restored")
+	}
+	if slot.Float32s()[0] != 9 {
+		t.Error("velocity slot clobbered by restore")
+	}
+}

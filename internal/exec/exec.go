@@ -1,0 +1,405 @@
+// Package exec executes data-flow graph partitions: a worker pool drains a
+// ready queue of nodes, supporting the three operator execution modes of §4
+// — synchronous, asynchronous, and the paper's new polling-async mode,
+// where a receive operator that polls a flag byte is re-enqueued at the
+// tail of the ready queue until the flag is set, so polling never blocks
+// other ready work.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// Execution errors.
+var (
+	ErrExec        = errors.New("exec: execution failed")
+	ErrFeed        = errors.New("exec: bad feed")
+	ErrFetch       = errors.New("exec: unknown fetch")
+	ErrAborted     = errors.New("exec: aborted")
+	ErrPollTimeout = errors.New("exec: polling made no progress")
+)
+
+// Config parameterizes an Executor.
+type Config struct {
+	// Task selects the partition: only nodes assigned to this task run.
+	// Empty runs the whole graph (single-server mode).
+	Task string
+	// Workers is the worker-goroutine count (default 4).
+	Workers int
+	// Vars is the variable store; required if the partition has variables.
+	Vars *VarStore
+	// Policy routes tensor allocations (default HeapPolicy).
+	Policy AllocPolicy
+	// Env is passed through to kernels via Context.Env.
+	Env any
+	// PollTimeout aborts an iteration when no node completes for this long
+	// while polling operators spin — the failure-detection backstop for a
+	// peer that died or a partitioned fabric. Zero disables the timeout.
+	PollTimeout time.Duration
+	// Trace, when non-nil, records one duration event per operator
+	// execution (chrome trace-event format).
+	Trace *trace.Recorder
+}
+
+// Executor runs one graph partition iteration by iteration.
+type Executor struct {
+	g       *graph.Graph
+	cfg     Config
+	nodes   []*graph.Node // partition nodes
+	inPart  []bool        // by node id
+	consume [][]*graph.Node
+	indeg   []int
+	stats   *statsTable
+}
+
+// New validates the partition and builds an executor. Every input of a
+// partition node must itself be in the partition (cross-server edges must
+// already have been replaced by send/recv pairs).
+func New(g *graph.Graph, cfg Config) (*Executor, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = HeapPolicy{}
+	}
+	if cfg.Vars == nil {
+		cfg.Vars = NewVarStore()
+	}
+	all := g.Nodes()
+	e := &Executor{
+		g:       g,
+		cfg:     cfg,
+		inPart:  make([]bool, len(all)),
+		consume: make([][]*graph.Node, len(all)),
+		indeg:   make([]int, len(all)),
+		stats:   newStatsTable(),
+	}
+	for _, n := range all {
+		if cfg.Task == "" || n.Task() == cfg.Task {
+			e.inPart[n.ID()] = true
+			e.nodes = append(e.nodes, n)
+		}
+	}
+	for _, n := range e.nodes {
+		deps := 0
+		for _, in := range n.Inputs() {
+			if !e.inPart[in.ID()] {
+				return nil, fmt.Errorf("exec: %s input %s is outside partition %q: %w",
+					n.Name(), in.Name(), cfg.Task, graph.ErrBadGraph)
+			}
+			e.consume[in.ID()] = append(e.consume[in.ID()], n)
+			deps++
+		}
+		for _, c := range n.Controls() {
+			if !e.inPart[c.ID()] {
+				return nil, fmt.Errorf("exec: %s control dep %s is outside partition %q: %w",
+					n.Name(), c.Name(), cfg.Task, graph.ErrBadGraph)
+			}
+			e.consume[c.ID()] = append(e.consume[c.ID()], n)
+			deps++
+		}
+		e.indeg[n.ID()] = deps
+	}
+	return e, nil
+}
+
+// Nodes returns the partition's nodes.
+func (e *Executor) Nodes() []*graph.Node { return e.nodes }
+
+// traceLane names this executor's trace process lane.
+func (e *Executor) traceLane() string {
+	if e.cfg.Task != "" {
+		return e.cfg.Task
+	}
+	return "local"
+}
+
+// Vars returns the executor's variable store.
+func (e *Executor) Vars() *VarStore { return e.cfg.Vars }
+
+// run-state shared by the workers of one iteration.
+type runState struct {
+	e     *Executor
+	iter  int
+	feeds map[string]*tensor.Tensor
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []*graph.Node
+	remaining  []int
+	values     []*tensor.Tensor
+	pending    int // nodes not yet completed
+	inflight   int // nodes currently being executed (incl. async)
+	nonPolling int // queued nodes that are not polling operators
+	progress   time.Time
+	err        error
+}
+
+func isPollingNode(n *graph.Node) bool {
+	_, ok := n.Op().(graph.PollingKernel)
+	return ok
+}
+
+func (st *runState) fail(err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.cond.Broadcast()
+}
+
+// complete records a node's output and readies its consumers. It is safe to
+// call from async completion callbacks (CQ poller goroutines).
+func (st *runState) complete(n *graph.Node, out *tensor.Tensor, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.inflight--
+	if err != nil {
+		if st.err == nil {
+			st.err = fmt.Errorf("exec: node %s: %w", n.Name(), err)
+		}
+		st.cond.Broadcast()
+		return
+	}
+	st.values[n.ID()] = out
+	st.pending--
+	st.progress = time.Now()
+	for _, c := range st.e.consume[n.ID()] {
+		st.remaining[c.ID()]--
+		if st.remaining[c.ID()] == 0 {
+			st.queue = append(st.queue, c)
+			if !isPollingNode(c) {
+				st.nonPolling++
+			}
+		}
+	}
+	st.cond.Broadcast()
+}
+
+// next pops the next ready node, blocking until one is available, the run
+// finishes, or an error occurs. ok=false means the worker should exit.
+func (st *runState) next() (*graph.Node, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if st.err != nil || st.pending == 0 {
+			return nil, false
+		}
+		if len(st.queue) > 0 {
+			n := st.queue[0]
+			st.queue = st.queue[1:]
+			st.inflight++
+			if !isPollingNode(n) {
+				st.nonPolling--
+			}
+			return n, true
+		}
+		if st.inflight == 0 {
+			// Nothing queued and nothing running: the graph is stuck
+			// (should be impossible for a validated acyclic partition).
+			st.err = fmt.Errorf("exec: scheduler stalled with %d nodes pending: %w", st.pending, ErrExec)
+			return nil, false
+		}
+		st.cond.Wait()
+	}
+}
+
+// requeue puts a not-ready polling node back at the tail (§4: "it simply
+// re-enqueues this operator into the tail of the ready queue"). It reports
+// whether non-polling work is queued: when only polling operators remain,
+// callers back off instead of busy-spinning (polling "has a lower priority
+// than other ready tasks ... to minimize its impact").
+func (st *runState) requeue(n *graph.Node) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.inflight--
+	hadOther := st.nonPolling > 0
+	st.queue = append(st.queue, n)
+	st.cond.Broadcast()
+	return hadOther
+}
+
+// Run executes one iteration of the partition: feeds bind placeholders,
+// fetches name the node outputs to return.
+func (e *Executor) Run(iter int, feeds map[string]*tensor.Tensor, fetches ...string) (map[string]*tensor.Tensor, error) {
+	if err := e.checkFeeds(feeds); err != nil {
+		return nil, err
+	}
+	for _, f := range fetches {
+		n, err := e.g.Node(f)
+		if err != nil || !e.inPart[n.ID()] {
+			return nil, fmt.Errorf("exec: fetch %q: %w", f, ErrFetch)
+		}
+	}
+	st := &runState{
+		e:         e,
+		iter:      iter,
+		feeds:     feeds,
+		remaining: append([]int(nil), e.indeg...),
+		values:    make([]*tensor.Tensor, len(e.inPart)),
+		pending:   len(e.nodes),
+		progress:  time.Now(),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	for _, n := range e.nodes {
+		if e.indeg[n.ID()] == 0 {
+			st.queue = append(st.queue, n)
+			if !isPollingNode(n) {
+				st.nonPolling++
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.worker(st)
+		}()
+	}
+	wg.Wait()
+
+	st.mu.Lock()
+	err := st.err
+	st.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*tensor.Tensor, len(fetches))
+	for _, f := range fetches {
+		n, _ := e.g.Node(f)
+		out[f] = st.values[n.ID()]
+	}
+	return out, nil
+}
+
+func (e *Executor) worker(st *runState) {
+	pollMisses := 0
+	for {
+		n, ok := st.next()
+		if !ok {
+			return
+		}
+		ctx := e.newContext(st, n)
+
+		// Polling-async phase 1: poll, and on not-ready re-enqueue at the
+		// tail so other ready operators run first.
+		if pk, isPolling := n.Op().(graph.PollingKernel); isPolling {
+			ready, err := pk.Poll(ctx)
+			if err != nil {
+				st.complete(n, nil, err)
+				return
+			}
+			if !ready {
+				e.stats.recordPollMiss(n.Op().Name())
+				if d := e.cfg.PollTimeout; d > 0 {
+					st.mu.Lock()
+					stalled := time.Since(st.progress) > d
+					st.mu.Unlock()
+					if stalled {
+						st.complete(n, nil, fmt.Errorf("%w: %s made no progress for %v (peer dead or network partitioned?)",
+							ErrPollTimeout, n.Name(), d))
+						return
+					}
+				}
+				hadOther := st.requeue(n)
+				if hadOther {
+					pollMisses = 0
+				} else {
+					// Pure-polling queue: yield briefly instead of spinning
+					// ("polling has a lower priority ... to minimize its
+					// impact").
+					pollMisses++
+					if pollMisses > 16 {
+						time.Sleep(5 * time.Microsecond)
+					}
+				}
+				continue
+			}
+		}
+		pollMisses = 0
+
+		// Phase 2: execute asynchronously if supported, else synchronously.
+		start := time.Now()
+		var endSpan func()
+		if e.cfg.Trace != nil {
+			endSpan = e.cfg.Trace.Span(e.traceLane(), "exec", n.Op().Name(), n.Name(),
+				map[string]any{"iter": st.iter})
+		}
+		switch k := n.Op().(type) {
+		case graph.AsyncKernel:
+			k.ComputeAsync(ctx, func(err error) {
+				e.stats.recordExec(n.Op().Name(), time.Since(start))
+				if endSpan != nil {
+					endSpan()
+				}
+				st.complete(n, ctx.Output, err)
+			})
+		case graph.Kernel:
+			err := k.Compute(ctx)
+			e.stats.recordExec(n.Op().Name(), time.Since(start))
+			if endSpan != nil {
+				endSpan()
+			}
+			st.complete(n, ctx.Output, err)
+		default:
+			st.complete(n, nil, fmt.Errorf("exec: op %s has no kernel: %w", n.Op().Name(), ErrExec))
+		}
+	}
+}
+
+func (e *Executor) newContext(st *runState, n *graph.Node) *graph.Context {
+	inputs := make([]*tensor.Tensor, len(n.Inputs()))
+	st.mu.Lock()
+	for i, in := range n.Inputs() {
+		inputs[i] = st.values[in.ID()]
+	}
+	st.mu.Unlock()
+	allocIdx := 0
+	ctx := &graph.Context{
+		Node:   n,
+		Iter:   st.iter,
+		Inputs: inputs,
+		Vars:   e.cfg.Vars,
+		Feeds:  st.feeds,
+		Env:    e.cfg.Env,
+	}
+	ctx.Alloc = func(dt tensor.DType, shape tensor.Shape) (*tensor.Tensor, error) {
+		idx := allocIdx
+		allocIdx++
+		return e.cfg.Policy.Alloc(n, st.iter, idx, dt, shape)
+	}
+	return ctx
+}
+
+func (e *Executor) checkFeeds(feeds map[string]*tensor.Tensor) error {
+	for name, t := range feeds {
+		n, err := e.g.Node(name)
+		if err != nil {
+			return fmt.Errorf("exec: feed %q: %w", name, ErrFeed)
+		}
+		sig := n.Sig()
+		if t.DType() != sig.DType {
+			return fmt.Errorf("exec: feed %q dtype %v, want %v: %w", name, t.DType(), sig.DType, ErrFeed)
+		}
+		if t.Shape().Rank() != sig.Shape.Rank() {
+			return fmt.Errorf("exec: feed %q rank %v, want %v: %w", name, t.Shape(), sig.Shape, ErrFeed)
+		}
+		for i, d := range sig.Shape {
+			if d >= 0 && t.Shape()[i] != d {
+				return fmt.Errorf("exec: feed %q dim %d is %d, want %d: %w",
+					name, i, t.Shape()[i], d, ErrFeed)
+			}
+		}
+	}
+	return nil
+}

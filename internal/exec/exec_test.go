@@ -1,0 +1,472 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func mustRun(t *testing.T, e *Executor, iter int, feeds map[string]*tensor.Tensor, fetches ...string) map[string]*tensor.Tensor {
+	t.Helper()
+	out, err := e.Run(iter, feeds, fetches...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRunSimpleChain(t *testing.T) {
+	b := graph.NewBuilder()
+	x := b.Placeholder("x", graph.Static(tensor.Float32, 2, 2))
+	y := b.Scale("y", x, 3)
+	z := b.ReduceMax("z", y)
+	_ = z
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := tensor.FromFloat32(tensor.Shape{2, 2}, []float32{1, -2, 5, 0})
+	out := mustRun(t, e, 0, map[string]*tensor.Tensor{"x": in}, "y", "z")
+	if out["z"].Float32s()[0] != 15 {
+		t.Errorf("z = %v", out["z"].Float32s()[0])
+	}
+	if out["y"].Float32s()[1] != -6 {
+		t.Errorf("y = %v", out["y"].Float32s())
+	}
+}
+
+func TestVariablesAndSGD(t *testing.T) {
+	b := graph.NewBuilder()
+	v := b.Variable("v", graph.Static(tensor.Float32, 3))
+	gph := b.Placeholder("g", graph.Static(tensor.Float32, 3))
+	upd := b.ApplySGD("upd", v, gph, 0.5)
+	_ = upd
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := NewVarStore()
+	init, _ := tensor.FromFloat32(tensor.Shape{3}, []float32{1, 2, 3})
+	if err := vars.Create("v", init); err != nil {
+		t.Fatal(err)
+	}
+	if err := vars.Create("v", init); !errors.Is(err, ErrVar) {
+		t.Errorf("duplicate create: %v", err)
+	}
+	e, err := New(g, Config{Vars: vars})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad, _ := tensor.FromFloat32(tensor.Shape{3}, []float32{2, 2, 2})
+	out := mustRun(t, e, 0, map[string]*tensor.Tensor{"g": grad}, "upd")
+	want := []float32{0, 1, 2}
+	for i, w := range want {
+		if out["upd"].Float32s()[i] != w {
+			t.Errorf("v[%d] = %v, want %v", i, out["upd"].Float32s()[i], w)
+		}
+	}
+	// The update is in place: the store's tensor changed.
+	vt, _ := vars.VarTensor("v")
+	if vt.Float32s()[0] != 0 {
+		t.Error("variable store not updated in place")
+	}
+	// Second iteration applies again.
+	mustRun(t, e, 1, map[string]*tensor.Tensor{"g": grad}, "upd")
+	if vt.Float32s()[0] != -1 {
+		t.Errorf("second update: %v", vt.Float32s()[0])
+	}
+}
+
+func TestFeedValidation(t *testing.T) {
+	b := graph.NewBuilder()
+	b.Placeholder("x", graph.Static(tensor.Float32, 2, 3))
+	g, _ := b.Finish()
+	e, _ := New(g, Config{})
+	if _, err := e.Run(0, map[string]*tensor.Tensor{"nope": tensor.New(tensor.Float32, 1)}); !errors.Is(err, ErrFeed) {
+		t.Errorf("unknown feed: %v", err)
+	}
+	if _, err := e.Run(0, map[string]*tensor.Tensor{"x": tensor.New(tensor.Int32, 2, 3)}); !errors.Is(err, ErrFeed) {
+		t.Errorf("dtype mismatch: %v", err)
+	}
+	if _, err := e.Run(0, map[string]*tensor.Tensor{"x": tensor.New(tensor.Float32, 2, 4)}); !errors.Is(err, ErrFeed) {
+		t.Errorf("dim mismatch: %v", err)
+	}
+	if _, err := e.Run(0, map[string]*tensor.Tensor{"x": tensor.New(tensor.Float32, 6)}); !errors.Is(err, ErrFeed) {
+		t.Errorf("rank mismatch: %v", err)
+	}
+	// Missing feed surfaces as a node error at run time.
+	if _, err := e.Run(0, nil, "x"); err == nil {
+		t.Error("missing feed accepted")
+	}
+}
+
+func TestDynamicFeedAllowed(t *testing.T) {
+	b := graph.NewBuilder()
+	x := b.Placeholder("x", graph.Dyn(tensor.Float32, -1, 4))
+	b.Identity("y", x)
+	g, _ := b.Finish()
+	e, _ := New(g, Config{})
+	for _, batch := range []int{1, 3, 7} {
+		in := tensor.New(tensor.Float32, batch, 4)
+		out := mustRun(t, e, 0, map[string]*tensor.Tensor{"x": in}, "y")
+		if out["y"].Shape()[0] != batch {
+			t.Errorf("batch %d: got %v", batch, out["y"].Shape())
+		}
+	}
+}
+
+func TestFetchValidation(t *testing.T) {
+	b := graph.NewBuilder()
+	b.Placeholder("x", graph.Static(tensor.Float32, 1))
+	g, _ := b.Finish()
+	e, _ := New(g, Config{})
+	if _, err := e.Run(0, nil, "nothere"); !errors.Is(err, ErrFetch) {
+		t.Errorf("unknown fetch: %v", err)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	b := graph.NewBuilder()
+	b.OnTask("a")
+	x := b.Placeholder("x", graph.Static(tensor.Float32, 1))
+	b.OnTask("b")
+	b.Identity("y", x) // crosses a->b without send/recv
+	g, _ := b.Finish()
+	if _, err := New(g, Config{Task: "b"}); !errors.Is(err, graph.ErrBadGraph) {
+		t.Errorf("cross-partition edge: %v", err)
+	}
+	// Partition "a" alone is fine.
+	if _, err := New(g, Config{Task: "a"}); err != nil {
+		t.Errorf("partition a: %v", err)
+	}
+}
+
+// pollOp becomes ready after N polls; counts poll attempts.
+type pollOp struct {
+	needed int32
+	polls  atomic.Int32
+}
+
+func (p *pollOp) Name() string { return "TestPoll" }
+func (p *pollOp) InferSig(in []graph.Sig) (graph.Sig, error) {
+	return graph.Static(tensor.Float32), nil
+}
+func (p *pollOp) Poll(ctx *graph.Context) (bool, error) {
+	return p.polls.Add(1) >= p.needed, nil
+}
+func (p *pollOp) Compute(ctx *graph.Context) error {
+	out, err := ctx.Alloc(tensor.Float32, nil)
+	if err != nil {
+		return err
+	}
+	out.Float32s()[0] = 42
+	ctx.Output = out
+	return nil
+}
+
+func TestPollingAsyncRequeues(t *testing.T) {
+	b := graph.NewBuilder()
+	op := &pollOp{needed: 10}
+	n := b.AddNode("poller", op)
+	b.ReduceMax("consume", n)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := New(g, Config{Workers: 2})
+	out := mustRun(t, e, 0, nil, "consume")
+	if out["consume"].Float32s()[0] != 42 {
+		t.Errorf("consume = %v", out["consume"].Float32s()[0])
+	}
+	if op.polls.Load() < 10 {
+		t.Errorf("polled %d times, want >= 10", op.polls.Load())
+	}
+}
+
+// failOp always errors.
+type failOp struct{}
+
+func (failOp) Name() string { return "Fail" }
+func (failOp) InferSig(in []graph.Sig) (graph.Sig, error) {
+	return graph.Static(tensor.Float32), nil
+}
+func (failOp) Compute(ctx *graph.Context) error { return fmt.Errorf("deliberate") }
+
+func TestErrorPropagates(t *testing.T) {
+	b := graph.NewBuilder()
+	n := b.AddNode("bad", failOp{})
+	b.ReduceMax("sink", n)
+	g, _ := b.Finish()
+	e, _ := New(g, Config{})
+	_, err := e.Run(0, nil, "sink")
+	if err == nil || !errors.Is(err, errors.Unwrap(err)) && err.Error() == "" {
+		t.Fatalf("expected error, got %v", err)
+	}
+}
+
+// asyncOp completes on a separate goroutine.
+type asyncOp struct{}
+
+func (asyncOp) Name() string { return "TestAsync" }
+func (asyncOp) InferSig(in []graph.Sig) (graph.Sig, error) {
+	return graph.Static(tensor.Float32), nil
+}
+func (asyncOp) ComputeAsync(ctx *graph.Context, done func(error)) {
+	go func() {
+		out, err := ctx.Alloc(tensor.Float32, nil)
+		if err != nil {
+			done(err)
+			return
+		}
+		out.Float32s()[0] = 7
+		ctx.Output = out
+		done(nil)
+	}()
+}
+
+func TestAsyncKernel(t *testing.T) {
+	b := graph.NewBuilder()
+	n := b.AddNode("async", asyncOp{})
+	b.Scale("x2", n, 2)
+	g, _ := b.Finish()
+	e, _ := New(g, Config{})
+	out := mustRun(t, e, 0, nil, "x2")
+	if out["x2"].Float32s()[0] != 14 {
+		t.Errorf("x2 = %v", out["x2"].Float32s()[0])
+	}
+}
+
+// TestMLPForwardMatchesDirectMath runs a 2-layer MLP through the executor
+// and compares with straight tensor-kernel computation.
+func TestMLPForwardMatchesDirectMath(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const batch, in, hid, out = 4, 6, 5, 3
+
+	b := graph.NewBuilder()
+	x := b.Placeholder("x", graph.Static(tensor.Float32, batch, in))
+	w1 := b.Variable("w1", graph.Static(tensor.Float32, in, hid))
+	b1 := b.Variable("b1", graph.Static(tensor.Float32, hid))
+	h := b.Sigmoid("h", b.BiasAdd("z1", b.MatMul("mm1", x, w1), b1))
+	w2 := b.Variable("w2", graph.Static(tensor.Float32, hid, out))
+	logits := b.MatMul("logits", h, w2)
+	_ = logits
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := NewVarStore()
+	w1t := tensor.New(tensor.Float32, in, hid)
+	b1t := tensor.New(tensor.Float32, hid)
+	w2t := tensor.New(tensor.Float32, hid, out)
+	tensor.RandomUniform(w1t, rng, 1)
+	tensor.RandomUniform(b1t, rng, 1)
+	tensor.RandomUniform(w2t, rng, 1)
+	for name, tt := range map[string]*tensor.Tensor{"w1": w1t, "b1": b1t, "w2": w2t} {
+		if err := vars.Create(name, tt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, _ := New(g, Config{Vars: vars, Workers: 3})
+	xt := tensor.New(tensor.Float32, batch, in)
+	tensor.RandomUniform(xt, rng, 1)
+	got := mustRun(t, e, 0, map[string]*tensor.Tensor{"x": xt}, "logits")["logits"]
+
+	// Direct math.
+	z1 := tensor.New(tensor.Float32, batch, hid)
+	if err := tensor.MatMul(z1, xt, w1t); err != nil {
+		t.Fatal(err)
+	}
+	if err := tensor.AddBias(z1, b1t); err != nil {
+		t.Fatal(err)
+	}
+	ht := tensor.New(tensor.Float32, batch, hid)
+	if err := tensor.Sigmoid(ht, z1); err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.New(tensor.Float32, batch, out)
+	if err := tensor.MatMul(want, ht, w2t); err != nil {
+		t.Fatal(err)
+	}
+	if !got.AllClose(want, 1e-5) {
+		t.Error("executor output differs from direct math")
+	}
+}
+
+// TestAutodiffNumeric checks executor-evaluated gradients against numeric
+// differentiation through the whole graph.
+func TestAutodiffNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const batch, in, hid, classes = 3, 4, 5, 3
+
+	b := graph.NewBuilder()
+	x := b.Placeholder("x", graph.Static(tensor.Float32, batch, in))
+	labels := b.Placeholder("labels", graph.Static(tensor.Int32, batch))
+	w1 := b.Variable("w1", graph.Static(tensor.Float32, in, hid))
+	b1 := b.Variable("b1", graph.Static(tensor.Float32, hid))
+	w2 := b.Variable("w2", graph.Static(tensor.Float32, hid, classes))
+	h := b.Tanh("h", b.BiasAdd("z1", b.MatMul("mm1", x, w1), b1))
+	logits := b.MatMul("logits", h, w2)
+	loss := b.SoftmaxXent("loss", logits, labels)
+	grads, err := graph.Gradients(b, loss, []*graph.Node{w1, b1, w2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vars := NewVarStore()
+	params := map[string]*tensor.Tensor{
+		"w1": tensor.New(tensor.Float32, in, hid),
+		"b1": tensor.New(tensor.Float32, hid),
+		"w2": tensor.New(tensor.Float32, hid, classes),
+	}
+	for name, p := range params {
+		tensor.RandomUniform(p, rng, 1)
+		if err := vars.Create(name, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, _ := New(g, Config{Vars: vars})
+	xt := tensor.New(tensor.Float32, batch, in)
+	tensor.RandomUniform(xt, rng, 1)
+	lt := tensor.New(tensor.Int32, batch)
+	tensor.RandomLabels(lt, rng, classes)
+	feeds := map[string]*tensor.Tensor{"x": xt, "labels": lt}
+
+	lossAt := func() float32 {
+		out := mustRun(t, e, 0, feeds, "loss")
+		return out["loss"].Float32s()[0]
+	}
+
+	for _, varName := range []string{"w1", "b1", "w2"} {
+		vnode, _ := g.Node(varName)
+		gradNode := grads[vnode]
+		analytic := mustRun(t, e, 0, feeds, gradNode.Name())[gradNode.Name()]
+		p := params[varName]
+		// Spot-check a few elements per parameter.
+		for _, i := range []int{0, p.NumElements() / 2, p.NumElements() - 1} {
+			const eps = 1e-2
+			orig := p.Float32s()[i]
+			p.Float32s()[i] = orig + eps
+			fp := lossAt()
+			p.Float32s()[i] = orig - eps
+			fm := lossAt()
+			p.Float32s()[i] = orig
+			numeric := (fp - fm) / (2 * eps)
+			if math.Abs(float64(numeric-analytic.Float32s()[i])) > 5e-2 {
+				t.Errorf("%s[%d]: analytic %v numeric %v", varName, i, analytic.Float32s()[i], numeric)
+			}
+		}
+	}
+}
+
+// TestTrainingConverges trains a tiny classifier to fit random data; loss
+// must drop substantially, proving the full build-grads-apply loop works.
+func TestTrainingConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const batch, in, classes = 16, 8, 4
+
+	b := graph.NewBuilder()
+	x := b.Placeholder("x", graph.Static(tensor.Float32, batch, in))
+	labels := b.Placeholder("labels", graph.Static(tensor.Int32, batch))
+	w := b.Variable("w", graph.Static(tensor.Float32, in, classes))
+	bias := b.Variable("bias", graph.Static(tensor.Float32, classes))
+	logits := b.BiasAdd("logits", b.MatMul("mm", x, w), bias)
+	loss := b.SoftmaxXent("loss", logits, labels)
+	grads, err := graph.Gradients(b, loss, []*graph.Node{w, bias})
+	if err != nil {
+		t.Fatal(err)
+	}
+	updW := b.ApplySGD("updW", w, grads[w], 0.5)
+	updB := b.ApplySGD("updB", bias, grads[bias], 0.5)
+	step := b.Group("step", updW, updB)
+	_ = step
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := NewVarStore()
+	wt := tensor.New(tensor.Float32, in, classes)
+	bt := tensor.New(tensor.Float32, classes)
+	tensor.GlorotInit(wt, rng)
+	if err := vars.Create("w", wt); err != nil {
+		t.Fatal(err)
+	}
+	if err := vars.Create("bias", bt); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := New(g, Config{Vars: vars})
+
+	xt := tensor.New(tensor.Float32, batch, in)
+	tensor.RandomUniform(xt, rng, 1)
+	lt := tensor.New(tensor.Int32, batch)
+	tensor.RandomLabels(lt, rng, classes)
+	feeds := map[string]*tensor.Tensor{"x": xt, "labels": lt}
+
+	var first, last float32
+	for iter := 0; iter < 80; iter++ {
+		out := mustRun(t, e, iter, feeds, "loss", "step")
+		l := out["loss"].Float32s()[0]
+		if iter == 0 {
+			first = l
+		}
+		last = l
+	}
+	if last > first*0.5 {
+		t.Errorf("loss did not converge: first %v, last %v", first, last)
+	}
+}
+
+func BenchmarkExecutorMLPStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const batch, in, hid, classes = 32, 64, 64, 10
+	bb := graph.NewBuilder()
+	x := bb.Placeholder("x", graph.Static(tensor.Float32, batch, in))
+	labels := bb.Placeholder("labels", graph.Static(tensor.Int32, batch))
+	w1 := bb.Variable("w1", graph.Static(tensor.Float32, in, hid))
+	w2 := bb.Variable("w2", graph.Static(tensor.Float32, hid, classes))
+	h := bb.ReLU("h", bb.MatMul("mm1", x, w1))
+	loss := bb.SoftmaxXent("loss", bb.MatMul("logits", h, w2), labels)
+	grads, err := graph.Gradients(bb, loss, []*graph.Node{w1, w2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bb.Group("step",
+		bb.ApplySGD("u1", w1, grads[w1], 0.01),
+		bb.ApplySGD("u2", w2, grads[w2], 0.01))
+	g, err := bb.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	vars := NewVarStore()
+	w1t := tensor.New(tensor.Float32, in, hid)
+	w2t := tensor.New(tensor.Float32, hid, classes)
+	tensor.GlorotInit(w1t, rng)
+	tensor.GlorotInit(w2t, rng)
+	_ = vars.Create("w1", w1t)
+	_ = vars.Create("w2", w2t)
+	e, _ := New(g, Config{Vars: vars})
+	xt := tensor.New(tensor.Float32, batch, in)
+	tensor.RandomUniform(xt, rng, 1)
+	lt := tensor.New(tensor.Int32, batch)
+	tensor.RandomLabels(lt, rng, classes)
+	feeds := map[string]*tensor.Tensor{"x": xt, "labels": lt}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(i, feeds, "step"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package exec
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func TestApplyMomentumMath(t *testing.T) {
+	b := graph.NewBuilder()
+	v := b.Variable("v", graph.Static(tensor.Float32, 2))
+	g := b.Placeholder("g", graph.Static(tensor.Float32, 2))
+	b.ApplyMomentum("upd", v, g, 0.1, 0.9)
+	gr, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := NewVarStore()
+	vt, _ := tensor.FromFloat32(tensor.Shape{2}, []float32{1, 1})
+	if err := vars.Create("v", vt); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := New(gr, Config{Vars: vars})
+	grad, _ := tensor.FromFloat32(tensor.Shape{2}, []float32{1, 2})
+	feeds := map[string]*tensor.Tensor{"g": grad}
+
+	// Step 1: velocity = grad; v -= 0.1*grad.
+	if _, err := e.Run(0, feeds, "upd"); err != nil {
+		t.Fatal(err)
+	}
+	if vt.Float32s()[0] != 0.9 || vt.Float32s()[1] != 0.8 {
+		t.Errorf("after step 1: %v", vt.Float32s())
+	}
+	vel, err := vars.VarTensor("v/velocity")
+	if err != nil {
+		t.Fatalf("velocity slot not created: %v", err)
+	}
+	if vel.Float32s()[1] != 2 {
+		t.Errorf("velocity = %v", vel.Float32s())
+	}
+	// Step 2: velocity = 0.9*grad + grad = 1.9*grad; v -= 0.1*velocity.
+	if _, err := e.Run(1, feeds, "upd"); err != nil {
+		t.Fatal(err)
+	}
+	want0 := float32(0.9 - 0.1*1.9)
+	if diff := vt.Float32s()[0] - want0; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("after step 2: %v, want first %v", vt.Float32s(), want0)
+	}
+}
+
+func TestApplyMomentumValidation(t *testing.T) {
+	b := graph.NewBuilder()
+	x := b.Placeholder("x", graph.Static(tensor.Float32, 2))
+	b.ApplyMomentum("bad", x, x, 0.1, 0.9)
+	if _, err := b.Finish(); !errors.Is(err, graph.ErrBadGraph) {
+		t.Errorf("momentum on non-variable: %v", err)
+	}
+	b2 := graph.NewBuilder()
+	b2.ApplyMomentum("bad", nil, nil, 0.1, 0.9)
+	if _, err := b2.Finish(); !errors.Is(err, graph.ErrBadGraph) {
+		t.Errorf("nil variable: %v", err)
+	}
+}
+
+// TestMomentumConvergesFasterThanSGDOnIllConditioned runs both optimizers
+// on the same ill-conditioned quadratic-ish problem; momentum should reach
+// a lower loss in the same number of steps (the reason the op exists).
+func TestMomentumConvergesFasterThanSGDOnIllConditioned(t *testing.T) {
+	run := func(momentum bool) float32 {
+		rng := rand.New(rand.NewSource(5))
+		const batch, in, classes = 16, 10, 4
+		b := graph.NewBuilder()
+		x := b.Placeholder("x", graph.Static(tensor.Float32, batch, in))
+		labels := b.Placeholder("labels", graph.Static(tensor.Int32, batch))
+		w := b.Variable("w", graph.Static(tensor.Float32, in, classes))
+		loss := b.SoftmaxXent("loss", b.MatMul("mm", x, w), labels)
+		grads, err := graph.Gradients(b, loss, []*graph.Node{w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if momentum {
+			b.ApplyMomentum("upd", w, grads[w], 0.05, 0.9)
+		} else {
+			b.ApplySGD("upd", w, grads[w], 0.05)
+		}
+		g, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vars := NewVarStore()
+		wt := tensor.New(tensor.Float32, in, classes)
+		tensor.GlorotInit(wt, rng)
+		if err := vars.Create("w", wt); err != nil {
+			t.Fatal(err)
+		}
+		e, _ := New(g, Config{Vars: vars})
+		xt := tensor.New(tensor.Float32, batch, in)
+		tensor.RandomUniform(xt, rng, 1)
+		// Make the features ill-conditioned: scale half the columns down.
+		xv := xt.Float32s()
+		for r := 0; r < batch; r++ {
+			for c := in / 2; c < in; c++ {
+				xv[r*in+c] *= 0.05
+			}
+		}
+		lt := tensor.New(tensor.Int32, batch)
+		tensor.RandomLabels(lt, rng, classes)
+		feeds := map[string]*tensor.Tensor{"x": xt, "labels": lt}
+		var last float32
+		for i := 0; i < 60; i++ {
+			out, err := e.Run(i, feeds, "loss", "upd")
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = out["loss"].Float32s()[0]
+		}
+		return last
+	}
+	sgd := run(false)
+	mom := run(true)
+	if mom >= sgd {
+		t.Errorf("momentum (%v) should beat plain SGD (%v) here", mom, sgd)
+	}
+}
+
+func TestApplyAdamTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const batch, in, classes = 16, 8, 4
+	b := graph.NewBuilder()
+	x := b.Placeholder("x", graph.Static(tensor.Float32, batch, in))
+	labels := b.Placeholder("labels", graph.Static(tensor.Int32, batch))
+	w := b.Variable("w", graph.Static(tensor.Float32, in, classes))
+	loss := b.SoftmaxXent("loss", b.MatMul("mm", x, w), labels)
+	grads, err := graph.Gradients(b, loss, []*graph.Node{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.ApplyAdam("upd", w, grads[w], 0.05)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := NewVarStore()
+	wt := tensor.New(tensor.Float32, in, classes)
+	tensor.GlorotInit(wt, rng)
+	if err := vars.Create("w", wt); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := New(g, Config{Vars: vars})
+	xt := tensor.New(tensor.Float32, batch, in)
+	tensor.RandomUniform(xt, rng, 1)
+	lt := tensor.New(tensor.Int32, batch)
+	tensor.RandomLabels(lt, rng, classes)
+	feeds := map[string]*tensor.Tensor{"x": xt, "labels": lt}
+	var first, last float32
+	for i := 0; i < 60; i++ {
+		out, err := e.Run(i, feeds, "loss", "upd")
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := out["loss"].Float32s()[0]
+		if i == 0 {
+			first = l
+		}
+		last = l
+	}
+	if last > first*0.4 {
+		t.Errorf("adam did not converge: %v -> %v", first, last)
+	}
+	// All three slots must exist.
+	for _, slot := range []string{"w/adam_m", "w/adam_v", "w/adam_t"} {
+		if _, err := vars.VarTensor(slot); err != nil {
+			t.Errorf("missing slot %s: %v", slot, err)
+		}
+	}
+	st, _ := vars.VarTensor("w/adam_t")
+	if st.Float32s()[0] != 60 {
+		t.Errorf("step counter = %v, want 60", st.Float32s()[0])
+	}
+}
+
+func TestApplyAdamValidation(t *testing.T) {
+	b := graph.NewBuilder()
+	x := b.Placeholder("x", graph.Static(tensor.Float32, 2))
+	b.ApplyAdam("bad", x, x, 0.1)
+	if _, err := b.Finish(); !errors.Is(err, graph.ErrBadGraph) {
+		t.Errorf("adam on non-variable: %v", err)
+	}
+	b2 := graph.NewBuilder()
+	b2.ApplyAdam("bad", nil, nil, 0.1)
+	if _, err := b2.Finish(); !errors.Is(err, graph.ErrBadGraph) {
+		t.Errorf("nil variable: %v", err)
+	}
+}

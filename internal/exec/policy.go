@@ -1,0 +1,24 @@
+package exec
+
+import (
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// AllocPolicy decides where a node's k-th output allocation of an iteration
+// lives. The default policy uses the Go heap; the RDMA-aware analyzer
+// installs a policy that (a) records allocation sites during the first
+// mini-batch and (b) redirects the sites feeding cross-server transfers
+// into the registered-memory arena from the second mini-batch on (§3.4's
+// dynamic tracing).
+type AllocPolicy interface {
+	Alloc(node *graph.Node, iter, allocIdx int, dt tensor.DType, shape tensor.Shape) (*tensor.Tensor, error)
+}
+
+// HeapPolicy allocates every tensor on the Go heap.
+type HeapPolicy struct{}
+
+// Alloc implements AllocPolicy.
+func (HeapPolicy) Alloc(_ *graph.Node, _, _ int, dt tensor.DType, shape tensor.Shape) (*tensor.Tensor, error) {
+	return tensor.New(dt, shape...), nil
+}

@@ -1,0 +1,77 @@
+package exec
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Per-operator execution statistics: how often each op ran, how long it
+// took, and how many times polling operators were re-enqueued not-ready
+// (the §4 polling-async overhead the scheduler is designed to keep cheap).
+
+// OpStats summarizes one operator type's activity on an executor.
+type OpStats struct {
+	Op         string
+	Executions int64
+	PollMisses int64
+	Total      time.Duration
+}
+
+// Mean returns the average execution duration.
+func (s OpStats) Mean() time.Duration {
+	if s.Executions == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Executions)
+}
+
+type statsTable struct {
+	mu sync.Mutex
+	m  map[string]*OpStats
+}
+
+func newStatsTable() *statsTable {
+	return &statsTable{m: make(map[string]*OpStats)}
+}
+
+func (t *statsTable) entry(op string) *OpStats {
+	s, ok := t.m[op]
+	if !ok {
+		s = &OpStats{Op: op}
+		t.m[op] = s
+	}
+	return s
+}
+
+func (t *statsTable) recordExec(op string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.entry(op)
+	s.Executions++
+	s.Total += d
+}
+
+func (t *statsTable) recordPollMiss(op string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entry(op).PollMisses++
+}
+
+// Stats returns a snapshot of per-op statistics, sorted by total time
+// descending.
+func (e *Executor) Stats() []OpStats {
+	e.stats.mu.Lock()
+	defer e.stats.mu.Unlock()
+	out := make([]OpStats, 0, len(e.stats.m))
+	for _, s := range e.stats.m {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}

@@ -1,0 +1,73 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// neverReadyOp polls forever — a receive whose sender died.
+type neverReadyOp struct{}
+
+func (neverReadyOp) Name() string { return "NeverReady" }
+func (neverReadyOp) InferSig(in []graph.Sig) (graph.Sig, error) {
+	return graph.Static(tensor.Float32), nil
+}
+func (neverReadyOp) Poll(ctx *graph.Context) (bool, error) { return false, nil }
+func (neverReadyOp) Compute(ctx *graph.Context) error      { return nil }
+
+func TestPollTimeoutAbortsStuckIteration(t *testing.T) {
+	b := graph.NewBuilder()
+	n := b.AddNode("stuck", neverReadyOp{})
+	b.ReduceMax("sink", n)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, Config{Workers: 2, PollTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = e.Run(0, nil, "sink")
+	if !errors.Is(err, ErrPollTimeout) {
+		t.Fatalf("err = %v, want ErrPollTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("timeout took %v, configured 50ms", elapsed)
+	}
+}
+
+func TestPollTimeoutNotTriggeredByProgress(t *testing.T) {
+	// A polling op that becomes ready after several other nodes complete
+	// keeps the progress clock moving, so a short timeout must not fire.
+	b := graph.NewBuilder()
+	op := &pollOp{needed: 30}
+	n := b.AddNode("slowpoll", op)
+	var deps []*graph.Node
+	for i := 0; i < 6; i++ {
+		c, err := tensor.FromFloat32(tensor.Shape{1}, []float32{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deps = append(deps, b.Const(names(i), c))
+	}
+	deps = append(deps, n)
+	b.Group("sink", deps...)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, Config{Workers: 2, PollTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(0, nil, "sink"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func names(i int) string { return string(rune('a' + i)) }

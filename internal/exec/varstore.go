@@ -1,0 +1,60 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// VarStore holds the persistent tensors backing Variable nodes on one
+// server. Variables are created once before execution; the RDMA-aware
+// analyzer places their storage inside registered memory regions so weight
+// tensors are remotely writable without copies (§3.2).
+type VarStore struct {
+	mu   sync.RWMutex
+	vars map[string]*tensor.Tensor
+}
+
+// ErrVar wraps variable-store failures.
+var ErrVar = errors.New("exec: variable error")
+
+// NewVarStore returns an empty store.
+func NewVarStore() *VarStore {
+	return &VarStore{vars: make(map[string]*tensor.Tensor)}
+}
+
+// Create registers a variable's backing tensor. Creating the same name
+// twice fails.
+func (s *VarStore) Create(name string, t *tensor.Tensor) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.vars[name]; ok {
+		return fmt.Errorf("%w: %q already exists", ErrVar, name)
+	}
+	s.vars[name] = t
+	return nil
+}
+
+// VarTensor implements graph.VarAccess.
+func (s *VarStore) VarTensor(name string) (*tensor.Tensor, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.vars[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q not created", ErrVar, name)
+	}
+	return t, nil
+}
+
+// Names returns the registered variable names.
+func (s *VarStore) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.vars))
+	for n := range s.vars {
+		names = append(names, n)
+	}
+	return names
+}

@@ -1,0 +1,198 @@
+package gpudirect
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/metrics"
+	"repro/internal/rdma"
+)
+
+func setup(t *testing.T, gdr bool) (sGPU *Memory, sM, rM *metrics.Comm,
+	send *Sender, recv *Receiver) {
+	t.Helper()
+	f := rdma.NewFabric()
+	a, err := rdma.CreateDevice(f, rdma.Config{Endpoint: "gpuA:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rdma.CreateDevice(f, rdma.Config{Endpoint: "gpuB:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	sM, rM = &metrics.Comm{}, &metrics.Comm{}
+	sGPU, err = NewMemory(a, 1<<16, gdr, sM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rGPU, err := NewMemory(b, 1<<16, gdr, rM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chBA, err := b.GetChannel("gpuA:1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err = NewReceiver(rGPU, chBA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chAB, err := a.GetChannel("gpuB:1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send, err = NewSender(sGPU, chAB, recv.Desc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+// runTransfer performs one send/poll/fetch round trip and returns the
+// received device buffer's bytes.
+func runTransfer(t *testing.T, send *Sender, recv *Receiver, sGPU *Memory, size int, fill byte) []byte {
+	t.Helper()
+	buf, err := sGPU.Alloc(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := sGPU.Free(buf); err != nil {
+			t.Error(err)
+		}
+	}()
+	for i := range buf.Data {
+		buf.Data[i] = fill
+	}
+	done := make(chan error, 1)
+	if err := send.Send(buf, []uint64{uint64(size)}, func(err error) { done <- err }); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	var meta rdma.DynMeta
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m, ok := recv.Poll()
+		if ok {
+			meta = m
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("metadata never arrived")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	if meta.PayloadSize != uint64(size) {
+		t.Fatalf("meta payload = %d, want %d", meta.PayloadSize, size)
+	}
+	type res struct {
+		buf *alloc.Buffer
+		err error
+	}
+	ch := make(chan res, 1)
+	if err := recv.Fetch(meta, send.ScratchDesc(), func(b *alloc.Buffer, err error) {
+		ch <- res{buf: b, err: err}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return r.buf.Data
+}
+
+func TestGPUDirectTransfer(t *testing.T) {
+	sGPU, sM, rM, send, recv := setup(t, true)
+	got := runTransfer(t, send, recv, sGPU, 4096, 0xAB)
+	for i, v := range got {
+		if v != 0xAB {
+			t.Fatalf("byte %d = %#x", i, v)
+		}
+	}
+	if sM.Snapshot().MemCopies != 0 || rM.Snapshot().MemCopies != 0 {
+		t.Error("GPUDirect path must not copy through host")
+	}
+	if sM.Snapshot().ZeroCopyOps != 1 {
+		t.Error("zero-copy op not recorded")
+	}
+	if rM.Snapshot().BytesRecv != 4096 {
+		t.Errorf("bytes received = %d", rM.Snapshot().BytesRecv)
+	}
+}
+
+func TestStagedTransfer(t *testing.T) {
+	sGPU, sM, rM, send, recv := setup(t, false)
+	got := runTransfer(t, send, recv, sGPU, 4096, 0x5C)
+	for i, v := range got {
+		if v != 0x5C {
+			t.Fatalf("byte %d = %#x", i, v)
+		}
+	}
+	if sM.Snapshot().MemCopies != 1 {
+		t.Errorf("sender staged copies = %d, want 1", sM.Snapshot().MemCopies)
+	}
+	if rM.Snapshot().MemCopies != 1 {
+		t.Errorf("receiver staged copies = %d, want 1", rM.Snapshot().MemCopies)
+	}
+	if sM.Snapshot().ZeroCopyOps != 0 {
+		t.Error("staged path must not report zero-copy")
+	}
+}
+
+func TestMultipleIterationsWithAck(t *testing.T) {
+	for _, gdr := range []bool{true, false} {
+		sGPU, _, _, send, recv := setup(t, gdr)
+		for iter := 0; iter < 5; iter++ {
+			deadline := time.Now().Add(5 * time.Second)
+			for !send.PollReusable() {
+				if time.Now().After(deadline) {
+					t.Fatal("ack never arrived")
+				}
+				time.Sleep(20 * time.Microsecond)
+			}
+			// Vary the size across iterations: the dynamic protocol's
+			// defining property.
+			size := 256 * (iter + 1)
+			got := runTransfer(t, send, recv, sGPU, size, byte(iter+1))
+			if len(got) != size {
+				t.Fatalf("iter %d: got %d bytes", iter, len(got))
+			}
+			for i, v := range got {
+				if v != byte(iter+1) {
+					t.Fatalf("iter %d byte %d = %d", iter, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestMemoryBasics(t *testing.T) {
+	f := rdma.NewFabric()
+	a, err := rdma.CreateDevice(f, rdma.Config{Endpoint: "ga:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	g, err := NewMemory(a, 1<<12, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Alloc(1 << 13); err == nil {
+		t.Error("oversized device alloc accepted")
+	}
+	if g.GPUDirect() {
+		t.Error("GPUDirect should be off")
+	}
+	b, err := g.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Free(b); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Reverse-mode automatic differentiation: Gradients walks the forward graph
+// backwards from a scalar loss and emits gradient nodes for the requested
+// targets. This builds the GenGrad sub-graphs of the paper's Figure 3.
+
+// GradBuilder names and appends gradient nodes on behalf of operator
+// BuildGrad implementations.
+type GradBuilder struct {
+	b       *Builder
+	counter int
+}
+
+// Add appends a gradient node with a unique generated name on the current
+// builder task.
+func (gb *GradBuilder) Add(hint string, op Op, inputs ...*Node) *Node {
+	gb.counter++
+	name := fmt.Sprintf("grad%d/%s", gb.counter, hint)
+	return gb.b.AddNode(name, op, inputs...)
+}
+
+// Builder exposes the underlying graph builder for grad rules needing
+// constants.
+func (gb *GradBuilder) Builder() *Builder { return gb.b }
+
+// Gradients extends the graph with back-propagation nodes computing
+// d(loss)/d(target) for every target, returning the mapping. The loss node
+// must be a static scalar. Gradients may be called once per builder.
+func Gradients(b *Builder, loss *Node, targets []*Node) (map[*Node]*Node, error) {
+	if b.Err() != nil {
+		return nil, b.Err()
+	}
+	if loss == nil {
+		return nil, fmt.Errorf("graph: nil loss: %w", ErrBadGraph)
+	}
+	if sig := loss.Sig(); !sig.Static || sig.Shape.NumElements() != 1 {
+		return nil, fmt.Errorf("graph: loss %s must be a static scalar: %w", loss, ErrBadGraph)
+	}
+
+	// needsGrad: nodes on a path from some target to the loss.
+	reachesLoss := backwardReachable(loss)
+	needsGrad := make(map[*Node]bool)
+	for _, t := range targets {
+		if t == nil {
+			return nil, fmt.Errorf("graph: nil gradient target: %w", ErrBadGraph)
+		}
+		if !reachesLoss[t] {
+			return nil, fmt.Errorf("graph: target %q does not reach the loss: %w", t.Name(), ErrBadGraph)
+		}
+	}
+	markForward(targets, reachesLoss, needsGrad)
+
+	// Seed the name counter past the current node count so repeated
+	// Gradients calls on one builder (one per worker replica) never
+	// collide.
+	gb := &GradBuilder{b: b, counter: len(b.g.nodes)}
+
+	// Seed: d(loss)/d(loss) = 1, placed with the loss.
+	seedTask := b.Task()
+	b.OnTask(loss.Task())
+	one := tensor.New(tensor.Float32)
+	one.Fill(1)
+	seed := gb.Add("ones_like_"+loss.Name(), &constOp{value: one})
+	b.OnTask(seedTask)
+
+	// Accumulated gradients per node.
+	grads := map[*Node]*Node{loss: seed}
+
+	// Walk nodes in reverse topological (= reverse insertion) order. Only
+	// nodes that both reach the loss and are reachable from a target carry
+	// gradient. Each node's gradient sub-graph is placed on the node's own
+	// task, mirroring the forward placement — this is what makes
+	// model-parallel partitions work: activations flow forward across the
+	// cut and their gradients flow back across it.
+	prevTask := b.Task()
+	defer b.OnTask(prevTask)
+	nodes := b.g.nodes
+	for i := len(nodes) - 1; i >= 0; i-- {
+		n := nodes[i]
+		g, ok := grads[n]
+		if !ok || !needsGrad[n] {
+			continue
+		}
+		if isTarget(n, targets) {
+			continue // targets are leaves of the backward walk
+		}
+		diff, ok := n.op.(Differentiable)
+		if !ok {
+			return nil, fmt.Errorf("graph: %s (%s): %w", n.name, n.op.Name(), ErrNoGrad)
+		}
+		b.OnTask(n.task)
+		inGrads, err := diff.BuildGrad(gb, n, g)
+		if err != nil {
+			return nil, fmt.Errorf("graph: grad of %s: %w", n.name, err)
+		}
+		if len(inGrads) != len(n.inputs) {
+			return nil, fmt.Errorf("graph: grad of %s returned %d gradients for %d inputs: %w",
+				n.name, len(inGrads), len(n.inputs), ErrBadGraph)
+		}
+		for j, ig := range inGrads {
+			if ig == nil {
+				continue
+			}
+			in := n.inputs[j]
+			if !needsGrad[in] {
+				continue
+			}
+			if prev, ok := grads[in]; ok {
+				// Accumulate where the new partial gradient was produced,
+				// keeping replica-internal fan-out (e.g. shared RNN
+				// weights) on the worker instead of manufacturing one
+				// cross-server edge per partial.
+				b.OnTask(ig.Task())
+				grads[in] = gb.Add("accum_"+in.Name(), addOp{}, prev, ig)
+			} else {
+				grads[in] = ig
+			}
+		}
+	}
+	if b.Err() != nil {
+		return nil, b.Err()
+	}
+
+	out := make(map[*Node]*Node, len(targets))
+	for _, t := range targets {
+		g, ok := grads[t]
+		if !ok {
+			return nil, fmt.Errorf("graph: no gradient reached target %q: %w", t.Name(), ErrBadGraph)
+		}
+		out[t] = g
+	}
+	return out, nil
+}
+
+func isTarget(n *Node, targets []*Node) bool {
+	for _, t := range targets {
+		if t == n {
+			return true
+		}
+	}
+	return false
+}
+
+// backwardReachable returns the set of nodes the loss depends on
+// (transitively, data edges only), including the loss.
+func backwardReachable(loss *Node) map[*Node]bool {
+	seen := make(map[*Node]bool)
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, in := range n.inputs {
+			visit(in)
+		}
+	}
+	visit(loss)
+	return seen
+}
+
+// markForward marks every node reachable from a target that also reaches
+// the loss: exactly the nodes gradient must flow through.
+func markForward(targets []*Node, reachesLoss, out map[*Node]bool) {
+	// Build a consumer index over nodes that reach the loss.
+	consumers := make(map[*Node][]*Node)
+	for n := range reachesLoss {
+		for _, in := range n.inputs {
+			consumers[in] = append(consumers[in], n)
+		}
+	}
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if out[n] || !reachesLoss[n] {
+			return
+		}
+		out[n] = true
+		for _, c := range consumers[n] {
+			visit(c)
+		}
+	}
+	for _, t := range targets {
+		visit(t)
+	}
+}

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDot renders the graph in Graphviz DOT format, clustering nodes by
+// server task — partitioned graphs show their Send/Recv pairs on the
+// cluster boundaries, which makes the analyzer's edge cuts easy to audit.
+func (g *Graph) WriteDot(w io.Writer, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+
+	byTask := make(map[string][]*Node)
+	for _, n := range g.nodes {
+		byTask[n.Task()] = append(byTask[n.Task()], n)
+	}
+	tasks := make([]string, 0, len(byTask))
+	for t := range byTask {
+		tasks = append(tasks, t)
+	}
+	sort.Strings(tasks)
+
+	for i, task := range tasks {
+		label := task
+		if label == "" {
+			label = "(unassigned)"
+		}
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n    style=dashed;\n", i, label)
+		for _, n := range byTask[task] {
+			fmt.Fprintf(&b, "    n%d [label=%q%s];\n", n.ID(), nodeLabel(n), nodeStyle(n))
+		}
+		b.WriteString("  }\n")
+	}
+	for _, n := range g.nodes {
+		for _, in := range n.Inputs() {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in.ID(), n.ID())
+		}
+		for _, c := range n.Controls() {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dotted, label=\"ctrl\"];\n", c.ID(), n.ID())
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func nodeLabel(n *Node) string {
+	sig := n.Sig()
+	kind := "dyn"
+	if sig.Static {
+		kind = "static"
+	}
+	return fmt.Sprintf("%s\n%s %v %s", n.Name(), n.Op().Name(), sig.Shape, kind)
+}
+
+func nodeStyle(n *Node) string {
+	op := n.Op().Name()
+	switch {
+	case op == "Variable":
+		return ", style=filled, fillcolor=lightyellow"
+	case op == "Placeholder":
+		return ", style=filled, fillcolor=lightblue"
+	case strings.HasPrefix(op, "Rdma") || strings.HasPrefix(op, "RPC"):
+		return ", style=filled, fillcolor=lightsalmon"
+	default:
+		return ""
+	}
+}

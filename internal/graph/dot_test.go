@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestWriteDot(t *testing.T) {
+	b := NewBuilder()
+	b.OnTask("ps0")
+	w := b.Variable("w", Static(tensor.Float32, 4, 2))
+	b.OnTask("worker0")
+	x := b.Placeholder("x", Static(tensor.Float32, 1, 4))
+	y := b.MatMul("y", x, w)
+	grp := b.Group("step", y)
+	_ = grp
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.WriteDot(&sb, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph \"test\"",
+		"cluster_0", "cluster_1", // two tasks
+		"ps0", "worker0",
+		"MatMul",
+		"style=dotted", // the control edge
+		"lightyellow",  // variable fill
+		"lightblue",    // placeholder fill
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// Edge from x (n-id) to y must exist; count arrows: 2 data + 1 ctrl.
+	if got := strings.Count(out, "->"); got != 3 {
+		t.Errorf("edge count = %d, want 3", got)
+	}
+}

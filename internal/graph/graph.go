@@ -1,0 +1,365 @@
+// Package graph implements the deep-learning data-flow graph: nodes holding
+// operators, edges carrying tensors, a builder API, static shape inference
+// (the first half of §3.4's analysis), and reverse-mode automatic
+// differentiation over the operator set. Execution lives in
+// internal/exec; partitioning and the RDMA-aware analysis in
+// internal/analyzer.
+package graph
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Common graph errors.
+var (
+	ErrCycle    = errors.New("graph: cycle detected")
+	ErrBadGraph = errors.New("graph: invalid construction")
+	ErrNoGrad   = errors.New("graph: operator is not differentiable")
+	ErrNotFound = errors.New("graph: node not found")
+)
+
+// Sig describes a node output: element type, shape, and whether the shape
+// is statically known (fixed for the entire computation). Dynamic shapes
+// use -1 for unknown dimensions; their rank is still fixed, the property
+// §3.3's metadata block relies on.
+type Sig struct {
+	DType  tensor.DType
+	Shape  tensor.Shape
+	Static bool
+}
+
+func (s Sig) String() string {
+	kind := "static"
+	if !s.Static {
+		kind = "dyn"
+	}
+	return fmt.Sprintf("%v%v(%s)", s.DType, s.Shape, kind)
+}
+
+// NumElements returns the element count for static sigs, 0 otherwise.
+func (s Sig) NumElements() int {
+	if !s.Static {
+		return 0
+	}
+	return s.Shape.NumElements()
+}
+
+// ByteSize returns the payload size for static sigs, 0 otherwise.
+func (s Sig) ByteSize() int { return s.NumElements() * s.DType.Size() }
+
+// Static builds a static signature.
+func Static(dt tensor.DType, dims ...int) Sig {
+	return Sig{DType: dt, Shape: tensor.Shape(dims).Clone(), Static: true}
+}
+
+// Dyn builds a dynamic signature; dims may use -1 for unknown extents. The
+// rank must still be exact.
+func Dyn(dt tensor.DType, dims ...int) Sig {
+	return Sig{DType: dt, Shape: tensor.Shape(dims).Clone(), Static: false}
+}
+
+// Op is a graph operator: a name for diagnostics plus shape inference.
+// Concrete ops usually also implement Kernel (and possibly AsyncKernel or
+// PollingKernel) for execution, and Differentiable for training.
+type Op interface {
+	Name() string
+	// InferSig derives the output signature from input signatures,
+	// propagating staticness: an output is static only when the operator
+	// can fix its shape for the whole computation.
+	InferSig(inputs []Sig) (Sig, error)
+}
+
+// Kernel computes a node's output synchronously.
+type Kernel interface {
+	Compute(ctx *Context) error
+}
+
+// AsyncKernel computes a node's output asynchronously; done must be called
+// exactly once.
+type AsyncKernel interface {
+	ComputeAsync(ctx *Context, done func(error))
+}
+
+// PollingKernel is the paper's polling-async mode (§4): the scheduler calls
+// Poll; while it returns false the node is re-enqueued at the tail of the
+// ready queue, keeping the poll from blocking other ready work. Once Poll
+// returns true the scheduler runs the node's Kernel or AsyncKernel.
+type PollingKernel interface {
+	Poll(ctx *Context) (ready bool, err error)
+}
+
+// VarAccess lets kernels reach the executor's variable storage.
+type VarAccess interface {
+	// VarTensor returns the persistent tensor backing a variable.
+	VarTensor(name string) (*tensor.Tensor, error)
+}
+
+// AllocFn allocates an output tensor; the executor routes it to the normal
+// or the RDMA-registered allocator based on the analyzer's decisions
+// (§3.4's allocation-site tracing).
+type AllocFn func(dt tensor.DType, shape tensor.Shape) (*tensor.Tensor, error)
+
+// Context carries everything a kernel needs for one node execution.
+type Context struct {
+	// Node is the executing node.
+	Node *Node
+	// Iter is the mini-batch iteration number, starting at 0.
+	Iter int
+	// Inputs holds the input tensors in edge order.
+	Inputs []*tensor.Tensor
+	// Output receives the node's result; kernels must set it (possibly to
+	// an input tensor for in-place ops).
+	Output *tensor.Tensor
+	// Alloc allocates output storage through the executor.
+	Alloc AllocFn
+	// Vars accesses persistent variable state.
+	Vars VarAccess
+	// Feeds holds this iteration's placeholder bindings.
+	Feeds map[string]*tensor.Tensor
+	// Env is an executor-scoped environment for communication kernels
+	// (e.g. the distributed runtime's transfer endpoints); kernels
+	// type-assert it.
+	Env any
+}
+
+// AllocOutput allocates storage for the node's inferred static signature.
+func (ctx *Context) AllocOutput() (*tensor.Tensor, error) {
+	sig := ctx.Node.Sig()
+	if !sig.Static {
+		return nil, fmt.Errorf("graph: node %s has dynamic shape; kernel must size output itself", ctx.Node.Name())
+	}
+	return ctx.Alloc(sig.DType, sig.Shape)
+}
+
+// Node is one vertex of the data-flow graph.
+type Node struct {
+	id       int
+	name     string
+	op       Op
+	inputs   []*Node
+	controls []*Node
+	sig      Sig
+	task     string // server assignment ("worker0", "ps1", ...)
+}
+
+// ID returns the node's graph-unique id.
+func (n *Node) ID() int { return n.id }
+
+// Name returns the node's unique name.
+func (n *Node) Name() string { return n.name }
+
+// Op returns the node's operator.
+func (n *Node) Op() Op { return n.op }
+
+// Inputs returns the data dependencies in order. Callers must not mutate.
+func (n *Node) Inputs() []*Node { return n.inputs }
+
+// Controls returns the control dependencies. Callers must not mutate.
+func (n *Node) Controls() []*Node { return n.controls }
+
+// Sig returns the node's inferred output signature.
+func (n *Node) Sig() Sig { return n.sig }
+
+// Task returns the server this node is assigned to.
+func (n *Node) Task() string { return n.task }
+
+func (n *Node) String() string {
+	return fmt.Sprintf("%s(%s)@%s %v", n.name, n.op.Name(), n.task, n.sig)
+}
+
+// Graph is an immutable-after-build data-flow graph.
+type Graph struct {
+	nodes  []*Node
+	byName map[string]*Node
+}
+
+// Nodes returns all nodes in insertion (topological) order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Node looks a node up by name.
+func (g *Graph) Node(name string) (*Node, error) {
+	n, ok := g.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("graph: %q: %w", name, ErrNotFound)
+	}
+	return n, nil
+}
+
+// Builder constructs graphs. Nodes are appended in dependency order, so the
+// node list is already topologically sorted (inputs must exist before use).
+type Builder struct {
+	g    *Graph
+	task string
+	err  error
+	// weak control edges (update-after-read ordering): they order
+	// execution but do not keep their target alive through Prune.
+	weak map[*Node]map[*Node]bool
+}
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		g:    &Graph{byName: make(map[string]*Node)},
+		weak: make(map[*Node]map[*Node]bool),
+	}
+}
+
+// OnTask sets the server assignment for subsequently added nodes.
+func (b *Builder) OnTask(task string) *Builder {
+	b.task = task
+	return b
+}
+
+// Task returns the current task assignment.
+func (b *Builder) Task() string { return b.task }
+
+// Err returns the first construction error, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Nodes returns a snapshot of the nodes added so far (the partitioner
+// iterates it while appending Send/Recv nodes).
+func (b *Builder) Nodes() []*Node {
+	return append([]*Node(nil), b.g.nodes...)
+}
+
+func (b *Builder) fail(err error) *Node {
+	if b.err == nil {
+		b.err = err
+	}
+	return nil
+}
+
+// AddNode appends a node computing op over the inputs. The name must be
+// unique; the output signature is inferred immediately.
+func (b *Builder) AddNode(name string, op Op, inputs ...*Node) *Node {
+	if b.err != nil {
+		return nil
+	}
+	if name == "" {
+		return b.fail(fmt.Errorf("graph: empty node name: %w", ErrBadGraph))
+	}
+	if _, dup := b.g.byName[name]; dup {
+		return b.fail(fmt.Errorf("graph: duplicate node %q: %w", name, ErrBadGraph))
+	}
+	sigs := make([]Sig, len(inputs))
+	for i, in := range inputs {
+		if in == nil {
+			return b.fail(fmt.Errorf("graph: nil input %d of %q: %w", i, name, ErrBadGraph))
+		}
+		sigs[i] = in.sig
+	}
+	sig, err := op.InferSig(sigs)
+	if err != nil {
+		return b.fail(fmt.Errorf("graph: %q: %w", name, err))
+	}
+	n := &Node{
+		id:     len(b.g.nodes),
+		name:   name,
+		op:     op,
+		inputs: append([]*Node(nil), inputs...),
+		sig:    sig,
+		task:   b.task,
+	}
+	b.g.nodes = append(b.g.nodes, n)
+	b.g.byName[name] = n
+	return n
+}
+
+// ControlDep adds a control edge: n will not run before dep in the same
+// iteration.
+func (b *Builder) ControlDep(n, dep *Node) {
+	if b.err != nil || n == nil || dep == nil {
+		return
+	}
+	n.controls = append(n.controls, dep)
+}
+
+// controlDepWeak adds an ordering-only control edge that does not keep dep
+// alive through Prune (used for update-after-read ordering: if the reader
+// is dead, the hazard is gone with it).
+func (b *Builder) controlDepWeak(n, dep *Node) {
+	if b.err != nil || n == nil || dep == nil {
+		return
+	}
+	n.controls = append(n.controls, dep)
+	m := b.weak[n]
+	if m == nil {
+		m = make(map[*Node]bool)
+		b.weak[n] = m
+	}
+	m[dep] = true
+}
+
+// RewireInput redirects input idx of n to newIn. The partitioner uses it to
+// splice Send/Recv pairs into cross-server edges; the replacement must carry
+// a compatible signature (same dtype and rank, dimensions equal where both
+// are known). Signatures downstream are not re-inferred.
+func (b *Builder) RewireInput(n *Node, idx int, newIn *Node) error {
+	if n == nil || newIn == nil {
+		return fmt.Errorf("graph: rewire nil node: %w", ErrBadGraph)
+	}
+	if idx < 0 || idx >= len(n.inputs) {
+		return fmt.Errorf("graph: rewire input %d of %q (has %d): %w", idx, n.name, len(n.inputs), ErrBadGraph)
+	}
+	old, repl := n.inputs[idx].sig, newIn.sig
+	if old.DType != repl.DType || old.Shape.Rank() != repl.Shape.Rank() {
+		return fmt.Errorf("graph: rewire %q input %d: %v incompatible with %v: %w",
+			n.name, idx, repl, old, ErrBadGraph)
+	}
+	for i := range old.Shape {
+		if old.Shape[i] >= 0 && repl.Shape[i] >= 0 && old.Shape[i] != repl.Shape[i] {
+			return fmt.Errorf("graph: rewire %q input %d: %v incompatible with %v: %w",
+				n.name, idx, repl, old, ErrBadGraph)
+		}
+	}
+	n.inputs[idx] = newIn
+	return nil
+}
+
+// Finish validates and returns the graph.
+func (b *Builder) Finish() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	// Construction order guarantees acyclicity for data edges; control
+	// edges could introduce cycles, so verify.
+	if err := checkAcyclic(b.g); err != nil {
+		return nil, err
+	}
+	return b.g, nil
+}
+
+func checkAcyclic(g *Graph) error {
+	state := make([]int, len(g.nodes)) // 0 unvisited, 1 in-stack, 2 done
+	var visit func(n *Node) error
+	visit = func(n *Node) error {
+		switch state[n.id] {
+		case 1:
+			return fmt.Errorf("graph: through %q: %w", n.name, ErrCycle)
+		case 2:
+			return nil
+		}
+		state[n.id] = 1
+		for _, in := range n.inputs {
+			if err := visit(in); err != nil {
+				return err
+			}
+		}
+		for _, c := range n.controls {
+			if err := visit(c); err != nil {
+				return err
+			}
+		}
+		state[n.id] = 2
+		return nil
+	}
+	for _, n := range g.nodes {
+		if err := visit(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

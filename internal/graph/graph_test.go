@@ -1,0 +1,265 @@
+package graph
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder().OnTask("worker0")
+	x := b.Placeholder("x", Static(tensor.Float32, 4, 8))
+	w := b.Variable("w", Static(tensor.Float32, 8, 2))
+	y := b.MatMul("y", x, w)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes()) != 3 {
+		t.Errorf("nodes = %d", len(g.Nodes()))
+	}
+	if !y.Sig().Static || !y.Sig().Shape.Equal(tensor.Shape{4, 2}) {
+		t.Errorf("y sig = %v", y.Sig())
+	}
+	if y.Task() != "worker0" {
+		t.Errorf("task = %q", y.Task())
+	}
+	n, err := g.Node("y")
+	if err != nil || n != y {
+		t.Errorf("lookup: %v", err)
+	}
+	if _, err := g.Node("zzz"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing lookup: %v", err)
+	}
+	if !strings.Contains(y.String(), "MatMul") {
+		t.Errorf("String = %q", y.String())
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	b.Placeholder("x", Static(tensor.Float32, 2))
+	b.Placeholder("x", Static(tensor.Float32, 2)) // duplicate
+	if _, err := b.Finish(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("duplicate name: %v", err)
+	}
+
+	b2 := NewBuilder()
+	b2.AddNode("", identityOp{})
+	if _, err := b2.Finish(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("empty name: %v", err)
+	}
+
+	b3 := NewBuilder()
+	b3.Identity("id", nil)
+	if _, err := b3.Finish(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("nil input: %v", err)
+	}
+
+	// After a failure the builder keeps failing but never panics.
+	b4 := NewBuilder()
+	a := b4.Placeholder("a", Static(tensor.Float32, 2, 3))
+	bad := b4.MatMul("bad", a, a) // 2x3 @ 2x3 mismatch
+	if bad != nil {
+		t.Error("failed AddNode should return nil")
+	}
+	c := b4.Identity("c", a)
+	if c != nil {
+		t.Error("builder should stay failed")
+	}
+	if _, err := b4.Finish(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("matmul mismatch: %v", err)
+	}
+}
+
+func TestControlCycleDetected(t *testing.T) {
+	b := NewBuilder()
+	a := b.Placeholder("a", Static(tensor.Float32, 1))
+	c := b.Identity("c", a)
+	d := b.Identity("d", c)
+	b.ControlDep(c, d) // c -> d -> c
+	if _, err := b.Finish(); !errors.Is(err, ErrCycle) {
+		t.Errorf("cycle: %v", err)
+	}
+}
+
+func TestShapeInference(t *testing.T) {
+	b := NewBuilder()
+	x := b.Placeholder("x", Dyn(tensor.Float32, -1, 16))
+	w := b.Variable("w", Static(tensor.Float32, 16, 4))
+	h := b.MatMul("h", x, w)
+	if h.Sig().Static {
+		t.Error("dynamic batch should stay dynamic")
+	}
+	if h.Sig().Shape[1] != 4 || h.Sig().Shape[0] != -1 {
+		t.Errorf("h shape = %v", h.Sig().Shape)
+	}
+	bias := b.Variable("b", Static(tensor.Float32, 4))
+	y := b.BiasAdd("y", h, bias)
+	if y.Sig().Static {
+		t.Error("biasadd of dynamic should stay dynamic")
+	}
+	act := b.Sigmoid("act", y)
+	if act.Sig().Shape.Rank() != 2 {
+		t.Errorf("act shape = %v", act.Sig().Shape)
+	}
+	labels := b.Placeholder("labels", Dyn(tensor.Int32, -1))
+	loss := b.SoftmaxXent("loss", act, labels)
+	if !loss.Sig().Static || loss.Sig().Shape.NumElements() != 1 {
+		t.Errorf("loss sig = %v", loss.Sig())
+	}
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticMergePinsDynamicDims(t *testing.T) {
+	b := NewBuilder()
+	x := b.Placeholder("x", Dyn(tensor.Float32, -1, 8))
+	y := b.Placeholder("y", Static(tensor.Float32, 4, 8))
+	s := b.Add("s", x, y)
+	if !s.Sig().Static || !s.Sig().Shape.Equal(tensor.Shape{4, 8}) {
+		t.Errorf("merged sig = %v", s.Sig())
+	}
+	// Conflicting known dims must fail.
+	b.Add("bad", y, b.Placeholder("z", Static(tensor.Float32, 5, 8)))
+	if _, err := b.Finish(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("dim conflict: %v", err)
+	}
+}
+
+func TestVariableChecks(t *testing.T) {
+	b := NewBuilder()
+	v := b.Variable("v", Static(tensor.Float32, 3))
+	if !IsVariable(v) {
+		t.Error("IsVariable(v) = false")
+	}
+	x := b.Placeholder("x", Static(tensor.Float32, 3))
+	if IsVariable(x) {
+		t.Error("IsVariable(placeholder) = true")
+	}
+	b.ApplySGD("upd", x, v, 0.1) // x is not a variable
+	if _, err := b.Finish(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("ApplySGD on non-variable: %v", err)
+	}
+
+	b2 := NewBuilder()
+	b2.Variable("dyn", Dyn(tensor.Float32, -1))
+	if _, err := b2.Finish(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("dynamic variable: %v", err)
+	}
+}
+
+func TestGradientsStructure(t *testing.T) {
+	b := NewBuilder()
+	x := b.Placeholder("x", Static(tensor.Float32, 2, 4))
+	w := b.Variable("w", Static(tensor.Float32, 4, 3))
+	h := b.MatMul("h", x, w)
+	labels := b.Placeholder("labels", Static(tensor.Int32, 2))
+	loss := b.SoftmaxXent("loss", h, labels)
+	grads, err := Gradients(b, loss, []*Node{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := grads[w]
+	if gw == nil {
+		t.Fatal("no gradient for w")
+	}
+	if !gw.Sig().Shape.Equal(w.Sig().Shape) {
+		t.Errorf("grad shape %v, want %v", gw.Sig().Shape, w.Sig().Shape)
+	}
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradientsFanoutAccumulates(t *testing.T) {
+	// loss = xent(h + h) — h has two consumers, so its gradient must be the
+	// sum of both paths.
+	b := NewBuilder()
+	x := b.Placeholder("x", Static(tensor.Float32, 1, 2))
+	w := b.Variable("w", Static(tensor.Float32, 2, 2))
+	h := b.MatMul("h", x, w)
+	twice := b.Add("twice", h, h)
+	labels := b.Placeholder("labels", Static(tensor.Int32, 1))
+	loss := b.SoftmaxXent("loss", twice, labels)
+	grads, err := Gradients(b, loss, []*Node{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect at least one accumulation node on the path.
+	found := false
+	for _, n := range b.g.nodes {
+		if strings.Contains(n.Name(), "accum_") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no accumulation node emitted for fan-out")
+	}
+	if grads[w] == nil {
+		t.Fatal("missing gradient")
+	}
+}
+
+func TestGradientsErrors(t *testing.T) {
+	b := NewBuilder()
+	x := b.Placeholder("x", Static(tensor.Float32, 2, 2))
+	v := b.Variable("v", Static(tensor.Float32, 2, 2))
+	if _, err := Gradients(b, x, []*Node{v}); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("non-scalar loss: %v", err)
+	}
+	// Target not connected to loss.
+	labels := b.Placeholder("l", Static(tensor.Int32, 2))
+	loss := b.SoftmaxXent("loss", x, labels)
+	if _, err := Gradients(b, loss, []*Node{v}); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("disconnected target: %v", err)
+	}
+	if _, err := Gradients(b, loss, []*Node{nil}); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("nil target: %v", err)
+	}
+	if _, err := Gradients(b, nil, nil); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("nil loss: %v", err)
+	}
+}
+
+func TestNonDifferentiableOpRejected(t *testing.T) {
+	b := NewBuilder()
+	v := b.Variable("v", Static(tensor.Float32, 2, 2))
+	m := b.ReduceMax("m", v) // ReduceMax has no gradient
+	// Make a scalar "loss" downstream of m.
+	loss := b.Identity("loss", m)
+	if _, err := Gradients(b, loss, []*Node{v}); !errors.Is(err, ErrNoGrad) {
+		t.Errorf("err = %v, want ErrNoGrad", err)
+	}
+}
+
+func TestSigHelpers(t *testing.T) {
+	s := Static(tensor.Float32, 3, 4)
+	if s.NumElements() != 12 || s.ByteSize() != 48 {
+		t.Errorf("static sig: %d elems, %d bytes", s.NumElements(), s.ByteSize())
+	}
+	d := Dyn(tensor.Float32, -1, 4)
+	if d.NumElements() != 0 || d.ByteSize() != 0 {
+		t.Error("dyn sig should report zero size")
+	}
+	if !strings.Contains(s.String(), "static") || !strings.Contains(d.String(), "dyn") {
+		t.Errorf("sig strings: %q, %q", s, d)
+	}
+}
+
+func TestGroupAndControlDeps(t *testing.T) {
+	b := NewBuilder()
+	a := b.Placeholder("a", Static(tensor.Float32, 1))
+	c := b.Identity("c", a)
+	d := b.Identity("d", a)
+	grp := b.Group("step", c, d)
+	if len(grp.Controls()) != 2 {
+		t.Errorf("controls = %d", len(grp.Controls()))
+	}
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

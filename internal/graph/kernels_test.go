@@ -1,0 +1,265 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// A minimal sequential evaluator: builder order is topological, so walking
+// the node list and invoking each kernel directly exercises every Compute
+// path without the concurrent scheduler.
+
+type seqVars map[string]*tensor.Tensor
+
+func (v seqVars) VarTensor(name string) (*tensor.Tensor, error) {
+	t, ok := v[name]
+	if !ok {
+		return nil, fmt.Errorf("seqVars: %q missing", name)
+	}
+	return t, nil
+}
+
+func (v seqVars) Create(name string, t *tensor.Tensor) error {
+	if _, ok := v[name]; ok {
+		return fmt.Errorf("seqVars: %q exists", name)
+	}
+	v[name] = t
+	return nil
+}
+
+func evalSeq(t *testing.T, g *Graph, vars seqVars, feeds map[string]*tensor.Tensor) map[string]*tensor.Tensor {
+	t.Helper()
+	out := make(map[string]*tensor.Tensor)
+	values := make([]*tensor.Tensor, len(g.Nodes()))
+	for _, n := range g.Nodes() {
+		ctx := &Context{
+			Node:  n,
+			Feeds: feeds,
+			Vars:  vars,
+			Alloc: func(dt tensor.DType, shape tensor.Shape) (*tensor.Tensor, error) {
+				return tensor.New(dt, shape...), nil
+			},
+		}
+		for _, in := range n.Inputs() {
+			ctx.Inputs = append(ctx.Inputs, values[in.ID()])
+		}
+		k, ok := n.Op().(Kernel)
+		if !ok {
+			t.Fatalf("%s has no synchronous kernel", n.Name())
+		}
+		if err := k.Compute(ctx); err != nil {
+			t.Fatalf("%s: %v", n.Name(), err)
+		}
+		values[n.ID()] = ctx.Output
+		out[n.Name()] = ctx.Output
+	}
+	return out
+}
+
+func scalarConst(t *testing.T, b *Builder, name string, vals ...float32) *Node {
+	t.Helper()
+	c, err := tensor.FromFloat32(tensor.Shape{len(vals)}, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Const(name, c)
+}
+
+func TestKernelsArithmetic(t *testing.T) {
+	b := NewBuilder()
+	x := scalarConst(t, b, "x", 1, 2, 3, 4)
+	y := scalarConst(t, b, "y", 10, 20, 30, 40)
+	b.Add("add", x, y)
+	b.Sub("sub", y, x)
+	b.Mul("mul", x, y)
+	b.Scale("scale", x, -2)
+	b.Identity("id", x)
+	b.ReduceMax("max", y)
+	b.Group("grp")
+	b.Reshape("rs", x, 2, 2)
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := evalSeq(t, g, seqVars{}, nil)
+	if out["add"].Float32s()[2] != 33 {
+		t.Errorf("add = %v", out["add"].Float32s())
+	}
+	if out["sub"].Float32s()[0] != 9 {
+		t.Errorf("sub = %v", out["sub"].Float32s())
+	}
+	if out["mul"].Float32s()[3] != 160 {
+		t.Errorf("mul = %v", out["mul"].Float32s())
+	}
+	if out["scale"].Float32s()[1] != -4 {
+		t.Errorf("scale = %v", out["scale"].Float32s())
+	}
+	if out["max"].Float32s()[0] != 40 {
+		t.Errorf("max = %v", out["max"].Float32s())
+	}
+	if !out["rs"].Shape().Equal(tensor.Shape{2, 2}) {
+		t.Errorf("reshape shape = %v", out["rs"].Shape())
+	}
+	if out["id"] != out["x"] {
+		t.Error("identity should pass the tensor through")
+	}
+}
+
+func TestKernelsNN(t *testing.T) {
+	b := NewBuilder()
+	x := scalarConst(t, b, "xf", 0.5, -0.5)
+	xm := b.Reshape("x", x, 1, 2)
+	w, err := tensor.FromFloat32(tensor.Shape{2, 2}, []float32{1, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wn := b.Const("w", w)
+	mm := b.MatMul("mm", xm, wn)
+	bias := scalarConst(t, b, "bias", 1, 1)
+	ba := b.BiasAdd("ba", mm, bias)
+	b.Sigmoid("sig", ba)
+	b.ReLU("relu", ba)
+	b.Tanh("tanh", ba)
+	b.Softmax("softmax", ba)
+	labels := tensor.New(tensor.Int32, 1)
+	ln := b.Const("labels", labels)
+	b.SoftmaxXent("loss", ba, ln)
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := evalSeq(t, g, seqVars{}, nil)
+	if out["ba"].Float32s()[0] != 1.5 || out["ba"].Float32s()[1] != 0.5 {
+		t.Errorf("biasadd = %v", out["ba"].Float32s())
+	}
+	if out["relu"].Float32s()[1] != 0.5 {
+		t.Errorf("relu = %v", out["relu"].Float32s())
+	}
+	p := out["softmax"].Float32s()
+	if math.Abs(float64(p[0]+p[1]-1)) > 1e-5 {
+		t.Errorf("softmax = %v", p)
+	}
+	if out["loss"].NumElements() != 1 {
+		t.Error("loss not scalar")
+	}
+}
+
+func TestKernelsConvAndPool(t *testing.T) {
+	b := NewBuilder()
+	img := tensor.New(tensor.Float32, 1, 4, 4, 1)
+	for i := range img.Float32s() {
+		img.Float32s()[i] = float32(i)
+	}
+	in := b.Const("in", img)
+	k := tensor.New(tensor.Float32, 1, 1, 1, 1)
+	k.Float32s()[0] = 2
+	kn := b.Const("k", k)
+	b.Conv2D("conv", in, kn, 1, 0)
+	b.MaxPool("pool", in)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := evalSeq(t, g, seqVars{}, nil)
+	if out["conv"].Float32s()[5] != 10 {
+		t.Errorf("conv = %v", out["conv"].Float32s()[5])
+	}
+	if out["pool"].Float32s()[0] != 5 {
+		t.Errorf("pool = %v", out["pool"].Float32s())
+	}
+}
+
+func TestKernelsGradOpsViaAutodiff(t *testing.T) {
+	// Building gradients for a conv+pool+activation pipeline and running
+	// it sequentially exercises every backward kernel's Compute.
+	b := NewBuilder()
+	x := b.Placeholder("x", Static(tensor.Float32, 1, 4, 4, 1))
+	w := b.Variable("w", Static(tensor.Float32, 2, 3, 3, 1))
+	conv := b.ReLU("relu", b.Conv2D("conv", x, w, 1, 1))
+	pool := b.MaxPool("pool", conv)
+	rs := b.Reshape("flatten", pool, 1, 2*2*2)
+	w2 := b.Variable("w2", Static(tensor.Float32, 8, 3))
+	labels := b.Placeholder("labels", Static(tensor.Int32, 1))
+	loss := b.SoftmaxXent("loss", b.MatMul("mm", rs, w2), labels)
+	grads, err := Gradients(b, loss, []*Node{w, w2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := seqVars{}
+	wt := tensor.New(tensor.Float32, 2, 3, 3, 1)
+	wt.Fill(0.1)
+	w2t := tensor.New(tensor.Float32, 8, 3)
+	w2t.Fill(0.1)
+	vars["w"] = wt
+	vars["w2"] = w2t
+	xt := tensor.New(tensor.Float32, 1, 4, 4, 1)
+	xt.Fill(1)
+	lt := tensor.New(tensor.Int32, 1)
+	out := evalSeq(t, g, vars, map[string]*tensor.Tensor{"x": xt, "labels": lt})
+	for _, v := range []*Node{w, w2} {
+		gt := out[grads[v].Name()]
+		if gt == nil || !gt.Shape().Equal(v.Sig().Shape) {
+			t.Errorf("gradient of %s missing or misshapen", v.Name())
+		}
+		if tensor.L2Norm(gt) == 0 {
+			t.Errorf("gradient of %s is zero", v.Name())
+		}
+	}
+}
+
+func TestPlaceholderMissingFeed(t *testing.T) {
+	b := NewBuilder()
+	x := b.Placeholder("x", Static(tensor.Float32, 1))
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Nodes()[0]
+	ctx := &Context{Node: n, Feeds: nil}
+	if err := x.Op().(Kernel).Compute(ctx); err == nil {
+		t.Error("missing feed accepted")
+	}
+}
+
+func TestInferSigErrorBranches(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder, v2, v3, m *Node)
+	}{
+		{"add-rank", func(b *Builder, v2, v3, m *Node) { b.Add("e", v2, v3) }},
+		{"matmul-rank", func(b *Builder, v2, v3, m *Node) { b.MatMul("e", v2, v3) }},
+		{"bias-rank", func(b *Builder, v2, v3, m *Node) { b.BiasAdd("e", m, m) }},
+		{"pool-rank", func(b *Builder, v2, v3, m *Node) { b.MaxPool("e", v2) }},
+		{"conv-rank", func(b *Builder, v2, v3, m *Node) { b.Conv2D("e", v2, v3, 1, 0) }},
+		{"xent-labels", func(b *Builder, v2, v3, m *Node) { b.SoftmaxXent("e", m, m) }},
+		{"reshape-count", func(b *Builder, v2, v3, m *Node) { b.Reshape("e", v2, 5) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := NewBuilder()
+			v2 := scalarConst(t, b, "v2", 1, 2)
+			v3 := scalarConst(t, b, "v3", 1, 2, 3)
+			m := b.Reshape("m", v3, 1, 3)
+			c.build(b, v2, v3, m)
+			// Shape failures surface as ErrBadGraph or, for ops that defer
+			// to the tensor package's shape functions, tensor.ErrShape.
+			if _, err := b.Finish(); !errors.Is(err, ErrBadGraph) && !errors.Is(err, tensor.ErrShape) {
+				t.Errorf("err = %v, want a shape-class error", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// applyAdamOp performs the Adam update in place:
+//
+//	m = β₁m + (1-β₁)g;  v = β₂v + (1-β₂)g²
+//	var -= lr · m̂ / (√v̂ + ε)   with bias-corrected m̂, v̂
+//
+// The moment slots ("<var>/adam_m", "<var>/adam_v") and the step counter
+// ("<var>/adam_t") are hidden variables created lazily on first use.
+type applyAdamOp struct {
+	varName              string
+	lr, beta1, beta2, ep float32
+}
+
+// ApplyAdam adds an in-place Adam update node for the variable. Like the
+// other optimizer ops it orders itself after every current reader of the
+// variable.
+func (b *Builder) ApplyAdam(name string, variable *Node, grad *Node, lr float32) *Node {
+	if variable == nil {
+		return b.fail(fmt.Errorf("ApplyAdam: nil variable: %w", ErrBadGraph))
+	}
+	if b.Err() == nil && !IsVariable(variable) {
+		b.fail(fmt.Errorf("ApplyAdam: %q is not a Variable: %w", variable.Name(), ErrBadGraph))
+		return nil
+	}
+	op := &applyAdamOp{varName: variable.Name(), lr: lr, beta1: 0.9, beta2: 0.999, ep: 1e-8}
+	n := b.AddNode(name, op, grad)
+	b.orderAfterReaders(n, variable)
+	return n
+}
+
+func (op *applyAdamOp) Name() string { return "ApplyAdam" }
+
+func (op *applyAdamOp) InferSig(in []Sig) (Sig, error) {
+	if err := wantInputs("ApplyAdam", in, 1); err != nil {
+		return Sig{}, err
+	}
+	return in[0], nil
+}
+
+// varCreator is the optional slot-creating capability of a variable store.
+type varCreator interface {
+	Create(string, *tensor.Tensor) error
+}
+
+func (op *applyAdamOp) slot(ctx *Context, suffix string, like *tensor.Tensor) (*tensor.Tensor, error) {
+	name := op.varName + suffix
+	t, err := ctx.Vars.VarTensor(name)
+	if err == nil {
+		return t, nil
+	}
+	creator, ok := ctx.Vars.(varCreator)
+	if !ok {
+		return nil, fmt.Errorf("graph: variable store cannot create Adam slot %q", name)
+	}
+	t = tensor.New(like.DType(), like.Shape()...)
+	if err := creator.Create(name, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (op *applyAdamOp) Compute(ctx *Context) error {
+	v, err := ctx.Vars.VarTensor(op.varName)
+	if err != nil {
+		return err
+	}
+	g := ctx.Inputs[0]
+	if g.NumElements() != v.NumElements() {
+		return fmt.Errorf("graph: adam gradient %v for variable %v: %w",
+			g.Shape(), v.Shape(), ErrBadGraph)
+	}
+	m, err := op.slot(ctx, "/adam_m", v)
+	if err != nil {
+		return err
+	}
+	vv, err := op.slot(ctx, "/adam_v", v)
+	if err != nil {
+		return err
+	}
+	step, err := op.slot(ctx, "/adam_t", tensor.New(tensor.Float32))
+	if err != nil {
+		return err
+	}
+	step.Float32s()[0]++
+	t := float64(step.Float32s()[0])
+	corr1 := float32(1 - math.Pow(float64(op.beta1), t))
+	corr2 := float32(1 - math.Pow(float64(op.beta2), t))
+
+	vw, gw, mw, vvw := v.Float32s(), g.Float32s(), m.Float32s(), vv.Float32s()
+	for i := range vw {
+		mw[i] = op.beta1*mw[i] + (1-op.beta1)*gw[i]
+		vvw[i] = op.beta2*vvw[i] + (1-op.beta2)*gw[i]*gw[i]
+		mhat := mw[i] / corr1
+		vhat := vvw[i] / corr2
+		vw[i] -= op.lr * mhat / (float32(math.Sqrt(float64(vhat))) + op.ep)
+	}
+	ctx.Output = v
+	return nil
+}

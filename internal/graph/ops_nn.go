@@ -1,0 +1,537 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Neural-network operators with their gradients.
+
+// --- MatMul family ---
+
+type matMulOp struct{}
+
+// MatMul adds c = a @ b for a:[m,k], b:[k,n].
+func (b *Builder) MatMul(name string, x, y *Node) *Node { return b.AddNode(name, matMulOp{}, x, y) }
+
+func (matMulOp) Name() string { return "MatMul" }
+
+func (matMulOp) InferSig(in []Sig) (Sig, error) {
+	if err := wantInputs("MatMul", in, 2); err != nil {
+		return Sig{}, err
+	}
+	a, bb := in[0], in[1]
+	if a.Shape.Rank() != 2 || bb.Shape.Rank() != 2 {
+		return Sig{}, fmt.Errorf("MatMul: ranks %v, %v: %w", a.Shape, bb.Shape, ErrBadGraph)
+	}
+	if a.Shape[1] >= 0 && bb.Shape[0] >= 0 && a.Shape[1] != bb.Shape[0] {
+		return Sig{}, fmt.Errorf("MatMul: inner dims %d vs %d: %w", a.Shape[1], bb.Shape[0], ErrBadGraph)
+	}
+	out := Sig{DType: a.DType, Shape: tensor.Shape{a.Shape[0], bb.Shape[1]}}
+	out.Static = a.Static && bb.Static
+	return out, nil
+}
+
+func (matMulOp) Compute(ctx *Context) error {
+	a, b := ctx.Inputs[0], ctx.Inputs[1]
+	out, err := ctx.Alloc(a.DType(), tensor.Shape{a.Shape()[0], b.Shape()[1]})
+	if err != nil {
+		return err
+	}
+	if err := tensor.MatMul(out, a, b); err != nil {
+		return err
+	}
+	ctx.Output = out
+	return nil
+}
+
+func (matMulOp) BuildGrad(gb *GradBuilder, node *Node, outGrad *Node) ([]*Node, error) {
+	a, b := node.Inputs()[0], node.Inputs()[1]
+	da := gb.Add("matmulgrad_a", matMulTBOp{}, outGrad, b) // g @ bᵀ
+	db := gb.Add("matmulgrad_b", matMulTAOp{}, a, outGrad) // aᵀ @ g
+	return []*Node{da, db}, nil
+}
+
+type matMulTAOp struct{}
+
+func (matMulTAOp) Name() string { return "MatMulTransA" }
+
+func (matMulTAOp) InferSig(in []Sig) (Sig, error) {
+	if err := wantInputs("MatMulTransA", in, 2); err != nil {
+		return Sig{}, err
+	}
+	a, b := in[0], in[1]
+	if a.Shape.Rank() != 2 || b.Shape.Rank() != 2 {
+		return Sig{}, fmt.Errorf("MatMulTransA: ranks %v, %v: %w", a.Shape, b.Shape, ErrBadGraph)
+	}
+	out := Sig{DType: a.DType, Shape: tensor.Shape{a.Shape[1], b.Shape[1]}}
+	out.Static = a.Shape[1] >= 0 && b.Shape[1] >= 0
+	return out, nil
+}
+
+func (matMulTAOp) Compute(ctx *Context) error {
+	a, b := ctx.Inputs[0], ctx.Inputs[1]
+	out, err := ctx.Alloc(a.DType(), tensor.Shape{a.Shape()[1], b.Shape()[1]})
+	if err != nil {
+		return err
+	}
+	if err := tensor.MatMulTransA(out, a, b); err != nil {
+		return err
+	}
+	ctx.Output = out
+	return nil
+}
+
+type matMulTBOp struct{}
+
+func (matMulTBOp) Name() string { return "MatMulTransB" }
+
+func (matMulTBOp) InferSig(in []Sig) (Sig, error) {
+	if err := wantInputs("MatMulTransB", in, 2); err != nil {
+		return Sig{}, err
+	}
+	a, b := in[0], in[1]
+	if a.Shape.Rank() != 2 || b.Shape.Rank() != 2 {
+		return Sig{}, fmt.Errorf("MatMulTransB: ranks %v, %v: %w", a.Shape, b.Shape, ErrBadGraph)
+	}
+	out := Sig{DType: a.DType, Shape: tensor.Shape{a.Shape[0], b.Shape[0]}}
+	out.Static = a.Shape[0] >= 0 && b.Shape[0] >= 0
+	return out, nil
+}
+
+func (matMulTBOp) Compute(ctx *Context) error {
+	a, b := ctx.Inputs[0], ctx.Inputs[1]
+	out, err := ctx.Alloc(a.DType(), tensor.Shape{a.Shape()[0], b.Shape()[0]})
+	if err != nil {
+		return err
+	}
+	if err := tensor.MatMulTransB(out, a, b); err != nil {
+		return err
+	}
+	ctx.Output = out
+	return nil
+}
+
+// --- BiasAdd ---
+
+type biasAddOp struct{}
+
+// BiasAdd adds y = x + broadcast(b) where b spans the last dimension.
+func (b *Builder) BiasAdd(name string, x, bias *Node) *Node {
+	return b.AddNode(name, biasAddOp{}, x, bias)
+}
+
+func (biasAddOp) Name() string { return "BiasAdd" }
+
+func (biasAddOp) InferSig(in []Sig) (Sig, error) {
+	if err := wantInputs("BiasAdd", in, 2); err != nil {
+		return Sig{}, err
+	}
+	x, bias := in[0], in[1]
+	if bias.Shape.Rank() != 1 {
+		return Sig{}, fmt.Errorf("BiasAdd: bias rank %v: %w", bias.Shape, ErrBadGraph)
+	}
+	if x.Shape.Inner() >= 0 && bias.Shape[0] >= 0 && x.Shape.Inner() != bias.Shape[0] {
+		return Sig{}, fmt.Errorf("BiasAdd: widths %d vs %d: %w", x.Shape.Inner(), bias.Shape[0], ErrBadGraph)
+	}
+	return x, nil
+}
+
+func (biasAddOp) Compute(ctx *Context) error {
+	x, bias := ctx.Inputs[0], ctx.Inputs[1]
+	out, err := ctx.Alloc(x.DType(), x.Shape())
+	if err != nil {
+		return err
+	}
+	if err := out.CopyFrom(x); err != nil {
+		return err
+	}
+	if err := tensor.AddBias(out, bias); err != nil {
+		return err
+	}
+	ctx.Output = out
+	return nil
+}
+
+func (biasAddOp) BuildGrad(gb *GradBuilder, node *Node, outGrad *Node) ([]*Node, error) {
+	db := gb.Add("biasgrad", biasGradOp{width: node.Inputs()[1].Sig().Shape[0]}, outGrad)
+	return []*Node{outGrad, db}, nil
+}
+
+type biasGradOp struct{ width int }
+
+func (op biasGradOp) Name() string { return "BiasGrad" }
+
+func (op biasGradOp) InferSig(in []Sig) (Sig, error) {
+	if err := wantInputs("BiasGrad", in, 1); err != nil {
+		return Sig{}, err
+	}
+	return Static(in[0].DType, op.width), nil
+}
+
+func (op biasGradOp) Compute(ctx *Context) error {
+	out, err := ctx.Alloc(ctx.Inputs[0].DType(), tensor.Shape{op.width})
+	if err != nil {
+		return err
+	}
+	if err := tensor.BiasGrad(out, ctx.Inputs[0]); err != nil {
+		return err
+	}
+	ctx.Output = out
+	return nil
+}
+
+// --- Activations ---
+
+// activationOp shares the unary forward/backward plumbing.
+type activationOp struct {
+	name string
+	fwd  func(dst, src *tensor.Tensor) error
+	bwd  func(dx, dy, y *tensor.Tensor) error
+}
+
+// Sigmoid adds y = σ(x).
+func (b *Builder) Sigmoid(name string, x *Node) *Node {
+	return b.AddNode(name, &activationOp{name: "Sigmoid", fwd: tensor.Sigmoid, bwd: tensor.SigmoidGrad}, x)
+}
+
+// ReLU adds y = max(x, 0).
+func (b *Builder) ReLU(name string, x *Node) *Node {
+	return b.AddNode(name, &activationOp{name: "ReLU", fwd: tensor.ReLU, bwd: tensor.ReLUGrad}, x)
+}
+
+// Tanh adds y = tanh(x).
+func (b *Builder) Tanh(name string, x *Node) *Node {
+	return b.AddNode(name, &activationOp{name: "Tanh", fwd: tensor.Tanh, bwd: tensor.TanhGrad}, x)
+}
+
+func (op *activationOp) Name() string { return op.name }
+
+func (op *activationOp) InferSig(in []Sig) (Sig, error) {
+	if err := wantInputs(op.name, in, 1); err != nil {
+		return Sig{}, err
+	}
+	return in[0], nil
+}
+
+func (op *activationOp) Compute(ctx *Context) error {
+	out, err := ctx.Alloc(ctx.Inputs[0].DType(), ctx.Inputs[0].Shape())
+	if err != nil {
+		return err
+	}
+	if err := op.fwd(out, ctx.Inputs[0]); err != nil {
+		return err
+	}
+	ctx.Output = out
+	return nil
+}
+
+func (op *activationOp) BuildGrad(gb *GradBuilder, node *Node, outGrad *Node) ([]*Node, error) {
+	// The backward form consumes the forward *output* y, so the grad node
+	// takes the forward node itself as a second input.
+	dx := gb.Add("actgrad", &activationGradOp{name: op.name + "Grad", bwd: op.bwd}, outGrad, node)
+	return []*Node{dx}, nil
+}
+
+type activationGradOp struct {
+	name string
+	bwd  func(dx, dy, y *tensor.Tensor) error
+}
+
+func (op *activationGradOp) Name() string { return op.name }
+
+func (op *activationGradOp) InferSig(in []Sig) (Sig, error) {
+	if err := wantInputs(op.name, in, 2); err != nil {
+		return Sig{}, err
+	}
+	return mergeElementwise(op.name, in[0], in[1])
+}
+
+func (op *activationGradOp) Compute(ctx *Context) error {
+	dy, y := ctx.Inputs[0], ctx.Inputs[1]
+	out, err := ctx.Alloc(dy.DType(), dy.Shape())
+	if err != nil {
+		return err
+	}
+	if err := op.bwd(out, dy, y); err != nil {
+		return err
+	}
+	ctx.Output = out
+	return nil
+}
+
+// --- Softmax cross-entropy loss ---
+
+type softmaxOp struct{}
+
+// Softmax adds a row-wise softmax node.
+func (b *Builder) Softmax(name string, logits *Node) *Node {
+	return b.AddNode(name, softmaxOp{}, logits)
+}
+
+func (softmaxOp) Name() string { return "Softmax" }
+
+func (softmaxOp) InferSig(in []Sig) (Sig, error) {
+	if err := wantInputs("Softmax", in, 1); err != nil {
+		return Sig{}, err
+	}
+	return in[0], nil
+}
+
+func (softmaxOp) Compute(ctx *Context) error {
+	out, err := ctx.Alloc(ctx.Inputs[0].DType(), ctx.Inputs[0].Shape())
+	if err != nil {
+		return err
+	}
+	if err := tensor.Softmax(out, ctx.Inputs[0]); err != nil {
+		return err
+	}
+	ctx.Output = out
+	return nil
+}
+
+type xentLossOp struct{}
+
+// SoftmaxXent adds the scalar mean cross-entropy loss of logits:[m,n]
+// against int32 labels:[m].
+func (b *Builder) SoftmaxXent(name string, logits, labels *Node) *Node {
+	return b.AddNode(name, xentLossOp{}, logits, labels)
+}
+
+func (xentLossOp) Name() string { return "SoftmaxXent" }
+
+func (xentLossOp) InferSig(in []Sig) (Sig, error) {
+	if err := wantInputs("SoftmaxXent", in, 2); err != nil {
+		return Sig{}, err
+	}
+	if in[1].DType != tensor.Int32 {
+		return Sig{}, fmt.Errorf("SoftmaxXent: labels must be int32, got %v: %w", in[1].DType, ErrBadGraph)
+	}
+	return Static(tensor.Float32), nil
+}
+
+func (xentLossOp) Compute(ctx *Context) error {
+	logits, labels := ctx.Inputs[0], ctx.Inputs[1]
+	probs, err := ctx.Alloc(logits.DType(), logits.Shape())
+	if err != nil {
+		return err
+	}
+	loss, err := tensor.SoftmaxCrossEntropy(probs, logits, labels)
+	if err != nil {
+		return err
+	}
+	out, err := ctx.Alloc(tensor.Float32, nil)
+	if err != nil {
+		return err
+	}
+	out.Float32s()[0] = loss
+	ctx.Output = out
+	return nil
+}
+
+func (xentLossOp) BuildGrad(gb *GradBuilder, node *Node, outGrad *Node) ([]*Node, error) {
+	logits, labels := node.Inputs()[0], node.Inputs()[1]
+	// Recompute softmax in the backward pass, then scale by the incoming
+	// scalar gradient (1 when the loss is the optimization root).
+	probs := gb.Add("xent_probs", softmaxOp{}, logits)
+	dlogits := gb.Add("xentgrad", xentGradOp{}, probs, labels, outGrad)
+	return []*Node{dlogits, nil}, nil
+}
+
+type xentGradOp struct{}
+
+func (xentGradOp) Name() string { return "SoftmaxXentGrad" }
+
+func (xentGradOp) InferSig(in []Sig) (Sig, error) {
+	if err := wantInputs("SoftmaxXentGrad", in, 3); err != nil {
+		return Sig{}, err
+	}
+	return in[0], nil
+}
+
+func (xentGradOp) Compute(ctx *Context) error {
+	probs, labels, scale := ctx.Inputs[0], ctx.Inputs[1], ctx.Inputs[2]
+	out, err := ctx.Alloc(probs.DType(), probs.Shape())
+	if err != nil {
+		return err
+	}
+	if err := tensor.SoftmaxCrossEntropyGrad(out, probs, labels); err != nil {
+		return err
+	}
+	if s := scale.Float32s()[0]; s != 1 {
+		tensor.Scale(s, out)
+	}
+	ctx.Output = out
+	return nil
+}
+
+// --- Conv2D ---
+
+type conv2DOp struct{ stride, pad int }
+
+// Conv2D adds out = in ⊛ filter (NHWC input, OHWI filter).
+func (b *Builder) Conv2D(name string, in, filter *Node, stride, pad int) *Node {
+	return b.AddNode(name, &conv2DOp{stride: stride, pad: pad}, in, filter)
+}
+
+func (op *conv2DOp) Name() string { return "Conv2D" }
+
+func (op *conv2DOp) InferSig(in []Sig) (Sig, error) {
+	if err := wantInputs("Conv2D", in, 2); err != nil {
+		return Sig{}, err
+	}
+	if !in[0].Static || !in[1].Static {
+		return Sig{}, fmt.Errorf("Conv2D: dynamic shapes unsupported: %w", ErrBadGraph)
+	}
+	shape, err := tensor.Conv2DShape(in[0].Shape, in[1].Shape, op.stride, op.pad)
+	if err != nil {
+		return Sig{}, err
+	}
+	return Sig{DType: in[0].DType, Shape: shape, Static: true}, nil
+}
+
+func (op *conv2DOp) Compute(ctx *Context) error {
+	in, filter := ctx.Inputs[0], ctx.Inputs[1]
+	shape, err := tensor.Conv2DShape(in.Shape(), filter.Shape(), op.stride, op.pad)
+	if err != nil {
+		return err
+	}
+	out, err := ctx.Alloc(in.DType(), shape)
+	if err != nil {
+		return err
+	}
+	if err := tensor.Conv2D(out, in, filter, op.stride, op.pad); err != nil {
+		return err
+	}
+	ctx.Output = out
+	return nil
+}
+
+func (op *conv2DOp) BuildGrad(gb *GradBuilder, node *Node, outGrad *Node) ([]*Node, error) {
+	in, filter := node.Inputs()[0], node.Inputs()[1]
+	din := gb.Add("convgrad_in", &conv2DGradOp{stride: op.stride, pad: op.pad, wantInput: true}, outGrad, in, filter)
+	dfl := gb.Add("convgrad_f", &conv2DGradOp{stride: op.stride, pad: op.pad, wantInput: false}, outGrad, in, filter)
+	return []*Node{din, dfl}, nil
+}
+
+type conv2DGradOp struct {
+	stride, pad int
+	wantInput   bool // true: d(input); false: d(filter)
+}
+
+func (op *conv2DGradOp) Name() string {
+	if op.wantInput {
+		return "Conv2DGradInput"
+	}
+	return "Conv2DGradFilter"
+}
+
+func (op *conv2DGradOp) InferSig(in []Sig) (Sig, error) {
+	if err := wantInputs(op.Name(), in, 3); err != nil {
+		return Sig{}, err
+	}
+	if op.wantInput {
+		return in[1], nil
+	}
+	return in[2], nil
+}
+
+func (op *conv2DGradOp) Compute(ctx *Context) error {
+	dout, in, filter := ctx.Inputs[0], ctx.Inputs[1], ctx.Inputs[2]
+	if op.wantInput {
+		din, err := ctx.Alloc(in.DType(), in.Shape())
+		if err != nil {
+			return err
+		}
+		if err := tensor.Conv2DGrad(din, nil, dout, in, filter, op.stride, op.pad); err != nil {
+			return err
+		}
+		ctx.Output = din
+		return nil
+	}
+	dfl, err := ctx.Alloc(filter.DType(), filter.Shape())
+	if err != nil {
+		return err
+	}
+	if err := tensor.Conv2DGrad(nil, dfl, dout, in, filter, op.stride, op.pad); err != nil {
+		return err
+	}
+	ctx.Output = dfl
+	return nil
+}
+
+// --- MaxPool (2x2 stride 2) ---
+
+type maxPoolOp struct{}
+
+// MaxPool adds 2×2 stride-2 max pooling over NHWC input.
+func (b *Builder) MaxPool(name string, in *Node) *Node {
+	return b.AddNode(name, maxPoolOp{}, in)
+}
+
+func (maxPoolOp) Name() string { return "MaxPool" }
+
+func (maxPoolOp) InferSig(in []Sig) (Sig, error) {
+	if err := wantInputs("MaxPool", in, 1); err != nil {
+		return Sig{}, err
+	}
+	s := in[0]
+	if s.Shape.Rank() != 4 || !s.Static {
+		return Sig{}, fmt.Errorf("MaxPool: want static NHWC, got %v: %w", s, ErrBadGraph)
+	}
+	return Sig{DType: s.DType,
+		Shape:  tensor.Shape{s.Shape[0], s.Shape[1] / 2, s.Shape[2] / 2, s.Shape[3]},
+		Static: true}, nil
+}
+
+func (maxPoolOp) Compute(ctx *Context) error {
+	in := ctx.Inputs[0]
+	s := in.Shape()
+	shape := tensor.Shape{s[0], s[1] / 2, s[2] / 2, s[3]}
+	out, err := ctx.Alloc(in.DType(), shape)
+	if err != nil {
+		return err
+	}
+	idx := tensor.New(tensor.Int32, shape...)
+	if err := tensor.MaxPool2D(out, idx, in); err != nil {
+		return err
+	}
+	ctx.Output = out
+	return nil
+}
+
+func (maxPoolOp) BuildGrad(gb *GradBuilder, node *Node, outGrad *Node) ([]*Node, error) {
+	din := gb.Add("poolgrad", maxPoolGradOp{}, outGrad, node.Inputs()[0])
+	return []*Node{din}, nil
+}
+
+type maxPoolGradOp struct{}
+
+func (maxPoolGradOp) Name() string { return "MaxPoolGrad" }
+
+func (maxPoolGradOp) InferSig(in []Sig) (Sig, error) {
+	if err := wantInputs("MaxPoolGrad", in, 2); err != nil {
+		return Sig{}, err
+	}
+	return in[1], nil
+}
+
+func (maxPoolGradOp) Compute(ctx *Context) error {
+	dout, in := ctx.Inputs[0], ctx.Inputs[1]
+	// Recompute the argmax indices from the forward input.
+	out := tensor.New(in.DType(), dout.Shape()...)
+	idx := tensor.New(tensor.Int32, dout.Shape()...)
+	if err := tensor.MaxPool2D(out, idx, in); err != nil {
+		return err
+	}
+	din, err := ctx.Alloc(in.DType(), in.Shape())
+	if err != nil {
+		return err
+	}
+	if err := tensor.MaxPool2DGrad(din, dout, idx); err != nil {
+		return err
+	}
+	ctx.Output = din
+	return nil
+}

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestOptimizerOrderedAfterReaders is the regression test for the in-place
+// update race: reverse-mode differentiation can emit gradient nodes whose
+// outputs are never consumed (e.g. the gradient toward a constant initial
+// RNN state); they still read the variable, so the optimizer node must be
+// control-ordered after every reader.
+func TestOptimizerOrderedAfterReaders(t *testing.T) {
+	b := NewBuilder()
+	w := b.Variable("w", Static(tensor.Float32, 4, 4))
+	x := b.Placeholder("x", Static(tensor.Float32, 2, 4))
+	// Two readers: one on the loss path, one dangling.
+	used := b.MatMul("used", x, w)
+	dangling := b.MatMul("dangling", x, w)
+	_ = dangling
+	labels := b.Placeholder("labels", Static(tensor.Int32, 2))
+	loss := b.SoftmaxXent("loss", used, labels)
+	grads, err := Gradients(b, loss, []*Node{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply := b.ApplySGD("apply", w, grads[w], 0.1)
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	deps := make(map[string]bool)
+	for _, c := range apply.Controls() {
+		deps[c.Name()] = true
+	}
+	for _, reader := range []string{"used", "dangling"} {
+		if !deps[reader] {
+			t.Errorf("apply lacks control dep on reader %q (got %v)", reader, deps)
+		}
+	}
+}
+
+// TestOptimizerOrderingSkipsOtherTasks: cross-server readers are rewired to
+// Recv nodes by the partitioner, so the optimizer must not take cross-task
+// control deps (the partitioner rejects them).
+func TestOptimizerOrderingSkipsOtherTasks(t *testing.T) {
+	b := NewBuilder()
+	b.OnTask("ps0")
+	w := b.Variable("w", Static(tensor.Float32, 2))
+	b.OnTask("worker0")
+	reader := b.Identity("reader", w)
+	_ = reader
+	b.OnTask("ps0")
+	g := b.Placeholder("g", Static(tensor.Float32, 2))
+	apply := b.ApplySGD("apply", w, g, 0.1)
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range apply.Controls() {
+		if c.Task() != "ps0" {
+			t.Errorf("cross-task control dep on %s@%s", c.Name(), c.Task())
+		}
+	}
+}

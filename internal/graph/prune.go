@@ -1,0 +1,92 @@
+package graph
+
+import "fmt"
+
+// Prune removes every node not needed to compute the keep set: reverse-mode
+// differentiation legitimately produces gradient nodes whose outputs have
+// no consumer (gradients toward constants and inputs), and without pruning
+// the executor would evaluate them every iteration. Keep must include every
+// node whose value or side effect matters — losses and fetch targets,
+// optimizer updates, anything with state.
+//
+// Prune must run before Finish (and before partitioning, which adds its own
+// Send/Recv nodes and keeps them alive by construction). Node IDs are
+// reassigned; node pointers remain valid.
+func (b *Builder) Prune(keep ...*Node) {
+	if b.err != nil {
+		return
+	}
+	marked := make(map[*Node]bool)
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if n == nil || marked[n] {
+			return
+		}
+		marked[n] = true
+		for _, in := range n.inputs {
+			visit(in)
+		}
+		for _, c := range n.controls {
+			if b.weak[n][c] {
+				continue // ordering-only: does not retain its target
+			}
+			visit(c)
+		}
+	}
+	for _, k := range keep {
+		if k == nil {
+			b.fail(fmt.Errorf("graph: nil keep node in Prune: %w", ErrBadGraph))
+			return
+		}
+		visit(k)
+	}
+	kept := b.g.nodes[:0]
+	for _, n := range b.g.nodes {
+		if marked[n] {
+			n.id = len(kept)
+			kept = append(kept, n)
+		} else {
+			delete(b.g.byName, n.name)
+		}
+	}
+	b.g.nodes = kept
+	// Survivors may hold weak control edges to pruned readers: drop them
+	// (the read-after-update hazard died with the reader).
+	for _, n := range b.g.nodes {
+		filtered := n.controls[:0]
+		for _, c := range n.controls {
+			if marked[c] {
+				filtered = append(filtered, c)
+			} else if !b.weak[n][c] {
+				b.fail(fmt.Errorf("graph: strong control dep of %q on pruned %q: %w",
+					n.name, c.name, ErrBadGraph))
+				return
+			}
+		}
+		n.controls = filtered
+	}
+}
+
+// StatefulNodes returns the nodes whose execution has side effects beyond
+// their output (optimizer updates); they are the canonical extra keep set
+// for Prune.
+func (g *Graph) StatefulNodes() []*Node {
+	var out []*Node
+	for _, n := range g.nodes {
+		if _, ok := UpdatedVariable(n.op); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// StatefulNodes is also available during construction.
+func (b *Builder) StatefulNodes() []*Node {
+	var out []*Node
+	for _, n := range b.g.nodes {
+		if _, ok := UpdatedVariable(n.op); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestPruneDropsDanglingGradients(t *testing.T) {
+	b := NewBuilder()
+	w := b.Variable("w", Static(tensor.Float32, 3, 3))
+	x := b.Placeholder("x", Static(tensor.Float32, 2, 3))
+	labels := b.Placeholder("labels", Static(tensor.Int32, 2))
+	h := b.Tanh("h", b.MatMul("mm", x, w))
+	loss := b.SoftmaxXent("loss", h, labels)
+	grads, err := Gradients(b, loss, []*Node{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply := b.ApplySGD("apply", w, grads[w], 0.1)
+	before := len(b.Nodes())
+
+	// The backward pass emitted a gradient toward x (matmulgrad_a) that
+	// nothing consumes; it must disappear.
+	b.Prune(loss, apply)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := len(g.Nodes())
+	if after >= before {
+		t.Fatalf("prune removed nothing (%d -> %d)", before, after)
+	}
+	for _, n := range g.Nodes() {
+		if n.Op().Name() == "MatMulTransB" {
+			// dx = g @ wT is the dangling gradient here.
+			for _, in := range n.Inputs() {
+				if in == w {
+					t.Errorf("dangling gradient reader %s survived", n.Name())
+				}
+			}
+		}
+	}
+	// IDs must be dense and consistent.
+	for i, n := range g.Nodes() {
+		if n.ID() != i {
+			t.Fatalf("node %s has id %d at position %d", n.Name(), n.ID(), i)
+		}
+	}
+	// The kept graph still resolves names.
+	if _, err := g.Node("loss"); err != nil {
+		t.Error("loss lookup failed after prune")
+	}
+	if _, err := g.Node("apply"); err != nil {
+		t.Error("apply lookup failed after prune")
+	}
+}
+
+func TestPruneKeepsControlDependencies(t *testing.T) {
+	b := NewBuilder()
+	a := b.Placeholder("a", Static(tensor.Float32, 1))
+	side := b.Identity("side", a)
+	sink := b.Group("sink", side) // control edge sink -> side
+	b.Identity("dead", a)
+	b.Prune(sink)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Node("side"); err != nil {
+		t.Error("control dependency target pruned")
+	}
+	if _, err := g.Node("dead"); !errors.Is(err, ErrNotFound) {
+		t.Error("dead node survived")
+	}
+}
+
+func TestPruneNilKeep(t *testing.T) {
+	b := NewBuilder()
+	b.Placeholder("a", Static(tensor.Float32, 1))
+	b.Prune(nil)
+	if _, err := b.Finish(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("nil keep: %v", err)
+	}
+}
+
+func TestStatefulNodes(t *testing.T) {
+	b := NewBuilder()
+	v := b.Variable("v", Static(tensor.Float32, 2))
+	g := b.Placeholder("g", Static(tensor.Float32, 2))
+	b.ApplySGD("a1", v, g, 0.1)
+	v2 := b.Variable("v2", Static(tensor.Float32, 2))
+	b.ApplyMomentum("a2", v2, g, 0.1, 0.9)
+	if got := len(b.StatefulNodes()); got != 2 {
+		t.Errorf("stateful nodes = %d, want 2", got)
+	}
+	gr, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(gr.StatefulNodes()); got != 2 {
+		t.Errorf("graph stateful nodes = %d, want 2", got)
+	}
+}
+
+// TestPrunedTrainingStillConverges: pruning must not change the math.
+func TestPrunedTrainingStillConverges(t *testing.T) {
+	build := func(prune bool) (*Graph, *Node, *Node) {
+		b := NewBuilder()
+		w := b.Variable("w", Static(tensor.Float32, 4, 3))
+		x := b.Placeholder("x", Static(tensor.Float32, 4, 4))
+		labels := b.Placeholder("labels", Static(tensor.Int32, 4))
+		loss := b.SoftmaxXent("loss", b.MatMul("mm", x, w), labels)
+		grads, err := Gradients(b, loss, []*Node{w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		apply := b.ApplySGD("apply", w, grads[w], 0.5)
+		if prune {
+			b.Prune(loss, apply)
+		}
+		g, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, loss, apply
+	}
+	g1, _, _ := build(false)
+	g2, _, _ := build(true)
+	if len(g2.Nodes()) >= len(g1.Nodes()) {
+		t.Fatalf("pruned graph not smaller: %d vs %d", len(g2.Nodes()), len(g1.Nodes()))
+	}
+}

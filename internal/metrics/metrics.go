@@ -1,0 +1,70 @@
+// Package metrics provides the lightweight counters the communication
+// mechanisms and the benchmark harness report: bytes moved, message counts,
+// and — central to the paper's argument — how many bytes were memcpy'd or
+// (de)serialized on the way.
+package metrics
+
+import "sync/atomic"
+
+// Comm counts one server's communication activity.
+type Comm struct {
+	bytesSent    atomic.Int64
+	bytesRecv    atomic.Int64
+	messages     atomic.Int64
+	memCopies    atomic.Int64
+	copiedBytes  atomic.Int64
+	serializedB  atomic.Int64
+	zeroCopyOps  atomic.Int64
+	dynTransfers atomic.Int64
+}
+
+// CommSnapshot is an immutable view of a Comm.
+type CommSnapshot struct {
+	BytesSent       int64
+	BytesRecv       int64
+	Messages        int64
+	MemCopies       int64
+	CopiedBytes     int64
+	SerializedBytes int64
+	ZeroCopyOps     int64
+	DynTransfers    int64
+}
+
+// AddSent records an outbound transfer.
+func (c *Comm) AddSent(n int) {
+	c.bytesSent.Add(int64(n))
+	c.messages.Add(1)
+}
+
+// AddRecv records an inbound transfer.
+func (c *Comm) AddRecv(n int) { c.bytesRecv.Add(int64(n)) }
+
+// AddCopy records an extra memory copy of n bytes (the overhead zero-copy
+// transfer eliminates).
+func (c *Comm) AddCopy(n int) {
+	c.memCopies.Add(1)
+	c.copiedBytes.Add(int64(n))
+}
+
+// AddSerialized records n bytes of (de)serialization work.
+func (c *Comm) AddSerialized(n int) { c.serializedB.Add(int64(n)) }
+
+// AddZeroCopy records a transfer that required no copy at all.
+func (c *Comm) AddZeroCopy() { c.zeroCopyOps.Add(1) }
+
+// AddDynTransfer records a dynamic-allocation-protocol transfer.
+func (c *Comm) AddDynTransfer() { c.dynTransfers.Add(1) }
+
+// Snapshot returns the current counter values.
+func (c *Comm) Snapshot() CommSnapshot {
+	return CommSnapshot{
+		BytesSent:       c.bytesSent.Load(),
+		BytesRecv:       c.bytesRecv.Load(),
+		Messages:        c.messages.Load(),
+		MemCopies:       c.memCopies.Load(),
+		CopiedBytes:     c.copiedBytes.Load(),
+		SerializedBytes: c.serializedB.Load(),
+		ZeroCopyOps:     c.zeroCopyOps.Load(),
+		DynTransfers:    c.dynTransfers.Load(),
+	}
+}

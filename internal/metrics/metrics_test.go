@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersAccumulate(t *testing.T) {
+	var c Comm
+	c.AddSent(100)
+	c.AddSent(50)
+	c.AddRecv(30)
+	c.AddCopy(10)
+	c.AddCopy(5)
+	c.AddSerialized(7)
+	c.AddZeroCopy()
+	c.AddDynTransfer()
+	s := c.Snapshot()
+	if s.BytesSent != 150 || s.Messages != 2 {
+		t.Errorf("sent: %+v", s)
+	}
+	if s.BytesRecv != 30 {
+		t.Errorf("recv: %+v", s)
+	}
+	if s.MemCopies != 2 || s.CopiedBytes != 15 {
+		t.Errorf("copies: %+v", s)
+	}
+	if s.SerializedBytes != 7 || s.ZeroCopyOps != 1 || s.DynTransfers != 1 {
+		t.Errorf("misc: %+v", s)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	var c Comm
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.AddSent(1)
+				c.AddCopy(2)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.BytesSent != 8000 || s.MemCopies != 8000 || s.CopiedBytes != 16000 {
+		t.Errorf("lost updates: %+v", s)
+	}
+}

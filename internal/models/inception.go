@@ -1,0 +1,95 @@
+package models
+
+import "fmt"
+
+// InceptionV3 reproduces the Inception-v3 layer inventory (Szegedy et al.),
+// including the auxiliary classifier: 94 convolutions + aux head + final
+// logits = 98 weighted layers = 196 variable tensors, matching Table 2's
+// count exactly. Channel configuration follows the published architecture.
+func InceptionV3() Spec {
+	var vars []VarSpec
+	add := func(name string, out, kh, kw, in int) int {
+		vars = append(vars, convVar(name, out, kh, kw, in)...)
+		return out
+	}
+
+	// Stem: 299x299x3 -> 35x35x192.
+	c := add("stem/conv0", 32, 3, 3, 3)
+	c = add("stem/conv1", 32, 3, 3, c)
+	c = add("stem/conv2", 64, 3, 3, c)
+	c = add("stem/conv3", 80, 1, 1, c)
+	c = add("stem/conv4", 192, 3, 3, c)
+
+	// 3x Inception-A. Branch channels: 1x1:64; 5x5 path 48->64;
+	// double-3x3 path 64->96->96; pool projection 32/64/64.
+	for i, poolProj := range []int{32, 64, 64} {
+		p := fmt.Sprintf("mixed_a%d", i)
+		add(p+"/b1x1", 64, 1, 1, c)
+		b5 := add(p+"/b5x5_1", 48, 1, 1, c)
+		add(p+"/b5x5_2", 64, 5, 5, b5)
+		d := add(p+"/b3x3dbl_1", 64, 1, 1, c)
+		d = add(p+"/b3x3dbl_2", 96, 3, 3, d)
+		add(p+"/b3x3dbl_3", 96, 3, 3, d)
+		add(p+"/pool_proj", poolProj, 1, 1, c)
+		c = 64 + 64 + 96 + poolProj
+	}
+
+	// Reduction-A: 35x35 -> 17x17.
+	add("red_a/b3x3", 384, 3, 3, c)
+	d := add("red_a/b3x3dbl_1", 64, 1, 1, c)
+	d = add("red_a/b3x3dbl_2", 96, 3, 3, d)
+	add("red_a/b3x3dbl_3", 96, 3, 3, d)
+	c = 384 + 96 + c
+
+	// 4x Inception-B with factorized 7x7 convolutions; intermediate width
+	// 128, 160, 160, 192.
+	for i, c7 := range []int{128, 160, 160, 192} {
+		p := fmt.Sprintf("mixed_b%d", i)
+		add(p+"/b1x1", 192, 1, 1, c)
+		b := add(p+"/b7x7_1", c7, 1, 1, c)
+		b = add(p+"/b7x7_2", c7, 1, 7, b)
+		add(p+"/b7x7_3", 192, 7, 1, b)
+		e := add(p+"/b7x7dbl_1", c7, 1, 1, c)
+		e = add(p+"/b7x7dbl_2", c7, 7, 1, e)
+		e = add(p+"/b7x7dbl_3", c7, 1, 7, e)
+		e = add(p+"/b7x7dbl_4", c7, 7, 1, e)
+		add(p+"/b7x7dbl_5", 192, 1, 7, e)
+		add(p+"/pool_proj", 192, 1, 1, c)
+		c = 4 * 192
+	}
+
+	// Auxiliary classifier off the 17x17x768 grid.
+	aux := add("aux/conv0", 128, 1, 1, c)
+	add("aux/conv1", 768, 5, 5, aux)
+	vars = append(vars, fcVar("aux/logits", 768, 1000)...)
+
+	// Reduction-B: 17x17 -> 8x8.
+	rb := add("red_b/b3x3_1", 192, 1, 1, c)
+	add("red_b/b3x3_2", 320, 3, 3, rb)
+	rc := add("red_b/b7x7_1", 192, 1, 1, c)
+	rc = add("red_b/b7x7_2", 192, 1, 7, rc)
+	rc = add("red_b/b7x7_3", 192, 7, 1, rc)
+	add("red_b/b7x7_4", 192, 3, 3, rc)
+	c = 320 + 192 + c
+
+	// 2x Inception-C with expanded filter banks.
+	for i := 0; i < 2; i++ {
+		p := fmt.Sprintf("mixed_c%d", i)
+		add(p+"/b1x1", 320, 1, 1, c)
+		b := add(p+"/b3x3_1", 384, 1, 1, c)
+		add(p+"/b3x3_2a", 384, 1, 3, b)
+		add(p+"/b3x3_2b", 384, 3, 1, b)
+		e := add(p+"/b3x3dbl_1", 448, 1, 1, c)
+		e = add(p+"/b3x3dbl_2", 384, 3, 3, e)
+		add(p+"/b3x3dbl_3a", 384, 1, 3, e)
+		add(p+"/b3x3dbl_3b", 384, 3, 1, e)
+		add(p+"/pool_proj", 192, 1, 1, c)
+		c = 320 + 2*384 + 2*384 + 192
+	}
+
+	// Final logits.
+	vars = append(vars, fcVar("logits", c, 1000)...)
+
+	return Spec{Name: "Inception-v3", Family: "CNN", Vars: vars,
+		Compute: TimeModel{BaseMS: 68.32, SatBatch: 16}}
+}

@@ -1,0 +1,225 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+// Table 2 reference values.
+var table2 = []struct {
+	name   string
+	sizeMB float64
+	varN   int
+	tol    float64 // relative tolerance on size
+	baseMS float64
+	family string
+}{
+	{"AlexNet", 176.42, 16, 0.10, 7.61, "CNN"},
+	{"Inception-v3", 92.90, 196, 0.15, 68.32, "CNN"},
+	{"VGGNet-16", 512.32, 32, 0.05, 30.92, "CNN"},
+	{"LSTM", 35.93, 14, 0.001, 33.33, "RNN"},
+	{"GRU", 27.92, 11, 0.001, 30.44, "RNN"},
+	{"FCN-5", 204.47, 10, 0.001, 4.88, "FCN"},
+}
+
+func TestTable2Characteristics(t *testing.T) {
+	specs := All()
+	if len(specs) != 6 {
+		t.Fatalf("All() returned %d specs", len(specs))
+	}
+	for i, ref := range table2 {
+		s := specs[i]
+		if s.Name != ref.name {
+			t.Fatalf("spec %d is %q, want %q", i, s.Name, ref.name)
+		}
+		if s.VarCount() != ref.varN {
+			t.Errorf("%s: %d variable tensors, Table 2 says %d", s.Name, s.VarCount(), ref.varN)
+		}
+		rel := math.Abs(s.ModelMB()-ref.sizeMB) / ref.sizeMB
+		if rel > ref.tol {
+			t.Errorf("%s: %.2f MB, Table 2 says %.2f MB (off %.1f%%, tol %.1f%%)",
+				s.Name, s.ModelMB(), ref.sizeMB, rel*100, ref.tol*100)
+		}
+		if s.Compute.BaseMS != ref.baseMS {
+			t.Errorf("%s: base compute %.2f ms, want %.2f", s.Name, s.Compute.BaseMS, ref.baseMS)
+		}
+		if s.Family != ref.family {
+			t.Errorf("%s: family %q, want %q", s.Name, s.Family, ref.family)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("LSTM")
+	if err != nil || s.Name != "LSTM" {
+		t.Errorf("ByName: %v %v", s.Name, err)
+	}
+	if _, err := ByName("ResNet"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+// TestFigure7Distribution checks the tensor-size CCDF facts §5 reports:
+// "more than 50% of the variable tensors are larger than 10KB, and more
+// than 20% are even larger than 1MB ... the tensors that are larger than
+// 1MB occupy 96% of the capacity".
+func TestFigure7Distribution(t *testing.T) {
+	var sizes []int64
+	for _, s := range All() {
+		sizes = append(sizes, s.TensorSizes()...)
+	}
+	var total, over10k, over1m, capOver1m int64
+	for _, s := range sizes {
+		total += s
+		if s > 10<<10 {
+			over10k++
+		}
+		if s > 1<<20 {
+			over1m++
+			capOver1m += s
+		}
+	}
+	n := float64(len(sizes))
+	if f := float64(over10k) / n; f <= 0.50 {
+		t.Errorf(">10KB fraction = %.2f, want > 0.50", f)
+	}
+	if f := float64(over1m) / n; f <= 0.20 {
+		t.Errorf(">1MB fraction = %.2f, want > 0.20", f)
+	}
+	if f := float64(capOver1m) / float64(total); f < 0.90 {
+		t.Errorf(">1MB capacity share = %.2f, want >= 0.90", f)
+	}
+}
+
+func TestTimeModel(t *testing.T) {
+	m := TimeModel{BaseMS: 10, SatBatch: 32}
+	if m.MinibatchMS(1) != 10 || m.MinibatchMS(32) != 10 {
+		t.Error("below saturation time should be constant")
+	}
+	if m.MinibatchMS(64) != 20 {
+		t.Errorf("batch 64 = %v, want 20", m.MinibatchMS(64))
+	}
+	if m.MinibatchMS(128) != 40 {
+		t.Errorf("batch 128 = %v, want 40", m.MinibatchMS(128))
+	}
+}
+
+func TestExactRNNSizes(t *testing.T) {
+	// Per-gate splitting with hidden 1024 and a 1000-way projection must
+	// land exactly on the paper's bytes.
+	lstm := LSTM()
+	if lstm.ModelBytes() != 4*(2*1024*1024+1024)*4+(1024*1000+1000)*4 {
+		t.Errorf("LSTM bytes = %d", lstm.ModelBytes())
+	}
+	gru := GRU()
+	wantGRU := int64(3*(2*1024*1024+1024)+1024*1000+1000) * 4
+	if gru.ModelBytes() != wantGRU {
+		t.Errorf("GRU bytes = %d, want %d", gru.ModelBytes(), wantGRU)
+	}
+}
+
+// trainApp runs an app for the given iterations and returns first/last
+// metric values.
+func trainApp(t *testing.T, app *TrainableApp, iters int) (first, last float64) {
+	t.Helper()
+	e, err := exec.New(app.Graph, exec.Config{Vars: app.Vars})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < iters; iter++ {
+		out, err := e.Run(iter, app.NextFeeds(iter), app.LossName, app.StepName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := app.MetricValue(out[app.LossName].Float32s()[0])
+		if iter == 0 {
+			first = m
+		}
+		last = m
+	}
+	return first, last
+}
+
+func TestCIFARAppConverges(t *testing.T) {
+	app, err := NewCIFARApp(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := trainApp(t, app, 60)
+	if last > first*0.6 {
+		t.Errorf("CIFAR loss did not converge: %.3f -> %.3f", first, last)
+	}
+	if app.CommSpec.ModelBytes() == 0 {
+		t.Error("missing comm spec")
+	}
+}
+
+func TestSeq2SeqAppConverges(t *testing.T) {
+	app, err := NewSeq2SeqApp(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Metric != "perplexity" {
+		t.Error("seq2seq should report perplexity")
+	}
+	first, last := trainApp(t, app, 120)
+	if last > first*0.7 {
+		t.Errorf("Seq2Seq perplexity did not converge: %.2f -> %.2f", first, last)
+	}
+}
+
+func TestSEAppConverges(t *testing.T) {
+	app, err := NewSEApp(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := trainApp(t, app, 80)
+	if last > first*0.6 {
+		t.Errorf("SE loss did not converge: %.3f -> %.3f", first, last)
+	}
+}
+
+func TestAppCommSpecs(t *testing.T) {
+	if s := Seq2SeqSpec(); s.ModelBytes() < 50<<20 {
+		t.Errorf("Seq2Seq comm spec suspiciously small: %.1f MB", s.ModelMB())
+	}
+	if s := CIFARSpec(); s.ModelMB() > 20 {
+		t.Errorf("CIFAR comm spec suspiciously large: %.1f MB", s.ModelMB())
+	}
+	if s := SESpec(); s.VarCount() != 20 {
+		t.Errorf("SE towers: %d vars", s.VarCount())
+	}
+}
+
+func TestAppsDeterministicPerSeed(t *testing.T) {
+	builders := map[string]func(int64) (*TrainableApp, error){
+		"cifar":   NewCIFARApp,
+		"seq2seq": NewSeq2SeqApp,
+		"se":      NewSEApp,
+	}
+	for name, build := range builders {
+		a1, err := build(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := build(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, l1 := trainApp(t, a1, 3)
+		_, l2 := trainApp(t, a2, 3)
+		if l1 != l2 {
+			t.Errorf("%s: same seed diverged: %v vs %v", name, l1, l2)
+		}
+		a3, err := build(43)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, l3 := trainApp(t, a3, 3)
+		if l3 == l1 {
+			t.Errorf("%s: different seeds produced identical loss %v", name, l3)
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package models
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// TrainableApp is one of the paper's three end-to-end convergence
+// applications (Figure 10), scaled down so real SGD runs quickly in pure
+// Go. The paper's real datasets (WMT French-English, CIFAR-10 images, the
+// private sentence-embedding corpus) are replaced by synthetic data with
+// matched structure — learnable sequence-to-sequence mappings, labelled
+// image-like tensors, labelled token sequences — which preserves what the
+// experiment measures: the same loss-vs-iteration curve replayed under
+// different per-iteration communication times.
+type TrainableApp struct {
+	Name string
+	// Metric names the y-axis: "loss" or "perplexity".
+	Metric string
+	// Graph and Vars are ready for an exec.Executor.
+	Graph *graph.Graph
+	Vars  *exec.VarStore
+	// LossName and StepName are the fetch targets per iteration.
+	LossName, StepName string
+	// NextFeeds produces the iteration's synthetic minibatch.
+	NextFeeds func(iter int) map[string]*tensor.Tensor
+	// CommSpec is the full-size model whose communication profile the
+	// distributed version of this app would have; the simulator prices
+	// iterations with it.
+	CommSpec Spec
+}
+
+// MetricValue converts a raw loss into the app's reported metric
+// (perplexity = exp(cross-entropy) for the translation task).
+func (a *TrainableApp) MetricValue(loss float32) float64 {
+	if a.Metric == "perplexity" {
+		return math.Exp(float64(loss))
+	}
+	return float64(loss)
+}
+
+// NewCIFARApp builds the image-recognition task: a small convolutional
+// classifier on synthetic 16x16x3 labelled images drawn from 10 separable
+// Gaussian class prototypes (the CIFAR substitution).
+func NewCIFARApp(seed int64) (*TrainableApp, error) {
+	const (
+		batch, h, w, ch = 16, 16, 16, 3
+		classes         = 10
+		lr              = 0.05
+	)
+	rng := rand.New(rand.NewSource(seed))
+
+	b := graph.NewBuilder()
+	x := b.Placeholder("x", graph.Static(tensor.Float32, batch, h, w, ch))
+	labels := b.Placeholder("labels", graph.Static(tensor.Int32, batch))
+	c1w := b.Variable("conv1_w", graph.Static(tensor.Float32, 8, 3, 3, ch))
+	conv1 := b.ReLU("relu1", b.Conv2D("conv1", x, c1w, 1, 1))
+	pool1 := b.MaxPool("pool1", conv1) // 8x8x8
+	c2w := b.Variable("conv2_w", graph.Static(tensor.Float32, 16, 3, 3, 8))
+	conv2 := b.ReLU("relu2", b.Conv2D("conv2", pool1, c2w, 1, 1))
+	pool2 := b.MaxPool("pool2", conv2) // 4x4x16
+	flat := b.Reshape("flat", pool2, batch, 4*4*16)
+	fcw := b.Variable("fc_w", graph.Static(tensor.Float32, 4*4*16, classes))
+	fcb := b.Variable("fc_b", graph.Static(tensor.Float32, classes))
+	logits := b.BiasAdd("logits", b.MatMul("fc", flat, fcw), fcb)
+	loss := b.SoftmaxXent("loss", logits, labels)
+
+	vars := []*graph.Node{c1w, c2w, fcw, fcb}
+	grads, err := graph.Gradients(b, loss, vars)
+	if err != nil {
+		return nil, err
+	}
+	var updates []*graph.Node
+	for i, v := range vars {
+		updates = append(updates, b.ApplySGD(fmt.Sprintf("upd%d", i), v, grads[v], lr))
+	}
+	step := b.Group("step", updates...)
+	b.Prune(append([]*graph.Node{loss, step}, updates...)...)
+	g, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	store := exec.NewVarStore()
+	for _, v := range vars {
+		t := tensor.New(tensor.Float32, v.Sig().Shape...)
+		tensor.GlorotInit(t, rng)
+		if err := store.Create(v.Name(), t); err != nil {
+			return nil, err
+		}
+	}
+
+	// Class prototypes: each class is a noisy template image.
+	protos := make([]*tensor.Tensor, classes)
+	for c := range protos {
+		protos[c] = tensor.New(tensor.Float32, h, w, ch)
+		tensor.RandomNormal(protos[c], rng, 1)
+	}
+	feedRng := rand.New(rand.NewSource(seed + 1))
+	nextFeeds := func(iter int) map[string]*tensor.Tensor {
+		xs := tensor.New(tensor.Float32, batch, h, w, ch)
+		ls := tensor.New(tensor.Int32, batch)
+		per := h * w * ch
+		for i := 0; i < batch; i++ {
+			c := feedRng.Intn(classes)
+			ls.Int32s()[i] = int32(c)
+			dst := xs.Float32s()[i*per : (i+1)*per]
+			src := protos[c].Float32s()
+			for j := range dst {
+				dst[j] = src[j] + float32(feedRng.NormFloat64())*0.4
+			}
+		}
+		return map[string]*tensor.Tensor{"x": xs, "labels": ls}
+	}
+	return &TrainableApp{
+		Name: "CIFAR", Metric: "loss",
+		Graph: g, Vars: store,
+		LossName: "loss", StepName: "step",
+		NextFeeds: nextFeeds,
+		CommSpec:  CIFARSpec(),
+	}, nil
+}
+
+// NewSeq2SeqApp builds the translation task: an encoder/decoder tanh-RNN
+// trained to emit the reversed input sequence (the classic synthetic
+// seq2seq task standing in for WMT French-English). The reported metric is
+// perplexity, as in Figure 10(a).
+func NewSeq2SeqApp(seed int64) (*TrainableApp, error) {
+	const (
+		batch, vocab, hidden, steps = 16, 24, 48, 5
+		lr                          = 0.25
+	)
+	rng := rand.New(rand.NewSource(seed))
+
+	b := graph.NewBuilder()
+	wxh := b.Variable("enc_wxh", graph.Static(tensor.Float32, vocab, hidden))
+	whh := b.Variable("enc_whh", graph.Static(tensor.Float32, hidden, hidden))
+	bh := b.Variable("enc_bh", graph.Static(tensor.Float32, hidden))
+	dxh := b.Variable("dec_wxh", graph.Static(tensor.Float32, vocab, hidden))
+	dhh := b.Variable("dec_whh", graph.Static(tensor.Float32, hidden, hidden))
+	dbh := b.Variable("dec_bh", graph.Static(tensor.Float32, hidden))
+	wOut := b.Variable("dec_wout", graph.Static(tensor.Float32, hidden, vocab))
+	bOut := b.Variable("dec_bout", graph.Static(tensor.Float32, vocab))
+	h0 := b.Const("h0", tensor.New(tensor.Float32, batch, hidden))
+
+	// Encoder: h_t = tanh(x_t Wxh + h_{t-1} Whh + b).
+	h := h0
+	for t := 0; t < steps; t++ {
+		xt := b.Placeholder(fmt.Sprintf("enc_x%d", t), graph.Static(tensor.Float32, batch, vocab))
+		pre := b.BiasAdd(fmt.Sprintf("enc_pre%d", t),
+			b.Add(fmt.Sprintf("enc_sum%d", t),
+				b.MatMul(fmt.Sprintf("enc_xh%d", t), xt, wxh),
+				b.MatMul(fmt.Sprintf("enc_hh%d", t), h, whh)), bh)
+		h = b.Tanh(fmt.Sprintf("enc_h%d", t), pre)
+	}
+	// Decoder: teacher-forced with the (shifted) target tokens.
+	losses := make([]*graph.Node, steps)
+	d := h
+	for t := 0; t < steps; t++ {
+		xt := b.Placeholder(fmt.Sprintf("dec_x%d", t), graph.Static(tensor.Float32, batch, vocab))
+		pre := b.BiasAdd(fmt.Sprintf("dec_pre%d", t),
+			b.Add(fmt.Sprintf("dec_sum%d", t),
+				b.MatMul(fmt.Sprintf("dec_xh%d", t), xt, dxh),
+				b.MatMul(fmt.Sprintf("dec_hh%d", t), d, dhh)), dbh)
+		d = b.Tanh(fmt.Sprintf("dec_h%d", t), pre)
+		logits := b.BiasAdd(fmt.Sprintf("dec_logits%d", t),
+			b.MatMul(fmt.Sprintf("dec_out%d", t), d, wOut), bOut)
+		labels := b.Placeholder(fmt.Sprintf("dec_y%d", t), graph.Static(tensor.Int32, batch))
+		losses[t] = b.SoftmaxXent(fmt.Sprintf("loss%d", t), logits, labels)
+	}
+	total := losses[0]
+	for t := 1; t < steps; t++ {
+		total = b.Add(fmt.Sprintf("loss_sum%d", t), total, losses[t])
+	}
+	loss := b.Scale("loss", total, 1.0/steps)
+
+	vars := []*graph.Node{wxh, whh, bh, dxh, dhh, dbh, wOut, bOut}
+	grads, err := graph.Gradients(b, loss, vars)
+	if err != nil {
+		return nil, err
+	}
+	var updates []*graph.Node
+	for i, v := range vars {
+		updates = append(updates, b.ApplySGD(fmt.Sprintf("upd%d", i), v, grads[v], lr))
+	}
+	step := b.Group("step", updates...)
+	b.Prune(append([]*graph.Node{loss, step}, updates...)...)
+	g, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	store := exec.NewVarStore()
+	for _, v := range vars {
+		t := tensor.New(tensor.Float32, v.Sig().Shape...)
+		tensor.GlorotInit(t, rng)
+		if err := store.Create(v.Name(), t); err != nil {
+			return nil, err
+		}
+	}
+	feedRng := rand.New(rand.NewSource(seed + 1))
+	nextFeeds := func(iter int) map[string]*tensor.Tensor {
+		feeds := make(map[string]*tensor.Tensor, 3*steps)
+		seqs := make([][]int, batch)
+		for i := range seqs {
+			seqs[i] = make([]int, steps)
+			for t := range seqs[i] {
+				seqs[i][t] = feedRng.Intn(vocab)
+			}
+		}
+		oneHot := func(tok func(i int) int) *tensor.Tensor {
+			x := tensor.New(tensor.Float32, batch, vocab)
+			for i := 0; i < batch; i++ {
+				x.Float32s()[i*vocab+tok(i)] = 1
+			}
+			return x
+		}
+		for t := 0; t < steps; t++ {
+			t := t
+			feeds[fmt.Sprintf("enc_x%d", t)] = oneHot(func(i int) int { return seqs[i][t] })
+			// Decoder input: previous target token (teacher forcing);
+			// target: reversed sequence.
+			feeds[fmt.Sprintf("dec_x%d", t)] = oneHot(func(i int) int {
+				if t == 0 {
+					return 0
+				}
+				return seqs[i][steps-t]
+			})
+			y := tensor.New(tensor.Int32, batch)
+			for i := 0; i < batch; i++ {
+				y.Int32s()[i] = int32(seqs[i][steps-1-t])
+			}
+			feeds[fmt.Sprintf("dec_y%d", t)] = y
+		}
+		return feeds
+	}
+	return &TrainableApp{
+		Name: "Seq2Seq", Metric: "perplexity",
+		Graph: g, Vars: store,
+		LossName: "loss", StepName: "step",
+		NextFeeds: nextFeeds,
+		CommSpec:  Seq2SeqSpec(),
+	}, nil
+}
+
+// NewSEApp builds the sentence-embedding task: a tanh-RNN encoder whose
+// final state is projected into an embedding trained to classify the
+// sequence's latent topic (standing in for the paper's private production
+// corpus). The reported metric is loss, as in Figure 10(c).
+func NewSEApp(seed int64) (*TrainableApp, error) {
+	const (
+		batch, vocab, hidden, embed, steps, topics = 16, 24, 48, 24, 4, 6
+		lr                                         = 0.2
+	)
+	rng := rand.New(rand.NewSource(seed))
+
+	b := graph.NewBuilder()
+	wxh := b.Variable("wxh", graph.Static(tensor.Float32, vocab, hidden))
+	whh := b.Variable("whh", graph.Static(tensor.Float32, hidden, hidden))
+	bh := b.Variable("bh", graph.Static(tensor.Float32, hidden))
+	wEmb := b.Variable("w_embed", graph.Static(tensor.Float32, hidden, embed))
+	wCls := b.Variable("w_cls", graph.Static(tensor.Float32, embed, topics))
+	bCls := b.Variable("b_cls", graph.Static(tensor.Float32, topics))
+	h := b.Const("h0", tensor.New(tensor.Float32, batch, hidden))
+	for t := 0; t < steps; t++ {
+		xt := b.Placeholder(fmt.Sprintf("x%d", t), graph.Static(tensor.Float32, batch, vocab))
+		pre := b.BiasAdd(fmt.Sprintf("pre%d", t),
+			b.Add(fmt.Sprintf("sum%d", t),
+				b.MatMul(fmt.Sprintf("xh%d", t), xt, wxh),
+				b.MatMul(fmt.Sprintf("hh%d", t), h, whh)), bh)
+		h = b.Tanh(fmt.Sprintf("hid%d", t), pre)
+	}
+	emb := b.Tanh("embed", b.MatMul("embed_mm", h, wEmb))
+	logits := b.BiasAdd("logits", b.MatMul("cls", emb, wCls), bCls)
+	labels := b.Placeholder("labels", graph.Static(tensor.Int32, batch))
+	loss := b.SoftmaxXent("loss", logits, labels)
+
+	vars := []*graph.Node{wxh, whh, bh, wEmb, wCls, bCls}
+	grads, err := graph.Gradients(b, loss, vars)
+	if err != nil {
+		return nil, err
+	}
+	var updates []*graph.Node
+	for i, v := range vars {
+		updates = append(updates, b.ApplySGD(fmt.Sprintf("upd%d", i), v, grads[v], lr))
+	}
+	step := b.Group("step", updates...)
+	b.Prune(append([]*graph.Node{loss, step}, updates...)...)
+	g, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	store := exec.NewVarStore()
+	for _, v := range vars {
+		t := tensor.New(tensor.Float32, v.Sig().Shape...)
+		tensor.GlorotInit(t, rng)
+		if err := store.Create(v.Name(), t); err != nil {
+			return nil, err
+		}
+	}
+	// Topics are distributions over tokens: sequences drawn from topic c
+	// should be classifiable.
+	topicTok := make([][]int, topics)
+	for c := range topicTok {
+		topicTok[c] = make([]int, 4)
+		for j := range topicTok[c] {
+			topicTok[c][j] = rng.Intn(vocab)
+		}
+	}
+	feedRng := rand.New(rand.NewSource(seed + 1))
+	nextFeeds := func(iter int) map[string]*tensor.Tensor {
+		feeds := make(map[string]*tensor.Tensor, steps+1)
+		labelsT := tensor.New(tensor.Int32, batch)
+		toks := make([][]int, batch)
+		for i := 0; i < batch; i++ {
+			c := feedRng.Intn(topics)
+			labelsT.Int32s()[i] = int32(c)
+			toks[i] = make([]int, steps)
+			for t := range toks[i] {
+				toks[i][t] = topicTok[c][feedRng.Intn(len(topicTok[c]))]
+			}
+		}
+		for t := 0; t < steps; t++ {
+			x := tensor.New(tensor.Float32, batch, vocab)
+			for i := 0; i < batch; i++ {
+				x.Float32s()[i*vocab+toks[i][t]] = 1
+			}
+			feeds[fmt.Sprintf("x%d", t)] = x
+		}
+		feeds["labels"] = labelsT
+		return feeds
+	}
+	return &TrainableApp{
+		Name: "SE", Metric: "loss",
+		Graph: g, Vars: store,
+		LossName: "loss", StepName: "step",
+		NextFeeds: nextFeeds,
+		CommSpec:  SESpec(),
+	}, nil
+}
+
+// CIFARSpec is the communication profile of the CIFAR-10 tutorial model
+// (two convolutions, two local FC layers, softmax): ~4.3 MB.
+func CIFARSpec() Spec {
+	var vars []VarSpec
+	vars = append(vars, convVar("conv1", 64, 5, 5, 3)...)
+	vars = append(vars, convVar("conv2", 64, 5, 5, 64)...)
+	vars = append(vars, fcVar("local3", 2304, 384)...)
+	vars = append(vars, fcVar("local4", 384, 192)...)
+	vars = append(vars, fcVar("softmax", 192, 10)...)
+	return Spec{Name: "CIFAR", Family: "CNN", Vars: vars,
+		Compute: TimeModel{BaseMS: 1.4, SatBatch: 128}}
+}
+
+// Seq2SeqSpec is the communication profile of the translation model:
+// encoder and decoder GRUs plus embedding and output projection over a
+// 30k vocabulary.
+func Seq2SeqSpec() Spec {
+	var vars []VarSpec
+	vars = append(vars, gateVars("enc", []string{"update", "reset", "candidate"}, 1024)...)
+	vars = append(vars, gateVars("dec", []string{"update", "reset", "candidate"}, 1024)...)
+	vars = append(vars, VarSpec{Name: "embedding", Shape: tensor.Shape{30000, 256}})
+	vars = append(vars, fcVar("proj", 1024, 30000)...)
+	return Spec{Name: "Seq2Seq", Family: "RNN", Vars: vars,
+		Compute: TimeModel{BaseMS: 45, SatBatch: 32}}
+}
+
+// SESpec is the communication profile of the sentence-embedding task's two
+// RNN towers.
+func SESpec() Spec {
+	var vars []VarSpec
+	vars = append(vars, gateVars("tower1", []string{"update", "reset", "candidate"}, 1024)...)
+	vars = append(vars, gateVars("tower2", []string{"update", "reset", "candidate"}, 1024)...)
+	vars = append(vars, fcVar("embed", 1024, 512)...)
+	return Spec{Name: "SE", Family: "RNN", Vars: vars,
+		Compute: TimeModel{BaseMS: 28, SatBatch: 32}}
+}

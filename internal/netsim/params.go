@@ -1,0 +1,202 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/distributed"
+)
+
+// Params is the calibrated cost model of one communication mechanism for a
+// single tensor transfer. Times are microseconds, sizes bytes, bandwidths
+// GB/s (10⁹ bytes per second to keep arithmetic simple).
+type Params struct {
+	Name string
+	// FixedUS is the per-message software cost (op dispatch, rendezvous,
+	// rpc framing).
+	FixedUS float64
+	// WireGBps is the link payload bandwidth and WireLatUS the one-way
+	// latency (propagation + NIC processing).
+	WireGBps  float64
+	WireLatUS float64
+	// SendStagesGBps / RecvStagesGBps are size-proportional software
+	// stages (serialization, memcpy) on each side.
+	SendStagesGBps []float64
+	RecvStagesGBps []float64
+	// Pipelined marks mechanisms whose stages overlap the wire at fragment
+	// granularity (TensorFlow's RDMA channel streams 64 KB ring slots), so
+	// throughput is governed by the slowest stage instead of the sum.
+	Pipelined bool
+	// FragBytes/PerFragUS model fragmentation overhead (ring slots, TCP
+	// segmentation bursts).
+	FragBytes int
+	PerFragUS float64
+	// HostStageGBps, when > 0, adds a host-memory staging copy on both
+	// ends (GPU-resident tensors without GPUDirect, §3.5); 0 disables it.
+	HostStageGBps float64
+	// StoreAndForward marks mechanisms whose sender stage must complete
+	// before the wire transfer begins (RDMA.cp posts the write only after
+	// the bounce-buffer copy finishes, §5.1).
+	StoreAndForward bool
+	// DegradeBytes, when > 0, scales size-proportional costs by
+	// (1 + size/DegradeBytes): the RPC paths degrade superlinearly on very
+	// large messages (buffer regrowth, ring-buffer thrashing, flow-control
+	// stalls — TensorFlow's gRPC.RDMA path outright crashes past 1 GB, §5.1).
+	DegradeBytes int64
+}
+
+// factor returns the large-message degradation multiplier for size.
+func (p Params) factor(size int64) float64 {
+	if p.DegradeBytes <= 0 {
+		return 1
+	}
+	return 1 + float64(size)/float64(p.DegradeBytes)
+}
+
+func us(size int64, gbps float64) float64 {
+	if gbps <= 0 {
+		return 0
+	}
+	return float64(size) / gbps / 1e3 // bytes / (GB/s) = ns*... -> µs
+}
+
+// SendOverheadUS returns the sender-side time before the payload is on the
+// wire (fixed cost plus non-pipelined sender stages).
+func (p Params) SendOverheadUS(size int64) float64 {
+	t := p.FixedUS
+	if !p.Pipelined {
+		f := p.factor(size)
+		for _, bw := range p.SendStagesGBps {
+			t += us(size, bw) * f
+		}
+		if p.HostStageGBps > 0 {
+			t += us(size, p.HostStageGBps)
+		}
+	}
+	return t
+}
+
+// RecvOverheadUS returns the receiver-side time after the payload left the
+// wire.
+func (p Params) RecvOverheadUS(size int64) float64 {
+	if p.Pipelined {
+		return 0
+	}
+	t := 0.0
+	f := p.factor(size)
+	for _, bw := range p.RecvStagesGBps {
+		t += us(size, bw) * f
+	}
+	if p.HostStageGBps > 0 {
+		t += us(size, p.HostStageGBps)
+	}
+	return t
+}
+
+// WireUS returns the time the payload occupies the wire, including
+// fragmentation overhead; for pipelined mechanisms the slowest stage
+// becomes the effective bandwidth (the other stages hide under it).
+func (p Params) WireUS(size int64) float64 {
+	bw := p.WireGBps
+	if p.Pipelined {
+		for _, s := range p.SendStagesGBps {
+			if s < bw {
+				bw = s
+			}
+		}
+		for _, s := range p.RecvStagesGBps {
+			if s < bw {
+				bw = s
+			}
+		}
+		if p.HostStageGBps > 0 && p.HostStageGBps < bw {
+			bw = p.HostStageGBps
+		}
+		bw /= p.factor(size)
+	}
+	t := us(size, bw)
+	if p.FragBytes > 0 {
+		frags := (size + int64(p.FragBytes) - 1) / int64(p.FragBytes)
+		if frags < 1 {
+			frags = 1
+		}
+		t += float64(frags) * p.PerFragUS
+	}
+	return t
+}
+
+// TransferUS is the uncontended end-to-end time of one tensor transfer.
+func (p Params) TransferUS(size int64) float64 {
+	return p.SendOverheadUS(size) + p.WireLatUS + p.WireUS(size) + p.RecvOverheadUS(size)
+}
+
+// The calibrated mechanism table. Reference hardware: 100 Gbps IB
+// (12.5 GB/s line rate, ~2 µs latency), DDR4 streaming memcpy ~16 GB/s,
+// protobuf-style serialization ~1.6 GB/s, IPoIB TCP ~1.4 GB/s effective
+// for gRPC's large-message pattern.
+const (
+	ibGBps   = 12.0
+	ibLatUS  = 2.0
+	copyGBps = 16.0
+	serGBps  = 1.6
+	tcpGBps  = 1.0
+	// Unpinned GPU<->host staging runs well below PCIe line rate.
+	pcieGBps = 3.5
+)
+
+// ParamsFor returns the calibrated model of a mechanism. gpuDirect applies
+// to the device mechanisms only: false stages GPU tensors through host
+// memory (the default in §5, as on the paper's testbed GPUDirect was
+// restricted), true removes the staging copies (Table 3).
+func ParamsFor(kind distributed.Kind, gpuDirect bool) Params {
+	hostStage := pcieGBps
+	if gpuDirect {
+		hostStage = 0
+	}
+	switch kind {
+	case distributed.GRPCTCP:
+		return Params{
+			Name:    kind.String(),
+			FixedUS: 55, WireGBps: tcpGBps, WireLatUS: 15,
+			SendStagesGBps: []float64{serGBps, copyGBps},
+			RecvStagesGBps: []float64{serGBps, copyGBps},
+			FragBytes:      64 << 10, PerFragUS: 1.0,
+			HostStageGBps: hostStage,
+			DegradeBytes:  384 << 20,
+		}
+	case distributed.GRPCRDMA:
+		return Params{
+			Name:    kind.String(),
+			FixedUS: 28, WireGBps: ibGBps, WireLatUS: ibLatUS,
+			// Ring-slot streaming pipelines the four copies with the wire;
+			// the bounce-buffer copies bound effective bandwidth.
+			SendStagesGBps: []float64{2.0},
+			RecvStagesGBps: []float64{2.0},
+			Pipelined:      true,
+			FragBytes:      64 << 10, PerFragUS: 0.6,
+			HostStageGBps: hostStage,
+			DegradeBytes:  1 << 30,
+		}
+	case distributed.RDMA:
+		return Params{
+			Name:    kind.String(),
+			FixedUS: 2, WireGBps: ibGBps, WireLatUS: ibLatUS,
+			HostStageGBps: hostStage,
+		}
+	case distributed.RDMACopy:
+		return Params{
+			Name:     kind.String(),
+			FixedUS:  22, // bounce-buffer allocation and registration lookup
+			WireGBps: ibGBps, WireLatUS: ibLatUS,
+			SendStagesGBps:  []float64{copyGBps},
+			HostStageGBps:   hostStage,
+			StoreAndForward: true,
+		}
+	default:
+		panic(fmt.Sprintf("netsim: unknown mechanism %v", kind))
+	}
+}
+
+// RuntimeOverheadUS is the per-iteration graph-execution overhead (session
+// dispatch, scheduling) shared by every mechanism; the micro-benchmark's
+// small-message ratios are governed by it.
+const RuntimeOverheadUS = 90.0

@@ -1,0 +1,182 @@
+package rdma
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFetchAddBasic(t *testing.T) {
+	_, a, b := newPair(t)
+	word, _ := b.AllocateMemRegion(8)
+	word.StoreWord(0, 100)
+	ch, _ := a.GetChannel("hostB:1", 0)
+	old, err := ch.FetchAddSync(0, word.Descriptor(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != 100 {
+		t.Errorf("old = %d, want 100", old)
+	}
+	if word.LoadWord(0) != 105 {
+		t.Errorf("word = %d, want 105", word.LoadWord(0))
+	}
+}
+
+func TestCompareSwapBasic(t *testing.T) {
+	_, a, b := newPair(t)
+	word, _ := b.AllocateMemRegion(8)
+	word.StoreWord(0, 7)
+	ch, _ := a.GetChannel("hostB:1", 0)
+
+	// Successful swap.
+	old, err := ch.CompareSwapSync(0, word.Descriptor(), 7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != 7 || word.LoadWord(0) != 42 {
+		t.Errorf("cas: old %d, word %d", old, word.LoadWord(0))
+	}
+	// Failed swap reports the observed value and leaves the word alone.
+	old, err = ch.CompareSwapSync(0, word.Descriptor(), 7, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != 42 || word.LoadWord(0) != 42 {
+		t.Errorf("failed cas: old %d, word %d", old, word.LoadWord(0))
+	}
+}
+
+func TestAtomicValidation(t *testing.T) {
+	_, a, b := newPair(t)
+	word, _ := b.AllocateMemRegion(16)
+	ch, _ := a.GetChannel("hostB:1", 0)
+	if err := ch.FetchAdd(4, word.Descriptor(), 1, nil); !errors.Is(err, ErrBounds) {
+		t.Errorf("misaligned: %v", err)
+	}
+	if err := ch.FetchAdd(16, word.Descriptor(), 1, nil); !errors.Is(err, ErrBounds) {
+		t.Errorf("oob: %v", err)
+	}
+	wrong := RemoteRegion{Endpoint: "elsewhere:1", RegionID: 1, Size: 16}
+	if _, err := ch.FetchAddSync(0, wrong, 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("wrong endpoint: %v", err)
+	}
+	bogus := RemoteRegion{Endpoint: "hostB:1", RegionID: 999, Size: 16}
+	if _, err := ch.FetchAddSync(0, bogus, 1); !errors.Is(err, ErrBounds) {
+		t.Errorf("unknown region: %v", err)
+	}
+}
+
+func TestFetchAddConcurrentFromManyDevices(t *testing.T) {
+	// A shared counter incremented atomically from several devices over
+	// several QPs must not lose updates — the defining property of the
+	// atomic verbs.
+	f := NewFabric()
+	host, err := CreateDevice(f, Config{Endpoint: "counter:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	word, _ := host.AllocateMemRegion(8)
+	desc := word.Descriptor()
+
+	const devices, perDevice = 4, 200
+	var wg sync.WaitGroup
+	for d := 0; d < devices; d++ {
+		dev, err := CreateDevice(f, Config{Endpoint: string(rune('a'+d)) + ":1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dev.Close()
+		wg.Add(1)
+		go func(dev *Device, qp int) {
+			defer wg.Done()
+			ch, err := dev.GetChannel("counter:1", qp%4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < perDevice; i++ {
+				if _, err := ch.FetchAddSync(0, desc, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(dev, d)
+	}
+	wg.Wait()
+	if got := word.LoadWord(0); got != devices*perDevice {
+		t.Errorf("counter = %d, want %d", got, devices*perDevice)
+	}
+}
+
+func TestCASDistributedLock(t *testing.T) {
+	// Use CAS as a spinlock from two clients; the protected (non-atomic)
+	// counter must not lose updates if mutual exclusion holds.
+	f := NewFabric()
+	host, err := CreateDevice(f, Config{Endpoint: "lock:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	region, _ := host.AllocateMemRegion(16) // word 0: lock, word 1: counter
+	desc := region.Descriptor()
+
+	const clients, iters = 2, 100
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		dev, err := CreateDevice(f, Config{Endpoint: string(rune('x'+c)) + ":1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dev.Close()
+		wg.Add(1)
+		go func(dev *Device, id uint64) {
+			defer wg.Done()
+			ch, err := dev.GetChannel("lock:1", 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < iters; i++ {
+				// Acquire.
+				for {
+					old, err := ch.CompareSwapSync(0, desc, 0, id)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if old == 0 {
+						break
+					}
+				}
+				// Critical section: non-atomic read-modify-write via
+				// one-sided verbs, safe only under the lock.
+				scratch, err := dev.AllocateMemRegion(8)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := ch.MemcpySync(0, scratch, 8, desc, 8, OpRead); err != nil {
+					t.Error(err)
+					return
+				}
+				scratch.StoreWord(0, scratch.LoadWord(0)+1)
+				if err := ch.MemcpySync(0, scratch, 8, desc, 8, OpWrite); err != nil {
+					t.Error(err)
+					return
+				}
+				dev.FreeMemRegion(scratch)
+				// Release.
+				if _, err := ch.CompareSwapSync(0, desc, id, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(dev, uint64(c+1))
+	}
+	wg.Wait()
+	if got := region.LoadWord(8); got != clients*iters {
+		t.Errorf("protected counter = %d, want %d (mutual exclusion violated)", got, clients*iters)
+	}
+}

@@ -1,0 +1,78 @@
+package rdma
+
+import (
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Atomic access to 8-byte-aligned words inside registered region storage.
+//
+// On real hardware the NIC's DMA engine commits the tail flag of a transfer
+// after the payload, and the CPU's cache coherence makes the ordering
+// visible to a polling thread. In the emulator the "NIC" is a goroutine, so
+// the same ordering must be expressed through the Go memory model: the
+// payload is written with plain stores and the flag word with an atomic
+// (release) store; the poller reads the flag with an atomic (acquire) load
+// and only then touches the payload. This file is the only use of unsafe in
+// the package and every call validates alignment and bounds first.
+
+// atomicStore64 stores v at buf[off:off+8] with release semantics.
+// off must be 8-byte aligned relative to the slice start, and the backing
+// array must itself be 8-byte aligned (region storage is allocated from
+// []uint64, see newAlignedBytes).
+func atomicStore64(buf []byte, off int, v uint64) {
+	p := wordPtr(buf, off)
+	atomic.StoreUint64(p, v)
+}
+
+// atomicLoad64 loads the word at buf[off:off+8] with acquire semantics.
+func atomicLoad64(buf []byte, off int) uint64 {
+	p := wordPtr(buf, off)
+	return atomic.LoadUint64(p)
+}
+
+// atomicAdd64 atomically adds delta to the word at buf[off:off+8] and
+// returns the previous value (the fetch-and-add memory verb).
+func atomicAdd64(buf []byte, off int, delta uint64) uint64 {
+	p := wordPtr(buf, off)
+	return atomic.AddUint64(p, delta) - delta
+}
+
+// atomicCAS64 atomically compares the word at buf[off:off+8] with old and,
+// if equal, stores new; it returns the value observed before the operation
+// (the compare-and-swap memory verb, which always reports the prior value).
+func atomicCAS64(buf []byte, off int, old, new uint64) uint64 {
+	p := wordPtr(buf, off)
+	for {
+		cur := atomic.LoadUint64(p)
+		if cur != old {
+			return cur
+		}
+		if atomic.CompareAndSwapUint64(p, old, new) {
+			return old
+		}
+	}
+}
+
+func wordPtr(buf []byte, off int) *uint64 {
+	if off < 0 || off+8 > len(buf) {
+		panic(fmt.Sprintf("rdma: atomic word at %d out of bounds [0,%d)", off, len(buf)))
+	}
+	p := unsafe.Pointer(&buf[off])
+	if uintptr(p)%8 != 0 {
+		panic(fmt.Sprintf("rdma: atomic word at %d is misaligned", off))
+	}
+	return (*uint64)(p)
+}
+
+// newAlignedBytes allocates an 8-byte-aligned byte slice of the given size
+// (rounded up to a multiple of 8) by backing it with a []uint64.
+func newAlignedBytes(size int) []byte {
+	words := (size + 7) / 8
+	backing := make([]uint64, words)
+	if words == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&backing[0])), words*8)[:size]
+}

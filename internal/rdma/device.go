@@ -1,0 +1,547 @@
+package rdma
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Op identifies the direction of a one-sided transfer relative to the
+// issuing device.
+type Op uint8
+
+const (
+	// OpWrite pushes local bytes into the remote region (RDMA write).
+	OpWrite Op = iota
+	// OpRead pulls remote bytes into the local region (RDMA read).
+	OpRead
+)
+
+func (o Op) String() string {
+	if o == OpWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// Config parameterizes CreateDevice. Zero values select the defaults the
+// paper's evaluation uses (4 CQs per device, 4 QPs per peer, following the
+// guidelines in Kalia et al.).
+type Config struct {
+	// Endpoint is the device's address on the fabric ("host:port").
+	Endpoint string
+	// NumCQs is the number of completion queues (poller threads).
+	NumCQs int
+	// QPsPerPeer is the number of queue pairs created per connected peer.
+	QPsPerPeer int
+	// SendQueueDepth is the per-QP work queue capacity.
+	SendQueueDepth int
+	// MaxRegions bounds the number of registered memory regions, emulating
+	// the hardware registration limit that motivates arena registration in
+	// §3.4. Zero means 4096.
+	MaxRegions int
+}
+
+func (c *Config) setDefaults() error {
+	if c.Endpoint == "" {
+		return fmt.Errorf("rdma: empty endpoint: %w", ErrBadConfig)
+	}
+	if c.NumCQs == 0 {
+		c.NumCQs = 4
+	}
+	if c.QPsPerPeer == 0 {
+		c.QPsPerPeer = 4
+	}
+	if c.SendQueueDepth == 0 {
+		c.SendQueueDepth = 128
+	}
+	if c.MaxRegions == 0 {
+		c.MaxRegions = 4096
+	}
+	if c.NumCQs < 0 || c.QPsPerPeer < 0 || c.SendQueueDepth < 0 || c.MaxRegions < 0 {
+		return fmt.Errorf("rdma: negative config value: %w", ErrBadConfig)
+	}
+	return nil
+}
+
+// Device emulates one RDMA NIC attached to an endpoint on a fabric.
+// It is the CreateRdmaDevice object of Table 1.
+type Device struct {
+	fabric   *Fabric
+	endpoint string
+	cfg      Config
+
+	closed atomic.Bool
+
+	mu           sync.Mutex
+	regions      map[uint32]*MemRegion
+	nextRegionID uint32
+	peers        map[string]*peerConn
+	nextCQ       int
+
+	cqs []*completionQueue
+
+	msgMu      sync.Mutex
+	msgHandler func(from string, payload []byte)
+	msgQueue   *guardedQueue[inboundMsg]
+	rpc        rpcState
+
+	qpWG     sync.WaitGroup // queue-pair goroutines
+	pollerWG sync.WaitGroup // CQ pollers and the message dispatcher
+}
+
+// guardedQueue is a channel whose senders and closer are synchronized, so a
+// shutdown never races with in-flight posts: post blocks holding a read
+// lock, close takes the write lock after all posts drain into the buffer.
+type guardedQueue[T any] struct {
+	mu     sync.RWMutex
+	closed bool
+	ch     chan T
+}
+
+func newGuardedQueue[T any](depth int) *guardedQueue[T] {
+	return &guardedQueue[T]{ch: make(chan T, depth)}
+}
+
+// post enqueues v, reporting false if the queue is closed.
+func (q *guardedQueue[T]) post(v T) bool {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return false
+	}
+	q.ch <- v
+	return true
+}
+
+func (q *guardedQueue[T]) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+type inboundMsg struct {
+	from    string
+	payload []byte
+}
+
+type peerConn struct {
+	qps []*queuePair
+}
+
+// CreateDevice creates and registers a device on the fabric
+// (CreateRdmaDevice in Table 1).
+func CreateDevice(f *Fabric, cfg Config) (*Device, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		fabric:   f,
+		endpoint: cfg.Endpoint,
+		cfg:      cfg,
+		regions:  make(map[uint32]*MemRegion),
+		peers:    make(map[string]*peerConn),
+		msgQueue: newGuardedQueue[inboundMsg](256),
+	}
+	d.rpc.init()
+	if err := f.register(d); err != nil {
+		return nil, err
+	}
+	d.cqs = make([]*completionQueue, cfg.NumCQs)
+	for i := range d.cqs {
+		d.cqs[i] = newCompletionQueue(256)
+		d.pollerWG.Add(1)
+		go func(cq *completionQueue) {
+			defer d.pollerWG.Done()
+			cq.pollLoop()
+		}(d.cqs[i])
+	}
+	d.pollerWG.Add(1)
+	go func() {
+		defer d.pollerWG.Done()
+		d.dispatchMessages()
+	}()
+	return d, nil
+}
+
+// Endpoint returns the device's fabric address.
+func (d *Device) Endpoint() string { return d.endpoint }
+
+// AllocateMemRegion registers a new RDMA-accessible memory region of the
+// given size (rounded up to a multiple of 8 bytes so every tail flag word is
+// aligned). It corresponds to RdmaDev::AllocateMemRegion in Table 1.
+func (d *Device) AllocateMemRegion(size int) (*MemRegion, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("rdma: region size %d: %w", size, ErrBadConfig)
+	}
+	if d.closed.Load() {
+		return nil, ErrClosed
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.regions) >= d.cfg.MaxRegions {
+		return nil, fmt.Errorf("rdma: registration limit %d reached: %w", d.cfg.MaxRegions, ErrBadConfig)
+	}
+	rounded := (size + 7) / 8 * 8
+	d.nextRegionID++
+	mr := &MemRegion{dev: d, id: d.nextRegionID, data: newAlignedBytes(rounded)}
+	d.regions[mr.id] = mr
+	return mr, nil
+}
+
+// FreeMemRegion deregisters a region. Outstanding transfers targeting it
+// fail with ErrBounds.
+func (d *Device) FreeMemRegion(mr *MemRegion) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.regions, mr.id)
+}
+
+// RegionCount reports the number of registered regions (for tests asserting
+// the arena design keeps registrations low).
+func (d *Device) RegionCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.regions)
+}
+
+func (d *Device) lookupRegion(id uint32) (*MemRegion, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	mr, ok := d.regions[id]
+	if !ok {
+		return nil, fmt.Errorf("rdma: region %d not registered on %s: %w", id, d.endpoint, ErrBounds)
+	}
+	return mr, nil
+}
+
+// GetChannel returns a communication channel to the remote endpoint bound
+// to the specified QP index (RdmaDev::GetChannel in Table 1). QPs for a
+// peer are created lazily on first use and associated with the device's
+// CQs in round-robin order (Figure 4). Multi-threaded callers spread load
+// by using distinct qpIdx values.
+func (d *Device) GetChannel(remote string, qpIdx int) (*Channel, error) {
+	if d.closed.Load() {
+		return nil, ErrClosed
+	}
+	if remote == d.endpoint {
+		return nil, fmt.Errorf("rdma: channel to self %q: %w", remote, ErrBadConfig)
+	}
+	if qpIdx < 0 || qpIdx >= d.cfg.QPsPerPeer {
+		return nil, fmt.Errorf("rdma: qp index %d outside [0,%d): %w", qpIdx, d.cfg.QPsPerPeer, ErrBadConfig)
+	}
+	d.mu.Lock()
+	pc, ok := d.peers[remote]
+	if !ok {
+		pc = &peerConn{qps: make([]*queuePair, d.cfg.QPsPerPeer)}
+		for i := range pc.qps {
+			cq := d.cqs[d.nextCQ%len(d.cqs)]
+			d.nextCQ++
+			qp := newQueuePair(d, remote, cq, d.cfg.SendQueueDepth)
+			pc.qps[i] = qp
+			d.qpWG.Add(1)
+			go func() {
+				defer d.qpWG.Done()
+				qp.run()
+			}()
+		}
+		d.peers[remote] = pc
+	}
+	qp := pc.qps[qpIdx]
+	d.mu.Unlock()
+	return &Channel{dev: d, remote: remote, qp: qp}, nil
+}
+
+// SetMessageHandler installs the two-sided receive handler. Messages are
+// delivered on the device's dispatcher goroutine in arrival order.
+func (d *Device) SetMessageHandler(h func(from string, payload []byte)) {
+	d.msgMu.Lock()
+	d.msgHandler = h
+	d.msgMu.Unlock()
+}
+
+func (d *Device) dispatchMessages() {
+	for m := range d.msgQueue.ch {
+		if len(m.payload) > 0 && m.payload[0] == rpcMagic {
+			d.handleRPCMessage(m.from, m.payload)
+			continue
+		}
+		d.msgMu.Lock()
+		h := d.msgHandler
+		d.msgMu.Unlock()
+		if h != nil {
+			h(m.from, m.payload)
+		}
+	}
+}
+
+// deliver enqueues an inbound two-sided message (called from the sender's
+// QP goroutine; the copy into the queue models the receive-buffer copy of
+// messaging verbs).
+func (d *Device) deliver(from string, payload []byte) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	if !d.msgQueue.post(inboundMsg{from: from, payload: cp}) {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close shuts the device down in dependency order: the endpoint leaves the
+// fabric, QPs stop accepting work and drain, the message dispatcher stops,
+// and finally the CQ pollers drain outstanding completions.
+func (d *Device) Close() {
+	if !d.closed.CompareAndSwap(false, true) {
+		return
+	}
+	d.fabric.unregister(d.endpoint)
+	d.mu.Lock()
+	for _, pc := range d.peers {
+		for _, qp := range pc.qps {
+			qp.close()
+		}
+	}
+	d.mu.Unlock()
+	d.qpWG.Wait() // all completions posted to CQs by now
+	d.msgQueue.close()
+	for _, cq := range d.cqs {
+		cq.close()
+	}
+	d.rpc.failAll(ErrClosed)
+	d.pollerWG.Wait()
+}
+
+// completionQueue carries work completions to a dedicated poller goroutine,
+// which invokes the user callbacks (the library's "thread pool with each
+// thread polling a specific CQ").
+type completionQueue struct {
+	q *guardedQueue[completion]
+}
+
+type completion struct {
+	cb  func(error)
+	err error
+}
+
+func newCompletionQueue(depth int) *completionQueue {
+	return &completionQueue{q: newGuardedQueue[completion](depth)}
+}
+
+func (cq *completionQueue) post(c completion) {
+	if !cq.q.post(c) && c.cb != nil {
+		// Shutdown raced with the final completions: still inform the
+		// caller rather than dropping the callback.
+		c.cb(ErrClosed)
+	}
+}
+
+func (cq *completionQueue) pollLoop() {
+	for c := range cq.q.ch {
+		if c.cb != nil {
+			c.cb(c.err)
+		}
+	}
+}
+
+func (cq *completionQueue) close() {
+	cq.q.close()
+}
+
+// queuePair processes posted work requests in order, the way a reliable
+// connected QP does.
+type queuePair struct {
+	dev  *Device
+	peer string
+	cq   *completionQueue
+	wq   *guardedQueue[workRequest]
+}
+
+type wrKind uint8
+
+const (
+	wrTransfer wrKind = iota
+	wrMessage
+	wrAtomic
+)
+
+type workRequest struct {
+	kind wrKind
+
+	// one-sided transfer fields
+	op        Op
+	local     *MemRegion
+	localOff  int
+	remote    RemoteRegion
+	remoteOff int
+	size      int
+
+	// two-sided message payload
+	payload []byte
+
+	// one-sided atomic operation
+	atomic atomicRequest
+
+	cb func(error)
+}
+
+func newQueuePair(d *Device, peer string, cq *completionQueue, depth int) *queuePair {
+	return &queuePair{dev: d, peer: peer, cq: cq, wq: newGuardedQueue[workRequest](depth)}
+}
+
+func (qp *queuePair) post(wr workRequest) error {
+	if !qp.wq.post(wr) {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (qp *queuePair) run() {
+	for wr := range qp.wq.ch {
+		var err error
+		switch wr.kind {
+		case wrTransfer:
+			err = qp.dev.executeTransfer(qp.peer, wr)
+		case wrMessage:
+			err = qp.dev.executeMessage(qp.peer, wr.payload)
+		case wrAtomic:
+			err = qp.dev.executeAtomic(qp.peer, wr.atomic)
+		}
+		qp.cq.post(completion{cb: wr.cb, err: err})
+	}
+}
+
+func (qp *queuePair) close() {
+	qp.wq.close()
+}
+
+// executeTransfer performs a one-sided read or write: it runs entirely on
+// the requester's QP goroutine, touching the remote region's memory directly
+// without involving any goroutine of the remote device.
+func (d *Device) executeTransfer(peer string, wr workRequest) error {
+	hooks := d.fabric.hooksSnapshot()
+	if hooks.TransferDelay != nil {
+		if delay := hooks.TransferDelay(wr.op, wr.size); delay > 0 {
+			sleep(delay)
+		}
+	}
+	remoteDev, err := d.fabric.lookup(d.endpoint, peer)
+	if err != nil {
+		return err
+	}
+	if wr.remote.Endpoint != peer {
+		return fmt.Errorf("rdma: remote region on %s used over channel to %s: %w",
+			wr.remote.Endpoint, peer, ErrBadConfig)
+	}
+	remoteMR, err := remoteDev.lookupRegion(wr.remote.RegionID)
+	if err != nil {
+		return err
+	}
+	local, err := wr.local.Slice(wr.localOff, wr.size)
+	if err != nil {
+		return err
+	}
+	remote, err := remoteMR.Slice(wr.remoteOff, wr.size)
+	if err != nil {
+		return err
+	}
+	switch wr.op {
+	case OpWrite:
+		orderedCopy(remote, wr.remoteOff, local, wr.localOff)
+	case OpRead:
+		orderedCopy(local, wr.localOff, remote, wr.remoteOff)
+	}
+	if hooks.OnTransfer != nil {
+		hooks.OnTransfer(wr.op, wr.size)
+	}
+	return nil
+}
+
+func (d *Device) executeMessage(peer string, payload []byte) error {
+	remoteDev, err := d.fabric.lookup(d.endpoint, peer)
+	if err != nil {
+		return err
+	}
+	return remoteDev.deliver(d.endpoint, payload)
+}
+
+// orderedCopy copies src into dst (the slices start at absolute offsets
+// dstOff/srcOff in their regions) in ascending address order. If the
+// transfer ends on an 8-byte-aligned boundary at both ends and spans at
+// least one word, the final word is moved with an atomic load/store pair so
+// a tail flag (or credit counter) becomes visible only after the payload —
+// the emulator's rendering of the NIC's in-order DMA guarantee the §3.2
+// protocol depends on. Using an atomic load on the source side lets
+// protocols update single-word sources (e.g. ring-transport credit words)
+// with StoreWord without racing the in-flight transfer.
+func orderedCopy(dst []byte, dstOff int, src []byte, srcOff int) {
+	n := len(src)
+	if n >= 8 && (dstOff+n)%8 == 0 && (srcOff+n)%8 == 0 {
+		copy(dst[:n-8], src[:n-8])
+		atomicStore64(dst, n-8, atomicLoad64(src, n-8))
+		return
+	}
+	copy(dst, src)
+}
+
+// Channel connects the local device to one remote endpoint over one QP
+// (RdmaChannel in Table 1).
+type Channel struct {
+	dev    *Device
+	remote string
+	qp     *queuePair
+}
+
+// Remote returns the peer endpoint this channel targets.
+func (c *Channel) Remote() string { return c.remote }
+
+// Memcpy asynchronously copies size bytes between the local region (at
+// localOff) and the remote region (at remoteOff); dir selects RDMA write or
+// read. The callback runs on a CQ poller goroutine when the transfer
+// completes. Validation errors are returned synchronously.
+func (c *Channel) Memcpy(localOff int, local *MemRegion, remoteOff int, remote RemoteRegion,
+	size int, dir Op, cb func(error)) error {
+	if local == nil {
+		return fmt.Errorf("rdma: nil local region: %w", ErrBadConfig)
+	}
+	if size < 0 {
+		return fmt.Errorf("rdma: negative size %d: %w", size, ErrBadConfig)
+	}
+	if localOff < 0 || localOff+size > local.Size() {
+		return fmt.Errorf("rdma: local [%d,+%d) of %d: %w", localOff, size, local.Size(), ErrBounds)
+	}
+	if remoteOff < 0 || uint64(remoteOff)+uint64(size) > remote.Size {
+		return fmt.Errorf("rdma: remote [%d,+%d) of %d: %w", remoteOff, size, remote.Size, ErrBounds)
+	}
+	return c.qp.post(workRequest{
+		kind: wrTransfer, op: dir,
+		local: local, localOff: localOff,
+		remote: remote, remoteOff: remoteOff,
+		size: size, cb: cb,
+	})
+}
+
+// MemcpySync is Memcpy that blocks until completion, for callers without an
+// event loop (tests, examples, the address-distribution path).
+func (c *Channel) MemcpySync(localOff int, local *MemRegion, remoteOff int, remote RemoteRegion,
+	size int, dir Op) error {
+	done := make(chan error, 1)
+	if err := c.Memcpy(localOff, local, remoteOff, remote, size, dir, func(err error) {
+		done <- err
+	}); err != nil {
+		return err
+	}
+	return <-done
+}
+
+// SendMsg posts a two-sided message to the peer (messaging verbs). The
+// callback fires when the message has been accepted by the remote receive
+// queue.
+func (c *Channel) SendMsg(payload []byte, cb func(error)) error {
+	return c.qp.post(workRequest{kind: wrMessage, payload: payload, cb: cb})
+}

@@ -1,0 +1,37 @@
+// Package rdma is an in-process emulation of the paper's RDMA "device"
+// communication library (Table 1):
+//
+//	dev, _    := rdma.CreateDevice(fabric, rdma.Config{...})
+//	mr, _     := dev.AllocateMemRegion(size)
+//	ch, _     := dev.GetChannel(remoteEndpoint, qpIdx)
+//	ch.Memcpy(localOff, mr, remoteOff, remoteRegion, size, dir, callback)
+//
+// A Fabric stands in for the physical network: it is a registry of devices
+// (one per emulated server/NIC). One-sided reads and writes are executed by
+// the requester's queue-pair goroutine, copying bytes directly between
+// registered memory regions — the remote CPU is never involved, exactly the
+// one-sided verbs semantics. Two-sided send/recv verbs and a vanilla RPC
+// built on them are provided for the auxiliary address-distribution path
+// (§3.1 of the paper), which is off the critical path.
+//
+// Fidelity points carried over from hardware:
+//
+//   - Writes land in ascending address order, and the final 8-byte-aligned
+//     word of a transfer is committed with release semantics. This is the
+//     property the paper's tail-flag protocol (§3.2) relies on ("many RDMA
+//     NICs guarantee that RDMA writes are performed in an ascending address
+//     order, same as reported in FaRM"). Receivers polling the flag word
+//     with PollFlag (acquire load) therefore observe the full payload once
+//     the flag is visible.
+//   - Work requests on one QP complete in order; each QP is associated with
+//     a completion queue, QPs are spread over CQs round-robin at connect
+//     time (Figure 4), and a pool of poller goroutines drains CQs and runs
+//     completion callbacks.
+//   - Memory must be registered (a MemRegion) before it can be the source
+//     or target of a transfer; out-of-bounds accesses fail the work request,
+//     the emulator's analogue of a local/remote protection fault.
+//   - Concurrent conflicting writes to the same region bytes are the
+//     application's responsibility, as on real hardware.
+//
+// The fabric can inject per-transfer latency and partitions for tests.
+package rdma

@@ -1,0 +1,121 @@
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Common error values returned by the device library.
+var (
+	ErrClosed      = errors.New("rdma: device closed")
+	ErrNoSuchPeer  = errors.New("rdma: no such peer endpoint")
+	ErrBounds      = errors.New("rdma: memory access out of region bounds")
+	ErrUnreachable = errors.New("rdma: peer unreachable (partitioned)")
+	ErrBadConfig   = errors.New("rdma: invalid device configuration")
+)
+
+// Hooks allows tests and simulators to observe or delay fabric activity.
+type Hooks struct {
+	// TransferDelay, if non-nil, returns an artificial latency applied
+	// before a one-sided transfer of the given size executes.
+	TransferDelay func(op Op, size int) time.Duration
+	// OnTransfer, if non-nil, is invoked after every completed one-sided
+	// transfer (for counters).
+	OnTransfer func(op Op, size int)
+}
+
+// Fabric is the emulated RDMA network: a registry of devices keyed by
+// endpoint ("host:port") plus optional fault/latency injection. One Fabric
+// models one isolated cluster; tests create as many as they need.
+type Fabric struct {
+	mu         sync.RWMutex
+	devices    map[string]*Device
+	partitions map[[2]string]bool
+	hooks      Hooks
+}
+
+// NewFabric creates an empty fabric.
+func NewFabric() *Fabric {
+	return &Fabric{
+		devices:    make(map[string]*Device),
+		partitions: make(map[[2]string]bool),
+	}
+}
+
+// SetHooks installs fault/latency hooks. It must be called before devices
+// begin transferring.
+func (f *Fabric) SetHooks(h Hooks) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hooks = h
+}
+
+// Partition severs connectivity between two endpoints (both directions).
+func (f *Fabric) Partition(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitions[partitionKey(a, b)] = true
+}
+
+// Heal restores connectivity between two endpoints.
+func (f *Fabric) Heal(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.partitions, partitionKey(a, b))
+}
+
+func partitionKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+func (f *Fabric) register(d *Device) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.devices[d.endpoint]; ok {
+		return fmt.Errorf("rdma: endpoint %q already registered: %w", d.endpoint, ErrBadConfig)
+	}
+	f.devices[d.endpoint] = d
+	return nil
+}
+
+func (f *Fabric) unregister(endpoint string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.devices, endpoint)
+}
+
+// lookup resolves a peer endpoint, honouring partitions from the caller.
+func (f *Fabric) lookup(from, to string) (*Device, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.partitions[partitionKey(from, to)] {
+		return nil, fmt.Errorf("rdma: %s -> %s: %w", from, to, ErrUnreachable)
+	}
+	d, ok := f.devices[to]
+	if !ok {
+		return nil, fmt.Errorf("rdma: %s -> %s: %w", from, to, ErrNoSuchPeer)
+	}
+	return d, nil
+}
+
+func (f *Fabric) hooksSnapshot() Hooks {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.hooks
+}
+
+// Endpoints returns the endpoints currently registered, for diagnostics.
+func (f *Fabric) Endpoints() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	eps := make([]string, 0, len(f.devices))
+	for ep := range f.devices {
+		eps = append(eps, ep)
+	}
+	return eps
+}

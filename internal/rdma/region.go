@@ -1,0 +1,119 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FlagWordSize is the size of the completion flag appended to a transfer
+// target (§3.2). The paper uses a single flag byte; the emulator widens it
+// to one 8-byte word so the flag can be committed with an atomic store (the
+// software analogue of the NIC's ordered DMA — see atomicword.go). Regions
+// intended for flagged transfers should reserve FlagWordSize bytes at the
+// tail of each slot.
+const FlagWordSize = 8
+
+// FlagSet is the value the sender writes into the flag word.
+const FlagSet uint64 = 1
+
+// MemRegion is a block of RDMA-registered memory on a local device.
+// Addresses within a region are byte offsets from its start.
+type MemRegion struct {
+	dev  *Device
+	id   uint32
+	data []byte
+}
+
+// ID returns the region's registration id (the emulator's rkey).
+func (m *MemRegion) ID() uint32 { return m.id }
+
+// Size returns the registered size in bytes.
+func (m *MemRegion) Size() int { return len(m.data) }
+
+// Bytes returns the region's storage. Slicing it is how tensors are placed
+// in registered memory without copies.
+func (m *MemRegion) Bytes() []byte { return m.data }
+
+// Slice returns the sub-range [off, off+size) of the region's storage.
+func (m *MemRegion) Slice(off, size int) ([]byte, error) {
+	if off < 0 || size < 0 || off+size > len(m.data) {
+		return nil, fmt.Errorf("rdma: slice [%d,%d+%d) of %d-byte region: %w",
+			off, off, size, len(m.data), ErrBounds)
+	}
+	return m.data[off : off+size], nil
+}
+
+// Descriptor returns the remotely shareable handle for this region.
+// Distributing descriptors to peers (over the vanilla RPC) is the §3.1
+// address-distribution step.
+func (m *MemRegion) Descriptor() RemoteRegion {
+	return RemoteRegion{Endpoint: m.dev.endpoint, RegionID: m.id, Size: uint64(len(m.data))}
+}
+
+// PollFlag checks the flag word at the given offset with acquire semantics
+// and reports whether it equals FlagSet. Once true, all payload bytes the
+// sender wrote before the flag are visible.
+func (m *MemRegion) PollFlag(off int) bool {
+	return atomicLoad64(m.data, off) == FlagSet
+}
+
+// ClearFlag resets the flag word at the given offset for reuse.
+func (m *MemRegion) ClearFlag(off int) {
+	atomicStore64(m.data, off, 0)
+}
+
+// SetFlagLocal sets the flag word locally (used by loopback paths in tests).
+func (m *MemRegion) SetFlagLocal(off int) {
+	atomicStore64(m.data, off, FlagSet)
+}
+
+// LoadWord atomically reads the 8-byte word at the aligned offset with
+// acquire semantics. Higher-level protocols (e.g. the ring transport's
+// credit counters) poll remotely written words through it.
+func (m *MemRegion) LoadWord(off int) uint64 {
+	return atomicLoad64(m.data, off)
+}
+
+// StoreWord atomically writes the 8-byte word at the aligned offset with
+// release semantics.
+func (m *MemRegion) StoreWord(off int, v uint64) {
+	atomicStore64(m.data, off, v)
+}
+
+// RemoteRegion identifies a registered memory region on a (possibly remote)
+// device: it is the pair the paper's Memcpy takes as "remote_region".
+type RemoteRegion struct {
+	Endpoint string
+	RegionID uint32
+	Size     uint64
+}
+
+// remoteRegionWireSize bounds the encoded size (2+len(ep)+4+8).
+func (r RemoteRegion) wireSize() int { return 2 + len(r.Endpoint) + 4 + 8 }
+
+// Marshal encodes the descriptor for address distribution.
+func (r RemoteRegion) Marshal() []byte {
+	buf := make([]byte, r.wireSize())
+	binary.LittleEndian.PutUint16(buf, uint16(len(r.Endpoint)))
+	copy(buf[2:], r.Endpoint)
+	off := 2 + len(r.Endpoint)
+	binary.LittleEndian.PutUint32(buf[off:], r.RegionID)
+	binary.LittleEndian.PutUint64(buf[off+4:], r.Size)
+	return buf
+}
+
+// UnmarshalRemoteRegion decodes a descriptor produced by Marshal.
+func UnmarshalRemoteRegion(buf []byte) (RemoteRegion, error) {
+	var r RemoteRegion
+	if len(buf) < 2 {
+		return r, fmt.Errorf("rdma: short region descriptor (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint16(buf))
+	if len(buf) < 2+n+12 {
+		return r, fmt.Errorf("rdma: truncated region descriptor (%d bytes, endpoint %d)", len(buf), n)
+	}
+	r.Endpoint = string(buf[2 : 2+n])
+	r.RegionID = binary.LittleEndian.Uint32(buf[2+n:])
+	r.Size = binary.LittleEndian.Uint64(buf[2+n+4:])
+	return r, nil
+}

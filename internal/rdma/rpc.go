@@ -1,0 +1,195 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Vanilla RPC over the two-sided messaging verbs (§3.1): "the library also
+// provides a simple vanilla RPC mechanism implemented using the RDMA
+// send/recv verbs for this auxiliary purpose of distributing remote memory
+// addresses. This address distribution process is often not on the critical
+// path of the application, and hence not performance critical."
+
+// ErrRPC wraps handler-reported failures.
+var ErrRPC = errors.New("rdma: rpc handler error")
+
+// ErrRPCTimeout is returned when a call's deadline expires.
+var ErrRPCTimeout = errors.New("rdma: rpc timeout")
+
+// ErrNoHandler is returned when the remote device has no handler registered
+// for the requested method.
+var ErrNoHandler = errors.New("rdma: no rpc handler for method")
+
+const (
+	rpcMagic    byte = 0xA7
+	rpcKindReq  byte = 0
+	rpcKindResp byte = 1
+)
+
+type rpcState struct {
+	mu       sync.Mutex
+	handlers map[string]RPCHandler
+	pending  map[uint64]chan rpcResult
+	nextID   uint64
+	failed   error
+}
+
+// RPCHandler serves one RPC method. It runs on its own goroutine per call.
+type RPCHandler func(from string, req []byte) ([]byte, error)
+
+type rpcResult struct {
+	payload []byte
+	err     error
+}
+
+func (r *rpcState) init() {
+	r.handlers = make(map[string]RPCHandler)
+	r.pending = make(map[uint64]chan rpcResult)
+}
+
+func (r *rpcState) failAll(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failed = err
+	for id, ch := range r.pending {
+		ch <- rpcResult{err: err}
+		delete(r.pending, id)
+	}
+}
+
+// RegisterRPC installs a handler for the named method.
+func (d *Device) RegisterRPC(method string, h RPCHandler) {
+	d.rpc.mu.Lock()
+	defer d.rpc.mu.Unlock()
+	d.rpc.handlers[method] = h
+}
+
+// Call performs a vanilla RPC to the remote endpoint over the channel's QP
+// and blocks for the response or the timeout.
+func (c *Channel) Call(method string, req []byte, timeout time.Duration) ([]byte, error) {
+	d := c.dev
+	d.rpc.mu.Lock()
+	if d.rpc.failed != nil {
+		d.rpc.mu.Unlock()
+		return nil, d.rpc.failed
+	}
+	d.rpc.nextID++
+	id := d.rpc.nextID
+	resCh := make(chan rpcResult, 1)
+	d.rpc.pending[id] = resCh
+	d.rpc.mu.Unlock()
+
+	msg := encodeRPCRequest(id, method, req)
+	if err := c.SendMsg(msg, func(err error) {
+		if err != nil {
+			d.rpc.complete(id, rpcResult{err: err})
+		}
+	}); err != nil {
+		d.rpc.complete(id, rpcResult{}) // drop pending entry
+		return nil, err
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res := <-resCh:
+		return res.payload, res.err
+	case <-timer.C:
+		d.rpc.complete(id, rpcResult{}) // drop pending entry
+		return nil, fmt.Errorf("rdma: call %q to %s after %v: %w", method, c.remote, timeout, ErrRPCTimeout)
+	}
+}
+
+func (r *rpcState) complete(id uint64, res rpcResult) {
+	r.mu.Lock()
+	ch, ok := r.pending[id]
+	delete(r.pending, id)
+	r.mu.Unlock()
+	if ok && (res.payload != nil || res.err != nil) {
+		ch <- res
+	}
+}
+
+func encodeRPCRequest(id uint64, method string, req []byte) []byte {
+	buf := make([]byte, 0, 1+1+8+2+len(method)+len(req))
+	buf = append(buf, rpcMagic, rpcKindReq)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(method)))
+	buf = append(buf, method...)
+	buf = append(buf, req...)
+	return buf
+}
+
+func encodeRPCResponse(id uint64, payload []byte, herr error) []byte {
+	status := byte(0)
+	body := payload
+	if herr != nil {
+		status = 1
+		body = []byte(herr.Error())
+	}
+	buf := make([]byte, 0, 1+1+8+1+len(body))
+	buf = append(buf, rpcMagic, rpcKindResp)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = append(buf, status)
+	buf = append(buf, body...)
+	return buf
+}
+
+// handleRPCMessage runs on the device's message dispatcher goroutine.
+func (d *Device) handleRPCMessage(from string, payload []byte) {
+	if len(payload) < 10 {
+		return // malformed; drop like a NIC would a bad frame
+	}
+	kind := payload[1]
+	id := binary.LittleEndian.Uint64(payload[2:])
+	body := payload[10:]
+	switch kind {
+	case rpcKindReq:
+		if len(body) < 2 {
+			return
+		}
+		mlen := int(binary.LittleEndian.Uint16(body))
+		if len(body) < 2+mlen {
+			return
+		}
+		method := string(body[2 : 2+mlen])
+		req := body[2+mlen:]
+		d.rpc.mu.Lock()
+		h := d.rpc.handlers[method]
+		d.rpc.mu.Unlock()
+		// Serve on a fresh goroutine so a slow handler does not block the
+		// dispatcher (and so handlers may themselves issue RPCs).
+		go func() {
+			var resp []byte
+			var herr error
+			if h == nil {
+				herr = fmt.Errorf("%w: %q on %s", ErrNoHandler, method, d.endpoint)
+			} else {
+				resp, herr = h(from, req)
+			}
+			ch, err := d.GetChannel(from, 0)
+			if err != nil {
+				return
+			}
+			_ = ch.SendMsg(encodeRPCResponse(id, resp, herr), nil)
+		}()
+	case rpcKindResp:
+		if len(body) < 1 {
+			return
+		}
+		res := rpcResult{}
+		if body[0] == 0 {
+			res.payload = append([]byte(nil), body[1:]...)
+			if res.payload == nil {
+				res.payload = []byte{}
+			}
+		} else {
+			res.err = fmt.Errorf("%w: %s", ErrRPC, string(body[1:]))
+		}
+		d.rpc.complete(id, res)
+	}
+}

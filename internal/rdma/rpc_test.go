@@ -1,0 +1,163 @@
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRPCBasic(t *testing.T) {
+	_, a, b := newPair(t)
+	b.RegisterRPC("echo", func(from string, req []byte) ([]byte, error) {
+		return append([]byte("echo:"), req...), nil
+	})
+	ch, _ := a.GetChannel("hostB:1", 0)
+	resp, err := ch.Call("echo", []byte("ping"), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:ping" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestRPCEmptyResponse(t *testing.T) {
+	_, a, b := newPair(t)
+	b.RegisterRPC("nop", func(from string, req []byte) ([]byte, error) { return nil, nil })
+	ch, _ := a.GetChannel("hostB:1", 0)
+	resp, err := ch.Call("nop", nil, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != 0 {
+		t.Errorf("resp = %v", resp)
+	}
+}
+
+func TestRPCHandlerError(t *testing.T) {
+	_, a, b := newPair(t)
+	b.RegisterRPC("fail", func(from string, req []byte) ([]byte, error) {
+		return nil, fmt.Errorf("deliberate failure")
+	})
+	ch, _ := a.GetChannel("hostB:1", 0)
+	_, err := ch.Call("fail", nil, 5*time.Second)
+	if !errors.Is(err, ErrRPC) {
+		t.Errorf("err = %v, want ErrRPC", err)
+	}
+}
+
+func TestRPCNoHandler(t *testing.T) {
+	_, a, _ := newPair(t)
+	ch, _ := a.GetChannel("hostB:1", 0)
+	_, err := ch.Call("missing", nil, 5*time.Second)
+	if !errors.Is(err, ErrRPC) {
+		t.Errorf("err = %v, want wrapped ErrRPC carrying no-handler text", err)
+	}
+}
+
+func TestRPCTimeout(t *testing.T) {
+	_, a, b := newPair(t)
+	release := make(chan struct{})
+	b.RegisterRPC("slow", func(from string, req []byte) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	defer close(release)
+	ch, _ := a.GetChannel("hostB:1", 0)
+	_, err := ch.Call("slow", nil, 20*time.Millisecond)
+	if !errors.Is(err, ErrRPCTimeout) {
+		t.Errorf("err = %v, want ErrRPCTimeout", err)
+	}
+}
+
+func TestRPCSeesCallerEndpoint(t *testing.T) {
+	_, a, b := newPair(t)
+	b.RegisterRPC("who", func(from string, req []byte) ([]byte, error) {
+		return []byte(from), nil
+	})
+	ch, _ := a.GetChannel("hostB:1", 0)
+	resp, err := ch.Call("who", nil, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "hostA:1" {
+		t.Errorf("from = %q", resp)
+	}
+}
+
+func TestRPCConcurrentCalls(t *testing.T) {
+	_, a, b := newPair(t)
+	b.RegisterRPC("double", func(from string, req []byte) ([]byte, error) {
+		out := make([]byte, len(req))
+		for i, v := range req {
+			out[i] = v * 2
+		}
+		return out, nil
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch, err := a.GetChannel("hostB:1", g%4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 25; i++ {
+				resp, err := ch.Call("double", []byte{byte(g), byte(i)}, 5*time.Second)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(resp) != 2 || resp[0] != byte(g)*2 || resp[1] != byte(i)*2 {
+					t.Errorf("g=%d i=%d resp=%v", g, i, resp)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestRPCAddressDistribution(t *testing.T) {
+	// The use case the vanilla RPC exists for: distribute a region
+	// descriptor, then write to it one-sidedly.
+	_, a, b := newPair(t)
+	dst, _ := b.AllocateMemRegion(64)
+	b.RegisterRPC("get-region", func(from string, req []byte) ([]byte, error) {
+		return dst.Descriptor().Marshal(), nil
+	})
+	ch, _ := a.GetChannel("hostB:1", 0)
+	resp, err := ch.Call("get-region", nil, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := UnmarshalRemoteRegion(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := a.AllocateMemRegion(64)
+	src.Bytes()[0] = 0xAB
+	if err := ch.MemcpySync(0, src, 0, remote, 64, OpWrite); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Bytes()[0] != 0xAB {
+		t.Error("write through distributed address failed")
+	}
+}
+
+func TestRPCAfterCloseFails(t *testing.T) {
+	f := NewFabric()
+	a, _ := CreateDevice(f, Config{Endpoint: "ra:1"})
+	b, _ := CreateDevice(f, Config{Endpoint: "rb:1"})
+	defer b.Close()
+	ch, _ := a.GetChannel("rb:1", 0)
+	a.Close()
+	if _, err := ch.Call("x", nil, time.Second); !errors.Is(err, ErrClosed) {
+		t.Errorf("call after close: %v", err)
+	}
+}

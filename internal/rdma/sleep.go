@@ -1,0 +1,7 @@
+package rdma
+
+import "time"
+
+// sleep is indirected so tests can replace real waiting when exercising the
+// fabric's latency-injection hooks.
+var sleep = time.Sleep

@@ -1,0 +1,291 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/rdma"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func pipeServer(t *testing.T) (*Server, transport.Network) {
+	t.Helper()
+	net := transport.NewPipeNetwork().Network()
+	l, err := net.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(l)
+	s.Start()
+	t.Cleanup(s.Close)
+	return s, net
+}
+
+func TestCallBasic(t *testing.T) {
+	s, net := pipeServer(t)
+	s.Register("add1", func(req []byte) ([]byte, error) {
+		out := make([]byte, len(req))
+		for i, b := range req {
+			out[i] = b + 1
+		}
+		return out, nil
+	})
+	c, err := Dial(net, s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call("add1", []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte{2, 3, 4}) {
+		t.Errorf("resp = %v", resp)
+	}
+}
+
+func TestCallNoMethod(t *testing.T) {
+	s, net := pipeServer(t)
+	c, _ := Dial(net, s.Addr())
+	defer c.Close()
+	_, err := c.Call("missing", nil)
+	if !errors.Is(err, ErrRemote) || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCallHandlerError(t *testing.T) {
+	s, net := pipeServer(t)
+	s.Register("boom", func(req []byte) ([]byte, error) {
+		return nil, fmt.Errorf("kaboom %s", req)
+	})
+	c, _ := Dial(net, s.Addr())
+	defer c.Close()
+	_, err := c.Call("boom", []byte("now"))
+	if !errors.Is(err, ErrRemote) || !strings.Contains(err.Error(), "kaboom now") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEmptyRequestAndResponse(t *testing.T) {
+	s, net := pipeServer(t)
+	s.Register("nop", func(req []byte) ([]byte, error) { return nil, nil })
+	c, _ := Dial(net, s.Addr())
+	defer c.Close()
+	resp, err := c.Call("nop", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != 0 {
+		t.Errorf("resp = %v", resp)
+	}
+}
+
+func TestConcurrentCallsMultiplexed(t *testing.T) {
+	s, net := pipeServer(t)
+	s.Register("echo", func(req []byte) ([]byte, error) { return req, nil })
+	c, _ := Dial(net, s.Addr())
+	defer c.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				msg := []byte(fmt.Sprintf("g%d-i%d", g, i))
+				resp, err := c.Call("echo", msg)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(resp, msg) {
+					t.Errorf("got %q want %q", resp, msg)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestClientCloseFailsInflight(t *testing.T) {
+	s, net := pipeServer(t)
+	block := make(chan struct{})
+	s.Register("hang", func(req []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	defer close(block)
+	c, _ := Dial(net, s.Addr())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call("hang", nil)
+		done <- err
+	}()
+	// Let the call get onto the wire, then close.
+	c.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Errorf("in-flight call after close: %v", err)
+	}
+	if _, err := c.Call("hang", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("call after close: %v", err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	s, _ := pipeServer(t)
+	s.Close()
+	s.Close()
+}
+
+func TestTensorMessageOverRPC(t *testing.T) {
+	// The actual baseline usage: serialize a tensor, call, deserialize.
+	s, net := pipeServer(t)
+	s.Register("tensor.push", func(req []byte) ([]byte, error) {
+		var msg wire.TensorMessage
+		if err := msg.Unmarshal(req); err != nil {
+			return nil, err
+		}
+		if msg.Name != "grad/w0" || len(msg.Payload) != 4096 {
+			return nil, fmt.Errorf("unexpected message %q/%d", msg.Name, len(msg.Payload))
+		}
+		ack := wire.TensorMessage{Name: msg.Name, Seq: msg.Seq}
+		return ack.Marshal(), nil
+	})
+	c, _ := Dial(net, s.Addr())
+	defer c.Close()
+	msg := wire.TensorMessage{
+		Name: "grad/w0", DType: 1, Shape: []int64{32, 32},
+		Payload: make([]byte, 4096), Seq: 3,
+	}
+	resp, err := c.Call("tensor.push", msg.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack wire.TensorMessage
+	if err := ack.Unmarshal(resp); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Name != "grad/w0" || ack.Seq != 3 {
+		t.Errorf("ack = %+v", ack)
+	}
+}
+
+func TestRPCOverAllTransports(t *testing.T) {
+	// The same RPC layer must run over pipe, TCP, and the RDMA ring —
+	// that is what makes gRPC.TCP and gRPC.RDMA the same code path with
+	// different substrates.
+	fabric := rdma.NewFabric()
+	devA, err := rdma.CreateDevice(fabric, rdma.Config{Endpoint: "cli:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devB, err := rdma.CreateDevice(fabric, rdma.Config{Endpoint: "srv:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { devA.Close(); devB.Close() })
+	ringCfg := transport.RingConfig{Slots: 8, SlotSize: 8192}
+	nets := map[string]struct {
+		listen transport.Network
+		dial   transport.Network
+	}{
+		"pipe": func() struct{ listen, dial transport.Network } {
+			n := transport.NewPipeNetwork().Network()
+			return struct{ listen, dial transport.Network }{n, n}
+		}(),
+		"tcp": {transport.TCPNetwork(), transport.TCPNetwork()},
+		"ring": {
+			transport.RingNetwork(devB, ringCfg),
+			transport.RingNetwork(devA, ringCfg),
+		},
+	}
+	for name, pair := range nets {
+		t.Run(name, func(t *testing.T) {
+			l, err := pair.listen.Listen("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewServer(l)
+			s.Register("sum", func(req []byte) ([]byte, error) {
+				var total byte
+				for _, b := range req {
+					total += b
+				}
+				return []byte{total}, nil
+			})
+			s.Start()
+			defer s.Close()
+			c, err := Dial(pair.dial, s.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			resp, err := c.Call("sum", []byte{1, 2, 3, 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp) != 1 || resp[0] != 10 {
+				t.Errorf("resp = %v", resp)
+			}
+			// A payload large enough to fragment on the ring.
+			big := make([]byte, 100_000)
+			var want byte
+			for i := range big {
+				big[i] = byte(i)
+				want += byte(i)
+			}
+			resp, err = c.Call("sum", big)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp[0] != want {
+				t.Errorf("big sum = %d, want %d", resp[0], want)
+			}
+		})
+	}
+}
+
+func BenchmarkRPCCall(b *testing.B) {
+	net := transport.NewPipeNetwork().Network()
+	l, _ := net.Listen("")
+	s := NewServer(l)
+	s.Register("echo", func(req []byte) ([]byte, error) { return req, nil })
+	s.Start()
+	defer s.Close()
+	c, _ := Dial(net, s.Addr())
+	defer c.Close()
+	payload := make([]byte, 64<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call("echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestHandlerPanicBecomesError(t *testing.T) {
+	s, net := pipeServer(t)
+	s.Register("explode", func(req []byte) ([]byte, error) {
+		panic("boom")
+	})
+	s.Register("fine", func(req []byte) ([]byte, error) { return []byte("ok"), nil })
+	c, _ := Dial(net, s.Addr())
+	defer c.Close()
+	_, err := c.Call("explode", nil)
+	if !errors.Is(err, ErrRemote) || !strings.Contains(err.Error(), "panic") {
+		t.Errorf("panic response = %v", err)
+	}
+	// The server survives and keeps serving.
+	resp, err := c.Call("fine", nil)
+	if err != nil || string(resp) != "ok" {
+		t.Errorf("after panic: %q, %v", resp, err)
+	}
+}

@@ -1,0 +1,188 @@
+package tensor
+
+import "fmt"
+
+// Conv2D kernels in NHWC layout with OHWI filters, sufficient for the CIFAR
+// convergence model. Sizes in the functional experiments are small, so the
+// straightforward loop nest is adequate; the performance figures come from
+// the discrete-event simulator, not from these kernels.
+
+// Conv2DShape returns the output spatial shape of a convolution of
+// input [n,h,w,c] with filter [co,kh,kw,c], stride s, "same"-style padding p.
+func Conv2DShape(in Shape, filter Shape, stride, pad int) (Shape, error) {
+	if in.Rank() != 4 || filter.Rank() != 4 {
+		return nil, fmt.Errorf("tensor: conv2d shapes %v, %v: %w", in, filter, ErrShape)
+	}
+	if in[3] != filter[3] {
+		return nil, fmt.Errorf("tensor: conv2d channels %d vs %d: %w", in[3], filter[3], ErrShape)
+	}
+	oh := (in[1]+2*pad-filter[1])/stride + 1
+	ow := (in[2]+2*pad-filter[2])/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("tensor: conv2d empty output for %v ⊛ %v: %w", in, filter, ErrShape)
+	}
+	return Shape{in[0], oh, ow, filter[0]}, nil
+}
+
+// Conv2D computes out = in ⊛ filter with the given stride and symmetric
+// zero padding. in:[n,h,w,ci], filter:[co,kh,kw,ci], out:[n,oh,ow,co].
+func Conv2D(out, in, filter *Tensor, stride, pad int) error {
+	want, err := Conv2DShape(in.shape, filter.shape, stride, pad)
+	if err != nil {
+		return err
+	}
+	if !out.shape.Equal(want) {
+		return fmt.Errorf("tensor: conv2d out %v, want %v: %w", out.shape, want, ErrShape)
+	}
+	n, h, w, ci := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	co, kh, kw := filter.shape[0], filter.shape[1], filter.shape[2]
+	oh, ow := out.shape[1], out.shape[2]
+	iv, fv, ov := in.Float32s(), filter.Float32s(), out.Float32s()
+	for i := range ov {
+		ov[i] = 0
+	}
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				outBase := ((b*oh+oy)*ow + ox) * co
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						inBase := ((b*h+iy)*w + ix) * ci
+						for f := 0; f < co; f++ {
+							fBase := ((f*kh+ky)*kw + kx) * ci
+							var sum float32
+							for c := 0; c < ci; c++ {
+								sum += iv[inBase+c] * fv[fBase+c]
+							}
+							ov[outBase+f] += sum
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Conv2DGrad computes gradients of Conv2D: din (may be nil to skip) and
+// dfilter (may be nil to skip) from dout.
+func Conv2DGrad(din, dfilter, dout, in, filter *Tensor, stride, pad int) error {
+	n, h, w, ci := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	co, kh, kw := filter.shape[0], filter.shape[1], filter.shape[2]
+	oh, ow := dout.shape[1], dout.shape[2]
+	iv, fv, gv := in.Float32s(), filter.Float32s(), dout.Float32s()
+	var dinv, dfv []float32
+	if din != nil {
+		if !din.shape.Equal(in.shape) {
+			return fmt.Errorf("tensor: conv2dgrad din %v, want %v: %w", din.shape, in.shape, ErrShape)
+		}
+		dinv = din.Float32s()
+		for i := range dinv {
+			dinv[i] = 0
+		}
+	}
+	if dfilter != nil {
+		if !dfilter.shape.Equal(filter.shape) {
+			return fmt.Errorf("tensor: conv2dgrad dfilter %v, want %v: %w", dfilter.shape, filter.shape, ErrShape)
+		}
+		dfv = dfilter.Float32s()
+		for i := range dfv {
+			dfv[i] = 0
+		}
+	}
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				outBase := ((b*oh+oy)*ow + ox) * co
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						inBase := ((b*h+iy)*w + ix) * ci
+						for f := 0; f < co; f++ {
+							g := gv[outBase+f]
+							if g == 0 {
+								continue
+							}
+							fBase := ((f*kh+ky)*kw + kx) * ci
+							if dinv != nil {
+								for c := 0; c < ci; c++ {
+									dinv[inBase+c] += g * fv[fBase+c]
+								}
+							}
+							if dfv != nil {
+								for c := 0; c < ci; c++ {
+									dfv[fBase+c] += g * iv[inBase+c]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MaxPool2D computes 2×2 stride-2 max pooling of in:[n,h,w,c] into
+// out:[n,h/2,w/2,c] and records the argmax index of each window in idx
+// (Int32, same shape as out) for the backward pass.
+func MaxPool2D(out, idx, in *Tensor) error {
+	n, h, w, c := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	oh, ow := h/2, w/2
+	want := Shape{n, oh, ow, c}
+	if !out.shape.Equal(want) || !idx.shape.Equal(want) {
+		return fmt.Errorf("tensor: maxpool out %v, want %v: %w", out.shape, want, ErrShape)
+	}
+	iv, ov, xv := in.Float32s(), out.Float32s(), idx.Int32s()
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for ch := 0; ch < c; ch++ {
+					best := float32(0)
+					bestIdx := -1
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							pos := ((b*h+oy*2+dy)*w+ox*2+dx)*c + ch
+							if bestIdx < 0 || iv[pos] > best {
+								best, bestIdx = iv[pos], pos
+							}
+						}
+					}
+					o := ((b*oh+oy)*ow+ox)*c + ch
+					ov[o], xv[o] = best, int32(bestIdx)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MaxPool2DGrad scatters dout back through the argmax indices into din.
+func MaxPool2DGrad(din, dout, idx *Tensor) error {
+	if !dout.shape.Equal(idx.shape) {
+		return fmt.Errorf("tensor: maxpoolgrad %v vs idx %v: %w", dout.shape, idx.shape, ErrShape)
+	}
+	dv, gv, xv := din.Float32s(), dout.Float32s(), idx.Int32s()
+	for i := range dv {
+		dv[i] = 0
+	}
+	for i := range gv {
+		dv[xv[i]] += gv[i]
+	}
+	return nil
+}

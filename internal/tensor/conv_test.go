@@ -1,0 +1,174 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConv2DShape(t *testing.T) {
+	s, err := Conv2DShape(Shape{2, 8, 8, 3}, Shape{16, 3, 3, 3}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(Shape{2, 8, 8, 16}) {
+		t.Errorf("same-pad shape = %v", s)
+	}
+	s, err = Conv2DShape(Shape{1, 8, 8, 3}, Shape{4, 3, 3, 3}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(Shape{1, 3, 3, 4}) {
+		t.Errorf("strided shape = %v", s)
+	}
+	if _, err := Conv2DShape(Shape{1, 8, 8, 3}, Shape{4, 3, 3, 5}, 1, 0); err == nil {
+		t.Error("channel mismatch accepted")
+	}
+	if _, err := Conv2DShape(Shape{1, 2, 2, 1}, Shape{1, 5, 5, 1}, 1, 0); err == nil {
+		t.Error("empty output accepted")
+	}
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	// A 1x1 kernel with weight 1 copies the input channel.
+	in := New(Float32, 1, 3, 3, 1)
+	for i := range in.Float32s() {
+		in.Float32s()[i] = float32(i)
+	}
+	filter := New(Float32, 1, 1, 1, 1)
+	filter.Float32s()[0] = 1
+	out := New(Float32, 1, 3, 3, 1)
+	if err := Conv2D(out, in, filter, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllClose(in, 0) {
+		t.Error("1x1 identity conv should copy input")
+	}
+}
+
+func TestConv2DKnownValues(t *testing.T) {
+	// 2x2 all-ones kernel over a 3x3 ramp, stride 1, no padding.
+	in := New(Float32, 1, 3, 3, 1)
+	for i := range in.Float32s() {
+		in.Float32s()[i] = float32(i + 1) // 1..9
+	}
+	filter := New(Float32, 1, 2, 2, 1)
+	filter.Fill(1)
+	out := New(Float32, 1, 2, 2, 1)
+	if err := Conv2D(out, in, filter, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1 + 2 + 4 + 5, 2 + 3 + 5 + 6, 4 + 5 + 7 + 8, 5 + 6 + 8 + 9}
+	for i, w := range want {
+		if out.Float32s()[i] != w {
+			t.Errorf("out[%d] = %v, want %v", i, out.Float32s()[i], w)
+		}
+	}
+}
+
+func TestConv2DGradNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := New(Float32, 1, 4, 4, 2)
+	RandomUniform(in, rng, 1)
+	filter := New(Float32, 3, 3, 3, 2)
+	RandomUniform(filter, rng, 1)
+	outShape, err := Conv2DShape(in.Shape(), filter.Shape(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := New(Float32, outShape...)
+	dout := New(Float32, outShape...)
+	dout.Fill(1)
+
+	din := New(Float32, in.Shape()...)
+	dfilter := New(Float32, filter.Shape()...)
+	if err := Conv2DGrad(din, dfilter, dout, in, filter, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	lossOf := func() float32 {
+		if err := Conv2D(out, in, filter, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		return Sum(out)
+	}
+	// Spot-check a few coordinates of both gradients.
+	for _, i := range []int{0, 5, 17, 31} {
+		ng := numericGrad(lossOf, in.Float32s(), i)
+		if math.Abs(float64(ng-din.Float32s()[i])) > 5e-2 {
+			t.Errorf("din[%d]: analytic %v numeric %v", i, din.Float32s()[i], ng)
+		}
+	}
+	for _, i := range []int{0, 7, 23, 53} {
+		ng := numericGrad(lossOf, filter.Float32s(), i)
+		if math.Abs(float64(ng-dfilter.Float32s()[i])) > 5e-2 {
+			t.Errorf("dfilter[%d]: analytic %v numeric %v", i, dfilter.Float32s()[i], ng)
+		}
+	}
+}
+
+func TestMaxPoolRoundTrip(t *testing.T) {
+	in := New(Float32, 1, 4, 4, 1)
+	for i := range in.Float32s() {
+		in.Float32s()[i] = float32(i)
+	}
+	out := New(Float32, 1, 2, 2, 1)
+	idx := New(Int32, 1, 2, 2, 1)
+	if err := MaxPool2D(out, idx, in); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{5, 7, 13, 15}
+	for i, w := range want {
+		if out.Float32s()[i] != w {
+			t.Errorf("pool[%d] = %v, want %v", i, out.Float32s()[i], w)
+		}
+	}
+	dout := New(Float32, 1, 2, 2, 1)
+	dout.Fill(1)
+	din := New(Float32, 1, 4, 4, 1)
+	if err := MaxPool2DGrad(din, dout, idx); err != nil {
+		t.Fatal(err)
+	}
+	var nz int
+	for i, v := range din.Float32s() {
+		if v != 0 {
+			nz++
+			if in.Float32s()[i] != out.Float32s()[nz-1] {
+				t.Errorf("gradient scattered to non-max position %d", i)
+			}
+		}
+	}
+	if nz != 4 {
+		t.Errorf("expected 4 gradient positions, got %d", nz)
+	}
+}
+
+func TestConvShapeErrors(t *testing.T) {
+	in := New(Float32, 1, 4, 4, 1)
+	filter := New(Float32, 2, 3, 3, 1)
+	bad := New(Float32, 1, 4, 4, 7)
+	if err := Conv2D(bad, in, filter, 1, 1); err == nil {
+		t.Error("wrong out shape accepted")
+	}
+	if err := Conv2DGrad(New(Float32, 2, 2, 2, 2), nil, New(Float32, 1, 4, 4, 2), in, filter, 1, 1); err == nil {
+		t.Error("wrong din shape accepted")
+	}
+	if err := MaxPool2D(New(Float32, 1, 2, 2, 1), New(Int32, 1, 2, 2, 2), in); err == nil {
+		t.Error("wrong idx shape accepted")
+	}
+}
+
+func BenchmarkConv2DSmall(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := New(Float32, 4, 16, 16, 8)
+	RandomUniform(in, rng, 1)
+	filter := New(Float32, 16, 3, 3, 8)
+	RandomUniform(filter, rng, 1)
+	shape, _ := Conv2DShape(in.Shape(), filter.Shape(), 1, 1)
+	out := New(Float32, shape...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Conv2D(out, in, filter, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

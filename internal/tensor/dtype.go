@@ -1,0 +1,61 @@
+// Package tensor provides the dense multi-dimensional tensor type used
+// throughout the runtime, together with the math kernels needed for
+// deep-learning training.
+//
+// A Tensor is a shape plus a flat byte buffer. The byte buffer may be owned
+// by the Go heap or may alias an RDMA-registered memory region; in the
+// latter case the tensor's storage is simultaneously the wire representation,
+// which is what makes zero-copy cross-machine transfer possible (§3.2 of the
+// paper). Element views over the byte buffer are provided for the numeric
+// kernels.
+package tensor
+
+import "fmt"
+
+// DType identifies the element type of a tensor.
+type DType uint8
+
+// Supported element types. Float32 is the primary training type, matching
+// the paper's benchmarks; the integer types carry labels and token ids.
+const (
+	Invalid DType = iota
+	Float32
+	Float64
+	Int32
+	Int64
+	Uint8
+)
+
+// Size returns the width of one element in bytes.
+func (d DType) Size() int {
+	switch d {
+	case Float32, Int32:
+		return 4
+	case Float64, Int64:
+		return 8
+	case Uint8:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Valid reports whether d is one of the supported element types.
+func (d DType) Valid() bool { return d > Invalid && d <= Uint8 }
+
+func (d DType) String() string {
+	switch d {
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Uint8:
+		return "uint8"
+	default:
+		return fmt.Sprintf("invalid(%d)", uint8(d))
+	}
+}

@@ -1,0 +1,233 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul computes c = a @ b for float32 matrices a:[m,k], b:[k,n], c:[m,n].
+// The destination is fully overwritten. A cache-blocked i-k-j loop order is
+// used so the inner loop is a contiguous axpy.
+func MatMul(c, a, b *Tensor) error {
+	if err := checkMat(a, 2); err != nil {
+		return err
+	}
+	if err := checkMat(b, 2); err != nil {
+		return err
+	}
+	if err := checkMat(c, 2); err != nil {
+		return err
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || c.shape[0] != m || c.shape[1] != n {
+		return fmt.Errorf("tensor: matmul %v @ %v -> %v: %w", a.shape, b.shape, c.shape, ErrShape)
+	}
+	av, bv, cv := a.Float32s(), b.Float32s(), c.Float32s()
+	for i := range cv {
+		cv[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		arow := av[i*k : (i+1)*k]
+		crow := cv[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			aip := arow[p]
+			if aip == 0 {
+				continue
+			}
+			brow := bv[p*n : (p+1)*n]
+			for j := range crow {
+				crow[j] += aip * brow[j]
+			}
+		}
+	}
+	return nil
+}
+
+// MatMulTransA computes c = aᵀ @ b for a:[k,m], b:[k,n], c:[m,n].
+func MatMulTransA(c, a, b *Tensor) error {
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || c.shape[0] != m || c.shape[1] != n {
+		return fmt.Errorf("tensor: matmulTA %v @ %v -> %v: %w", a.shape, b.shape, c.shape, ErrShape)
+	}
+	av, bv, cv := a.Float32s(), b.Float32s(), c.Float32s()
+	for i := range cv {
+		cv[i] = 0
+	}
+	for p := 0; p < k; p++ {
+		arow := av[p*m : (p+1)*m]
+		brow := bv[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			api := arow[i]
+			if api == 0 {
+				continue
+			}
+			crow := cv[i*n : (i+1)*n]
+			for j := range crow {
+				crow[j] += api * brow[j]
+			}
+		}
+	}
+	return nil
+}
+
+// MatMulTransB computes c = a @ bᵀ for a:[m,k], b:[n,k], c:[m,n].
+func MatMulTransB(c, a, b *Tensor) error {
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 || c.shape[0] != m || c.shape[1] != n {
+		return fmt.Errorf("tensor: matmulTB %v @ %v -> %v: %w", a.shape, b.shape, c.shape, ErrShape)
+	}
+	av, bv, cv := a.Float32s(), b.Float32s(), c.Float32s()
+	for i := 0; i < m; i++ {
+		arow := av[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			brow := bv[j*k : (j+1)*k]
+			var sum float32
+			for p := range arow {
+				sum += arow[p] * brow[p]
+			}
+			cv[i*n+j] = sum
+		}
+	}
+	return nil
+}
+
+func checkMat(t *Tensor, rank int) error {
+	if t.dtype != Float32 {
+		return fmt.Errorf("tensor: want float32, got %v", t.dtype)
+	}
+	if t.shape.Rank() != rank {
+		return fmt.Errorf("tensor: want rank %d, got %v: %w", rank, t.shape, ErrShape)
+	}
+	return nil
+}
+
+// Add computes dst = a + b element-wise; dst may alias a or b.
+func Add(dst, a, b *Tensor) error {
+	return zipWith(dst, a, b, func(x, y float32) float32 { return x + y })
+}
+
+// Sub computes dst = a - b element-wise.
+func Sub(dst, a, b *Tensor) error {
+	return zipWith(dst, a, b, func(x, y float32) float32 { return x - y })
+}
+
+// Mul computes dst = a * b element-wise (Hadamard product).
+func Mul(dst, a, b *Tensor) error {
+	return zipWith(dst, a, b, func(x, y float32) float32 { return x * y })
+}
+
+func zipWith(dst, a, b *Tensor, f func(x, y float32) float32) error {
+	if !a.shape.Equal(b.shape) || !dst.shape.Equal(a.shape) {
+		return fmt.Errorf("tensor: elementwise %v, %v -> %v: %w", a.shape, b.shape, dst.shape, ErrShape)
+	}
+	av, bv, dv := a.Float32s(), b.Float32s(), dst.Float32s()
+	for i := range dv {
+		dv[i] = f(av[i], bv[i])
+	}
+	return nil
+}
+
+// Axpy computes y += alpha*x, the SGD update kernel.
+func Axpy(alpha float32, x, y *Tensor) error {
+	if !x.shape.Equal(y.shape) {
+		return fmt.Errorf("tensor: axpy %v into %v: %w", x.shape, y.shape, ErrShape)
+	}
+	xv, yv := x.Float32s(), y.Float32s()
+	for i := range yv {
+		yv[i] += alpha * xv[i]
+	}
+	return nil
+}
+
+// Scale computes t *= alpha in place.
+func Scale(alpha float32, t *Tensor) {
+	v := t.Float32s()
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// AddBias adds a bias vector b:[n] to each row of a:[m,n] in place.
+func AddBias(a, b *Tensor) error {
+	n := b.NumElements()
+	if a.shape.Inner() != n {
+		return fmt.Errorf("tensor: bias %v onto %v: %w", b.shape, a.shape, ErrShape)
+	}
+	av, bv := a.Float32s(), b.Float32s()
+	for off := 0; off < len(av); off += n {
+		row := av[off : off+n]
+		for j := range row {
+			row[j] += bv[j]
+		}
+	}
+	return nil
+}
+
+// BiasGrad sums gradient rows grad:[m,n] into db:[n], overwriting db.
+func BiasGrad(db, grad *Tensor) error {
+	n := db.NumElements()
+	if grad.shape.Inner() != n {
+		return fmt.Errorf("tensor: biasgrad %v from %v: %w", db.shape, grad.shape, ErrShape)
+	}
+	gv, dv := grad.Float32s(), db.Float32s()
+	for i := range dv {
+		dv[i] = 0
+	}
+	for off := 0; off < len(gv); off += n {
+		row := gv[off : off+n]
+		for j := range row {
+			dv[j] += row[j]
+		}
+	}
+	return nil
+}
+
+// ReduceMax returns the maximum element of a float32 tensor. It is the
+// lightweight consumer op used by the paper's §5.1 micro-benchmark.
+func ReduceMax(t *Tensor) float32 {
+	v := t.Float32s()
+	if len(v) == 0 {
+		return float32(math.Inf(-1))
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of all elements of a float32 tensor.
+func Sum(t *Tensor) float32 {
+	var s float32
+	for _, x := range t.Float32s() {
+		s += x
+	}
+	return s
+}
+
+// Dot returns the inner product of two equally shaped float32 tensors.
+func Dot(a, b *Tensor) (float32, error) {
+	if !a.shape.Equal(b.shape) {
+		return 0, fmt.Errorf("tensor: dot %v · %v: %w", a.shape, b.shape, ErrShape)
+	}
+	av, bv := a.Float32s(), b.Float32s()
+	var s float32
+	for i := range av {
+		s += av[i] * bv[i]
+	}
+	return s, nil
+}
+
+// L2Norm returns the Euclidean norm of a float32 tensor.
+func L2Norm(t *Tensor) float32 {
+	var s float64
+	for _, x := range t.Float32s() {
+		s += float64(x) * float64(x)
+	}
+	return float32(math.Sqrt(s))
+}

@@ -1,0 +1,222 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveMatMul is the reference implementation used to validate the blocked
+// kernels.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape()[0], a.Shape()[1], b.Shape()[1]
+	c := New(Float32, m, n)
+	av, bv, cv := a.Float32s(), b.Float32s(), c.Float32s()
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += av[i*k+p] * bv[p*n+j]
+			}
+			cv[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func randMat(rng *rand.Rand, m, n int) *Tensor {
+	t := New(Float32, m, n)
+	RandomUniform(t, rng, 1)
+	return t
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := rng.Intn(12)+1, rng.Intn(12)+1, rng.Intn(12)+1
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		c := New(Float32, m, n)
+		if err := MatMul(c, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if !c.AllClose(naiveMatMul(a, b), 1e-4) {
+			t.Fatalf("MatMul mismatch at m=%d k=%d n=%d", m, k, n)
+		}
+	}
+}
+
+func TestMatMulTransposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m, k, n := 5, 7, 3
+	a, b := randMat(rng, m, k), randMat(rng, k, n)
+	want := naiveMatMul(a, b)
+
+	// aT:[k,m]: MatMulTransA(c, aT, b) == a@b.
+	aT := New(Float32, k, m)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			aT.Float32s()[p*m+i] = a.Float32s()[i*k+p]
+		}
+	}
+	c1 := New(Float32, m, n)
+	if err := MatMulTransA(c1, aT, b); err != nil {
+		t.Fatal(err)
+	}
+	if !c1.AllClose(want, 1e-4) {
+		t.Error("MatMulTransA mismatch")
+	}
+
+	// bT:[n,k]: MatMulTransB(c, a, bT) == a@b.
+	bT := New(Float32, n, k)
+	for p := 0; p < k; p++ {
+		for j := 0; j < n; j++ {
+			bT.Float32s()[j*k+p] = b.Float32s()[p*n+j]
+		}
+	}
+	c2 := New(Float32, m, n)
+	if err := MatMulTransB(c2, a, bT); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.AllClose(want, 1e-4) {
+		t.Error("MatMulTransB mismatch")
+	}
+}
+
+func TestMatMulShapeErrors(t *testing.T) {
+	a, b := New(Float32, 2, 3), New(Float32, 4, 5)
+	c := New(Float32, 2, 5)
+	if err := MatMul(c, a, b); !errors.Is(err, ErrShape) {
+		t.Errorf("inner mismatch: %v", err)
+	}
+	if err := MatMul(New(Float32, 3, 5), New(Float32, 2, 4), New(Float32, 4, 5)); !errors.Is(err, ErrShape) {
+		t.Errorf("out mismatch: %v", err)
+	}
+	if err := MatMul(c, New(Int32, 2, 3), b); err == nil {
+		t.Error("int32 matmul accepted")
+	}
+	if err := MatMulTransA(c, New(Float32, 3, 3), b); !errors.Is(err, ErrShape) {
+		t.Error("TransA shape mismatch accepted")
+	}
+	if err := MatMulTransB(c, a, New(Float32, 5, 9)); !errors.Is(err, ErrShape) {
+		t.Error("TransB shape mismatch accepted")
+	}
+}
+
+func TestElementwise(t *testing.T) {
+	a, _ := FromFloat32(Shape{4}, []float32{1, 2, 3, 4})
+	b, _ := FromFloat32(Shape{4}, []float32{10, 20, 30, 40})
+	d := New(Float32, 4)
+	if err := Add(d, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if d.Float32s()[2] != 33 {
+		t.Error("Add wrong")
+	}
+	if err := Sub(d, b, a); err != nil {
+		t.Fatal(err)
+	}
+	if d.Float32s()[0] != 9 {
+		t.Error("Sub wrong")
+	}
+	if err := Mul(d, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if d.Float32s()[3] != 160 {
+		t.Error("Mul wrong")
+	}
+	// Aliasing: dst == a.
+	if err := Add(a, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Float32s()[0] != 11 {
+		t.Error("aliased Add wrong")
+	}
+	if err := Add(d, a, New(Float32, 3)); !errors.Is(err, ErrShape) {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestAxpyScale(t *testing.T) {
+	x, _ := FromFloat32(Shape{3}, []float32{1, 2, 3})
+	y, _ := FromFloat32(Shape{3}, []float32{10, 10, 10})
+	if err := Axpy(-2, x, y); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{8, 6, 4}
+	for i, w := range want {
+		if y.Float32s()[i] != w {
+			t.Errorf("axpy[%d] = %v, want %v", i, y.Float32s()[i], w)
+		}
+	}
+	Scale(0.5, y)
+	if y.Float32s()[0] != 4 {
+		t.Error("Scale wrong")
+	}
+	if err := Axpy(1, New(Float32, 2), y); !errors.Is(err, ErrShape) {
+		t.Error("axpy shape mismatch accepted")
+	}
+}
+
+func TestBias(t *testing.T) {
+	a, _ := FromFloat32(Shape{2, 3}, []float32{0, 0, 0, 1, 1, 1})
+	b, _ := FromFloat32(Shape{3}, []float32{5, 6, 7})
+	if err := AddBias(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Float32s()[0] != 5 || a.Float32s()[5] != 8 {
+		t.Errorf("AddBias wrong: %v", a.Float32s())
+	}
+	db := New(Float32, 3)
+	grad, _ := FromFloat32(Shape{2, 3}, []float32{1, 2, 3, 4, 5, 6})
+	if err := BiasGrad(db, grad); err != nil {
+		t.Fatal(err)
+	}
+	if db.Float32s()[0] != 5 || db.Float32s()[2] != 9 {
+		t.Errorf("BiasGrad wrong: %v", db.Float32s())
+	}
+	if err := AddBias(a, New(Float32, 4)); !errors.Is(err, ErrShape) {
+		t.Error("bias width mismatch accepted")
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x, _ := FromFloat32(Shape{5}, []float32{-3, 7, 2, -8, 7})
+	if ReduceMax(x) != 7 {
+		t.Error("ReduceMax wrong")
+	}
+	if Sum(x) != 5 {
+		t.Error("Sum wrong")
+	}
+	empty := New(Float32, 0)
+	if !math.IsInf(float64(ReduceMax(empty)), -1) {
+		t.Error("ReduceMax of empty should be -Inf")
+	}
+	d, err := Dot(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 9+49+4+64+49 {
+		t.Errorf("Dot = %v", d)
+	}
+	if _, err := Dot(x, empty); !errors.Is(err, ErrShape) {
+		t.Error("Dot shape mismatch accepted")
+	}
+	n := L2Norm(x)
+	if math.Abs(float64(n)-math.Sqrt(175)) > 1e-5 {
+		t.Errorf("L2Norm = %v", n)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a, bb := randMat(rng, 128, 128), randMat(rng, 128, 128)
+	c := New(Float32, 128, 128)
+	b.SetBytes(128 * 128 * 128 * 2 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := MatMul(c, a, bb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Neural-network activation and loss kernels, with the backward forms needed
+// for end-to-end SGD training in the convergence experiments (Figure 10).
+
+// Sigmoid computes dst = σ(src) element-wise; dst may alias src.
+func Sigmoid(dst, src *Tensor) error {
+	return mapUnary(dst, src, func(x float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(x))))
+	})
+}
+
+// SigmoidGrad computes dx = dy * y * (1-y), where y is the sigmoid output.
+func SigmoidGrad(dx, dy, y *Tensor) error {
+	return zip3(dx, dy, y, func(g, v float32) float32 { return g * v * (1 - v) })
+}
+
+// ReLU computes dst = max(src, 0) element-wise.
+func ReLU(dst, src *Tensor) error {
+	return mapUnary(dst, src, func(x float32) float32 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+// ReLUGrad computes dx = dy where y>0 else 0, with y the ReLU output.
+func ReLUGrad(dx, dy, y *Tensor) error {
+	return zip3(dx, dy, y, func(g, v float32) float32 {
+		if v > 0 {
+			return g
+		}
+		return 0
+	})
+}
+
+// Tanh computes dst = tanh(src) element-wise.
+func Tanh(dst, src *Tensor) error {
+	return mapUnary(dst, src, func(x float32) float32 {
+		return float32(math.Tanh(float64(x)))
+	})
+}
+
+// TanhGrad computes dx = dy * (1 - y²), with y the tanh output.
+func TanhGrad(dx, dy, y *Tensor) error {
+	return zip3(dx, dy, y, func(g, v float32) float32 { return g * (1 - v*v) })
+}
+
+func mapUnary(dst, src *Tensor, f func(float32) float32) error {
+	if !dst.shape.Equal(src.shape) {
+		return fmt.Errorf("tensor: unary map %v -> %v: %w", src.shape, dst.shape, ErrShape)
+	}
+	sv, dv := src.Float32s(), dst.Float32s()
+	for i := range dv {
+		dv[i] = f(sv[i])
+	}
+	return nil
+}
+
+func zip3(dst, a, b *Tensor, f func(x, y float32) float32) error {
+	if !a.shape.Equal(b.shape) || !dst.shape.Equal(a.shape) {
+		return fmt.Errorf("tensor: zip3 %v, %v -> %v: %w", a.shape, b.shape, dst.shape, ErrShape)
+	}
+	av, bv, dv := a.Float32s(), b.Float32s(), dst.Float32s()
+	for i := range dv {
+		dv[i] = f(av[i], bv[i])
+	}
+	return nil
+}
+
+// Softmax computes a row-wise softmax of logits:[m,n] into dst:[m,n],
+// numerically stabilized by subtracting the row maximum.
+func Softmax(dst, logits *Tensor) error {
+	if !dst.shape.Equal(logits.shape) {
+		return fmt.Errorf("tensor: softmax %v -> %v: %w", logits.shape, dst.shape, ErrShape)
+	}
+	n := logits.shape.Inner()
+	lv, dv := logits.Float32s(), dst.Float32s()
+	for off := 0; off < len(lv); off += n {
+		row, out := lv[off:off+n], dv[off:off+n]
+		maxv := row[0]
+		for _, x := range row[1:] {
+			if x > maxv {
+				maxv = x
+			}
+		}
+		var sum float64
+		for j, x := range row {
+			e := math.Exp(float64(x - maxv))
+			out[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+	return nil
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits:[m,n]
+// against integer labels:[m] (Int32) and writes softmax probabilities into
+// probs (which the backward pass consumes). It returns the scalar loss.
+func SoftmaxCrossEntropy(probs, logits, labels *Tensor) (float32, error) {
+	if err := Softmax(probs, logits); err != nil {
+		return 0, err
+	}
+	if labels.dtype != Int32 {
+		return 0, fmt.Errorf("tensor: labels must be int32, got %v", labels.dtype)
+	}
+	m, n := logits.shape.Outer(), logits.shape.Inner()
+	if labels.NumElements() != m {
+		return 0, fmt.Errorf("tensor: %d labels for %d rows: %w", labels.NumElements(), m, ErrShape)
+	}
+	pv, lab := probs.Float32s(), labels.Int32s()
+	var loss float64
+	for i := 0; i < m; i++ {
+		y := int(lab[i])
+		if y < 0 || y >= n {
+			return 0, fmt.Errorf("tensor: label %d out of range [0,%d)", y, n)
+		}
+		p := float64(pv[i*n+y])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+	}
+	return float32(loss / float64(m)), nil
+}
+
+// SoftmaxCrossEntropyGrad computes dlogits = (probs - onehot(labels)) / m,
+// the gradient of the mean cross-entropy loss.
+func SoftmaxCrossEntropyGrad(dlogits, probs, labels *Tensor) error {
+	if !dlogits.shape.Equal(probs.shape) {
+		return fmt.Errorf("tensor: xent grad %v -> %v: %w", probs.shape, dlogits.shape, ErrShape)
+	}
+	m, n := probs.shape.Outer(), probs.shape.Inner()
+	pv, dv, lab := probs.Float32s(), dlogits.Float32s(), labels.Int32s()
+	inv := float32(1) / float32(m)
+	for i := 0; i < m; i++ {
+		row, out := pv[i*n:(i+1)*n], dv[i*n:(i+1)*n]
+		for j := range out {
+			out[j] = row[j] * inv
+		}
+		out[lab[i]] -= inv
+	}
+	return nil
+}
+
+// MSE returns the mean squared error between pred and target, and if dpred
+// is non-nil writes the gradient 2*(pred-target)/n into it.
+func MSE(dpred, pred, target *Tensor) (float32, error) {
+	if !pred.shape.Equal(target.shape) {
+		return 0, fmt.Errorf("tensor: mse %v vs %v: %w", pred.shape, target.shape, ErrShape)
+	}
+	pv, tv := pred.Float32s(), target.Float32s()
+	n := float64(len(pv))
+	var sum float64
+	for i := range pv {
+		d := float64(pv[i] - tv[i])
+		sum += d * d
+	}
+	if dpred != nil {
+		dv := dpred.Float32s()
+		scale := float32(2 / n)
+		for i := range dv {
+			dv[i] = scale * (pv[i] - tv[i])
+		}
+	}
+	return float32(sum / n), nil
+}

@@ -1,0 +1,213 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSigmoid(t *testing.T) {
+	x, _ := FromFloat32(Shape{3}, []float32{0, 100, -100})
+	y := New(Float32, 3)
+	if err := Sigmoid(y, x); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(y.Float32s()[0])-0.5) > 1e-6 {
+		t.Errorf("sigmoid(0) = %v", y.Float32s()[0])
+	}
+	if y.Float32s()[1] < 0.999 || y.Float32s()[2] > 0.001 {
+		t.Error("sigmoid saturation wrong")
+	}
+}
+
+func TestReLUAndTanh(t *testing.T) {
+	x, _ := FromFloat32(Shape{4}, []float32{-2, -0.5, 0.5, 2})
+	y := New(Float32, 4)
+	if err := ReLU(y, x); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 0, 0.5, 2}
+	for i, w := range want {
+		if y.Float32s()[i] != w {
+			t.Errorf("relu[%d] = %v, want %v", i, y.Float32s()[i], w)
+		}
+	}
+	if err := Tanh(y, x); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(y.Float32s()[3])-math.Tanh(2)) > 1e-6 {
+		t.Error("tanh wrong")
+	}
+}
+
+// numericGrad estimates d f / d x[i] by central differences.
+func numericGrad(f func() float32, x []float32, i int) float32 {
+	const eps = 1e-3
+	orig := x[i]
+	x[i] = orig + eps
+	fp := f()
+	x[i] = orig - eps
+	fm := f()
+	x[i] = orig
+	return (fp - fm) / (2 * eps)
+}
+
+func TestActivationGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := New(Float32, 6)
+	RandomUniform(x, rng, 2)
+	y, dy, dx := New(Float32, 6), New(Float32, 6), New(Float32, 6)
+	dy.Fill(1)
+
+	cases := []struct {
+		name string
+		fwd  func(dst, src *Tensor) error
+		bwd  func(dx, dy, y *Tensor) error
+	}{
+		{"sigmoid", Sigmoid, SigmoidGrad},
+		{"tanh", Tanh, TanhGrad},
+	}
+	for _, c := range cases {
+		if err := c.fwd(y, x); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.bwd(dx, dy, y); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			ng := numericGrad(func() float32 {
+				tmp := New(Float32, 6)
+				if err := c.fwd(tmp, x); err != nil {
+					t.Fatal(err)
+				}
+				return Sum(tmp)
+			}, x.Float32s(), i)
+			if math.Abs(float64(ng-dx.Float32s()[i])) > 5e-2 {
+				t.Errorf("%s grad[%d]: analytic %v numeric %v", c.name, i, dx.Float32s()[i], ng)
+			}
+		}
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	logits := New(Float32, 5, 7)
+	RandomUniform(logits, rng, 10)
+	p := New(Float32, 5, 7)
+	if err := Softmax(p, logits); err != nil {
+		t.Fatal(err)
+	}
+	pv := p.Float32s()
+	for r := 0; r < 5; r++ {
+		var s float64
+		for j := 0; j < 7; j++ {
+			v := pv[r*7+j]
+			if v < 0 || v > 1 {
+				t.Fatalf("prob out of range: %v", v)
+			}
+			s += float64(v)
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Errorf("row %d sums to %v", r, s)
+		}
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	logits, _ := FromFloat32(Shape{1, 3}, []float32{1000, 1000, 1000})
+	p := New(Float32, 1, 3)
+	if err := Softmax(p, logits); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range p.Float32s() {
+		if math.Abs(float64(v)-1.0/3) > 1e-5 {
+			t.Errorf("unstable softmax: %v", p.Float32s())
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	// Perfectly confident correct prediction → loss near 0; uniform → ln(n).
+	logits, _ := FromFloat32(Shape{2, 3}, []float32{50, 0, 0, 0, 0, 0})
+	labels := New(Int32, 2)
+	labels.Int32s()[0] = 0
+	labels.Int32s()[1] = 2
+	probs := New(Float32, 2, 3)
+	loss, err := SoftmaxCrossEntropy(probs, logits, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float32(math.Log(3) / 2) // (0 + ln 3)/2
+	if math.Abs(float64(loss-want)) > 1e-4 {
+		t.Errorf("loss = %v, want %v", loss, want)
+	}
+	// Invalid labels rejected.
+	labels.Int32s()[0] = 9
+	if _, err := SoftmaxCrossEntropy(probs, logits, labels); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestSoftmaxCrossEntropyGradNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, n := 3, 4
+	logits := New(Float32, m, n)
+	RandomUniform(logits, rng, 2)
+	labels := New(Int32, m)
+	RandomLabels(labels, rng, n)
+	probs, dl := New(Float32, m, n), New(Float32, m, n)
+	if _, err := SoftmaxCrossEntropy(probs, logits, labels); err != nil {
+		t.Fatal(err)
+	}
+	if err := SoftmaxCrossEntropyGrad(dl, probs, labels); err != nil {
+		t.Fatal(err)
+	}
+	lossOf := func() float32 {
+		p := New(Float32, m, n)
+		l, err := SoftmaxCrossEntropy(p, logits, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	for i := 0; i < m*n; i++ {
+		ng := numericGrad(lossOf, logits.Float32s(), i)
+		if math.Abs(float64(ng-dl.Float32s()[i])) > 5e-2 {
+			t.Errorf("xent grad[%d]: analytic %v numeric %v", i, dl.Float32s()[i], ng)
+		}
+	}
+}
+
+func TestMSE(t *testing.T) {
+	pred, _ := FromFloat32(Shape{2}, []float32{1, 3})
+	tgt, _ := FromFloat32(Shape{2}, []float32{0, 0})
+	d := New(Float32, 2)
+	loss, err := MSE(d, pred, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss != 5 { // (1+9)/2
+		t.Errorf("mse = %v, want 5", loss)
+	}
+	if d.Float32s()[1] != 3 { // 2*(3-0)/2
+		t.Errorf("dmse = %v", d.Float32s())
+	}
+	if _, err := MSE(nil, pred, New(Float32, 3)); err == nil {
+		t.Error("mse shape mismatch accepted")
+	}
+}
+
+func TestGlorotInitBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	w := New(Float32, 64, 32)
+	GlorotInit(w, rng)
+	limit := float32(math.Sqrt(6.0 / 96.0))
+	for _, v := range w.Float32s() {
+		if v < -limit || v > limit {
+			t.Fatalf("weight %v outside glorot bound %v", v, limit)
+		}
+	}
+	if L2Norm(w) == 0 {
+		t.Error("weights all zero")
+	}
+}

@@ -1,0 +1,190 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Algebraic property tests over the math kernels.
+
+func randTensor(rng *rand.Rand, dims ...int) *Tensor {
+	t := New(Float32, dims...)
+	RandomUniform(t, rng, 1)
+	return t
+}
+
+// MatMul distributes over addition: A(B+C) == AB + AC.
+func TestMatMulDistributivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 25; trial++ {
+		m, k, n := rng.Intn(6)+1, rng.Intn(6)+1, rng.Intn(6)+1
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		c := randTensor(rng, k, n)
+
+		bc := New(Float32, k, n)
+		if err := Add(bc, b, c); err != nil {
+			t.Fatal(err)
+		}
+		lhs := New(Float32, m, n)
+		if err := MatMul(lhs, a, bc); err != nil {
+			t.Fatal(err)
+		}
+		ab := New(Float32, m, n)
+		ac := New(Float32, m, n)
+		if err := MatMul(ab, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := MatMul(ac, a, c); err != nil {
+			t.Fatal(err)
+		}
+		rhs := New(Float32, m, n)
+		if err := Add(rhs, ab, ac); err != nil {
+			t.Fatal(err)
+		}
+		if !lhs.AllClose(rhs, 1e-4) {
+			t.Fatalf("distributivity violated at m=%d k=%d n=%d", m, k, n)
+		}
+	}
+}
+
+// MatMul associates with transposition: (A·B)ᵀ computed via MatMulTransA /
+// MatMulTransB agrees with explicit transposes.
+func TestMatMulTransposeConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 25; trial++ {
+		m, k, n := rng.Intn(5)+1, rng.Intn(5)+1, rng.Intn(5)+1
+		a := randTensor(rng, k, m) // aᵀ is [m,k]
+		b := randTensor(rng, k, n)
+		// lhs = aᵀ·b via MatMulTransA.
+		lhs := New(Float32, m, n)
+		if err := MatMulTransA(lhs, a, b); err != nil {
+			t.Fatal(err)
+		}
+		// rhs via explicit transpose of a then plain MatMul.
+		at := New(Float32, m, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < m; j++ {
+				at.Float32s()[j*k+i] = a.Float32s()[i*m+j]
+			}
+		}
+		rhs := New(Float32, m, n)
+		if err := MatMul(rhs, at, b); err != nil {
+			t.Fatal(err)
+		}
+		if !lhs.AllClose(rhs, 1e-4) {
+			t.Fatalf("TransA inconsistent at m=%d k=%d n=%d", m, k, n)
+		}
+	}
+}
+
+// Softmax is invariant to adding a constant to every logit in a row.
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	f := func(vals []float32, shift float32) bool {
+		if len(vals) == 0 || len(vals) > 64 {
+			return true
+		}
+		for _, v := range vals {
+			if v != v || v > 1e30 || v < -1e30 { // NaN/overflow inputs excluded
+				return true
+			}
+		}
+		if shift != shift || shift > 1e3 || shift < -1e3 {
+			return true
+		}
+		logits, err := FromFloat32(Shape{1, len(vals)}, vals)
+		if err != nil {
+			return false
+		}
+		shifted := logits.Clone()
+		for i := range shifted.Float32s() {
+			shifted.Float32s()[i] += shift
+		}
+		p1 := New(Float32, 1, len(vals))
+		p2 := New(Float32, 1, len(vals))
+		if Softmax(p1, logits) != nil || Softmax(p2, shifted) != nil {
+			return false
+		}
+		return p1.AllClose(p2, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Axpy is linear: axpy(a, x, y) then axpy(b, x, y) equals axpy(a+b, x, y).
+func TestAxpyLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(32) + 1
+		x := randTensor(rng, n)
+		y0 := randTensor(rng, n)
+		a := rng.Float32()
+		b := rng.Float32()
+
+		y1 := y0.Clone()
+		if err := Axpy(a, x, y1); err != nil {
+			t.Fatal(err)
+		}
+		if err := Axpy(b, x, y1); err != nil {
+			t.Fatal(err)
+		}
+		y2 := y0.Clone()
+		if err := Axpy(a+b, x, y2); err != nil {
+			t.Fatal(err)
+		}
+		if !y1.AllClose(y2, 1e-4) {
+			t.Fatalf("axpy linearity violated at n=%d a=%v b=%v", n, a, b)
+		}
+	}
+}
+
+// Conv2D with stride 1 and a delta-function kernel shifts the input.
+func TestConvDeltaKernelIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	in := randTensor(rng, 1, 5, 5, 1)
+	// 3x3 kernel with a single 1 at the center == identity with pad 1.
+	k := New(Float32, 1, 3, 3, 1)
+	k.Float32s()[4] = 1
+	out := New(Float32, 1, 5, 5, 1)
+	if err := Conv2D(out, in, k, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllClose(in, 1e-6) {
+		t.Error("delta-kernel convolution should be the identity")
+	}
+}
+
+// BiasGrad is the adjoint of AddBias: <AddBias(0, b) over rows, g> equals
+// <b, BiasGrad(g)>.
+func TestBiasAdjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	for trial := 0; trial < 25; trial++ {
+		m, n := rng.Intn(6)+1, rng.Intn(6)+1
+		b := randTensor(rng, n)
+		g := randTensor(rng, m, n)
+
+		// lhs: apply bias broadcast to a zero matrix, dot with g.
+		broadcast := New(Float32, m, n)
+		if err := AddBias(broadcast, b); err != nil {
+			t.Fatal(err)
+		}
+		lhs, err := Dot(broadcast, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// rhs: reduce g over rows, dot with b.
+		db := New(Float32, n)
+		if err := BiasGrad(db, g); err != nil {
+			t.Fatal(err)
+		}
+		rhs, err := Dot(b, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := lhs - rhs; d > 1e-3 || d < -1e-3 {
+			t.Fatalf("adjoint mismatch: %v vs %v", lhs, rhs)
+		}
+	}
+}

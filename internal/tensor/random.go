@@ -1,0 +1,43 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomUniform fills a float32 tensor with values drawn uniformly from
+// [-scale, scale) using the provided source (deterministic given a seed).
+func RandomUniform(t *Tensor, rng *rand.Rand, scale float32) {
+	v := t.Float32s()
+	for i := range v {
+		v[i] = (rng.Float32()*2 - 1) * scale
+	}
+}
+
+// GlorotInit fills a weight tensor with the Glorot/Xavier uniform
+// initialization based on the tensor's fan-in and fan-out.
+func GlorotInit(t *Tensor, rng *rand.Rand) {
+	fanIn := t.shape.Outer()
+	fanOut := t.shape.Inner()
+	if t.shape.Rank() == 2 {
+		fanIn = t.shape[0]
+	}
+	limit := float32(math.Sqrt(6 / float64(fanIn+fanOut)))
+	RandomUniform(t, rng, limit)
+}
+
+// RandomNormal fills a float32 tensor with N(0, stddev²) samples.
+func RandomNormal(t *Tensor, rng *rand.Rand, stddev float32) {
+	v := t.Float32s()
+	for i := range v {
+		v[i] = float32(rng.NormFloat64()) * stddev
+	}
+}
+
+// RandomLabels fills an int32 tensor with labels drawn from [0, classes).
+func RandomLabels(t *Tensor, rng *rand.Rand, classes int) {
+	v := t.Int32s()
+	for i := range v {
+		v[i] = int32(rng.Intn(classes))
+	}
+}

@@ -1,0 +1,148 @@
+package tensor
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tensor is a dense multi-dimensional array. Its storage is a flat byte
+// slice in little-endian element order; the slice may be heap memory or may
+// alias an RDMA-registered memory region supplied by the caller.
+type Tensor struct {
+	dtype DType
+	shape Shape
+	data  []byte
+}
+
+// ErrShape is wrapped by errors reporting shape mismatches.
+var ErrShape = errors.New("tensor: shape mismatch")
+
+// New allocates a zero-filled tensor on the Go heap.
+func New(dt DType, shape ...int) *Tensor {
+	s := Shape(shape).Clone()
+	if !s.Valid() || !dt.Valid() {
+		panic(fmt.Sprintf("tensor.New: invalid dtype %v or shape %v", dt, s))
+	}
+	return &Tensor{dtype: dt, shape: s, data: make([]byte, s.NumElements()*dt.Size())}
+}
+
+// FromBytes wraps an existing byte buffer as a tensor without copying. The
+// buffer must be exactly NumElements*dtype.Size() bytes and, for numeric
+// dtypes, aligned to the element size (RDMA region allocations guarantee
+// 8-byte alignment). The caller retains ownership of the buffer's lifetime.
+func FromBytes(dt DType, shape Shape, buf []byte) (*Tensor, error) {
+	if !dt.Valid() || !shape.Valid() {
+		return nil, fmt.Errorf("tensor: invalid dtype %v or shape %v", dt, shape)
+	}
+	want := shape.NumElements() * dt.Size()
+	if len(buf) != want {
+		return nil, fmt.Errorf("tensor: buffer is %d bytes, shape %v dtype %v needs %d: %w",
+			len(buf), shape, dt, want, ErrShape)
+	}
+	return &Tensor{dtype: dt, shape: shape.Clone(), data: buf}, nil
+}
+
+// FromFloat32 builds a float32 tensor with the given contents (copied).
+func FromFloat32(shape Shape, vals []float32) (*Tensor, error) {
+	if shape.NumElements() != len(vals) {
+		return nil, fmt.Errorf("tensor: %d values for shape %v: %w", len(vals), shape, ErrShape)
+	}
+	t := New(Float32, shape...)
+	copy(t.Float32s(), vals)
+	return t, nil
+}
+
+// DType returns the element type.
+func (t *Tensor) DType() DType { return t.dtype }
+
+// Shape returns the tensor's shape. Callers must not mutate it.
+func (t *Tensor) Shape() Shape { return t.shape }
+
+// NumElements returns the total element count.
+func (t *Tensor) NumElements() int { return t.shape.NumElements() }
+
+// ByteSize returns the size of the payload in bytes.
+func (t *Tensor) ByteSize() int { return len(t.data) }
+
+// Bytes returns the tensor's backing storage. The returned slice aliases the
+// tensor: writes through it are visible to element views and vice versa.
+// This is the zero-copy seam — when storage lives in a registered memory
+// region, Bytes is what the RDMA device transfers directly.
+func (t *Tensor) Bytes() []byte { return t.data }
+
+// Clone returns a deep copy with heap-owned storage.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{dtype: t.dtype, shape: t.shape.Clone(), data: make([]byte, len(t.data))}
+	copy(c.data, t.data)
+	return c
+}
+
+// CopyFrom copies src's payload into t. Shapes and dtypes must match.
+func (t *Tensor) CopyFrom(src *Tensor) error {
+	if t.dtype != src.dtype || !t.shape.Equal(src.shape) {
+		return fmt.Errorf("tensor: copy %v%v into %v%v: %w",
+			src.dtype, src.shape, t.dtype, t.shape, ErrShape)
+	}
+	copy(t.data, src.data)
+	return nil
+}
+
+// Reshape returns a tensor sharing t's storage with a new shape of equal
+// element count.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	s := Shape(shape)
+	if s.NumElements() != t.NumElements() || !s.Valid() {
+		return nil, fmt.Errorf("tensor: reshape %v to %v: %w", t.shape, s, ErrShape)
+	}
+	return &Tensor{dtype: t.dtype, shape: s.Clone(), data: t.data}, nil
+}
+
+// Zero clears the payload.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets every element of a float32 tensor to v.
+func (t *Tensor) Fill(v float32) {
+	f := t.Float32s()
+	for i := range f {
+		f[i] = v
+	}
+}
+
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor<%v%v, %dB>", t.dtype, t.shape, len(t.data))
+}
+
+// Equal reports exact element-wise equality (dtype, shape and payload).
+func (t *Tensor) Equal(o *Tensor) bool {
+	if t.dtype != o.dtype || !t.shape.Equal(o.shape) || len(t.data) != len(o.data) {
+		return false
+	}
+	for i := range t.data {
+		if t.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports element-wise closeness of two float32 tensors within tol.
+func (t *Tensor) AllClose(o *Tensor, tol float32) bool {
+	if t.dtype != Float32 || o.dtype != Float32 || !t.shape.Equal(o.shape) {
+		return false
+	}
+	a, b := t.Float32s(), o.Float32s()
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}

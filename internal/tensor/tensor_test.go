@@ -1,0 +1,234 @@
+package tensor
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDTypeSizes(t *testing.T) {
+	cases := []struct {
+		dt   DType
+		size int
+	}{
+		{Float32, 4}, {Float64, 8}, {Int32, 4}, {Int64, 8}, {Uint8, 1}, {Invalid, 0},
+	}
+	for _, c := range cases {
+		if got := c.dt.Size(); got != c.size {
+			t.Errorf("%v.Size() = %d, want %d", c.dt, got, c.size)
+		}
+	}
+	if Invalid.Valid() {
+		t.Error("Invalid.Valid() = true")
+	}
+	if !Float32.Valid() {
+		t.Error("Float32.Valid() = false")
+	}
+}
+
+func TestShapeBasics(t *testing.T) {
+	s := Shape{2, 3, 4}
+	if s.NumElements() != 24 {
+		t.Errorf("NumElements = %d, want 24", s.NumElements())
+	}
+	if s.Rank() != 3 {
+		t.Errorf("Rank = %d, want 3", s.Rank())
+	}
+	if s.Outer() != 6 || s.Inner() != 4 {
+		t.Errorf("Outer/Inner = %d/%d, want 6/4", s.Outer(), s.Inner())
+	}
+	if !s.Equal(Shape{2, 3, 4}) || s.Equal(Shape{2, 3}) || s.Equal(Shape{2, 3, 5}) {
+		t.Error("Equal misbehaves")
+	}
+	c := s.Clone()
+	c[0] = 9
+	if s[0] != 2 {
+		t.Error("Clone aliases original")
+	}
+	var scalar Shape
+	if scalar.NumElements() != 1 || scalar.Inner() != 1 || scalar.Outer() != 1 {
+		t.Error("scalar shape should have one element")
+	}
+	bad := Shape{2, -1}
+	if bad.Valid() || bad.NumElements() != 0 {
+		t.Error("negative dims must be invalid")
+	}
+	if s.String() != "[2,3,4]" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestNewAndViews(t *testing.T) {
+	x := New(Float32, 3, 5)
+	if x.ByteSize() != 60 || x.NumElements() != 15 {
+		t.Fatalf("size mismatch: %d bytes, %d elems", x.ByteSize(), x.NumElements())
+	}
+	f := x.Float32s()
+	f[7] = 42
+	if x.Bytes()[28] == 0 && x.Bytes()[29] == 0 && x.Bytes()[30] == 0 && x.Bytes()[31] == 0 {
+		t.Error("view write not visible through Bytes")
+	}
+	y := New(Int32, 4)
+	y.Int32s()[2] = -5
+	if y.Int32s()[2] != -5 {
+		t.Error("int32 view roundtrip failed")
+	}
+	u := New(Uint8, 3)
+	u.Uint8s()[0] = 255
+	if u.Bytes()[0] != 255 {
+		t.Error("uint8 view should alias bytes")
+	}
+	i64 := New(Int64, 2)
+	i64.Int64s()[1] = 1 << 40
+	if i64.Int64s()[1] != 1<<40 {
+		t.Error("int64 view roundtrip failed")
+	}
+	f64 := New(Float64, 2)
+	f64.Float64s()[0] = 3.25
+	if f64.Float64s()[0] != 3.25 {
+		t.Error("float64 view roundtrip failed")
+	}
+}
+
+func TestViewPanicsOnWrongDType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong-dtype view")
+		}
+	}()
+	New(Float32, 2).Int32s()
+}
+
+func TestFromBytes(t *testing.T) {
+	buf := make([]byte, 24)
+	x, err := FromBytes(Float32, Shape{2, 3}, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.Float32s()[0] = 1.5
+	if buf[0] == 0 && buf[1] == 0 && buf[2] == 0 && buf[3] == 0 {
+		t.Error("FromBytes must alias the provided buffer")
+	}
+	if _, err := FromBytes(Float32, Shape{2, 3}, make([]byte, 10)); !errors.Is(err, ErrShape) {
+		t.Errorf("short buffer: err = %v, want ErrShape", err)
+	}
+	if _, err := FromBytes(Invalid, Shape{2}, buf); err == nil {
+		t.Error("invalid dtype accepted")
+	}
+}
+
+func TestFromFloat32(t *testing.T) {
+	x, err := FromFloat32(Shape{2, 2}, []float32{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Float32s()[3] != 4 {
+		t.Error("contents wrong")
+	}
+	if _, err := FromFloat32(Shape{3}, []float32{1}); !errors.Is(err, ErrShape) {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestCloneCopyEqual(t *testing.T) {
+	x, _ := FromFloat32(Shape{4}, []float32{1, 2, 3, 4})
+	y := x.Clone()
+	if !x.Equal(y) {
+		t.Error("clone not equal")
+	}
+	y.Float32s()[0] = 99
+	if x.Equal(y) || x.Float32s()[0] != 1 {
+		t.Error("clone aliases source")
+	}
+	z := New(Float32, 4)
+	if err := z.CopyFrom(x); err != nil {
+		t.Fatal(err)
+	}
+	if !z.Equal(x) {
+		t.Error("CopyFrom mismatch")
+	}
+	if err := z.CopyFrom(New(Float32, 5)); !errors.Is(err, ErrShape) {
+		t.Error("shape mismatch copy should fail")
+	}
+	if err := z.CopyFrom(New(Int32, 4)); !errors.Is(err, ErrShape) {
+		t.Error("dtype mismatch copy should fail")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	x, _ := FromFloat32(Shape{2, 6}, make([]float32, 12))
+	y, err := x.Reshape(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y.Float32s()[11] = 7
+	if x.Float32s()[11] != 7 {
+		t.Error("reshape must share storage")
+	}
+	if _, err := x.Reshape(5); !errors.Is(err, ErrShape) {
+		t.Error("bad reshape accepted")
+	}
+}
+
+func TestZeroFillAllClose(t *testing.T) {
+	x := New(Float32, 8)
+	x.Fill(3)
+	if Sum(x) != 24 {
+		t.Errorf("Fill+Sum = %v, want 24", Sum(x))
+	}
+	x.Zero()
+	if Sum(x) != 0 {
+		t.Error("Zero failed")
+	}
+	a, _ := FromFloat32(Shape{2}, []float32{1, 2})
+	b, _ := FromFloat32(Shape{2}, []float32{1.0005, 2})
+	if !a.AllClose(b, 1e-3) || a.AllClose(b, 1e-5) {
+		t.Error("AllClose tolerance misbehaves")
+	}
+}
+
+// Property: Clone followed by Equal always holds, and mutating the clone
+// never affects the source.
+func TestCloneProperty(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		x, err := FromFloat32(Shape{len(vals)}, vals)
+		if err != nil {
+			return false
+		}
+		y := x.Clone()
+		if !x.Equal(y) {
+			return false
+		}
+		y.Float32s()[0] += 1
+		return x.Float32s()[0] == vals[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Reshape preserves element count and content bytes.
+func TestReshapeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		m, n := rng.Intn(8)+1, rng.Intn(8)+1
+		x := New(Float32, m, n)
+		RandomUniform(x, rng, 1)
+		y, err := x.Reshape(n, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y.NumElements() != x.NumElements() {
+			t.Fatal("element count changed")
+		}
+		for j := range x.Bytes() {
+			if x.Bytes()[j] != y.Bytes()[j] {
+				t.Fatal("bytes differ after reshape")
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package tensor
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// Element views reinterpret the tensor's byte storage as typed slices
+// without copying. This is deliberate: zero-copy transfer (§3.2) requires
+// that a tensor's numeric storage and its wire bytes be the same memory, so
+// conversion at the transfer boundary is exactly the copy the paper
+// eliminates. unsafe is confined to this file; every view checks alignment
+// and length before converting. The host is assumed little-endian (the
+// fabric emulator never crosses endianness domains).
+
+// Float32s returns the payload viewed as []float32. It panics if the dtype
+// is not Float32 or the storage is misaligned.
+func (t *Tensor) Float32s() []float32 {
+	t.check(Float32, 4)
+	if len(t.data) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&t.data[0])), len(t.data)/4)
+}
+
+// Float64s returns the payload viewed as []float64.
+func (t *Tensor) Float64s() []float64 {
+	t.check(Float64, 8)
+	if len(t.data) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&t.data[0])), len(t.data)/8)
+}
+
+// Int32s returns the payload viewed as []int32.
+func (t *Tensor) Int32s() []int32 {
+	t.check(Int32, 4)
+	if len(t.data) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&t.data[0])), len(t.data)/4)
+}
+
+// Int64s returns the payload viewed as []int64.
+func (t *Tensor) Int64s() []int64 {
+	t.check(Int64, 8)
+	if len(t.data) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&t.data[0])), len(t.data)/8)
+}
+
+// Uint8s returns the payload viewed as []uint8.
+func (t *Tensor) Uint8s() []uint8 {
+	t.check(Uint8, 1)
+	return t.data
+}
+
+func (t *Tensor) check(want DType, align uintptr) {
+	if t.dtype != want {
+		panic(fmt.Sprintf("tensor: %v view of %v tensor", want, t.dtype))
+	}
+	if len(t.data) == 0 {
+		return
+	}
+	if uintptr(unsafe.Pointer(&t.data[0]))%align != 0 {
+		panic(fmt.Sprintf("tensor: storage misaligned for %v view", want))
+	}
+}

@@ -1,0 +1,125 @@
+// Package trace records execution timelines in the Chrome trace-event
+// format (chrome://tracing, Perfetto): one process lane per server task,
+// one duration event per operator execution or tensor transfer. Attach a
+// Recorder to an executor (exec.Config.Trace) or a cluster
+// (distributed.Config.Trace) and dump the JSON after a run to see where
+// iterations spend their time — which receive operators poll, how sends
+// overlap compute, where the PS serializes.
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ErrTrace wraps recorder failures.
+var ErrTrace = errors.New("trace: error")
+
+// Event is one trace-event-format record (the "X" complete-event form).
+type Event struct {
+	Name     string  `json:"name"`
+	Category string  `json:"cat"`
+	Phase    string  `json:"ph"`
+	TS       float64 `json:"ts"`  // microseconds since recorder start
+	Dur      float64 `json:"dur"` // microseconds
+	PID      string  `json:"pid"` // server task
+	TID      string  `json:"tid"` // lane within the task
+	Args     any     `json:"args,omitempty"`
+}
+
+// Recorder accumulates events; it is safe for concurrent use and cheap
+// enough to leave attached during tests.
+type Recorder struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+	limit  int
+}
+
+// NewRecorder returns a recorder with the given event cap (0 = 1<<20).
+// Beyond the cap new events are dropped, keeping memory bounded on long
+// runs.
+func NewRecorder(limit int) *Recorder {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Recorder{start: time.Now(), limit: limit}
+}
+
+// Span starts a duration event; the returned func ends it. pid should be
+// the server task, tid the lane (e.g. "exec", "comm"), and args may carry
+// small metadata (iteration, bytes).
+func (r *Recorder) Span(pid, tid, category, name string, args any) func() {
+	if r == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() {
+		end := time.Now()
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if len(r.events) >= r.limit {
+			return
+		}
+		r.events = append(r.events, Event{
+			Name: name, Category: category, Phase: "X",
+			TS:  float64(begin.Sub(r.start).Nanoseconds()) / 1e3,
+			Dur: float64(end.Sub(begin).Nanoseconds()) / 1e3,
+			PID: pid, TID: tid, Args: args,
+		})
+	}
+}
+
+// Instant records a zero-duration marker.
+func (r *Recorder) Instant(pid, tid, category, name string, args any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, Event{
+		Name: name, Category: category, Phase: "i",
+		TS:  float64(time.Since(r.start).Nanoseconds()) / 1e3,
+		PID: pid, TID: tid, Args: args,
+	})
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a snapshot of the recorded events.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// WriteJSON emits the trace as a Chrome trace-event JSON array, loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("%w: nil recorder", ErrTrace)
+	}
+	enc := json.NewEncoder(w)
+	r.mu.Lock()
+	events := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	return enc.Encode(events)
+}

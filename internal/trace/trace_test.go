@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanAndJSON(t *testing.T) {
+	r := NewRecorder(0)
+	end := r.Span("worker0", "exec", "op", "MatMul", map[string]any{"iter": 3})
+	time.Sleep(200 * time.Microsecond)
+	end()
+	r.Instant("worker0", "exec", "marker", "flag-set", nil)
+	if r.Len() != 2 {
+		t.Fatalf("events = %d", r.Len())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("decoded %d events", len(events))
+	}
+	span := events[0]
+	if span.Name != "MatMul" || span.Phase != "X" || span.PID != "worker0" {
+		t.Errorf("span = %+v", span)
+	}
+	if span.Dur < 100 { // at least the sleep, in microseconds
+		t.Errorf("span duration = %v us", span.Dur)
+	}
+	if events[1].Phase != "i" {
+		t.Errorf("instant phase = %q", events[1].Phase)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Span("a", "b", "c", "d", nil)()
+	r.Instant("a", "b", "c", "d", nil)
+	if r.Len() != 0 || r.Events() != nil {
+		t.Error("nil recorder should be inert")
+	}
+	if err := r.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Error("nil recorder WriteJSON should fail")
+	}
+}
+
+func TestEventCap(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		r.Instant("p", "t", "c", "e", nil)
+	}
+	if r.Len() != 3 {
+		t.Errorf("events = %d, want capped at 3", r.Len())
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				end := r.Span("p", "t", "c", "e", nil)
+				end()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Errorf("events = %d, want 800", r.Len())
+	}
+}

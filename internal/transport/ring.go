@@ -1,0 +1,429 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/rdma"
+)
+
+// Ring transport: RDMA streaming through a fixed ring buffer of receive
+// slots, the architecture TensorFlow r1.x uses to wrap RDMA under gRPC and
+// the one FaRM's messaging primitive popularized. The paper's §2.2 spells
+// out its structural costs, all present here:
+//
+//   - the receiver owns a fixed-size in-library ring, so arbitrary-size
+//     messages must be fragmented by the sender and reassembled by the
+//     receiver;
+//   - every inbound fragment is copied out of the ring into a message
+//     buffer before delivery (the in-library copy RPC cannot avoid);
+//   - flow control needs credit writes from receiver back to sender.
+//
+// Wire layout per slot: [fragLen u32 | last u32 | payload ... | flag u64].
+// Fragments of one connection travel over a single QP, so they arrive in
+// order and a "last" bit suffices to delimit messages. After consuming a
+// slot the receiver clears its flag and one-sided-writes its consumed count
+// into the sender's credit word; the sender stalls when the ring is full.
+
+const (
+	ringSlotHeader = 8
+	// DefaultRingSlots and DefaultRingSlotSize match the 4 MB total ring
+	// TensorFlow's RDMA channel defaults to.
+	DefaultRingSlots    = 64
+	DefaultRingSlotSize = 64 << 10
+)
+
+// RingConfig parameterizes a ring connection's two directions.
+type RingConfig struct {
+	Slots    int // slots per direction
+	SlotSize int // bytes per slot, including header and flag word
+}
+
+func (c *RingConfig) setDefaults() {
+	if c.Slots == 0 {
+		c.Slots = DefaultRingSlots
+	}
+	if c.SlotSize == 0 {
+		c.SlotSize = DefaultRingSlotSize
+	}
+}
+
+// slotCap is the payload capacity of one slot.
+func (c RingConfig) slotCap() int { return c.SlotSize - ringSlotHeader - rdma.FlagWordSize }
+
+// ringHalf is the receive state of one direction: the local ring the peer
+// writes into, plus the credit word we bump on the peer after consuming.
+type ringHalf struct {
+	cfg     RingConfig
+	ring    *rdma.MemRegion
+	ch      *rdma.Channel // channel back to the peer, for credit writes
+	credit  rdma.RemoteRegion
+	stage   *rdma.MemRegion // staging word for credit writes
+	nextIdx uint64          // next slot to consume
+}
+
+// ringPeer is the send state of one direction: the remote ring we write
+// into plus the local credit word the peer bumps.
+type ringPeer struct {
+	cfg      RingConfig
+	ring     rdma.RemoteRegion
+	ch       *rdma.Channel
+	creditMR *rdma.MemRegion // peer writes consumed count here
+	stage    *rdma.MemRegion // staging area for slot writes
+	sent     uint64
+}
+
+// ringConn is a duplex Conn over two rings.
+type ringConn struct {
+	half  *ringHalf
+	peer  *ringPeer
+	recvQ *msgQueue
+
+	sendMu sync.Mutex
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// handshake payload: cfg + recv-ring descriptor + credit descriptor.
+type ringHello struct {
+	Slots    uint32
+	SlotSize uint32
+	Ring     rdma.RemoteRegion
+	Credit   rdma.RemoteRegion
+}
+
+func (h ringHello) marshal() []byte {
+	buf := make([]byte, 0, 8+64)
+	buf = binary.LittleEndian.AppendUint32(buf, h.Slots)
+	buf = binary.LittleEndian.AppendUint32(buf, h.SlotSize)
+	ring := h.Ring.Marshal()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ring)))
+	buf = append(buf, ring...)
+	return append(buf, h.Credit.Marshal()...)
+}
+
+func unmarshalRingHello(buf []byte) (ringHello, error) {
+	var h ringHello
+	if len(buf) < 12 {
+		return h, fmt.Errorf("transport: short ring hello (%d bytes)", len(buf))
+	}
+	h.Slots = binary.LittleEndian.Uint32(buf)
+	h.SlotSize = binary.LittleEndian.Uint32(buf[4:])
+	n := int(binary.LittleEndian.Uint32(buf[8:]))
+	if len(buf) < 12+n {
+		return h, fmt.Errorf("transport: truncated ring hello")
+	}
+	ring, err := rdma.UnmarshalRemoteRegion(buf[12 : 12+n])
+	if err != nil {
+		return h, err
+	}
+	credit, err := rdma.UnmarshalRemoteRegion(buf[12+n:])
+	if err != nil {
+		return h, err
+	}
+	h.Ring, h.Credit = ring, credit
+	return h, nil
+}
+
+// newRingHalf allocates the local receive ring and credit staging.
+func newRingHalf(dev *rdma.Device, cfg RingConfig) (*ringHalf, *rdma.MemRegion, error) {
+	ring, err := dev.AllocateMemRegion(cfg.Slots * cfg.SlotSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	stage, err := dev.AllocateMemRegion(rdma.FlagWordSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	// creditMR is owned by the *sending* half of the peer; we allocate the
+	// word the peer will bump for the messages we send, so it is returned
+	// separately for the hello.
+	creditMR, err := dev.AllocateMemRegion(rdma.FlagWordSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &ringHalf{cfg: cfg, ring: ring, stage: stage}, creditMR, nil
+}
+
+// RingListenerService is the RPC method name the ring transport registers
+// on its device.
+const RingListenerService = "transport.ring.connect"
+
+// RingNetwork returns the substrate descriptor for ring connections made
+// from the given local device. Addresses are fabric endpoints.
+func RingNetwork(dev *rdma.Device, cfg RingConfig) Network {
+	cfg.setDefaults()
+	return Network{
+		Name: "rdma-ring",
+		Listen: func(addr string) (Listener, error) {
+			return listenRing(dev, cfg)
+		},
+		Dial: func(addr string) (Conn, error) {
+			return dialRing(dev, addr, cfg)
+		},
+	}
+}
+
+type ringListener struct {
+	dev    *rdma.Device
+	accept chan Conn
+	once   sync.Once
+	done   chan struct{}
+}
+
+func listenRing(dev *rdma.Device, cfg RingConfig) (Listener, error) {
+	l := &ringListener{dev: dev, accept: make(chan Conn, 16), done: make(chan struct{})}
+	dev.RegisterRPC(RingListenerService, func(from string, req []byte) ([]byte, error) {
+		clientHello, err := unmarshalRingHello(req)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := dev.GetChannel(from, 0)
+		if err != nil {
+			return nil, err
+		}
+		conn, hello, err := buildRingConn(dev, ch, cfg, clientHello)
+		if err != nil {
+			return nil, err
+		}
+		select {
+		case l.accept <- conn:
+			return hello.marshal(), nil
+		case <-l.done:
+			conn.Close()
+			return nil, ErrClosed
+		}
+	})
+	return l, nil
+}
+
+func (l *ringListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *ringListener) Addr() string { return l.dev.Endpoint() }
+
+func (l *ringListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func dialRing(dev *rdma.Device, addr string, cfg RingConfig) (Conn, error) {
+	ch, err := dev.GetChannel(addr, 0)
+	if err != nil {
+		return nil, err
+	}
+	half, creditMR, err := newRingHalf(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	hello := ringHello{
+		Slots:    uint32(cfg.Slots),
+		SlotSize: uint32(cfg.SlotSize),
+		Ring:     half.ring.Descriptor(),
+		Credit:   creditMR.Descriptor(),
+	}
+	resp, err := ch.Call(RingListenerService, hello.marshal(), 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: ring connect to %s: %w", addr, err)
+	}
+	serverHello, err := unmarshalRingHello(resp)
+	if err != nil {
+		return nil, err
+	}
+	return assembleRingConn(dev, ch, cfg, half, creditMR, serverHello)
+}
+
+// buildRingConn is the accept-side constructor: allocate our half, wire the
+// peer state from the client's hello, and return our hello.
+func buildRingConn(dev *rdma.Device, ch *rdma.Channel, cfg RingConfig, peerHello ringHello) (*ringConn, ringHello, error) {
+	half, creditMR, err := newRingHalf(dev, cfg)
+	if err != nil {
+		return nil, ringHello{}, err
+	}
+	hello := ringHello{
+		Slots:    uint32(cfg.Slots),
+		SlotSize: uint32(cfg.SlotSize),
+		Ring:     half.ring.Descriptor(),
+		Credit:   creditMR.Descriptor(),
+	}
+	conn, err := assembleRingConn(dev, ch, cfg, half, creditMR, peerHello)
+	if err != nil {
+		return nil, ringHello{}, err
+	}
+	return conn, hello, nil
+}
+
+func assembleRingConn(dev *rdma.Device, ch *rdma.Channel, cfg RingConfig,
+	half *ringHalf, creditMR *rdma.MemRegion, peerHello ringHello) (*ringConn, error) {
+	if int(peerHello.Slots) != cfg.Slots || int(peerHello.SlotSize) != cfg.SlotSize {
+		return nil, fmt.Errorf("transport: ring config mismatch: local %d×%d, peer %d×%d",
+			cfg.Slots, cfg.SlotSize, peerHello.Slots, peerHello.SlotSize)
+	}
+	stage, err := dev.AllocateMemRegion(cfg.SlotSize)
+	if err != nil {
+		return nil, err
+	}
+	half.ch = ch
+	half.credit = peerHello.Credit
+	peer := &ringPeer{
+		cfg:      cfg,
+		ring:     peerHello.Ring,
+		ch:       ch,
+		creditMR: creditMR,
+		stage:    stage,
+	}
+	conn := &ringConn{
+		half:  half,
+		peer:  peer,
+		recvQ: newMsgQueue(64),
+		done:  make(chan struct{}),
+	}
+	go conn.pollLoop()
+	return conn, nil
+}
+
+// Send fragments msg into ring slots on the peer, copying each fragment
+// through the registered staging buffer (the sender-side copy the paper's
+// zero-copy path eliminates).
+func (c *ringConn) Send(msg []byte) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	cap := c.peer.cfg.slotCap()
+	rem := msg
+	for first := true; first || len(rem) > 0; first = false {
+		frag := rem
+		if len(frag) > cap {
+			frag = frag[:cap]
+		}
+		rem = rem[len(frag):]
+		if err := c.sendFragment(frag, len(rem) == 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *ringConn) sendFragment(frag []byte, last bool) error {
+	p := c.peer
+	// Flow control: wait for a free slot.
+	for p.sent-p.creditMR.LoadWord(0) >= uint64(p.cfg.Slots) {
+		select {
+		case <-c.done:
+			return ErrClosed
+		default:
+		}
+		runtime.Gosched()
+	}
+	slot := int(p.sent % uint64(p.cfg.Slots))
+	base := slot * p.cfg.SlotSize
+
+	// Stage header+payload, then write them and the flag with two in-order
+	// work requests on the same QP.
+	stage := p.stage.Bytes()
+	lastBit := uint32(0)
+	if last {
+		lastBit = 1
+	}
+	binary.LittleEndian.PutUint32(stage, uint32(len(frag)))
+	binary.LittleEndian.PutUint32(stage[4:], lastBit)
+	copy(stage[ringSlotHeader:], frag)
+	p.stage.SetFlagLocal(p.cfg.SlotSize - rdma.FlagWordSize)
+
+	payloadBytes := ringSlotHeader + len(frag)
+	done := make(chan error, 2)
+	if err := p.ch.Memcpy(0, p.stage, base, p.ring, payloadBytes, rdma.OpWrite,
+		func(err error) { done <- err }); err != nil {
+		return err
+	}
+	flagOff := p.cfg.SlotSize - rdma.FlagWordSize
+	if err := p.ch.Memcpy(flagOff, p.stage, base+flagOff, p.ring,
+		rdma.FlagWordSize, rdma.OpWrite, func(err error) { done <- err }); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			return err
+		}
+	}
+	p.sent++
+	return nil
+}
+
+// pollLoop is the receiver: it polls ring slots in order, reassembles
+// messages (copying fragments out of the ring), bumps the peer's credit
+// word, and delivers completed messages.
+func (c *ringConn) pollLoop() {
+	h := c.half
+	var assembly []byte
+	var consumed uint64
+	spins := 0
+	for {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		slot := int(h.nextIdx % uint64(h.cfg.Slots))
+		base := slot * h.cfg.SlotSize
+		flagOff := base + h.cfg.SlotSize - rdma.FlagWordSize
+		if !h.ring.PollFlag(flagOff) {
+			spins++
+			if spins > 1024 {
+				time.Sleep(10 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+			continue
+		}
+		spins = 0
+		data := h.ring.Bytes()[base:]
+		fragLen := int(binary.LittleEndian.Uint32(data))
+		last := binary.LittleEndian.Uint32(data[4:]) == 1
+		if fragLen > h.cfg.slotCap() {
+			fragLen = h.cfg.slotCap() // corrupt header: clamp, drop at reassembly
+		}
+		// The in-library copy out of the ring.
+		assembly = append(assembly, data[ringSlotHeader:ringSlotHeader+fragLen]...)
+		h.ring.ClearFlag(flagOff)
+		h.nextIdx++
+		consumed++
+
+		// Bump the sender's credit word (one-sided write of our count).
+		h.stage.StoreWord(0, consumed)
+		_ = h.ch.Memcpy(0, h.stage, 0, h.credit, rdma.FlagWordSize, rdma.OpWrite, nil)
+
+		if last {
+			msg := assembly
+			assembly = nil
+			if !c.recvQ.put(msg) {
+				return
+			}
+		}
+	}
+}
+
+func (c *ringConn) Recv() ([]byte, error) {
+	msg, ok := c.recvQ.take()
+	if !ok {
+		return nil, ErrClosed
+	}
+	return msg, nil
+}
+
+func (c *ringConn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.recvQ.close()
+	})
+	return nil
+}

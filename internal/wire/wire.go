@@ -1,0 +1,203 @@
+// Package wire implements the compact binary message encoding the RPC
+// baseline uses, modelled on protocol buffers: varint tags, length-delimited
+// fields, and — deliberately — payload copies on both marshal and unmarshal.
+// Those copies are exactly the serialization overhead the paper attributes
+// to RPC-based tensor transfer (§2.2) and eliminates with the device
+// interface; keeping them honest here is what makes the baseline fair.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrMalformed reports undecodable input.
+var ErrMalformed = errors.New("wire: malformed message")
+
+// Field tags of TensorMessage.
+const (
+	tagName    = 1
+	tagDType   = 2
+	tagShape   = 3
+	tagPayload = 4
+	tagSeq     = 5
+	tagKey     = 6
+)
+
+// TensorMessage is the unit the RPC baseline moves: one named tensor.
+type TensorMessage struct {
+	// Name identifies the graph edge or variable the tensor belongs to.
+	Name string
+	// DType is the element type (tensor.DType numeric value).
+	DType uint32
+	// Shape holds the dimensions.
+	Shape []int64
+	// Payload is the tensor's bytes. Marshal and Unmarshal copy it.
+	Payload []byte
+	// Seq is the mini-batch iteration the tensor belongs to.
+	Seq uint64
+	// Key is an optional routing key (e.g. parameter-server shard).
+	Key uint64
+}
+
+// MarshaledSize returns the exact encoded size.
+func (m *TensorMessage) MarshaledSize() int {
+	n := 0
+	if m.Name != "" {
+		n += 1 + uvarintLen(uint64(len(m.Name))) + len(m.Name)
+	}
+	if m.DType != 0 {
+		n += 1 + uvarintLen(uint64(m.DType))
+	}
+	if len(m.Shape) > 0 {
+		packed := 0
+		for _, d := range m.Shape {
+			packed += uvarintLen(uint64(d))
+		}
+		n += 1 + uvarintLen(uint64(packed)) + packed
+	}
+	if len(m.Payload) > 0 {
+		n += 1 + uvarintLen(uint64(len(m.Payload))) + len(m.Payload)
+	}
+	if m.Seq != 0 {
+		n += 1 + uvarintLen(m.Seq)
+	}
+	if m.Key != 0 {
+		n += 1 + uvarintLen(m.Key)
+	}
+	return n
+}
+
+// Marshal encodes the message into a freshly allocated buffer, copying the
+// payload (the serialization cost of the RPC abstraction).
+func (m *TensorMessage) Marshal() []byte {
+	buf := make([]byte, 0, m.MarshaledSize())
+	if m.Name != "" {
+		buf = append(buf, tagName)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Name)))
+		buf = append(buf, m.Name...)
+	}
+	if m.DType != 0 {
+		buf = append(buf, tagDType)
+		buf = binary.AppendUvarint(buf, uint64(m.DType))
+	}
+	if len(m.Shape) > 0 {
+		packed := 0
+		for _, d := range m.Shape {
+			packed += uvarintLen(uint64(d))
+		}
+		buf = append(buf, tagShape)
+		buf = binary.AppendUvarint(buf, uint64(packed))
+		for _, d := range m.Shape {
+			buf = binary.AppendUvarint(buf, uint64(d))
+		}
+	}
+	if len(m.Payload) > 0 {
+		buf = append(buf, tagPayload)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Payload)))
+		buf = append(buf, m.Payload...)
+	}
+	if m.Seq != 0 {
+		buf = append(buf, tagSeq)
+		buf = binary.AppendUvarint(buf, m.Seq)
+	}
+	if m.Key != 0 {
+		buf = append(buf, tagKey)
+		buf = binary.AppendUvarint(buf, m.Key)
+	}
+	return buf
+}
+
+// Unmarshal decodes buf into m, copying the payload out of buf (the
+// deserialization cost at the receiver). Unknown tags are rejected.
+func (m *TensorMessage) Unmarshal(buf []byte) error {
+	*m = TensorMessage{}
+	for len(buf) > 0 {
+		tag := buf[0]
+		buf = buf[1:]
+		switch tag {
+		case tagName:
+			s, rest, err := readBytes(buf)
+			if err != nil {
+				return err
+			}
+			m.Name = string(s)
+			buf = rest
+		case tagDType:
+			v, rest, err := readUvarint(buf)
+			if err != nil {
+				return err
+			}
+			m.DType = uint32(v)
+			buf = rest
+		case tagShape:
+			s, rest, err := readBytes(buf)
+			if err != nil {
+				return err
+			}
+			for len(s) > 0 {
+				v, r2, err := readUvarint(s)
+				if err != nil {
+					return err
+				}
+				m.Shape = append(m.Shape, int64(v))
+				s = r2
+			}
+			buf = rest
+		case tagPayload:
+			s, rest, err := readBytes(buf)
+			if err != nil {
+				return err
+			}
+			m.Payload = append([]byte(nil), s...) // the receive-side copy
+			buf = rest
+		case tagSeq:
+			v, rest, err := readUvarint(buf)
+			if err != nil {
+				return err
+			}
+			m.Seq = v
+			buf = rest
+		case tagKey:
+			v, rest, err := readUvarint(buf)
+			if err != nil {
+				return err
+			}
+			m.Key = v
+			buf = rest
+		default:
+			return fmt.Errorf("wire: unknown tag %d: %w", tag, ErrMalformed)
+		}
+	}
+	return nil
+}
+
+func readUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wire: truncated varint: %w", ErrMalformed)
+	}
+	return v, buf[n:], nil
+}
+
+func readBytes(buf []byte) ([]byte, []byte, error) {
+	n, rest, err := readUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(rest)) < n {
+		return nil, nil, fmt.Errorf("wire: truncated field (%d of %d bytes): %w",
+			len(rest), n, ErrMalformed)
+	}
+	return rest[:n], rest[n:], nil
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundtrip(t *testing.T) {
+	msgs := []TensorMessage{
+		{},
+		{Name: "w0", DType: 1, Shape: []int64{4, 5}, Payload: []byte{1, 2, 3}, Seq: 7, Key: 3},
+		{Name: "grad/layer1/weights", DType: 2, Shape: []int64{1024, 1024}, Payload: make([]byte, 4096), Seq: 1 << 40},
+		{Payload: []byte{0xFF}},
+		{Shape: []int64{0, 1, 2}},
+	}
+	for _, m := range msgs {
+		enc := m.Marshal()
+		if len(enc) != m.MarshaledSize() {
+			t.Errorf("%+v: encoded %d bytes, MarshaledSize says %d", m, len(enc), m.MarshaledSize())
+		}
+		var got TensorMessage
+		if err := got.Unmarshal(enc); err != nil {
+			t.Fatalf("%+v: %v", m, err)
+		}
+		if got.Name != m.Name || got.DType != m.DType || got.Seq != m.Seq || got.Key != m.Key {
+			t.Errorf("scalar fields: got %+v, want %+v", got, m)
+		}
+		if !reflect.DeepEqual(got.Shape, m.Shape) && !(len(got.Shape) == 0 && len(m.Shape) == 0) {
+			t.Errorf("shape: got %v, want %v", got.Shape, m.Shape)
+		}
+		if !bytes.Equal(got.Payload, m.Payload) {
+			t.Errorf("payload mismatch (%d vs %d bytes)", len(got.Payload), len(m.Payload))
+		}
+	}
+}
+
+func TestUnmarshalCopiesPayload(t *testing.T) {
+	m := TensorMessage{Payload: []byte{1, 2, 3, 4}}
+	enc := m.Marshal()
+	var got TensorMessage
+	if err := got.Unmarshal(enc); err != nil {
+		t.Fatal(err)
+	}
+	enc[len(enc)-1] = 99 // corrupt the buffer after decode
+	if got.Payload[3] != 4 {
+		t.Error("Unmarshal must copy payload out of the input buffer")
+	}
+}
+
+func TestMalformed(t *testing.T) {
+	cases := [][]byte{
+		{tagName},           // missing length
+		{tagName, 5, 'a'},   // truncated string
+		{tagPayload, 0x80},  // unterminated varint
+		{99, 1, 2},          // unknown tag
+		{tagShape, 1, 0x80}, // truncated inner varint
+		{tagDType, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, // overlong varint
+	}
+	for i, c := range cases {
+		var m TensorMessage
+		if err := m.Unmarshal(c); !errors.Is(err, ErrMalformed) {
+			t.Errorf("case %d: err = %v, want ErrMalformed", i, err)
+		}
+	}
+}
+
+// Property: marshal/unmarshal is the identity on all well-formed messages.
+func TestRoundtripProperty(t *testing.T) {
+	f := func(name string, dtype uint32, dims []uint16, payload []byte, seq, key uint64) bool {
+		shape := make([]int64, len(dims))
+		for i, d := range dims {
+			shape[i] = int64(d)
+		}
+		m := TensorMessage{Name: name, DType: dtype, Shape: shape, Payload: payload, Seq: seq, Key: key}
+		var got TensorMessage
+		if err := got.Unmarshal(m.Marshal()); err != nil {
+			return false
+		}
+		if got.Name != m.Name || got.DType != m.DType || got.Seq != m.Seq || got.Key != m.Key {
+			return false
+		}
+		if len(got.Shape) != len(m.Shape) {
+			return false
+		}
+		for i := range got.Shape {
+			if got.Shape[i] != m.Shape[i] {
+				return false
+			}
+		}
+		return bytes.Equal(got.Payload, m.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMarshal1MB(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	payload := make([]byte, 1<<20)
+	rng.Read(payload)
+	m := TensorMessage{Name: "bench", DType: 1, Shape: []int64{512, 512}, Payload: payload}
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Marshal()
+	}
+}
+
+func BenchmarkUnmarshal1MB(b *testing.B) {
+	payload := make([]byte, 1<<20)
+	m := TensorMessage{Name: "bench", DType: 1, Shape: []int64{512, 512}, Payload: payload}
+	enc := m.Marshal()
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var got TensorMessage
+		if err := got.Unmarshal(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: Unmarshal never panics on arbitrary bytes — it either decodes
+// or reports ErrMalformed. (The RPC layer feeds it network input.)
+func TestUnmarshalRobustness(t *testing.T) {
+	f := func(data []byte) bool {
+		var m TensorMessage
+		err := m.Unmarshal(data)
+		return err == nil || errors.Is(err, ErrMalformed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Adversarial prefixes of valid messages must also be safe.
+	valid := (&TensorMessage{Name: "x", DType: 1, Shape: []int64{4, 4},
+		Payload: make([]byte, 64), Seq: 9}).Marshal()
+	for cut := 0; cut < len(valid); cut++ {
+		var m TensorMessage
+		if err := m.Unmarshal(valid[:cut]); err != nil && !errors.Is(err, ErrMalformed) {
+			t.Fatalf("cut %d: unexpected error class %v", cut, err)
+		}
+	}
+}
