@@ -1,0 +1,17 @@
+.PHONY: build test race verify fuzz
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Tier-1 gate: build + vet + race tests + fuzz smoke (FUZZTIME=5s default).
+verify:
+	./scripts/verify.sh
+
+fuzz:
+	FUZZTIME=$${FUZZTIME:-30s} ./scripts/verify.sh

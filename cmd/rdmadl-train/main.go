@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/chaos"
 	"repro/internal/distributed"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -43,6 +44,8 @@ func main() {
 	optimizer := flag.String("optimizer", "sgd", "sgd | momentum | adam")
 	dot := flag.String("dot", "", "write the partitioned graph as Graphviz DOT to this file")
 	tracePath := flag.String("trace", "", "write a chrome://tracing timeline JSON to this file")
+	dropRate := flag.Float64("drop-rate", 0, "chaos: fraction of RDMA transfers to drop (retried transparently; no-op for mechanisms that bypass the emulated fabric)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: schedule seed (reproducible fault stream)")
 	flag.Parse()
 
 	kind, err := parseKind(*mech)
@@ -50,13 +53,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rdmadl-train: %v\n", err)
 		os.Exit(2)
 	}
-	if err := run(kind, *workers, *psCount, *iters, *batch, *optimizer, *dot, *tracePath); err != nil {
+	if *dropRate < 0 || *dropRate >= 1 {
+		fmt.Fprintf(os.Stderr, "rdmadl-train: -drop-rate %v outside [0, 1)\n", *dropRate)
+		os.Exit(2)
+	}
+	if err := run(kind, *workers, *psCount, *iters, *batch, *optimizer, *dot, *tracePath,
+		*dropRate, *chaosSeed); err != nil {
 		fmt.Fprintf(os.Stderr, "rdmadl-train: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind distributed.Kind, workers, psCount, iters, batch int, optimizer, dotPath, tracePath string) error {
+func run(kind distributed.Kind, workers, psCount, iters, batch int, optimizer, dotPath, tracePath string,
+	dropRate float64, chaosSeed int64) error {
 	var rec *trace.Recorder
 	if tracePath != "" {
 		rec = trace.NewRecorder(0)
@@ -81,6 +90,15 @@ func run(kind distributed.Kind, workers, psCount, iters, batch int, optimizer, d
 	defer cl.Close()
 	if err := job.InitAll(cl); err != nil {
 		return err
+	}
+
+	var inj *chaos.Injector
+	if dropRate > 0 {
+		inj = chaos.New(chaos.Plan{Seed: chaosSeed, DropRate: dropRate})
+		inj.Install(cl.Fabric())
+		inj.Start()
+		defer inj.Stop()
+		fmt.Printf("chaos: dropping %.0f%% of transfers (seed %d)\n", dropRate*100, chaosSeed)
 	}
 
 	feeds := job.SyntheticDataset(7)
@@ -135,8 +153,14 @@ func run(kind distributed.Kind, workers, psCount, iters, batch int, optimizer, d
 
 	fmt.Println("\nper-task communication counters:")
 	for task, m := range cl.MetricsSnapshot() {
-		fmt.Printf("  %-9s sent=%8dB msgs=%4d memcopies=%4d copied=%8dB serialized=%8dB zerocopy=%4d\n",
-			task, m.BytesSent, m.Messages, m.MemCopies, m.CopiedBytes, m.SerializedBytes, m.ZeroCopyOps)
+		fmt.Printf("  %-9s sent=%8dB msgs=%4d memcopies=%4d copied=%8dB serialized=%8dB zerocopy=%4d retries=%4d timeouts=%2d\n",
+			task, m.BytesSent, m.Messages, m.MemCopies, m.CopiedBytes, m.SerializedBytes, m.ZeroCopyOps,
+			m.Retries, m.Timeouts)
+	}
+	if inj != nil {
+		c := inj.Counters()
+		fmt.Printf("chaos: injected %d faults over %d decisions\n",
+			c.Total(), c.Checked[chaos.Drop])
 	}
 	return nil
 }

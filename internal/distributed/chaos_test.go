@@ -1,0 +1,210 @@
+package distributed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/rdma"
+	"repro/internal/tensor"
+)
+
+// runPSChaosTraining launches the standard PS-training cluster (same graph,
+// init seed, and dataset seed as trainCluster so runs are bit-comparable),
+// lets the caller install fault injection after launch, and runs iters
+// synchronous steps. It returns the per-iteration losses, the final weight
+// and bias values, the per-task metrics, and the first step error.
+func runPSChaosTraining(t *testing.T, cfg Config, iters int,
+	afterLaunch func(*Cluster)) ([]float32, []float32, []float32, map[string]metrics.CommSnapshot, error) {
+	t.Helper()
+	const workers, psCount, batch, in, classes = 2, 2, 8, 12, 4
+	b, workerTasks := buildPSTraining(t, workers, psCount, batch, in, classes, 0.2)
+	cl, err := Launch(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rng := rand.New(rand.NewSource(99))
+	if err := cl.InitVariable("w", func(tt *tensor.Tensor) { tensor.GlorotInit(tt, rng) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.InitVariable("bias", nil); err != nil {
+		t.Fatal(err)
+	}
+	feeds := make(map[string]map[string]*tensor.Tensor)
+	fetches := make(map[string][]string)
+	dataRng := rand.New(rand.NewSource(7))
+	for k, task := range workerTasks {
+		x := tensor.New(tensor.Float32, batch, in)
+		labels := tensor.New(tensor.Int32, batch)
+		tensor.RandomUniform(x, dataRng, 1)
+		tensor.RandomLabels(labels, dataRng, classes)
+		feeds[task] = map[string]*tensor.Tensor{
+			fmt.Sprintf("x%d", k):      x,
+			fmt.Sprintf("labels%d", k): labels,
+		}
+		fetches[task] = []string{fmt.Sprintf("loss%d", k)}
+	}
+	if afterLaunch != nil {
+		afterLaunch(cl)
+	}
+
+	var losses []float32
+	for iter := 0; iter < iters; iter++ {
+		out, err := cl.Step(iter, feeds, fetches)
+		if err != nil {
+			return losses, nil, nil, cl.MetricsSnapshot(), err
+		}
+		var sum float32
+		for k, task := range workerTasks {
+			sum += out[task][fmt.Sprintf("loss%d", k)].Float32s()[0]
+		}
+		losses = append(losses, sum/float32(workers))
+	}
+	wT, err := cl.VarTensor("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	biasT, err := cl.VarTensor("bias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := append([]float32(nil), wT.Float32s()...)
+	bias := append([]float32(nil), biasT.Float32s()...)
+	return losses, w, bias, cl.MetricsSnapshot(), nil
+}
+
+// The headline chaos acceptance test: a 20-step PS-training run with 10% of
+// transfers dropped plus a 100ms network partition mid-run must complete via
+// retries — no hang, no step failure — and, because every injected fault
+// strikes before any memory write, the final weights must be bit-identical
+// to a fault-free run with the same seeds (no data corruption).
+func TestChaosTrainingSurvivesDropsAndPartition(t *testing.T) {
+	const steps = 20
+	cfg := Config{
+		Kind:        RDMA,
+		ArenaBytes:  1 << 20,
+		PollTimeout: 30 * time.Second,
+		Transfer:    rdma.TransferOpts{Deadline: 8 * time.Second},
+	}
+
+	cleanLosses, cleanW, cleanBias, _, err := runPSChaosTraining(t, cfg, steps, nil)
+	if err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+
+	var inj *chaos.Injector
+	losses, w, bias, ms, err := runPSChaosTraining(t, cfg, steps, func(cl *Cluster) {
+		m := cl.Server("worker0").Metrics
+		inj = chaos.New(chaos.Plan{
+			Seed:     17,
+			DropRate: 0.10,
+			Script: []chaos.Event{
+				{At: 5 * time.Millisecond, A: "ps0", B: "worker0", Heal: 100 * time.Millisecond},
+			},
+			Metrics: m,
+		})
+		inj.Install(cl.Fabric())
+		inj.Start()
+	})
+	defer inj.Stop()
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	if len(losses) != steps {
+		t.Fatalf("completed %d/%d steps", len(losses), steps)
+	}
+	for i, l := range losses {
+		if math.IsNaN(float64(l)) || math.IsInf(float64(l), 0) {
+			t.Fatalf("loss[%d] = %v", i, l)
+		}
+	}
+	if last, first := losses[steps-1], losses[0]; last > first*0.7 {
+		t.Errorf("loss did not drop under chaos: first %v last %v", first, last)
+	}
+
+	// Chaos actually happened and the mechanism layer retried through it.
+	c := inj.Counters()
+	if c.Injected[chaos.Drop] == 0 {
+		t.Error("no transfer drops injected")
+	}
+	if c.Injected[chaos.PartitionEvent] < 2 {
+		t.Errorf("partition script fired %d events, want apply+heal", c.Injected[chaos.PartitionEvent])
+	}
+	var retries, timeouts int64
+	for _, s := range ms {
+		retries += s.Retries
+		timeouts += s.Timeouts
+	}
+	if retries == 0 {
+		t.Error("no retries recorded despite injected drops")
+	}
+	if timeouts != 0 {
+		t.Errorf("%d edges timed out; all faults should have healed within the budget", timeouts)
+	}
+
+	// No corruption: drops and partitions strike before any memory write, so
+	// the retried run computes exactly the clean run's numbers.
+	if len(w) != len(cleanW) || len(bias) != len(cleanBias) {
+		t.Fatal("variable shapes diverged")
+	}
+	for i := range w {
+		if w[i] != cleanW[i] {
+			t.Fatalf("w[%d] = %v under chaos, %v clean (corruption or nondeterminism)", i, w[i], cleanW[i])
+		}
+	}
+	for i := range bias {
+		if bias[i] != cleanBias[i] {
+			t.Fatalf("bias[%d] = %v under chaos, %v clean", i, bias[i], cleanBias[i])
+		}
+	}
+	for i := range losses {
+		if losses[i] != cleanLosses[i] {
+			t.Fatalf("loss[%d] = %v under chaos, %v clean", i, losses[i], cleanLosses[i])
+		}
+	}
+}
+
+// A partition that never heals must fail the step with a typed timeout —
+// ErrEdgeTimeout from a sender that exhausted its budget, or the executor's
+// progress-based ErrPollTimeout on the starved receiver — within the
+// configured deadlines, never hang the scheduler.
+func TestChaosNeverHealingPartitionFailsStep(t *testing.T) {
+	cfg := Config{
+		Kind:        RDMA,
+		ArenaBytes:  1 << 20,
+		PollTimeout: 2 * time.Second,
+		Transfer:    rdma.TransferOpts{Deadline: 1 * time.Second},
+	}
+	start := time.Now()
+	_, _, _, ms, err := runPSChaosTraining(t, cfg, 20, func(cl *Cluster) {
+		cl.Fabric().Partition("ps0", "worker0")
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("training succeeded across a never-healing partition")
+	}
+	if !errors.Is(err, ErrEdgeTimeout) && !errors.Is(err, exec.ErrPollTimeout) {
+		t.Fatalf("err = %v, want ErrEdgeTimeout or exec.ErrPollTimeout", err)
+	}
+	// Bounded: edge deadline 1s, poll timeout 2s, plus scheduling slack.
+	if elapsed > 30*time.Second {
+		t.Fatalf("step failure took %v; deadlines were 1s/2s", elapsed)
+	}
+	if errors.Is(err, ErrEdgeTimeout) {
+		var timeouts int64
+		for _, s := range ms {
+			timeouts += s.Timeouts
+		}
+		if timeouts == 0 {
+			t.Error("edge timed out but no timeout was counted")
+		}
+	}
+	t.Logf("step failed as expected after %v: %v", elapsed, err)
+}

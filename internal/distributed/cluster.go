@@ -35,6 +35,10 @@ type Config struct {
 	// PollTimeout aborts a step whose receive operators make no progress
 	// (dead peer, partitioned fabric). Default 30s; negative disables.
 	PollTimeout time.Duration
+	// Transfer bounds every RDMA edge transfer: total deadline, retry
+	// budget, and backoff for transient fabric faults. The zero value
+	// selects the rdma package defaults (10s deadline, 64 retries).
+	Transfer rdma.TransferOpts
 	// Trace, when non-nil, records every server's operator executions into
 	// one timeline (chrome trace-event format).
 	Trace *trace.Recorder
@@ -169,6 +173,7 @@ func (c *Cluster) newServer(task string) (*Server, error) {
 		descs:    make(map[string][]byte),
 	}
 	srv.Env = newEnv(task, c.cfg.Kind, policy, m, arena, arenaMR)
+	srv.Env.Xfer = c.cfg.Transfer
 	dev.RegisterRPC(edgeDescMethod, func(from string, req []byte) ([]byte, error) {
 		srv.descMu.Lock()
 		defer srv.descMu.Unlock()
@@ -282,7 +287,10 @@ func (c *Cluster) setupRDMAEdges(res *analyzer.Result) error {
 		if err != nil {
 			return fmt.Errorf("edge %s: %w", e.Key, err)
 		}
-		descBytes, err := ch.Call(edgeDescMethod, []byte(e.Key), rpcTimeout)
+		// Address distribution is idempotent (the handler only reads the
+		// published descriptor), so transient faults are retried.
+		descBytes, err := ch.CallRetry(edgeDescMethod, []byte(e.Key),
+			rdma.TransferOpts{Deadline: rpcTimeout})
 		if err != nil {
 			return fmt.Errorf("edge %s: %w", e.Key, err)
 		}
@@ -322,7 +330,10 @@ func (c *Cluster) setupRDMAEdges(res *analyzer.Result) error {
 			src.Env.dynSend[e.Key] = &dynSendState{spec: e, sender: sender, dev: src.Dev}
 			src.Env.mu.Unlock()
 			req := joinKeyPayload(e.Key, sender.ScratchDesc().Marshal())
-			if _, err := ch.Call(edgeScratchMethod, req, rpcTimeout); err != nil {
+			// Idempotent too: the handler overwrites the scratch descriptor
+			// with the same value.
+			if _, err := ch.CallRetry(edgeScratchMethod, req,
+				rdma.TransferOpts{Deadline: rpcTimeout}); err != nil {
 				return fmt.Errorf("edge %s scratch distribution: %w", e.Key, err)
 			}
 		}

@@ -17,6 +17,11 @@ import (
 var (
 	ErrSetup = errors.New("distributed: setup error")
 	ErrComm  = errors.New("distributed: communication error")
+	// ErrEdgeTimeout is returned when a transfer edge exhausts its retry
+	// budget or deadline: the fault did not heal in time and the step is
+	// failed with a diagnostic instead of hanging the scheduler. It wraps
+	// the underlying cause (e.g. rdma.ErrUnreachable), visible to errors.Is.
+	ErrEdgeTimeout = errors.New("distributed: edge transfer deadline exceeded")
 )
 
 // Env is one server's communication environment; send/recv kernels reach it
@@ -26,6 +31,9 @@ type Env struct {
 	Kind    Kind
 	Policy  *analyzer.TracingPolicy
 	Metrics *metrics.Comm
+	// Xfer bounds every edge transfer (deadline, retry budget, backoff).
+	// The zero value selects the rdma package defaults.
+	Xfer rdma.TransferOpts
 
 	arena   *alloc.Arena
 	arenaMR *rdma.MemRegion
@@ -165,6 +173,28 @@ func (mb *mailbox) takeStash() (mailboxItem, bool) {
 	item, ok := mb.stashed, mb.hasItem
 	mb.hasItem = false
 	return item, ok
+}
+
+// xferOpts returns the server's transfer bounds with the retry counter wired
+// into the metrics sink.
+func (e *Env) xferOpts() rdma.TransferOpts {
+	o := e.Xfer
+	o.OnRetry = func(error) { e.Metrics.AddRetry() }
+	return o
+}
+
+// edgeErr classifies a transfer failure for the scheduler: an exhausted
+// retry budget becomes the typed edge timeout (counted in the metrics);
+// everything else passes through with edge context attached.
+func (e *Env) edgeErr(key string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, rdma.ErrTimeout) {
+		e.Metrics.AddTimeout()
+		return fmt.Errorf("%w: edge %s on %s: %w", ErrEdgeTimeout, key, e.Task, err)
+	}
+	return fmt.Errorf("distributed: edge %s on %s: %w", key, e.Task, err)
 }
 
 func (e *Env) staticSendState(key string) (*staticSendState, error) {

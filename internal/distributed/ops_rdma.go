@@ -75,9 +75,12 @@ func (op *rdmaSendOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 	}
 	env.Metrics.AddSent(rdma.StaticSlotSize(op.spec.Sig.ByteSize()))
 	ctx.Output = in
-	if err := st.sender.Send(complete); err != nil {
-		complete(err)
-	}
+	// SendRetry blocks through transient fabric faults (bounded by the Env's
+	// transfer opts), so it runs on its own goroutine: the scheduler worker
+	// stays free and a retrying edge cannot stall unrelated operators.
+	go func() {
+		complete(env.edgeErr(op.spec.Key, st.sender.SendRetry(env.xferOpts())))
+	}()
 }
 
 // --- RdmaRecv (static placement, polling-async) ---
@@ -197,10 +200,15 @@ func (op *rdmaSendDynOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 	env.Metrics.AddSent(in.ByteSize() + rdma.DynMetaSize)
 	env.Metrics.AddDynTransfer()
 	ctx.Output = in
-	if err := st.sender.Send(payloadMR, payloadOff, in.ByteSize(),
-		uint32(in.DType()), dims, done); err != nil {
-		done(err)
-	}
+	size := in.ByteSize()
+	dt := uint32(in.DType())
+	// Blocking retried send on its own goroutine (see rdmaSendOp). ErrBusy
+	// from a not-yet-acked previous transfer is also retried: the ack may
+	// just be in flight behind an injected delay.
+	go func() {
+		done(env.edgeErr(op.spec.Key,
+			st.sender.SendRetry(payloadMR, payloadOff, size, dt, dims, env.xferOpts())))
+	}()
 }
 
 // --- RdmaRecvDyn (dynamic allocation, polling-async) ---
@@ -277,14 +285,18 @@ func (op *rdmaRecvDynOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 		return
 	}
 	env.Metrics.AddRecv(int(meta.PayloadSize))
-	if err := st.recv.Fetch(meta, st.senderScratch, env.arenaMR, buf.Off, func(err error) {
+	st.mu.Lock()
+	scratch := st.senderScratch
+	st.mu.Unlock()
+	// FetchRetry blocks until the payload read AND the reuse ack completed
+	// (retrying both within the budget); run it off the scheduler worker.
+	go func() {
+		err := st.recv.FetchRetry(meta, scratch, env.arenaMR, buf.Off, env.xferOpts())
 		if err == nil {
 			ctx.Output = out
 		}
-		done(err)
-	}); err != nil {
-		done(err)
-	}
+		done(env.edgeErr(op.spec.Key, err))
+	}()
 }
 
 func wantEdgeInput(name string, in []graph.Sig, n int) error {

@@ -304,10 +304,12 @@ func (e *Executor) worker(st *runState) {
 				if d := e.cfg.PollTimeout; d > 0 {
 					st.mu.Lock()
 					stalled := time.Since(st.progress) > d
+					pending := st.pending
 					st.mu.Unlock()
 					if stalled {
-						st.complete(n, nil, fmt.Errorf("%w: %s made no progress for %v (peer dead or network partitioned?)",
-							ErrPollTimeout, n.Name(), d))
+						e.stats.recordPollTimeout(n.Op().Name())
+						st.complete(n, nil, fmt.Errorf("%w: %s made no progress for %v at iter %d with %d nodes pending (peer dead or network partitioned?)",
+							ErrPollTimeout, n.Name(), d, st.iter, pending))
 						return
 					}
 				}

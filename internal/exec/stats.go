@@ -15,7 +15,10 @@ type OpStats struct {
 	Op         string
 	Executions int64
 	PollMisses int64
-	Total      time.Duration
+	// PollTimeouts counts iterations this operator aborted via the
+	// progress-based stall detector (ErrPollTimeout).
+	PollTimeouts int64
+	Total        time.Duration
 }
 
 // Mean returns the average execution duration.
@@ -56,6 +59,12 @@ func (t *statsTable) recordPollMiss(op string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.entry(op).PollMisses++
+}
+
+func (t *statsTable) recordPollTimeout(op string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entry(op).PollTimeouts++
 }
 
 // Stats returns a snapshot of per-op statistics, sorted by total time

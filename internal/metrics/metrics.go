@@ -16,6 +16,9 @@ type Comm struct {
 	serializedB  atomic.Int64
 	zeroCopyOps  atomic.Int64
 	dynTransfers atomic.Int64
+	retries      atomic.Int64
+	timeouts     atomic.Int64
+	faults       atomic.Int64
 }
 
 // CommSnapshot is an immutable view of a Comm.
@@ -28,6 +31,9 @@ type CommSnapshot struct {
 	SerializedBytes int64
 	ZeroCopyOps     int64
 	DynTransfers    int64
+	Retries         int64
+	Timeouts        int64
+	FaultsInjected  int64
 }
 
 // AddSent records an outbound transfer.
@@ -55,6 +61,15 @@ func (c *Comm) AddZeroCopy() { c.zeroCopyOps.Add(1) }
 // AddDynTransfer records a dynamic-allocation-protocol transfer.
 func (c *Comm) AddDynTransfer() { c.dynTransfers.Add(1) }
 
+// AddRetry records one retry of a transiently failed transfer or RPC.
+func (c *Comm) AddRetry() { c.retries.Add(1) }
+
+// AddTimeout records one transfer or edge that exhausted its deadline.
+func (c *Comm) AddTimeout() { c.timeouts.Add(1) }
+
+// AddFaultInjected records one fault introduced by a chaos injector.
+func (c *Comm) AddFaultInjected() { c.faults.Add(1) }
+
 // Snapshot returns the current counter values.
 func (c *Comm) Snapshot() CommSnapshot {
 	return CommSnapshot{
@@ -66,5 +81,8 @@ func (c *Comm) Snapshot() CommSnapshot {
 		SerializedBytes: c.serializedB.Load(),
 		ZeroCopyOps:     c.zeroCopyOps.Load(),
 		DynTransfers:    c.dynTransfers.Load(),
+		Retries:         c.retries.Load(),
+		Timeouts:        c.timeouts.Load(),
+		FaultsInjected:  c.faults.Load(),
 	}
 }

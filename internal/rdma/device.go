@@ -2,6 +2,7 @@ package rdma
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -412,6 +413,20 @@ func (qp *queuePair) run() {
 		case wrAtomic:
 			err = qp.dev.executeAtomic(qp.peer, wr.atomic)
 		}
+		if wr.kind == wrTransfer {
+			hooks := qp.dev.fabric.hooksSnapshot()
+			if hooks.CompletionFault != nil {
+				cf := hooks.CompletionFault(wr.op, wr.size)
+				if cf.Delay > 0 {
+					// Completion moderation: later WRs on this QP stall too,
+					// the way a backed-up CQ behaves.
+					sleep(cf.Delay)
+				}
+				if cf.Duplicate {
+					qp.cq.post(completion{cb: wr.cb, err: err})
+				}
+			}
+		}
 		qp.cq.post(completion{cb: wr.cb, err: err})
 	}
 }
@@ -428,6 +443,11 @@ func (d *Device) executeTransfer(peer string, wr workRequest) error {
 	if hooks.TransferDelay != nil {
 		if delay := hooks.TransferDelay(wr.op, wr.size); delay > 0 {
 			sleep(delay)
+		}
+	}
+	if hooks.TransferFault != nil {
+		if err := hooks.TransferFault(wr.op, wr.size); err != nil {
+			return err
 		}
 	}
 	remoteDev, err := d.fabric.lookup(d.endpoint, peer)
@@ -450,9 +470,14 @@ func (d *Device) executeTransfer(peer string, wr workRequest) error {
 	if err != nil {
 		return err
 	}
+	reorder := hooks.WriteReorder != nil && hooks.WriteReorder(wr.op, wr.size)
 	switch wr.op {
 	case OpWrite:
-		orderedCopy(remote, wr.remoteOff, local, wr.localOff)
+		if reorder {
+			reorderedCopy(remote, wr.remoteOff, local, wr.localOff)
+		} else {
+			orderedCopy(remote, wr.remoteOff, local, wr.localOff)
+		}
 	case OpRead:
 		orderedCopy(local, wr.localOff, remote, wr.remoteOff)
 	}
@@ -463,6 +488,11 @@ func (d *Device) executeTransfer(peer string, wr workRequest) error {
 }
 
 func (d *Device) executeMessage(peer string, payload []byte) error {
+	if hooks := d.fabric.hooksSnapshot(); hooks.MessageFault != nil {
+		if err := hooks.MessageFault(len(payload)); err != nil {
+			return err
+		}
+	}
 	remoteDev, err := d.fabric.lookup(d.endpoint, peer)
 	if err != nil {
 		return err
@@ -487,6 +517,34 @@ func orderedCopy(dst []byte, dstOff int, src []byte, srcOff int) {
 		return
 	}
 	copy(dst, src)
+}
+
+// reorderedCopy is orderedCopy with the guarantee deliberately broken: the
+// final word (where protocols keep their flag) is stored before the payload,
+// with a scheduling point in between so a concurrent poller can observe the
+// flag set while the payload is still stale. Only fault-injection hooks
+// select this path. The payload body is moved word-by-word with atomic
+// stores: the hazard being modelled is stale data visible after the flag,
+// not a Go-level data race, and the word stores let chaos tests observe the
+// stale window (via LoadWord) while staying clean under the race detector.
+func reorderedCopy(dst []byte, dstOff int, src []byte, srcOff int) {
+	n := len(src)
+	if n < 8 || (dstOff+n)%8 != 0 || (srcOff+n)%8 != 0 {
+		copy(dst, src)
+		return
+	}
+	atomicStore64(dst, n-8, atomicLoad64(src, n-8))
+	runtime.Gosched()
+	// Both offsets share the same misalignment (their sum with n is a
+	// multiple of 8), so one ragged head covers both sides.
+	head := (8 - dstOff%8) % 8
+	if head > n-8 {
+		head = n - 8
+	}
+	copy(dst[:head], src[:head])
+	for off := head; off+8 <= n-8; off += 8 {
+		atomicStore64(dst, off, atomicLoad64(src, off))
+	}
 }
 
 // Channel connects the local device to one remote endpoint over one QP
@@ -527,12 +585,17 @@ func (c *Channel) Memcpy(localOff int, local *MemRegion, remoteOff int, remote R
 }
 
 // MemcpySync is Memcpy that blocks until completion, for callers without an
-// event loop (tests, examples, the address-distribution path).
+// event loop (tests, examples, the address-distribution path). It tolerates
+// duplicated completions: only the first is consumed, extras are dropped
+// without blocking the CQ poller.
 func (c *Channel) MemcpySync(localOff int, local *MemRegion, remoteOff int, remote RemoteRegion,
 	size int, dir Op) error {
 	done := make(chan error, 1)
 	if err := c.Memcpy(localOff, local, remoteOff, remote, size, dir, func(err error) {
-		done <- err
+		select {
+		case done <- err:
+		default: // duplicated completion
+		}
 	}); err != nil {
 		return err
 	}

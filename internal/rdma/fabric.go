@@ -14,9 +14,25 @@ var (
 	ErrBounds      = errors.New("rdma: memory access out of region bounds")
 	ErrUnreachable = errors.New("rdma: peer unreachable (partitioned)")
 	ErrBadConfig   = errors.New("rdma: invalid device configuration")
+	// ErrInjected marks a failure introduced by a fault-injection hook.
+	// Injected failures are transient by construction and classified
+	// retryable (see Retryable).
+	ErrInjected = errors.New("rdma: injected fault")
 )
 
-// Hooks allows tests and simulators to observe or delay fabric activity.
+// CompletionFault instructs the emulator to misbehave when reporting one
+// work completion: hold the completion back for Delay, and/or post it
+// twice. Both happen on real fabrics (slow CQ moderation, retransmit after
+// a lost ack) and both must be tolerated by consumers.
+type CompletionFault struct {
+	Delay     time.Duration
+	Duplicate bool
+}
+
+// Hooks allows tests and simulators to observe, delay, or corrupt fabric
+// activity. All hooks may be invoked concurrently from many QP goroutines
+// and must be safe for concurrent use. Installing hooks mid-flight is safe:
+// each work request snapshots the hook set once.
 type Hooks struct {
 	// TransferDelay, if non-nil, returns an artificial latency applied
 	// before a one-sided transfer of the given size executes.
@@ -24,6 +40,21 @@ type Hooks struct {
 	// OnTransfer, if non-nil, is invoked after every completed one-sided
 	// transfer (for counters).
 	OnTransfer func(op Op, size int)
+	// TransferFault, if non-nil, is consulted before a one-sided transfer
+	// touches memory. A non-nil return fails the work request with that
+	// error and leaves both regions untouched (a dropped/NAKed WR). Wrap
+	// ErrInjected (or ErrUnreachable) so consumers classify it transient.
+	TransferFault func(op Op, size int) error
+	// WriteReorder, if non-nil and returning true for a write, makes the
+	// transfer's final word visible before the rest of the payload —
+	// violating the in-order DMA guarantee flag-based protocols depend on.
+	WriteReorder func(op Op, size int) bool
+	// CompletionFault, if non-nil, can delay or duplicate the completion
+	// of a one-sided transfer.
+	CompletionFault func(op Op, size int) CompletionFault
+	// MessageFault, if non-nil, is consulted before a two-sided message is
+	// delivered; a non-nil return fails the send without delivery.
+	MessageFault func(size int) error
 }
 
 // Fabric is the emulated RDMA network: a registry of devices keyed by
@@ -44,8 +75,8 @@ func NewFabric() *Fabric {
 	}
 }
 
-// SetHooks installs fault/latency hooks. It must be called before devices
-// begin transferring.
+// SetHooks installs fault/latency hooks. It is safe to call while devices
+// are transferring: in-flight work requests keep the snapshot they took.
 func (f *Fabric) SetHooks(h Hooks) {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -1,0 +1,96 @@
+package rdma
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets for the wire-facing decoders. These run against arbitrary
+// bytes: the decoders must never panic, and any input they accept must
+// survive a canonical re-marshal round trip. Seeds come from real Marshal
+// output plus truncations so the corpus starts on the interesting paths.
+
+func staticDescSeed() StaticSlotDesc {
+	return StaticSlotDesc{
+		Region:      RemoteRegion{Endpoint: "hostB:1", RegionID: 3, Size: 4096},
+		Off:         128,
+		PayloadSize: 1024,
+	}
+}
+
+func FuzzUnmarshalStaticSlotDesc(f *testing.F) {
+	full := staticDescSeed().Marshal()
+	f.Add(full)
+	f.Add(full[:len(full)-1]) // truncated region tail
+	f.Add(full[:16])          // header only, no region
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64)) // huge endpoint length prefix
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d, err := UnmarshalStaticSlotDesc(b)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip through Marshal exactly.
+		d2, err := UnmarshalStaticSlotDesc(d.Marshal())
+		if err != nil {
+			t.Fatalf("re-unmarshal of accepted desc failed: %v", err)
+		}
+		if d != d2 {
+			t.Fatalf("round trip diverged: %+v != %+v", d, d2)
+		}
+	})
+}
+
+func FuzzUnmarshalDynSlotDesc(f *testing.F) {
+	full := DynSlotDesc{
+		Region: RemoteRegion{Endpoint: "ps0:1", RegionID: 7, Size: 1 << 20},
+		Off:    240,
+	}.Marshal()
+	f.Add(full)
+	f.Add(full[:8]) // offset only, no region
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x01}, 24))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d, err := UnmarshalDynSlotDesc(b)
+		if err != nil {
+			return
+		}
+		d2, err := UnmarshalDynSlotDesc(d.Marshal())
+		if err != nil {
+			t.Fatalf("re-unmarshal of accepted desc failed: %v", err)
+		}
+		if d != d2 {
+			t.Fatalf("round trip diverged: %+v != %+v", d, d2)
+		}
+	})
+}
+
+func FuzzDecodeDynMeta(f *testing.F) {
+	f.Add(make([]byte, DynMetaSize))
+	f.Add(make([]byte, dynMetaFlagOff))
+	f.Add(make([]byte, dynMetaFlagOff-1)) // one byte short
+	f.Add([]byte{})
+	huge := make([]byte, DynMetaSize)
+	for i := range huge {
+		huge[i] = 0xff // rank out of range, sizes at uint64 max
+	}
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeDynMeta(b, "fuzz-sender")
+		if err != nil {
+			if len(b) >= dynMetaFlagOff {
+				t.Fatalf("full-size block rejected: %v", err)
+			}
+			return
+		}
+		if len(b) < dynMetaFlagOff {
+			t.Fatalf("short block (%d bytes) accepted", len(b))
+		}
+		if len(m.Dims) > MaxDims {
+			t.Fatalf("decoded rank %d exceeds MaxDims", len(m.Dims))
+		}
+		if m.Src.Endpoint != "fuzz-sender" {
+			t.Fatalf("source endpoint %q not taken from the edge", m.Src.Endpoint)
+		}
+	})
+}

@@ -1,0 +1,268 @@
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Deadline/retry hardening for the transfer protocols. The paper assumes a
+// lossless fabric; production deployments do not get one. Every blocking
+// operation in this file is bounded by a deadline and retries transient
+// failures with exponential backoff, so a misbehaving peer yields a typed
+// error instead of a hung scheduler.
+
+// ErrTimeout is returned when a bounded transfer operation exhausts its
+// deadline or retry budget. It always wraps the last underlying error, so
+// errors.Is can still see e.g. ErrUnreachable through it.
+var ErrTimeout = errors.New("rdma: transfer deadline exceeded")
+
+// Retryable classifies an error as transient (worth retrying: the fault may
+// heal) versus fatal (misconfiguration, closed device, or out-of-bounds
+// access that no retry can fix). ErrTimeout itself is fatal: it means a
+// retry budget was already spent.
+func Retryable(err error) bool {
+	if err == nil || errors.Is(err, ErrTimeout) {
+		return false
+	}
+	return errors.Is(err, ErrUnreachable) ||
+		errors.Is(err, ErrInjected) ||
+		errors.Is(err, ErrBusy) ||
+		errors.Is(err, ErrRPCTimeout)
+}
+
+// Defaults for TransferOpts zero values.
+const (
+	DefaultDeadline     = 10 * time.Second
+	DefaultMaxRetries   = 64
+	DefaultBackoff      = 50 * time.Microsecond
+	DefaultMaxBackoff   = 10 * time.Millisecond
+	DefaultPollInterval = 5 * time.Microsecond
+)
+
+// TransferOpts bounds a blocking transfer operation: a total deadline, a
+// retry budget for transient failures, and the backoff curve between
+// attempts. The zero value selects the defaults above.
+type TransferOpts struct {
+	// Deadline is the total wall-clock budget for the operation, including
+	// all retries and backoff waits.
+	Deadline time.Duration
+	// MaxRetries caps how many times a transient failure is retried.
+	MaxRetries int
+	// Backoff is the wait before the first retry; it doubles each retry.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// PollInterval is the sleep between flag polls once spinning stops.
+	PollInterval time.Duration
+	// OnRetry, if non-nil, is invoked with the transient error before each
+	// retry (for counters).
+	OnRetry func(err error)
+}
+
+func (o TransferOpts) withDefaults() TransferOpts {
+	if o.Deadline <= 0 {
+		o.Deadline = DefaultDeadline
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = DefaultMaxRetries
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = DefaultBackoff
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = DefaultMaxBackoff
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = DefaultPollInterval
+	}
+	return o
+}
+
+// retryLoop runs attempt until it succeeds, fails fatally, or the deadline
+// or retry budget is exhausted (typed ErrTimeout wrapping the last error).
+func retryLoop(opts TransferOpts, what string, attempt func() error) error {
+	o := opts.withDefaults()
+	deadline := time.Now().Add(o.Deadline)
+	backoff := o.Backoff
+	for tries := 0; ; tries++ {
+		err := attempt()
+		if err == nil {
+			return nil
+		}
+		if !Retryable(err) {
+			return err
+		}
+		if tries >= o.MaxRetries || !time.Now().Add(backoff).Before(deadline) {
+			return fmt.Errorf("rdma: %s: gave up after %d attempts: %w (last: %w)",
+				what, tries+1, ErrTimeout, err)
+		}
+		if o.OnRetry != nil {
+			o.OnRetry(err)
+		}
+		sleep(backoff)
+		backoff *= 2
+		if backoff > o.MaxBackoff {
+			backoff = o.MaxBackoff
+		}
+	}
+}
+
+// waitCond polls cond until it reports true or the deadline expires. It
+// spins briefly, then backs off to PollInterval sleeps so a long wait does
+// not burn a core.
+func waitCond(opts TransferOpts, what string, cond func() bool) error {
+	o := opts.withDefaults()
+	deadline := time.Now().Add(o.Deadline)
+	for spins := 0; !cond(); spins++ {
+		if spins > 256 {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("rdma: %s: no progress after %v: %w", what, o.Deadline, ErrTimeout)
+			}
+			sleep(o.PollInterval)
+		} else {
+			runtime.Gosched()
+		}
+	}
+	return nil
+}
+
+// memcpyAttempt is one blocking Memcpy, tolerant of duplicated completions.
+func (c *Channel) memcpyAttempt(localOff int, local *MemRegion, remoteOff int, remote RemoteRegion,
+	size int, dir Op) error {
+	done := make(chan error, 1)
+	if err := c.Memcpy(localOff, local, remoteOff, remote, size, dir, func(err error) {
+		select {
+		case done <- err:
+		default:
+		}
+	}); err != nil {
+		return err
+	}
+	return <-done
+}
+
+// MemcpyRetry is a blocking Memcpy with bounded retry: transient failures
+// (drops, transient unreachability) are retried with exponential backoff
+// until the opts deadline. Safe only for idempotent transfers — both the
+// protocols in this package re-send identical bytes.
+func (c *Channel) MemcpyRetry(localOff int, local *MemRegion, remoteOff int, remote RemoteRegion,
+	size int, dir Op, opts TransferOpts) error {
+	return retryLoop(opts, fmt.Sprintf("%s %dB to %s", dir, size, c.remote), func() error {
+		return c.memcpyAttempt(localOff, local, remoteOff, remote, size, dir)
+	})
+}
+
+// CallRetry is Call with bounded retry: RPC timeouts and transient send
+// failures are retried until the opts deadline. The per-attempt timeout is
+// derived from the deadline and the retry budget. Handlers must be
+// idempotent (address distribution is).
+func (c *Channel) CallRetry(method string, req []byte, opts TransferOpts) ([]byte, error) {
+	o := opts.withDefaults()
+	perCall := o.Deadline / 4
+	if perCall <= 0 {
+		perCall = o.Deadline
+	}
+	var resp []byte
+	err := retryLoop(o, fmt.Sprintf("rpc %q to %s", method, c.remote), func() error {
+		var err error
+		resp, err = c.Call(method, req, perCall)
+		return err
+	})
+	return resp, err
+}
+
+// --- Static placement ---
+
+// SendRetry transfers the staging buffer like Send, but blocks until the
+// write completed, retrying transient failures within the opts budget. The
+// retry is safe: a dropped write leaves the remote slot untouched, and a
+// re-send writes the same bytes.
+func (s *StaticSender) SendRetry(opts TransferOpts) error {
+	return retryLoop(opts, fmt.Sprintf("static send %dB to %s", s.desc.PayloadSize, s.ch.Remote()),
+		func() error {
+			done := make(chan error, 1)
+			if err := s.Send(func(err error) {
+				select {
+				case done <- err:
+				default:
+				}
+			}); err != nil {
+				return err
+			}
+			return <-done
+		})
+}
+
+// Wait blocks until a complete tensor has arrived (Poll returns true) or
+// the opts deadline expires. A receiver cannot distinguish a slow sender
+// from a partitioned one, so the failure is a typed ErrTimeout; callers
+// with fabric knowledge may refine it.
+func (r *StaticReceiver) Wait(opts TransferOpts) error {
+	return waitCond(opts, "static recv flag", r.Poll)
+}
+
+// --- Dynamic allocation ---
+
+// SendRetry stages and sends the metadata like Send, but blocks until the
+// write completed, treating both ErrBusy (previous transfer not yet acked)
+// and transient transfer failures as retryable within the opts budget.
+func (s *DynSender) SendRetry(payloadMR *MemRegion, payloadOff, payloadSize int,
+	dtype uint32, dims []uint64, opts TransferOpts) error {
+	return retryLoop(opts, fmt.Sprintf("dyn send %dB to %s", payloadSize, s.ch.Remote()),
+		func() error {
+			done := make(chan error, 1)
+			if err := s.Send(payloadMR, payloadOff, payloadSize, dtype, dims, func(err error) {
+				select {
+				case done <- err:
+				default:
+				}
+			}); err != nil {
+				return err
+			}
+			err := <-done
+			if err != nil {
+				// The failed write never touched the receiver (faults strike
+				// before memory writes), so no ack will ever arrive for it:
+				// re-arm the ack flag Send cleared, or every subsequent
+				// attempt would see ErrBusy forever.
+				s.mr.SetFlagLocal(s.off + dynMetaAckOff)
+			}
+			return err
+		})
+}
+
+// WaitMeta blocks until the metadata flag is set and returns the decoded
+// metadata, or fails with a typed ErrTimeout at the opts deadline.
+func (r *DynReceiver) WaitMeta(opts TransferOpts) (DynMeta, error) {
+	var meta DynMeta
+	err := waitCond(opts, "dyn metadata flag", func() bool {
+		m, ok := r.Poll()
+		if ok {
+			meta = m
+		}
+		return ok
+	})
+	return meta, err
+}
+
+// FetchRetry is Fetch with bounded retry: the payload read and the reuse
+// ack are each retried within the opts budget, and the call blocks until
+// the ack write completed (unlike Fetch, which fires it and forgets).
+// Both halves are idempotent: re-reading pulls the same payload (the sender
+// cannot reuse the source buffer before the ack), and the ack is a
+// constant one-word write.
+func (r *DynReceiver) FetchRetry(meta DynMeta, senderScratch DynSlotDesc,
+	dst *MemRegion, dstOff int, opts TransferOpts) error {
+	r.mr.ClearFlag(r.off + dynMetaFlagOff)
+	size := int(meta.PayloadSize)
+	if err := r.ch.MemcpyRetry(dstOff, dst, int(meta.SrcOff), meta.Src, size, OpRead, opts); err != nil {
+		return fmt.Errorf("rdma: dyn fetch read: %w", err)
+	}
+	if err := r.ch.MemcpyRetry(0, r.ackSrc, senderScratch.Off+dynMetaAckOff,
+		senderScratch.Region, FlagWordSize, OpWrite, opts); err != nil {
+		return fmt.Errorf("rdma: dyn fetch ack: %w", err)
+	}
+	return nil
+}

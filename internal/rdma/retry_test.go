@@ -1,0 +1,271 @@
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrUnreachable, true},
+		{ErrInjected, true},
+		{ErrBusy, true},
+		{ErrRPCTimeout, true},
+		{fmt.Errorf("wrapped: %w", ErrUnreachable), true},
+		{ErrTimeout, false},
+		{fmt.Errorf("%w (last: %w)", ErrTimeout, ErrUnreachable), false}, // budget already spent
+		{ErrBounds, false},
+		{ErrBadConfig, false},
+		{ErrClosed, false},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// Transient drops (first few attempts fail) must be absorbed by MemcpyRetry,
+// with the retry callback invoked per attempt.
+func TestMemcpyRetryRecoversFromDrops(t *testing.T) {
+	f, a, b := newPair(t)
+	var attempts atomic.Int64
+	f.SetHooks(Hooks{TransferFault: func(op Op, size int) error {
+		if attempts.Add(1) <= 3 {
+			return fmt.Errorf("test drop: %w", ErrInjected)
+		}
+		return nil
+	}})
+	defer f.SetHooks(Hooks{})
+
+	src, _ := a.AllocateMemRegion(64)
+	dst, _ := b.AllocateMemRegion(64)
+	copy(src.Bytes(), []byte("the payload survives the drops!"))
+	ch, _ := a.GetChannel("hostB:1", 0)
+
+	var retries atomic.Int64
+	opts := TransferOpts{Backoff: 10 * time.Microsecond, OnRetry: func(err error) {
+		if !errors.Is(err, ErrInjected) {
+			t.Errorf("OnRetry got %v, want ErrInjected", err)
+		}
+		retries.Add(1)
+	}}
+	if err := ch.MemcpyRetry(0, src, 0, dst.Descriptor(), 64, OpWrite, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(dst.Bytes()[:31]); got != "the payload survives the drops!" {
+		t.Errorf("payload corrupted: %q", got)
+	}
+	if retries.Load() != 3 {
+		t.Errorf("retries = %d, want 3", retries.Load())
+	}
+}
+
+// A permanent fault must exhaust the budget into a typed ErrTimeout that
+// still exposes the last underlying error and classifies fatal.
+func TestMemcpyRetryExhaustsToTimeout(t *testing.T) {
+	f, a, b := newPair(t)
+	f.SetHooks(Hooks{TransferFault: func(Op, int) error {
+		return fmt.Errorf("test drop: %w", ErrInjected)
+	}})
+	defer f.SetHooks(Hooks{})
+
+	src, _ := a.AllocateMemRegion(8)
+	dst, _ := b.AllocateMemRegion(8)
+	ch, _ := a.GetChannel("hostB:1", 0)
+	start := time.Now()
+	err := ch.MemcpyRetry(0, src, 0, dst.Descriptor(), 8, OpWrite,
+		TransferOpts{Deadline: 100 * time.Millisecond, Backoff: time.Millisecond})
+	if !errors.Is(err, ErrTimeout) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrTimeout wrapping ErrInjected", err)
+	}
+	if Retryable(err) {
+		t.Error("exhausted budget classified retryable")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("gave up after %v, deadline was 100ms", elapsed)
+	}
+}
+
+// Regression: a partition striking mid-transfer must not wedge the edge. The
+// send keeps retrying, and once the partition heals the payload arrives
+// intact; the bounded receiver Wait sees it.
+func TestMidTransferPartitionHealsAndRecovers(t *testing.T) {
+	f, a, b := newPair(t)
+	const payload = 4096
+	recvMR, _ := b.AllocateMemRegion(StaticSlotSize(payload))
+	recv, err := NewStaticReceiver(recvMR, 0, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendMR, _ := a.AllocateMemRegion(StaticSlotSize(payload))
+	ch, _ := a.GetChannel("hostB:1", 0)
+	send, err := NewStaticSender(ch, sendMR, 0, recv.Desc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range send.Buffer() {
+		send.Buffer()[i] = byte(i * 7)
+	}
+
+	f.Partition("hostA:1", "hostB:1")
+	done := make(chan error, 1)
+	go func() {
+		done <- send.SendRetry(TransferOpts{Deadline: 10 * time.Second, Backoff: 100 * time.Microsecond})
+	}()
+	// Let the sender accumulate failed attempts mid-partition, then heal.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("send finished during partition: %v", err)
+	default:
+	}
+	f.Heal("hostA:1", "hostB:1")
+
+	if err := <-done; err != nil {
+		t.Fatalf("send after heal: %v", err)
+	}
+	if err := recv.Wait(TransferOpts{Deadline: 5 * time.Second}); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	for i, got := range recv.Payload() {
+		if got != byte(i*7) {
+			t.Fatalf("payload[%d] = %d, want %d", i, got, byte(i*7))
+		}
+	}
+}
+
+// A partition that never heals must surface ErrTimeout wrapping
+// ErrUnreachable within the deadline.
+func TestSendRetryTimesOutAcrossPartition(t *testing.T) {
+	f, a, b := newPair(t)
+	const payload = 64
+	recvMR, _ := b.AllocateMemRegion(StaticSlotSize(payload))
+	recv, _ := NewStaticReceiver(recvMR, 0, payload)
+	sendMR, _ := a.AllocateMemRegion(StaticSlotSize(payload))
+	ch, _ := a.GetChannel("hostB:1", 0)
+	send, _ := NewStaticSender(ch, sendMR, 0, recv.Desc())
+
+	f.Partition("hostA:1", "hostB:1")
+	start := time.Now()
+	err := send.SendRetry(TransferOpts{Deadline: 200 * time.Millisecond, Backoff: time.Millisecond})
+	if !errors.Is(err, ErrTimeout) || !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrTimeout wrapping ErrUnreachable", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("timed out after %v, deadline was 200ms", elapsed)
+	}
+}
+
+// A bounded flag wait with no sender must return the typed timeout instead
+// of spinning forever.
+func TestStaticWaitDeadline(t *testing.T) {
+	_, _, b := newPair(t)
+	recvMR, _ := b.AllocateMemRegion(StaticSlotSize(32))
+	recv, _ := NewStaticReceiver(recvMR, 0, 32)
+	start := time.Now()
+	err := recv.Wait(TransferOpts{Deadline: 50 * time.Millisecond})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("wait took %v for a 50ms deadline", elapsed)
+	}
+}
+
+// The dynamic protocol's full retried round trip — metadata send, bounded
+// metadata wait, payload fetch, awaited ack — under periodic transfer drops.
+// FetchRetry must leave the sender reusable (the ack is retried and awaited,
+// unlike fire-and-forget Fetch).
+func TestDynProtocolRetriedRoundTripUnderDrops(t *testing.T) {
+	f, a, b := newPair(t)
+	var n atomic.Int64
+	f.SetHooks(Hooks{TransferFault: func(Op, int) error {
+		if n.Add(1)%3 == 0 { // every third transfer fails
+			return fmt.Errorf("test drop: %w", ErrInjected)
+		}
+		return nil
+	}})
+	defer f.SetHooks(Hooks{})
+
+	metaMR, _ := b.AllocateMemRegion(DynMetaSize)
+	chBA, _ := b.GetChannel("hostA:1", 0)
+	recv, err := NewDynReceiver(chBA, metaMR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratchMR, _ := a.AllocateMemRegion(DynMetaSize)
+	chAB, _ := a.GetChannel("hostB:1", 0)
+	send, err := NewDynSender(chAB, scratchMR, 0, recv.Desc())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := TransferOpts{Deadline: 10 * time.Second, Backoff: 10 * time.Microsecond}
+	for iter := 0; iter < 5; iter++ {
+		size := 256 + 64*iter
+		payloadMR, _ := a.AllocateMemRegion(size)
+		for i := range payloadMR.Bytes() {
+			payloadMR.Bytes()[i] = byte(i + iter)
+		}
+		if err := send.SendRetry(payloadMR, 0, size, 7, []uint64{uint64(size)}, opts); err != nil {
+			t.Fatalf("iter %d send: %v", iter, err)
+		}
+		meta, err := recv.WaitMeta(opts)
+		if err != nil {
+			t.Fatalf("iter %d wait meta: %v", iter, err)
+		}
+		if int(meta.PayloadSize) != size || meta.DType != 7 {
+			t.Fatalf("iter %d meta = %+v", iter, meta)
+		}
+		dst, _ := b.AllocateMemRegion(size)
+		if err := recv.FetchRetry(meta, send.ScratchDesc(), dst, 0, opts); err != nil {
+			t.Fatalf("iter %d fetch: %v", iter, err)
+		}
+		for i, got := range dst.Bytes()[:size] {
+			if got != byte(i+iter) {
+				t.Fatalf("iter %d payload[%d] = %d, want %d", iter, i, got, byte(i+iter))
+			}
+		}
+		// FetchRetry awaited the ack: the sender is reusable immediately.
+		if !send.PollReusable() {
+			t.Fatalf("iter %d: sender not reusable after FetchRetry", iter)
+		}
+	}
+	if n.Load() < 15 {
+		t.Errorf("only %d transfers observed; drops were not exercised", n.Load())
+	}
+}
+
+// CallRetry must absorb dropped RPC messages (request or response) within
+// its budget.
+func TestCallRetryRecoversFromMessageDrops(t *testing.T) {
+	f, a, b := newPair(t)
+	b.RegisterRPC("echo", func(from string, req []byte) ([]byte, error) {
+		return append([]byte("re:"), req...), nil
+	})
+	var n atomic.Int64
+	f.SetHooks(Hooks{MessageFault: func(size int) error {
+		if n.Add(1) <= 2 { // drop the first two messages on the wire
+			return fmt.Errorf("test msg drop: %w", ErrInjected)
+		}
+		return nil
+	}})
+	defer f.SetHooks(Hooks{})
+
+	ch, _ := a.GetChannel("hostB:1", 0)
+	resp, err := ch.CallRetry("echo", []byte("ping"), TransferOpts{Deadline: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "re:ping" {
+		t.Errorf("resp = %q", resp)
+	}
+}

@@ -272,7 +272,22 @@ func (r *DynReceiver) Poll() (DynMeta, bool) {
 	if !r.mr.PollFlag(r.off + dynMetaFlagOff) {
 		return DynMeta{}, false
 	}
-	b := r.mr.Bytes()[r.off : r.off+DynMetaSize]
+	m, err := DecodeDynMeta(r.mr.Bytes()[r.off:r.off+DynMetaSize], r.sender)
+	if err != nil {
+		// Unreachable for a full-size slot; keep Poll's signature simple.
+		return DynMeta{}, false
+	}
+	return m, true
+}
+
+// DecodeDynMeta decodes a metadata block image (the first dynMetaFlagOff
+// bytes of a slot) as written by DynSender.Send, reconstructing the source
+// region with the edge's sender endpoint. It is total on arbitrary bytes:
+// short input errors, an out-of-range rank is clamped, and no input panics.
+func DecodeDynMeta(b []byte, sender string) (DynMeta, error) {
+	if len(b) < dynMetaFlagOff {
+		return DynMeta{}, fmt.Errorf("rdma: short dyn metadata block (%d bytes)", len(b))
+	}
 	m := DynMeta{
 		DType:       binary.LittleEndian.Uint32(b),
 		SrcOff:      binary.LittleEndian.Uint64(b[88:]),
@@ -287,11 +302,11 @@ func (r *DynReceiver) Poll() (DynMeta, bool) {
 		m.Dims[i] = binary.LittleEndian.Uint64(b[8+8*i:])
 	}
 	m.Src = RemoteRegion{
-		Endpoint: r.sender,
+		Endpoint: sender,
 		RegionID: binary.LittleEndian.Uint32(b[72:]),
 		Size:     binary.LittleEndian.Uint64(b[80:]),
 	}
-	return m, true
+	return m, nil
 }
 
 // Fetch clears the metadata flag, pulls the payload into

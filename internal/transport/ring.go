@@ -2,6 +2,7 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -36,10 +37,17 @@ const (
 	DefaultRingSlotSize = 64 << 10
 )
 
+// DefaultSendTimeout bounds how long a Send waits for ring credit plus how
+// long its fragment writes may retry transient fabric faults.
+const DefaultSendTimeout = 10 * time.Second
+
 // RingConfig parameterizes a ring connection's two directions.
 type RingConfig struct {
 	Slots    int // slots per direction
 	SlotSize int // bytes per slot, including header and flag word
+	// SendTimeout is the per-fragment deadline: credit wait plus write
+	// retries. Zero selects DefaultSendTimeout.
+	SendTimeout time.Duration
 }
 
 func (c *RingConfig) setDefaults() {
@@ -48,6 +56,9 @@ func (c *RingConfig) setDefaults() {
 	}
 	if c.SlotSize == 0 {
 		c.SlotSize = DefaultRingSlotSize
+	}
+	if c.SendTimeout <= 0 {
+		c.SendTimeout = DefaultSendTimeout
 	}
 }
 
@@ -232,7 +243,13 @@ func dialRing(dev *rdma.Device, addr string, cfg RingConfig) (Conn, error) {
 		Ring:     half.ring.Descriptor(),
 		Credit:   creditMR.Descriptor(),
 	}
-	resp, err := ch.Call(RingListenerService, hello.marshal(), 10*time.Second)
+	// The connect RPC is idempotent on transient failure only until the
+	// server builds its half, but a dropped request never reached it, and a
+	// dropped response surfaces as ErrRPCTimeout after the server side
+	// already queued the conn — acceptable for an accept loop. Retry within
+	// the send deadline so connection setup survives a lossy fabric.
+	resp, err := ch.CallRetry(RingListenerService, hello.marshal(),
+		rdma.TransferOpts{Deadline: cfg.SendTimeout})
 	if err != nil {
 		return nil, fmt.Errorf("transport: ring connect to %s: %w", addr, err)
 	}
@@ -315,14 +332,24 @@ func (c *ringConn) Send(msg []byte) error {
 
 func (c *ringConn) sendFragment(frag []byte, last bool) error {
 	p := c.peer
-	// Flow control: wait for a free slot.
-	for p.sent-p.creditMR.LoadWord(0) >= uint64(p.cfg.Slots) {
+	deadline := time.Now().Add(p.cfg.SendTimeout)
+	// Flow control: wait for a free slot, bounded by the send deadline so a
+	// stalled or partitioned peer yields a typed error, not a hung sender.
+	for spins := 0; p.sent-p.creditMR.LoadWord(0) >= uint64(p.cfg.Slots); spins++ {
 		select {
 		case <-c.done:
 			return ErrClosed
 		default:
 		}
-		runtime.Gosched()
+		if spins > 1024 {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("transport: ring send: no credit after %v (peer stalled or partitioned): %w",
+					p.cfg.SendTimeout, ErrTimeout)
+			}
+			time.Sleep(10 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
 	}
 	slot := int(p.sent % uint64(p.cfg.Slots))
 	base := slot * p.cfg.SlotSize
@@ -339,24 +366,41 @@ func (c *ringConn) sendFragment(frag []byte, last bool) error {
 	copy(stage[ringSlotHeader:], frag)
 	p.stage.SetFlagLocal(p.cfg.SlotSize - rdma.FlagWordSize)
 
-	payloadBytes := ringSlotHeader + len(frag)
-	done := make(chan error, 2)
-	if err := p.ch.Memcpy(0, p.stage, base, p.ring, payloadBytes, rdma.OpWrite,
-		func(err error) { done <- err }); err != nil {
-		return err
-	}
-	flagOff := p.cfg.SlotSize - rdma.FlagWordSize
-	if err := p.ch.Memcpy(flagOff, p.stage, base+flagOff, p.ring,
-		rdma.FlagWordSize, rdma.OpWrite, func(err error) { done <- err }); err != nil {
-		return err
-	}
-	for i := 0; i < 2; i++ {
-		if err := <-done; err != nil {
-			return err
+	// Both writes are idempotent (same bytes to the same unconsumed slot; the
+	// receiver only looks past the header once the flag lands), so transient
+	// fabric faults are retried within the remaining deadline. The payload
+	// write is awaited before the flag write is posted, preserving the
+	// payload-before-flag order across retries.
+	// remainingOpts clamps to a tiny positive budget when the deadline has
+	// already passed, so MemcpyRetry fails fast instead of silently picking
+	// up the 10s default a non-positive Deadline would select.
+	remainingOpts := func() rdma.TransferOpts {
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			rem = time.Millisecond
 		}
+		return rdma.TransferOpts{Deadline: rem}
+	}
+	payloadBytes := ringSlotHeader + len(frag)
+	flagOff := p.cfg.SlotSize - rdma.FlagWordSize
+	if err := p.ch.MemcpyRetry(0, p.stage, base, p.ring, payloadBytes, rdma.OpWrite, remainingOpts()); err != nil {
+		return wrapSendErr("fragment write", err)
+	}
+	if err := p.ch.MemcpyRetry(flagOff, p.stage, base+flagOff, p.ring,
+		rdma.FlagWordSize, rdma.OpWrite, remainingOpts()); err != nil {
+		return wrapSendErr("flag write", err)
 	}
 	p.sent++
 	return nil
+}
+
+// wrapSendErr folds an exhausted rdma retry budget into the transport's own
+// timeout type (both remain visible to errors.Is); other errors pass through.
+func wrapSendErr(what string, err error) error {
+	if errors.Is(err, rdma.ErrTimeout) {
+		return fmt.Errorf("transport: ring %s: %w (%w)", what, ErrTimeout, err)
+	}
+	return fmt.Errorf("transport: ring %s: %w", what, err)
 }
 
 // pollLoop is the receiver: it polls ring slots in order, reassembles
@@ -399,8 +443,7 @@ func (c *ringConn) pollLoop() {
 		consumed++
 
 		// Bump the sender's credit word (one-sided write of our count).
-		h.stage.StoreWord(0, consumed)
-		_ = h.ch.Memcpy(0, h.stage, 0, h.credit, rdma.FlagWordSize, rdma.OpWrite, nil)
+		c.postCredit(consumed)
 
 		if last {
 			msg := assembly
@@ -410,6 +453,33 @@ func (c *ringConn) pollLoop() {
 			}
 		}
 	}
+}
+
+// postCredit one-sided-writes the absolute consumed count into the sender's
+// credit word. The write is fire-and-forget on the fast path — a later credit
+// write supersedes a dropped one because the count is absolute and monotone —
+// but a transiently dropped write is re-driven in the background so the very
+// last credit of a burst cannot be lost and stall the sender until its
+// deadline. The staging word is stored atomically (StoreWord) and the
+// single-word transfer reads it atomically, so a newer count racing the
+// retry only makes the credit fresher.
+func (c *ringConn) postCredit(consumed uint64) {
+	h := c.half
+	h.stage.StoreWord(0, consumed)
+	_ = h.ch.Memcpy(0, h.stage, 0, h.credit, rdma.FlagWordSize, rdma.OpWrite, func(err error) {
+		if err == nil || !Retryable(err) {
+			return
+		}
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		go func() {
+			_ = h.ch.MemcpyRetry(0, h.stage, 0, h.credit, rdma.FlagWordSize, rdma.OpWrite,
+				rdma.TransferOpts{Deadline: h.cfg.SendTimeout})
+		}()
+	})
 }
 
 func (c *ringConn) Recv() ([]byte, error) {

@@ -19,10 +19,27 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/rdma"
 )
 
 // ErrClosed is returned by operations on closed connections or listeners.
 var ErrClosed = errors.New("transport: closed")
+
+// ErrTimeout is returned when a Send exhausts its deadline — either waiting
+// for ring credit (peer stalled or partitioned) or retrying fragment writes.
+// It always wraps the underlying cause where one exists.
+var ErrTimeout = errors.New("transport: send deadline exceeded")
+
+// Retryable classifies a transport error as transient (the fault may heal;
+// the operation may be retried at the message level) versus fatal. Timeouts
+// are fatal: a retry budget was already spent. ErrClosed is fatal.
+func Retryable(err error) bool {
+	if err == nil || errors.Is(err, ErrTimeout) || errors.Is(err, ErrClosed) {
+		return false
+	}
+	return rdma.Retryable(err)
+}
 
 // Conn is a reliable, ordered, message-oriented duplex connection. Send
 // blocks until the message is accepted by the transport; Recv blocks until

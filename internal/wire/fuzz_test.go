@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTensorMessageUnmarshal feeds arbitrary bytes to the decoder: it must
+// never panic, and any input it accepts must decode to a message whose
+// canonical re-encoding round-trips exactly (Unmarshal ∘ Marshal is the
+// identity on decoded messages, even when the original input used a
+// non-canonical encoding such as duplicate or zero-valued tags).
+func FuzzTensorMessageUnmarshal(f *testing.F) {
+	seeds := []TensorMessage{
+		{},
+		{Name: "grad/w", DType: 1, Shape: []int64{12, 4}, Payload: []byte{1, 2, 3, 4}, Seq: 9, Key: 2},
+		{Name: "loss", Seq: 1 << 40},
+		{Payload: bytes.Repeat([]byte{0xab}, 300)},
+		{Shape: []int64{1, 1, 1, 1, 1, 1, 1, 1}},
+	}
+	for i := range seeds {
+		f.Add(seeds[i].Marshal())
+	}
+	f.Add([]byte{tagName, 0xff, 0xff, 0xff, 0xff, 0xff}) // huge length prefix
+	f.Add([]byte{99})                                    // unknown tag
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var m TensorMessage
+		if err := m.Unmarshal(b); err != nil {
+			return
+		}
+		out := m.Marshal()
+		var m2 TensorMessage
+		if err := m2.Unmarshal(out); err != nil {
+			t.Fatalf("canonical re-encoding rejected: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip diverged:\n  decoded: %+v\n  re-decoded: %+v", m, m2)
+		}
+		if out2 := m2.Marshal(); !bytes.Equal(out, out2) {
+			t.Fatalf("canonical encoding not a fixpoint:\n  %x\n  %x", out, out2)
+		}
+	})
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, vet, race-test everything, then smoke each
+# fuzz target briefly. CI and pre-commit both run this; keep it fast enough
+# to run on every change (~2-3 minutes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+# Fuzz smoke: each target gets a short budget. The engine accepts one
+# -fuzz pattern per invocation, so loop explicitly.
+FUZZTIME="${FUZZTIME:-5s}"
+echo "== fuzz smoke (${FUZZTIME}/target) =="
+go test -run=NONE -fuzz='^FuzzUnmarshalStaticSlotDesc$' -fuzztime="$FUZZTIME" ./internal/rdma/
+go test -run=NONE -fuzz='^FuzzUnmarshalDynSlotDesc$' -fuzztime="$FUZZTIME" ./internal/rdma/
+go test -run=NONE -fuzz='^FuzzDecodeDynMeta$' -fuzztime="$FUZZTIME" ./internal/rdma/
+go test -run=NONE -fuzz='^FuzzTensorMessageUnmarshal$' -fuzztime="$FUZZTIME" ./internal/wire/
+
+echo "verify: OK"
