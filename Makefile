@@ -1,4 +1,4 @@
-.PHONY: build test race verify fuzz
+.PHONY: build test race verify fuzz bench
 
 build:
 	go build ./...
@@ -15,3 +15,7 @@ verify:
 
 fuzz:
 	FUZZTIME=$${FUZZTIME:-30s} ./scripts/verify.sh
+
+# Kernel + train-step microbenchmarks -> BENCH_kernels.json.
+bench:
+	./scripts/bench.sh

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/distributed"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -41,6 +42,7 @@ func main() {
 	psCount := flag.Int("ps", 2, "parameter-server count")
 	iters := flag.Int("iters", 30, "training iterations")
 	batch := flag.Int("batch", 16, "per-worker batch size")
+	kernelWorkers := flag.Int("kernel-workers", 0, "compute-kernel pool size shared by all servers (0 = GOMAXPROCS); results are bit-identical at any size")
 	optimizer := flag.String("optimizer", "sgd", "sgd | momentum | adam")
 	dot := flag.String("dot", "", "write the partitioned graph as Graphviz DOT to this file")
 	tracePath := flag.String("trace", "", "write a chrome://tracing timeline JSON to this file")
@@ -57,14 +59,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rdmadl-train: -drop-rate %v outside [0, 1)\n", *dropRate)
 		os.Exit(2)
 	}
-	if err := run(kind, *workers, *psCount, *iters, *batch, *optimizer, *dot, *tracePath,
+	if err := run(kind, *workers, *psCount, *iters, *batch, *kernelWorkers, *optimizer, *dot, *tracePath,
 		*dropRate, *chaosSeed); err != nil {
 		fmt.Fprintf(os.Stderr, "rdmadl-train: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind distributed.Kind, workers, psCount, iters, batch int, optimizer, dotPath, tracePath string,
+func run(kind distributed.Kind, workers, psCount, iters, batch, kernelWorkers int, optimizer, dotPath, tracePath string,
 	dropRate float64, chaosSeed int64) error {
 	var rec *trace.Recorder
 	if tracePath != "" {
@@ -79,10 +81,11 @@ func run(kind distributed.Kind, workers, psCount, iters, batch int, optimizer, d
 		return err
 	}
 	cl, err := distributed.Launch(job.Builder, distributed.Config{
-		Kind:       kind,
-		ArenaBytes: 16 << 20,
-		RingCfg:    transport.RingConfig{Slots: 32, SlotSize: 64 << 10},
-		Trace:      rec,
+		Kind:          kind,
+		ArenaBytes:    16 << 20,
+		KernelWorkers: kernelWorkers,
+		RingCfg:       transport.RingConfig{Slots: 32, SlotSize: 64 << 10},
+		Trace:         rec,
 	})
 	if err != nil {
 		return err
@@ -161,6 +164,20 @@ func run(kind distributed.Kind, workers, psCount, iters, batch int, optimizer, d
 		c := inj.Counters()
 		fmt.Printf("chaos: injected %d faults over %d decisions\n",
 			c.Total(), c.Checked[chaos.Drop])
+	}
+
+	comp := metrics.Compute()
+	fmt.Printf("\ncompute: scratch hits=%d misses=%d discards=%d | recycle hits=%d misses=%d\n",
+		comp.ScratchHits, comp.ScratchMisses, comp.ScratchDiscards,
+		comp.RecycleHits, comp.RecycleMisses)
+	if ks := metrics.KernelSnapshot(); len(ks) > 0 {
+		fmt.Println("kernel time by operator (top 8):")
+		if len(ks) > 8 {
+			ks = ks[:8]
+		}
+		for _, s := range ks {
+			fmt.Printf("  %-12s n=%5d total=%10v mean=%8v\n", s.Op, s.Count, s.Total, s.Mean())
+		}
 	}
 	return nil
 }

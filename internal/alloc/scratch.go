@@ -1,0 +1,105 @@
+package alloc
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// ScratchPool recycles short-lived float32 workspaces (im2col patch
+// matrices, per-sample gradient partials, chunk-local accumulators) so
+// steady-state training iterations stop allocating them from the Go heap.
+// Buffers are bucketed by power-of-two capacity; Get returns a buffer whose
+// contents are NOT zeroed — kernels fully overwrite their workspaces.
+//
+// The pool is deliberately not a sync.Pool: buckets survive GC cycles so
+// the steady state really is allocation-free, the capacity cap bounds
+// memory, and the hit/miss counters feed internal/metrics.
+type ScratchPool struct {
+	mu      sync.Mutex
+	buckets map[int][][]float32 // pow2 capacity -> free buffers
+	perCap  int                 // max buffers retained per bucket
+
+	hits, misses, discards int64
+}
+
+// ScratchStats reports a pool's activity.
+type ScratchStats struct {
+	Hits     int64 // Gets served from a bucket
+	Misses   int64 // Gets that allocated
+	Discards int64 // Puts dropped because the bucket was full
+}
+
+// NewScratchPool builds an empty pool retaining up to perBucket buffers per
+// size class (default 8 when perBucket <= 0).
+func NewScratchPool(perBucket int) *ScratchPool {
+	if perBucket <= 0 {
+		perBucket = 8
+	}
+	return &ScratchPool{buckets: make(map[int][][]float32), perCap: perBucket}
+}
+
+// Scratch is the process-wide pool the tensor kernels draw workspaces from.
+var Scratch = NewScratchPool(0)
+
+func pow2At(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// GetF32 returns a float32 buffer of length n with unspecified contents.
+// Return it with PutF32 when done; keeping it is safe but defeats reuse.
+func (p *ScratchPool) GetF32(n int) []float32 {
+	if n <= 0 {
+		return nil
+	}
+	c := pow2At(n)
+	p.mu.Lock()
+	free := p.buckets[c]
+	if len(free) > 0 {
+		buf := free[len(free)-1]
+		p.buckets[c] = free[:len(free)-1]
+		p.hits++
+		p.mu.Unlock()
+		metrics.AddScratchHit()
+		return buf[:n]
+	}
+	p.misses++
+	p.mu.Unlock()
+	metrics.AddScratchMiss()
+	return make([]float32, n, c)
+}
+
+// PutF32 returns a buffer obtained from GetF32 to its size bucket. Buffers
+// whose capacity is not a power of two (not from this pool) are dropped.
+func (p *ScratchPool) PutF32(buf []float32) {
+	c := cap(buf)
+	if c == 0 || c != pow2At(c) {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.buckets[c]) >= p.perCap {
+		p.discards++
+		metrics.AddScratchDiscard()
+		return
+	}
+	p.buckets[c] = append(p.buckets[c], buf[:0])
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *ScratchPool) Stats() ScratchStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ScratchStats{Hits: p.hits, Misses: p.misses, Discards: p.discards}
+}
+
+// Drop empties every bucket (tests and memory-pressure hooks).
+func (p *ScratchPool) Drop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buckets = make(map[int][][]float32)
+}

@@ -126,11 +126,11 @@ type Injector struct {
 	seq      [numFaults]atomic.Uint64 // decision index per fault kind
 	injected [numFaults]atomic.Int64
 
-	mu       sync.Mutex
-	timers   []*time.Timer
-	parted   map[[2]string]int // active partitions, refcounted
-	started  bool
-	stopped  bool
+	mu      sync.Mutex
+	timers  []*time.Timer
+	parted  map[[2]string]int // active partitions, refcounted
+	started bool
+	stopped bool
 }
 
 // New builds an injector for the plan. Install it on a fabric, then Start

@@ -27,6 +27,10 @@ type Config struct {
 	ArenaBytes int
 	// ExecWorkers is the per-server executor worker count (default 4).
 	ExecWorkers int
+	// KernelWorkers sizes the process-wide compute-kernel pool shared by all
+	// servers' tensor kernels (default GOMAXPROCS). Results are bit-identical
+	// at any size.
+	KernelWorkers int
 	// RingCfg tunes the gRPC.RDMA ring transport.
 	RingCfg transport.RingConfig
 	// NumCQs and QPsPerPeer configure the RDMA devices (default 4/4, the
@@ -130,13 +134,14 @@ func Launch(b *graph.Builder, cfg Config) (*Cluster, error) {
 	for _, task := range res.Tasks {
 		srv := c.servers[task]
 		srv.Exec, err = exec.New(res.Graph, exec.Config{
-			Task:        task,
-			Workers:     cfg.ExecWorkers,
-			Vars:        srv.VarStore,
-			Policy:      srv.Policy,
-			Env:         srv.Env,
-			PollTimeout: cfg.PollTimeout,
-			Trace:       cfg.Trace,
+			Task:          task,
+			Workers:       cfg.ExecWorkers,
+			KernelWorkers: cfg.KernelWorkers,
+			Vars:          srv.VarStore,
+			Policy:        srv.Policy,
+			Env:           srv.Env,
+			PollTimeout:   cfg.PollTimeout,
+			Trace:         cfg.Trace,
 		})
 		if err != nil {
 			c.Close()

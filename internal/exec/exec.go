@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -43,6 +45,14 @@ type Config struct {
 	// while polling operators spin — the failure-detection backstop for a
 	// peer that died or a partitioned fabric. Zero disables the timeout.
 	PollTimeout time.Duration
+	// KernelWorkers, when positive, resizes the process-wide compute-kernel
+	// pool (internal/parallel) the tensor kernels chunk their work onto.
+	// Zero leaves the pool at its GOMAXPROCS default. The pool is shared by
+	// every executor in the process; results are bit-identical at any size.
+	KernelWorkers int
+	// DisableRecycle turns off iteration-scoped output-tensor reuse even
+	// when the alloc policy permits it (the Recycler marker).
+	DisableRecycle bool
 	// Trace, when non-nil, records one duration event per operator
 	// execution (chrome trace-event format).
 	Trace *trace.Recorder
@@ -57,6 +67,7 @@ type Executor struct {
 	consume [][]*graph.Node
 	indeg   []int
 	stats   *statsTable
+	recycle *recycler // nil unless the policy opted in
 }
 
 // New validates the partition and builds an executor. Every input of a
@@ -71,6 +82,9 @@ func New(g *graph.Graph, cfg Config) (*Executor, error) {
 	}
 	if cfg.Vars == nil {
 		cfg.Vars = NewVarStore()
+	}
+	if cfg.KernelWorkers > 0 {
+		parallel.SetWorkers(cfg.KernelWorkers)
 	}
 	all := g.Nodes()
 	e := &Executor{
@@ -106,6 +120,9 @@ func New(g *graph.Graph, cfg Config) (*Executor, error) {
 			deps++
 		}
 		e.indeg[n.ID()] = deps
+	}
+	if r, ok := cfg.Policy.(Recycler); ok && r.AllowRecycle() && !cfg.DisableRecycle {
+		e.recycle = newRecycler()
 	}
 	return e, nil
 }
@@ -272,12 +289,22 @@ func (e *Executor) Run(iter int, feeds map[string]*tensor.Tensor, fetches ...str
 	err := st.err
 	st.mu.Unlock()
 	if err != nil {
+		if e.recycle != nil {
+			e.recycle.finish(false, nil)
+		}
 		return nil, err
 	}
 	out := make(map[string]*tensor.Tensor, len(fetches))
 	for _, f := range fetches {
 		n, _ := e.g.Node(f)
 		out[f] = st.values[n.ID()]
+	}
+	if e.recycle != nil {
+		fetched := make([]*tensor.Tensor, 0, len(out))
+		for _, t := range out {
+			fetched = append(fetched, t)
+		}
+		e.recycle.finish(true, fetched)
 	}
 	return out, nil
 }
@@ -340,7 +367,9 @@ func (e *Executor) worker(st *runState) {
 		switch k := n.Op().(type) {
 		case graph.AsyncKernel:
 			k.ComputeAsync(ctx, func(err error) {
-				e.stats.recordExec(n.Op().Name(), time.Since(start))
+				d := time.Since(start)
+				e.stats.recordExec(n.Op().Name(), d)
+				metrics.AddKernelTime(n.Op().Name(), d)
 				if endSpan != nil {
 					endSpan()
 				}
@@ -348,7 +377,9 @@ func (e *Executor) worker(st *runState) {
 			})
 		case graph.Kernel:
 			err := k.Compute(ctx)
-			e.stats.recordExec(n.Op().Name(), time.Since(start))
+			d := time.Since(start)
+			e.stats.recordExec(n.Op().Name(), d)
+			metrics.AddKernelTime(n.Op().Name(), d)
 			if endSpan != nil {
 				endSpan()
 			}
@@ -378,7 +409,16 @@ func (e *Executor) newContext(st *runState, n *graph.Node) *graph.Context {
 	ctx.Alloc = func(dt tensor.DType, shape tensor.Shape) (*tensor.Tensor, error) {
 		idx := allocIdx
 		allocIdx++
-		return e.cfg.Policy.Alloc(n, st.iter, idx, dt, shape)
+		if e.recycle != nil {
+			if t := e.recycle.take(n.ID(), idx, dt, shape); t != nil {
+				return t, nil
+			}
+		}
+		t, err := e.cfg.Policy.Alloc(n, st.iter, idx, dt, shape)
+		if err == nil && e.recycle != nil {
+			e.recycle.track(n.ID(), idx, t)
+		}
+		return t, err
 	}
 	return ctx
 }

@@ -15,6 +15,18 @@ type AllocPolicy interface {
 	Alloc(node *graph.Node, iter, allocIdx int, dt tensor.DType, shape tensor.Shape) (*tensor.Tensor, error)
 }
 
+// Recycler is an opt-in marker for AllocPolicy implementations that permit
+// the executor to serve an allocation by reusing the tensor it handed out
+// for the same (node, alloc index) last iteration, bypassing the policy.
+// Policies that must observe every allocation — the analyzer's tracing
+// policy records allocation sites during the first mini-batch and redirects
+// hot ones into the registered arena — must not implement this (or must
+// return false), otherwise recycling would hide exactly the steady-state
+// allocations the analysis needs to see.
+type Recycler interface {
+	AllowRecycle() bool
+}
+
 // HeapPolicy allocates every tensor on the Go heap.
 type HeapPolicy struct{}
 
@@ -22,3 +34,7 @@ type HeapPolicy struct{}
 func (HeapPolicy) Alloc(_ *graph.Node, _, _ int, dt tensor.DType, shape tensor.Shape) (*tensor.Tensor, error) {
 	return tensor.New(dt, shape...), nil
 }
+
+// AllowRecycle implements Recycler: heap tensors carry no placement
+// decision, so reusing one is always equivalent to allocating afresh.
+func (HeapPolicy) AllowRecycle() bool { return true }

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Compute-side counters: where kernel time goes and how well the two memory
+// reuse layers (the size-bucketed scratch pool and the executor's
+// output-tensor recycler) are hitting. Together with the Comm counters they
+// answer the paper's §2 question end to end: is an iteration bound by
+// communication or by operator execution?
+
+// ComputeSnapshot is an immutable view of the process-wide compute counters.
+type ComputeSnapshot struct {
+	// ScratchHits/ScratchMisses count scratch-pool Get calls served from a
+	// bucket vs freshly allocated.
+	ScratchHits   int64
+	ScratchMisses int64
+	// ScratchDiscards counts Put calls dropped because the bucket was full.
+	ScratchDiscards int64
+	// RecycleHits/RecycleMisses count executor output allocations served by
+	// reusing the previous iteration's tensor vs routed to the AllocPolicy.
+	RecycleHits   int64
+	RecycleMisses int64
+}
+
+var compute struct {
+	scratchHits     atomic.Int64
+	scratchMisses   atomic.Int64
+	scratchDiscards atomic.Int64
+	recycleHits     atomic.Int64
+	recycleMisses   atomic.Int64
+}
+
+// AddScratchHit records a scratch-pool Get served from a bucket.
+func AddScratchHit() { compute.scratchHits.Add(1) }
+
+// AddScratchMiss records a scratch-pool Get that had to allocate.
+func AddScratchMiss() { compute.scratchMisses.Add(1) }
+
+// AddScratchDiscard records a scratch-pool Put dropped by a full bucket.
+func AddScratchDiscard() { compute.scratchDiscards.Add(1) }
+
+// AddRecycleHit records an executor output allocation served by reuse.
+func AddRecycleHit() { compute.recycleHits.Add(1) }
+
+// AddRecycleMiss records an executor output allocation that went to the
+// alloc policy.
+func AddRecycleMiss() { compute.recycleMisses.Add(1) }
+
+// Compute returns the current process-wide compute counter values.
+func Compute() ComputeSnapshot {
+	return ComputeSnapshot{
+		ScratchHits:     compute.scratchHits.Load(),
+		ScratchMisses:   compute.scratchMisses.Load(),
+		ScratchDiscards: compute.scratchDiscards.Load(),
+		RecycleHits:     compute.recycleHits.Load(),
+		RecycleMisses:   compute.recycleMisses.Load(),
+	}
+}
+
+// KernelStat aggregates one operator type's kernel executions process-wide.
+type KernelStat struct {
+	Op    string
+	Count int64
+	Total time.Duration
+}
+
+// Mean returns the average kernel duration.
+func (s KernelStat) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+var kernels struct {
+	mu sync.Mutex
+	m  map[string]*KernelStat
+}
+
+// AddKernelTime records one kernel execution of operator op.
+func AddKernelTime(op string, d time.Duration) {
+	kernels.mu.Lock()
+	defer kernels.mu.Unlock()
+	if kernels.m == nil {
+		kernels.m = make(map[string]*KernelStat)
+	}
+	s, ok := kernels.m[op]
+	if !ok {
+		s = &KernelStat{Op: op}
+		kernels.m[op] = s
+	}
+	s.Count++
+	s.Total += d
+}
+
+// KernelSnapshot returns per-operator kernel time, sorted by total time
+// descending.
+func KernelSnapshot() []KernelStat {
+	kernels.mu.Lock()
+	defer kernels.mu.Unlock()
+	out := make([]KernelStat, 0, len(kernels.m))
+	for _, s := range kernels.m {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}

@@ -1,0 +1,188 @@
+// Package parallel provides the shared chunked worker pool the compute
+// kernels run on. The paper's argument (§2) is that once RDMA removes the
+// communication bottleneck, training speed is bounded by operator execution;
+// this pool lets the hot kernels scale with cores while keeping results
+// deterministic: For partitions an index range into fixed chunks and the
+// caller guarantees chunks touch disjoint output ranges (or reduces
+// chunk-local partials in fixed order), so the schedule never affects the
+// result — only the wall clock.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size worker pool executing chunked parallel-for loops.
+// The zero value is not usable; use NewPool or the package Default.
+//
+// For never blocks waiting for a free worker: the calling goroutine always
+// helps execute chunks, so nested For calls and a saturated pool degrade to
+// inline execution instead of deadlocking.
+type Pool struct {
+	workers int
+	tasks   chan *job
+	stop    chan struct{}
+}
+
+type job struct {
+	n, grain, chunks int
+	fn               func(lo, hi int)
+	next             atomic.Int64
+	wg               sync.WaitGroup
+}
+
+// NewPool creates a pool with n worker goroutines (minimum 1). The workers
+// park on an idle channel receive until Close.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{
+		workers: n,
+		tasks:   make(chan *job, n),
+		stop:    make(chan struct{}),
+	}
+	// The caller of For always helps, so n workers would leave one idle;
+	// still spawn n so a blocked caller never strands queued chunks.
+	for i := 0; i < n; i++ {
+		go p.work()
+	}
+	return p
+}
+
+func (p *Pool) work() {
+	for {
+		select {
+		case j := <-p.tasks:
+			j.run()
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Close releases the pool's goroutines. Jobs already dispatched complete
+// (the caller of For executes any chunk no worker picks up). Close is not
+// required for the package Default pool.
+func (p *Pool) Close() { close(p.stop) }
+
+// For executes fn over [0,n) split into chunks of at most grain indices:
+// fn(0,grain), fn(grain,2*grain), ... Chunk boundaries depend only on n and
+// grain — never on the worker count — so kernels that reduce chunk-local
+// partials in chunk order produce bit-identical results on any pool.
+//
+// fn runs concurrently on up to Workers goroutines (including the caller);
+// For returns after every chunk completed. fn must not panic.
+func (p *Pool) For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	if p == nil || p.workers <= 1 {
+		// Same chunk decomposition as the concurrent path, run sequentially:
+		// callers observe identical (lo,hi) splits on every pool size.
+		for lo := 0; lo < n; lo += grain {
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return
+	}
+	j := &job{n: n, grain: grain, chunks: chunks, fn: fn}
+	j.wg.Add(chunks)
+	helpers := p.workers - 1
+	if helpers > chunks-1 {
+		helpers = chunks - 1
+	}
+dispatch:
+	for i := 0; i < helpers; i++ {
+		select {
+		case p.tasks <- j:
+		default:
+			// Pool saturated (e.g. nested For): the caller picks up the
+			// slack below.
+			break dispatch
+		}
+	}
+	j.run()
+	j.wg.Wait()
+}
+
+// run claims and executes chunks until none remain. Safe to call from any
+// number of goroutines; stale dispatches (job already drained) return
+// immediately.
+func (j *job) run() {
+	for {
+		c := int(j.next.Add(1)) - 1
+		if c >= j.chunks {
+			return
+		}
+		lo := c * j.grain
+		hi := lo + j.grain
+		if hi > j.n {
+			hi = j.n
+		}
+		j.fn(lo, hi)
+		j.wg.Done()
+	}
+}
+
+var defaultPool atomic.Pointer[Pool]
+
+// Default returns the shared pool, created on first use with
+// runtime.GOMAXPROCS(0) workers.
+func Default() *Pool {
+	if p := defaultPool.Load(); p != nil {
+		return p
+	}
+	p := NewPool(runtime.GOMAXPROCS(0))
+	if !defaultPool.CompareAndSwap(nil, p) {
+		p.Close()
+	}
+	return defaultPool.Load()
+}
+
+// SetWorkers resizes the shared pool (minimum 1), returning the resulting
+// worker count. In-flight loops on the old pool finish unharmed: their
+// callers execute any chunk the retiring workers dropped.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	for {
+		old := defaultPool.Load()
+		if old != nil && old.workers == n {
+			return n
+		}
+		p := NewPool(n)
+		if defaultPool.CompareAndSwap(old, p) {
+			if old != nil {
+				old.Close()
+			}
+			return p.workers
+		}
+		p.Close()
+	}
+}
+
+// Workers reports the shared pool's current worker count.
+func Workers() int { return Default().Workers() }

@@ -1,0 +1,119 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 7, 64, 1000, 4097} {
+		for _, grain := range []int{1, 3, 64, 5000} {
+			hits := make([]int32, n)
+			p.For(n, grain, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d grain=%d: index %d visited %d times", n, grain, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkBoundariesIndependentOfWorkers(t *testing.T) {
+	// Chunk boundaries must depend only on (n, grain) so chunk-ordered
+	// reductions are bit-identical on any pool size.
+	collect := func(p *Pool) map[[2]int]bool {
+		chunks := make(chan [2]int, 64)
+		p.For(100, 7, func(lo, hi int) { chunks <- [2]int{lo, hi} })
+		close(chunks)
+		m := make(map[[2]int]bool)
+		for c := range chunks {
+			m[c] = true
+		}
+		return m
+	}
+	p1 := NewPool(1)
+	p4 := NewPool(4)
+	defer p1.Close()
+	defer p4.Close()
+	a, b := collect(p1), collect(p4)
+	if len(a) != len(b) {
+		t.Fatalf("chunk count differs: %d vs %d", len(a), len(b))
+	}
+	for c := range a {
+		if !b[c] {
+			t.Fatalf("chunk %v missing at 4 workers", c)
+		}
+	}
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var total atomic.Int64
+	p.For(8, 1, func(lo, hi int) {
+		p.For(16, 4, func(l, h int) {
+			total.Add(int64(h - l))
+		})
+	})
+	if total.Load() != 8*16 {
+		t.Fatalf("nested total = %d, want %d", total.Load(), 8*16)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+	if got := SetWorkers(3); got != 3 {
+		t.Fatalf("SetWorkers(3) = %d", got)
+	}
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	// Resizing mid-flight must not lose chunks.
+	var total atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			Default().For(100, 9, func(lo, hi int) { total.Add(int64(hi - lo)) })
+		}
+	}()
+	SetWorkers(1)
+	SetWorkers(4)
+	<-done
+	if total.Load() != 50*100 {
+		t.Fatalf("total = %d, want %d", total.Load(), 50*100)
+	}
+	if got := SetWorkers(0); got != 1 {
+		t.Fatalf("SetWorkers(0) = %d, want clamp to 1", got)
+	}
+}
+
+func TestNilAndSingleWorkerRunInline(t *testing.T) {
+	var p *Pool
+	var got [][2]int
+	p.For(10, 3, func(lo, hi int) { got = append(got, [2]int{lo, hi}) })
+	want := [][2]int{{0, 3}, {3, 6}, {6, 9}, {9, 10}}
+	if len(got) != len(want) {
+		t.Fatalf("nil pool chunks %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nil pool chunks %v, want %v", got, want)
+		}
+	}
+	if (*Pool)(nil).Workers() != 1 {
+		t.Fatal("nil pool workers != 1")
+	}
+}

@@ -5,9 +5,16 @@ import (
 	"math"
 )
 
+// Matrix kernels. Each exported entry point validates shapes, then runs a
+// row-partitioned micro-kernel either serially or chunked across the shared
+// worker pool (internal/parallel). The serial path and every parallel chunk
+// execute the same per-row code with per-output accumulation in ascending
+// inner-dimension order, so results are bit-identical for any worker count.
+
 // MatMul computes c = a @ b for float32 matrices a:[m,k], b:[k,n], c:[m,n].
-// The destination is fully overwritten. A cache-blocked i-k-j loop order is
-// used so the inner loop is a contiguous axpy.
+// The destination is fully overwritten. Rows of c are computed by a 4-row
+// register-blocked axpy kernel (the inner loop is a contiguous multiply-add
+// over a row of b feeding four output rows).
 func MatMul(c, a, b *Tensor) error {
 	if err := checkMat(a, 2); err != nil {
 		return err
@@ -24,74 +31,217 @@ func MatMul(c, a, b *Tensor) error {
 		return fmt.Errorf("tensor: matmul %v @ %v -> %v: %w", a.shape, b.shape, c.shape, ErrShape)
 	}
 	av, bv, cv := a.Float32s(), b.Float32s(), c.Float32s()
-	for i := range cv {
-		cv[i] = 0
-	}
-	for i := 0; i < m; i++ {
-		arow := av[i*k : (i+1)*k]
-		crow := cv[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			aip := arow[p]
-			if aip == 0 {
-				continue
-			}
-			brow := bv[p*n : (p+1)*n]
-			for j := range crow {
-				crow[j] += aip * brow[j]
-			}
-		}
+	if m*k*n >= minParFMA {
+		pfor(m, rowGrain(m), func(lo, hi int) { matMulRows(cv, av, bv, lo, hi, k, n) })
+	} else {
+		matMulRows(cv, av, bv, 0, m, k, n)
 	}
 	return nil
 }
 
+// matMulRows computes rows [lo,hi) of c = a @ b. Per output element the
+// accumulation order is p = 0..k-1, identical for every (lo,hi) split.
+func matMulRows(cv, av, bv []float32, lo, hi, k, n int) {
+	// One memclr for the whole row range: interleaving small zeroing loops
+	// with the blocked kernel measurably degrades the generated inner loop.
+	clear(cv[lo*n : hi*n])
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		a0 := av[i*k : (i+1)*k]
+		a1 := av[(i+1)*k : (i+2)*k]
+		a2 := av[(i+2)*k : (i+3)*k]
+		a3 := av[(i+3)*k : (i+4)*k]
+		c0 := cv[i*n : (i+1)*n]
+		c1 := cv[(i+1)*n : (i+2)*n]
+		c2 := cv[(i+2)*n : (i+3)*n]
+		c3 := cv[(i+3)*n : (i+4)*n]
+		for p := 0; p < k; p++ {
+			brow := bv[p*n : (p+1)*n]
+			brow = brow[:n:n]
+			u0, u1, u2, u3 := c0[:n:n], c1[:n:n], c2[:n:n], c3[:n:n]
+			x0, x1, x2, x3 := a0[p], a1[p], a2[p], a3[p]
+			for j := range brow {
+				bj := brow[j]
+				u0[j] += x0 * bj
+				u1[j] += x1 * bj
+				u2[j] += x2 * bj
+				u3[j] += x3 * bj
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		arow := av[i*k : (i+1)*k]
+		crow := cv[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			aip := arow[p]
+			brow := bv[p*n : (p+1)*n]
+			brow = brow[:n:n]
+			u := crow[:n:n]
+			for j := range brow {
+				u[j] += aip * brow[j]
+			}
+		}
+	}
+}
+
+// matMulRowsAcc is matMulRows without the initial zeroing: c += a @ b.
+// The im2col convolution gradients accumulate across batch chunks with it.
+func matMulRowsAcc(cv, av, bv []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		arow := av[i*k : (i+1)*k]
+		crow := cv[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			aip := arow[p]
+			brow := bv[p*n : (p+1)*n]
+			brow = brow[:n:n]
+			u := crow[:n:n]
+			for j := range brow {
+				u[j] += aip * brow[j]
+			}
+		}
+	}
+}
+
 // MatMulTransA computes c = aᵀ @ b for a:[k,m], b:[k,n], c:[m,n].
 func MatMulTransA(c, a, b *Tensor) error {
+	if err := checkMat(a, 2); err != nil {
+		return err
+	}
+	if err := checkMat(b, 2); err != nil {
+		return err
+	}
+	if err := checkMat(c, 2); err != nil {
+		return err
+	}
 	k, m := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 || c.shape[0] != m || c.shape[1] != n {
 		return fmt.Errorf("tensor: matmulTA %v @ %v -> %v: %w", a.shape, b.shape, c.shape, ErrShape)
 	}
 	av, bv, cv := a.Float32s(), b.Float32s(), c.Float32s()
-	for i := range cv {
-		cv[i] = 0
-	}
-	for p := 0; p < k; p++ {
-		arow := av[p*m : (p+1)*m]
-		brow := bv[p*n : (p+1)*n]
-		for i := 0; i < m; i++ {
-			api := arow[i]
-			if api == 0 {
-				continue
-			}
-			crow := cv[i*n : (i+1)*n]
-			for j := range crow {
-				crow[j] += api * brow[j]
-			}
-		}
+	if m*k*n >= minParFMA {
+		pfor(m, rowGrain(m), func(lo, hi int) { matMulTARows(cv, av, bv, lo, hi, k, m, n) })
+	} else {
+		matMulTARows(cv, av, bv, 0, m, k, m, n)
 	}
 	return nil
 }
 
+// matMulTARows computes rows [lo,hi) of c = aᵀ @ b for a:[k,am], b:[k,n].
+// Column i of a feeds row i of c; accumulation per output is p = 0..k-1.
+func matMulTARows(cv, av, bv []float32, lo, hi, k, am, n int) {
+	clear(cv[lo*n : hi*n])
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		c0 := cv[i*n : (i+1)*n]
+		c1 := cv[(i+1)*n : (i+2)*n]
+		c2 := cv[(i+2)*n : (i+3)*n]
+		c3 := cv[(i+3)*n : (i+4)*n]
+		for p := 0; p < k; p++ {
+			ap := av[p*am+i : p*am+i+4]
+			brow := bv[p*n : (p+1)*n]
+			brow = brow[:n:n]
+			u0, u1, u2, u3 := c0[:n:n], c1[:n:n], c2[:n:n], c3[:n:n]
+			x0, x1, x2, x3 := ap[0], ap[1], ap[2], ap[3]
+			for j := range brow {
+				bj := brow[j]
+				u0[j] += x0 * bj
+				u1[j] += x1 * bj
+				u2[j] += x2 * bj
+				u3[j] += x3 * bj
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		crow := cv[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			x := av[p*am+i]
+			brow := bv[p*n : (p+1)*n]
+			brow = brow[:n:n]
+			u := crow[:n:n]
+			for j := range brow {
+				u[j] += x * brow[j]
+			}
+		}
+	}
+}
+
+// matMulTAAcc accumulates c += aᵀ @ b over rows [lo,hi) of c (no zeroing);
+// a:[k,am] with k the reduction dimension. Used by the im2col filter
+// gradient, which sums per-chunk partials.
+func matMulTAAcc(cv, av, bv []float32, lo, hi, k, am, n int) {
+	for p := 0; p < k; p++ {
+		arow := av[p*am : (p+1)*am]
+		brow := bv[p*n : (p+1)*n]
+		brow = brow[:n:n]
+		for i := lo; i < hi; i++ {
+			x := arow[i]
+			u := cv[i*n : (i+1)*n]
+			u = u[:n:n]
+			for j := range brow {
+				u[j] += x * brow[j]
+			}
+		}
+	}
+}
+
 // MatMulTransB computes c = a @ bᵀ for a:[m,k], b:[n,k], c:[m,n].
 func MatMulTransB(c, a, b *Tensor) error {
+	if err := checkMat(a, 2); err != nil {
+		return err
+	}
+	if err := checkMat(b, 2); err != nil {
+		return err
+	}
+	if err := checkMat(c, 2); err != nil {
+		return err
+	}
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
 	if k != k2 || c.shape[0] != m || c.shape[1] != n {
 		return fmt.Errorf("tensor: matmulTB %v @ %v -> %v: %w", a.shape, b.shape, c.shape, ErrShape)
 	}
 	av, bv, cv := a.Float32s(), b.Float32s(), c.Float32s()
-	for i := 0; i < m; i++ {
+	if m*k*n >= minParFMA {
+		pfor(m, rowGrain(m), func(lo, hi int) { matMulTBRows(cv, av, bv, lo, hi, k, n) })
+	} else {
+		matMulTBRows(cv, av, bv, 0, m, k, n)
+	}
+	return nil
+}
+
+// matMulTBRows computes rows [lo,hi) of c = a @ bᵀ: each output is a dot
+// product of contiguous rows with a single accumulator over p = 0..k-1.
+func matMulTBRows(cv, av, bv []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
 		arow := av[i*k : (i+1)*k]
-		for j := 0; j < n; j++ {
+		arow = arow[:k:k]
+		crow := cv[i*n : (i+1)*n]
+		j := 0
+		for ; j+2 <= n; j += 2 {
+			b0 := bv[j*k : (j+1)*k]
+			b1 := bv[(j+1)*k : (j+2)*k]
+			b0 = b0[:k:k]
+			b1 = b1[:k:k]
+			var s0, s1 float32
+			for p := range arow {
+				x := arow[p]
+				s0 += x * b0[p]
+				s1 += x * b1[p]
+			}
+			crow[j] = s0
+			crow[j+1] = s1
+		}
+		for ; j < n; j++ {
 			brow := bv[j*k : (j+1)*k]
+			brow = brow[:k:k]
 			var sum float32
 			for p := range arow {
 				sum += arow[p] * brow[p]
 			}
-			cv[i*n+j] = sum
+			crow[j] = sum
 		}
 	}
-	return nil
 }
 
 func checkMat(t *Tensor, rank int) error {
@@ -124,6 +274,14 @@ func zipWith(dst, a, b *Tensor, f func(x, y float32) float32) error {
 		return fmt.Errorf("tensor: elementwise %v, %v -> %v: %w", a.shape, b.shape, dst.shape, ErrShape)
 	}
 	av, bv, dv := a.Float32s(), b.Float32s(), dst.Float32s()
+	if len(dv) >= minParElems {
+		pfor(len(dv), elemGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dv[i] = f(av[i], bv[i])
+			}
+		})
+		return nil
+	}
 	for i := range dv {
 		dv[i] = f(av[i], bv[i])
 	}
@@ -136,6 +294,14 @@ func Axpy(alpha float32, x, y *Tensor) error {
 		return fmt.Errorf("tensor: axpy %v into %v: %w", x.shape, y.shape, ErrShape)
 	}
 	xv, yv := x.Float32s(), y.Float32s()
+	if len(yv) >= minParElems {
+		pfor(len(yv), elemGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				yv[i] += alpha * xv[i]
+			}
+		})
+		return nil
+	}
 	for i := range yv {
 		yv[i] += alpha * xv[i]
 	}
@@ -145,6 +311,14 @@ func Axpy(alpha float32, x, y *Tensor) error {
 // Scale computes t *= alpha in place.
 func Scale(alpha float32, t *Tensor) {
 	v := t.Float32s()
+	if len(v) >= minParElems {
+		pfor(len(v), elemGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v[i] *= alpha
+			}
+		})
+		return
+	}
 	for i := range v {
 		v[i] *= alpha
 	}
@@ -157,30 +331,49 @@ func AddBias(a, b *Tensor) error {
 		return fmt.Errorf("tensor: bias %v onto %v: %w", b.shape, a.shape, ErrShape)
 	}
 	av, bv := a.Float32s(), b.Float32s()
-	for off := 0; off < len(av); off += n {
-		row := av[off : off+n]
-		for j := range row {
-			row[j] += bv[j]
+	rows := len(av) / n
+	addRows := func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := av[r*n : (r+1)*n]
+			for j := range row {
+				row[j] += bv[j]
+			}
 		}
+	}
+	if len(av) >= minParElems && rows > 1 {
+		pfor(rows, rowGrain(rows), addRows)
+	} else {
+		addRows(0, rows)
 	}
 	return nil
 }
 
-// BiasGrad sums gradient rows grad:[m,n] into db:[n], overwriting db.
+// BiasGrad sums gradient rows grad:[m,n] into db:[n], overwriting db. The
+// kernel is column-parallel: each column's sum accumulates over rows in
+// ascending order regardless of how columns are chunked, so results are
+// bit-identical for any worker count.
 func BiasGrad(db, grad *Tensor) error {
 	n := db.NumElements()
 	if grad.shape.Inner() != n {
 		return fmt.Errorf("tensor: biasgrad %v from %v: %w", db.shape, grad.shape, ErrShape)
 	}
 	gv, dv := grad.Float32s(), db.Float32s()
-	for i := range dv {
-		dv[i] = 0
-	}
-	for off := 0; off < len(gv); off += n {
-		row := gv[off : off+n]
-		for j := range row {
-			dv[j] += row[j]
+	sumCols := func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dv[j] = 0
 		}
+		for off := 0; off < len(gv); off += n {
+			row := gv[off+lo : off+hi]
+			out := dv[lo:hi]
+			for j := range row {
+				out[j] += row[j]
+			}
+		}
+	}
+	if len(gv) >= minParElems && n >= 64 {
+		pfor(n, (n+3)/4, sumCols)
+	} else {
+		sumCols(0, n)
 	}
 	return nil
 }
@@ -201,7 +394,8 @@ func ReduceMax(t *Tensor) float32 {
 	return m
 }
 
-// Sum returns the sum of all elements of a float32 tensor.
+// Sum returns the sum of all elements of a float32 tensor. Kept serial: the
+// reduction order is part of the deterministic reference semantics.
 func Sum(t *Tensor) float32 {
 	var s float32
 	for _, x := range t.Float32s() {

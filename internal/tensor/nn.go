@@ -57,6 +57,14 @@ func mapUnary(dst, src *Tensor, f func(float32) float32) error {
 		return fmt.Errorf("tensor: unary map %v -> %v: %w", src.shape, dst.shape, ErrShape)
 	}
 	sv, dv := src.Float32s(), dst.Float32s()
+	if len(dv) >= minParElems {
+		pfor(len(dv), elemGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dv[i] = f(sv[i])
+			}
+		})
+		return nil
+	}
 	for i := range dv {
 		dv[i] = f(sv[i])
 	}
@@ -68,6 +76,14 @@ func zip3(dst, a, b *Tensor, f func(x, y float32) float32) error {
 		return fmt.Errorf("tensor: zip3 %v, %v -> %v: %w", a.shape, b.shape, dst.shape, ErrShape)
 	}
 	av, bv, dv := a.Float32s(), b.Float32s(), dst.Float32s()
+	if len(dv) >= minParElems {
+		pfor(len(dv), elemGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dv[i] = f(av[i], bv[i])
+			}
+		})
+		return nil
+	}
 	for i := range dv {
 		dv[i] = f(av[i], bv[i])
 	}
@@ -82,24 +98,32 @@ func Softmax(dst, logits *Tensor) error {
 	}
 	n := logits.shape.Inner()
 	lv, dv := logits.Float32s(), dst.Float32s()
-	for off := 0; off < len(lv); off += n {
-		row, out := lv[off:off+n], dv[off:off+n]
-		maxv := row[0]
-		for _, x := range row[1:] {
-			if x > maxv {
-				maxv = x
+	rows := len(lv) / n
+	softmaxRows := func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row, out := lv[r*n:(r+1)*n], dv[r*n:(r+1)*n]
+			maxv := row[0]
+			for _, x := range row[1:] {
+				if x > maxv {
+					maxv = x
+				}
+			}
+			var sum float64
+			for j, x := range row {
+				e := math.Exp(float64(x - maxv))
+				out[j] = float32(e)
+				sum += e
+			}
+			inv := float32(1 / sum)
+			for j := range out {
+				out[j] *= inv
 			}
 		}
-		var sum float64
-		for j, x := range row {
-			e := math.Exp(float64(x - maxv))
-			out[j] = float32(e)
-			sum += e
-		}
-		inv := float32(1 / sum)
-		for j := range out {
-			out[j] *= inv
-		}
+	}
+	if len(lv) >= minParElems && rows > 1 {
+		pfor(rows, rowGrain(rows), softmaxRows)
+	} else {
+		softmaxRows(0, rows)
 	}
 	return nil
 }
@@ -143,12 +167,19 @@ func SoftmaxCrossEntropyGrad(dlogits, probs, labels *Tensor) error {
 	m, n := probs.shape.Outer(), probs.shape.Inner()
 	pv, dv, lab := probs.Float32s(), dlogits.Float32s(), labels.Int32s()
 	inv := float32(1) / float32(m)
-	for i := 0; i < m; i++ {
-		row, out := pv[i*n:(i+1)*n], dv[i*n:(i+1)*n]
-		for j := range out {
-			out[j] = row[j] * inv
+	gradRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row, out := pv[i*n:(i+1)*n], dv[i*n:(i+1)*n]
+			for j := range out {
+				out[j] = row[j] * inv
+			}
+			out[lab[i]] -= inv
 		}
-		out[lab[i]] -= inv
+	}
+	if m*n >= minParElems && m > 1 {
+		pfor(m, rowGrain(m), gradRows)
+	} else {
+		gradRows(0, m)
 	}
 	return nil
 }

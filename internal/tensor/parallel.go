@@ -1,0 +1,48 @@
+package tensor
+
+import "repro/internal/parallel"
+
+// Parallel dispatch thresholds. Kernels stay serial below these so small
+// tensors never pay chunk-dispatch overhead; above them they run on the
+// shared internal/parallel pool.
+//
+// Determinism contract (DESIGN.md §9): parallelism never changes results.
+// Elementwise and row-partitioned kernels write disjoint ranges with the
+// same per-element code as the serial path; reduction kernels (Conv2DGrad's
+// filter gradient) accumulate into chunk-local partials whose boundaries
+// depend only on the shape, then reduce in fixed chunk order. Outputs are
+// bit-identical for every worker count.
+const (
+	// minParElems gates elementwise kernels (zipWith, mapUnary, Axpy, ...).
+	minParElems = 1 << 15
+	// elemGrain is the elementwise chunk size in elements.
+	elemGrain = 1 << 14
+	// minParFMA gates the matmul family by fused-multiply count (m*k*n).
+	minParFMA = 1 << 17
+	// im2colMinWork switches Conv2D to the im2col + blocked-matmul fast
+	// path when per-sample fused-multiply count (oh*ow*co*kh*kw*ci)
+	// reaches it; tiny shapes keep the direct loop.
+	im2colMinWork = 1 << 12
+	// convChunkSamples is the fixed batch-chunk size for the filter
+	// gradient's chunk-local accumulators. It must never depend on the
+	// worker count: chunk boundaries define the reduction order.
+	convChunkSamples = 4
+)
+
+// pfor runs fn over [0,n) in chunks of grain on the shared pool.
+func pfor(n, grain int, fn func(lo, hi int)) {
+	parallel.Default().For(n, grain, fn)
+}
+
+// rowGrain picks a row-chunk size that spreads m rows over the pool with a
+// few chunks per worker for load balance. Row-partitioned kernels write
+// disjoint rows, so (unlike reduction chunks) this may depend on the
+// worker count without affecting results.
+func rowGrain(m int) int {
+	w := parallel.Workers()
+	g := m / (4 * w)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

@@ -97,6 +97,13 @@ func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
 	return &Tensor{dtype: t.dtype, shape: s.Clone(), data: t.data}, nil
 }
 
+// SharesStorage reports whether t and o are views of the same backing
+// buffer (e.g. one is a Reshape of the other). Views in this codebase always
+// cover the full buffer, so comparing the first byte's address suffices.
+func (t *Tensor) SharesStorage(o *Tensor) bool {
+	return len(t.data) > 0 && len(o.data) > 0 && &t.data[0] == &o.data[0]
+}
+
 // Zero clears the payload.
 func (t *Tensor) Zero() {
 	for i := range t.data {

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Kernel microbenchmarks -> BENCH_kernels.json.
+#
+# Runs the tensor kernel benchmarks (seed kernel vs new serial vs new
+# parallel) and the exec train-step benchmark (recycle on/off, -benchmem),
+# then derives headline speedup/alloc ratios. num_cpu is recorded because
+# the parallel numbers are only meaningful relative to the cores available:
+# on a 1-CPU box parallel==serial and all speedup comes from cache blocking
+# and im2col.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_kernels.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== kernel benchmarks (benchtime=$BENCHTIME) ==" >&2
+go test -run='^$' -bench='^(BenchmarkMatMul|BenchmarkConv2D|BenchmarkConv2DGrad|BenchmarkSoftmax)$' \
+    -benchtime="$BENCHTIME" ./internal/tensor/ | tee "$TMP/tensor.txt" >&2
+echo "== train-step benchmark ==" >&2
+go test -run='^$' -bench='^BenchmarkTrainStep$' -benchtime="$BENCHTIME" -benchmem \
+    ./internal/exec/ | tee "$TMP/exec.txt" >&2
+
+cat "$TMP/tensor.txt" "$TMP/exec.txt" | awk -v num_cpu="$(nproc)" -v go_ver="$(go env GOVERSION)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    ns[name] = $3
+    order[++n] = name
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "allocs/op") allocs[name] = $i
+        if ($(i+1) == "B/op")      bytes[name]  = $i
+    }
+}
+function ratio(a, b) { return (ns[a] > 0 && ns[b] > 0) ? sprintf("%.2f", ns[a] / ns[b]) : "null" }
+END {
+    printf "{\n  \"num_cpu\": %d,\n  \"go\": \"%s\",\n", num_cpu, go_ver
+    printf "  \"note\": \"speedup_* = ns/op ratio vs this PR%s parallel kernels; on a 1-CPU machine parallel==serial and gains come from cache blocking + im2col\",\n", "\x27s"
+    printf "  \"speedups\": {\n"
+    printf "    \"matmul_512_parallel_vs_seed\": %s,\n",   ratio("MatMul/512x512x512/seed",   "MatMul/512x512x512/parallel")
+    printf "    \"matmul_512_parallel_vs_serial\": %s,\n", ratio("MatMul/512x512x512/serial", "MatMul/512x512x512/parallel")
+    printf "    \"matmul_128_parallel_vs_seed\": %s,\n",   ratio("MatMul/128x128x128/seed",   "MatMul/128x128x128/parallel")
+    printf "    \"conv_lenet_c1_parallel_vs_seed\": %s,\n", ratio("Conv2D/lenet-c1/seed", "Conv2D/lenet-c1/parallel")
+    printf "    \"conv_lenet_c3_parallel_vs_seed\": %s,\n", ratio("Conv2D/lenet-c3/seed", "Conv2D/lenet-c3/parallel")
+    printf "    \"convgrad_lenet_c3_parallel_vs_serial\": %s\n", ratio("Conv2DGrad/lenet-c3/serial", "Conv2DGrad/lenet-c3/parallel")
+    printf "  },\n"
+    r = "TrainStep/recycle=true"; nr = "TrainStep/recycle=false"
+    if (allocs[r] != "" && allocs[nr] != "") {
+        printf "  \"train_step\": {\n"
+        printf "    \"allocs_per_op_recycle\": %s,\n", allocs[r]
+        printf "    \"allocs_per_op_norecycle\": %s,\n", allocs[nr]
+        printf "    \"bytes_per_op_recycle\": %s,\n", bytes[r]
+        printf "    \"bytes_per_op_norecycle\": %s,\n", bytes[nr]
+        printf "    \"bytes_saved_pct\": %.1f\n", 100 * (1 - bytes[r] / bytes[nr])
+        printf "  },\n"
+    }
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns[name]
+        if (allocs[name] != "") printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bytes[name], allocs[name]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' > "$OUT"
+
+echo "wrote $OUT" >&2

@@ -14,6 +14,12 @@ go vet ./...
 echo "== go test -race =="
 go test -race ./...
 
+# The compute kernels promise bit-identical results at every pool size; run
+# the packages that exercise that contract under the race detector at both
+# one and four scheduler threads.
+echo "== go test -race -cpu=1,4 (kernel parallelism) =="
+go test -race -cpu=1,4 ./internal/parallel/ ./internal/tensor/ ./internal/exec/
+
 # Fuzz smoke: each target gets a short budget. The engine accepts one
 # -fuzz pattern per invocation, so loop explicitly.
 FUZZTIME="${FUZZTIME:-5s}"
