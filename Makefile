@@ -16,6 +16,7 @@ verify:
 fuzz:
 	FUZZTIME=$${FUZZTIME:-30s} ./scripts/verify.sh
 
-# Kernel + train-step microbenchmarks -> BENCH_kernels.json.
+# Kernel + train-step microbenchmarks -> BENCH_kernels.json;
+# striping/coalescing transfer benchmarks -> BENCH_transfer.json.
 bench:
 	./scripts/bench.sh

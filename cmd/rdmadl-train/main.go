@@ -7,6 +7,7 @@
 //
 //	rdmadl-train [-mechanism rdma|rdma-copy|grpc-rdma|grpc-tcp]
 //	             [-workers N] [-ps N] [-iters N] [-batch N]
+//	             [-stripes N] [-coalesce BYTES]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/distributed"
 	"repro/internal/metrics"
+	"repro/internal/rdma"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -48,6 +50,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a chrome://tracing timeline JSON to this file")
 	dropRate := flag.Float64("drop-rate", 0, "chaos: fraction of RDMA transfers to drop (retried transparently; no-op for mechanisms that bypass the emulated fabric)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: schedule seed (reproducible fault stream)")
+	stripes := flag.Int("stripes", 1, "stripe large tensor transfers across up to N QP lanes per peer (1 = single lane)")
+	coalesce := flag.Int("coalesce", 0, "batch static tensors smaller than N bytes into one coalesced write per peer pair (0 = off)")
 	flag.Parse()
 
 	kind, err := parseKind(*mech)
@@ -59,15 +63,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rdmadl-train: -drop-rate %v outside [0, 1)\n", *dropRate)
 		os.Exit(2)
 	}
+	if *stripes < 1 {
+		fmt.Fprintf(os.Stderr, "rdmadl-train: -stripes %d below 1\n", *stripes)
+		os.Exit(2)
+	}
 	if err := run(kind, *workers, *psCount, *iters, *batch, *kernelWorkers, *optimizer, *dot, *tracePath,
-		*dropRate, *chaosSeed); err != nil {
+		*dropRate, *chaosSeed, *stripes, *coalesce); err != nil {
 		fmt.Fprintf(os.Stderr, "rdmadl-train: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(kind distributed.Kind, workers, psCount, iters, batch, kernelWorkers int, optimizer, dotPath, tracePath string,
-	dropRate float64, chaosSeed int64) error {
+	dropRate float64, chaosSeed int64, stripes, coalesce int) error {
 	var rec *trace.Recorder
 	if tracePath != "" {
 		rec = trace.NewRecorder(0)
@@ -86,6 +94,10 @@ func run(kind distributed.Kind, workers, psCount, iters, batch, kernelWorkers in
 		KernelWorkers: kernelWorkers,
 		RingCfg:       transport.RingConfig{Slots: 32, SlotSize: 64 << 10},
 		Trace:         rec,
+		Transfer: rdma.TransferOpts{
+			Stripes:           stripes,
+			CoalesceThreshold: coalesce,
+		},
 	})
 	if err != nil {
 		return err
@@ -123,7 +135,8 @@ func run(kind distributed.Kind, workers, psCount, iters, batch, kernelWorkers in
 		}
 		fmt.Printf("wrote partitioned graph to %s\n", dotPath)
 	}
-	fmt.Printf("mechanism=%s workers=%d ps=%d batch=%d optimizer=%s\n", kind, workers, psCount, batch, optimizer)
+	fmt.Printf("mechanism=%s workers=%d ps=%d batch=%d optimizer=%s stripes=%d coalesce=%dB\n",
+		kind, workers, psCount, batch, optimizer, stripes, coalesce)
 	fmt.Print(cl.Result().Summary())
 	for iter := 0; iter < iters; iter++ {
 		out, err := cl.Step(iter, feeds, fetches)
@@ -156,9 +169,10 @@ func run(kind distributed.Kind, workers, psCount, iters, batch, kernelWorkers in
 
 	fmt.Println("\nper-task communication counters:")
 	for task, m := range cl.MetricsSnapshot() {
-		fmt.Printf("  %-9s sent=%8dB msgs=%4d memcopies=%4d copied=%8dB serialized=%8dB zerocopy=%4d retries=%4d timeouts=%2d\n",
+		fmt.Printf("  %-9s sent=%8dB msgs=%4d memcopies=%4d copied=%8dB serialized=%8dB zerocopy=%4d retries=%4d timeouts=%2d striped=%4d segs=%4d lanes=%2d coalesced=%4d/%d\n",
 			task, m.BytesSent, m.Messages, m.MemCopies, m.CopiedBytes, m.SerializedBytes, m.ZeroCopyOps,
-			m.Retries, m.Timeouts)
+			m.Retries, m.Timeouts, m.StripedTransfers, m.StripeSegments, m.ActiveLanes(),
+			m.CoalescedMessages, m.CoalesceFlushes)
 	}
 	if inj != nil {
 		c := inj.Counters()

@@ -16,6 +16,7 @@ import (
 	"repro/internal/tensor"
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // Config parameterizes a cluster launch.
@@ -98,6 +99,7 @@ type Cluster struct {
 const (
 	edgeDescMethod    = "edge.desc"
 	edgeScratchMethod = "edge.scratch"
+	edgeCoalAckMethod = "edge.coalack"
 	rpcTimeout        = 10 * time.Second
 )
 
@@ -107,7 +109,7 @@ const (
 // with InitVariable before the first Step.
 func Launch(b *graph.Builder, cfg Config) (*Cluster, error) {
 	cfg.setDefaults()
-	factory := commFactory(cfg.Kind)
+	factory := commFactory(cfg.Kind, cfg.Transfer.CoalesceThreshold)
 	res, err := analyzer.Partition(b, factory, analyzer.WithPostHook(orderSendsBeforeUpdates))
 	if err != nil {
 		return nil, err
@@ -206,6 +208,24 @@ func (c *Cluster) newServer(task string) (*Server, error) {
 		st.mu.Unlock()
 		return nil, nil
 	})
+	dev.RegisterRPC(edgeCoalAckMethod, func(from string, req []byte) ([]byte, error) {
+		key, desc, err := splitKeyPayload(req)
+		if err != nil {
+			return nil, err
+		}
+		ack, err := rdma.UnmarshalDynSlotDesc(desc)
+		if err != nil {
+			return nil, err
+		}
+		g, err := srv.Env.coalRecvGroup(key)
+		if err != nil {
+			return nil, err
+		}
+		g.mu.Lock()
+		g.senderAck, g.haveAck = ack, true
+		g.mu.Unlock()
+		return nil, nil
+	})
 	return srv, nil
 }
 
@@ -232,10 +252,13 @@ func orderSendsBeforeUpdates(b *graph.Builder, edges []analyzer.EdgeSpec, sends 
 	return b.Err()
 }
 
-func commFactory(kind Kind) analyzer.CommFactory {
+func commFactory(kind Kind, coalesceThreshold int) analyzer.CommFactory {
 	return func(spec analyzer.EdgeSpec) (graph.Op, graph.Op, error) {
 		if kind.UsesRPC() {
 			return &rpcSendOp{spec: spec}, &rpcRecvOp{spec: spec}, nil
+		}
+		if coalescible(spec, coalesceThreshold) {
+			return &coalescedSendOp{spec: spec}, &coalescedRecvOp{spec: spec}, nil
 		}
 		if spec.Sig.Static {
 			return &rdmaSendOp{spec: spec}, &rdmaRecvOp{spec: spec}, nil
@@ -244,13 +267,56 @@ func commFactory(kind Kind) analyzer.CommFactory {
 	}
 }
 
+// coalescible reports whether an edge rides the coalesced batch path: a
+// statically placed tensor below the configured threshold. The predicate is
+// shared by the operator factory and setupRDMAEdges so op kinds and edge
+// state never disagree.
+func coalescible(spec analyzer.EdgeSpec, threshold int) bool {
+	return threshold > 0 && spec.Sig.Static && spec.Sig.ByteSize() < threshold
+}
+
+// coalPlan is the deterministic batch layout for one (src, dst) task pair:
+// sub-message ids are assigned by the edge's position in res.Edges, so both
+// setup phases — and every server — derive identical layouts independently.
+type coalPlan struct {
+	key              string
+	srcTask, dstTask string
+	members          []analyzer.EdgeSpec // index == sub-message id
+	capacity         int                 // batch framing bytes for a full batch
+}
+
+func coalPlans(res *analyzer.Result, threshold int) []*coalPlan {
+	var plans []*coalPlan
+	byPair := make(map[string]*coalPlan)
+	for _, e := range res.Edges {
+		if !coalescible(e, threshold) {
+			continue
+		}
+		key := "coalesce/" + e.SrcTask + "->" + e.DstTask
+		p, ok := byPair[key]
+		if !ok {
+			p = &coalPlan{key: key, srcTask: e.SrcTask, dstTask: e.DstTask,
+				capacity: wire.BatchHeaderSize}
+			byPair[key] = p
+			plans = append(plans, p)
+		}
+		p.members = append(p.members, e)
+		p.capacity += wire.SubMsgSize(e.Sig.ByteSize())
+	}
+	return plans
+}
+
 // setupRDMAEdges performs the two setup phases: receivers preallocate slots
 // and publish descriptors; senders fetch descriptors, build their staging
 // or scratch state, and (for dynamic edges) push their scratch descriptor
 // back for the ack path.
 func (c *Cluster) setupRDMAEdges(res *analyzer.Result) error {
+	plans := coalPlans(res, c.cfg.Transfer.CoalesceThreshold)
 	// Phase A: receiver-side preallocation.
 	for _, e := range res.Edges {
+		if coalescible(e, c.cfg.Transfer.CoalesceThreshold) {
+			continue // handled per pair below
+		}
 		dst := c.servers[e.DstTask]
 		if e.Sig.Static {
 			payload := e.Sig.ByteSize()
@@ -279,14 +345,52 @@ func (c *Cluster) setupRDMAEdges(res *analyzer.Result) error {
 			if err != nil {
 				return fmt.Errorf("edge %s: %w", e.Key, err)
 			}
+			// Striping: the dyn fetch is receiver-driven, so the extra QP
+			// lanes live on the receiver.
+			for i := 1; i < c.stripeLanes(); i++ {
+				lane, err := dst.Dev.GetChannel(e.SrcTask, dst.nextQP(e.SrcTask, c.cfg.QPsPerPeer))
+				if err != nil {
+					return fmt.Errorf("edge %s lane %d: %w", e.Key, i, err)
+				}
+				if err := recv.AddLane(lane); err != nil {
+					return fmt.Errorf("edge %s lane %d: %w", e.Key, i, err)
+				}
+			}
 			dst.Env.mu.Lock()
 			dst.Env.dynRecv[e.Key] = &dynRecvState{spec: e, recv: recv}
 			dst.Env.mu.Unlock()
 			dst.putDesc(e.Key, recv.Desc().Marshal())
 		}
 	}
+	// Phase A': coalesced batch slots, one per (src, dst) pair.
+	for _, p := range plans {
+		dst := c.servers[p.dstTask]
+		mr, err := dst.Dev.AllocateMemRegion(rdma.StaticSlotSize(p.capacity))
+		if err != nil {
+			return fmt.Errorf("coalesce group %s: %w", p.key, err)
+		}
+		ch, err := dst.Dev.GetChannel(p.srcTask, dst.nextQP(p.srcTask, c.cfg.QPsPerPeer))
+		if err != nil {
+			return fmt.Errorf("coalesce group %s: %w", p.key, err)
+		}
+		recv, err := rdma.NewCoalescedReceiver(ch, mr, 0, p.capacity)
+		if err != nil {
+			return fmt.Errorf("coalesce group %s: %w", p.key, err)
+		}
+		g := &coalRecvGroup{key: p.key, recv: recv, pending: make(map[uint32][]byte)}
+		dst.Env.mu.Lock()
+		dst.Env.coalRecvGroups[p.key] = g
+		for id, e := range p.members {
+			dst.Env.coalRecvEdges[e.Key] = &coalRecvEdge{spec: e, group: g, id: uint32(id)}
+		}
+		dst.Env.mu.Unlock()
+		dst.putDesc(p.key, recv.Desc().Marshal())
+	}
 	// Phase B: sender-side setup via address distribution.
 	for _, e := range res.Edges {
+		if coalescible(e, c.cfg.Transfer.CoalesceThreshold) {
+			continue
+		}
 		src := c.servers[e.SrcTask]
 		ch, err := src.Dev.GetChannel(e.DstTask, src.nextQP(e.DstTask, c.cfg.QPsPerPeer))
 		if err != nil {
@@ -311,6 +415,16 @@ func (c *Cluster) setupRDMAEdges(res *analyzer.Result) error {
 			sender, err := rdma.NewStaticSender(ch, slot.mr, 0, desc)
 			if err != nil {
 				return fmt.Errorf("edge %s: %w", e.Key, err)
+			}
+			// Striping: extra sender-side QP lanes for the write path.
+			for i := 1; i < c.stripeLanes(); i++ {
+				lane, err := src.Dev.GetChannel(e.DstTask, src.nextQP(e.DstTask, c.cfg.QPsPerPeer))
+				if err != nil {
+					return fmt.Errorf("edge %s lane %d: %w", e.Key, i, err)
+				}
+				if err := sender.AddLane(lane); err != nil {
+					return fmt.Errorf("edge %s lane %d: %w", e.Key, i, err)
+				}
 			}
 			src.Env.mu.Lock()
 			src.Env.staticSend[e.Key] = &staticSendState{spec: e, slot: slot, sender: sender}
@@ -343,7 +457,56 @@ func (c *Cluster) setupRDMAEdges(res *analyzer.Result) error {
 			}
 		}
 	}
+	// Phase B': coalesced batch senders, plus ack-word distribution back to
+	// the receiver group.
+	for _, p := range plans {
+		src := c.servers[p.srcTask]
+		ch, err := src.Dev.GetChannel(p.dstTask, src.nextQP(p.dstTask, c.cfg.QPsPerPeer))
+		if err != nil {
+			return fmt.Errorf("coalesce group %s: %w", p.key, err)
+		}
+		descBytes, err := ch.CallRetry(edgeDescMethod, []byte(p.key),
+			rdma.TransferOpts{Deadline: rpcTimeout})
+		if err != nil {
+			return fmt.Errorf("coalesce group %s: %w", p.key, err)
+		}
+		desc, err := rdma.UnmarshalCoalescedSlotDesc(descBytes)
+		if err != nil {
+			return fmt.Errorf("coalesce group %s: %w", p.key, err)
+		}
+		mr, err := src.Dev.AllocateMemRegion(rdma.StaticSlotSize(desc.Capacity) + rdma.FlagWordSize)
+		if err != nil {
+			return fmt.Errorf("coalesce group %s: %w", p.key, err)
+		}
+		sender, err := rdma.NewCoalescedSender(ch, mr, 0, desc)
+		if err != nil {
+			return fmt.Errorf("coalesce group %s: %w", p.key, err)
+		}
+		g := &coalSendGroup{key: p.key, sender: sender, members: len(p.members)}
+		src.Env.mu.Lock()
+		src.Env.coalSendGroups[p.key] = g
+		for id, e := range p.members {
+			src.Env.coalSendEdges[e.Key] = &coalSendEdge{spec: e, group: g, id: uint32(id)}
+		}
+		src.Env.mu.Unlock()
+		req := joinKeyPayload(p.key, sender.AckDesc().Marshal())
+		// Idempotent: the handler overwrites the ack descriptor in place.
+		if _, err := ch.CallRetry(edgeCoalAckMethod, req,
+			rdma.TransferOpts{Deadline: rpcTimeout}); err != nil {
+			return fmt.Errorf("coalesce group %s ack distribution: %w", p.key, err)
+		}
+	}
 	return nil
+}
+
+// stripeLanes is how many QP lanes each striped transfer edge gets
+// (clamped the same way the transfer layer clamps TransferOpts.Stripes).
+func (c *Cluster) stripeLanes() int {
+	s := c.cfg.Transfer.Stripes
+	if s > rdma.MaxStripes {
+		s = rdma.MaxStripes
+	}
+	return s
 }
 
 // stagingFor returns (or creates) the shared sender staging slot for a

@@ -46,6 +46,13 @@ type Env struct {
 	stagings   map[string]*stagingSlot // by source node name
 	rpcClients map[string]*rpc.Client  // by destination task
 	mailboxes  map[string]*mailbox     // by edge key
+
+	// Small-message coalescing: per-peer batch groups plus the per-edge
+	// membership records the send/recv kernels look up.
+	coalSendGroups map[string]*coalSendGroup // by pair key
+	coalRecvGroups map[string]*coalRecvGroup // by pair key
+	coalSendEdges  map[string]*coalSendEdge  // by edge key
+	coalRecvEdges  map[string]*coalRecvEdge  // by edge key
 }
 
 func newEnv(task string, kind Kind, pol *analyzer.TracingPolicy, m *metrics.Comm,
@@ -60,7 +67,57 @@ func newEnv(task string, kind Kind, pol *analyzer.TracingPolicy, m *metrics.Comm
 		stagings:   make(map[string]*stagingSlot),
 		rpcClients: make(map[string]*rpc.Client),
 		mailboxes:  make(map[string]*mailbox),
+
+		coalSendGroups: make(map[string]*coalSendGroup),
+		coalRecvGroups: make(map[string]*coalRecvGroup),
+		coalSendEdges:  make(map[string]*coalSendEdge),
+		coalRecvEdges:  make(map[string]*coalRecvEdge),
 	}
+}
+
+// coalSendGroup is the sender side of one peer pair's coalesced batch: all
+// below-threshold static edges to that peer stage into one slot, and the
+// last stager of an iteration flushes the batch. The mutex is held across
+// the blocking flush so the next iteration's stagers cannot touch the batch
+// buffer while the write is in flight.
+type coalSendGroup struct {
+	key     string
+	sender  *rdma.CoalescedSender
+	members int // sub-messages per full batch
+
+	mu      sync.Mutex
+	iter    int // iteration the staged batch belongs to
+	staged  int
+	waiters []func(error)
+}
+
+// coalRecvGroup is the receiver side: one batch slot whose arrival satisfies
+// every member edge's recv kernel. Arrived payloads are copied out of the
+// slot under the lock, the slot is consumed immediately, and the reuse ack
+// is posted once per batch.
+type coalRecvGroup struct {
+	key  string
+	recv *rdma.CoalescedReceiver
+
+	mu        sync.Mutex
+	senderAck rdma.DynSlotDesc // pushed by the sender during setup
+	haveAck   bool
+	iter      int               // iteration the pending payloads belong to
+	pending   map[uint32][]byte // arrived sub-messages awaiting their kernels
+	ackErr    error             // a failed reuse ack poisons the group
+}
+
+// coalSendEdge / coalRecvEdge bind one graph edge to its group slot.
+type coalSendEdge struct {
+	spec  analyzer.EdgeSpec
+	group *coalSendGroup
+	id    uint32
+}
+
+type coalRecvEdge struct {
+	spec  analyzer.EdgeSpec
+	group *coalRecvGroup
+	id    uint32
 }
 
 // stagingSlot is a sender-side registered buffer shaped like one tensor
@@ -175,11 +232,12 @@ func (mb *mailbox) takeStash() (mailboxItem, bool) {
 	return item, ok
 }
 
-// xferOpts returns the server's transfer bounds with the retry counter wired
-// into the metrics sink.
+// xferOpts returns the server's transfer bounds with the retry and per-lane
+// stripe counters wired into the metrics sink.
 func (e *Env) xferOpts() rdma.TransferOpts {
 	o := e.Xfer
 	o.OnRetry = func(error) { e.Metrics.AddRetry() }
+	o.OnStripe = func(lane, n int) { e.Metrics.AddStripe(lane, n) }
 	return o
 }
 
@@ -235,6 +293,36 @@ func (e *Env) dynRecvState(key string) (*dynRecvState, error) {
 		return nil, fmt.Errorf("%w: dynamic recv edge %q not set up on %s", ErrComm, key, e.Task)
 	}
 	return st, nil
+}
+
+func (e *Env) coalSendEdge(key string) (*coalSendEdge, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m, ok := e.coalSendEdges[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: coalesced send edge %q not set up on %s", ErrComm, key, e.Task)
+	}
+	return m, nil
+}
+
+func (e *Env) coalRecvEdge(key string) (*coalRecvEdge, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m, ok := e.coalRecvEdges[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: coalesced recv edge %q not set up on %s", ErrComm, key, e.Task)
+	}
+	return m, nil
+}
+
+func (e *Env) coalRecvGroup(key string) (*coalRecvGroup, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g, ok := e.coalRecvGroups[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: coalesce group %q not set up on %s", ErrComm, key, e.Task)
+	}
+	return g, nil
 }
 
 func (e *Env) client(task string) (*rpc.Client, error) {

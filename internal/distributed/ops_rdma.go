@@ -74,6 +74,9 @@ func (op *rdmaSendOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 		}
 	}
 	env.Metrics.AddSent(rdma.StaticSlotSize(op.spec.Sig.ByteSize()))
+	if rdma.EffectiveStripes(op.spec.Sig.ByteSize(), env.Xfer.Stripes) > 1 {
+		env.Metrics.AddStripedTransfer()
+	}
 	ctx.Output = in
 	// SendRetry blocks through transient fabric faults (bounded by the Env's
 	// transfer opts), so it runs on its own goroutine: the scheduler worker
@@ -285,6 +288,9 @@ func (op *rdmaRecvDynOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 		return
 	}
 	env.Metrics.AddRecv(int(meta.PayloadSize))
+	if rdma.EffectiveStripes(int(meta.PayloadSize), env.Xfer.Stripes) > 1 {
+		env.Metrics.AddStripedTransfer()
+	}
 	st.mu.Lock()
 	scratch := st.senderScratch
 	st.mu.Unlock()

@@ -1,0 +1,185 @@
+package distributed
+
+import (
+	"fmt"
+
+	"repro/internal/analyzer"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// Coalesced-path operator kernels: statically placed tensors below the
+// coalesce threshold share one batch slot per (src, dst) task pair instead
+// of paying a full slot write and reuse round-trip each. Every member edge
+// stages its payload into the pair's batch (length-prefixed sub-message
+// framing, see wire.BatchWriter); the iteration's last stager flushes the
+// whole batch as one flagged write and completes all members.
+
+// --- CoalescedSend ---
+
+type coalescedSendOp struct{ spec analyzer.EdgeSpec }
+
+func (op *coalescedSendOp) Name() string { return "CoalescedSend" }
+
+func (op *coalescedSendOp) InferSig(in []graph.Sig) (graph.Sig, error) {
+	if err := wantEdgeInput("CoalescedSend", in, 1); err != nil {
+		return graph.Sig{}, err
+	}
+	return in[0], nil
+}
+
+func (op *coalescedSendOp) ComputeAsync(ctx *graph.Context, done func(error)) {
+	env, err := commEnv(ctx)
+	if err != nil {
+		done(err)
+		return
+	}
+	m, err := env.coalSendEdge(op.spec.Key)
+	if err != nil {
+		done(err)
+		return
+	}
+	in := ctx.Inputs[0]
+	if in.ByteSize() != op.spec.Sig.ByteSize() {
+		done(fmt.Errorf("%w: edge %s payload %dB, batch member %dB", ErrComm, op.spec.Key,
+			in.ByteSize(), op.spec.Sig.ByteSize()))
+		return
+	}
+	ctx.Output = in
+	env.Metrics.AddSent(wire.SubMsgSize(in.ByteSize()))
+	env.Metrics.AddCopy(in.ByteSize()) // staging into the batch is a copy
+	g := m.group
+	// Staging and the flush run off the scheduler worker: the group lock is
+	// held across the blocking flush, so an earlier iteration's in-flight
+	// batch write blocks the next iteration's stagers instead of racing them.
+	go func() {
+		g.mu.Lock()
+		if g.staged == 0 || g.iter != ctx.Iter {
+			// New batch — or leftovers from a step that failed mid-staging.
+			// Stale waiters belong to an aborted run; fail them rather than
+			// let them count against this iteration's member tally.
+			for _, w := range g.waiters {
+				w(fmt.Errorf("%w: coalesce group %s batch abandoned by a failed step", ErrComm, g.key))
+			}
+			g.waiters, g.staged = nil, 0
+			g.iter = ctx.Iter
+			g.sender.Reset()
+		}
+		if err := g.sender.Stage(m.id, in.Bytes()); err != nil {
+			g.mu.Unlock()
+			done(env.edgeErr(op.spec.Key, err))
+			return
+		}
+		g.staged++
+		g.waiters = append(g.waiters, done)
+		if g.staged < g.members {
+			g.mu.Unlock()
+			return
+		}
+		// Last member of the iteration: ship the batch and complete everyone.
+		err := g.sender.FlushRetry(env.xferOpts())
+		waiters := g.waiters
+		g.waiters, g.staged = nil, 0
+		g.mu.Unlock()
+		if err == nil {
+			env.Metrics.AddCoalesced(len(waiters))
+		}
+		for _, w := range waiters {
+			w(env.edgeErr(g.key, err))
+		}
+	}()
+}
+
+// --- CoalescedRecv (polling-async) ---
+
+type coalescedRecvOp struct{ spec analyzer.EdgeSpec }
+
+func (op *coalescedRecvOp) Name() string { return "CoalescedRecv" }
+
+func (op *coalescedRecvOp) InferSig(in []graph.Sig) (graph.Sig, error) {
+	if err := wantEdgeInput("CoalescedRecv", in, 0); err != nil {
+		return graph.Sig{}, err
+	}
+	return op.spec.Sig, nil
+}
+
+func (op *coalescedRecvOp) Poll(ctx *graph.Context) (bool, error) {
+	env, err := commEnv(ctx)
+	if err != nil {
+		return false, err
+	}
+	m, err := env.coalRecvEdge(op.spec.Key)
+	if err != nil {
+		return false, err
+	}
+	g := m.group
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ackErr != nil {
+		return false, env.edgeErr(g.key, g.ackErr)
+	}
+	if g.iter != ctx.Iter {
+		// Payloads left over from a step that failed before every member
+		// consumed its sub-message: that batch was already acked, so drop it.
+		clear(g.pending)
+		g.iter = ctx.Iter
+	}
+	if _, ok := g.pending[m.id]; ok {
+		return true, nil
+	}
+	if !g.recv.Poll() {
+		return false, nil
+	}
+	// A batch landed: copy every sub-message out of the slot (the decoded
+	// payloads alias it), release the slot, and ack the sender once so it can
+	// flush the next batch while these payloads are consumed.
+	msgs, err := g.recv.Messages()
+	if err != nil {
+		return false, env.edgeErr(g.key, err)
+	}
+	for _, sub := range msgs {
+		g.pending[sub.ID] = append([]byte(nil), sub.Payload...)
+	}
+	g.recv.Consume()
+	if !g.haveAck {
+		return false, fmt.Errorf("%w: coalesce group %s has no sender ack descriptor", ErrComm, g.key)
+	}
+	ack := g.senderAck
+	go func() {
+		if err := g.recv.AckRetry(ack, env.xferOpts()); err != nil {
+			g.mu.Lock()
+			g.ackErr = err
+			g.mu.Unlock()
+		}
+	}()
+	_, ok := g.pending[m.id]
+	return ok, nil
+}
+
+func (op *coalescedRecvOp) Compute(ctx *graph.Context) error {
+	env, err := commEnv(ctx)
+	if err != nil {
+		return err
+	}
+	m, err := env.coalRecvEdge(op.spec.Key)
+	if err != nil {
+		return err
+	}
+	g := m.group
+	g.mu.Lock()
+	payload, ok := g.pending[m.id]
+	delete(g.pending, m.id)
+	g.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: CoalescedRecv scheduled without its sub-message (edge %s)",
+			ErrComm, op.spec.Key)
+	}
+	t, err := tensor.FromBytes(op.spec.Sig.DType, op.spec.Sig.Shape, payload)
+	if err != nil {
+		return err
+	}
+	env.Metrics.AddRecv(len(payload))
+	ctx.Output = t
+	return nil
+}

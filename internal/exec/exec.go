@@ -332,11 +332,15 @@ func (e *Executor) worker(st *runState) {
 					st.mu.Lock()
 					stalled := time.Since(st.progress) > d
 					pending := st.pending
+					// Queued nodes minus the non-polling ones = how many other
+					// polling operators are also spinning on unarrived data —
+					// distinguishes one dead edge from a task-wide partition.
+					polling := len(st.queue) - st.nonPolling
 					st.mu.Unlock()
 					if stalled {
 						e.stats.recordPollTimeout(n.Op().Name())
-						st.complete(n, nil, fmt.Errorf("%w: %s made no progress for %v at iter %d with %d nodes pending (peer dead or network partitioned?)",
-							ErrPollTimeout, n.Name(), d, st.iter, pending))
+						st.complete(n, nil, fmt.Errorf("%w: %s made no progress for %v at iter %d with %d nodes pending, %d other polling operators starved (peer dead or network partitioned?)",
+							ErrPollTimeout, n.Name(), d, st.iter, pending, polling))
 						return
 					}
 				}

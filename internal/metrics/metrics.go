@@ -6,6 +6,10 @@ package metrics
 
 import "sync/atomic"
 
+// MaxLanes bounds the per-lane byte accounting; it matches the transfer
+// layer's stripe-count ceiling (rdma.MaxStripes).
+const MaxLanes = 16
+
 // Comm counts one server's communication activity.
 type Comm struct {
 	bytesSent    atomic.Int64
@@ -19,6 +23,12 @@ type Comm struct {
 	retries      atomic.Int64
 	timeouts     atomic.Int64
 	faults       atomic.Int64
+
+	stripeSegs      atomic.Int64
+	stripedOps      atomic.Int64
+	laneBytes       [MaxLanes]atomic.Int64
+	coalesceFlushes atomic.Int64
+	coalesceMsgs    atomic.Int64
 }
 
 // CommSnapshot is an immutable view of a Comm.
@@ -34,6 +44,17 @@ type CommSnapshot struct {
 	Retries         int64
 	Timeouts        int64
 	FaultsInjected  int64
+
+	// StripeSegments counts per-lane stripe writes/reads; StripedTransfers
+	// counts transfers that went out over more than one lane.
+	StripeSegments   int64
+	StripedTransfers int64
+	// LaneBytes is bytes moved per QP lane (index = lane % MaxLanes).
+	LaneBytes [MaxLanes]int64
+	// CoalesceFlushes / CoalescedMessages count batch flushes and the
+	// sub-messages they carried; their ratio is the coalescing hit rate.
+	CoalesceFlushes   int64
+	CoalescedMessages int64
 }
 
 // AddSent records an outbound transfer.
@@ -70,19 +91,56 @@ func (c *Comm) AddTimeout() { c.timeouts.Add(1) }
 // AddFaultInjected records one fault introduced by a chaos injector.
 func (c *Comm) AddFaultInjected() { c.faults.Add(1) }
 
+// AddStripe records one stripe segment of n bytes on the given QP lane.
+func (c *Comm) AddStripe(lane, n int) {
+	c.stripeSegs.Add(1)
+	if lane < 0 {
+		lane = 0
+	}
+	c.laneBytes[lane%MaxLanes].Add(int64(n))
+}
+
+// AddStripedTransfer records a transfer that was split across >1 lanes.
+func (c *Comm) AddStripedTransfer() { c.stripedOps.Add(1) }
+
+// AddCoalesced records one batch flush carrying msgs coalesced sub-messages.
+func (c *Comm) AddCoalesced(msgs int) {
+	c.coalesceFlushes.Add(1)
+	c.coalesceMsgs.Add(int64(msgs))
+}
+
 // Snapshot returns the current counter values.
 func (c *Comm) Snapshot() CommSnapshot {
-	return CommSnapshot{
-		BytesSent:       c.bytesSent.Load(),
-		BytesRecv:       c.bytesRecv.Load(),
-		Messages:        c.messages.Load(),
-		MemCopies:       c.memCopies.Load(),
-		CopiedBytes:     c.copiedBytes.Load(),
-		SerializedBytes: c.serializedB.Load(),
-		ZeroCopyOps:     c.zeroCopyOps.Load(),
-		DynTransfers:    c.dynTransfers.Load(),
-		Retries:         c.retries.Load(),
-		Timeouts:        c.timeouts.Load(),
-		FaultsInjected:  c.faults.Load(),
+	s := CommSnapshot{
+		BytesSent:         c.bytesSent.Load(),
+		BytesRecv:         c.bytesRecv.Load(),
+		Messages:          c.messages.Load(),
+		MemCopies:         c.memCopies.Load(),
+		CopiedBytes:       c.copiedBytes.Load(),
+		SerializedBytes:   c.serializedB.Load(),
+		ZeroCopyOps:       c.zeroCopyOps.Load(),
+		DynTransfers:      c.dynTransfers.Load(),
+		Retries:           c.retries.Load(),
+		Timeouts:          c.timeouts.Load(),
+		FaultsInjected:    c.faults.Load(),
+		StripeSegments:    c.stripeSegs.Load(),
+		StripedTransfers:  c.stripedOps.Load(),
+		CoalesceFlushes:   c.coalesceFlushes.Load(),
+		CoalescedMessages: c.coalesceMsgs.Load(),
 	}
+	for i := range c.laneBytes {
+		s.LaneBytes[i] = c.laneBytes[i].Load()
+	}
+	return s
+}
+
+// ActiveLanes reports how many QP lanes saw any bytes.
+func (s CommSnapshot) ActiveLanes() int {
+	n := 0
+	for _, b := range s.LaneBytes {
+		if b > 0 {
+			n++
+		}
+	}
+	return n
 }

@@ -1,0 +1,201 @@
+package rdma
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Transfer-level benchmarks behind scripts/bench.sh's BENCH_transfer.json.
+//
+// The raw emulator copies at memory bandwidth on one goroutine, which would
+// make striping look like pure overhead: real NICs are the other way around,
+// one QP sustains only a slice of the link and lanes add up. So these
+// benchmarks install a TransferDelay hook modeling per-lane wire time plus a
+// fixed per-WR post cost. The delay is served on the lane's QP goroutine, so
+// striped chunks pay it concurrently exactly the way parallel QPs drain in
+// hardware — and because wire time is a sleep, not CPU work, the overlap is
+// real even on a single-core host (the DMA engines move the bytes, not the
+// cores). The per-lane bandwidth is deliberately coarse (1 GB/s) so the
+// modeled wire time stays well above the host's sleep granularity (~1ms on
+// some kernels) and timer quantization stays second-order.
+
+const (
+	benchLaneGBps   = 1                    // modeled per-lane bandwidth
+	benchPostCost   = 2 * time.Microsecond // fixed per-WR latency
+	benchStripeSize = 16 << 20             // large-tensor payload
+	benchMsgSize    = 256                  // small-message payload
+	benchMsgCount   = 64                   // messages per coalesced batch
+)
+
+// benchDelay is the modeled wire time for one WR of the given size.
+func benchDelay(_ Op, size int) time.Duration {
+	return benchPostCost + time.Duration(size)*time.Nanosecond/benchLaneGBps
+}
+
+func newBenchPair(b *testing.B) (*Fabric, *Device, *Device) {
+	b.Helper()
+	f := NewFabric()
+	f.SetHooks(Hooks{TransferDelay: benchDelay})
+	a, err := CreateDevice(f, Config{Endpoint: "hostA:1", QPsPerPeer: MaxStripes, NumCQs: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bb, err := CreateDevice(f, Config{Endpoint: "hostB:1", QPsPerPeer: MaxStripes, NumCQs: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { a.Close(); bb.Close() })
+	return f, a, bb
+}
+
+// BenchmarkTransferStriped moves an 8 MiB tensor through the static
+// write-based protocol at stripe counts 1..8. bench.sh derives the striping
+// speedup (striped GB/s over the stripes=1 row) from these.
+func BenchmarkTransferStriped(b *testing.B) {
+	for _, stripes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("stripes=%d", stripes), func(b *testing.B) {
+			_, a, dst := newBenchPair(b)
+			recvMR, err := dst.AllocateMemRegion(StaticSlotSize(benchStripeSize))
+			if err != nil {
+				b.Fatal(err)
+			}
+			recv, err := NewStaticReceiver(recvMR, 0, benchStripeSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sendMR, err := a.AllocateMemRegion(StaticSlotSize(benchStripeSize))
+			if err != nil {
+				b.Fatal(err)
+			}
+			lanes := make([]*Channel, stripes)
+			for i := range lanes {
+				if lanes[i], err = a.GetChannel("hostB:1", i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sender, err := NewStaticSender(lanes[0], sendMR, 0, recv.Desc())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, ch := range lanes[1:] {
+				if err := sender.AddLane(ch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			opts := TransferOpts{Deadline: 30 * time.Second, Stripes: stripes}
+			b.SetBytes(benchStripeSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sender.SendRetry(opts); err != nil {
+					b.Fatal(err)
+				}
+				if err := recv.Wait(opts); err != nil {
+					b.Fatal(err)
+				}
+				recv.Consume()
+			}
+		})
+	}
+}
+
+// BenchmarkTransferCoalesce compares 64 small tensors sent as 64 individual
+// flagged slot writes against the same 64 staged into one coalesced batch
+// flush. Under the per-WR post cost the individual path pays the fixed
+// latency 64 times per round; the batch pays it once.
+func BenchmarkTransferCoalesce(b *testing.B) {
+	b.Run("individual", func(b *testing.B) {
+		_, a, dst := newBenchPair(b)
+		recvMR, err := dst.AllocateMemRegion(StaticSlotSize(benchMsgSize))
+		if err != nil {
+			b.Fatal(err)
+		}
+		recv, err := NewStaticReceiver(recvMR, 0, benchMsgSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sendMR, err := a.AllocateMemRegion(StaticSlotSize(benchMsgSize))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch, err := a.GetChannel("hostB:1", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sender, err := NewStaticSender(ch, sendMR, 0, recv.Desc())
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := TransferOpts{Deadline: 30 * time.Second}
+		b.SetBytes(benchMsgCount * benchMsgSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for m := 0; m < benchMsgCount; m++ {
+				if err := sender.SendRetry(opts); err != nil {
+					b.Fatal(err)
+				}
+				if err := recv.Wait(opts); err != nil {
+					b.Fatal(err)
+				}
+				recv.Consume()
+			}
+		}
+	})
+	b.Run("coalesced", func(b *testing.B) {
+		_, a, dst := newBenchPair(b)
+		capacity := wire.BatchHeaderSize + benchMsgCount*wire.SubMsgSize(benchMsgSize)
+		recvMR, err := dst.AllocateMemRegion(StaticSlotSize(capacity))
+		if err != nil {
+			b.Fatal(err)
+		}
+		chBA, err := dst.GetChannel("hostA:1", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recv, err := NewCoalescedReceiver(chBA, recvMR, 0, capacity)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sendMR, err := a.AllocateMemRegion(StaticSlotSize(capacity) + FlagWordSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		chAB, err := a.GetChannel("hostB:1", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sender, err := NewCoalescedSender(chAB, sendMR, 0, recv.Desc())
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload := make([]byte, benchMsgSize)
+		opts := TransferOpts{Deadline: 30 * time.Second}
+		b.SetBytes(benchMsgCount * benchMsgSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sender.Reset()
+			for m := 0; m < benchMsgCount; m++ {
+				if err := sender.Stage(uint32(m), payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := sender.FlushRetry(opts); err != nil {
+				b.Fatal(err)
+			}
+			for !recv.Poll() {
+			}
+			msgs, err := recv.Messages()
+			if err != nil || len(msgs) != benchMsgCount {
+				b.Fatalf("batch decode: %v (%d msgs)", err, len(msgs))
+			}
+			recv.Consume()
+			if err := recv.AckRetry(sender.AckDesc(), opts); err != nil {
+				b.Fatal(err)
+			}
+			for !sender.PollReusable() {
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -59,6 +60,19 @@ type TransferOpts struct {
 	// OnRetry, if non-nil, is invoked with the transient error before each
 	// retry (for counters).
 	OnRetry func(err error)
+	// Stripes splits large payloads across up to this many channels of the
+	// per-peer QP group (clamped to [1, MaxStripes]); 0 or 1 keeps the
+	// single-lane protocol. Striping only takes effect on senders/receivers
+	// that registered extra lanes with AddLane.
+	Stripes int
+	// CoalesceThreshold batches transfers smaller than this many bytes to
+	// the same peer into one coalesced slot (see CoalescedSender); 0
+	// disables coalescing. The rdma layer only carries the knob — grouping
+	// happens in the distributed edge setup.
+	CoalesceThreshold int
+	// OnStripe, if non-nil, observes every issued stripe as (lane index,
+	// bytes on the wire) — the per-lane byte accounting hook.
+	OnStripe func(lane, bytes int)
 }
 
 func (o TransferOpts) withDefaults() TransferOpts {
@@ -76,6 +90,12 @@ func (o TransferOpts) withDefaults() TransferOpts {
 	}
 	if o.PollInterval <= 0 {
 		o.PollInterval = DefaultPollInterval
+	}
+	if o.Stripes <= 0 {
+		o.Stripes = 1
+	}
+	if o.Stripes > MaxStripes {
+		o.Stripes = MaxStripes
 	}
 	return o
 }
@@ -176,14 +196,18 @@ func (c *Channel) CallRetry(method string, req []byte, opts TransferOpts) ([]byt
 // --- Static placement ---
 
 // SendRetry transfers the staging buffer like Send, but blocks until the
-// write completed, retrying transient failures within the opts budget. The
-// retry is safe: a dropped write leaves the remote slot untouched, and a
+// write completed, retrying transient failures within the opts budget; with
+// opts.Stripes > 1 and registered lanes the payload goes out striped (see
+// SendStriped). The retry is safe either way: a failed attempt never made
+// the flag visible (single-lane faults strike before memory writes; a
+// striped attempt only writes the flag after every stripe completed), and a
 // re-send writes the same bytes.
 func (s *StaticSender) SendRetry(opts TransferOpts) error {
-	return retryLoop(opts, fmt.Sprintf("static send %dB to %s", s.desc.PayloadSize, s.ch.Remote()),
+	o := opts.withDefaults()
+	return retryLoop(o, fmt.Sprintf("static send %dB to %s", s.desc.PayloadSize, s.ch.Remote()),
 		func() error {
 			done := make(chan error, 1)
-			if err := s.Send(func(err error) {
+			if err := s.SendStriped(o.Stripes, o.OnStripe, func(err error) {
 				select {
 				case done <- err:
 				default:
@@ -250,18 +274,51 @@ func (r *DynReceiver) WaitMeta(opts TransferOpts) (DynMeta, error) {
 // FetchRetry is Fetch with bounded retry: the payload read and the reuse
 // ack are each retried within the opts budget, and the call blocks until
 // the ack write completed (unlike Fetch, which fires it and forgets).
-// Both halves are idempotent: re-reading pulls the same payload (the sender
+// With opts.Stripes > 1 and registered lanes, the payload read is split
+// into chunks pulled concurrently over distinct channels; the ack — the
+// dyn protocol's analogue of the tail flag — is only posted after every
+// stripe's read completed, so the sender can never observe "reusable"
+// while part of the payload is still in flight.
+// All pieces are idempotent: re-reading pulls the same payload (the sender
 // cannot reuse the source buffer before the ack), and the ack is a
 // constant one-word write.
 func (r *DynReceiver) FetchRetry(meta DynMeta, senderScratch DynSlotDesc,
 	dst *MemRegion, dstOff int, opts TransferOpts) error {
+	o := opts.withDefaults()
 	r.mr.ClearFlag(r.off + dynMetaFlagOff)
 	size := int(meta.PayloadSize)
-	if err := r.ch.MemcpyRetry(dstOff, dst, int(meta.SrcOff), meta.Src, size, OpRead, opts); err != nil {
-		return fmt.Errorf("rdma: dyn fetch read: %w", err)
+	chunks := StripeDesc{PayloadSize: meta.PayloadSize, Stripes: uint32(o.Stripes)}.Chunks()
+	if len(chunks) <= 1 || len(r.lanes) <= 1 {
+		if o.OnStripe != nil && size > 0 {
+			o.OnStripe(0, size)
+		}
+		if err := r.ch.MemcpyRetry(dstOff, dst, int(meta.SrcOff), meta.Src, size, OpRead, o); err != nil {
+			return fmt.Errorf("rdma: dyn fetch read: %w", err)
+		}
+	} else {
+		var wg sync.WaitGroup
+		errs := make([]error, len(chunks))
+		for i, chk := range chunks {
+			lane := i % len(r.lanes)
+			if o.OnStripe != nil {
+				o.OnStripe(lane, chk.Size)
+			}
+			wg.Add(1)
+			go func(i int, chk StripeChunk, ch *Channel) {
+				defer wg.Done()
+				errs[i] = ch.MemcpyRetry(dstOff+chk.Off, dst, int(meta.SrcOff)+chk.Off,
+					meta.Src, chk.Size, OpRead, o)
+			}(i, chk, r.lanes[lane])
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return fmt.Errorf("rdma: dyn fetch striped read: %w", err)
+			}
+		}
 	}
 	if err := r.ch.MemcpyRetry(0, r.ackSrc, senderScratch.Off+dynMetaAckOff,
-		senderScratch.Region, FlagWordSize, OpWrite, opts); err != nil {
+		senderScratch.Region, FlagWordSize, OpWrite, o); err != nil {
 		return fmt.Errorf("rdma: dyn fetch ack: %w", err)
 	}
 	return nil

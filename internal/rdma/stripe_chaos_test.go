@@ -1,0 +1,180 @@
+package rdma
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStripedFlagNeverBeforePayload drives striped sends through a hostile
+// fabric — every k-th transfer dropped, every write's tail word reordered
+// ahead of its body — and asserts the §3.2 invariant the striping layer must
+// preserve: whenever the receiver observes the tail flag, the entire striped
+// payload is already present. Payload stripes carry no flag, and the flag
+// write only leaves the sender after every stripe completion, so neither
+// drops (which force whole-transfer retries) nor intra-write reordering can
+// expose a set flag over a partial payload.
+func TestStripedFlagNeverBeforePayload(t *testing.T) {
+	f, a, b := newStripedPair(t)
+	const size = 4096
+	recvMR, err := b.AllocateMemRegion(StaticSlotSize(size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := NewStaticReceiver(recvMR, 0, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	laneChans := lanesTo(t, a, "hostB:1", 4)
+	sendMR, err := a.AllocateMemRegion(StaticSlotSize(size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := NewStaticSender(laneChans[0], sendMR, 0, recv.Desc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range laneChans[1:] {
+		if err := sender.AddLane(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var transfers atomic.Uint64
+	f.SetHooks(Hooks{
+		TransferFault: func(op Op, size int) error {
+			if transfers.Add(1)%7 == 0 {
+				return ErrInjected // deterministic drop, forces full re-sends
+			}
+			return nil
+		},
+		WriteReorder: func(op Op, size int) bool { return op == OpWrite },
+	})
+	defer f.SetHooks(Hooks{})
+
+	opts := TransferOpts{Deadline: 10 * time.Second, Stripes: 4}
+	var retries atomic.Int64
+	opts.OnRetry = func(error) { retries.Add(1) }
+	const iters = 40
+	for iter := 0; iter < iters; iter++ {
+		want := sender.Buffer()
+		fillStripePattern(want, byte(iter))
+		if err := sender.SendRetry(opts); err != nil {
+			t.Fatalf("iter %d: send: %v", iter, err)
+		}
+		// The moment the flag is visible, the payload must be complete —
+		// no waiting beyond the Poll itself.
+		if err := recv.Wait(opts); err != nil {
+			t.Fatalf("iter %d: wait: %v", iter, err)
+		}
+		if !bytes.Equal(recv.Payload(), want) {
+			t.Fatalf("iter %d: flag visible over incomplete striped payload", iter)
+		}
+		recv.Consume()
+	}
+	if retries.Load() == 0 {
+		t.Fatal("drop schedule injected no retries; chaos exercised nothing")
+	}
+	// Retries stay bounded: the drop schedule fails 1 in 7 transfers, so the
+	// retry count must stay well under the per-iteration budget.
+	if got := retries.Load(); got > int64(iters*DefaultMaxRetries) {
+		t.Fatalf("%d retries for %d iterations: retry loop not bounded", got, iters)
+	}
+}
+
+// TestStripedPartitionFailsTyped: a never-healing partition must surface as
+// the typed ErrTimeout on both striped paths (static send, dyn fetch),
+// within the configured deadline rather than hanging.
+func TestStripedPartitionFailsTyped(t *testing.T) {
+	f, a, b := newStripedPair(t)
+	const size = 1024
+	recvMR, err := b.AllocateMemRegion(StaticSlotSize(size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := NewStaticReceiver(recvMR, 0, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	laneChans := lanesTo(t, a, "hostB:1", 4)
+	sendMR, err := a.AllocateMemRegion(StaticSlotSize(size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := NewStaticSender(laneChans[0], sendMR, 0, recv.Desc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range laneChans[1:] {
+		if err := sender.AddLane(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Dyn edge set up before the partition so the metadata is already
+	// delivered; only the striped payload read and ack run partitioned.
+	backChans := lanesTo(t, b, "hostA:1", 4)
+	metaMR, err := b.AllocateMemRegion(DynMetaSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynRecv, err := NewDynReceiver(backChans[0], metaMR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range backChans[1:] {
+		if err := dynRecv.AddLane(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scratchMR, err := a.AllocateMemRegion(DynMetaSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynSender, err := NewDynSender(chanTo(t, a, "hostB:1"), scratchMR, 0, dynRecv.Desc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloadMR, err := a.AllocateMemRegion(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstMR, err := b.AllocateMemRegion(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := TransferOpts{Deadline: 5 * time.Second}
+	if err := dynSender.SendRetry(payloadMR, 0, size, 1, []uint64{size}, pre); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := dynRecv.WaitMeta(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f.Partition("hostA:1", "hostB:1")
+	defer f.Heal("hostA:1", "hostB:1")
+
+	short := TransferOpts{Deadline: 250 * time.Millisecond, Stripes: 4}
+	start := time.Now()
+	if err := sender.SendRetry(short); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("partitioned striped send: %v, want ErrTimeout", err)
+	}
+	if err := dynRecv.FetchRetry(meta, dynSender.ScratchDesc(), dstMR, 0, short); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("partitioned striped fetch: %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("typed failures took %v; deadline not honored", elapsed)
+	}
+}
+
+func chanTo(t *testing.T, dev *Device, remote string) *Channel {
+	t.Helper()
+	ch, err := dev.GetChannel(remote, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}

@@ -1,0 +1,316 @@
+package rdma
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newStripedPair is newPair with enough QPs per peer for 8-lane striping.
+func newStripedPair(t *testing.T) (*Fabric, *Device, *Device) {
+	t.Helper()
+	f := NewFabric()
+	a, err := CreateDevice(f, Config{Endpoint: "hostA:1", QPsPerPeer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CreateDevice(f, Config{Endpoint: "hostB:1", QPsPerPeer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return f, a, b
+}
+
+// lanesTo returns n channels from dev to remote on distinct QPs.
+func lanesTo(t *testing.T, dev *Device, remote string, n int) []*Channel {
+	t.Helper()
+	chans := make([]*Channel, n)
+	for i := range chans {
+		ch, err := dev.GetChannel(remote, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	return chans
+}
+
+// paritySizes covers aligned and non-aligned payloads, including sizes
+// smaller than the stripe count.
+var paritySizes = []int{1, 3, 4, 7, 8, 9, 16, 63, 64, 65, 100, 1000, 4096, 4097, 65536, 65543}
+
+func fillStripePattern(b []byte, salt byte) {
+	for i := range b {
+		b[i] = byte(i*7+13) ^ salt
+	}
+}
+
+func TestStripeDescChunksInvariants(t *testing.T) {
+	for _, size := range append([]int{0, 2, 15, 17, 128}, paritySizes...) {
+		for stripes := 0; stripes <= MaxStripes+3; stripes++ {
+			d := StripeDesc{PayloadSize: uint64(size), Stripes: uint32(stripes)}
+			chunks := d.Chunks()
+			if size == 0 {
+				if chunks != nil {
+					t.Fatalf("size 0: chunks %v", chunks)
+				}
+				continue
+			}
+			if len(chunks) == 0 || len(chunks) > MaxStripes {
+				t.Fatalf("size %d stripes %d: %d chunks", size, stripes, len(chunks))
+			}
+			if stripes > 0 && len(chunks) > stripes {
+				t.Fatalf("size %d stripes %d: %d chunks exceed request", size, stripes, len(chunks))
+			}
+			off := 0
+			for i, c := range chunks {
+				if c.Off != off || c.Size <= 0 {
+					t.Fatalf("size %d stripes %d chunk %d: {%d,%d} at expected off %d",
+						size, stripes, i, c.Off, c.Size, off)
+				}
+				if i < len(chunks)-1 && (c.Off+c.Size)%stripeAlign != 0 {
+					t.Fatalf("size %d stripes %d chunk %d: boundary %d unaligned",
+						size, stripes, i, c.Off+c.Size)
+				}
+				off += c.Size
+			}
+			if off != size {
+				t.Fatalf("size %d stripes %d: chunks cover %d bytes", size, stripes, off)
+			}
+			if got := EffectiveStripes(size, stripes); got != len(chunks) {
+				t.Fatalf("EffectiveStripes(%d,%d) = %d, want %d", size, stripes, got, len(chunks))
+			}
+		}
+	}
+}
+
+func TestStripeDescMarshalRoundTrip(t *testing.T) {
+	for _, d := range []StripeDesc{{}, {PayloadSize: 1}, {PayloadSize: 1 << 40, Stripes: 16}} {
+		got, err := UnmarshalStripeDesc(d.Marshal())
+		if err != nil {
+			t.Fatalf("%+v: %v", d, err)
+		}
+		if got != d {
+			t.Fatalf("round trip %+v -> %+v", d, got)
+		}
+	}
+	if _, err := UnmarshalStripeDesc([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short descriptor accepted")
+	}
+}
+
+// TestStripedStaticParity: for every stripe count 1..8, a striped static
+// transfer must deliver bytes bit-identical to the staged payload — i.e.
+// identical to what the single-lane protocol delivers — across aligned and
+// non-aligned sizes, including payloads smaller than the stripe count.
+func TestStripedStaticParity(t *testing.T) {
+	_, a, b := newStripedPair(t)
+	laneChans := lanesTo(t, a, "hostB:1", 8)
+	opts := func(s int) TransferOpts { return TransferOpts{Deadline: 10 * time.Second, Stripes: s} }
+	for _, size := range paritySizes {
+		recvMR, err := b.AllocateMemRegion(StaticSlotSize(size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv, err := NewStaticReceiver(recvMR, 0, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sendMR, err := a.AllocateMemRegion(StaticSlotSize(size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sender, err := NewStaticSender(laneChans[0], sendMR, 0, recv.Desc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ch := range laneChans[1:] {
+			if err := sender.AddLane(ch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for stripes := 1; stripes <= 8; stripes++ {
+			want := make([]byte, size)
+			fillStripePattern(want, byte(stripes))
+			copy(sender.Buffer(), want)
+			var lanesUsed sync.Map
+			o := opts(stripes)
+			o.OnStripe = func(lane, bytes int) { lanesUsed.Store(lane, true) }
+			if err := sender.SendRetry(o); err != nil {
+				t.Fatalf("size %d stripes %d: send: %v", size, stripes, err)
+			}
+			if err := recv.Wait(o); err != nil {
+				t.Fatalf("size %d stripes %d: wait: %v", size, stripes, err)
+			}
+			if !bytes.Equal(recv.Payload(), want) {
+				t.Fatalf("size %d stripes %d: payload diverged from single-lane bytes", size, stripes)
+			}
+			distinct := 0
+			lanesUsed.Range(func(_, _ any) bool { distinct++; return true })
+			if eff := EffectiveStripes(size, stripes); distinct > eff {
+				t.Fatalf("size %d stripes %d: %d lanes used, effective stripes %d",
+					size, stripes, distinct, eff)
+			}
+			recv.Consume()
+		}
+		b.FreeMemRegion(recvMR)
+		a.FreeMemRegion(sendMR)
+	}
+}
+
+// TestStripedDynParity is the dyn-read analogue: the receiver's striped
+// fetch must produce bytes identical to the sender's payload for stripe
+// counts 1..8.
+func TestStripedDynParity(t *testing.T) {
+	_, a, b := newStripedPair(t)
+	chAB, err := a.GetChannel("hostB:1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	laneChans := lanesTo(t, b, "hostA:1", 8)
+	for _, size := range paritySizes {
+		metaMR, err := b.AllocateMemRegion(DynMetaSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv, err := NewDynReceiver(laneChans[0], metaMR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ch := range laneChans[1:] {
+			if err := recv.AddLane(ch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		scratchMR, err := a.AllocateMemRegion(DynMetaSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sender, err := NewDynSender(chAB, scratchMR, 0, recv.Desc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloadMR, err := a.AllocateMemRegion(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dstMR, err := b.AllocateMemRegion(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for stripes := 1; stripes <= 8; stripes++ {
+			opts := TransferOpts{Deadline: 10 * time.Second, Stripes: stripes}
+			want := payloadMR.Bytes()[:size]
+			fillStripePattern(want, byte(0xA0+stripes))
+			if err := sender.SendRetry(payloadMR, 0, size, 1, []uint64{uint64(size)}, opts); err != nil {
+				t.Fatalf("size %d stripes %d: send: %v", size, stripes, err)
+			}
+			meta, err := recv.WaitMeta(opts)
+			if err != nil {
+				t.Fatalf("size %d stripes %d: wait meta: %v", size, stripes, err)
+			}
+			if int(meta.PayloadSize) != size {
+				t.Fatalf("size %d stripes %d: meta payload %d", size, stripes, meta.PayloadSize)
+			}
+			if err := recv.FetchRetry(meta, sender.ScratchDesc(), dstMR, 0, opts); err != nil {
+				t.Fatalf("size %d stripes %d: fetch: %v", size, stripes, err)
+			}
+			if !bytes.Equal(dstMR.Bytes()[:size], want) {
+				t.Fatalf("size %d stripes %d: fetched payload diverged", size, stripes)
+			}
+			waitFor(t, fmt.Sprintf("reuse ack (size %d stripes %d)", size, stripes), sender.PollReusable)
+		}
+		b.FreeMemRegion(metaMR)
+		b.FreeMemRegion(dstMR)
+		a.FreeMemRegion(scratchMR)
+		a.FreeMemRegion(payloadMR)
+	}
+}
+
+// TestDynSenderPollReusableConcurrentWithSend is the regression test for
+// slot reuse while a fetch is in flight: the executor polls PollReusable
+// from a scheduler worker while Send runs on the edge's transfer goroutine,
+// so the sender's started/ack state must be safe under concurrent access
+// (run with -race) and the payload buffer must never be overwritten before
+// the receiver's read acked.
+func TestDynSenderPollReusableConcurrentWithSend(t *testing.T) {
+	_, a, b := newPair(t)
+	chAB, err := a.GetChannel("hostB:1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chBA, err := b.GetChannel("hostA:1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaMR, err := b.AllocateMemRegion(DynMetaSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := NewDynReceiver(chBA, metaMR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratchMR, err := a.AllocateMemRegion(DynMetaSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := NewDynSender(chAB, scratchMR, 0, recv.Desc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 512
+	payloadMR, err := a.AllocateMemRegion(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstMR, err := b.AllocateMemRegion(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The scheduler's polling goroutine, racing every Send below.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sender.PollReusable()
+			runtime.Gosched()
+		}
+	}()
+
+	opts := TransferOpts{Deadline: 10 * time.Second}
+	for iter := 0; iter < 100; iter++ {
+		// SendRetry's busy check gates this overwrite on the previous
+		// iteration's ack, making the reuse safe; a missing ack ordering
+		// would surface as corrupted bytes below.
+		fillStripePattern(payloadMR.Bytes(), byte(iter))
+		want := append([]byte(nil), payloadMR.Bytes()...)
+		if err := sender.SendRetry(payloadMR, 0, size, 1, []uint64{size}, opts); err != nil {
+			t.Fatalf("iter %d: send: %v", iter, err)
+		}
+		meta, err := recv.WaitMeta(opts)
+		if err != nil {
+			t.Fatalf("iter %d: wait meta: %v", iter, err)
+		}
+		if err := recv.FetchRetry(meta, sender.ScratchDesc(), dstMR, 0, opts); err != nil {
+			t.Fatalf("iter %d: fetch: %v", iter, err)
+		}
+		if !bytes.Equal(dstMR.Bytes(), want) {
+			t.Fatalf("iter %d: fetched stale or corrupted payload", iter)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // This file implements the paper's two tensor-transfer protocols on top of
@@ -119,10 +120,11 @@ func (r *StaticReceiver) Consume() { r.mr.ClearFlag(r.flagOff()) }
 // staging buffer's tail and is transferred together with the payload in one
 // ascending-order write.
 type StaticSender struct {
-	ch   *Channel
-	mr   *MemRegion
-	off  int
-	desc StaticSlotDesc
+	ch    *Channel
+	mr    *MemRegion
+	off   int
+	desc  StaticSlotDesc
+	lanes []*Channel // channels for striped sends; lanes[0] == ch
 }
 
 // NewStaticSender claims [off, off+StaticSlotSize(desc.PayloadSize)) of the
@@ -138,7 +140,7 @@ func NewStaticSender(ch *Channel, mr *MemRegion, off int, desc StaticSlotDesc) (
 		return nil, fmt.Errorf("rdma: slot on %s but channel to %s: %w",
 			desc.Region.Endpoint, ch.Remote(), ErrBadConfig)
 	}
-	return &StaticSender{ch: ch, mr: mr, off: off, desc: desc}, nil
+	return &StaticSender{ch: ch, mr: mr, off: off, desc: desc, lanes: []*Channel{ch}}, nil
 }
 
 // Buffer returns the sender-side staging payload bytes. When graph analysis
@@ -240,6 +242,7 @@ type DynReceiver struct {
 	sender string // the edge's fixed sender endpoint
 	ch     *Channel
 	ackSrc *MemRegion // one word containing FlagSet, source of ack writes
+	lanes  []*Channel // channels for striped fetches; lanes[0] == ch
 }
 
 // NewDynReceiver claims DynMetaSize bytes at off in mr as the metadata slot
@@ -256,7 +259,8 @@ func NewDynReceiver(ch *Channel, mr *MemRegion, off int) (*DynReceiver, error) {
 		return nil, err
 	}
 	ackSrc.SetFlagLocal(0)
-	r := &DynReceiver{mr: mr, off: off, sender: ch.Remote(), ch: ch, ackSrc: ackSrc}
+	r := &DynReceiver{mr: mr, off: off, sender: ch.Remote(), ch: ch, ackSrc: ackSrc,
+		lanes: []*Channel{ch}}
 	mr.ClearFlag(off + dynMetaFlagOff)
 	return r, nil
 }
@@ -331,11 +335,13 @@ func (r *DynReceiver) Fetch(meta DynMeta, senderScratch DynSlotDesc, dst *MemReg
 // DynSender owns the sender-side scratch block for one dynamic edge: the
 // staged metadata image plus the ack word the receiver writes back.
 type DynSender struct {
-	ch      *Channel
-	mr      *MemRegion
-	off     int
-	meta    DynSlotDesc // receiver's metadata slot
-	started bool
+	ch   *Channel
+	mr   *MemRegion
+	off  int
+	meta DynSlotDesc // receiver's metadata slot
+	// started is atomic: the scheduler polls PollReusable from its worker
+	// goroutine while Send runs on the edge's transfer goroutine.
+	started atomic.Bool
 }
 
 // NewDynSender claims DynMetaSize bytes at off in mr as scratch for sends to
@@ -365,7 +371,7 @@ func (s *DynSender) ScratchDesc() DynSlotDesc {
 // PollReusable reports whether the previous transfer has been acked (or no
 // transfer has happened yet), i.e. whether Send may be called.
 func (s *DynSender) PollReusable() bool {
-	if !s.started {
+	if !s.started.Load() {
 		return true
 	}
 	return s.mr.PollFlag(s.off + dynMetaAckOff)
@@ -386,7 +392,7 @@ func (s *DynSender) Send(payloadMR *MemRegion, payloadOff, payloadSize int,
 	if !s.PollReusable() {
 		return ErrBusy
 	}
-	s.started = true
+	s.started.Store(true)
 	s.mr.ClearFlag(s.off + dynMetaAckOff)
 
 	b := s.mr.Bytes()[s.off : s.off+DynMetaSize]

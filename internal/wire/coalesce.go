@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Coalesced sub-message framing: many small tensors bound for the same peer
+// share one RDMA slot, paying a single flag/slot round-trip instead of one
+// per tensor. The frame is deliberately simpler than TensorMessage — the
+// receiver already knows each sub-message's dtype and shape from the graph
+// edge, so only an edge id and a length prefix ride on the wire:
+//
+//	batch  = count:u32  msg*
+//	msg    = id:u32  len:u32  payload[len]
+//
+// All integers little-endian. The frame carries no padding: sub-messages are
+// packed back to back, and the enclosing RDMA slot provides the tail flag.
+
+// ErrBatchSpace reports an Append that does not fit the writer's buffer.
+var ErrBatchSpace = errors.New("wire: coalesced batch capacity exceeded")
+
+// Framing overheads of the coalesced batch format.
+const (
+	// BatchHeaderSize is the fixed per-batch prefix (the count word).
+	BatchHeaderSize = 4
+	// SubMsgHeaderSize is the per-sub-message prefix (id + length).
+	SubMsgHeaderSize = 8
+)
+
+// SubMsgSize returns the framed size of one sub-message with the given
+// payload size.
+func SubMsgSize(payload int) int { return SubMsgHeaderSize + payload }
+
+// SubMsg is one decoded sub-message. Payload aliases the decoded buffer;
+// callers that outlive the buffer must copy it.
+type SubMsg struct {
+	ID      uint32
+	Payload []byte
+}
+
+// BatchWriter packs sub-messages into a caller-provided buffer (typically an
+// RDMA staging slot) using the batch framing. The count header is patched in
+// place on every Append, so the buffer prefix [0, Len()) is always a valid
+// batch image.
+type BatchWriter struct {
+	buf   []byte
+	used  int
+	count uint32
+}
+
+// NewBatchWriter wraps buf as an empty batch. The buffer must hold at least
+// BatchHeaderSize bytes.
+func NewBatchWriter(buf []byte) (*BatchWriter, error) {
+	if len(buf) < BatchHeaderSize {
+		return nil, fmt.Errorf("wire: batch buffer %d bytes, header needs %d: %w",
+			len(buf), BatchHeaderSize, ErrBatchSpace)
+	}
+	w := &BatchWriter{buf: buf}
+	w.Reset()
+	return w, nil
+}
+
+// Reset empties the batch for reuse.
+func (w *BatchWriter) Reset() {
+	w.used = BatchHeaderSize
+	w.count = 0
+	binary.LittleEndian.PutUint32(w.buf, 0)
+}
+
+// Append adds one sub-message, returning ErrBatchSpace if it does not fit.
+func (w *BatchWriter) Append(id uint32, payload []byte) error {
+	if w.used+SubMsgSize(len(payload)) > len(w.buf) {
+		return fmt.Errorf("wire: sub-message %d (%d bytes) into %d free: %w",
+			id, len(payload), len(w.buf)-w.used, ErrBatchSpace)
+	}
+	binary.LittleEndian.PutUint32(w.buf[w.used:], id)
+	binary.LittleEndian.PutUint32(w.buf[w.used+4:], uint32(len(payload)))
+	copy(w.buf[w.used+SubMsgHeaderSize:], payload)
+	w.used += SubMsgSize(len(payload))
+	w.count++
+	binary.LittleEndian.PutUint32(w.buf, w.count)
+	return nil
+}
+
+// Len returns the encoded batch size so far (including the header).
+func (w *BatchWriter) Len() int { return w.used }
+
+// Count returns the number of sub-messages appended since the last Reset.
+func (w *BatchWriter) Count() int { return int(w.count) }
+
+// DecodeBatch parses a batch image. It is total on arbitrary bytes: a
+// truncated header, an impossible count, or a sub-message running past the
+// buffer all return ErrMalformed without panicking. Returned payloads alias
+// buf.
+func DecodeBatch(buf []byte) ([]SubMsg, error) {
+	if len(buf) < BatchHeaderSize {
+		return nil, fmt.Errorf("wire: short batch header (%d bytes): %w", len(buf), ErrMalformed)
+	}
+	count := binary.LittleEndian.Uint32(buf)
+	rest := buf[BatchHeaderSize:]
+	// Each sub-message needs at least its header, so a count beyond
+	// len(rest)/SubMsgHeaderSize cannot be satisfied; checking up front keeps
+	// the allocation below safe against adversarial counts.
+	if uint64(count) > uint64(len(rest))/SubMsgHeaderSize {
+		return nil, fmt.Errorf("wire: batch count %d exceeds %d remaining bytes: %w",
+			count, len(rest), ErrMalformed)
+	}
+	msgs := make([]SubMsg, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < SubMsgHeaderSize {
+			return nil, fmt.Errorf("wire: truncated sub-message %d header: %w", i, ErrMalformed)
+		}
+		id := binary.LittleEndian.Uint32(rest)
+		n := binary.LittleEndian.Uint32(rest[4:])
+		if uint64(n) > uint64(len(rest)-SubMsgHeaderSize) {
+			return nil, fmt.Errorf("wire: sub-message %d claims %d of %d bytes: %w",
+				i, n, len(rest)-SubMsgHeaderSize, ErrMalformed)
+		}
+		msgs = append(msgs, SubMsg{ID: id, Payload: rest[SubMsgHeaderSize : SubMsgHeaderSize+n]})
+		rest = rest[SubMsgSize(int(n)):]
+	}
+	return msgs, nil
+}

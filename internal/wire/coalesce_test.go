@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestBatchWriterRoundTrip(t *testing.T) {
+	buf := make([]byte, 128)
+	w, err := NewBatchWriter(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := map[uint32][]byte{
+		7:  []byte("gradient"),
+		3:  {},
+		12: bytes.Repeat([]byte{0xee}, 40),
+	}
+	for _, id := range []uint32{7, 3, 12} {
+		if err := w.Append(id, payloads[id]); err != nil {
+			t.Fatalf("Append(%d): %v", id, err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", w.Count())
+	}
+	want := BatchHeaderSize + SubMsgSize(8) + SubMsgSize(0) + SubMsgSize(40)
+	if w.Len() != want {
+		t.Fatalf("Len = %d, want %d", w.Len(), want)
+	}
+	// Decoding the full slot (with trailing garbage past Len) must still
+	// yield exactly the appended messages: the count header delimits.
+	msgs, err := DecodeBatch(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("decoded %d messages, want 3", len(msgs))
+	}
+	order := []uint32{7, 3, 12}
+	for i, m := range msgs {
+		if m.ID != order[i] {
+			t.Fatalf("msg %d id %d, want %d", i, m.ID, order[i])
+		}
+		if !bytes.Equal(m.Payload, payloads[m.ID]) {
+			t.Fatalf("msg %d payload mismatch", i)
+		}
+	}
+}
+
+func TestBatchWriterReset(t *testing.T) {
+	buf := make([]byte, 64)
+	w, err := NewBatchWriter(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	w.Reset()
+	if w.Count() != 0 || w.Len() != BatchHeaderSize {
+		t.Fatalf("after Reset: count=%d len=%d", w.Count(), w.Len())
+	}
+	if err := w.Append(2, []byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := DecodeBatch(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0].ID != 2 || string(msgs[0].Payload) != "xy" {
+		t.Fatalf("decoded %+v after reset", msgs)
+	}
+}
+
+func TestBatchWriterSpace(t *testing.T) {
+	if _, err := NewBatchWriter(make([]byte, 2)); !errors.Is(err, ErrBatchSpace) {
+		t.Fatalf("tiny buffer: %v, want ErrBatchSpace", err)
+	}
+	w, err := NewBatchWriter(make([]byte, BatchHeaderSize+SubMsgSize(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, []byte("full")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2, nil); !errors.Is(err, ErrBatchSpace) {
+		t.Fatalf("overflow append: %v, want ErrBatchSpace", err)
+	}
+	// A failed Append must not corrupt the batch.
+	msgs, err := DecodeBatch(w.buf)
+	if err != nil || len(msgs) != 1 || msgs[0].ID != 1 {
+		t.Fatalf("batch after failed append: %v %+v", err, msgs)
+	}
+}
+
+func TestDecodeBatchMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2},                   // short header
+		{0xff, 0xff, 0xff, 0xff}, // absurd count, no room
+		{1, 0, 0, 0},             // count 1, no sub-message header
+		{1, 0, 0, 0, 9, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}, // length past end
+	}
+	for i, b := range cases {
+		if _, err := DecodeBatch(b); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("case %d: %v, want ErrMalformed", i, err)
+		}
+	}
+	if msgs, err := DecodeBatch([]byte{0, 0, 0, 0}); err != nil || len(msgs) != 0 {
+		t.Fatalf("empty batch: %v %+v", err, msgs)
+	}
+}
+
+// FuzzDecodeBatch feeds arbitrary bytes to the coalesced-batch decoder: it
+// must never panic, and any accepted input must re-encode through
+// BatchWriter into a frame that decodes to the same messages (the framing is
+// canonical up to trailing slack).
+func FuzzDecodeBatch(f *testing.F) {
+	seed := func(build func(w *BatchWriter)) []byte {
+		buf := make([]byte, 256)
+		w, _ := NewBatchWriter(buf)
+		build(w)
+		return append([]byte(nil), buf[:w.Len()]...)
+	}
+	f.Add(seed(func(w *BatchWriter) {}))
+	f.Add(seed(func(w *BatchWriter) { w.Append(5, []byte("hello")) }))
+	f.Add(seed(func(w *BatchWriter) {
+		w.Append(0, nil)
+		w.Append(1, bytes.Repeat([]byte{7}, 100))
+		w.Append(1<<20, []byte{0})
+	}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		msgs, err := DecodeBatch(b)
+		if err != nil {
+			return
+		}
+		size := BatchHeaderSize
+		for _, m := range msgs {
+			size += SubMsgSize(len(m.Payload))
+		}
+		if size > len(b) {
+			t.Fatalf("decoded %d framed bytes out of %d input bytes", size, len(b))
+		}
+		out := make([]byte, size)
+		w, err := NewBatchWriter(out)
+		if err != nil {
+			t.Fatalf("re-encode writer: %v", err)
+		}
+		for _, m := range msgs {
+			if err := w.Append(m.ID, m.Payload); err != nil {
+				t.Fatalf("re-encode append: %v", err)
+			}
+		}
+		if w.Len() != size {
+			t.Fatalf("re-encoded %d bytes, computed %d", w.Len(), size)
+		}
+		msgs2, err := DecodeBatch(out)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if len(msgs2) != len(msgs) {
+			t.Fatalf("round trip count %d -> %d", len(msgs), len(msgs2))
+		}
+		for i := range msgs {
+			if msgs2[i].ID != msgs[i].ID || !bytes.Equal(msgs2[i].Payload, msgs[i].Payload) {
+				t.Fatalf("round trip diverged at message %d", i)
+			}
+		}
+	})
+}

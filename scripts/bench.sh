@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
 # Kernel microbenchmarks -> BENCH_kernels.json.
+# Transfer benchmarks (striping + coalescing) -> BENCH_transfer.json.
 #
 # Runs the tensor kernel benchmarks (seed kernel vs new serial vs new
 # parallel) and the exec train-step benchmark (recycle on/off, -benchmem),
@@ -7,10 +8,17 @@
 # the parallel numbers are only meaningful relative to the cores available:
 # on a 1-CPU box parallel==serial and all speedup comes from cache blocking
 # and im2col.
+#
+# The transfer suite sweeps stripe counts 1..8 over a 16 MiB payload under
+# the modeled per-lane bandwidth (see internal/rdma/bench_transfer_test.go)
+# and compares 64 individual small-message sends against one coalesced
+# batch; the JSON records MB/s per configuration plus speedup ratios over
+# the single-lane / individual baselines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_kernels.json}"
+OUT_TRANSFER="${2:-BENCH_transfer.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -67,3 +75,48 @@ END {
 }' > "$OUT"
 
 echo "wrote $OUT" >&2
+
+echo "== transfer benchmarks (benchtime=$BENCHTIME) ==" >&2
+go test -run='^$' -bench='^(BenchmarkTransferStriped|BenchmarkTransferCoalesce)$' \
+    -benchtime="$BENCHTIME" ./internal/rdma/ | tee "$TMP/transfer.txt" >&2
+
+awk -v num_cpu="$(nproc)" -v go_ver="$(go env GOVERSION)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    for (i = 2; i < NF; i++) if ($(i+1) == "MB/s") mbs[name] = $i
+    order[++n] = name
+}
+function ratio(a, b) { return (mbs[a] > 0 && mbs[b] > 0) ? sprintf("%.2f", mbs[b] / mbs[a]) : "null" }
+END {
+    printf "{\n  \"num_cpu\": %d,\n  \"go\": \"%s\",\n", num_cpu, go_ver
+    printf "  \"note\": \"MB/s under the modeled per-lane wire time (1 GB/s/lane + 2us post cost); stripe speedups are vs the stripes=1 row, coalesce speedup is one batch flush vs 64 individual flagged writes\",\n"
+    printf "  \"striped\": [\n"
+    first = 1
+    for (s = 1; s <= 16; s *= 2) {
+        name = "TransferStriped/stripes=" s
+        if (mbs[name] == "") continue
+        printf "%s    {\"stripes\": %d, \"mb_per_s\": %s}", (first ? "" : ",\n"), s, mbs[name]
+        first = 0
+    }
+    printf "\n  ],\n"
+    printf "  \"speedup_vs_single_lane\": {\n"
+    printf "    \"stripes_2\": %s,\n", ratio("TransferStriped/stripes=1", "TransferStriped/stripes=2")
+    printf "    \"stripes_4\": %s,\n", ratio("TransferStriped/stripes=1", "TransferStriped/stripes=4")
+    printf "    \"stripes_8\": %s\n",  ratio("TransferStriped/stripes=1", "TransferStriped/stripes=8")
+    printf "  },\n"
+    printf "  \"coalesce\": {\n"
+    printf "    \"individual_mb_per_s\": %s,\n", mbs["TransferCoalesce/individual"]
+    printf "    \"coalesced_mb_per_s\": %s,\n", mbs["TransferCoalesce/coalesced"]
+    printf "    \"speedup\": %s\n", ratio("TransferCoalesce/individual", "TransferCoalesce/coalesced")
+    printf "  },\n"
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"mb_per_s\": %s}%s\n", name, mbs[name], (i < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$TMP/transfer.txt" > "$OUT_TRANSFER"
+
+echo "wrote $OUT_TRANSFER" >&2

@@ -27,6 +27,9 @@ echo "== fuzz smoke (${FUZZTIME}/target) =="
 go test -run=NONE -fuzz='^FuzzUnmarshalStaticSlotDesc$' -fuzztime="$FUZZTIME" ./internal/rdma/
 go test -run=NONE -fuzz='^FuzzUnmarshalDynSlotDesc$' -fuzztime="$FUZZTIME" ./internal/rdma/
 go test -run=NONE -fuzz='^FuzzDecodeDynMeta$' -fuzztime="$FUZZTIME" ./internal/rdma/
+go test -run=NONE -fuzz='^FuzzUnmarshalStripeDesc$' -fuzztime="$FUZZTIME" ./internal/rdma/
+go test -run=NONE -fuzz='^FuzzUnmarshalCoalescedSlotDesc$' -fuzztime="$FUZZTIME" ./internal/rdma/
 go test -run=NONE -fuzz='^FuzzTensorMessageUnmarshal$' -fuzztime="$FUZZTIME" ./internal/wire/
+go test -run=NONE -fuzz='^FuzzDecodeBatch$' -fuzztime="$FUZZTIME" ./internal/wire/
 
 echo "verify: OK"
