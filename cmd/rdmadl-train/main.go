@@ -8,17 +8,20 @@
 //	rdmadl-train [-mechanism rdma|rdma-copy|grpc-rdma|grpc-tcp]
 //	             [-workers N] [-ps N] [-iters N] [-batch N]
 //	             [-stripes N] [-coalesce BYTES]
+//	             [-heartbeat DUR] [-checkpoint-every N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/distributed"
 	"repro/internal/metrics"
 	"repro/internal/rdma"
+	"repro/internal/tensor"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -52,6 +55,8 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: schedule seed (reproducible fault stream)")
 	stripes := flag.Int("stripes", 1, "stripe large tensor transfers across up to N QP lanes per peer (1 = single lane)")
 	coalesce := flag.Int("coalesce", 0, "batch static tensors smaller than N bytes into one coalesced write per peer pair (0 = off)")
+	heartbeat := flag.Duration("heartbeat", 0, "enable the lease failure detector and crash recovery, pinging each task at this period (0 = off; lease timeout is 10x the period; RDMA mechanisms only)")
+	ckptEvery := flag.Int("checkpoint-every", 5, "with -heartbeat, checkpoint the cluster every N steps (rollback target after a crash)")
 	flag.Parse()
 
 	kind, err := parseKind(*mech)
@@ -68,14 +73,14 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(kind, *workers, *psCount, *iters, *batch, *kernelWorkers, *optimizer, *dot, *tracePath,
-		*dropRate, *chaosSeed, *stripes, *coalesce); err != nil {
+		*dropRate, *chaosSeed, *stripes, *coalesce, *heartbeat, *ckptEvery); err != nil {
 		fmt.Fprintf(os.Stderr, "rdmadl-train: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(kind distributed.Kind, workers, psCount, iters, batch, kernelWorkers int, optimizer, dotPath, tracePath string,
-	dropRate float64, chaosSeed int64, stripes, coalesce int) error {
+	dropRate float64, chaosSeed int64, stripes, coalesce int, heartbeat time.Duration, ckptEvery int) error {
 	var rec *trace.Recorder
 	if tracePath != "" {
 		rec = trace.NewRecorder(0)
@@ -138,17 +143,36 @@ func run(kind distributed.Kind, workers, psCount, iters, batch, kernelWorkers in
 	fmt.Printf("mechanism=%s workers=%d ps=%d batch=%d optimizer=%s stripes=%d coalesce=%dB\n",
 		kind, workers, psCount, batch, optimizer, stripes, coalesce)
 	fmt.Print(cl.Result().Summary())
-	for iter := 0; iter < iters; iter++ {
-		out, err := cl.Step(iter, feeds, fetches)
-		if err != nil {
-			return err
-		}
+
+	report := func(iter int, out map[string]map[string]*tensor.Tensor) {
 		var sum float32
 		for k, task := range job.WorkerTasks {
 			sum += out[task][job.LossName(k)].Float32s()[0]
 		}
 		if iter%5 == 0 || iter == iters-1 {
 			fmt.Printf("iter %3d  mean loss %.4f\n", iter, sum/float32(workers))
+		}
+	}
+	var recov *distributed.Recovery
+	if heartbeat > 0 {
+		recov, err = cl.EnableRecovery(distributed.RecoveryConfig{
+			Heartbeat:       distributed.HeartbeatConfig{Period: heartbeat},
+			CheckpointEvery: ckptEvery,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recovery: lease period %v, checkpoint every %d steps\n", heartbeat, ckptEvery)
+		if err := recov.Run(iters, feeds, fetches, report); err != nil {
+			return err
+		}
+	} else {
+		for iter := 0; iter < iters; iter++ {
+			out, err := cl.Step(iter, feeds, fetches)
+			if err != nil {
+				return err
+			}
+			report(iter, out)
 		}
 	}
 
@@ -178,6 +202,11 @@ func run(kind distributed.Kind, workers, psCount, iters, batch, kernelWorkers in
 		c := inj.Counters()
 		fmt.Printf("chaos: injected %d faults over %d decisions\n",
 			c.Total(), c.Checked[chaos.Drop])
+	}
+	if recov != nil {
+		rs := recov.Metrics()
+		fmt.Printf("recovery: heartbeats=%d missed=%d expiries=%d checkpoints=%d rollbacks=%d recoveries=%d rejoins=%d\n",
+			rs.Heartbeats, rs.MissedBeats, rs.LeaseExpiries, rs.Checkpoints, rs.Rollbacks, rs.Recoveries, rs.Rejoins)
 	}
 
 	comp := metrics.Compute()

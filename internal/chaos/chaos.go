@@ -48,6 +48,8 @@ const (
 	MsgDrop
 	// PartitionEvent counts script-driven Partition/Heal transitions.
 	PartitionEvent
+	// CrashEvent counts script-driven task crashes and restarts.
+	CrashEvent
 
 	numFaults
 )
@@ -70,18 +72,26 @@ func (f Fault) String() string {
 		return "msg-drop"
 	case PartitionEvent:
 		return "partition-event"
+	case CrashEvent:
+		return "crash-event"
 	default:
 		return "unknown"
 	}
 }
 
-// Event is one entry of a timed partition script: At after Start the pair
-// (A, B) is partitioned; if Heal > 0 the partition heals that much later,
-// otherwise it stands until Stop.
+// Event is one entry of a timed fault script. Two shapes:
+//
+//   - Partition: At after Start the pair (A, B) is partitioned; if Heal > 0
+//     the partition heals that much later, otherwise it stands until Stop.
+//   - Crash: At after Start the task named by Crash is killed via the
+//     plan's Crash callback; if Heal > 0 the plan's Restart callback runs
+//     that much later (a process-restart delay), otherwise the task stays
+//     down until something external restarts it.
 type Event struct {
-	At   time.Duration
-	A, B string
-	Heal time.Duration
+	At    time.Duration
+	A, B  string
+	Heal  time.Duration
+	Crash string
 }
 
 // Plan is a seeded fault schedule. Rates are per-decision probabilities in
@@ -109,8 +119,19 @@ type Plan struct {
 	// MsgDropRate drops two-sided messages (RPC requests and responses).
 	MsgDropRate float64
 
-	// Script is the timed partition/heal sequence, applied from Start.
+	// Script is the timed partition/heal and crash/restart sequence,
+	// applied from Start.
 	Script []Event
+
+	// Crash kills the named task when a Crash event fires. The injector
+	// knows fabric wiring, not cluster membership, so killing a task (close
+	// its device and RPC server mid-step) is delegated to the harness —
+	// typically Cluster.KillTask.
+	Crash func(task string)
+	// Restart restores a crashed task when its Heal delay elapses. Optional:
+	// recovery-driven harnesses usually leave restart to the recovery
+	// protocol and only script the kill.
+	Restart func(task string)
 
 	// Metrics, when non-nil, receives AddFaultInjected for every injected
 	// fault (the aggregate counter the test harness asserts on).
@@ -230,7 +251,41 @@ func (i *Injector) Start() {
 	i.started = true
 	for _, ev := range i.plan.Script {
 		ev := ev
-		i.timers = append(i.timers, time.AfterFunc(ev.At, func() { i.applyPartition(ev) }))
+		apply := func() { i.applyPartition(ev) }
+		if ev.Crash != "" {
+			apply = func() { i.applyCrash(ev) }
+		}
+		i.timers = append(i.timers, time.AfterFunc(ev.At, apply))
+	}
+}
+
+func (i *Injector) applyCrash(ev Event) {
+	i.mu.Lock()
+	if i.stopped {
+		i.mu.Unlock()
+		return
+	}
+	crash := i.plan.Crash
+	if ev.Heal > 0 && i.plan.Restart != nil {
+		restart := i.plan.Restart
+		i.timers = append(i.timers, time.AfterFunc(ev.Heal, func() {
+			i.mu.Lock()
+			stopped := i.stopped
+			i.mu.Unlock()
+			if stopped {
+				return
+			}
+			restart(ev.Crash)
+			i.injected[CrashEvent].Add(1)
+		}))
+	}
+	i.mu.Unlock()
+	if crash != nil {
+		crash(ev.Crash)
+	}
+	i.injected[CrashEvent].Add(1)
+	if i.plan.Metrics != nil {
+		i.plan.Metrics.AddFaultInjected()
 	}
 }
 

@@ -242,3 +242,63 @@ func TestReorderMakesFlagFirstWrites(t *testing.T) {
 		t.Error("no reorder faults injected at rate 1")
 	}
 }
+
+// TestCrashScriptFiresAndRestarts: a Crash event must invoke the plan's
+// Crash callback at its scheduled time and, when Heal is set, the Restart
+// callback after the restart delay — both counted as CrashEvents.
+func TestCrashScriptFiresAndRestarts(t *testing.T) {
+	f, _, _ := newPair(t)
+	crashed := make(chan string, 1)
+	restarted := make(chan string, 1)
+	inj := New(Plan{
+		Script:  []Event{{At: 5 * time.Millisecond, Crash: "b:1", Heal: 20 * time.Millisecond}},
+		Crash:   func(task string) { crashed <- task },
+		Restart: func(task string) { restarted <- task },
+	})
+	inj.Install(f)
+	inj.Start()
+	defer inj.Stop()
+
+	select {
+	case task := <-crashed:
+		if task != "b:1" {
+			t.Fatalf("crashed %q, want b:1", task)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("crash callback never fired")
+	}
+	select {
+	case task := <-restarted:
+		if task != "b:1" {
+			t.Fatalf("restarted %q, want b:1", task)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("restart callback never fired")
+	}
+	if n := inj.Counters().Injected[CrashEvent]; n != 2 {
+		t.Errorf("CrashEvent count = %d, want 2 (crash + restart)", n)
+	}
+}
+
+// TestCrashScriptStopCancelsPending: Stop before the event's time must
+// suppress both callbacks.
+func TestCrashScriptStopCancelsPending(t *testing.T) {
+	f, _, _ := newPair(t)
+	fired := make(chan string, 2)
+	inj := New(Plan{
+		Script:  []Event{{At: 50 * time.Millisecond, Crash: "b:1", Heal: time.Millisecond}},
+		Crash:   func(task string) { fired <- task },
+		Restart: func(task string) { fired <- task },
+	})
+	inj.Install(f)
+	inj.Start()
+	inj.Stop()
+	select {
+	case task := <-fired:
+		t.Fatalf("callback for %q fired after Stop", task)
+	case <-time.After(120 * time.Millisecond):
+	}
+	if n := inj.Counters().Injected[CrashEvent]; n != 0 {
+		t.Errorf("CrashEvent count = %d after Stop, want 0", n)
+	}
+}

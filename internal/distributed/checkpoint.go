@@ -35,13 +35,14 @@ func (c *Cluster) LoadCheckpoint(r io.Reader) error {
 // Save sees them all and Load writes through to them).
 func (c *Cluster) mergedStore() (*exec.VarStore, error) {
 	merged := exec.NewVarStore()
-	tasks := make([]string, 0, len(c.servers))
-	for t := range c.servers {
+	srvs := c.serversSnapshot()
+	tasks := make([]string, 0, len(srvs))
+	for t := range srvs {
 		tasks = append(tasks, t)
 	}
 	sort.Strings(tasks)
 	for _, task := range tasks {
-		store := c.servers[task].VarStore
+		store := srvs[task].VarStore
 		for _, name := range store.Names() {
 			t, err := store.VarTensor(name)
 			if err != nil {

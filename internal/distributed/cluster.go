@@ -3,6 +3,7 @@ package distributed
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -82,15 +83,26 @@ type Server struct {
 	descMu     sync.Mutex
 	descs      map[string][]byte // edge key -> marshaled slot descriptor
 	qpCounters map[string]int    // per-peer round-robin QP assignment
+	// edgeMRs are the regions whose lifetime is one edge-setup round
+	// (receive slots, dyn metadata and scratch blocks, coalesce batches).
+	// teardownEdges frees them, so a transfer surviving from an aborted
+	// iteration faults on region lookup instead of corrupting rebuilt state.
+	// Staging slots are deliberately NOT here: variables live in them.
+	edgeMRs []*rdma.MemRegion
 }
 
 // Cluster is an in-process multi-server deployment of one partitioned
 // data-flow graph.
 type Cluster struct {
-	cfg     Config
-	fabric  *rdma.Fabric
-	servers map[string]*Server
-	result  *analyzer.Result
+	cfg    Config
+	fabric *rdma.Fabric
+	result *analyzer.Result
+
+	// mu guards the servers map and the Exec pointers inside: recovery
+	// replaces both while detector goroutines and metric readers look on.
+	mu       sync.RWMutex
+	servers  map[string]*Server
+	recovery *Recovery // non-nil once EnableRecovery ran; Close stops it
 }
 
 // edgeDescMethod and edgeScratchMethod are the vanilla-RPC methods used for
@@ -134,23 +146,35 @@ func Launch(b *graph.Builder, cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	for _, task := range res.Tasks {
-		srv := c.servers[task]
-		srv.Exec, err = exec.New(res.Graph, exec.Config{
-			Task:          task,
-			Workers:       cfg.ExecWorkers,
-			KernelWorkers: cfg.KernelWorkers,
-			Vars:          srv.VarStore,
-			Policy:        srv.Policy,
-			Env:           srv.Env,
-			PollTimeout:   cfg.PollTimeout,
-			Trace:         cfg.Trace,
-		})
-		if err != nil {
+		if err := c.buildExecutor(c.servers[task]); err != nil {
 			c.Close()
 			return nil, err
 		}
 	}
 	return c, nil
+}
+
+// buildExecutor (re)builds one server's executor over its partition. The
+// assignment is made under the cluster lock because recovery swaps executors
+// while detector goroutines may be aborting them.
+func (c *Cluster) buildExecutor(srv *Server) error {
+	ex, err := exec.New(c.result.Graph, exec.Config{
+		Task:          srv.Task,
+		Workers:       c.cfg.ExecWorkers,
+		KernelWorkers: c.cfg.KernelWorkers,
+		Vars:          srv.VarStore,
+		Policy:        srv.Policy,
+		Env:           srv.Env,
+		PollTimeout:   c.cfg.PollTimeout,
+		Trace:         c.cfg.Trace,
+	})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	srv.Exec = ex
+	c.mu.Unlock()
+	return nil
 }
 
 func (c *Cluster) newServer(task string) (*Server, error) {
@@ -225,6 +249,12 @@ func (c *Cluster) newServer(task string) (*Server, error) {
 		g.senderAck, g.haveAck = ack, true
 		g.mu.Unlock()
 		return nil, nil
+	})
+	// Lease pings ride the same vanilla-RPC seam as address distribution
+	// (§3.1): membership is control-plane traffic. Registered
+	// unconditionally so a restarted task resumes answering immediately.
+	dev.RegisterRPC(leasePingMethod, func(from string, req []byte) ([]byte, error) {
+		return req, nil
 	})
 	return srv, nil
 }
@@ -320,7 +350,7 @@ func (c *Cluster) setupRDMAEdges(res *analyzer.Result) error {
 		dst := c.servers[e.DstTask]
 		if e.Sig.Static {
 			payload := e.Sig.ByteSize()
-			mr, err := dst.Dev.AllocateMemRegion(rdma.StaticSlotSize(payload))
+			mr, err := dst.allocEdgeMR(rdma.StaticSlotSize(payload))
 			if err != nil {
 				return fmt.Errorf("edge %s: %w", e.Key, err)
 			}
@@ -333,7 +363,7 @@ func (c *Cluster) setupRDMAEdges(res *analyzer.Result) error {
 			dst.Env.mu.Unlock()
 			dst.putDesc(e.Key, recv.Desc().Marshal())
 		} else {
-			metaMR, err := dst.Dev.AllocateMemRegion(rdma.DynMetaSize)
+			metaMR, err := dst.allocEdgeMR(rdma.DynMetaSize)
 			if err != nil {
 				return fmt.Errorf("edge %s: %w", e.Key, err)
 			}
@@ -365,7 +395,7 @@ func (c *Cluster) setupRDMAEdges(res *analyzer.Result) error {
 	// Phase A': coalesced batch slots, one per (src, dst) pair.
 	for _, p := range plans {
 		dst := c.servers[p.dstTask]
-		mr, err := dst.Dev.AllocateMemRegion(rdma.StaticSlotSize(p.capacity))
+		mr, err := dst.allocEdgeMR(rdma.StaticSlotSize(p.capacity))
 		if err != nil {
 			return fmt.Errorf("coalesce group %s: %w", p.key, err)
 		}
@@ -437,7 +467,7 @@ func (c *Cluster) setupRDMAEdges(res *analyzer.Result) error {
 			if err != nil {
 				return fmt.Errorf("edge %s: %w", e.Key, err)
 			}
-			scratchMR, err := src.Dev.AllocateMemRegion(rdma.DynMetaSize)
+			scratchMR, err := src.allocEdgeMR(rdma.DynMetaSize)
 			if err != nil {
 				return fmt.Errorf("edge %s: %w", e.Key, err)
 			}
@@ -474,7 +504,7 @@ func (c *Cluster) setupRDMAEdges(res *analyzer.Result) error {
 		if err != nil {
 			return fmt.Errorf("coalesce group %s: %w", p.key, err)
 		}
-		mr, err := src.Dev.AllocateMemRegion(rdma.StaticSlotSize(desc.Capacity) + rdma.FlagWordSize)
+		mr, err := src.allocEdgeMR(rdma.StaticSlotSize(desc.Capacity) + rdma.FlagWordSize)
 		if err != nil {
 			return fmt.Errorf("coalesce group %s: %w", p.key, err)
 		}
@@ -523,6 +553,19 @@ func (s *Server) stagingFor(srcNode string, sig graph.Sig) (*stagingSlot, error)
 	}
 	s.Env.stagings[srcNode] = slot
 	return slot, nil
+}
+
+// allocEdgeMR allocates a region scoped to the current edge-setup round and
+// records it for teardownEdges to free.
+func (s *Server) allocEdgeMR(size int) (*rdma.MemRegion, error) {
+	mr, err := s.Dev.AllocateMemRegion(size)
+	if err != nil {
+		return nil, err
+	}
+	s.descMu.Lock()
+	s.edgeMRs = append(s.edgeMRs, mr)
+	s.descMu.Unlock()
+	return mr, nil
 }
 
 func (s *Server) putDesc(key string, d []byte) {
@@ -604,8 +647,8 @@ func (c *Cluster) InitVariable(name string, init func(*tensor.Tensor)) error {
 	if !graph.IsVariable(node) {
 		return fmt.Errorf("%w: %q is not a variable", ErrSetup, name)
 	}
-	srv, ok := c.servers[node.Task()]
-	if !ok {
+	srv := c.Server(node.Task())
+	if srv == nil {
 		return fmt.Errorf("%w: no server for task %q", ErrSetup, node.Task())
 	}
 	var t *tensor.Tensor
@@ -633,16 +676,22 @@ func (c *Cluster) Step(iter int, feeds map[string]map[string]*tensor.Tensor,
 		out  map[string]*tensor.Tensor
 		err  error
 	}
-	ch := make(chan result, len(c.servers))
+	c.mu.RLock()
+	execs := make(map[string]*exec.Executor, len(c.servers))
 	for task, srv := range c.servers {
-		go func(task string, srv *Server) {
-			out, err := srv.Exec.Run(iter, feeds[task], fetches[task]...)
-			ch <- result{task: task, out: out, err: err}
-		}(task, srv)
+		execs[task] = srv.Exec
 	}
-	outs := make(map[string]map[string]*tensor.Tensor, len(c.servers))
+	c.mu.RUnlock()
+	ch := make(chan result, len(execs))
+	for task, ex := range execs {
+		go func(task string, ex *exec.Executor) {
+			out, err := ex.Run(iter, feeds[task], fetches[task]...)
+			ch <- result{task: task, out: out, err: err}
+		}(task, ex)
+	}
+	outs := make(map[string]map[string]*tensor.Tensor, len(execs))
 	var firstErr error
-	for range c.servers {
+	for range execs {
 		r := <-ch
 		if r.err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("task %s: %w", r.task, r.err)
@@ -655,6 +704,155 @@ func (c *Cluster) Step(iter int, feeds map[string]map[string]*tensor.Tensor,
 	return outs, nil
 }
 
+// abortAll fails every server's in-flight iteration with cause.
+func (c *Cluster) abortAll(cause error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, srv := range c.servers {
+		if srv.Exec != nil {
+			srv.Exec.Abort(cause)
+		}
+	}
+}
+
+// serversSnapshot returns a stable view of the servers map.
+func (c *Cluster) serversSnapshot() map[string]*Server {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]*Server, len(c.servers))
+	for t, s := range c.servers {
+		out[t] = s
+	}
+	return out
+}
+
+// KillTask emulates a task process crash: its device drops off the fabric
+// (queued and future work fails with ErrClosed, peers see ErrNoSuchPeer),
+// its in-flight iteration aborts, and its in-memory state — variable store
+// included — is gone for good. Only recovery can bring the task back, by
+// restarting it and rolling the cluster to the last checkpoint.
+func (c *Cluster) KillTask(task string) error {
+	c.mu.RLock()
+	srv := c.servers[task]
+	c.mu.RUnlock()
+	if srv == nil {
+		return fmt.Errorf("%w: no server for task %q", ErrSetup, task)
+	}
+	if srv.rpcSrv != nil {
+		srv.rpcSrv.Close()
+	}
+	srv.Dev.Close()
+	return nil
+}
+
+// deadTasks lists tasks whose devices are closed (crashed or killed),
+// sorted for determinism.
+func (c *Cluster) deadTasks() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var dead []string
+	for task, srv := range c.servers {
+		if srv.Dev.Closed() {
+			dead = append(dead, task)
+		}
+	}
+	sort.Strings(dead)
+	return dead
+}
+
+// severPeer disconnects every live server from a dead endpoint's QPs so no
+// stale queued work request can chase the restarted incarnation, and so
+// blocked retry loops fail fast with ErrClosed instead of spinning.
+func (c *Cluster) severPeer(task string) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for name, srv := range c.servers {
+		if name != task && !srv.Dev.Closed() {
+			srv.Dev.ClosePeer(task)
+		}
+	}
+}
+
+// restartTask replaces a crashed server with a fresh one under the same
+// endpoint name (the old registration left the fabric on Close): new device,
+// arena, environment, and an empty variable store. Callers then rebuild
+// edges, the executor, and variables (from a checkpoint).
+func (c *Cluster) restartTask(task string) error {
+	c.mu.RLock()
+	old := c.servers[task]
+	c.mu.RUnlock()
+	if old == nil {
+		return fmt.Errorf("%w: no server for task %q", ErrSetup, task)
+	}
+	if !old.Dev.Closed() {
+		return fmt.Errorf("%w: task %q is still alive", ErrSetup, task)
+	}
+	srv, err := c.newServer(task)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.servers[task] = srv
+	c.mu.Unlock()
+	return nil
+}
+
+// teardownEdges drops every live server's per-round edge state: operator
+// lookup maps, dynamic receivers (with their ack regions and deferred arena
+// buffers), dynamic-send scratch, and all tracked edge regions. Staging
+// slots survive — variables live in them, and §3.2 address stability only
+// has to hold within one setup round, because rebuildEdges redistributes
+// every descriptor.
+func (c *Cluster) teardownEdges() {
+	for _, srv := range c.serversSnapshot() {
+		if srv.Dev.Closed() {
+			continue
+		}
+		srv.Env.mu.Lock()
+		dynRecvs := srv.Env.dynRecv
+		dynSends := srv.Env.dynSend
+		srv.Env.staticSend = make(map[string]*staticSendState)
+		srv.Env.staticRecv = make(map[string]*staticRecvState)
+		srv.Env.dynSend = make(map[string]*dynSendState)
+		srv.Env.dynRecv = make(map[string]*dynRecvState)
+		srv.Env.coalSendGroups = make(map[string]*coalSendGroup)
+		srv.Env.coalRecvGroups = make(map[string]*coalRecvGroup)
+		srv.Env.coalSendEdges = make(map[string]*coalSendEdge)
+		srv.Env.coalRecvEdges = make(map[string]*coalRecvEdge)
+		srv.Env.mu.Unlock()
+		for _, st := range dynRecvs {
+			st.recv.Close()
+			st.mu.Lock()
+			pending := st.pendingFree
+			st.pendingFree = nil
+			st.mu.Unlock()
+			for _, p := range pending {
+				_ = srv.Arena.Free(p.buf)
+			}
+		}
+		for _, st := range dynSends {
+			if st.scratch != nil {
+				st.dev.FreeMemRegion(st.scratch)
+			}
+		}
+		srv.descMu.Lock()
+		mrs := srv.edgeMRs
+		srv.edgeMRs = nil
+		srv.descs = make(map[string][]byte)
+		srv.descMu.Unlock()
+		for _, mr := range mrs {
+			srv.Dev.FreeMemRegion(mr)
+		}
+	}
+}
+
+// rebuildEdges re-runs the full edge setup — receive slots, stripe lanes,
+// coalesce groups, address distribution — over the current server set.
+func (c *Cluster) rebuildEdges() error {
+	c.teardownEdges()
+	return c.setupRDMAEdges(c.result)
+}
+
 // Result exposes the partitioning outcome.
 func (c *Cluster) Result() *analyzer.Result { return c.result }
 
@@ -662,12 +860,17 @@ func (c *Cluster) Result() *analyzer.Result { return c.result }
 func (c *Cluster) Fabric() *rdma.Fabric { return c.fabric }
 
 // Server returns the server running the given task.
-func (c *Cluster) Server(task string) *Server { return c.servers[task] }
+func (c *Cluster) Server(task string) *Server {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.servers[task]
+}
 
 // MetricsSnapshot returns per-task communication counters.
 func (c *Cluster) MetricsSnapshot() map[string]metrics.CommSnapshot {
-	out := make(map[string]metrics.CommSnapshot, len(c.servers))
-	for task, srv := range c.servers {
+	srvs := c.serversSnapshot()
+	out := make(map[string]metrics.CommSnapshot, len(srvs))
+	for task, srv := range srvs {
 		out[task] = srv.Metrics.Snapshot()
 	}
 	return out
@@ -680,17 +883,23 @@ func (c *Cluster) VarTensor(name string) (*tensor.Tensor, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv, ok := c.servers[node.Task()]
-	if !ok {
+	srv := c.Server(node.Task())
+	if srv == nil {
 		return nil, fmt.Errorf("%w: no server for %q", ErrSetup, node.Task())
 	}
 	return srv.VarStore.VarTensor(name)
 }
 
-// Close tears the cluster down: RPC clients and servers first, then
-// devices.
+// Close tears the cluster down: the failure detector first (so teardown is
+// not mistaken for a crash), then RPC clients and servers, then devices.
 func (c *Cluster) Close() {
-	for _, srv := range c.servers {
+	c.mu.RLock()
+	rec := c.recovery
+	c.mu.RUnlock()
+	if rec != nil {
+		rec.stop()
+	}
+	for _, srv := range c.serversSnapshot() {
 		srv.Env.mu.Lock()
 		for _, cl := range srv.Env.rpcClients {
 			cl.Close()
@@ -701,7 +910,7 @@ func (c *Cluster) Close() {
 			srv.rpcSrv.Close()
 		}
 	}
-	for _, srv := range c.servers {
+	for _, srv := range c.serversSnapshot() {
 		srv.Dev.Close()
 	}
 }

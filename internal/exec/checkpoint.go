@@ -69,6 +69,28 @@ func (s *VarStore) Save(w io.Writer) error {
 // already exist with a matching dtype and shape; extra live variables are
 // left untouched (so optimizer slots created after the checkpoint survive).
 func (s *VarStore) Load(r io.Reader) error {
+	return s.load(r, nil, false)
+}
+
+// CreateVarFunc builds the backing tensor for a variable the checkpoint
+// names but the store lacks. Callers decide placement: recovery puts graph
+// variables back into their registered staging slots and everything else on
+// the heap.
+type CreateVarFunc func(name string, dt tensor.DType, shape tensor.Shape) (*tensor.Tensor, error)
+
+// LoadInto is Load with the two extensions crash recovery needs. Missing
+// variables are created through create (placement-aware) before their values
+// are restored — a restarted task begins with an empty store. And live
+// variables the checkpoint does NOT name are zeroed: they were created after
+// the snapshot with zero initial state (optimizer slots), so zeroing them —
+// rather than leaving post-snapshot values behind — makes the store's full
+// state match the snapshot instant, which is what keeps replay from the
+// checkpoint bit-identical.
+func (s *VarStore) LoadInto(r io.Reader, create CreateVarFunc) error {
+	return s.load(r, create, true)
+}
+
+func (s *VarStore) load(r io.Reader, create CreateVarFunc, rollback bool) error {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return fmt.Errorf("%w: reading header: %v", ErrVar, err)
@@ -77,6 +99,7 @@ func (s *VarStore) Load(r io.Reader) error {
 		return fmt.Errorf("%w: not a checkpoint (bad magic)", ErrVar)
 	}
 	count := binary.LittleEndian.Uint32(hdr[4:])
+	restored := make(map[string]bool, count)
 	for i := uint32(0); i < count; i++ {
 		var lenBuf [4]byte
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -90,18 +113,50 @@ func (s *VarStore) Load(r io.Reader) error {
 		if err := msg.Unmarshal(frame); err != nil {
 			return fmt.Errorf("%w: decoding frame %d: %v", ErrVar, i, err)
 		}
+		shape := make(tensor.Shape, len(msg.Shape))
+		for d, v := range msg.Shape {
+			shape[d] = int(v)
+		}
 		t, err := s.VarTensor(msg.Name)
 		if err != nil {
-			return fmt.Errorf("%w: checkpoint has %q but the store does not", ErrVar, msg.Name)
+			if create == nil {
+				return fmt.Errorf("%w: checkpoint has %q but the store does not", ErrVar, msg.Name)
+			}
+			t, err = create(msg.Name, tensor.DType(msg.DType), shape)
+			if err != nil {
+				return fmt.Errorf("%w: creating %q: %v", ErrVar, msg.Name, err)
+			}
+			if err := s.Create(msg.Name, t); err != nil {
+				return err
+			}
 		}
 		if uint32(t.DType()) != msg.DType {
 			return fmt.Errorf("%w: %q dtype mismatch (%v vs %d)", ErrVar, msg.Name, t.DType(), msg.DType)
+		}
+		if !t.Shape().Equal(shape) {
+			return fmt.Errorf("%w: %q shape mismatch (%v vs %v)", ErrVar, msg.Name, t.Shape(), shape)
 		}
 		if len(msg.Payload) != t.ByteSize() {
 			return fmt.Errorf("%w: %q payload %d bytes, variable holds %d",
 				ErrVar, msg.Name, len(msg.Payload), t.ByteSize())
 		}
 		copy(t.Bytes(), msg.Payload)
+		restored[msg.Name] = true
+	}
+	if rollback {
+		for _, name := range s.Names() {
+			if restored[name] {
+				continue
+			}
+			t, err := s.VarTensor(name)
+			if err != nil {
+				return err
+			}
+			b := t.Bytes()
+			for j := range b {
+				b[j] = 0
+			}
+		}
 	}
 	return nil
 }

@@ -68,6 +68,9 @@ type Executor struct {
 	indeg   []int
 	stats   *statsTable
 	recycle *recycler // nil unless the policy opted in
+
+	runMu   sync.Mutex
+	current *runState // in-flight iteration, abortable from outside
 }
 
 // New validates the partition and builds an executor. Every input of a
@@ -141,6 +144,26 @@ func (e *Executor) traceLane() string {
 // Vars returns the executor's variable store.
 func (e *Executor) Vars() *VarStore { return e.cfg.Vars }
 
+// Abort fails the in-flight iteration, if any, with ErrAborted wrapping
+// cause. Workers drain promptly (polling operators stop re-enqueueing,
+// next() returns false); async completions that land after the abort are
+// absorbed by the dead run state. Recovery drivers call it to cut short a
+// step whose peer has crashed. Safe to call concurrently with Run and when
+// no iteration is running (then it is a no-op).
+func (e *Executor) Abort(cause error) {
+	e.runMu.Lock()
+	st := e.current
+	e.runMu.Unlock()
+	if st == nil {
+		return
+	}
+	if cause == nil {
+		st.fail(ErrAborted)
+	} else {
+		st.fail(fmt.Errorf("%w: %w", ErrAborted, cause))
+	}
+}
+
 // run-state shared by the workers of one iteration.
 type runState struct {
 	e     *Executor
@@ -162,6 +185,35 @@ type runState struct {
 func isPollingNode(n *graph.Node) bool {
 	_, ok := n.Op().(graph.PollingKernel)
 	return ok
+}
+
+// Pure-polling backoff: when the ready queue holds only not-ready polling
+// operators, a worker first spins through a short miss budget (data usually
+// arrives within microseconds), then sleeps with the duration doubling up to
+// a cap. The polled flags are written remotely by one-sided RDMA, so the
+// sleep delays only this worker's next poll — it cannot delay the data —
+// and the FIFO requeue keeps multiple starved pollers taking turns at the
+// queue head instead of one monopolizing the misses.
+const (
+	pollSpinBudget  = 16
+	pollBackoffMin  = 5 * time.Microsecond
+	pollBackoffMax  = time.Millisecond
+	pollBackoffExpo = 8 // doublings until the cap is pinned
+)
+
+func pollBackoff(misses int) time.Duration {
+	exp := misses - pollSpinBudget - 1
+	if exp < 0 {
+		return 0
+	}
+	if exp > pollBackoffExpo {
+		exp = pollBackoffExpo
+	}
+	d := pollBackoffMin << uint(exp)
+	if d > pollBackoffMax {
+		d = pollBackoffMax
+	}
+	return d
 }
 
 func (st *runState) fail(err error) {
@@ -275,6 +327,9 @@ func (e *Executor) Run(iter int, feeds map[string]*tensor.Tensor, fetches ...str
 		}
 	}
 
+	e.runMu.Lock()
+	e.current = st
+	e.runMu.Unlock()
 	var wg sync.WaitGroup
 	for w := 0; w < e.cfg.Workers; w++ {
 		wg.Add(1)
@@ -284,6 +339,9 @@ func (e *Executor) Run(iter int, feeds map[string]*tensor.Tensor, fetches ...str
 		}()
 	}
 	wg.Wait()
+	e.runMu.Lock()
+	e.current = nil
+	e.runMu.Unlock()
 
 	st.mu.Lock()
 	err := st.err
@@ -348,12 +406,13 @@ func (e *Executor) worker(st *runState) {
 				if hadOther {
 					pollMisses = 0
 				} else {
-					// Pure-polling queue: yield briefly instead of spinning
+					// Pure-polling queue: back off instead of spinning
 					// ("polling has a lower priority ... to minimize its
 					// impact").
 					pollMisses++
-					if pollMisses > 16 {
-						time.Sleep(5 * time.Microsecond)
+					if d := pollBackoff(pollMisses); d > 0 {
+						e.stats.recordPollBackoff(n.Op().Name())
+						time.Sleep(d)
 					}
 				}
 				continue

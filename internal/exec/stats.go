@@ -15,6 +15,10 @@ type OpStats struct {
 	Op         string
 	Executions int64
 	PollMisses int64
+	// PollBackoffs counts the scheduler sleeps taken while this operator
+	// headed a queue of only not-ready pollers — evidence the pure-polling
+	// path yields the core instead of busy-spinning.
+	PollBackoffs int64
 	// PollTimeouts counts iterations this operator aborted via the
 	// progress-based stall detector (ErrPollTimeout).
 	PollTimeouts int64
@@ -59,6 +63,12 @@ func (t *statsTable) recordPollMiss(op string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.entry(op).PollMisses++
+}
+
+func (t *statsTable) recordPollBackoff(op string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entry(op).PollBackoffs++
 }
 
 func (t *statsTable) recordPollTimeout(op string) {

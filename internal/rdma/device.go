@@ -74,11 +74,10 @@ type Device struct {
 
 	closed atomic.Bool
 
-	mu           sync.Mutex
-	regions      map[uint32]*MemRegion
-	nextRegionID uint32
-	peers        map[string]*peerConn
-	nextCQ       int
+	mu      sync.Mutex
+	regions map[uint32]*MemRegion
+	peers   map[string]*peerConn
+	nextCQ  int
 
 	cqs []*completionQueue
 
@@ -171,6 +170,10 @@ func CreateDevice(f *Fabric, cfg Config) (*Device, error) {
 // Endpoint returns the device's fabric address.
 func (d *Device) Endpoint() string { return d.endpoint }
 
+// Closed reports whether Close has begun. Failure detectors use it to tell a
+// deliberately (or crash-) closed local device from a remote fault.
+func (d *Device) Closed() bool { return d.closed.Load() }
+
 // AllocateMemRegion registers a new RDMA-accessible memory region of the
 // given size (rounded up to a multiple of 8 bytes so every tail flag word is
 // aligned). It corresponds to RdmaDev::AllocateMemRegion in Table 1.
@@ -187,8 +190,11 @@ func (d *Device) AllocateMemRegion(size int) (*MemRegion, error) {
 		return nil, fmt.Errorf("rdma: registration limit %d reached: %w", d.cfg.MaxRegions, ErrBadConfig)
 	}
 	rounded := (size + 7) / 8 * 8
-	d.nextRegionID++
-	mr := &MemRegion{dev: d, id: d.nextRegionID, data: newAlignedBytes(rounded)}
+	// Region ids come from a fabric-wide sequence, not a per-device counter:
+	// a restarted endpoint must never mint ids that alias regions a dead
+	// incarnation advertised, or a stale queued work request could land in
+	// the new incarnation's memory instead of failing with ErrBounds.
+	mr := &MemRegion{dev: d, id: d.fabric.nextRegionID(), data: newAlignedBytes(rounded)}
 	d.regions[mr.id] = mr
 	return mr, nil
 }
@@ -254,6 +260,27 @@ func (d *Device) GetChannel(remote string, qpIdx int) (*Channel, error) {
 	qp := pc.qps[qpIdx]
 	d.mu.Unlock()
 	return &Channel{dev: d, remote: remote, qp: qp}, nil
+}
+
+// ClosePeer tears down the local QPs connecting this device to one remote
+// endpoint: queued and future work on them fails with ErrClosed, and a later
+// GetChannel to the same endpoint builds fresh QPs. Recovery drivers call it
+// on every survivor to sever the fabric paths to a crashed peer before its
+// replacement re-registers under the same endpoint name, so no stale work
+// request can reach the new incarnation.
+func (d *Device) ClosePeer(remote string) {
+	d.mu.Lock()
+	pc, ok := d.peers[remote]
+	if ok {
+		delete(d.peers, remote)
+	}
+	d.mu.Unlock()
+	if !ok {
+		return
+	}
+	for _, qp := range pc.qps {
+		qp.close()
+	}
 }
 
 // SetMessageHandler installs the two-sided receive handler. Messages are
@@ -361,6 +388,7 @@ type queuePair struct {
 	peer string
 	cq   *completionQueue
 	wq   *guardedQueue[workRequest]
+	down atomic.Bool // set by close: buffered work fails instead of executing
 }
 
 type wrKind uint8
@@ -404,6 +432,13 @@ func (qp *queuePair) post(wr workRequest) error {
 
 func (qp *queuePair) run() {
 	for wr := range qp.wq.ch {
+		if qp.down.Load() || qp.dev.closed.Load() {
+			// Fail fast: work buffered before Close must not execute against
+			// live peers afterwards — callers get ErrClosed, not a transfer
+			// that silently lands while the device is tearing down.
+			qp.cq.post(completion{cb: wr.cb, err: ErrClosed})
+			continue
+		}
 		var err error
 		switch wr.kind {
 		case wrTransfer:
@@ -432,6 +467,7 @@ func (qp *queuePair) run() {
 }
 
 func (qp *queuePair) close() {
+	qp.down.Store(true)
 	qp.wq.close()
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -65,6 +66,11 @@ type Fabric struct {
 	devices    map[string]*Device
 	partitions map[[2]string]bool
 	hooks      Hooks
+
+	// regionSeq issues memory-region ids fabric-wide, so a restarted
+	// endpoint never reuses an id a dead incarnation handed out (stale work
+	// requests then fail region lookup instead of hitting fresh memory).
+	regionSeq atomic.Uint32
 }
 
 // NewFabric creates an empty fabric.
@@ -132,6 +138,10 @@ func (f *Fabric) lookup(from, to string) (*Device, error) {
 		return nil, fmt.Errorf("rdma: %s -> %s: %w", from, to, ErrNoSuchPeer)
 	}
 	return d, nil
+}
+
+func (f *Fabric) nextRegionID() uint32 {
+	return f.regionSeq.Add(1)
 }
 
 func (f *Fabric) hooksSnapshot() Hooks {

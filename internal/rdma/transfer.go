@@ -270,6 +270,13 @@ func (r *DynReceiver) Desc() DynSlotDesc {
 	return DynSlotDesc{Region: r.mr.Descriptor(), Off: r.off}
 }
 
+// Close releases the receiver's internally allocated ack-source region.
+// Call when the edge is torn down (e.g. rebuilt after a peer crash) so
+// repeated setup rounds do not accumulate registrations.
+func (r *DynReceiver) Close() {
+	r.mr.dev.FreeMemRegion(r.ackSrc)
+}
+
 // Poll checks the metadata flag; when set it decodes and returns the
 // metadata (leaving the flag set until Fetch clears it).
 func (r *DynReceiver) Poll() (DynMeta, bool) {

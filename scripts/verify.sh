@@ -20,6 +20,14 @@ go test -race ./...
 echo "== go test -race -cpu=1,4 (kernel parallelism) =="
 go test -race -cpu=1,4 ./internal/parallel/ ./internal/tensor/ ./internal/exec/
 
+# Crash-recovery and close/poll regression gates. go test -race ./... above
+# already runs these; naming them keeps the acceptance bar explicit even if
+# package filters change.
+echo "== recovery & close/poll regression gates (-race) =="
+go test -race -run '^TestRecoveryWorkerCrashBitIdentical$|^TestHeartbeatDetectorExpiresAndResumes$|^TestLoadCheckpointRestoresRegisteredStorage$' ./internal/distributed/
+go test -race -run '^TestCloseMidTransferFailsFast$|^TestCloseMidStripedTransferFailsFast$|^TestClosePeerSeversThenRebuilds$' ./internal/rdma/
+go test -race -run '^TestPurePollingBoundedSpin$|^TestPollBackoffPreservesFairness$' ./internal/exec/
+
 # Fuzz smoke: each target gets a short budget. The engine accepts one
 # -fuzz pattern per invocation, so loop explicitly.
 FUZZTIME="${FUZZTIME:-5s}"
