@@ -9,6 +9,7 @@
 //	             [-workers N] [-ps N] [-iters N] [-batch N]
 //	             [-stripes N] [-coalesce BYTES]
 //	             [-heartbeat DUR] [-checkpoint-every N]
+//	             [-obs-addr HOST:PORT]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/distributed"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 	"repro/internal/tensor"
 	"repro/internal/trace"
@@ -57,6 +59,7 @@ func main() {
 	coalesce := flag.Int("coalesce", 0, "batch static tensors smaller than N bytes into one coalesced write per peer pair (0 = off)")
 	heartbeat := flag.Duration("heartbeat", 0, "enable the lease failure detector and crash recovery, pinging each task at this period (0 = off; lease timeout is 10x the period; RDMA mechanisms only)")
 	ckptEvery := flag.Int("checkpoint-every", 5, "with -heartbeat, checkpoint the cluster every N steps (rollback target after a crash)")
+	obsAddr := flag.String("obs-addr", "", "serve live observability HTTP on this address (Prometheus /metrics, /trace JSON, /steps report, /debug/pprof/); empty = off")
 	flag.Parse()
 
 	kind, err := parseKind(*mech)
@@ -73,14 +76,14 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(kind, *workers, *psCount, *iters, *batch, *kernelWorkers, *optimizer, *dot, *tracePath,
-		*dropRate, *chaosSeed, *stripes, *coalesce, *heartbeat, *ckptEvery); err != nil {
+		*dropRate, *chaosSeed, *stripes, *coalesce, *heartbeat, *ckptEvery, *obsAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "rdmadl-train: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(kind distributed.Kind, workers, psCount, iters, batch, kernelWorkers int, optimizer, dotPath, tracePath string,
-	dropRate float64, chaosSeed int64, stripes, coalesce int, heartbeat time.Duration, ckptEvery int) error {
+	dropRate float64, chaosSeed int64, stripes, coalesce int, heartbeat time.Duration, ckptEvery int, obsAddr string) error {
 	var rec *trace.Recorder
 	if tracePath != "" {
 		rec = trace.NewRecorder(0)
@@ -110,6 +113,21 @@ func run(kind distributed.Kind, workers, psCount, iters, batch, kernelWorkers in
 	defer cl.Close()
 	if err := job.InitAll(cl); err != nil {
 		return err
+	}
+
+	if obsAddr != "" {
+		obsSrv := obs.NewServer(obs.Options{
+			Metrics: cl.MetricsSnapshot,
+			Hists:   cl.HistSnapshots,
+			Steps:   cl.StepSummaries,
+			Trace:   rec,
+		})
+		addr, err := obsSrv.Start(obsAddr)
+		if err != nil {
+			return err
+		}
+		defer obsSrv.Close()
+		fmt.Printf("obs: serving http://%s/metrics (also /trace, /steps, /debug/pprof/)\n", addr)
 	}
 
 	var inj *chaos.Injector
@@ -208,6 +226,9 @@ func run(kind distributed.Kind, workers, psCount, iters, batch, kernelWorkers in
 		fmt.Printf("recovery: heartbeats=%d missed=%d expiries=%d checkpoints=%d rollbacks=%d recoveries=%d rejoins=%d\n",
 			rs.Heartbeats, rs.MissedBeats, rs.LeaseExpiries, rs.Checkpoints, rs.Rollbacks, rs.Recoveries, rs.Rejoins)
 	}
+
+	fmt.Println("\nstep-time breakdown:")
+	obs.WriteStepReport(os.Stdout, cl.StepSummaries(), 0)
 
 	comp := metrics.Compute()
 	fmt.Printf("\ncompute: scratch hits=%d misses=%d discards=%d | recycle hits=%d misses=%d\n",

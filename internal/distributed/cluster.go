@@ -76,6 +76,11 @@ type Server struct {
 	Exec     *exec.Executor
 	Env      *Env
 	Metrics  *metrics.Comm
+	// Hists holds the task's latency/size distributions (per-op execution,
+	// per-edge bytes and transfer time, poll-wait, ring sends). Like Metrics
+	// it is carried across a recovery restart, so the books stay balanced
+	// over the task's whole lifetime, rebuilds included.
+	Hists *metrics.Set
 
 	rpcSrv  *rpc.Server
 	rpcAddr string
@@ -103,6 +108,12 @@ type Cluster struct {
 	mu       sync.RWMutex
 	servers  map[string]*Server
 	recovery *Recovery // non-nil once EnableRecovery ran; Close stops it
+
+	// stepStats accumulates per-task step-time breakdowns. It lives on the
+	// cluster — not the executor — so the numbers survive recovery replacing
+	// executors. Keys are fixed at Launch; the StepStat values are internally
+	// synchronized.
+	stepStats map[string]*metrics.StepStat
 }
 
 // edgeDescMethod and edgeScratchMethod are the vanilla-RPC methods used for
@@ -126,7 +137,11 @@ func Launch(b *graph.Builder, cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{cfg: cfg, fabric: rdma.NewFabric(), servers: make(map[string]*Server)}
+	c := &Cluster{cfg: cfg, fabric: rdma.NewFabric(), servers: make(map[string]*Server),
+		stepStats: make(map[string]*metrics.StepStat)}
+	for _, task := range res.Tasks {
+		c.stepStats[task] = &metrics.StepStat{}
+	}
 	for _, task := range res.Tasks {
 		srv, err := c.newServer(task)
 		if err != nil {
@@ -167,6 +182,7 @@ func (c *Cluster) buildExecutor(srv *Server) error {
 		Env:           srv.Env,
 		PollTimeout:   c.cfg.PollTimeout,
 		Trace:         c.cfg.Trace,
+		Hists:         srv.Hists,
 	})
 	if err != nil {
 		return err
@@ -193,6 +209,7 @@ func (c *Cluster) newServer(task string) (*Server, error) {
 	arena := alloc.NewArena(arenaMR.Bytes())
 	policy := analyzer.NewTracingPolicy(arena, c.cfg.Kind.ZeroCopy())
 	m := &metrics.Comm{}
+	hists := &metrics.Set{}
 	srv := &Server{
 		Task:     task,
 		Dev:      dev,
@@ -201,10 +218,12 @@ func (c *Cluster) newServer(task string) (*Server, error) {
 		Policy:   policy,
 		VarStore: exec.NewVarStore(),
 		Metrics:  m,
+		Hists:    hists,
 		descs:    make(map[string][]byte),
 	}
 	srv.Env = newEnv(task, c.cfg.Kind, policy, m, arena, arenaMR)
 	srv.Env.Xfer = c.cfg.Transfer
+	srv.Env.Hists = hists
 	dev.RegisterRPC(edgeDescMethod, func(from string, req []byte) ([]byte, error) {
 		srv.descMu.Lock()
 		defer srv.descMu.Unlock()
@@ -593,11 +612,19 @@ func (s *Server) nextQP(peer string, qpsPerPeer int) int {
 // setupRPCEdges builds the gRPC-baseline data path: one RPC server per
 // machine on the chosen substrate, one client per (src, dst) pair.
 func (c *Cluster) setupRPCEdges(res *analyzer.Result) error {
+	// ringCfgFor wires the server's outbound ring-send latency histogram
+	// into the transport hook (fragmentation + credit waits + retries).
+	ringCfgFor := func(srv *Server) transport.RingConfig {
+		cfg := c.cfg.RingCfg
+		h := srv.Hists.Hist(metrics.HistRingSendNs)
+		cfg.OnSend = func(bytes int, d time.Duration) { h.Record(d.Nanoseconds()) }
+		return cfg
+	}
 	listenNet := func(srv *Server) transport.Network {
 		if c.cfg.Kind == GRPCTCP {
 			return transport.TCPNetwork()
 		}
-		return transport.RingNetwork(srv.Dev, c.cfg.RingCfg)
+		return transport.RingNetwork(srv.Dev, ringCfgFor(srv))
 	}
 	for _, task := range res.Tasks {
 		srv := c.servers[task]
@@ -622,7 +649,7 @@ func (c *Cluster) setupRPCEdges(res *analyzer.Result) error {
 		if c.cfg.Kind == GRPCTCP {
 			net = transport.TCPNetwork()
 		} else {
-			net = transport.RingNetwork(src.Dev, c.cfg.RingCfg)
+			net = transport.RingNetwork(src.Dev, ringCfgFor(src))
 		}
 		client, err := rpc.Dial(net, dst.rpcAddr)
 		if err != nil {
@@ -696,12 +723,47 @@ func (c *Cluster) Step(iter int, feeds map[string]map[string]*tensor.Tensor,
 		if r.err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("task %s: %w", r.task, r.err)
 		}
+		if r.err == nil {
+			// Fold the completed step into the task's profile. Only clean
+			// steps count — an aborted iteration's wall time says nothing
+			// about steady-state step cost.
+			if st := c.stepStats[r.task]; st != nil {
+				br := execs[r.task].LastRun()
+				st.Observe(br)
+				if srv := c.Server(r.task); srv != nil {
+					srv.Hists.Hist(metrics.HistStepNs).Record(br.Wall.Nanoseconds())
+				}
+			}
+		}
 		outs[r.task] = r.out
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	return outs, nil
+}
+
+// StepSummaries returns each task's accumulated step-time profile: wall-time
+// distribution plus the compute/comm/poll-wait/idle breakdown. The stats
+// accumulate across recovery rebuilds.
+func (c *Cluster) StepSummaries() map[string]metrics.StepSummary {
+	out := make(map[string]metrics.StepSummary, len(c.stepStats))
+	for task, st := range c.stepStats {
+		out[task] = st.Summary()
+	}
+	return out
+}
+
+// HistSnapshots returns each task's histogram registry snapshot (per-op
+// execution latency, per-edge bytes and transfer latency, poll-wait, step
+// wall time).
+func (c *Cluster) HistSnapshots() map[string]metrics.SetSnapshot {
+	srvs := c.serversSnapshot()
+	out := make(map[string]metrics.SetSnapshot, len(srvs))
+	for task, srv := range srvs {
+		out[task] = srv.Hists.Snapshot()
+	}
+	return out
 }
 
 // abortAll fails every server's in-flight iteration with cause.
@@ -791,6 +853,14 @@ func (c *Cluster) restartTask(task string) error {
 	if err != nil {
 		return err
 	}
+	// The restarted incarnation keeps the task's metrics and histograms: the
+	// counters describe the task, not the process incarnation, and the
+	// observability consistency invariants (histogram sums == byte counters)
+	// must hold across rebuilds.
+	srv.Metrics = old.Metrics
+	srv.Env.Metrics = old.Metrics
+	srv.Hists = old.Hists
+	srv.Env.Hists = old.Hists
 	c.mu.Lock()
 	c.servers[task] = srv
 	c.mu.Unlock()

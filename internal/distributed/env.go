@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/analyzer"
@@ -31,6 +32,11 @@ type Env struct {
 	Kind    Kind
 	Policy  *analyzer.TracingPolicy
 	Metrics *metrics.Comm
+	// Hists receives per-edge observability distributions (sent/recv bytes,
+	// transfer latency), recorded at exactly the same call sites as the Comm
+	// counters so the two stay consistent. Nil disables recording (all
+	// histogram types are nil-safe).
+	Hists *metrics.Set
 	// Xfer bounds every edge transfer (deadline, retry budget, backoff).
 	// The zero value selects the rdma package defaults.
 	Xfer rdma.TransferOpts
@@ -239,6 +245,31 @@ func (e *Env) xferOpts() rdma.TransferOpts {
 	o.OnRetry = func(error) { e.Metrics.AddRetry() }
 	o.OnStripe = func(lane, n int) { e.Metrics.AddStripe(lane, n) }
 	return o
+}
+
+// xferOptsFor is xferOpts with the edge's transfer-latency histogram wired
+// into the completion hook.
+func (e *Env) xferOptsFor(key string) rdma.TransferOpts {
+	o := e.xferOpts()
+	if e.Hists != nil {
+		h := e.Hists.Family(metrics.HistEdgeXferNs).With(key)
+		o.OnComplete = func(bytes int, d time.Duration) { h.Record(d.Nanoseconds()) }
+	}
+	return o
+}
+
+// recordSent pairs the sent-bytes counter with the edge's sent-bytes
+// histogram: same value, same call site, so histogram sums always equal the
+// counter and histogram counts always equal the message count.
+func (e *Env) recordSent(key string, n int) {
+	e.Metrics.AddSent(n)
+	e.Hists.Family(metrics.HistEdgeSentBytes).With(key).Record(int64(n))
+}
+
+// recordRecv is recordSent's receive-side twin.
+func (e *Env) recordRecv(key string, n int) {
+	e.Metrics.AddRecv(n)
+	e.Hists.Family(metrics.HistEdgeRecvBytes).With(key).Record(int64(n))
 }
 
 // edgeErr classifies a transfer failure for the scheduler: an exhausted

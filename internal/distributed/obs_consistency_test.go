@@ -1,0 +1,254 @@
+package distributed
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/metrics"
+	"repro/internal/rdma"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Metrics/trace consistency suite: the observability layer must not merely
+// produce plausible numbers — its three independent record paths (Comm
+// counters, histograms, trace spans) are wired at the same call sites, so
+// they must agree exactly. These tests cross-check them against each other
+// and against the step-time books after real training, with and without a
+// mid-run crash + recovery rebuild.
+
+// launchObsTraining launches a 3-task (2 workers + 1 PS) training cluster
+// and returns feeds/fetches for stepping it.
+func launchObsTraining(t *testing.T, cfg Config) (*Cluster,
+	map[string]map[string]*tensor.Tensor, map[string][]string, []string) {
+	t.Helper()
+	const workers, psCount, batch, in, classes = 2, 1, 8, 12, 4
+	b, workerTasks := buildPSTraining(t, workers, psCount, batch, in, classes, 0.2)
+	cl, err := Launch(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	rng := rand.New(rand.NewSource(99))
+	if err := cl.InitVariable("w", func(tt *tensor.Tensor) { tensor.GlorotInit(tt, rng) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.InitVariable("bias", nil); err != nil {
+		t.Fatal(err)
+	}
+	feeds := make(map[string]map[string]*tensor.Tensor)
+	fetches := make(map[string][]string)
+	dataRng := rand.New(rand.NewSource(7))
+	for k, task := range workerTasks {
+		x := tensor.New(tensor.Float32, batch, in)
+		labels := tensor.New(tensor.Int32, batch)
+		tensor.RandomUniform(x, dataRng, 1)
+		tensor.RandomLabels(labels, dataRng, classes)
+		feeds[task] = map[string]*tensor.Tensor{
+			fmt.Sprintf("x%d", k):      x,
+			fmt.Sprintf("labels%d", k): labels,
+		}
+		fetches[task] = []string{fmt.Sprintf("loss%d", k)}
+	}
+	return cl, feeds, fetches, workerTasks
+}
+
+// checkByteConsistency asserts, for every task, that the per-edge histogram
+// totals reproduce the Comm byte counters exactly: same call sites, same
+// values, so any drift is a wiring bug.
+func checkByteConsistency(t *testing.T, cl *Cluster) {
+	t.Helper()
+	comm := cl.MetricsSnapshot()
+	hists := cl.HistSnapshots()
+	for task, cs := range comm {
+		hs, ok := hists[task]
+		if !ok {
+			t.Errorf("%s: no histogram set", task)
+			continue
+		}
+		sent := metrics.FamilyTotal(hs.Families[metrics.HistEdgeSentBytes])
+		recv := metrics.FamilyTotal(hs.Families[metrics.HistEdgeRecvBytes])
+		if sent.Sum != cs.BytesSent {
+			t.Errorf("%s: edge_sent_bytes sum %d != BytesSent %d", task, sent.Sum, cs.BytesSent)
+		}
+		if recv.Sum != cs.BytesRecv {
+			t.Errorf("%s: edge_recv_bytes sum %d != BytesRecv %d", task, recv.Sum, cs.BytesRecv)
+		}
+		// AddSent is the only bump of Messages, and every AddSent site also
+		// records into the sent family — counts must match too.
+		if sent.Count != cs.Messages {
+			t.Errorf("%s: edge_sent_bytes count %d != Messages %d", task, sent.Count, cs.Messages)
+		}
+	}
+}
+
+// checkStepBooks asserts the per-task step accounting balances: every
+// category sums back to about Workers x Wall (the executor attributes every
+// worker-loop moment to exactly one category, so only goroutine launch
+// overhead escapes), and the step_ns histogram saw exactly the observed
+// steps.
+func checkStepBooks(t *testing.T, cl *Cluster, minSteps int64) {
+	t.Helper()
+	sums := cl.StepSummaries()
+	hists := cl.HistSnapshots()
+	if len(sums) == 0 {
+		t.Fatal("no step summaries")
+	}
+	for task, s := range sums {
+		if s.Steps < minSteps {
+			t.Errorf("%s: %d steps observed, want >= %d", task, s.Steps, minSteps)
+			continue
+		}
+		stepHist := hists[task].Hists[metrics.HistStepNs]
+		if stepHist.Count != s.Steps {
+			t.Errorf("%s: step_ns count %d != observed steps %d", task, stepHist.Count, s.Steps)
+		}
+		ww := time.Duration(s.Totals.Workers) * s.Totals.Wall
+		acc := s.Totals.Accounted()
+		if acc < 3*ww/4-20*time.Millisecond || acc > ww+ww/20+20*time.Millisecond {
+			t.Errorf("%s: accounted %v vs workers x wall %v (compute %v comm %v poll %v idle %v): books do not balance",
+				task, acc, ww, s.Totals.Compute, s.Totals.Comm, s.Totals.PollWait, s.Totals.Idle)
+		}
+	}
+}
+
+// TestMetricsTraceConsistency trains 10 steps on 3 tasks with tracing and
+// histograms live and cross-checks every observability channel against the
+// others: histogram byte totals vs Comm counters, trace span count vs
+// operator-execution count, step-ops vs exec histogram counts, and the
+// step-time books vs wall time.
+func TestMetricsTraceConsistency(t *testing.T) {
+	for _, kind := range []Kind{RDMA, GRPCRDMA, GRPCTCP} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			const steps = 10
+			rec := trace.NewRecorder(0)
+			cl, feeds, fetches, _ := launchObsTraining(t, Config{
+				Kind:        kind,
+				ArenaBytes:  1 << 20,
+				ExecWorkers: 1, // single worker: tightest possible books
+				RingCfg:     transport.RingConfig{Slots: 16, SlotSize: 8 << 10},
+				Trace:       rec,
+			})
+			for iter := 0; iter < steps; iter++ {
+				if _, err := cl.Step(iter, feeds, fetches); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if rec.Dropped() != 0 {
+				t.Fatalf("trace dropped %d events; raise the cap for this test", rec.Dropped())
+			}
+
+			checkByteConsistency(t, cl)
+
+			// Trace spans vs histogram executions: exec emits exactly one
+			// "X" span and one exec_op_ns record per operator execution.
+			spans := 0
+			for _, e := range rec.Events() {
+				if e.Phase == "X" {
+					spans++
+				}
+			}
+			var execs, ops int64
+			for task, hs := range cl.HistSnapshots() {
+				n := metrics.FamilyTotal(hs.Families[metrics.HistExecOpNs]).Count
+				execs += n
+				sum := cl.StepSummaries()[task]
+				ops += sum.Totals.Ops
+				if n != sum.Totals.Ops {
+					t.Errorf("%s: exec_op_ns count %d != step ops %d", task, n, sum.Totals.Ops)
+				}
+			}
+			if int64(spans) != execs {
+				t.Errorf("trace has %d X spans, exec histograms saw %d executions", spans, execs)
+			}
+			if execs == 0 || ops == 0 {
+				t.Fatal("no executions observed")
+			}
+
+			checkStepBooks(t, cl, steps)
+
+			// Ring-over-RDMA must also populate the send-latency histogram
+			// (GRPCTCP rides plain TCP sockets, not the ring transport).
+			if kind == GRPCRDMA {
+				var rings int64
+				for _, hs := range cl.HistSnapshots() {
+					rings += hs.Hists[metrics.HistRingSendNs].Count
+				}
+				if rings == 0 {
+					t.Error("no ring_send_ns records on a ring mechanism")
+				}
+			}
+		})
+	}
+}
+
+// TestObsConsistencySurvivesRecovery crashes a worker mid-run and lets the
+// recovery driver restart it. Metrics and histograms are carried onto the
+// new incarnation, and both record paths stay welded to the same call
+// sites — so the cross-channel equalities must hold after the rebuild just
+// as they do on a clean run, and step summaries keep accumulating.
+func TestObsConsistencySurvivesRecovery(t *testing.T) {
+	const steps = 20
+	cl, feeds, fetches, _ := launchPSRecovery(t, Config{
+		Kind:        RDMA,
+		ArenaBytes:  1 << 20,
+		PollTimeout: 30 * time.Second,
+		Transfer:    rdma.TransferOpts{Deadline: 8 * time.Second},
+	})
+	rec, err := cl.EnableRecovery(RecoveryConfig{
+		Heartbeat:       HeartbeatConfig{Period: 5 * time.Millisecond},
+		CheckpointEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := chaos.New(chaos.Plan{
+		Seed:   17,
+		Script: []chaos.Event{{At: time.Millisecond, Crash: "worker1"}},
+		Crash:  func(task string) { _ = cl.KillTask(task) },
+	})
+	inj.Install(cl.Fabric())
+	t.Cleanup(inj.Stop)
+	onStep := func(iter int, _ map[string]map[string]*tensor.Tensor) {
+		if iter == 9 {
+			inj.Start() // strike ~1ms into step 10
+		}
+	}
+	if err := rec.Run(steps, feeds, fetches, onStep); err != nil {
+		t.Fatalf("recovery run failed: %v", err)
+	}
+	if rs := rec.Metrics(); rs.Recoveries < 1 {
+		t.Fatalf("no recovery happened (metrics %+v); the test exercised nothing", rs)
+	}
+
+	// The killed incarnation's last transfers may complete (with errors)
+	// shortly after the run; poll briefly until the books go quiescent.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		consistent := true
+		comm := cl.MetricsSnapshot()
+		hists := cl.HistSnapshots()
+		for task, cs := range comm {
+			hs := hists[task]
+			if metrics.FamilyTotal(hs.Families[metrics.HistEdgeSentBytes]).Sum != cs.BytesSent ||
+				metrics.FamilyTotal(hs.Families[metrics.HistEdgeRecvBytes]).Sum != cs.BytesRecv {
+				consistent = false
+			}
+		}
+		if consistent || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	checkByteConsistency(t, cl)
+
+	// Step summaries survived the rebuild and kept counting: every task
+	// logged at least the 20 scripted steps (replays add more), and the
+	// books still balance on the carried accumulators.
+	checkStepBooks(t, cl, steps)
+}

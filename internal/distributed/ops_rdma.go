@@ -25,7 +25,8 @@ func commEnv(ctx *graph.Context) (*Env, error) {
 
 type rdmaSendOp struct{ spec analyzer.EdgeSpec }
 
-func (op *rdmaSendOp) Name() string { return "RdmaSend" }
+func (op *rdmaSendOp) Name() string    { return "RdmaSend" }
+func (op *rdmaSendOp) EdgeKey() string { return op.spec.Key }
 
 func (op *rdmaSendOp) InferSig(in []graph.Sig) (graph.Sig, error) {
 	if err := wantEdgeInput("RdmaSend", in, 1); err != nil {
@@ -73,16 +74,21 @@ func (op *rdmaSendOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 			done(err)
 		}
 	}
-	env.Metrics.AddSent(rdma.StaticSlotSize(op.spec.Sig.ByteSize()))
+	env.recordSent(op.spec.Key, rdma.StaticSlotSize(op.spec.Sig.ByteSize()))
 	if rdma.EffectiveStripes(op.spec.Sig.ByteSize(), env.Xfer.Stripes) > 1 {
 		env.Metrics.AddStripedTransfer()
 	}
 	ctx.Output = in
 	// SendRetry blocks through transient fabric faults (bounded by the Env's
 	// transfer opts), so it runs on its own goroutine: the scheduler worker
-	// stays free and a retrying edge cannot stall unrelated operators.
+	// stays free and a retrying edge cannot stall unrelated operators. The
+	// iteration's cancel flag rides along so the retry dies with the run —
+	// a re-send landing after an abort would clobber the receiver's slot
+	// mid-recovery.
+	opts := env.xferOptsFor(op.spec.Key)
+	opts.Canceled = ctx.Canceled
 	go func() {
-		complete(env.edgeErr(op.spec.Key, st.sender.SendRetry(env.xferOpts())))
+		complete(env.edgeErr(op.spec.Key, st.sender.SendRetry(opts)))
 	}()
 }
 
@@ -90,7 +96,8 @@ func (op *rdmaSendOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 
 type rdmaRecvOp struct{ spec analyzer.EdgeSpec }
 
-func (op *rdmaRecvOp) Name() string { return "RdmaRecv" }
+func (op *rdmaRecvOp) Name() string    { return "RdmaRecv" }
+func (op *rdmaRecvOp) EdgeKey() string { return op.spec.Key }
 
 func (op *rdmaRecvOp) InferSig(in []graph.Sig) (graph.Sig, error) {
 	if err := wantEdgeInput("RdmaRecv", in, 0); err != nil {
@@ -126,7 +133,7 @@ func (op *rdmaRecvOp) Compute(ctx *graph.Context) error {
 		return err
 	}
 	st.recv.Consume()
-	env.Metrics.AddRecv(t.ByteSize())
+	env.recordRecv(op.spec.Key, t.ByteSize())
 	ctx.Output = t
 	return nil
 }
@@ -135,7 +142,8 @@ func (op *rdmaRecvOp) Compute(ctx *graph.Context) error {
 
 type rdmaSendDynOp struct{ spec analyzer.EdgeSpec }
 
-func (op *rdmaSendDynOp) Name() string { return "RdmaSendDyn" }
+func (op *rdmaSendDynOp) Name() string    { return "RdmaSendDyn" }
+func (op *rdmaSendDynOp) EdgeKey() string { return op.spec.Key }
 
 func (op *rdmaSendDynOp) InferSig(in []graph.Sig) (graph.Sig, error) {
 	if err := wantEdgeInput("RdmaSendDyn", in, 1); err != nil {
@@ -200,7 +208,7 @@ func (op *rdmaSendDynOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 		env.Metrics.AddCopy(in.ByteSize())
 		payloadMR, payloadOff = st.scratch, 0
 	}
-	env.Metrics.AddSent(in.ByteSize() + rdma.DynMetaSize)
+	env.recordSent(op.spec.Key, in.ByteSize()+rdma.DynMetaSize)
 	env.Metrics.AddDynTransfer()
 	ctx.Output = in
 	size := in.ByteSize()
@@ -208,9 +216,11 @@ func (op *rdmaSendDynOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 	// Blocking retried send on its own goroutine (see rdmaSendOp). ErrBusy
 	// from a not-yet-acked previous transfer is also retried: the ack may
 	// just be in flight behind an injected delay.
+	opts := env.xferOptsFor(op.spec.Key)
+	opts.Canceled = ctx.Canceled
 	go func() {
 		done(env.edgeErr(op.spec.Key,
-			st.sender.SendRetry(payloadMR, payloadOff, size, dt, dims, env.xferOpts())))
+			st.sender.SendRetry(payloadMR, payloadOff, size, dt, dims, opts)))
 	}()
 }
 
@@ -218,7 +228,8 @@ func (op *rdmaSendDynOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 
 type rdmaRecvDynOp struct{ spec analyzer.EdgeSpec }
 
-func (op *rdmaRecvDynOp) Name() string { return "RdmaRecvDyn" }
+func (op *rdmaRecvDynOp) Name() string    { return "RdmaRecvDyn" }
+func (op *rdmaRecvDynOp) EdgeKey() string { return op.spec.Key }
 
 func (op *rdmaRecvDynOp) InferSig(in []graph.Sig) (graph.Sig, error) {
 	if err := wantEdgeInput("RdmaRecvDyn", in, 0); err != nil {
@@ -287,7 +298,7 @@ func (op *rdmaRecvDynOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 		done(err)
 		return
 	}
-	env.Metrics.AddRecv(int(meta.PayloadSize))
+	env.recordRecv(op.spec.Key, int(meta.PayloadSize))
 	if rdma.EffectiveStripes(int(meta.PayloadSize), env.Xfer.Stripes) > 1 {
 		env.Metrics.AddStripedTransfer()
 	}
@@ -296,8 +307,10 @@ func (op *rdmaRecvDynOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 	st.mu.Unlock()
 	// FetchRetry blocks until the payload read AND the reuse ack completed
 	// (retrying both within the budget); run it off the scheduler worker.
+	opts := env.xferOptsFor(op.spec.Key)
+	opts.Canceled = ctx.Canceled
 	go func() {
-		err := st.recv.FetchRetry(meta, scratch, env.arenaMR, buf.Off, env.xferOpts())
+		err := st.recv.FetchRetry(meta, scratch, env.arenaMR, buf.Off, opts)
 		if err == nil {
 			ctx.Output = out
 		}

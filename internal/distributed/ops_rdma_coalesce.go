@@ -20,7 +20,8 @@ import (
 
 type coalescedSendOp struct{ spec analyzer.EdgeSpec }
 
-func (op *coalescedSendOp) Name() string { return "CoalescedSend" }
+func (op *coalescedSendOp) Name() string    { return "CoalescedSend" }
+func (op *coalescedSendOp) EdgeKey() string { return op.spec.Key }
 
 func (op *coalescedSendOp) InferSig(in []graph.Sig) (graph.Sig, error) {
 	if err := wantEdgeInput("CoalescedSend", in, 1); err != nil {
@@ -47,12 +48,17 @@ func (op *coalescedSendOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 		return
 	}
 	ctx.Output = in
-	env.Metrics.AddSent(wire.SubMsgSize(in.ByteSize()))
+	env.recordSent(op.spec.Key, wire.SubMsgSize(in.ByteSize()))
 	env.Metrics.AddCopy(in.ByteSize()) // staging into the batch is a copy
 	g := m.group
 	// Staging and the flush run off the scheduler worker: the group lock is
 	// held across the blocking flush, so an earlier iteration's in-flight
 	// batch write blocks the next iteration's stagers instead of racing them.
+	// Every stager of one batch belongs to the same iteration (the g.iter
+	// guard resets stale batches), so the last stager's cancel flag covers
+	// the whole flush.
+	opts := env.xferOptsFor(g.key)
+	opts.Canceled = ctx.Canceled
 	go func() {
 		g.mu.Lock()
 		if g.staged == 0 || g.iter != ctx.Iter {
@@ -78,7 +84,7 @@ func (op *coalescedSendOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 			return
 		}
 		// Last member of the iteration: ship the batch and complete everyone.
-		err := g.sender.FlushRetry(env.xferOpts())
+		err := g.sender.FlushRetry(opts)
 		waiters := g.waiters
 		g.waiters, g.staged = nil, 0
 		g.mu.Unlock()
@@ -95,7 +101,8 @@ func (op *coalescedSendOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 
 type coalescedRecvOp struct{ spec analyzer.EdgeSpec }
 
-func (op *coalescedRecvOp) Name() string { return "CoalescedRecv" }
+func (op *coalescedRecvOp) Name() string    { return "CoalescedRecv" }
+func (op *coalescedRecvOp) EdgeKey() string { return op.spec.Key }
 
 func (op *coalescedRecvOp) InferSig(in []graph.Sig) (graph.Sig, error) {
 	if err := wantEdgeInput("CoalescedRecv", in, 0); err != nil {
@@ -146,8 +153,10 @@ func (op *coalescedRecvOp) Poll(ctx *graph.Context) (bool, error) {
 		return false, fmt.Errorf("%w: coalesce group %s has no sender ack descriptor", ErrComm, g.key)
 	}
 	ack := g.senderAck
+	ackOpts := env.xferOpts()
+	ackOpts.Canceled = ctx.Canceled
 	go func() {
-		if err := g.recv.AckRetry(ack, env.xferOpts()); err != nil {
+		if err := g.recv.AckRetry(ack, ackOpts); err != nil {
 			g.mu.Lock()
 			g.ackErr = err
 			g.mu.Unlock()
@@ -179,7 +188,7 @@ func (op *coalescedRecvOp) Compute(ctx *graph.Context) error {
 	if err != nil {
 		return err
 	}
-	env.Metrics.AddRecv(len(payload))
+	env.recordRecv(op.spec.Key, len(payload))
 	ctx.Output = t
 	return nil
 }

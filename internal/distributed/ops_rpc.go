@@ -23,7 +23,8 @@ const pushMethod = "tensor.push"
 
 type rpcSendOp struct{ spec analyzer.EdgeSpec }
 
-func (op *rpcSendOp) Name() string { return "RPCSend" }
+func (op *rpcSendOp) Name() string    { return "RPCSend" }
+func (op *rpcSendOp) EdgeKey() string { return op.spec.Key }
 
 func (op *rpcSendOp) InferSig(in []graph.Sig) (graph.Sig, error) {
 	if err := wantEdgeInput("RPCSend", in, 1); err != nil {
@@ -58,7 +59,7 @@ func (op *rpcSendOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 	enc := msg.Marshal() // serialization: copies the payload
 	env.Metrics.AddSerialized(len(enc))
 	env.Metrics.AddCopy(in.ByteSize())
-	env.Metrics.AddSent(len(enc))
+	env.recordSent(op.spec.Key, len(enc))
 	ctx.Output = in
 	// The unary call blocks; run it off the scheduler worker.
 	go func() {
@@ -71,7 +72,8 @@ func (op *rpcSendOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 
 type rpcRecvOp struct{ spec analyzer.EdgeSpec }
 
-func (op *rpcRecvOp) Name() string { return "RPCRecv" }
+func (op *rpcRecvOp) Name() string    { return "RPCRecv" }
+func (op *rpcRecvOp) EdgeKey() string { return op.spec.Key }
 
 func (op *rpcRecvOp) InferSig(in []graph.Sig) (graph.Sig, error) {
 	if err := wantEdgeInput("RPCRecv", in, 0); err != nil {
@@ -109,7 +111,7 @@ func (op *rpcRecvOp) Compute(ctx *graph.Context) error {
 	if !ok {
 		return fmt.Errorf("%w: RPCRecv scheduled without a message", ErrComm)
 	}
-	env.Metrics.AddRecv(item.t.ByteSize())
+	env.recordRecv(op.spec.Key, item.t.ByteSize())
 	ctx.Output = item.t
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -56,6 +57,11 @@ type Config struct {
 	// Trace, when non-nil, records one duration event per operator
 	// execution (chrome trace-event format).
 	Trace *trace.Recorder
+	// Hists, when non-nil, receives latency histograms: per-op execution
+	// latency (metrics.HistExecOpNs, keyed by op name) and poll-wait time
+	// (metrics.HistPollWaitNs). Histogram pointers are resolved once per op
+	// at first execution, so the per-record cost is a few atomic adds.
+	Hists *metrics.Set
 }
 
 // Executor runs one graph partition iteration by iteration.
@@ -69,8 +75,11 @@ type Executor struct {
 	stats   *statsTable
 	recycle *recycler // nil unless the policy opted in
 
+	pollWaitHist *metrics.Histogram // nil unless cfg.Hists is set
+
 	runMu   sync.Mutex
 	current *runState // in-flight iteration, abortable from outside
+	lastRun metrics.StepBreakdown
 }
 
 // New validates the partition and builds an executor. Every input of a
@@ -96,7 +105,10 @@ func New(g *graph.Graph, cfg Config) (*Executor, error) {
 		inPart:  make([]bool, len(all)),
 		consume: make([][]*graph.Node, len(all)),
 		indeg:   make([]int, len(all)),
-		stats:   newStatsTable(),
+		stats:   newStatsTable(cfg.Hists),
+	}
+	if cfg.Hists != nil {
+		e.pollWaitHist = cfg.Hists.Hist(metrics.HistPollWaitNs)
 	}
 	for _, n := range all {
 		if cfg.Task == "" || n.Task() == cfg.Task {
@@ -144,12 +156,24 @@ func (e *Executor) traceLane() string {
 // Vars returns the executor's variable store.
 func (e *Executor) Vars() *VarStore { return e.cfg.Vars }
 
+// LastRun returns the step-time breakdown of the most recently completed
+// Run call (zero value before the first run). Worker time is attributed by
+// lap timestamps, so Accounted() sums to about Workers x Wall.
+func (e *Executor) LastRun() metrics.StepBreakdown {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	return e.lastRun
+}
+
 // Abort fails the in-flight iteration, if any, with ErrAborted wrapping
 // cause. Workers drain promptly (polling operators stop re-enqueueing,
-// next() returns false); async completions that land after the abort are
-// absorbed by the dead run state. Recovery drivers call it to cut short a
-// step whose peer has crashed. Safe to call concurrently with Run and when
-// no iteration is running (then it is a no-op).
+// next() returns false), in-flight communication is canceled through
+// Context.Canceled, and Run returns only after every asynchronous
+// operation's completion callback has landed — so when Run comes back, no
+// transfer of the dead iteration can still touch memory. Recovery drivers
+// call it to cut short a step whose peer has crashed. Safe to call
+// concurrently with Run and when no iteration is running (then it is a
+// no-op).
 func (e *Executor) Abort(cause error) {
 	e.runMu.Lock()
 	st := e.current
@@ -180,6 +204,34 @@ type runState struct {
 	nonPolling int // queued nodes that are not polling operators
 	progress   time.Time
 	err        error
+
+	// Step accounting: workers fold their lap totals here at exit; async
+	// completion callbacks add dispatch-to-done latency concurrently.
+	acct         metrics.StepBreakdown
+	inflightNsAt atomic.Int64
+	// lifeNs sums the workers' measured loop lifetimes (wall start to loop
+	// exit); Run labels the drain tail — wall minus lifetime, the stretch a
+	// worker already exited while a sibling finished its last backoff sleep
+	// or in-flight transfer — as Idle.
+	lifeNs int64
+}
+
+// foldAcct accumulates one worker's lap totals and loop lifetime into the
+// run's breakdown.
+func (st *runState) foldAcct(a metrics.StepBreakdown, life time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.acct.Compute += a.Compute
+	st.acct.Comm += a.Comm
+	st.acct.PollWait += a.PollWait
+	st.acct.Idle += a.Idle
+	st.acct.Ops += a.Ops
+	st.lifeNs += life.Nanoseconds()
+}
+
+func isEdgeNode(n *graph.Node) bool {
+	_, ok := n.Op().(graph.EdgeKernel)
+	return ok
 }
 
 func isPollingNode(n *graph.Node) bool {
@@ -223,6 +275,16 @@ func (st *runState) fail(err error) {
 		st.err = err
 	}
 	st.cond.Broadcast()
+}
+
+// canceled reports whether the run has failed; communication kernels poll
+// it (via Context.Canceled) between retry attempts so in-flight transfers
+// give up promptly once the iteration is dead instead of re-sending into
+// memory the next iteration will own.
+func (st *runState) canceled() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err != nil
 }
 
 // complete records a node's output and readies its consumers. It is safe to
@@ -330,17 +392,43 @@ func (e *Executor) Run(iter int, feeds map[string]*tensor.Tensor, fetches ...str
 	e.runMu.Lock()
 	e.current = st
 	e.runMu.Unlock()
+	wallStart := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < e.cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e.worker(st)
+			e.worker(st, wallStart)
 		}()
 	}
 	wg.Wait()
+	// Quiesce: on a clean run every node completed, but on a failed one the
+	// workers exit while asynchronous operations may still be in flight.
+	// Wait for their completion callbacks before returning — the caller will
+	// reuse feeds, slots, and arena memory for the next iteration, and an
+	// async transfer still running against this one would race it. The wait
+	// is bounded: Context.Canceled now reports the failure, so retried
+	// transfers give up within one backoff period.
+	st.mu.Lock()
+	for st.inflight > 0 {
+		st.cond.Wait()
+	}
+	st.mu.Unlock()
+	wall := time.Since(wallStart)
+	st.mu.Lock()
+	breakdown := st.acct
+	st.mu.Unlock()
+	breakdown.Wall = wall
+	breakdown.Workers = e.cfg.Workers
+	breakdown.CommInflight = time.Duration(st.inflightNsAt.Load())
+	// Workers that exited before the slowest sibling spent the difference
+	// waiting for the run to drain; that tail is idle time of the step.
+	if tail := time.Duration(e.cfg.Workers)*wall - time.Duration(st.lifeNs); tail > 0 {
+		breakdown.Idle += tail
+	}
 	e.runMu.Lock()
 	e.current = nil
+	e.lastRun = breakdown
 	e.runMu.Unlock()
 
 	st.mu.Lock()
@@ -367,19 +455,41 @@ func (e *Executor) Run(iter int, feeds map[string]*tensor.Tensor, fetches ...str
 	return out, nil
 }
 
-func (e *Executor) worker(st *runState) {
+// worker drains the ready queue. Every moment from the run's wall start is
+// attributed to exactly one step-breakdown category via lap timestamps —
+// goroutine start latency, scheduler waits, and bookkeeping to Idle, Poll
+// calls and backoff sleeps to PollWait, kernel execution to Compute or (for
+// EdgeKernel operators) Comm — so the per-worker totals sum back to this
+// worker's share of the run wall and the consistency suite can check that
+// the books balance. The lap opens at startAt (the wall start), not at the
+// goroutine's first instruction: on a loaded box workers are queued runnable
+// for a while before they first run, and that wait is idle time the step
+// really spent.
+func (e *Executor) worker(st *runState, startAt time.Time) {
+	var acct metrics.StepBreakdown
+	defer func() { st.foldAcct(acct, time.Since(startAt)) }()
+	lap := startAt
+	tick := func() time.Duration {
+		now := time.Now()
+		d := now.Sub(lap)
+		lap = now
+		return d
+	}
 	pollMisses := 0
 	for {
 		n, ok := st.next()
+		acct.Idle += tick() // scheduler wait + queue bookkeeping
 		if !ok {
 			return
 		}
 		ctx := e.newContext(st, n)
+		acct.Idle += tick() // context assembly
 
 		// Polling-async phase 1: poll, and on not-ready re-enqueue at the
 		// tail so other ready operators run first.
 		if pk, isPolling := n.Op().(graph.PollingKernel); isPolling {
 			ready, err := pk.Poll(ctx)
+			acct.PollWait += tick()
 			if err != nil {
 				st.complete(n, nil, err)
 				return
@@ -397,6 +507,7 @@ func (e *Executor) worker(st *runState) {
 					st.mu.Unlock()
 					if stalled {
 						e.stats.recordPollTimeout(n.Op().Name())
+						acct.PollWait += tick()
 						st.complete(n, nil, fmt.Errorf("%w: %s made no progress for %v at iter %d with %d nodes pending, %d other polling operators starved (peer dead or network partitioned?)",
 							ErrPollTimeout, n.Name(), d, st.iter, pending, polling))
 						return
@@ -413,14 +524,17 @@ func (e *Executor) worker(st *runState) {
 					if d := pollBackoff(pollMisses); d > 0 {
 						e.stats.recordPollBackoff(n.Op().Name())
 						time.Sleep(d)
+						e.pollWaitHist.Record(d.Nanoseconds())
 					}
 				}
+				acct.PollWait += tick() // requeue + backoff sleep
 				continue
 			}
 		}
 		pollMisses = 0
 
 		// Phase 2: execute asynchronously if supported, else synchronously.
+		isEdge := isEdgeNode(n)
 		start := time.Now()
 		var endSpan func()
 		if e.cfg.Trace != nil {
@@ -433,11 +547,23 @@ func (e *Executor) worker(st *runState) {
 				d := time.Since(start)
 				e.stats.recordExec(n.Op().Name(), d)
 				metrics.AddKernelTime(n.Op().Name(), d)
+				if isEdge {
+					st.inflightNsAt.Add(d.Nanoseconds())
+				}
 				if endSpan != nil {
 					endSpan()
 				}
 				st.complete(n, ctx.Output, err)
 			})
+			// The dispatch portion occupied this worker; the rest of the
+			// operation's latency flies concurrently and lands in
+			// CommInflight via the callback above.
+			if isEdge {
+				acct.Comm += tick()
+			} else {
+				acct.Compute += tick()
+			}
+			acct.Ops++
 		case graph.Kernel:
 			err := k.Compute(ctx)
 			d := time.Since(start)
@@ -446,7 +572,14 @@ func (e *Executor) worker(st *runState) {
 			if endSpan != nil {
 				endSpan()
 			}
+			if isEdge {
+				acct.Comm += tick()
+			} else {
+				acct.Compute += tick()
+			}
+			acct.Ops++
 			st.complete(n, ctx.Output, err)
+			acct.Idle += tick() // completion bookkeeping
 		default:
 			st.complete(n, nil, fmt.Errorf("exec: op %s has no kernel: %w", n.Op().Name(), ErrExec))
 		}
@@ -462,12 +595,13 @@ func (e *Executor) newContext(st *runState, n *graph.Node) *graph.Context {
 	st.mu.Unlock()
 	allocIdx := 0
 	ctx := &graph.Context{
-		Node:   n,
-		Iter:   st.iter,
-		Inputs: inputs,
-		Vars:   e.cfg.Vars,
-		Feeds:  st.feeds,
-		Env:    e.cfg.Env,
+		Node:     n,
+		Iter:     st.iter,
+		Inputs:   inputs,
+		Vars:     e.cfg.Vars,
+		Feeds:    st.feeds,
+		Env:      e.cfg.Env,
+		Canceled: st.canceled,
 	}
 	ctx.Alloc = func(dt tensor.DType, shape tensor.Shape) (*tensor.Tensor, error) {
 		idx := allocIdx

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/tensor"
@@ -243,6 +244,73 @@ func TestAsyncKernel(t *testing.T) {
 	out := mustRun(t, e, 0, nil, "x2")
 	if out["x2"].Float32s()[0] != 14 {
 		t.Errorf("x2 = %v", out["x2"].Float32s()[0])
+	}
+}
+
+// parkedAsyncOp dispatches and then parks until the test releases it,
+// recording whether the iteration's cancel flag was raised by then.
+type parkedAsyncOp struct {
+	started   chan struct{}
+	release   chan struct{}
+	sawCancel atomic.Bool
+}
+
+func (op *parkedAsyncOp) Name() string { return "Parked" }
+func (op *parkedAsyncOp) InferSig(in []graph.Sig) (graph.Sig, error) {
+	return graph.Static(tensor.Float32), nil
+}
+func (op *parkedAsyncOp) ComputeAsync(ctx *graph.Context, done func(error)) {
+	go func() {
+		close(op.started)
+		<-op.release
+		if ctx.Canceled != nil && ctx.Canceled() {
+			op.sawCancel.Store(true)
+		}
+		done(fmt.Errorf("parked"))
+	}()
+}
+
+// An aborted Run must not return while an asynchronous operation is still
+// in flight: the caller reuses feeds, slots, and arena memory for the next
+// iteration, and a completion landing after Run returned would race it.
+// The run's cancel flag must also be visible to the op (that is what bounds
+// the drain for retried transfers).
+func TestRunDrainsInflightAsyncOnAbort(t *testing.T) {
+	op := &parkedAsyncOp{started: make(chan struct{}), release: make(chan struct{})}
+	b := graph.NewBuilder()
+	n := b.AddNode("parked", op)
+	b.Scale("sink", n, 1)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := e.Run(0, nil, "sink")
+		runDone <- err
+	}()
+	<-op.started
+	e.Abort(fmt.Errorf("test abort"))
+	select {
+	case err := <-runDone:
+		t.Fatalf("Run returned with an async op still in flight: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(op.release)
+	select {
+	case err := <-runDone:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("Run err = %v, want ErrAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run never returned after the async op completed")
+	}
+	if !op.sawCancel.Load() {
+		t.Error("async op never observed Context.Canceled after the abort")
 	}
 }
 

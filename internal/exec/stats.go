@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Per-operator execution statistics: how often each op ran, how long it
@@ -23,6 +25,8 @@ type OpStats struct {
 	// progress-based stall detector (ErrPollTimeout).
 	PollTimeouts int64
 	Total        time.Duration
+
+	lat *metrics.Histogram // cached latency histogram; nil when hists off
 }
 
 // Mean returns the average execution duration.
@@ -34,18 +38,22 @@ func (s OpStats) Mean() time.Duration {
 }
 
 type statsTable struct {
-	mu sync.Mutex
-	m  map[string]*OpStats
+	mu    sync.Mutex
+	m     map[string]*OpStats
+	hists *metrics.Set // nil when histograms are off
 }
 
-func newStatsTable() *statsTable {
-	return &statsTable{m: make(map[string]*OpStats)}
+func newStatsTable(hists *metrics.Set) *statsTable {
+	return &statsTable{m: make(map[string]*OpStats), hists: hists}
 }
 
 func (t *statsTable) entry(op string) *OpStats {
 	s, ok := t.m[op]
 	if !ok {
 		s = &OpStats{Op: op}
+		if t.hists != nil {
+			s.lat = t.hists.Family(metrics.HistExecOpNs).With(op)
+		}
 		t.m[op] = s
 	}
 	return s
@@ -57,6 +65,7 @@ func (t *statsTable) recordExec(op string, d time.Duration) {
 	s := t.entry(op)
 	s.Executions++
 	s.Total += d
+	s.lat.Record(d.Nanoseconds())
 }
 
 func (t *statsTable) recordPollMiss(op string) {

@@ -1,0 +1,72 @@
+package exec
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// TestLastRunBooksBalance: the lap-based worker accounting attributes every
+// moment of every worker's loop to a category, so the categories sum to
+// about Workers x Wall, op counts are exact, and the per-op latency
+// histograms see exactly one record per execution.
+func TestLastRunBooksBalance(t *testing.T) {
+	b := graph.NewBuilder()
+	x := b.Placeholder("x", graph.Static(tensor.Float32, 64, 64))
+	y := b.MatMul("y", x, x)
+	z := b.MatMul("z", y, y)
+	_ = b.ReduceMax("s", z)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hists := &metrics.Set{}
+	e, err := New(g, Config{Workers: 2, Hists: hists})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (e.LastRun() != metrics.StepBreakdown{}) {
+		t.Fatal("LastRun non-zero before first run")
+	}
+	in := tensor.New(tensor.Float32, 64, 64)
+	const steps = 5
+	var ops int64
+	for i := 0; i < steps; i++ {
+		mustRun(t, e, i, map[string]*tensor.Tensor{"x": in}, "s")
+		br := e.LastRun()
+		if br.Workers != 2 || br.Wall <= 0 {
+			t.Fatalf("step %d: breakdown %+v", i, br)
+		}
+		if br.Ops != 4 { // x, y, z, s
+			t.Fatalf("step %d: ops = %d, want 4", i, br.Ops)
+		}
+		ops += br.Ops
+		// No polling/comm ops in this graph: comm and poll-wait are zero and
+		// compute+idle accounts for all worker time.
+		if br.Comm != 0 || br.PollWait != 0 || br.CommInflight != 0 {
+			t.Fatalf("step %d: unexpected comm/poll time: %+v", i, br)
+		}
+		budget := time.Duration(br.Workers) * br.Wall
+		if got := br.Accounted(); got > budget+budget/4+time.Millisecond {
+			t.Fatalf("step %d: accounted %v exceeds workers x wall %v", i, got, budget)
+		}
+		if br.Compute <= 0 {
+			t.Fatalf("step %d: no compute time: %+v", i, br)
+		}
+	}
+	snap := hists.Snapshot()
+	fam := snap.Families[metrics.HistExecOpNs]
+	if got := metrics.FamilyTotal(fam).Count; got != ops {
+		t.Fatalf("exec histogram count %d, want %d executions", got, ops)
+	}
+	// Families are keyed by op name; each op type ran the same per-step
+	// count every step.
+	for op, hs := range fam {
+		if hs.Count%steps != 0 || hs.Count == 0 {
+			t.Errorf("op %s: %d records, want a positive multiple of %d", op, hs.Count, steps)
+		}
+	}
+}

@@ -83,6 +83,15 @@ type AsyncKernel interface {
 	ComputeAsync(ctx *Context, done func(error))
 }
 
+// EdgeKernel marks communication operators — the send/recv halves of a
+// partitioned cross-server edge. EdgeKey names the edge in transfer
+// direction (e.g. "worker0->ps0"). The scheduler uses the marker to
+// attribute worker time to communication rather than compute, and the
+// observability layer keys per-edge byte/latency histograms by EdgeKey.
+type EdgeKernel interface {
+	EdgeKey() string
+}
+
 // PollingKernel is the paper's polling-async mode (§4): the scheduler calls
 // Poll; while it returns false the node is re-enqueued at the tail of the
 // ready queue, keeping the poll from blocking other ready work. Once Poll
@@ -123,6 +132,12 @@ type Context struct {
 	// (e.g. the distributed runtime's transfer endpoints); kernels
 	// type-assert it.
 	Env any
+	// Canceled, when non-nil, reports whether the iteration that owns this
+	// context has failed or been aborted. Long-running kernels — retried
+	// transfers especially — must poll it and give up promptly: work that
+	// finishes after an abort would touch memory the next iteration already
+	// owns.
+	Canceled func() bool
 }
 
 // AllocOutput allocates storage for the node's inferred static signature.

@@ -1,0 +1,267 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Lock-cheap power-of-two-bucket histograms. Record is a handful of atomic
+// adds — no locks, no allocations — so a histogram can sit on the hottest
+// paths in the system (per-operator execution latency, per-edge transfer
+// bytes, scheduler poll-wait) without perturbing what it measures. Buckets
+// are powers of two: bucket i counts values v with 2^(i-1) <= v < 2^i
+// (bucket 0 takes v <= 0), so 64 buckets cover the full int64 range whether
+// the unit is nanoseconds or bytes, and merging is element-wise addition —
+// associative and commutative by construction, which is what lets per-task
+// snapshots roll up into cluster totals in any order.
+
+// NumBuckets is the fixed bucket count; it covers all of int64.
+const NumBuckets = 64
+
+// bucketOf maps a value to its bucket index: 0 for v <= 0, else
+// min(bits.Len64(v), NumBuckets-1). The upper bound of bucket i is 2^i - 1.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b > NumBuckets-1 {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns bucket i's inclusive upper bound (2^i - 1), with the
+// last bucket unbounded (MaxInt64).
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= NumBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Histogram is a concurrent power-of-two-bucket histogram. The zero value
+// is ready to use. Record never allocates.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+}
+
+// Record adds one observation. Safe for concurrent use; zero allocations.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Snapshot returns the current state. Under concurrent recording the
+// count/sum/bucket loads are individually atomic but not mutually consistent;
+// quiescent reads (end of step, end of run) are exact.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable view of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets [NumBuckets]int64
+}
+
+// Merge returns the element-wise sum of two snapshots. Merging is
+// associative and commutative (it is plain addition per field).
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	out := s
+	out.Count += o.Count
+	out.Sum += o.Sum
+	for i := range out.Buckets {
+		out.Buckets[i] += o.Buckets[i]
+	}
+	return out
+}
+
+// Mean returns the exact mean of recorded values (Sum/Count), 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1): the
+// inclusive upper bound of the first bucket whose cumulative count reaches
+// rank ceil(q*Count). The error is at most 2x (one power-of-two bucket).
+// Monotone in q; returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(NumBuckets - 1)
+}
+
+// Family is a labeled group of histograms (e.g. one per edge or per
+// operator kind). With returns a stable *Histogram per label, so hot paths
+// resolve their histogram once at setup and Record with zero allocations.
+type Family struct {
+	m sync.Map // string -> *Histogram
+}
+
+// With returns the histogram for label, creating it on first use.
+func (f *Family) With(label string) *Histogram {
+	if f == nil {
+		return nil
+	}
+	if h, ok := f.m.Load(label); ok {
+		return h.(*Histogram)
+	}
+	h, _ := f.m.LoadOrStore(label, &Histogram{})
+	return h.(*Histogram)
+}
+
+// Snapshot returns every label's snapshot.
+func (f *Family) Snapshot() map[string]HistogramSnapshot {
+	out := make(map[string]HistogramSnapshot)
+	if f == nil {
+		return out
+	}
+	f.m.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Histogram).Snapshot()
+		return true
+	})
+	return out
+}
+
+// Set is a named registry of histograms and families — one per server task,
+// so observability state lives beside the task's Comm counters and survives
+// whatever happens to individual executors (recovery rebuilds them; the Set
+// is carried across).
+type Set struct {
+	hists sync.Map // string -> *Histogram
+	fams  sync.Map // string -> *Family
+}
+
+// Hist returns the named histogram, creating it on first use.
+func (s *Set) Hist(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	if h, ok := s.hists.Load(name); ok {
+		return h.(*Histogram)
+	}
+	h, _ := s.hists.LoadOrStore(name, &Histogram{})
+	return h.(*Histogram)
+}
+
+// Family returns the named family, creating it on first use.
+func (s *Set) Family(name string) *Family {
+	if s == nil {
+		return nil
+	}
+	if f, ok := s.fams.Load(name); ok {
+		return f.(*Family)
+	}
+	f, _ := s.fams.LoadOrStore(name, &Family{})
+	return f.(*Family)
+}
+
+// SetSnapshot is an immutable view of a Set.
+type SetSnapshot struct {
+	Hists    map[string]HistogramSnapshot
+	Families map[string]map[string]HistogramSnapshot
+}
+
+// Snapshot captures every histogram and family in the set.
+func (s *Set) Snapshot() SetSnapshot {
+	out := SetSnapshot{
+		Hists:    make(map[string]HistogramSnapshot),
+		Families: make(map[string]map[string]HistogramSnapshot),
+	}
+	if s == nil {
+		return out
+	}
+	s.hists.Range(func(k, v any) bool {
+		out.Hists[k.(string)] = v.(*Histogram).Snapshot()
+		return true
+	})
+	s.fams.Range(func(k, v any) bool {
+		out.Families[k.(string)] = v.(*Family).Snapshot()
+		return true
+	})
+	return out
+}
+
+// FamilyTotal merges every label of a family snapshot into one histogram —
+// e.g. all edges' sent-bytes into the task's total, whose Sum must then
+// equal the task's Comm BytesSent counter (the consistency suite asserts
+// exactly that).
+func FamilyTotal(fam map[string]HistogramSnapshot) HistogramSnapshot {
+	labels := make([]string, 0, len(fam))
+	for l := range fam {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var total HistogramSnapshot
+	for _, l := range labels {
+		total = total.Merge(fam[l])
+	}
+	return total
+}
+
+// Canonical histogram names used across the stack. Keeping them in one
+// place ties the recorder sites, the Prometheus encoder, and the
+// consistency tests to the same vocabulary.
+const (
+	// HistExecOpNs: family, per-op-kind operator execution latency (ns).
+	HistExecOpNs = "exec_op_ns"
+	// HistPollWaitNs: scheduler poll backoff sleeps (ns per sleep).
+	HistPollWaitNs = "exec_poll_wait_ns"
+	// HistEdgeSentBytes / HistEdgeRecvBytes: families, per-edge transfer
+	// sizes recorded at exactly the sites that bump Comm.BytesSent/Recv.
+	HistEdgeSentBytes = "edge_sent_bytes"
+	HistEdgeRecvBytes = "edge_recv_bytes"
+	// HistEdgeXferNs: family, per-edge blocking-transfer latency (ns),
+	// recorded by the rdma retry layer via TransferOpts.OnComplete.
+	HistEdgeXferNs = "edge_xfer_ns"
+	// HistRingSendNs: ring-transport send latency (ns) of the task's
+	// outbound RPC messages, for the gRPC-over-RDMA mechanisms.
+	HistRingSendNs = "ring_send_ns"
+	// HistStepNs: per-task wall step time (ns), fed by the cluster step
+	// loop; the straggler detector reads it.
+	HistStepNs = "step_ns"
+)

@@ -1,0 +1,51 @@
+package metrics
+
+import "testing"
+
+// FuzzHistogramRecord: arbitrary values never panic, never mis-bucket
+// (every value lands in a bucket whose bounds contain it), and count/sum
+// stay exact under any input, including MinInt64/MaxInt64 edge cases.
+func FuzzHistogramRecord(f *testing.F) {
+	f.Add(int64(0), int64(1), int64(-1))
+	f.Add(int64(1<<62), int64(-1<<62), int64(255))
+	f.Add(int64(9223372036854775807), int64(-9223372036854775808), int64(256))
+	f.Fuzz(func(t *testing.T, a, b, c int64) {
+		var h Histogram
+		for _, v := range []int64{a, b, c} {
+			i := bucketOf(v)
+			if i < 0 || i >= NumBuckets {
+				t.Fatalf("bucketOf(%d) = %d out of range", v, i)
+			}
+			if v > BucketUpper(i) {
+				t.Fatalf("value %d mis-bucketed: bucket %d upper %d", v, i, BucketUpper(i))
+			}
+			if i > 0 && i < NumBuckets-1 && v <= BucketUpper(i-1) {
+				t.Fatalf("value %d mis-bucketed low: bucket %d, prev upper %d", v, i, BucketUpper(i-1))
+			}
+			h.Record(v)
+		}
+		s := h.Snapshot()
+		if s.Count != 3 {
+			t.Fatalf("count %d, want 3", s.Count)
+		}
+		if want := a + b + c; s.Sum != want {
+			t.Fatalf("sum %d, want %d (wrap-around is defined behavior)", s.Sum, want)
+		}
+		var total int64
+		for _, n := range s.Buckets {
+			total += n
+		}
+		if total != 3 {
+			t.Fatalf("bucket total %d, want 3", total)
+		}
+		// Quantiles stay monotone on any distribution.
+		prev := int64(-1 << 62)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99, 1} {
+			v := s.Quantile(q)
+			if v < prev {
+				t.Fatalf("quantile regressed at q=%v: %d after %d", q, v, prev)
+			}
+			prev = v
+		}
+	})
+}

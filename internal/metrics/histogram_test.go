@@ -1,0 +1,257 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordAll builds a snapshot from a value slice via a fresh histogram.
+func recordAll(vals []int64) HistogramSnapshot {
+	var h Histogram
+	for _, v := range vals {
+		h.Record(v)
+	}
+	return h.Snapshot()
+}
+
+// TestHistogramCountSumExact: count and sum are exact regardless of
+// bucketing (they are tracked independently of the buckets).
+func TestHistogramCountSumExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		vals := make([]int64, n)
+		var wantSum int64
+		for i := range vals {
+			vals[i] = rng.Int63n(1<<40) - 1000 // include negatives
+			wantSum += vals[i]
+		}
+		s := recordAll(vals)
+		if s.Count != int64(n) {
+			t.Fatalf("trial %d: count %d, want %d", trial, s.Count, n)
+		}
+		if s.Sum != wantSum {
+			t.Fatalf("trial %d: sum %d, want %d", trial, s.Sum, wantSum)
+		}
+		var bucketTotal int64
+		for _, b := range s.Buckets {
+			bucketTotal += b
+		}
+		if bucketTotal != int64(n) {
+			t.Fatalf("trial %d: bucket total %d, want %d", trial, bucketTotal, n)
+		}
+	}
+}
+
+// TestHistogramMergeProperties: merge is commutative and associative, and
+// merging partitions of a value set equals recording the whole set.
+func TestHistogramMergeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		mk := func() []int64 {
+			vals := make([]int64, rng.Intn(100))
+			for i := range vals {
+				vals[i] = rng.Int63n(1 << 50)
+			}
+			return vals
+		}
+		va, vb, vc := mk(), mk(), mk()
+		a, b, c := recordAll(va), recordAll(vb), recordAll(vc)
+
+		if a.Merge(b) != b.Merge(a) {
+			t.Fatal("merge not commutative")
+		}
+		if a.Merge(b).Merge(c) != a.Merge(b.Merge(c)) {
+			t.Fatal("merge not associative")
+		}
+		all := recordAll(append(append(append([]int64(nil), va...), vb...), vc...))
+		if got := a.Merge(b).Merge(c); got != all {
+			t.Fatalf("merge of partitions != whole: %+v vs %+v", got, all)
+		}
+	}
+}
+
+// TestHistogramQuantileMonotone: quantiles never decrease as q grows, and
+// the bucket bound brackets the true value within one power of two.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		vals := make([]int64, 1+rng.Intn(300))
+		for i := range vals {
+			vals[i] = rng.Int63n(1 << 30)
+		}
+		s := recordAll(vals)
+		prev := int64(-1)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			v := s.Quantile(q)
+			if v < prev {
+				t.Fatalf("quantile not monotone: q=%.2f gave %d after %d", q, v, prev)
+			}
+			prev = v
+		}
+		// The p100 bound must be >= the true max; p0 <= 2x the true min bound.
+		max := vals[0]
+		for _, v := range vals {
+			if v > max {
+				max = v
+			}
+		}
+		if s.Quantile(1) < max {
+			t.Fatalf("p100 %d below true max %d", s.Quantile(1), max)
+		}
+	}
+	// Empty histogram: all quantiles are 0.
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+}
+
+// TestHistogramBucketBounds: every value lands in the bucket whose bounds
+// contain it.
+func TestHistogramBucketBounds(t *testing.T) {
+	cases := []int64{-5, 0, 1, 2, 3, 4, 7, 8, 255, 256, 1 << 20, math.MaxInt64}
+	for _, v := range cases {
+		i := bucketOf(v)
+		upper := BucketUpper(i)
+		if v > upper {
+			t.Fatalf("value %d above bucket %d upper %d", v, i, upper)
+		}
+		if i > 0 {
+			lower := BucketUpper(i-1) + 1
+			if i < NumBuckets-1 && v < lower {
+				t.Fatalf("value %d below bucket %d lower %d", v, i, lower)
+			}
+		}
+	}
+	if bucketOf(1) != bits.Len64(1) {
+		t.Fatal("bucketOf(1) mismatch")
+	}
+}
+
+// TestHistogramConcurrentRecord: hammer one histogram from many goroutines
+// under -race; totals must be exact.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	const goroutines, per = 8, 5000
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(rng.Int63n(1 << 32))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count %d, want %d", s.Count, goroutines*per)
+	}
+	var bucketTotal int64
+	for _, b := range s.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+// TestHistogramRecordZeroAlloc: the hot path — Record on a resolved
+// histogram, including one fetched from a warm Family/Set — allocates
+// nothing. The obs overhead budget (DESIGN.md §12) depends on this.
+func TestHistogramRecordZeroAlloc(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Record(12345) }); n != 0 {
+		t.Fatalf("Histogram.Record allocates %.1f times per call", n)
+	}
+	var set Set
+	edge := set.Family(HistEdgeSentBytes).With("w0->ps0")
+	if n := testing.AllocsPerRun(1000, func() { edge.Record(4096) }); n != 0 {
+		t.Fatalf("family histogram Record allocates %.1f times per call", n)
+	}
+	// Re-resolving an existing label must not allocate either (sync.Map
+	// read path), so even un-cached call sites stay allocation-free.
+	if n := testing.AllocsPerRun(1000, func() {
+		set.Family(HistEdgeSentBytes).With("w0->ps0").Record(1)
+	}); n != 0 {
+		t.Fatalf("warm Family.With+Record allocates %.1f times per call", n)
+	}
+}
+
+// TestNilHistogramSafe: nil receivers are no-ops so call sites need no
+// guards when observability is off.
+func TestNilHistogramSafe(t *testing.T) {
+	var h *Histogram
+	h.Record(1)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil snapshot not empty")
+	}
+	var f *Family
+	f.With("x").Record(1)
+	var set *Set
+	set.Hist("x").Record(1)
+	set.Family("y").With("z").Record(1)
+	if got := set.Snapshot(); len(got.Hists) != 0 || len(got.Families) != 0 {
+		t.Fatal("nil set snapshot not empty")
+	}
+}
+
+// TestStepStatAccumulates: Observe folds breakdowns, Summary reports them,
+// and the wall-time histogram sees every step.
+func TestStepStatAccumulates(t *testing.T) {
+	var st StepStat
+	for i := 0; i < 10; i++ {
+		st.Observe(StepBreakdown{
+			Wall: 10 * time.Millisecond, Workers: 2,
+			Compute: 8 * time.Millisecond, Comm: 4 * time.Millisecond,
+			PollWait: 2 * time.Millisecond, Idle: 6 * time.Millisecond,
+			Ops: 30,
+		})
+	}
+	s := st.Summary()
+	if s.Steps != 10 || s.Totals.Wall != 100*time.Millisecond || s.Totals.Ops != 300 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if s.MeanWall() != 10*time.Millisecond {
+		t.Fatalf("mean wall %v", s.MeanWall())
+	}
+	if s.WallNs.Count != 10 {
+		t.Fatalf("wall hist count %d", s.WallNs.Count)
+	}
+	if got, want := s.Totals.Accounted(), 200*time.Millisecond; got != want {
+		t.Fatalf("accounted %v, want %v", got, want)
+	}
+}
+
+// TestStragglers: a task materially slower than the median is flagged;
+// small clusters and tight clusters are not.
+func TestStragglers(t *testing.T) {
+	mk := func(wall time.Duration) StepSummary {
+		return StepSummary{Steps: 10, Totals: StepBreakdown{Wall: wall * 10}}
+	}
+	sums := map[string]StepSummary{
+		"worker0": mk(10 * time.Millisecond),
+		"worker1": mk(11 * time.Millisecond),
+		"worker2": mk(40 * time.Millisecond),
+		"ps0":     mk(9 * time.Millisecond),
+	}
+	got := Stragglers(sums, 1.5)
+	if len(got) != 1 || got[0] != "worker2" {
+		t.Fatalf("stragglers = %v, want [worker2]", got)
+	}
+	delete(sums, "worker2")
+	if got := Stragglers(sums, 1.5); len(got) != 0 {
+		t.Fatalf("tight cluster flagged %v", got)
+	}
+	two := map[string]StepSummary{"a": mk(1 * time.Millisecond), "b": mk(100 * time.Millisecond)}
+	if got := Stragglers(two, 1.5); got != nil {
+		t.Fatalf("two-task cluster flagged %v", got)
+	}
+}

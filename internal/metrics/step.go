@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Step-time accounting: where a training step's wall clock goes, per task.
+// The executor attributes every moment of every scheduler worker's loop to
+// exactly one category, so the categories sum back to Workers x Wall — the
+// books balance, and the consistency suite checks that they do. The cluster
+// accumulates one StepStat per task (outside the executor, so the numbers
+// survive recovery rebuilding executors) and the obs reporter turns the
+// summaries into the per-task breakdown + straggler report.
+
+// StepBreakdown is one executed iteration's time attribution on one task.
+type StepBreakdown struct {
+	// Wall is the scheduler phase of the iteration: workers launched to
+	// workers drained.
+	Wall time.Duration
+	// Workers is the scheduler worker count; accounted worker time sums to
+	// about Workers * Wall.
+	Workers int
+	// Compute is worker time inside synchronous non-communication kernels.
+	Compute time.Duration
+	// Comm is worker time occupied by communication operators: synchronous
+	// edge kernels plus the dispatch portion of asynchronous sends.
+	Comm time.Duration
+	// CommInflight is the summed latency of asynchronous edge operations
+	// (dispatch to completion callback). It overlaps other categories —
+	// transfers fly while workers compute — so it is reported for edge
+	// attribution but excluded from the balance equation.
+	CommInflight time.Duration
+	// PollWait is worker time spent polling not-ready receive operators:
+	// Poll calls plus the pure-polling backoff sleeps.
+	PollWait time.Duration
+	// Idle is worker time blocked in the scheduler with nothing ready —
+	// waiting on in-flight transfers or on other workers' outputs — plus
+	// scheduler bookkeeping and the launch/drain tails where a worker slot
+	// exists but its loop is not running yet (goroutine start queueing) or
+	// already exited (waiting for the slowest sibling).
+	Idle time.Duration
+	// Ops is the number of operator executions completed.
+	Ops int64
+}
+
+// Accounted returns the worker time attributed to a category; compare
+// against Workers x Wall to check the books.
+func (b StepBreakdown) Accounted() time.Duration {
+	return b.Compute + b.Comm + b.PollWait + b.Idle
+}
+
+// add accumulates o's categories (not Wall/Workers) into b.
+func (b *StepBreakdown) add(o StepBreakdown) {
+	b.Compute += o.Compute
+	b.Comm += o.Comm
+	b.CommInflight += o.CommInflight
+	b.PollWait += o.PollWait
+	b.Idle += o.Idle
+	b.Ops += o.Ops
+}
+
+// StepStat accumulates one task's step breakdowns across a run. Safe for
+// concurrent Observe/Summary.
+type StepStat struct {
+	mu     sync.Mutex
+	steps  int64
+	totals StepBreakdown
+	last   StepBreakdown
+	wallNs Histogram
+}
+
+// Observe folds one completed step into the accumulator.
+func (s *StepStat) Observe(b StepBreakdown) {
+	s.wallNs.Record(b.Wall.Nanoseconds())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.steps++
+	s.totals.add(b)
+	s.totals.Wall += b.Wall
+	s.totals.Workers = b.Workers
+	s.last = b
+}
+
+// Summary returns the accumulated view.
+func (s *StepStat) Summary() StepSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StepSummary{
+		Steps:  s.steps,
+		Totals: s.totals,
+		Last:   s.last,
+		WallNs: s.wallNs.Snapshot(),
+	}
+}
+
+// StepSummary is one task's accumulated step-time report.
+type StepSummary struct {
+	// Steps is how many completed steps were observed.
+	Steps int64
+	// Totals sums every observed breakdown (Wall included).
+	Totals StepBreakdown
+	// Last is the most recent step's breakdown.
+	Last StepBreakdown
+	// WallNs is the distribution of per-step wall times in nanoseconds.
+	WallNs HistogramSnapshot
+}
+
+// MeanWall returns the average step wall time.
+func (s StepSummary) MeanWall() time.Duration {
+	if s.Steps == 0 {
+		return 0
+	}
+	return s.Totals.Wall / time.Duration(s.Steps)
+}
+
+// Stragglers returns the tasks whose mean step time exceeds factor times
+// the median of all tasks' means (factor <= 1 selects 1.5), sorted. With
+// fewer than three tasks no task is flagged — an outlier needs a quorum to
+// be an outlier of.
+func Stragglers(sums map[string]StepSummary, factor float64) []string {
+	if factor <= 1 {
+		factor = 1.5
+	}
+	if len(sums) < 3 {
+		return nil
+	}
+	type tm struct {
+		task string
+		mean time.Duration
+	}
+	means := make([]tm, 0, len(sums))
+	for task, s := range sums {
+		if s.Steps == 0 {
+			continue
+		}
+		means = append(means, tm{task, s.MeanWall()})
+	}
+	if len(means) < 3 {
+		return nil
+	}
+	sort.Slice(means, func(i, j int) bool { return means[i].mean < means[j].mean })
+	median := means[len(means)/2].mean
+	cut := time.Duration(float64(median) * factor)
+	var out []string
+	for _, m := range means {
+		if m.mean > cut {
+			out = append(out, m.task)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

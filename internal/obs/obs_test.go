@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureData builds a deterministic pair of provider maps: two tasks with
+// hand-set counters and histograms recorded from fixed values.
+func fixtureData() (map[string]metrics.CommSnapshot, map[string]metrics.SetSnapshot) {
+	comm := map[string]metrics.CommSnapshot{
+		"ps0": {
+			BytesSent: 4096, BytesRecv: 1024, Messages: 8,
+			MemCopies: 2, CopiedBytes: 512, SerializedBytes: 256,
+			ZeroCopyOps: 6, DynTransfers: 3, Retries: 1,
+		},
+		"worker0": {
+			BytesSent: 1024, BytesRecv: 4096, Messages: 8,
+			StripeSegments: 4, StripedTransfers: 2,
+			CoalesceFlushes: 1, CoalescedMessages: 5,
+		},
+	}
+	w := comm["worker0"]
+	w.LaneBytes[0] = 3000
+	w.LaneBytes[2] = 1096
+	comm["worker0"] = w
+
+	mkSet := func(seed int64) metrics.SetSnapshot {
+		var s metrics.Set
+		step := s.Hist(metrics.HistStepNs)
+		for i := int64(0); i < 5; i++ {
+			step.Record(seed * (i + 1))
+		}
+		lat := s.Family(metrics.HistExecOpNs)
+		lat.With("MatMul").Record(seed)
+		lat.With("MatMul").Record(seed * 2)
+		lat.With("Add").Record(7)
+		sent := s.Family(metrics.HistEdgeSentBytes)
+		sent.With("grad:w0->ps0").Record(1024)
+		sent.With("grad:w0->ps0").Record(3072)
+		return s.Snapshot()
+	}
+	hists := map[string]metrics.SetSnapshot{
+		"ps0":     mkSet(1000),
+		"worker0": mkSet(2500),
+	}
+	return comm, hists
+}
+
+func TestWritePromGolden(t *testing.T) {
+	comm, hists := fixtureData()
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, comm, hists); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output differs from %s (run with -update to regenerate)\ngot:\n%s", golden, buf.String())
+	}
+
+	// Determinism: a second encode of the same snapshots is byte-identical.
+	var again bytes.Buffer
+	if err := WriteProm(&again, comm, hists); err != nil {
+		t.Fatalf("WriteProm again: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("WriteProm is not deterministic across calls")
+	}
+}
+
+// promLine matches one Prometheus text sample: name{labels} value.
+var promLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?\d+)$`)
+
+// parseProm validates the exposition format line by line and returns the
+// samples as name{labels} -> value.
+func parseProm(t *testing.T, text string) map[string]int64 {
+	t.Helper()
+	out := map[string]int64{}
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d is not valid Prometheus text: %q", i+1, line)
+		}
+		v, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			t.Fatalf("line %d value: %v", i+1, err)
+		}
+		out[m[1]+m[2]] = v
+	}
+	return out
+}
+
+func TestPromScrapeParsesAndIsConsistent(t *testing.T) {
+	comm, hists := fixtureData()
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, comm, hists); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseProm(t, buf.String())
+	if len(samples) == 0 {
+		t.Fatal("no samples parsed")
+	}
+	// Counter spot checks.
+	if got := samples[`rdmadl_bytes_sent_total{task="ps0"}`]; got != 4096 {
+		t.Errorf("ps0 bytes_sent_total = %d, want 4096", got)
+	}
+	if got := samples[`rdmadl_lane_bytes_total{task="worker0",lane="2"}`]; got != 1096 {
+		t.Errorf("worker0 lane 2 bytes = %d, want 1096", got)
+	}
+	// Histogram invariants: every series' +Inf bucket equals its _count, and
+	// cumulative buckets never exceed it.
+	for key, v := range samples {
+		if i := strings.Index(key, `le="+Inf"`); i >= 0 {
+			countKey := strings.Replace(key, "_bucket{", "_count{", 1)
+			countKey = strings.Replace(countKey, `,le="+Inf"`, "", 1)
+			if c, ok := samples[countKey]; !ok || c != v {
+				t.Errorf("+Inf bucket %s = %d but %s = %d", key, v, countKey, c)
+			}
+		}
+	}
+	// Family totals: MatMul + Add exec counts sum to the family total of 3.
+	mm := samples[`rdmadl_exec_op_ns_count{task="ps0",op="MatMul"}`]
+	add := samples[`rdmadl_exec_op_ns_count{task="ps0",op="Add"}`]
+	if mm != 2 || add != 1 {
+		t.Errorf("exec_op_ns counts: MatMul=%d Add=%d, want 2 and 1", mm, add)
+	}
+	// Edge sent-bytes sum matches the bytes recorded (1024+3072).
+	if got := samples[`rdmadl_edge_sent_bytes_sum{task="ps0",edge="grad:w0->ps0"}`]; got != 4096 {
+		t.Errorf("edge sent sum = %d, want 4096", got)
+	}
+}
+
+func stepFixture() map[string]metrics.StepSummary {
+	mk := func(wall time.Duration, n int) metrics.StepSummary {
+		var st metrics.StepStat
+		for i := 0; i < n; i++ {
+			st.Observe(metrics.StepBreakdown{
+				Wall: wall, Workers: 2,
+				Compute: wall, Comm: wall / 2, PollWait: wall / 4, Idle: wall / 4,
+				Ops: 10,
+			})
+		}
+		return st.Summary()
+	}
+	return map[string]metrics.StepSummary{
+		"ps0":     mk(10*time.Millisecond, 5),
+		"worker0": mk(11*time.Millisecond, 5),
+		"worker1": mk(40*time.Millisecond, 5), // straggler: ~4x the median
+	}
+}
+
+func TestWriteStepReport(t *testing.T) {
+	var buf bytes.Buffer
+	WriteStepReport(&buf, stepFixture(), 0)
+	out := buf.String()
+	for _, want := range []string{"task", "worker1", "stragglers: worker1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "stragglers: ps0") {
+		t.Errorf("ps0 wrongly flagged as straggler:\n%s", out)
+	}
+}
+
+func TestReporterPeriodic(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	r := NewReporter(w, 5*time.Millisecond, func() map[string]metrics.StepSummary {
+		return stepFixture()
+	}, 0)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := strings.Count(buf.String(), "stragglers:")
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reporter did not tick twice within deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.Stop()
+	r.Stop() // idempotent
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestServerEndpoints(t *testing.T) {
+	comm, hists := fixtureData()
+	rec := trace.NewRecorder(16)
+	rec.Instant("t0", "w0", "test", "boot", nil)
+	done := rec.Span("t0", "w0", "exec", "step", nil)
+	done()
+
+	srv := NewServer(Options{
+		Metrics: func() map[string]metrics.CommSnapshot { return comm },
+		Hists:   func() map[string]metrics.SetSnapshot { return hists },
+		Steps:   func() map[string]metrics.StepSummary { return stepFixture() },
+		Trace:   rec,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s read: %v", path, err)
+		}
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	// /metrics parses as Prometheus text and carries the fixture counters.
+	code, body, hdr := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(hdr.Get("Content-Type"), "text/plain") {
+		t.Errorf("/metrics content type %q", hdr.Get("Content-Type"))
+	}
+	samples := parseProm(t, body)
+	if samples[`rdmadl_bytes_sent_total{task="ps0"}`] != 4096 {
+		t.Error("/metrics missing fixture counter")
+	}
+
+	// /trace is valid JSON with the recorded events.
+	code, body, hdr = get("/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status %d", code)
+	}
+	if hdr.Get("Content-Type") != "application/json" {
+		t.Errorf("/trace content type %q", hdr.Get("Content-Type"))
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/trace not valid JSON: %v\n%s", err, body)
+	}
+	if len(events) != 2 { // one instant + one complete span event
+		t.Errorf("/trace has %d events, want 2", len(events))
+	}
+	if hdr.Get("X-Trace-Dropped") != "0" {
+		t.Errorf("X-Trace-Dropped = %q, want 0", hdr.Get("X-Trace-Dropped"))
+	}
+
+	// /steps renders the report.
+	code, body, _ = get("/steps")
+	if code != http.StatusOK || !strings.Contains(body, "stragglers: worker1") {
+		t.Errorf("/steps status %d body:\n%s", code, body)
+	}
+
+	// pprof index responds on the private mux.
+	code, body, _ = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestServerStartClose(t *testing.T) {
+	srv := NewServer(Options{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatalf("GET live server: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+	// No trace recorder attached -> /trace is 404.
+	resp, err = http.Get(fmt.Sprintf("http://%s/trace", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/trace without recorder: status %d, want 404", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

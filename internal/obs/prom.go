@@ -1,0 +1,181 @@
+// Package obs is the live observability surface: a Prometheus-text metrics
+// endpoint over the cluster's counters and histograms, an on-demand trace
+// dump, pprof, and a periodic step-summary report with straggler detection.
+// It depends only on the metrics and trace packages — data arrives through
+// function-valued providers, so any layer (a Cluster, a bare Executor, a
+// test harness) can feed it without an import cycle.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// promPrefix namespaces every exported series.
+const promPrefix = "rdmadl_"
+
+// commCounters lists CommSnapshot's scalar fields in export order. One
+// table keeps the encoder and the golden test in lockstep.
+func commCounters(s metrics.CommSnapshot) []struct {
+	Name  string
+	Value int64
+} {
+	return []struct {
+		Name  string
+		Value int64
+	}{
+		{"bytes_sent_total", s.BytesSent},
+		{"bytes_recv_total", s.BytesRecv},
+		{"messages_total", s.Messages},
+		{"mem_copies_total", s.MemCopies},
+		{"copied_bytes_total", s.CopiedBytes},
+		{"serialized_bytes_total", s.SerializedBytes},
+		{"zero_copy_ops_total", s.ZeroCopyOps},
+		{"dyn_transfers_total", s.DynTransfers},
+		{"retries_total", s.Retries},
+		{"timeouts_total", s.Timeouts},
+		{"faults_injected_total", s.FaultsInjected},
+		{"stripe_segments_total", s.StripeSegments},
+		{"striped_transfers_total", s.StripedTransfers},
+		{"coalesce_flushes_total", s.CoalesceFlushes},
+		{"coalesced_messages_total", s.CoalescedMessages},
+	}
+}
+
+// familyLabel maps a histogram family name to its Prometheus label key.
+func familyLabel(fam string) string {
+	switch fam {
+	case metrics.HistExecOpNs:
+		return "op"
+	case metrics.HistEdgeSentBytes, metrics.HistEdgeRecvBytes, metrics.HistEdgeXferNs:
+		return "edge"
+	default:
+		return "label"
+	}
+}
+
+// WriteProm encodes per-task communication counters and histogram sets in
+// the Prometheus text exposition format. Output is fully deterministic
+// (tasks, metric names, and labels are sorted), so a golden file can pin it.
+func WriteProm(w io.Writer, comm map[string]metrics.CommSnapshot,
+	hists map[string]metrics.SetSnapshot) error {
+	tasks := sortedKeys(comm)
+
+	// Counters: one TYPE header per metric, one sample per task.
+	if len(tasks) > 0 {
+		counters := commCounters(metrics.CommSnapshot{})
+		for _, c := range counters {
+			if _, err := fmt.Fprintf(w, "# TYPE %s%s counter\n", promPrefix, c.Name); err != nil {
+				return err
+			}
+			for _, task := range tasks {
+				for _, tc := range commCounters(comm[task]) {
+					if tc.Name == c.Name {
+						if _, err := fmt.Fprintf(w, "%s%s{task=%q} %d\n",
+							promPrefix, c.Name, task, tc.Value); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+		// Per-lane bytes, only for lanes that moved anything.
+		if _, err := fmt.Fprintf(w, "# TYPE %slane_bytes_total counter\n", promPrefix); err != nil {
+			return err
+		}
+		for _, task := range tasks {
+			for lane, b := range comm[task].LaneBytes {
+				if b > 0 {
+					if _, err := fmt.Fprintf(w, "%slane_bytes_total{task=%q,lane=\"%d\"} %d\n",
+						promPrefix, task, lane, b); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+
+	// Histograms: plain hists first, then families, each sorted by name.
+	histNames := map[string]bool{}
+	famNames := map[string]bool{}
+	for _, set := range hists {
+		for name := range set.Hists {
+			histNames[name] = true
+		}
+		for name := range set.Families {
+			famNames[name] = true
+		}
+	}
+	htasks := sortedKeys(hists)
+	for _, name := range sortedKeys(histNames) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s%s histogram\n", promPrefix, name); err != nil {
+			return err
+		}
+		for _, task := range htasks {
+			hs, ok := hists[task].Hists[name]
+			if !ok {
+				continue
+			}
+			if err := writeHist(w, name, fmt.Sprintf("task=%q", task), hs); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range sortedKeys(famNames) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s%s histogram\n", promPrefix, name); err != nil {
+			return err
+		}
+		lk := familyLabel(name)
+		for _, task := range htasks {
+			fam, ok := hists[task].Families[name]
+			if !ok {
+				continue
+			}
+			for _, label := range sortedKeys(fam) {
+				labels := fmt.Sprintf("task=%q,%s=%q", task, lk, label)
+				if err := writeHist(w, name, labels, fam[label]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writeHist emits one histogram's cumulative buckets, sum, and count.
+// Empty buckets are skipped (the cumulative count does not change there),
+// which keeps 64-bucket series readable; +Inf is always present.
+func writeHist(w io.Writer, name, labels string, hs metrics.HistogramSnapshot) error {
+	var cum int64
+	for i, n := range hs.Buckets[:metrics.NumBuckets-1] {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if _, err := fmt.Fprintf(w, "%s%s_bucket{%s,le=\"%d\"} %d\n",
+			promPrefix, name, labels, metrics.BucketUpper(i), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s%s_bucket{%s,le=\"+Inf\"} %d\n",
+		promPrefix, name, labels, hs.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s%s_sum{%s} %d\n", promPrefix, name, labels, hs.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s%s_count{%s} %d\n", promPrefix, name, labels, hs.Count)
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

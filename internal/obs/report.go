@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// WriteStepReport renders each task's step-time profile — steps, mean/p50/
+// p99 wall time, and the compute/comm/poll-wait/idle share of worker time —
+// plus a straggler line when some task's mean step time stands out from the
+// cluster median (factor <= 1 selects the default 1.5x).
+func WriteStepReport(w io.Writer, steps map[string]metrics.StepSummary, factor float64) {
+	fmt.Fprintf(w, "%-12s %6s %10s %10s %10s %8s %8s %8s %8s\n",
+		"task", "steps", "mean", "p50", "p99", "compute", "comm", "poll", "idle")
+	for _, task := range sortedKeys(steps) {
+		s := steps[task]
+		if s.Steps == 0 {
+			fmt.Fprintf(w, "%-12s %6d\n", task, 0)
+			continue
+		}
+		worker := float64(s.Totals.Wall.Nanoseconds()) * float64(s.Totals.Workers)
+		share := func(d time.Duration) string {
+			if worker <= 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.0f%%", 100*float64(d.Nanoseconds())/worker)
+		}
+		fmt.Fprintf(w, "%-12s %6d %10v %10v %10v %8s %8s %8s %8s\n",
+			task, s.Steps,
+			s.MeanWall().Round(time.Microsecond),
+			time.Duration(s.WallNs.Quantile(0.5)).Round(time.Microsecond),
+			time.Duration(s.WallNs.Quantile(0.99)).Round(time.Microsecond),
+			share(s.Totals.Compute), share(s.Totals.Comm),
+			share(s.Totals.PollWait), share(s.Totals.Idle))
+	}
+	if lag := metrics.Stragglers(steps, factor); len(lag) > 0 {
+		fmt.Fprintf(w, "stragglers: %s\n", strings.Join(lag, ", "))
+	}
+}
+
+// Reporter periodically writes the step report to a sink (typically stderr
+// or a log file) until stopped.
+type Reporter struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewReporter starts a reporter that writes every interval. steps is called
+// at each tick; factor is the straggler threshold (<= 1 for the default).
+func NewReporter(w io.Writer, interval time.Duration,
+	steps func() map[string]metrics.StepSummary, factor float64) *Reporter {
+	r := &Reporter{stop: make(chan struct{})}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				WriteStepReport(w, steps(), factor)
+			}
+		}
+	}()
+	return r
+}
+
+// Stop halts the reporter and waits for its goroutine to exit.
+func (r *Reporter) Stop() {
+	r.once.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Options feeds the observability server. Every provider is optional: a nil
+// provider just leaves its endpoint empty. Providers are called per request,
+// so scrapes always see live values.
+type Options struct {
+	// Metrics supplies per-task communication counters (/metrics).
+	Metrics func() map[string]metrics.CommSnapshot
+	// Hists supplies per-task histogram registries (/metrics).
+	Hists func() map[string]metrics.SetSnapshot
+	// Steps supplies per-task step summaries (/steps).
+	Steps func() map[string]metrics.StepSummary
+	// Trace, when non-nil, serves the recorded timeline at /trace.
+	Trace *trace.Recorder
+	// StragglerFactor tunes the /steps straggler threshold (<= 1: 1.5x).
+	StragglerFactor float64
+}
+
+// Server is the live observability HTTP endpoint: Prometheus-text metrics,
+// an on-demand Chrome-trace JSON dump, a step-summary report, and pprof.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// NewServer builds the server without binding a socket; use Handler for
+// in-process serving (tests) or Start to listen.
+func NewServer(opts Options) *Server {
+	s := &Server{opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/trace", s.handleTrace)
+	s.mux.HandleFunc("/steps", s.handleSteps)
+	// pprof on our own mux: the package's init only touches
+	// http.DefaultServeMux, which we deliberately do not serve.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler exposes the route table (for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (e.g. ":9090", "127.0.0.1:0") and serves in the
+// background, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener; in-flight requests are cut off.
+func (s *Server) Close() error {
+	if s.srv != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var comm map[string]metrics.CommSnapshot
+	var hists map[string]metrics.SetSnapshot
+	if s.opts.Metrics != nil {
+		comm = s.opts.Metrics()
+	}
+	if s.opts.Hists != nil {
+		hists = s.opts.Hists()
+	}
+	_ = WriteProm(w, comm, hists)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	if s.opts.Trace == nil {
+		http.Error(w, "obs: no trace recorder attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Trace-Dropped", fmt.Sprint(s.opts.Trace.Dropped()))
+	_ = s.opts.Trace.WriteJSON(w)
+}
+
+func (s *Server) handleSteps(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.opts.Steps == nil {
+		fmt.Fprintln(w, "no step provider attached")
+		return
+	}
+	WriteStepReport(w, s.opts.Steps(), s.opts.StragglerFactor)
+}

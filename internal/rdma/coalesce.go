@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -203,7 +204,9 @@ func (s *CoalescedSender) Flush(cb func(error)) error {
 // batch is safe; the ack the attempt cleared is re-armed so the next attempt
 // does not deadlock on its own busy check.
 func (s *CoalescedSender) FlushRetry(opts TransferOpts) error {
-	return retryLoop(opts, fmt.Sprintf("coalesced flush %dB to %s", s.w.Len(), s.ch.Remote()),
+	start := time.Now()
+	staged := s.w.Len()
+	err := retryLoop(opts, fmt.Sprintf("coalesced flush %dB to %s", staged, s.ch.Remote()),
 		func() error {
 			done := make(chan error, 1)
 			if err := s.Flush(func(err error) {
@@ -222,4 +225,5 @@ func (s *CoalescedSender) FlushRetry(opts TransferOpts) error {
 			}
 			return err
 		})
+	return observeComplete(opts, staged, start, err)
 }

@@ -19,6 +19,12 @@ import (
 // errors.Is can still see e.g. ErrUnreachable through it.
 var ErrTimeout = errors.New("rdma: transfer deadline exceeded")
 
+// ErrCanceled is returned when TransferOpts.Canceled reports the caller no
+// longer wants the transfer. Like ErrTimeout it is fatal: a canceled
+// operation must never be retried, because the memory it would write into
+// may already be reused by whoever aborted it.
+var ErrCanceled = errors.New("rdma: transfer canceled")
+
 // Retryable classifies an error as transient (worth retrying: the fault may
 // heal) versus fatal (misconfiguration, closed device, or out-of-bounds
 // access that no retry can fix). ErrTimeout itself is fatal: it means a
@@ -73,6 +79,26 @@ type TransferOpts struct {
 	// OnStripe, if non-nil, observes every issued stripe as (lane index,
 	// bytes on the wire) — the per-lane byte accounting hook.
 	OnStripe func(lane, bytes int)
+	// OnComplete, if non-nil, observes each successful blocking transfer
+	// (SendRetry / FetchRetry / FlushRetry) as (payload bytes, wall duration
+	// including retries and backoff). The distributed layer feeds per-edge
+	// transfer-latency histograms from it.
+	OnComplete func(bytes int, d time.Duration)
+	// Canceled, if non-nil, is polled between retry attempts and backoff
+	// waits; once it returns true the operation fails fast with ErrCanceled
+	// instead of retrying. Executors wire it to their iteration's abort
+	// flag so a transfer outliving a failed step cannot keep re-sending —
+	// a retry that lands after the fabric heals would write into memory a
+	// later iteration already owns.
+	Canceled func() bool
+}
+
+// observeComplete fires opts.OnComplete on a successful transfer.
+func observeComplete(o TransferOpts, bytes int, start time.Time, err error) error {
+	if err == nil && o.OnComplete != nil {
+		o.OnComplete(bytes, time.Since(start))
+	}
+	return err
 }
 
 func (o TransferOpts) withDefaults() TransferOpts {
@@ -100,13 +126,18 @@ func (o TransferOpts) withDefaults() TransferOpts {
 	return o
 }
 
-// retryLoop runs attempt until it succeeds, fails fatally, or the deadline
-// or retry budget is exhausted (typed ErrTimeout wrapping the last error).
+// retryLoop runs attempt until it succeeds, fails fatally, is canceled, or
+// the deadline or retry budget is exhausted (typed ErrTimeout wrapping the
+// last error). Cancellation is checked before every attempt — including the
+// first — so an already-aborted caller never posts a write at all.
 func retryLoop(opts TransferOpts, what string, attempt func() error) error {
 	o := opts.withDefaults()
 	deadline := time.Now().Add(o.Deadline)
 	backoff := o.Backoff
 	for tries := 0; ; tries++ {
+		if o.Canceled != nil && o.Canceled() {
+			return fmt.Errorf("rdma: %s: %w after %d attempts", what, ErrCanceled, tries)
+		}
 		err := attempt()
 		if err == nil {
 			return nil
@@ -117,6 +148,10 @@ func retryLoop(opts TransferOpts, what string, attempt func() error) error {
 		if tries >= o.MaxRetries || !time.Now().Add(backoff).Before(deadline) {
 			return fmt.Errorf("rdma: %s: gave up after %d attempts: %w (last: %w)",
 				what, tries+1, ErrTimeout, err)
+		}
+		if o.Canceled != nil && o.Canceled() {
+			return fmt.Errorf("rdma: %s: %w after %d attempts (last: %w)",
+				what, ErrCanceled, tries+1, err)
 		}
 		if o.OnRetry != nil {
 			o.OnRetry(err)
@@ -129,14 +164,17 @@ func retryLoop(opts TransferOpts, what string, attempt func() error) error {
 	}
 }
 
-// waitCond polls cond until it reports true or the deadline expires. It
-// spins briefly, then backs off to PollInterval sleeps so a long wait does
-// not burn a core.
+// waitCond polls cond until it reports true, the caller cancels, or the
+// deadline expires. It spins briefly, then backs off to PollInterval sleeps
+// so a long wait does not burn a core.
 func waitCond(opts TransferOpts, what string, cond func() bool) error {
 	o := opts.withDefaults()
 	deadline := time.Now().Add(o.Deadline)
 	for spins := 0; !cond(); spins++ {
 		if spins > 256 {
+			if o.Canceled != nil && o.Canceled() {
+				return fmt.Errorf("rdma: %s: %w", what, ErrCanceled)
+			}
 			if time.Now().After(deadline) {
 				return fmt.Errorf("rdma: %s: no progress after %v: %w", what, o.Deadline, ErrTimeout)
 			}
@@ -204,7 +242,8 @@ func (c *Channel) CallRetry(method string, req []byte, opts TransferOpts) ([]byt
 // re-send writes the same bytes.
 func (s *StaticSender) SendRetry(opts TransferOpts) error {
 	o := opts.withDefaults()
-	return retryLoop(o, fmt.Sprintf("static send %dB to %s", s.desc.PayloadSize, s.ch.Remote()),
+	start := time.Now()
+	err := retryLoop(o, fmt.Sprintf("static send %dB to %s", s.desc.PayloadSize, s.ch.Remote()),
 		func() error {
 			done := make(chan error, 1)
 			if err := s.SendStriped(o.Stripes, o.OnStripe, func(err error) {
@@ -217,6 +256,7 @@ func (s *StaticSender) SendRetry(opts TransferOpts) error {
 			}
 			return <-done
 		})
+	return observeComplete(o, s.desc.PayloadSize, start, err)
 }
 
 // Wait blocks until a complete tensor has arrived (Poll returns true) or
@@ -234,7 +274,8 @@ func (r *StaticReceiver) Wait(opts TransferOpts) error {
 // and transient transfer failures as retryable within the opts budget.
 func (s *DynSender) SendRetry(payloadMR *MemRegion, payloadOff, payloadSize int,
 	dtype uint32, dims []uint64, opts TransferOpts) error {
-	return retryLoop(opts, fmt.Sprintf("dyn send %dB to %s", payloadSize, s.ch.Remote()),
+	start := time.Now()
+	err := retryLoop(opts, fmt.Sprintf("dyn send %dB to %s", payloadSize, s.ch.Remote()),
 		func() error {
 			done := make(chan error, 1)
 			if err := s.Send(payloadMR, payloadOff, payloadSize, dtype, dims, func(err error) {
@@ -255,6 +296,7 @@ func (s *DynSender) SendRetry(payloadMR *MemRegion, payloadOff, payloadSize int,
 			}
 			return err
 		})
+	return observeComplete(opts, payloadSize, start, err)
 }
 
 // WaitMeta blocks until the metadata flag is set and returns the decoded
@@ -285,6 +327,7 @@ func (r *DynReceiver) WaitMeta(opts TransferOpts) (DynMeta, error) {
 func (r *DynReceiver) FetchRetry(meta DynMeta, senderScratch DynSlotDesc,
 	dst *MemRegion, dstOff int, opts TransferOpts) error {
 	o := opts.withDefaults()
+	start := time.Now()
 	r.mr.ClearFlag(r.off + dynMetaFlagOff)
 	size := int(meta.PayloadSize)
 	chunks := StripeDesc{PayloadSize: meta.PayloadSize, Stripes: uint32(o.Stripes)}.Chunks()
@@ -321,5 +364,5 @@ func (r *DynReceiver) FetchRetry(meta DynMeta, senderScratch DynSlotDesc,
 		senderScratch.Region, FlagWordSize, OpWrite, o); err != nil {
 		return fmt.Errorf("rdma: dyn fetch ack: %w", err)
 	}
-	return nil
+	return observeComplete(o, size, start, nil)
 }

@@ -142,6 +142,65 @@ func TestMidTransferPartitionHealsAndRecovers(t *testing.T) {
 	}
 }
 
+// A retrying send whose caller cancels mid-partition must give up with
+// ErrCanceled and — the part that matters — never land its payload, even
+// after the fabric heals. A canceled iteration's memory belongs to whoever
+// aborted it; a late write would race the next iteration (this is the
+// stale-retry race the recovery tests used to trip).
+func TestSendRetryCanceledMidPartitionNeverLands(t *testing.T) {
+	f, a, b := newPair(t)
+	const payload = 256
+	recvMR, _ := b.AllocateMemRegion(StaticSlotSize(payload))
+	recv, err := NewStaticReceiver(recvMR, 0, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendMR, _ := a.AllocateMemRegion(StaticSlotSize(payload))
+	ch, _ := a.GetChannel("hostB:1", 0)
+	send, err := NewStaticSender(ch, sendMR, 0, recv.Desc())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var canceled atomic.Bool
+	f.Partition("hostA:1", "hostB:1")
+	done := make(chan error, 1)
+	go func() {
+		done <- send.SendRetry(TransferOpts{
+			Deadline: 30 * time.Second,
+			Backoff:  100 * time.Microsecond,
+			Canceled: canceled.Load,
+		})
+	}()
+	time.Sleep(10 * time.Millisecond) // accumulate failed attempts
+	canceled.Store(true)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled send did not return")
+	}
+
+	// The fabric heals, but the canceled transfer is dead: the receiver's
+	// flag must stay clear.
+	f.Heal("hostA:1", "hostB:1")
+	time.Sleep(20 * time.Millisecond)
+	if recv.Poll() {
+		t.Fatal("canceled send landed after the partition healed")
+	}
+
+	// A pre-canceled operation never posts an attempt at all.
+	if err := send.SendRetry(TransferOpts{Canceled: func() bool { return true }}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled err = %v, want ErrCanceled", err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if recv.Poll() {
+		t.Fatal("pre-canceled send still landed")
+	}
+}
+
 // A partition that never heals must surface ErrTimeout wrapping
 // ErrUnreachable within the deadline.
 func TestSendRetryTimesOutAcrossPartition(t *testing.T) {

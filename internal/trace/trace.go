@@ -34,15 +34,17 @@ type Event struct {
 // Recorder accumulates events; it is safe for concurrent use and cheap
 // enough to leave attached during tests.
 type Recorder struct {
-	mu     sync.Mutex
-	start  time.Time
-	events []Event
-	limit  int
+	mu      sync.Mutex
+	start   time.Time
+	events  []Event
+	limit   int
+	dropped int64
 }
 
 // NewRecorder returns a recorder with the given event cap (0 = 1<<20).
 // Beyond the cap new events are dropped, keeping memory bounded on long
-// runs.
+// runs; drops are counted (Dropped) and the first one leaves an instant
+// marker event in the timeline.
 func NewRecorder(limit int) *Recorder {
 	if limit <= 0 {
 		limit = 1 << 20
@@ -63,6 +65,7 @@ func (r *Recorder) Span(pid, tid, category, name string, args any) func() {
 		r.mu.Lock()
 		defer r.mu.Unlock()
 		if len(r.events) >= r.limit {
+			r.dropLocked()
 			return
 		}
 		r.events = append(r.events, Event{
@@ -82,6 +85,7 @@ func (r *Recorder) Instant(pid, tid, category, name string, args any) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.events) >= r.limit {
+		r.dropLocked()
 		return
 	}
 	r.events = append(r.events, Event{
@@ -89,6 +93,34 @@ func (r *Recorder) Instant(pid, tid, category, name string, args any) {
 		TS:  float64(time.Since(r.start).Nanoseconds()) / 1e3,
 		PID: pid, TID: tid, Args: args,
 	})
+}
+
+// dropLocked counts one event lost to the cap. The first drop leaves a
+// visible scar in the timeline — an instant marker event, using the one
+// slot reserved past the cap — so a truncated trace announces itself in
+// the viewer instead of silently looking complete. r.mu must be held.
+func (r *Recorder) dropLocked() {
+	if r.dropped == 0 {
+		r.events = append(r.events, Event{
+			Name: "trace: event cap reached, later events dropped", Category: "trace",
+			Phase: "i",
+			TS:    float64(time.Since(r.start).Nanoseconds()) / 1e3,
+			PID:   "trace", TID: "recorder",
+			Args: map[string]any{"limit": r.limit},
+		})
+	}
+	r.dropped++
+}
+
+// Dropped reports how many events were lost to the cap (the cap-reached
+// marker itself is not counted).
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Len reports the number of recorded events.

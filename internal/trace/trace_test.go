@@ -57,8 +57,63 @@ func TestEventCap(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		r.Instant("p", "t", "c", "e", nil)
 	}
-	if r.Len() != 3 {
-		t.Errorf("events = %d, want capped at 3", r.Len())
+	// 3 real events plus the one reserved cap-reached marker.
+	if r.Len() != 4 {
+		t.Errorf("events = %d, want 3 + drop marker", r.Len())
+	}
+	if r.Dropped() != 7 {
+		t.Errorf("dropped = %d, want 7", r.Dropped())
+	}
+}
+
+// TestRecorderOverflowIsVisible is the regression test for the recorder
+// silently dropping events past the cap: overflowing a small-cap recorder
+// must (a) count every dropped event, (b) leave exactly one instant marker
+// in the timeline at the moment of first drop, and (c) still emit valid
+// trace JSON.
+func TestRecorderOverflowIsVisible(t *testing.T) {
+	const cap, total = 5, 50
+	r := NewRecorder(cap)
+	for i := 0; i < total/2; i++ {
+		r.Span("p", "t", "op", "e", nil)()
+		r.Instant("p", "t", "m", "i", nil)
+	}
+	if got, want := r.Dropped(), int64(total-cap); got != want {
+		t.Errorf("Dropped() = %d, want %d", got, want)
+	}
+	events := r.Events()
+	if len(events) != cap+1 {
+		t.Fatalf("len(events) = %d, want cap+marker = %d", len(events), cap+1)
+	}
+	var markers int
+	for _, e := range events {
+		if e.Category == "trace" && e.Phase == "i" {
+			markers++
+		}
+	}
+	if markers != 1 {
+		t.Errorf("drop markers = %d, want exactly 1", markers)
+	}
+	if events[cap].Category != "trace" {
+		t.Errorf("marker not at first-drop position: %+v", events[cap])
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Event
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("overflowed trace is not valid JSON: %v", err)
+	}
+	if len(decoded) != cap+1 {
+		t.Errorf("decoded %d events, want %d", len(decoded), cap+1)
+	}
+
+	// A recorder that never overflowed reports zero and leaves no marker.
+	clean := NewRecorder(100)
+	clean.Instant("p", "t", "c", "e", nil)
+	if clean.Dropped() != 0 || clean.Len() != 1 {
+		t.Errorf("clean recorder: dropped=%d len=%d", clean.Dropped(), clean.Len())
 	}
 }
 

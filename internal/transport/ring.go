@@ -48,6 +48,10 @@ type RingConfig struct {
 	// SendTimeout is the per-fragment deadline: credit wait plus write
 	// retries. Zero selects DefaultSendTimeout.
 	SendTimeout time.Duration
+	// OnSend, if non-nil, observes each completed Send as (message bytes,
+	// wall duration including fragmentation, credit waits, and retries) —
+	// the observability hook for RPC-transport latency histograms.
+	OnSend func(bytes int, d time.Duration)
 }
 
 func (c *RingConfig) setDefaults() {
@@ -315,6 +319,7 @@ func assembleRingConn(dev *rdma.Device, ch *rdma.Channel, cfg RingConfig,
 func (c *ringConn) Send(msg []byte) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	start := time.Now()
 	cap := c.peer.cfg.slotCap()
 	rem := msg
 	for first := true; first || len(rem) > 0; first = false {
@@ -326,6 +331,9 @@ func (c *ringConn) Send(msg []byte) error {
 		if err := c.sendFragment(frag, len(rem) == 0); err != nil {
 			return err
 		}
+	}
+	if hook := c.peer.cfg.OnSend; hook != nil {
+		hook(len(msg), time.Since(start))
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Kernel microbenchmarks -> BENCH_kernels.json.
 # Transfer benchmarks (striping + coalescing) -> BENCH_transfer.json.
+# Observability overhead (histograms / tracing on the train step) -> BENCH_obs.json.
 #
 # Runs the tensor kernel benchmarks (seed kernel vs new serial vs new
 # parallel) and the exec train-step benchmark (recycle on/off, -benchmem),
@@ -19,6 +20,7 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_kernels.json}"
 OUT_TRANSFER="${2:-BENCH_transfer.json}"
+OUT_OBS="${3:-BENCH_obs.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -120,3 +122,46 @@ END {
 }' "$TMP/transfer.txt" > "$OUT_TRANSFER"
 
 echo "wrote $OUT_TRANSFER" >&2
+
+# Observability overhead: the same train step with histograms (the always-on
+# production path — must stay near-free and allocation-identical to off) and
+# with histograms + tracing (debug sessions; a bounded trace span per op).
+# The per-step delta is nanoseconds against a multi-millisecond step, well
+# inside scheduler jitter on a busy box, so each mode runs 5 times and the
+# minimum ns/op represents it (least-noise estimator; allocs are exact and
+# identical across runs).
+echo "== observability overhead benchmark (benchtime=$BENCHTIME, best of 5) ==" >&2
+go test -run='^$' -bench='^BenchmarkTrainStepObs$' -benchtime="$BENCHTIME" -count=5 -benchmem \
+    ./internal/exec/ | tee "$TMP/obs.txt" >&2
+
+awk -v num_cpu="$(nproc)" -v go_ver="$(go env GOVERSION)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^BenchmarkTrainStepObs\/obs=/, "", name)
+    if (ns[name] == "" || $3 + 0 < ns[name] + 0) ns[name] = $3
+    if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "allocs/op") allocs[name] = $i
+        if ($(i+1) == "B/op")      bytes[name]  = $i
+    }
+}
+function overhead(m) { return (ns["off"] > 0 && ns[m] > 0) ? sprintf("%.2f", 100 * (ns[m] / ns["off"] - 1)) : "null" }
+END {
+    printf "{\n  \"num_cpu\": %d,\n  \"go\": \"%s\",\n", num_cpu, go_ver
+    printf "  \"note\": \"full train step (fwd+bwd+SGD) with the observability layer off, with per-op latency histograms, and with histograms + trace spans; ns_per_op is the minimum of 5 runs per mode and overhead_pct compares it against obs=off. Histograms are the always-on path: their record is lock-free and allocation-free, so allocs_per_op must match obs=off exactly.\",\n"
+    printf "  \"overhead_pct\": {\n"
+    printf "    \"hists\": %s,\n", overhead("hists")
+    printf "    \"hists_trace\": %s\n", overhead("hists+trace")
+    printf "  },\n"
+    printf "  \"hist_allocs_match_off\": %s,\n", (allocs["hists"] != "" && allocs["hists"] == allocs["off"]) ? "true" : "false"
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    {\"mode\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n",
+            name, ns[name], bytes[name], allocs[name], (i < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$TMP/obs.txt" > "$OUT_OBS"
+
+echo "wrote $OUT_OBS" >&2

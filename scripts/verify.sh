@@ -28,6 +28,14 @@ go test -race -run '^TestRecoveryWorkerCrashBitIdentical$|^TestHeartbeatDetector
 go test -race -run '^TestCloseMidTransferFailsFast$|^TestCloseMidStripedTransferFailsFast$|^TestClosePeerSeversThenRebuilds$' ./internal/rdma/
 go test -race -run '^TestPurePollingBoundedSpin$|^TestPollBackoffPreservesFairness$' ./internal/exec/
 
+# Observability gates: the Prometheus encoder golden file, the live obs
+# endpoint, and the metrics/trace/step-books consistency suite (including
+# its recovery-rebuild variant) must hold under the race detector.
+echo "== observability & consistency gates (-race) =="
+go test -race -run '^TestWritePromGolden$|^TestPromScrapeParsesAndIsConsistent$|^TestServerEndpoints$' ./internal/obs/
+go test -race -run '^TestMetricsTraceConsistency$|^TestObsConsistencySurvivesRecovery$' ./internal/distributed/
+go test -race -run '^TestHistogramConcurrentRecord$|^TestRecorderOverflowIsVisible$' ./internal/metrics/ ./internal/trace/
+
 # Fuzz smoke: each target gets a short budget. The engine accepts one
 # -fuzz pattern per invocation, so loop explicitly.
 FUZZTIME="${FUZZTIME:-5s}"
@@ -39,5 +47,6 @@ go test -run=NONE -fuzz='^FuzzUnmarshalStripeDesc$' -fuzztime="$FUZZTIME" ./inte
 go test -run=NONE -fuzz='^FuzzUnmarshalCoalescedSlotDesc$' -fuzztime="$FUZZTIME" ./internal/rdma/
 go test -run=NONE -fuzz='^FuzzTensorMessageUnmarshal$' -fuzztime="$FUZZTIME" ./internal/wire/
 go test -run=NONE -fuzz='^FuzzDecodeBatch$' -fuzztime="$FUZZTIME" ./internal/wire/
+go test -run=NONE -fuzz='^FuzzHistogramRecord$' -fuzztime="$FUZZTIME" ./internal/metrics/
 
 echo "verify: OK"
