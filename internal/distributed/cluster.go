@@ -881,6 +881,7 @@ func (c *Cluster) teardownEdges() {
 		srv.Env.mu.Lock()
 		dynRecvs := srv.Env.dynRecv
 		dynSends := srv.Env.dynSend
+		coalSends := srv.Env.coalSendGroups
 		srv.Env.staticSend = make(map[string]*staticSendState)
 		srv.Env.staticRecv = make(map[string]*staticRecvState)
 		srv.Env.dynSend = make(map[string]*dynSendState)
@@ -890,6 +891,11 @@ func (c *Cluster) teardownEdges() {
 		srv.Env.coalSendEdges = make(map[string]*coalSendEdge)
 		srv.Env.coalRecvEdges = make(map[string]*coalRecvEdge)
 		srv.Env.mu.Unlock()
+		// A group torn down mid-batch still holds completion callbacks from
+		// the aborted step; fail them so no waiter is left parked forever.
+		for _, g := range coalSends {
+			g.failPending(fmt.Errorf("%w: coalesce group %s torn down for edge rebuild", ErrComm, g.key))
+		}
 		for _, st := range dynRecvs {
 			st.recv.Close()
 			st.mu.Lock()

@@ -97,6 +97,23 @@ type coalSendGroup struct {
 	waiters []func(error)
 }
 
+// failPending fails every waiter parked on the group's partially staged
+// batch and resets the batch for the next iteration. Called when the
+// iteration that staged them can no longer fill the batch — a run abort
+// (via Env.FailPending) or an edge teardown before a recovery rebuild.
+func (g *coalSendGroup) failPending(err error) {
+	g.mu.Lock()
+	waiters := g.waiters
+	g.waiters, g.staged = nil, 0
+	if len(waiters) > 0 {
+		g.sender.Reset()
+	}
+	g.mu.Unlock()
+	for _, w := range waiters {
+		w(err)
+	}
+}
+
 // coalRecvGroup is the receiver side: one batch slot whose arrival satisfies
 // every member edge's recv kernel. Arrived payloads are copied out of the
 // slot under the lock, the slot is consumed immediately, and the reuse ack
@@ -270,6 +287,25 @@ func (e *Env) recordSent(key string, n int) {
 func (e *Env) recordRecv(key string, n int) {
 	e.Metrics.AddRecv(n)
 	e.Hists.Family(metrics.HistEdgeRecvBytes).With(key).Record(int64(n))
+}
+
+// FailPending fails asynchronous completions parked in this environment
+// waiting for work a dead iteration will never produce — coalesce-group
+// members staged into a batch whose remaining members were never
+// dispatched. exec.Run calls it (through an interface assertion on
+// Config.Env) after a failed run's workers exit, which is what keeps the
+// run's in-flight drain bounded: parked waiters have no retry loop polling
+// the cancel flag on their behalf.
+func (e *Env) FailPending(cause error) {
+	e.mu.Lock()
+	groups := make([]*coalSendGroup, 0, len(e.coalSendGroups))
+	for _, g := range e.coalSendGroups {
+		groups = append(groups, g)
+	}
+	e.mu.Unlock()
+	for _, g := range groups {
+		g.failPending(e.edgeErr(g.key, fmt.Errorf("coalesce batch abandoned: %w", cause)))
+	}
 }
 
 // edgeErr classifies a transfer failure for the scheduler: an exhausted

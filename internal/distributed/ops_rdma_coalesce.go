@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/graph"
+	"repro/internal/rdma"
 	"repro/internal/tensor"
 	"repro/internal/wire"
 )
@@ -61,6 +62,25 @@ func (op *coalescedSendOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 	opts.Canceled = ctx.Canceled
 	go func() {
 		g.mu.Lock()
+		if ctx.Canceled != nil && ctx.Canceled() {
+			// The run died while this member was being dispatched: the
+			// remaining members will never stage, so the batch cannot fill
+			// and nothing would ever fire the parked waiters. Fail the whole
+			// group now — exec.Run's quiesce drain is waiting on them. (The
+			// exec side also calls Env.FailPending for members that parked
+			// before the failure; this check closes the race where a stager
+			// lands after that sweep.)
+			waiters := g.waiters
+			g.waiters, g.staged = nil, 0
+			g.sender.Reset()
+			g.mu.Unlock()
+			err := env.edgeErr(g.key, fmt.Errorf("batch member %s: %w", op.spec.Key, rdma.ErrCanceled))
+			for _, w := range waiters {
+				w(err)
+			}
+			done(err)
+			return
+		}
 		if g.staged == 0 || g.iter != ctx.Iter {
 			// New batch — or leftovers from a step that failed mid-staging.
 			// Stale waiters belong to an aborted run; fail them rather than
@@ -153,8 +173,13 @@ func (op *coalescedRecvOp) Poll(ctx *graph.Context) (bool, error) {
 		return false, fmt.Errorf("%w: coalesce group %s has no sender ack descriptor", ErrComm, g.key)
 	}
 	ack := g.senderAck
+	// The ack is deliberately NOT wired to ctx.Canceled: it must complete
+	// even if this iteration aborts, because it is what marks the sender's
+	// batch slot reusable for the next iteration. Canceling it on a mere
+	// step abort would set ackErr — which is never cleared — and poison the
+	// group forever on a healthy fabric; a genuinely dead fabric is still
+	// bounded by the transfer deadline in ackOpts.
 	ackOpts := env.xferOpts()
-	ackOpts.Canceled = ctx.Canceled
 	go func() {
 		if err := g.recv.AckRetry(ack, ackOpts); err != nil {
 			g.mu.Lock()

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/graph"
+	"repro/internal/rdma"
 	"repro/internal/rpc"
 	"repro/internal/tensor"
 	"repro/internal/wire"
@@ -61,8 +62,20 @@ func (op *rpcSendOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 	env.Metrics.AddCopy(in.ByteSize())
 	env.recordSent(op.spec.Key, len(enc))
 	ctx.Output = in
-	// The unary call blocks; run it off the scheduler worker.
+	// The unary call blocks; run it off the scheduler worker. Don't push at
+	// all once the iteration is dead: a stale push landing in the receiver's
+	// mailbox after the abort could be handed to a later iteration as its
+	// data — the same stale-transfer class the RDMA edges guard against with
+	// TransferOpts.Canceled. The receive side additionally discards
+	// mismatched sequence numbers, because a call already on the wire when
+	// the step dies cannot be recalled.
+	canceled := ctx.Canceled
 	go func() {
+		if canceled != nil && canceled() {
+			done(fmt.Errorf("%w: edge %s push canceled by failed step: %w",
+				ErrComm, op.spec.Key, rdma.ErrCanceled))
+			return
+		}
 		_, err := client.Call(pushMethod, enc)
 		done(err)
 	}()
@@ -88,16 +101,24 @@ func (op *rpcRecvOp) Poll(ctx *graph.Context) (bool, error) {
 		return false, err
 	}
 	mb := env.mailbox(op.spec.Key)
-	select {
-	case item := <-mb.ch:
-		if item.seq != ctx.Iter+1 {
-			return false, fmt.Errorf("%w: edge %s received seq %d at iteration %d",
-				ErrComm, op.spec.Key, item.seq, ctx.Iter)
+	for {
+		select {
+		case item := <-mb.ch:
+			if item.seq != ctx.Iter+1 {
+				// A push from a dead iteration: the sender's call was already
+				// on the wire when its step aborted, or a checkpoint rollback
+				// rewound past it. Its seq cannot match the live iteration
+				// (stale < live after a plain abort retry, stale > live after
+				// a rollback), so discard it and keep draining rather than
+				// deliver another iteration's tensor — or poison this one
+				// with a hard error over a message nobody wants.
+				continue
+			}
+			mb.stash(item)
+			return true, nil
+		default:
+			return false, nil
 		}
-		mb.stash(item)
-		return true, nil
-	default:
-		return false, nil
 	}
 }
 

@@ -407,8 +407,23 @@ func (e *Executor) Run(iter int, feeds map[string]*tensor.Tensor, fetches ...str
 	// Wait for their completion callbacks before returning — the caller will
 	// reuse feeds, slots, and arena memory for the next iteration, and an
 	// async transfer still running against this one would race it. The wait
-	// is bounded: Context.Canceled now reports the failure, so retried
-	// transfers give up within one backoff period.
+	// is bounded: Context.Canceled reports the failure, so retried transfers
+	// give up within one backoff period, and FailPending (below) releases
+	// completions that are parked rather than running.
+	st.mu.Lock()
+	failed := st.err
+	st.mu.Unlock()
+	if failed != nil {
+		// A completion can also be *parked* in the environment waiting for
+		// sibling work the dead iteration will never dispatch — e.g. a
+		// member staged into a coalesced batch that can no longer fill.
+		// No retry loop ever polls the cancel flag on its behalf, so ask
+		// the environment to fail those now; otherwise the drain below
+		// would wait on them forever.
+		if f, ok := e.cfg.Env.(interface{ FailPending(error) }); ok {
+			f.FailPending(failed)
+		}
+	}
 	st.mu.Lock()
 	for st.inflight > 0 {
 		st.cond.Wait()

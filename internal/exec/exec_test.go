@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -311,6 +312,97 @@ func TestRunDrainsInflightAsyncOnAbort(t *testing.T) {
 	}
 	if !op.sawCancel.Load() {
 		t.Error("async op never observed Context.Canceled after the abort")
+	}
+}
+
+// parkingEnv mimics an environment that parks async completion callbacks
+// waiting for sibling work (a partially staged coalesced batch): the op
+// hands its done callback to the env instead of completing, and only
+// FailPending releases it.
+type parkingEnv struct {
+	mu     sync.Mutex
+	parked []func(error)
+	failed atomic.Int32
+}
+
+func (p *parkingEnv) park(done func(error)) {
+	p.mu.Lock()
+	p.parked = append(p.parked, done)
+	p.mu.Unlock()
+}
+
+func (p *parkingEnv) FailPending(cause error) {
+	p.mu.Lock()
+	parked := p.parked
+	p.parked = nil
+	p.mu.Unlock()
+	for _, done := range parked {
+		p.failed.Add(1)
+		done(fmt.Errorf("parked completion failed: %w", cause))
+	}
+}
+
+// parkOp parks its completion in the env and signals it did so.
+type parkOp struct{ staged chan struct{} }
+
+func (op *parkOp) Name() string { return "Park" }
+func (op *parkOp) InferSig(in []graph.Sig) (graph.Sig, error) {
+	return graph.Static(tensor.Float32), nil
+}
+func (op *parkOp) ComputeAsync(ctx *graph.Context, done func(error)) {
+	ctx.Env.(*parkingEnv).park(done)
+	close(op.staged)
+}
+
+// gatedFailOp errors only after the park op has staged, forcing the
+// worst-case ordering: the completion is parked first, the run dies after.
+type gatedFailOp struct{ gate chan struct{} }
+
+func (op *gatedFailOp) Name() string { return "GatedFail" }
+func (op *gatedFailOp) InferSig(in []graph.Sig) (graph.Sig, error) {
+	return graph.Static(tensor.Float32), nil
+}
+func (op *gatedFailOp) Compute(ctx *graph.Context) error {
+	<-op.gate
+	return fmt.Errorf("deliberate")
+}
+
+// A completion parked in the environment has no retry loop polling the
+// cancel flag on its behalf, so an aborted Run must actively fail it (via
+// the environment's FailPending) — otherwise the quiesce drain waits on it
+// forever. Regression test for a deadlock where coalesced-batch members
+// staged by a dying iteration hung Run, Step, and recovery with it.
+func TestRunFailsEnvParkedCompletionsOnFailure(t *testing.T) {
+	env := &parkingEnv{}
+	staged := make(chan struct{})
+	b := graph.NewBuilder()
+	p := b.AddNode("parked", &parkOp{staged: staged})
+	f := b.AddNode("bad", &gatedFailOp{gate: staged})
+	b.ReduceMax("sinkP", p)
+	b.ReduceMax("sinkF", f)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, Config{Workers: 2, Env: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := e.Run(0, nil, "sinkP", "sinkF")
+		runDone <- err
+	}()
+	select {
+	case err := <-runDone:
+		if err == nil {
+			t.Fatal("Run succeeded with a parked completion and a failing node")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run deadlocked on a completion parked in the environment")
+	}
+	if got := env.failed.Load(); got != 1 {
+		t.Errorf("FailPending released %d completions, want 1", got)
 	}
 }
 

@@ -163,6 +163,43 @@ func TestPromScrapeParsesAndIsConsistent(t *testing.T) {
 	}
 }
 
+// Under a live scrape the histogram snapshot's Count is loaded before its
+// buckets, so Count can lag records that already landed in the buckets. The
+// exposition must stay internally monotone regardless — +Inf and _count
+// derive from the bucket values, never from the torn Count.
+func TestWriteHistTornSnapshotStaysMonotone(t *testing.T) {
+	var hs metrics.HistogramSnapshot
+	hs.Buckets[3] = 5
+	hs.Buckets[10] = 4
+	hs.Buckets[metrics.NumBuckets-1] = 2
+	hs.Count = 7 // torn read: three records landed after Count was loaded
+	hs.Sum = 999
+	var buf bytes.Buffer
+	if err := writeHist(&buf, "torn_ns", `task="ps0"`, hs); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseProm(t, buf.String())
+	inf := samples[`rdmadl_torn_ns_bucket{task="ps0",le="+Inf"}`]
+	count := samples[`rdmadl_torn_ns_count{task="ps0"}`]
+	if inf != 11 || count != 11 {
+		t.Errorf("+Inf = %d, _count = %d, want both 11 (the bucket total)", inf, count)
+	}
+	var prev int64
+	for key, v := range samples {
+		if strings.Contains(key, "_bucket{") && !strings.Contains(key, "+Inf") {
+			if v > inf {
+				t.Errorf("bucket %s = %d exceeds +Inf %d: non-monotone exposition", key, v, inf)
+			}
+			if v > prev {
+				prev = v
+			}
+		}
+	}
+	if prev > inf {
+		t.Errorf("last cumulative bucket %d exceeds +Inf %d", prev, inf)
+	}
+}
+
 func stepFixture() map[string]metrics.StepSummary {
 	mk := func(wall time.Duration, n int) metrics.StepSummary {
 		var st metrics.StepStat

@@ -147,7 +147,13 @@ func WriteProm(w io.Writer, comm map[string]metrics.CommSnapshot,
 
 // writeHist emits one histogram's cumulative buckets, sum, and count.
 // Empty buckets are skipped (the cumulative count does not change there),
-// which keeps 64-bucket series readable; +Inf is always present.
+// which keeps 64-bucket series readable; +Inf is always present. The +Inf
+// and _count samples derive from the bucket values, not the snapshot's
+// Count: under a live scrape the snapshot loads Count before the buckets,
+// so a lagging Count could fall below the last cumulative bucket and
+// produce a non-monotone histogram strict Prometheus consumers reject.
+// Deriving everything from the same bucket loads keeps the exposition
+// internally consistent; quiescent snapshots are identical either way.
 func writeHist(w io.Writer, name, labels string, hs metrics.HistogramSnapshot) error {
 	var cum int64
 	for i, n := range hs.Buckets[:metrics.NumBuckets-1] {
@@ -160,14 +166,15 @@ func writeHist(w io.Writer, name, labels string, hs metrics.HistogramSnapshot) e
 			return err
 		}
 	}
+	total := cum + hs.Buckets[metrics.NumBuckets-1]
 	if _, err := fmt.Fprintf(w, "%s%s_bucket{%s,le=\"+Inf\"} %d\n",
-		promPrefix, name, labels, hs.Count); err != nil {
+		promPrefix, name, labels, total); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s%s_sum{%s} %d\n", promPrefix, name, labels, hs.Sum); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s%s_count{%s} %d\n", promPrefix, name, labels, hs.Count)
+	_, err := fmt.Fprintf(w, "%s%s_count{%s} %d\n", promPrefix, name, labels, total)
 	return err
 }
 
