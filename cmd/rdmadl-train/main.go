@@ -6,6 +6,7 @@
 // Usage:
 //
 //	rdmadl-train [-mechanism rdma|rdma-copy|grpc-rdma|grpc-tcp]
+//	             [-topology ps|ring|tree] [-bucket-bytes N]
 //	             [-workers N] [-ps N] [-iters N] [-batch N]
 //	             [-stripes N] [-coalesce BYTES]
 //	             [-heartbeat DUR] [-checkpoint-every N]
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/comm"
 	"repro/internal/distributed"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -27,6 +29,13 @@ import (
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
+
+func bucketCap(bucketBytes int) int {
+	if bucketBytes <= 0 {
+		return comm.DefaultBucketBytes
+	}
+	return bucketBytes
+}
 
 func parseKind(s string) (distributed.Kind, error) {
 	switch s {
@@ -45,8 +54,10 @@ func parseKind(s string) (distributed.Kind, error) {
 
 func main() {
 	mech := flag.String("mechanism", "rdma", "rdma | rdma-copy | grpc-rdma | grpc-tcp")
+	topology := flag.String("topology", "ps", "gradient exchange: ps | ring | tree (ring/tree replicate variables on every worker and all-reduce gradients; -ps is ignored)")
+	bucketBytes := flag.Int("bucket-bytes", 0, "all-reduce gradient bucket capacity in bytes (0 = 64 KiB; gradients pack same-dtype buckets in backward-flush order)")
 	workers := flag.Int("workers", 2, "worker count")
-	psCount := flag.Int("ps", 2, "parameter-server count")
+	psCount := flag.Int("ps", 2, "parameter-server count (ps topology only)")
 	iters := flag.Int("iters", 30, "training iterations")
 	batch := flag.Int("batch", 16, "per-worker batch size")
 	kernelWorkers := flag.Int("kernel-workers", 0, "compute-kernel pool size shared by all servers (0 = GOMAXPROCS); results are bit-identical at any size")
@@ -75,14 +86,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rdmadl-train: -stripes %d below 1\n", *stripes)
 		os.Exit(2)
 	}
-	if err := run(kind, *workers, *psCount, *iters, *batch, *kernelWorkers, *optimizer, *dot, *tracePath,
+	if err := run(kind, *topology, *bucketBytes, *workers, *psCount, *iters, *batch, *kernelWorkers, *optimizer, *dot, *tracePath,
 		*dropRate, *chaosSeed, *stripes, *coalesce, *heartbeat, *ckptEvery, *obsAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "rdmadl-train: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind distributed.Kind, workers, psCount, iters, batch, kernelWorkers int, optimizer, dotPath, tracePath string,
+func run(kind distributed.Kind, topology string, bucketBytes, workers, psCount, iters, batch, kernelWorkers int, optimizer, dotPath, tracePath string,
 	dropRate float64, chaosSeed int64, stripes, coalesce int, heartbeat time.Duration, ckptEvery int, obsAddr string) error {
 	var rec *trace.Recorder
 	if tracePath != "" {
@@ -92,6 +103,7 @@ func run(kind distributed.Kind, workers, psCount, iters, batch, kernelWorkers in
 		Workers: workers, PSCount: psCount, Batch: batch,
 		In: 32, Hidden: 64, Classes: 8, LR: 0.2,
 		Optimizer: optimizer,
+		Topology:  topology, BucketBytes: bucketBytes,
 	}, 1)
 	if err != nil {
 		return err
@@ -158,8 +170,21 @@ func run(kind distributed.Kind, workers, psCount, iters, batch, kernelWorkers in
 		}
 		fmt.Printf("wrote partitioned graph to %s\n", dotPath)
 	}
-	fmt.Printf("mechanism=%s workers=%d ps=%d batch=%d optimizer=%s stripes=%d coalesce=%dB\n",
-		kind, workers, psCount, batch, optimizer, stripes, coalesce)
+	if job.Topology == comm.TopologyPS {
+		fmt.Printf("mechanism=%s topology=%s workers=%d ps=%d batch=%d optimizer=%s stripes=%d coalesce=%dB\n",
+			kind, job.Topology, workers, psCount, batch, optimizer, stripes, coalesce)
+	} else {
+		fmt.Printf("mechanism=%s topology=%s workers=%d batch=%d optimizer=%s stripes=%d coalesce=%dB (-ps ignored: variables replicate on every worker)\n",
+			kind, job.Topology, workers, batch, optimizer, stripes, coalesce)
+		fmt.Printf("gradient buckets (capacity %dB, backward-flush order):\n", bucketCap(bucketBytes))
+		for _, b := range job.Buckets {
+			names := make([]string, len(b.Members))
+			for i, m := range b.Members {
+				names[i] = m.Name
+			}
+			fmt.Printf("  bucket %d: %6dB %s %v\n", b.Index, b.ByteSize(), b.DType, names)
+		}
+	}
 	fmt.Print(cl.Result().Summary())
 
 	report := func(iter int, out map[string]map[string]*tensor.Tensor) {

@@ -1,0 +1,132 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// DefaultBucketBytes is the gradient bucket capacity when the caller does
+// not configure one (DDP-style bucketing; small because the repo's models
+// are small — real deployments would use tens of megabytes).
+const DefaultBucketBytes = 64 << 10
+
+// GradSpec names one gradient and its static signature, in flush order:
+// callers list gradients in the order backward produces them (outputs
+// first), so earlier buckets fill — and their all-reduce launches — while
+// the remaining backward compute is still running.
+type GradSpec struct {
+	Name string
+	Sig  graph.Sig
+}
+
+// Member is one gradient's placement inside a bucket: a contiguous
+// [Offset, Offset+Elems) element range plus the shape it unpacks to.
+type Member struct {
+	Name   string
+	Offset int
+	Elems  int
+	Shape  tensor.Shape
+}
+
+// Bucket is a fixed-capacity, same-dtype gradient bucket. Index is the
+// bucket's creation order, which follows the first member's backward
+// position.
+type Bucket struct {
+	Index   int
+	DType   tensor.DType
+	Elems   int
+	Members []Member
+}
+
+// ByteSize returns the bucket payload size.
+func (b *Bucket) ByteSize() int { return b.Elems * b.DType.Size() }
+
+// BuildBuckets packs gradients into same-dtype buckets of at most
+// bucketBytes (<=0 selects DefaultBucketBytes), preserving the given
+// backward order within each dtype. Rules:
+//
+//   - a bucket never mixes dtypes (one open bucket per dtype at a time);
+//   - a gradient larger than the capacity gets a bucket of its own (the
+//     first member is always admitted);
+//   - the final bucket of each dtype is emitted even when partially
+//     filled — a straggler gradient must flush on backward completion,
+//     never wait for a fill that cannot happen (the 1-gradient model
+//     regression in internal/distributed covers this).
+func BuildBuckets(specs []GradSpec, bucketBytes int) ([]Bucket, error) {
+	if bucketBytes <= 0 {
+		bucketBytes = DefaultBucketBytes
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("%w: no gradients to bucket", ErrPlane)
+	}
+	var out []Bucket
+	open := make(map[tensor.DType]int) // dtype -> index into out
+	seen := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		if s.Name == "" {
+			return nil, fmt.Errorf("%w: unnamed gradient", ErrPlane)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("%w: duplicate gradient %q", ErrPlane, s.Name)
+		}
+		seen[s.Name] = true
+		if !s.Sig.Static {
+			return nil, fmt.Errorf("%w: gradient %q has a dynamic shape; bucketing needs static layouts", ErrPlane, s.Name)
+		}
+		elems := s.Sig.NumElements()
+		if elems <= 0 {
+			return nil, fmt.Errorf("%w: gradient %q has no elements", ErrPlane, s.Name)
+		}
+		size := elems * s.Sig.DType.Size()
+		idx, ok := open[s.Sig.DType]
+		if ok && out[idx].ByteSize()+size > bucketBytes {
+			ok = false // close the full bucket; it keeps its place in out
+		}
+		if !ok {
+			out = append(out, Bucket{Index: len(out), DType: s.Sig.DType})
+			idx = len(out) - 1
+			open[s.Sig.DType] = idx
+		}
+		b := &out[idx]
+		b.Members = append(b.Members, Member{
+			Name:   s.Name,
+			Offset: b.Elems,
+			Elems:  elems,
+			Shape:  s.Sig.Shape.Clone(),
+		})
+		b.Elems += elems
+	}
+	return out, nil
+}
+
+// SegRange is one segment's element range within a bucket.
+type SegRange struct {
+	Lo, Elems int
+}
+
+// SegmentRanges splits elems into at most segments contiguous near-equal
+// ranges (the first elems%n ranges get one extra element). The count is
+// clamped to [1, elems], so tiny buckets degrade to fewer, never empty,
+// segments.
+func SegmentRanges(elems, segments int) []SegRange {
+	if segments < 1 {
+		segments = 1
+	}
+	if segments > elems {
+		segments = elems
+	}
+	base, rem := elems/segments, elems%segments
+	out := make([]SegRange, segments)
+	lo := 0
+	for i := range out {
+		n := base
+		if i < rem {
+			n++
+		}
+		out[i] = SegRange{Lo: lo, Elems: n}
+		lo += n
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func f32(dims ...int) graph.Sig { return graph.Static(tensor.Float32, dims...) }
+
+func TestBuildBucketsPacksInBackwardOrder(t *testing.T) {
+	specs := []GradSpec{
+		{Name: "b2", Sig: f32(8)},
+		{Name: "w2", Sig: f32(16, 8)},
+		{Name: "b1", Sig: f32(16)},
+		{Name: "w1", Sig: f32(4, 16)},
+	}
+	// Capacity fits b2+w2 (136 elems = 544B) but not b1 on top.
+	buckets, err := BuildBuckets(specs, 560)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 2 {
+		t.Fatalf("got %d buckets, want 2: %+v", len(buckets), buckets)
+	}
+	b0 := buckets[0]
+	if len(b0.Members) != 2 || b0.Members[0].Name != "b2" || b0.Members[1].Name != "w2" {
+		t.Fatalf("bucket 0 members %+v", b0.Members)
+	}
+	if b0.Members[0].Offset != 0 || b0.Members[1].Offset != 8 || b0.Elems != 136 {
+		t.Fatalf("bucket 0 layout %+v", b0)
+	}
+	b1 := buckets[1]
+	if len(b1.Members) != 2 || b1.Members[0].Name != "b1" || b1.Members[1].Name != "w1" {
+		t.Fatalf("bucket 1 members %+v", b1.Members)
+	}
+	if b1.Elems != 16+64 {
+		t.Fatalf("bucket 1 elems %d", b1.Elems)
+	}
+}
+
+// The straggler rule: a trailing partial bucket is emitted, and a single
+// oversized gradient still gets a bucket of its own.
+func TestBuildBucketsStragglerAndOversize(t *testing.T) {
+	buckets, err := BuildBuckets([]GradSpec{
+		{Name: "huge", Sig: f32(1024)}, // 4 KiB > capacity
+		{Name: "tail", Sig: f32(3)},    // partial fill, must still flush
+	}, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(buckets))
+	}
+	if buckets[0].Members[0].Name != "huge" || buckets[0].Elems != 1024 {
+		t.Fatalf("oversize bucket %+v", buckets[0])
+	}
+	if buckets[1].Members[0].Name != "tail" || buckets[1].Elems != 3 {
+		t.Fatalf("straggler bucket %+v", buckets[1])
+	}
+}
+
+func TestBuildBucketsSplitsDTypes(t *testing.T) {
+	buckets, err := BuildBuckets([]GradSpec{
+		{Name: "a", Sig: f32(4)},
+		{Name: "i", Sig: graph.Static(tensor.Int32, 4)},
+		{Name: "b", Sig: f32(4)},
+	}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 2 {
+		t.Fatalf("got %d buckets, want 2 (one per dtype)", len(buckets))
+	}
+	if buckets[0].DType != tensor.Float32 || len(buckets[0].Members) != 2 {
+		t.Fatalf("float bucket %+v", buckets[0])
+	}
+	if buckets[1].DType != tensor.Int32 || buckets[1].Members[0].Name != "i" {
+		t.Fatalf("int bucket %+v", buckets[1])
+	}
+}
+
+func TestBuildBucketsRejectsBadSpecs(t *testing.T) {
+	cases := [][]GradSpec{
+		{},
+		{{Name: "", Sig: f32(4)}},
+		{{Name: "a", Sig: f32(4)}, {Name: "a", Sig: f32(4)}},
+		{{Name: "dyn", Sig: graph.Dyn(tensor.Float32, -1, 4)}},
+	}
+	for i, specs := range cases {
+		if _, err := BuildBuckets(specs, 1024); !errors.Is(err, ErrPlane) {
+			t.Fatalf("case %d: err = %v, want ErrPlane", i, err)
+		}
+	}
+}
+
+func TestSegmentRanges(t *testing.T) {
+	cases := []struct {
+		elems, segs int
+		want        []SegRange
+	}{
+		{10, 4, []SegRange{{0, 3}, {3, 3}, {6, 2}, {8, 2}}},
+		{3, 8, []SegRange{{0, 1}, {1, 1}, {2, 1}}}, // clamp to elems
+		{7, 0, []SegRange{{0, 7}}},                 // clamp to 1
+		{6, 3, []SegRange{{0, 2}, {2, 2}, {4, 2}}},
+	}
+	for _, c := range cases {
+		got := SegmentRanges(c.elems, c.segs)
+		if len(got) != len(c.want) {
+			t.Fatalf("SegmentRanges(%d,%d) = %v, want %v", c.elems, c.segs, got, c.want)
+		}
+		total := 0
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("SegmentRanges(%d,%d) = %v, want %v", c.elems, c.segs, got, c.want)
+			}
+			total += got[i].Elems
+		}
+		if total != c.elems {
+			t.Fatalf("segments cover %d of %d elems", total, c.elems)
+		}
+	}
+}
+
+func TestCoalescePhase(t *testing.T) {
+	cases := map[string]string{
+		"ar.r/b0/s1/p2": "ar.r",
+		"ar.b/b3/s0/f1": "ar.b",
+		"ar.p/b0/w7":    "ar.p",
+		"gsum_w1_2":     "",
+		"grad/w1":       "",
+		"ar.":           "ar.",
+	}
+	for in, want := range cases {
+		if got := CoalescePhase(in); got != want {
+			t.Fatalf("CoalescePhase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	for s, want := range map[string]Topology{"": TopologyPS, "ps": TopologyPS,
+		"ring": TopologyRing, "Tree": TopologyTree} {
+		got, err := ParseTopology(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseTopology(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseTopology("mesh"); !errors.Is(err, ErrPlane) {
+		t.Fatalf("ParseTopology(mesh) err = %v, want ErrPlane", err)
+	}
+}

@@ -1,0 +1,106 @@
+// Package comm is the pluggable communication plane for data-parallel
+// training. Its primitive is the Table-1 device interface the rest of the
+// repository already implements — striped one-sided writes, flag-word
+// signaling, and small-message coalescing — reached *through the graph*: a
+// plane expresses a collective as ordinary data-flow nodes (pack, segment,
+// add, identity, unpack) placed on worker tasks, and the analyzer's
+// partitioning inserts the RdmaSend/RdmaRecv pairs on every cross-task
+// edge exactly as it does for model edges. Chaos injection, retry budgets,
+// striping, coalescing, crash recovery, and the step profiler therefore
+// all apply to collectives with no new transport code.
+//
+// Three planes exist:
+//
+//   - PS: the parameter-server push/pull the repo trained with since PR 1,
+//     refactored behind the Plane interface (gradient left-fold on the
+//     variable's task, optimizer applied there, weights pulled back).
+//   - Ring: a bucketed, segmented all-reduce for bandwidth-bound tensors.
+//     Each link carries ~2x the gradient bytes per step regardless of the
+//     worker count, so per-task throughput does not degrade with scale the
+//     way the PS incast does.
+//   - Tree: a binary-tree gather/broadcast for latency-bound small
+//     tensors: 2*ceil(log2 N) hops instead of the ring's 2(N-1).
+//
+// Every plane reduces in the *same* deterministic order — a left fold over
+// workers in rank order, per element — so PS, ring, and tree produce
+// bit-identical results for the same inputs (see DESIGN.md §13).
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrPlane wraps communication-plane configuration and wiring errors.
+var ErrPlane = errors.New("comm: invalid plane configuration")
+
+// Topology selects a communication plane.
+type Topology int
+
+const (
+	// TopologyPS is the parameter-server push/pull plane.
+	TopologyPS Topology = iota
+	// TopologyRing is the segmented ring all-reduce plane.
+	TopologyRing
+	// TopologyTree is the binary-tree all-reduce plane for small tensors.
+	TopologyTree
+)
+
+// ParseTopology maps a flag string to a Topology. The empty string means
+// PS (the historical default).
+func ParseTopology(s string) (Topology, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "ps":
+		return TopologyPS, nil
+	case "ring":
+		return TopologyRing, nil
+	case "tree":
+		return TopologyTree, nil
+	default:
+		return TopologyPS, fmt.Errorf("%w: unknown topology %q (want ps|ring|tree)", ErrPlane, s)
+	}
+}
+
+func (t Topology) String() string {
+	switch t {
+	case TopologyPS:
+		return "ps"
+	case TopologyRing:
+		return "ring"
+	case TopologyTree:
+		return "tree"
+	default:
+		return fmt.Sprintf("topology(%d)", int(t))
+	}
+}
+
+// Collective node names are namespaced "ar.<phase>/..." so the distributed
+// runtime can key coalesce batch groups by dependency phase. The phases:
+//
+//	ar.p  pack      (bucket assembly; tree gather edge sources)
+//	ar.l  local     (segment views feeding a local add; never cross tasks)
+//	ar.r  reduce    (ring prefix-sum partials traveling rank k -> k+1)
+//	ar.g  gather    (tree up-forwarding and the root-side fold)
+//	ar.b  broadcast (totals traveling back out)
+//	ar.m  merge     (segment re-concatenation; local)
+//	ar.u  unpack    (bucket slicing back into per-variable grads; local)
+const arPrefix = "ar."
+
+// CoalescePhase reports the coalesce-group phase tag for a cross-task
+// edge's source node, or "" for non-collective nodes. Small collective
+// edges must not share a coalesce batch with edges of a *different* phase
+// between the same task pair: the batch flushes only when every member
+// staged, and a ring's reduce hop k->k+1 transitively depends on the
+// broadcast hop k->k+1 of the same pair completing its reduce chain —
+// one shared batch would deadlock. Keying the batch group by phase keeps
+// the group dependency graph acyclic (DESIGN.md §13).
+func CoalescePhase(srcNode string) string {
+	if !strings.HasPrefix(srcNode, arPrefix) {
+		return ""
+	}
+	if i := strings.IndexByte(srcNode, '/'); i > 0 {
+		return srcNode[:i]
+	}
+	return srcNode
+}

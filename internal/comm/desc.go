@@ -1,0 +1,206 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// BucketDesc is the wire descriptor for one bucket's layout: every worker
+// builds its pack/segment/unpack operators from the *unmarshaled* bytes,
+// so a corrupted or adversarial descriptor is rejected at construction
+// time instead of corrupting a reduction. The format is little-endian:
+//
+//	u32 magic "ARBD"  u16 version
+//	u32 index  u8 dtype  u32 elems  u16 segments  u16 members
+//	per member: u16 nameLen + name bytes, u32 offset, u32 elems,
+//	            u8 rank, rank * u32 dims
+//
+// Members must tile [0, elems) contiguously in order, and each member's
+// shape must multiply out to its element count.
+type BucketDesc struct {
+	Index    int
+	DType    tensor.DType
+	Elems    int
+	Segments int
+	Members  []Member
+}
+
+const (
+	descMagic   = uint32(0x41524244) // "ARBD"
+	descVersion = uint16(1)
+
+	maxDescMembers  = 1 << 12
+	maxDescNameLen  = 256
+	maxDescRank     = 8
+	maxDescElems    = 1 << 30
+	maxDescSegments = 1 << 16
+)
+
+// Desc builds the wire descriptor for a bucket with the given segment
+// count (clamped the same way SegmentRanges clamps it).
+func (b *Bucket) Desc(segments int) BucketDesc {
+	return BucketDesc{
+		Index:    b.Index,
+		DType:    b.DType,
+		Elems:    b.Elems,
+		Segments: len(SegmentRanges(b.Elems, segments)),
+		Members:  b.Members,
+	}
+}
+
+// Marshal encodes the descriptor.
+func (d *BucketDesc) Marshal() []byte {
+	buf := make([]byte, 0, 17+len(d.Members)*16)
+	buf = binary.LittleEndian.AppendUint32(buf, descMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, descVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(d.Index))
+	buf = append(buf, byte(d.DType))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(d.Elems))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(d.Segments))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(d.Members)))
+	for _, m := range d.Members {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Name)))
+		buf = append(buf, m.Name...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Offset))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Elems))
+		buf = append(buf, byte(len(m.Shape)))
+		for _, dim := range m.Shape {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(dim))
+		}
+	}
+	return buf
+}
+
+type descReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *descReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("%w: bucket descriptor truncated at byte %d", ErrPlane, r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *descReader) u8() uint8 {
+	b := r.take(1)
+	if r.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *descReader) u16() uint16 {
+	b := r.take(2)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *descReader) u32() uint32 {
+	b := r.take(4)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// UnmarshalBucketDesc decodes and validates a bucket descriptor. Every
+// structural invariant the collective operators rely on is checked here:
+// valid dtype, contiguous member tiling, shape/element agreement, and
+// bounded counts — so the operators never index out of a bucket.
+func UnmarshalBucketDesc(buf []byte) (*BucketDesc, error) {
+	r := &descReader{buf: buf}
+	if magic := r.u32(); r.err == nil && magic != descMagic {
+		return nil, fmt.Errorf("%w: bad bucket descriptor magic %#x", ErrPlane, magic)
+	}
+	if v := r.u16(); r.err == nil && v != descVersion {
+		return nil, fmt.Errorf("%w: bucket descriptor version %d (want %d)", ErrPlane, v, descVersion)
+	}
+	d := &BucketDesc{}
+	d.Index = int(r.u32())
+	d.DType = tensor.DType(r.u8())
+	d.Elems = int(r.u32())
+	d.Segments = int(r.u16())
+	members := int(r.u16())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if !d.DType.Valid() {
+		return nil, fmt.Errorf("%w: bucket descriptor dtype %d invalid", ErrPlane, d.DType)
+	}
+	if d.Elems < 1 || d.Elems > maxDescElems {
+		return nil, fmt.Errorf("%w: bucket descriptor elems %d out of range", ErrPlane, d.Elems)
+	}
+	if d.Segments < 1 || d.Segments > d.Elems || d.Segments > maxDescSegments {
+		return nil, fmt.Errorf("%w: bucket descriptor segments %d out of range for %d elems", ErrPlane, d.Segments, d.Elems)
+	}
+	if members < 1 || members > maxDescMembers {
+		return nil, fmt.Errorf("%w: bucket descriptor member count %d out of range", ErrPlane, members)
+	}
+	names := make(map[string]bool, members)
+	next := 0
+	for i := 0; i < members; i++ {
+		nameLen := int(r.u16())
+		if r.err == nil && (nameLen < 1 || nameLen > maxDescNameLen) {
+			return nil, fmt.Errorf("%w: member %d name length %d out of range", ErrPlane, i, nameLen)
+		}
+		name := string(r.take(nameLen))
+		m := Member{Name: name, Offset: int(r.u32()), Elems: int(r.u32())}
+		rank := int(r.u8())
+		if r.err == nil && rank > maxDescRank {
+			return nil, fmt.Errorf("%w: member %q rank %d out of range", ErrPlane, name, rank)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		m.Shape = make(tensor.Shape, rank)
+		prod := 1
+		for j := 0; j < rank; j++ {
+			dim := int(r.u32())
+			if r.err != nil {
+				return nil, r.err
+			}
+			if dim < 0 || dim > maxDescElems {
+				return nil, fmt.Errorf("%w: member %q dim %d out of range", ErrPlane, name, dim)
+			}
+			m.Shape[j] = dim
+			if prod <= maxDescElems {
+				prod *= dim
+			}
+		}
+		if names[name] {
+			return nil, fmt.Errorf("%w: duplicate member %q", ErrPlane, name)
+		}
+		names[name] = true
+		if m.Offset != next {
+			return nil, fmt.Errorf("%w: member %q offset %d, want contiguous %d", ErrPlane, name, m.Offset, next)
+		}
+		if m.Elems < 1 || m.Elems > d.Elems-next {
+			return nil, fmt.Errorf("%w: member %q elems %d overflows bucket", ErrPlane, name, m.Elems)
+		}
+		if prod != m.Elems {
+			return nil, fmt.Errorf("%w: member %q shape %v has %d elems, want %d", ErrPlane, name, m.Shape, prod, m.Elems)
+		}
+		next += m.Elems
+		d.Members = append(d.Members, m)
+	}
+	if next != d.Elems {
+		return nil, fmt.Errorf("%w: members tile %d of %d bucket elems", ErrPlane, next, d.Elems)
+	}
+	if r.off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after bucket descriptor", ErrPlane, len(buf)-r.off)
+	}
+	return d, nil
+}

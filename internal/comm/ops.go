@@ -1,0 +1,201 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Collective graph operators. They are ordinary graph.Op/graph.Kernel
+// implementations, so the executor, the allocation-site tracing, and the
+// profiler treat them like any compute node; all are built from a
+// *validated* BucketDesc (the operators trust its invariants — unmarshal
+// is the only gate, which is what FuzzUnmarshalBucketDesc hammers).
+//
+// None of the operators is differentiable: planes wire them strictly
+// downstream of the gradient nodes.
+
+// --- BucketPack: concatenate member gradients into one flat bucket ---
+
+type packOp struct{ desc *BucketDesc }
+
+// PackFromDesc builds the bucket-assembly operator from descriptor bytes.
+// Inputs are the member gradients in descriptor order; the output is the
+// flat [elems] bucket tensor.
+func PackFromDesc(descBytes []byte) (graph.Op, error) {
+	d, err := UnmarshalBucketDesc(descBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &packOp{desc: d}, nil
+}
+
+func (op *packOp) Name() string { return "BucketPack" }
+
+func (op *packOp) InferSig(in []graph.Sig) (graph.Sig, error) {
+	if len(in) != len(op.desc.Members) {
+		return graph.Sig{}, fmt.Errorf("%w: BucketPack: %d inputs, descriptor has %d members",
+			ErrPlane, len(in), len(op.desc.Members))
+	}
+	for i, m := range op.desc.Members {
+		if !in[i].Static || in[i].DType != op.desc.DType || in[i].NumElements() != m.Elems {
+			return graph.Sig{}, fmt.Errorf("%w: BucketPack member %q wants static %v[%d], got %v",
+				ErrPlane, m.Name, op.desc.DType, m.Elems, in[i])
+		}
+	}
+	return graph.Static(op.desc.DType, op.desc.Elems), nil
+}
+
+func (op *packOp) Compute(ctx *graph.Context) error {
+	out, err := ctx.AllocOutput()
+	if err != nil {
+		return err
+	}
+	es := op.desc.DType.Size()
+	for i, m := range op.desc.Members {
+		copy(out.Bytes()[m.Offset*es:(m.Offset+m.Elems)*es], ctx.Inputs[i].Bytes())
+	}
+	ctx.Output = out
+	return nil
+}
+
+// --- BucketSegment: a zero-copy view of one segment range ---
+
+type segmentOp struct {
+	desc *BucketDesc
+	rg   SegRange
+}
+
+// SegmentFromDesc builds the operator extracting segment seg (of the
+// descriptor's segment count) from a bucket tensor. The output aliases
+// the input's storage — no copy.
+func SegmentFromDesc(descBytes []byte, seg int) (graph.Op, error) {
+	d, err := UnmarshalBucketDesc(descBytes)
+	if err != nil {
+		return nil, err
+	}
+	ranges := SegmentRanges(d.Elems, d.Segments)
+	if seg < 0 || seg >= len(ranges) {
+		return nil, fmt.Errorf("%w: segment %d of %d", ErrPlane, seg, len(ranges))
+	}
+	return &segmentOp{desc: d, rg: ranges[seg]}, nil
+}
+
+func (op *segmentOp) Name() string { return "BucketSegment" }
+
+func (op *segmentOp) InferSig(in []graph.Sig) (graph.Sig, error) {
+	if err := wantBucketInput("BucketSegment", in, op.desc); err != nil {
+		return graph.Sig{}, err
+	}
+	return graph.Static(op.desc.DType, op.rg.Elems), nil
+}
+
+func (op *segmentOp) Compute(ctx *graph.Context) error {
+	es := op.desc.DType.Size()
+	view := ctx.Inputs[0].Bytes()[op.rg.Lo*es : (op.rg.Lo+op.rg.Elems)*es]
+	t, err := tensor.FromBytes(op.desc.DType, tensor.Shape{op.rg.Elems}, view)
+	if err != nil {
+		return err
+	}
+	ctx.Output = t
+	return nil
+}
+
+// --- BucketMerge: re-concatenate reduced segments into a full bucket ---
+
+type mergeOp struct{ desc *BucketDesc }
+
+// MergeFromDesc builds the operator concatenating the descriptor's
+// segments (inputs in segment order) back into the flat bucket.
+func MergeFromDesc(descBytes []byte) (graph.Op, error) {
+	d, err := UnmarshalBucketDesc(descBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &mergeOp{desc: d}, nil
+}
+
+func (op *mergeOp) Name() string { return "BucketMerge" }
+
+func (op *mergeOp) InferSig(in []graph.Sig) (graph.Sig, error) {
+	ranges := SegmentRanges(op.desc.Elems, op.desc.Segments)
+	if len(in) != len(ranges) {
+		return graph.Sig{}, fmt.Errorf("%w: BucketMerge: %d inputs, descriptor has %d segments",
+			ErrPlane, len(in), len(ranges))
+	}
+	for i, rg := range ranges {
+		if !in[i].Static || in[i].DType != op.desc.DType || in[i].NumElements() != rg.Elems {
+			return graph.Sig{}, fmt.Errorf("%w: BucketMerge segment %d wants static %v[%d], got %v",
+				ErrPlane, i, op.desc.DType, rg.Elems, in[i])
+		}
+	}
+	return graph.Static(op.desc.DType, op.desc.Elems), nil
+}
+
+func (op *mergeOp) Compute(ctx *graph.Context) error {
+	out, err := ctx.AllocOutput()
+	if err != nil {
+		return err
+	}
+	es := op.desc.DType.Size()
+	for i, rg := range SegmentRanges(op.desc.Elems, op.desc.Segments) {
+		copy(out.Bytes()[rg.Lo*es:(rg.Lo+rg.Elems)*es], ctx.Inputs[i].Bytes())
+	}
+	ctx.Output = out
+	return nil
+}
+
+// --- BucketUnpack: a zero-copy member view shaped back to its variable ---
+
+type unpackOp struct {
+	desc *BucketDesc
+	idx  int
+}
+
+// UnpackFromDesc builds the operator slicing member idx out of a reduced
+// bucket, reshaped to the member's variable shape. The output aliases the
+// bucket storage.
+func UnpackFromDesc(descBytes []byte, idx int) (graph.Op, error) {
+	d, err := UnmarshalBucketDesc(descBytes)
+	if err != nil {
+		return nil, err
+	}
+	if idx < 0 || idx >= len(d.Members) {
+		return nil, fmt.Errorf("%w: unpack member %d of %d", ErrPlane, idx, len(d.Members))
+	}
+	return &unpackOp{desc: d, idx: idx}, nil
+}
+
+func (op *unpackOp) Name() string { return "BucketUnpack" }
+
+func (op *unpackOp) InferSig(in []graph.Sig) (graph.Sig, error) {
+	if err := wantBucketInput("BucketUnpack", in, op.desc); err != nil {
+		return graph.Sig{}, err
+	}
+	m := op.desc.Members[op.idx]
+	return graph.Sig{DType: op.desc.DType, Shape: m.Shape.Clone(), Static: true}, nil
+}
+
+func (op *unpackOp) Compute(ctx *graph.Context) error {
+	m := op.desc.Members[op.idx]
+	es := op.desc.DType.Size()
+	view := ctx.Inputs[0].Bytes()[m.Offset*es : (m.Offset+m.Elems)*es]
+	t, err := tensor.FromBytes(op.desc.DType, m.Shape, view)
+	if err != nil {
+		return err
+	}
+	ctx.Output = t
+	return nil
+}
+
+func wantBucketInput(name string, in []graph.Sig, d *BucketDesc) error {
+	if len(in) != 1 {
+		return fmt.Errorf("%w: %s: %d inputs, want 1", ErrPlane, name, len(in))
+	}
+	if !in[0].Static || in[0].DType != d.DType || in[0].NumElements() != d.Elems {
+		return fmt.Errorf("%w: %s wants the static %v[%d] bucket, got %v",
+			ErrPlane, name, d.DType, d.Elems, in[0])
+	}
+	return nil
+}

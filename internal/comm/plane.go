@@ -1,0 +1,164 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Options configures a plane's wiring.
+type Options struct {
+	// BucketBytes caps a gradient bucket's payload (<=0 selects
+	// DefaultBucketBytes). Only the data-parallel planes bucket.
+	BucketBytes int
+	// Segments is the ring's per-bucket segment count (<=0 selects one
+	// segment per worker, clamped to the bucket's element count).
+	Segments int
+}
+
+// VarSet is one logical trainable variable as a plane sees it: its
+// replicas and the per-worker gradients, both in worker rank order. The
+// PS plane holds a single shared replica (on its PS task); the
+// data-parallel planes hold one replica per worker.
+type VarSet struct {
+	Name     string
+	Replicas []*graph.Node
+	Grads    []*graph.Node
+}
+
+// ApplyFn builds the optimizer-update node for one (replica, reduced
+// gradient) pair. worker is the rank owning the replica, or -1 for the PS
+// plane's shared variable; the builder's task is already set to the
+// replica's task. Keeping the optimizer in the caller keeps planes
+// optimizer-agnostic.
+type ApplyFn func(b *graph.Builder, worker int, variable, grad *graph.Node) *graph.Node
+
+// Job is everything a plane needs to wire gradient reduction and
+// optimizer updates into a built forward/backward graph. Vars is listed
+// in backward-flush order (see GradSpec).
+type Job struct {
+	Workers []string
+	Vars    []*VarSet
+	Apply   ApplyFn
+}
+
+// Plane wires a job's gradient exchange over one topology. All planes
+// reduce with the same deterministic left fold over workers in rank
+// order, so their results are bit-identical (DESIGN.md §13).
+type Plane interface {
+	Topology() Topology
+	WireUpdates(b *graph.Builder, job *Job, opts Options) error
+}
+
+// NewPlane returns the plane for a topology.
+func NewPlane(t Topology) (Plane, error) {
+	switch t {
+	case TopologyPS:
+		return psPlane{}, nil
+	case TopologyRing:
+		return ringPlane{}, nil
+	case TopologyTree:
+		return treePlane{}, nil
+	default:
+		return nil, fmt.Errorf("%w: no plane for topology %d", ErrPlane, int(t))
+	}
+}
+
+// BucketsForJob derives the job's bucket layout: one GradSpec per VarSet
+// in the job's (backward) order, validated against every worker's
+// gradient signature.
+func BucketsForJob(job *Job, opts Options) ([]Bucket, error) {
+	specs := make([]GradSpec, 0, len(job.Vars))
+	for _, vs := range job.Vars {
+		if len(vs.Grads) != len(job.Workers) {
+			return nil, fmt.Errorf("%w: var %q has %d gradients for %d workers",
+				ErrPlane, vs.Name, len(vs.Grads), len(job.Workers))
+		}
+		sig := vs.Grads[0].Sig()
+		for w, g := range vs.Grads {
+			if g == nil {
+				return nil, fmt.Errorf("%w: var %q missing worker %d gradient", ErrPlane, vs.Name, w)
+			}
+			gs := g.Sig()
+			if !gs.Static || gs.DType != sig.DType || gs.NumElements() != sig.NumElements() {
+				return nil, fmt.Errorf("%w: var %q gradient signatures diverge across workers (%v vs %v)",
+					ErrPlane, vs.Name, sig, gs)
+			}
+		}
+		specs = append(specs, GradSpec{Name: vs.Name, Sig: sig})
+	}
+	return BuildBuckets(specs, opts.BucketBytes)
+}
+
+// validateDP checks the data-parallel invariants shared by ring and tree.
+func validateDP(job *Job) error {
+	if job == nil || job.Apply == nil || len(job.Workers) < 1 {
+		return fmt.Errorf("%w: job needs workers and an apply function", ErrPlane)
+	}
+	if len(job.Vars) == 0 {
+		return fmt.Errorf("%w: job has no variables", ErrPlane)
+	}
+	for _, vs := range job.Vars {
+		if len(vs.Replicas) != len(job.Workers) {
+			return fmt.Errorf("%w: var %q has %d replicas for %d workers",
+				ErrPlane, vs.Name, len(vs.Replicas), len(job.Workers))
+		}
+		if len(vs.Grads) != len(job.Workers) {
+			return fmt.Errorf("%w: var %q has %d gradients for %d workers",
+				ErrPlane, vs.Name, len(vs.Grads), len(job.Workers))
+		}
+	}
+	return nil
+}
+
+// applyLocal handles the degenerate single-worker case: the "reduced"
+// gradient is the worker's own, applied in place. Shared by ring and
+// tree.
+func applyLocal(b *graph.Builder, job *Job) error {
+	for _, vs := range job.Vars {
+		b.OnTask(job.Workers[0])
+		job.Apply(b, 0, vs.Replicas[0], vs.Grads[0])
+	}
+	return b.Err()
+}
+
+// memberGrads resolves a bucket's member gradients for one worker, in
+// member order.
+func memberGrads(job *Job, bk *Bucket, worker int) ([]*graph.Node, error) {
+	byName := make(map[string]*VarSet, len(job.Vars))
+	for _, vs := range job.Vars {
+		byName[vs.Name] = vs
+	}
+	out := make([]*graph.Node, len(bk.Members))
+	for i, m := range bk.Members {
+		vs, ok := byName[m.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: bucket member %q has no variable set", ErrPlane, m.Name)
+		}
+		out[i] = vs.Grads[worker]
+	}
+	return out, nil
+}
+
+// unpackAndApply slices each member gradient out of the reduced bucket on
+// one worker and applies the optimizer to that worker's replica.
+func unpackAndApply(b *graph.Builder, job *Job, bk *Bucket, descBytes []byte, worker int, whole *graph.Node) error {
+	byName := make(map[string]*VarSet, len(job.Vars))
+	for _, vs := range job.Vars {
+		byName[vs.Name] = vs
+	}
+	b.OnTask(job.Workers[worker])
+	for i, m := range bk.Members {
+		vs, ok := byName[m.Name]
+		if !ok {
+			return fmt.Errorf("%w: bucket member %q has no variable set", ErrPlane, m.Name)
+		}
+		op, err := UnpackFromDesc(descBytes, i)
+		if err != nil {
+			return err
+		}
+		g := b.AddNode(fmt.Sprintf("ar.u/b%d/w%d/m%d", bk.Index, worker, i), op, whole)
+		job.Apply(b, worker, vs.Replicas[worker], g)
+	}
+	return b.Err()
+}

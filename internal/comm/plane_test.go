@@ -1,0 +1,188 @@
+package comm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// buildFakeJob wires a synthetic data-parallel job: per worker, one
+// replica variable and one "gradient" placeholder per logical var.
+func buildFakeJob(t *testing.T, workers int, dims ...int) (*graph.Builder, *Job) {
+	t.Helper()
+	b := graph.NewBuilder()
+	job := &Job{
+		Apply: func(b *graph.Builder, worker int, v, g *graph.Node) *graph.Node {
+			return b.ApplySGD("apply_"+v.Name(), v, g, 0.1)
+		},
+	}
+	for w := 0; w < workers; w++ {
+		job.Workers = append(job.Workers, fmt.Sprintf("worker%d", w))
+	}
+	for vi, d := range dims {
+		vs := &VarSet{Name: fmt.Sprintf("v%d", vi)}
+		for w := 0; w < workers; w++ {
+			b.OnTask(job.Workers[w])
+			vs.Replicas = append(vs.Replicas,
+				b.Variable(fmt.Sprintf("v%d/w%d", vi, w), f32(d)))
+			vs.Grads = append(vs.Grads,
+				b.Placeholder(fmt.Sprintf("g%d/w%d", vi, w), f32(d)))
+		}
+		job.Vars = append(job.Vars, vs)
+	}
+	return b, job
+}
+
+func TestRingPlaneWiresValidGraph(t *testing.T) {
+	b, job := buildFakeJob(t, 3, 10, 7)
+	plane, err := NewPlane(TopologyRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plane.WireUpdates(b, job, Options{BucketBytes: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reduce chain's partial at rank r must sit on worker r, and the
+	// broadcast forward for rank w on worker w.
+	counts := map[string]int{}
+	for _, n := range g.Nodes() {
+		if ph := CoalescePhase(n.Name()); ph != "" {
+			counts[ph]++
+		}
+		if strings.HasPrefix(n.Name(), "ar.r/") && strings.Contains(n.Name(), "/p") {
+			rank := n.Name()[len(n.Name())-1:]
+			if n.Task() != "worker"+rank {
+				t.Fatalf("partial %s placed on %s", n.Name(), n.Task())
+			}
+		}
+	}
+	// One bucket, 3 segments (default = worker count): 3 packs, 3 rank-0
+	// head segments, 6 locals, 6 adds, 6 forwards, 3 merges, 6 unpacks.
+	if counts["ar.p"] != 3 || counts["ar.b"] != 6 {
+		t.Fatalf("phase counts %v", counts)
+	}
+	for _, vs := range job.Vars {
+		for w := range job.Workers {
+			if _, err := g.Node(fmt.Sprintf("apply_%s/w%d", vs.Name, w)); err != nil {
+				t.Fatalf("missing apply for %s worker %d: %v", vs.Name, w, err)
+			}
+		}
+	}
+}
+
+func TestTreePlaneWiresValidGraph(t *testing.T) {
+	b, job := buildFakeJob(t, 5, 9)
+	plane, err := NewPlane(TopologyTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plane.WireUpdates(b, job, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 4's pack relays through its tree path 4 -> 1 -> 0.
+	h1, err := g.Node("ar.g/b0/r4/h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Task() != "worker1" {
+		t.Fatalf("relay hop on %s, want worker1", h1.Task())
+	}
+	h0, err := g.Node("ar.g/b0/r4/h0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0.Inputs()[0] != h1 {
+		t.Fatal("root hop must chain off the intermediate relay")
+	}
+	// The root fold is a strict left fold in rank order.
+	sum4, err := g.Node("ar.g/b0/sum4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum4.Inputs()[1] != h0 {
+		t.Fatal("fold operand order broken: rank 4 contribution must be the second operand of the last add")
+	}
+}
+
+func TestPSPlaneReproducesHistoricalNames(t *testing.T) {
+	b := graph.NewBuilder()
+	b.OnTask("ps0")
+	v := b.Variable("w1", f32(6))
+	var grads []*graph.Node
+	for w := 0; w < 3; w++ {
+		b.OnTask(fmt.Sprintf("worker%d", w))
+		grads = append(grads, b.Placeholder(fmt.Sprintf("g%d", w), f32(6)))
+	}
+	job := &Job{
+		Workers: []string{"worker0", "worker1", "worker2"},
+		Vars:    []*VarSet{{Name: "w1", Replicas: []*graph.Node{v}, Grads: grads}},
+		Apply: func(b *graph.Builder, worker int, v, g *graph.Node) *graph.Node {
+			if worker != -1 {
+				t.Fatalf("PS apply got worker %d, want -1", worker)
+			}
+			return b.ApplySGD("apply_"+v.Name(), v, g, 0.1)
+		},
+	}
+	plane, _ := NewPlane(TopologyPS)
+	if err := plane.WireUpdates(b, job, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"gsum_w1_1", "gsum_w1_2", "apply_w1"} {
+		n, err := g.Node(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name != "apply_w1" && n.Task() != "ps0" {
+			t.Fatalf("%s on %s, want ps0", name, n.Task())
+		}
+	}
+}
+
+func TestSingleWorkerDegeneratesToLocalApply(t *testing.T) {
+	for _, topo := range []Topology{TopologyRing, TopologyTree} {
+		b, job := buildFakeJob(t, 1, 5)
+		plane, _ := NewPlane(topo)
+		if err := plane.WireUpdates(b, job, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		g, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range g.Nodes() {
+			if strings.HasPrefix(n.Name(), arPrefix) {
+				t.Fatalf("%s: single worker must not build collective nodes (%s)", topo, n.Name())
+			}
+		}
+		if _, err := g.Node("apply_v0/w0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPlaneValidation(t *testing.T) {
+	b, job := buildFakeJob(t, 2, 4)
+	job.Vars[0].Grads = job.Vars[0].Grads[:1] // drop a worker's gradient
+	for _, topo := range []Topology{TopologyRing, TopologyTree} {
+		plane, _ := NewPlane(topo)
+		if err := plane.WireUpdates(b, job, Options{}); err == nil {
+			t.Fatalf("%s: missing gradient accepted", topo)
+		}
+	}
+	_ = tensor.Float32
+}

@@ -1,0 +1,48 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// psPlane is the parameter-server push/pull plane: each variable lives on
+// one PS task; the workers' gradients flow to it (the partitioner inserts
+// the send/recv pairs), are summed there as a left fold in worker rank
+// order, and the optimizer applies in place. Downstream reads of the
+// variable on worker tasks become the weight pull. This reproduces the
+// pre-plane PS wiring node-for-node, including the historical
+// "gsum_<var>_<i>" fold names.
+type psPlane struct{}
+
+func (psPlane) Topology() Topology { return TopologyPS }
+
+func (psPlane) WireUpdates(b *graph.Builder, job *Job, opts Options) error {
+	if job == nil || job.Apply == nil || len(job.Workers) < 1 {
+		return fmt.Errorf("%w: job needs workers and an apply function", ErrPlane)
+	}
+	if len(job.Vars) == 0 {
+		return fmt.Errorf("%w: job has no variables", ErrPlane)
+	}
+	for _, vs := range job.Vars {
+		if len(vs.Replicas) != 1 {
+			return fmt.Errorf("%w: PS var %q wants exactly one shared replica, has %d",
+				ErrPlane, vs.Name, len(vs.Replicas))
+		}
+		if len(vs.Grads) != len(job.Workers) {
+			return fmt.Errorf("%w: var %q has %d gradients for %d workers",
+				ErrPlane, vs.Name, len(vs.Grads), len(job.Workers))
+		}
+		v := vs.Replicas[0]
+		b.OnTask(v.Task())
+		// The PR-2 accumulation-order contract: sum = ((g0 + g1) + g2) ...,
+		// strictly in worker rank order. Ring and tree replicate exactly
+		// this fold so all planes agree bit-for-bit.
+		sum := vs.Grads[0]
+		for i := 1; i < len(vs.Grads); i++ {
+			sum = b.Add(fmt.Sprintf("gsum_%s_%d", vs.Name, i), sum, vs.Grads[i])
+		}
+		job.Apply(b, -1, v, sum)
+	}
+	return b.Err()
+}

@@ -1,0 +1,119 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ringPlane is the bucketed, segmented ring all-reduce.
+//
+// Classic ring reduce-scatter starts each segment's accumulation at a
+// different rank, which changes float summation order per segment and
+// breaks bit-parity with the PS fold. This plane instead pipelines the
+// *same* left fold around the ring:
+//
+//	reduce   rank 0 ──seg──▶ rank 1 ──▶ ... ──▶ rank N-1
+//	         each rank adds its local segment to the incoming prefix
+//	         (Add(prefix, local) — identical operand order to the PS
+//	         fold), so the totals materializing on rank N-1 are
+//	         bit-identical to ((g0+g1)+g2)+...
+//	bcast    rank N-1 ──▶ rank 0 ──▶ rank 1 ──▶ ... ──▶ rank N-2
+//	         identity forwards continuing around the ring.
+//
+// Every link carries each segment exactly once per phase, so per-step
+// link traffic is ~2x the bucket bytes regardless of N (the bandwidth
+// property that beats the PS incast), and the segments pipeline through
+// the dataflow scheduler: while segment s is being added at rank k,
+// segment s+1 is in flight on the k-1 link. Buckets pipeline the same way
+// against the remaining backward compute.
+type ringPlane struct{}
+
+func (ringPlane) Topology() Topology { return TopologyRing }
+
+func (ringPlane) WireUpdates(b *graph.Builder, job *Job, opts Options) error {
+	if err := validateDP(job); err != nil {
+		return err
+	}
+	n := len(job.Workers)
+	if n == 1 {
+		return applyLocal(b, job)
+	}
+	buckets, err := BucketsForJob(job, opts)
+	if err != nil {
+		return err
+	}
+	segments := opts.Segments
+	if segments <= 0 {
+		segments = n
+	}
+	for bi := range buckets {
+		bk := &buckets[bi]
+		desc := bk.Desc(segments)
+		descBytes := desc.Marshal()
+		packs := make([]*graph.Node, n)
+		for w := 0; w < n; w++ {
+			grads, err := memberGrads(job, bk, w)
+			if err != nil {
+				return err
+			}
+			op, err := PackFromDesc(descBytes)
+			if err != nil {
+				return err
+			}
+			b.OnTask(job.Workers[w])
+			packs[w] = b.AddNode(fmt.Sprintf("ar.p/b%d/w%d", bk.Index, w), op, grads...)
+		}
+		// segTotals[w] collects worker w's reduced segments in segment order.
+		segTotals := make([][]*graph.Node, n)
+		for s := 0; s < desc.Segments; s++ {
+			segOf := func(w int, phase string) (*graph.Node, error) {
+				op, err := SegmentFromDesc(descBytes, s)
+				if err != nil {
+					return nil, err
+				}
+				b.OnTask(job.Workers[w])
+				return b.AddNode(fmt.Sprintf("%s/b%d/s%d/g%d", phase, bk.Index, s, w), op, packs[w]), nil
+			}
+			// Reduce: the prefix sum travels rank 0 -> 1 -> ... -> N-1.
+			// Rank 0's own segment is the chain head and crosses to rank 1,
+			// so it carries the reduce phase tag.
+			part, err := segOf(0, "ar.r")
+			if err != nil {
+				return err
+			}
+			for r := 1; r < n; r++ {
+				local, err := segOf(r, "ar.l")
+				if err != nil {
+					return err
+				}
+				b.OnTask(job.Workers[r])
+				part = b.Add(fmt.Sprintf("ar.r/b%d/s%d/p%d", bk.Index, s, r), part, local)
+			}
+			segTotals[n-1] = append(segTotals[n-1], part)
+			// Broadcast: continue around the ring, N-1 -> 0 -> ... -> N-2.
+			cur := part
+			for i := 1; i < n; i++ {
+				w := (n - 1 + i) % n
+				b.OnTask(job.Workers[w])
+				cur = b.Identity(fmt.Sprintf("ar.b/b%d/s%d/f%d", bk.Index, s, w), cur)
+				segTotals[w] = append(segTotals[w], cur)
+			}
+		}
+		for w := 0; w < n; w++ {
+			b.OnTask(job.Workers[w])
+			whole := segTotals[w][0]
+			if desc.Segments > 1 {
+				op, err := MergeFromDesc(descBytes)
+				if err != nil {
+					return err
+				}
+				whole = b.AddNode(fmt.Sprintf("ar.m/b%d/w%d", bk.Index, w), op, segTotals[w]...)
+			}
+			if err := unpackAndApply(b, job, bk, descBytes, w, whole); err != nil {
+				return err
+			}
+		}
+	}
+	return b.Err()
+}

@@ -1,0 +1,90 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// treePlane is the binary-tree all-reduce for latency-bound small
+// tensors: packed buckets are gathered to rank 0 along the binary tree
+// (parent(k) = (k-1)/2), folded there in worker rank order — the same
+// left fold as PS and ring, so partial in-tree reduction is deliberately
+// NOT performed; float addition is non-associative and ((g0+g1)+(g2+g3))
+// would break bit-parity — and the totals are broadcast back down the
+// tree. A transfer crosses 2*ceil(log2 N) hops instead of the ring's
+// 2(N-1), at the price of rank 0 ingesting (N-1) bucket payloads; that
+// trade is exactly why this plane is for small tensors (the CUDA-aware
+// MPI message-size split).
+type treePlane struct{}
+
+func (treePlane) Topology() Topology { return TopologyTree }
+
+func treeParent(k int) int { return (k - 1) / 2 }
+
+func (treePlane) WireUpdates(b *graph.Builder, job *Job, opts Options) error {
+	if err := validateDP(job); err != nil {
+		return err
+	}
+	n := len(job.Workers)
+	if n == 1 {
+		return applyLocal(b, job)
+	}
+	buckets, err := BucketsForJob(job, opts)
+	if err != nil {
+		return err
+	}
+	for bi := range buckets {
+		bk := &buckets[bi]
+		desc := bk.Desc(1)
+		descBytes := desc.Marshal()
+		packs := make([]*graph.Node, n)
+		for w := 0; w < n; w++ {
+			grads, err := memberGrads(job, bk, w)
+			if err != nil {
+				return err
+			}
+			op, err := PackFromDesc(descBytes)
+			if err != nil {
+				return err
+			}
+			b.OnTask(job.Workers[w])
+			packs[w] = b.AddNode(fmt.Sprintf("ar.p/b%d/w%d", bk.Index, w), op, grads...)
+		}
+		// Gather: every rank's raw pack rides identity relays up its tree
+		// path to rank 0. No in-flight reduction (see the type comment).
+		contrib := make([]*graph.Node, n)
+		contrib[0] = packs[0]
+		for r := 1; r < n; r++ {
+			cur := packs[r]
+			for w := treeParent(r); ; w = treeParent(w) {
+				b.OnTask(job.Workers[w])
+				cur = b.Identity(fmt.Sprintf("ar.g/b%d/r%d/h%d", bk.Index, r, w), cur)
+				if w == 0 {
+					break
+				}
+			}
+			contrib[r] = cur
+		}
+		// Root-side left fold in rank order — bit-identical to the PS fold.
+		b.OnTask(job.Workers[0])
+		sum := contrib[0]
+		for r := 1; r < n; r++ {
+			sum = b.Add(fmt.Sprintf("ar.g/b%d/sum%d", bk.Index, r), sum, contrib[r])
+		}
+		// Broadcast down the tree; ascending rank order guarantees the
+		// parent's total exists before its children reference it.
+		totals := make([]*graph.Node, n)
+		totals[0] = sum
+		for w := 1; w < n; w++ {
+			b.OnTask(job.Workers[w])
+			totals[w] = b.Identity(fmt.Sprintf("ar.b/b%d/d%d", bk.Index, w), totals[treeParent(w)])
+		}
+		for w := 0; w < n; w++ {
+			if err := unpackAndApply(b, job, bk, descBytes, w, totals[w]); err != nil {
+				return err
+			}
+		}
+	}
+	return b.Err()
+}

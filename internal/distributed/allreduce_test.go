@@ -1,0 +1,360 @@
+package distributed
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/rdma"
+	"repro/internal/tensor"
+)
+
+// Topology parity suite: the ring and tree planes must produce the SAME
+// bits as the parameter server — same per-step losses, same final weights
+// — because all three reduce with one deterministic left fold in worker
+// rank order (DESIGN.md §13). Every test here compares full float payloads
+// with ==, never a tolerance.
+
+// mlpLogicalVars is the MLP's logical variable set in declaration order.
+var mlpLogicalVars = []string{"w1", "b1", "w2", "b2"}
+
+// runMLPTopology builds, launches, initializes (seed 99), and steps an MLP
+// job over a fixed synthetic dataset (seed 7), returning the per-step mean
+// losses and, per logical variable, each replica's final values (one entry
+// for PS, one per worker for the data-parallel planes).
+func runMLPTopology(t testing.TB, mcfg MLPConfig, cfg Config, steps int) ([]float32, map[string][][]float32) {
+	t.Helper()
+	job, err := BuildMLPTraining(mcfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Launch(job.Builder, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := job.InitAll(cl); err != nil {
+		t.Fatal(err)
+	}
+	feeds := job.SyntheticDataset(7)
+	fetches := make(map[string][]string)
+	for k, task := range job.WorkerTasks {
+		fetches[task] = []string{job.LossName(k)}
+	}
+	var losses []float32
+	for iter := 0; iter < steps; iter++ {
+		out, err := cl.Step(iter, feeds, fetches)
+		if err != nil {
+			t.Fatalf("%s step %d: %v", mcfg.Topology, iter, err)
+		}
+		var sum float32
+		for k, task := range job.WorkerTasks {
+			sum += out[task][job.LossName(k)].Float32s()[0]
+		}
+		losses = append(losses, sum/float32(len(job.WorkerTasks)))
+	}
+	vars := make(map[string][][]float32)
+	for _, name := range mlpLogicalVars {
+		replicas := 1
+		if job.Topology != comm.TopologyPS {
+			replicas = mcfg.Workers
+		}
+		for w := 0; w < replicas; w++ {
+			vt, err := cl.VarTensor(job.VarName(name, w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			vars[name] = append(vars[name], append([]float32(nil), vt.Float32s()...))
+		}
+	}
+	return losses, vars
+}
+
+// assertTopologyParity compares a run against the PS reference: losses
+// bit-identical step for step, every replica of every variable
+// bit-identical to the PS value.
+func assertTopologyParity(t *testing.T, topo string,
+	refLosses []float32, refVars map[string][][]float32,
+	losses []float32, vars map[string][][]float32) {
+	t.Helper()
+	if len(losses) != len(refLosses) {
+		t.Fatalf("%s: %d losses vs %d reference", topo, len(losses), len(refLosses))
+	}
+	for i := range losses {
+		if losses[i] != refLosses[i] {
+			t.Fatalf("%s: loss[%d] = %v, ps %v (reduction order diverged)", topo, i, losses[i], refLosses[i])
+		}
+	}
+	for _, name := range mlpLogicalVars {
+		ref := refVars[name][0]
+		for w, rep := range vars[name] {
+			if len(rep) != len(ref) {
+				t.Fatalf("%s: %s replica %d has %d elems, ps %d", topo, name, w, len(rep), len(ref))
+			}
+			for i := range rep {
+				if rep[i] != ref[i] {
+					t.Fatalf("%s: %s replica %d elem %d = %v, ps %v", topo, name, w, i, rep[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func rdmaTestConfig() Config {
+	return Config{
+		Kind:        RDMA,
+		ArenaBytes:  1 << 20,
+		PollTimeout: 30 * time.Second,
+		Transfer:    rdma.TransferOpts{Deadline: 8 * time.Second},
+	}
+}
+
+// TestTopologyParityMLP is the headline acceptance check: the same seed
+// trains bit-identically under -topology=ps, ring, and tree.
+func TestTopologyParityMLP(t *testing.T) {
+	const steps = 6
+	base := MLPConfig{Workers: 3, PSCount: 2, Batch: 8, In: 12, Hidden: 10, Classes: 4, LR: 0.2}
+
+	ps := base
+	ps.Topology = "ps"
+	refLosses, refVars := runMLPTopology(t, ps, rdmaTestConfig(), steps)
+
+	for _, topo := range []string{"ring", "tree"} {
+		cfg := base
+		cfg.Topology = topo
+		cfg.BucketBytes = 256 // several buckets per step
+		losses, vars := runMLPTopology(t, cfg, rdmaTestConfig(), steps)
+		assertTopologyParity(t, topo, refLosses, refVars, losses, vars)
+	}
+}
+
+// TestTopologyParityWorkerSweep is the property sweep of the satellite:
+// worker counts 2..8 with deliberately unaligned tensor dimensions, bucket
+// capacity far below the model (forcing one bucket per variable plus a
+// trailing partial), and segment sizes straddling the coalesce threshold —
+// all bit-identical to the PS reference.
+func TestTopologyParityWorkerSweep(t *testing.T) {
+	const steps = 2
+	for workers := 2; workers <= 8; workers++ {
+		base := MLPConfig{Workers: workers, PSCount: 2, Batch: 4,
+			In: 7, Hidden: 5, Classes: 3, LR: 0.3}
+		ps := base
+		ps.Topology = "ps"
+		refLosses, refVars := runMLPTopology(t, ps, rdmaTestConfig(), steps)
+		for _, topo := range []string{"ring", "tree"} {
+			cfg := base
+			cfg.Topology = topo
+			cfg.BucketBytes = 64
+			commCfg := rdmaTestConfig()
+			// Segments of w1 (7*5*4 = 140 B) coalesce below the threshold
+			// or stripe above it depending on the worker count's split.
+			commCfg.Transfer.Stripes = 2
+			commCfg.Transfer.CoalesceThreshold = 96
+			losses, vars := runMLPTopology(t, cfg, commCfg, steps)
+			assertTopologyParity(t, fmt.Sprintf("%s/w=%d", topo, workers),
+				refLosses, refVars, losses, vars)
+		}
+	}
+}
+
+// TestTopologyParityBucketSizes sweeps the bucketer across capacities that
+// pack everything into one bucket, split mid-model, and isolate every
+// variable — under coalesce thresholds putting the resulting edges on the
+// eager, coalesced, and striped paths. Parity must hold for every combo.
+func TestTopologyParityBucketSizes(t *testing.T) {
+	const steps = 2
+	base := MLPConfig{Workers: 3, PSCount: 1, Batch: 4, In: 8, Hidden: 8, Classes: 4, LR: 0.25}
+	ps := base
+	ps.Topology = "ps"
+	refLosses, refVars := runMLPTopology(t, ps, rdmaTestConfig(), steps)
+
+	for _, bucketBytes := range []int{16, 300, 1 << 20} {
+		for _, coalesce := range []int{0, 128, 1 << 20} {
+			cfg := base
+			cfg.Topology = "ring"
+			cfg.BucketBytes = bucketBytes
+			commCfg := rdmaTestConfig()
+			commCfg.Transfer.CoalesceThreshold = coalesce
+			losses, vars := runMLPTopology(t, cfg, commCfg, steps)
+			assertTopologyParity(t, fmt.Sprintf("ring/bucket=%d/coalesce=%d", bucketBytes, coalesce),
+				refLosses, refVars, losses, vars)
+		}
+	}
+}
+
+// TestSingleGradientModelTrainsAllTopologies is the straggler regression:
+// a model with exactly one gradient produces exactly one partial-fill
+// bucket, which must still flush and apply under every topology. The
+// graph: one 4-element variable, per-worker placeholder "gradients",
+// SGD with lr 1 — after each step the variable must have decreased by the
+// rank-ordered fold of the feeds.
+func TestSingleGradientModelTrainsAllTopologies(t *testing.T) {
+	const workers, elems, steps = 3, 4, 3
+	grads := make([]*tensor.Tensor, workers)
+	for w := range grads {
+		grads[w] = tensor.New(tensor.Float32, elems)
+		for i := range grads[w].Float32s() {
+			grads[w].Float32s()[i] = float32(w+1) * (float32(i) + 0.25)
+		}
+	}
+	// Reference fold: ((g0 + g1) + g2), applied once per step.
+	want := make([]float32, elems)
+	for i := 0; i < elems; i++ {
+		sum := grads[0].Float32s()[i]
+		for w := 1; w < workers; w++ {
+			sum += grads[w].Float32s()[i]
+		}
+		want[i] = -float32(steps) * sum
+	}
+
+	for _, topo := range []comm.Topology{comm.TopologyPS, comm.TopologyRing, comm.TopologyTree} {
+		b := graph.NewBuilder()
+		job := &comm.Job{
+			Apply: func(b *graph.Builder, worker int, v, g *graph.Node) *graph.Node {
+				return b.ApplySGD("apply_"+v.Name(), v, g, 1.0)
+			},
+		}
+		vs := &comm.VarSet{Name: "v"}
+		for w := 0; w < workers; w++ {
+			job.Workers = append(job.Workers, fmt.Sprintf("worker%d", w))
+		}
+		if topo == comm.TopologyPS {
+			b.OnTask("ps0")
+			vs.Replicas = []*graph.Node{b.Variable("v", graph.Static(tensor.Float32, elems))}
+		}
+		for w := 0; w < workers; w++ {
+			b.OnTask(job.Workers[w])
+			if topo != comm.TopologyPS {
+				vs.Replicas = append(vs.Replicas,
+					b.Variable(fmt.Sprintf("v/w%d", w), graph.Static(tensor.Float32, elems)))
+			}
+			vs.Grads = append(vs.Grads,
+				b.Placeholder(fmt.Sprintf("g%d", w), graph.Static(tensor.Float32, elems)))
+		}
+		job.Vars = []*comm.VarSet{vs}
+		plane, err := comm.NewPlane(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plane.WireUpdates(b, job, comm.Options{BucketBytes: 1 << 20}); err != nil {
+			t.Fatal(err)
+		}
+		cl, err := Launch(b, rdmaTestConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		for _, v := range vs.Replicas {
+			if err := cl.InitVariable(v.Name(), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		feeds := make(map[string]map[string]*tensor.Tensor)
+		for w, task := range job.Workers {
+			feeds[task] = map[string]*tensor.Tensor{fmt.Sprintf("g%d", w): grads[w]}
+		}
+		for iter := 0; iter < steps; iter++ {
+			if _, err := cl.Step(iter, feeds, nil); err != nil {
+				t.Fatalf("%s step %d: %v", topo, iter, err)
+			}
+		}
+		for _, v := range vs.Replicas {
+			vt, err := cl.VarTensor(v.Name())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, got := range vt.Float32s() {
+				if got != want[i] {
+					t.Fatalf("%s: %s[%d] = %v, want %v", topo, v.Name(), i, got, want[i])
+				}
+			}
+		}
+		cl.Close()
+	}
+}
+
+// TestRingCoalescePhaseSeparation proves the deadlock fix stays load-
+// bearing: with a coalesce threshold swallowing every collective edge, the
+// ring's reduce and broadcast hops between the same neighbor pair must land
+// in DIFFERENT coalesce groups (a shared batch only flushes when all
+// members stage, and broadcast transitively waits on reduce — a cycle).
+func TestRingCoalescePhaseSeparation(t *testing.T) {
+	cfg := MLPConfig{Workers: 2, Batch: 4, In: 6, Hidden: 4, Classes: 3, LR: 0.1,
+		Topology: "ring", BucketBytes: 1 << 20}
+	job, err := BuildMLPTraining(cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commCfg := rdmaTestConfig()
+	commCfg.Transfer.CoalesceThreshold = 1 << 20 // everything coalesces
+	cl, err := Launch(job.Builder, commCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := job.InitAll(cl); err != nil {
+		t.Fatal(err)
+	}
+	feeds := job.SyntheticDataset(7)
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Step(0, feeds, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("coalesced ring step: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("coalesced ring step deadlocked: reduce and broadcast share a batch")
+	}
+}
+
+// TestMLPJobBucketLayout pins the builder's bucket metadata: backward
+// order (b2 first), straggler partial bucket present, every gradient
+// covered exactly once.
+func TestMLPJobBucketLayout(t *testing.T) {
+	cfg := MLPConfig{Workers: 2, Batch: 4, In: 7, Hidden: 5, Classes: 3, LR: 0.1,
+		Topology: "ring", BucketBytes: 64}
+	job, err := BuildMLPTraining(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Buckets) == 0 {
+		t.Fatal("no buckets on a data-parallel job")
+	}
+	if first := job.Buckets[0].Members[0].Name; first != "b2" {
+		t.Fatalf("first bucketed gradient is %q, want b2 (backward order)", first)
+	}
+	seen := map[string]int{}
+	var total int
+	for _, bk := range job.Buckets {
+		for _, m := range bk.Members {
+			seen[m.Name]++
+			total += m.Elems
+		}
+	}
+	wantElems := cfg.In*cfg.Hidden + cfg.Hidden + cfg.Hidden*cfg.Classes + cfg.Classes
+	if total != wantElems {
+		t.Fatalf("buckets cover %d elems, want %d", total, wantElems)
+	}
+	for _, name := range mlpLogicalVars {
+		if seen[name] != 1 {
+			t.Fatalf("gradient %s bucketed %d times", name, seen[name])
+		}
+	}
+	// Partial-fill buckets survive (the straggler rule): with this layout
+	// b2 (12 B) closes alone because w2 would overflow the 64 B capacity —
+	// an under-filled bucket that must still be emitted and wired.
+	var sawPartial bool
+	for _, bk := range job.Buckets {
+		if bk.ByteSize() < cfg.BucketBytes {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Fatal("no partial-fill bucket emitted; straggler flush has no coverage")
+	}
+}

@@ -1,0 +1,134 @@
+package distributed
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/rdma"
+)
+
+// Topology ablation benchmarks behind scripts/bench.sh's
+// BENCH_allreduce.json: the same data-parallel MLP trained over ps, ring,
+// and tree at 2/4/8 tasks.
+//
+// The raw emulator moves bytes at memory bandwidth, which would hide the
+// one thing this ablation is about: the PS NIC serializing N gradient
+// pushes while ring neighbors stream concurrently. TransferDelay cannot
+// express that either — it sleeps per transfer on concurrent QP
+// goroutines, so ten transfers into one NIC cost the same as one. The
+// PathDelay hook sees the endpoints, letting a busy-until timeline per NIC
+// direction serialize shared-NIC transfers exactly the way a shared link
+// drains in hardware, while disjoint ring edges still overlap.
+
+const (
+	benchNICNsPerByte = 48                   // modeled per-NIC-direction bandwidth: ~20.8 MB/s
+	benchNICPostCost  = 2 * time.Microsecond // fixed per-WR latency
+)
+
+// nicTimeline is the endpoint-aware contention model: every one-sided
+// transfer occupies its source NIC's tx direction and its destination
+// NIC's rx direction for the wire time, FIFO per direction.
+type nicTimeline struct {
+	mu   sync.Mutex
+	busy map[string]time.Time
+}
+
+func newNICTimeline() *nicTimeline {
+	return &nicTimeline{busy: make(map[string]time.Time)}
+}
+
+func (n *nicTimeline) delay(_ rdma.Op, size int, src, dst string) time.Duration {
+	wire := benchNICPostCost + time.Duration(size)*benchNICNsPerByte*time.Nanosecond
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := time.Now()
+	start := now
+	if t := n.busy[src+"/tx"]; t.After(start) {
+		start = t
+	}
+	if t := n.busy[dst+"/rx"]; t.After(start) {
+		start = t
+	}
+	end := start.Add(wire)
+	n.busy[src+"/tx"] = end
+	n.busy[dst+"/rx"] = end
+	return end.Sub(now)
+}
+
+// BenchmarkAllReduceTopology trains the benchmark MLP one synchronous step
+// per iteration and reports per-task gradient goodput (the full gradient
+// state is exchanged every step) plus the profiler's communication share.
+func BenchmarkAllReduceTopology(b *testing.B) {
+	const in, hidden, classes, batch = 512, 512, 64, 8
+	gradBytes := int64(in*hidden+hidden+hidden*classes+classes) * 4
+	for _, topo := range []string{"ps", "ring", "tree"} {
+		for _, tasks := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("topo=%s/tasks=%d", topo, tasks), func(b *testing.B) {
+				mcfg := MLPConfig{Workers: tasks, PSCount: 1, Batch: batch,
+					In: in, Hidden: hidden, Classes: classes, LR: 0.05, Topology: topo}
+				job, err := BuildMLPTraining(mcfg, 99)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl, err := Launch(job.Builder, Config{
+					Kind:        RDMA,
+					ArenaBytes:  64 << 20,
+					PollTimeout: 60 * time.Second,
+					Transfer:    rdma.TransferOpts{Deadline: 60 * time.Second},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cl.Close()
+				if err := job.InitAll(cl); err != nil {
+					b.Fatal(err)
+				}
+				cl.Fabric().SetHooks(rdma.Hooks{PathDelay: newNICTimeline().delay})
+				feeds := job.SyntheticDataset(7)
+				fetches := make(map[string][]string)
+				for k, task := range job.WorkerTasks {
+					fetches[task] = []string{job.LossName(k)}
+				}
+				// One warm-up step outside the clock (edge setup, arenas).
+				if _, err := cl.Step(0, feeds, fetches); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					if _, err := cl.Step(i+1, feeds, fetches); err != nil {
+						b.Fatal(err)
+					}
+				}
+				elapsed := time.Since(start)
+				b.StopTimer()
+				stepSec := elapsed.Seconds() / float64(b.N)
+				b.ReportMetric(float64(gradBytes)/1e6/stepSec, "MB/s/task")
+				b.ReportMetric(stepSec*1e3, "ms/step")
+				b.ReportMetric(commShare(cl.StepSummaries(), job.WorkerTasks), "comm_frac")
+			})
+		}
+	}
+}
+
+// commShare is the PR-5 profiler's communication fraction across the
+// worker tasks: communication-occupied worker time (sync kernels + async
+// dispatch) over total accounted worker time.
+func commShare(sums map[string]metrics.StepSummary, workerTasks []string) float64 {
+	var comm, wall time.Duration
+	for _, task := range workerTasks {
+		s, ok := sums[task]
+		if !ok || s.Steps == 0 {
+			continue
+		}
+		comm += s.Totals.Comm
+		wall += s.Totals.Wall * time.Duration(s.Totals.Workers)
+	}
+	if wall <= 0 {
+		return 0
+	}
+	return float64(comm) / float64(wall)
+}

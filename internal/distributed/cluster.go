@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/analyzer"
+	"repro/internal/comm"
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/metrics"
@@ -342,6 +343,14 @@ func coalPlans(res *analyzer.Result, threshold int) []*coalPlan {
 			continue
 		}
 		key := "coalesce/" + e.SrcTask + "->" + e.DstTask
+		// Collective phases must not share a batch: a ring's reduce hop
+		// k->k+1 transitively feeds the broadcast hop over the same task
+		// pair, and a shared batch only flushes once ALL members staged —
+		// a cycle that would deadlock the step. Keying the group by the
+		// producing node's collective phase keeps each batch acyclic.
+		if ph := comm.CoalescePhase(e.SrcNode); ph != "" {
+			key += "#" + ph
+		}
 		p, ok := byPair[key]
 		if !ok {
 			p = &coalPlan{key: key, srcTask: e.SrcTask, dstTask: e.DstTask,

@@ -4,14 +4,24 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/comm"
 	"repro/internal/graph"
 	"repro/internal/tensor"
 )
 
-// MLPConfig describes a data-parallel MLP classifier training job in the
-// parameter-server architecture (the paper's Figure 3 layout): one replica
-// per worker computing gradients against shared variables that live on the
-// PS tasks round-robin; the PS sums the workers' gradients and applies SGD.
+// MLPConfig describes a data-parallel MLP classifier training job. The
+// communication plane is selected by Topology:
+//
+//   - "ps" (default): the paper's Figure-3 layout — shared variables live
+//     on the PS tasks round-robin, workers push gradients, the PS sums
+//     them and applies the optimizer, workers pull weights back.
+//   - "ring"/"tree": pure data-parallel all-reduce — every worker holds a
+//     replica of each variable (identically initialized), gradients are
+//     bucketed and all-reduced over the selected collective, and every
+//     worker applies the optimizer locally. PSCount is ignored.
+//
+// All topologies reduce in the same deterministic order, so runs from the
+// same seed are bit-identical across planes (DESIGN.md §13).
 type MLPConfig struct {
 	Workers int
 	PSCount int
@@ -22,6 +32,15 @@ type MLPConfig struct {
 	LR      float32
 	// Optimizer selects "sgd" (default), "momentum" (0.9), or "adam".
 	Optimizer string
+	// Topology selects the communication plane: "ps" (default), "ring",
+	// or "tree".
+	Topology string
+	// BucketBytes caps a gradient bucket for the all-reduce planes
+	// (<=0 selects comm.DefaultBucketBytes). Ignored for "ps".
+	BucketBytes int
+	// Segments is the ring's per-bucket segment count (<=0 selects one
+	// segment per worker). Ignored for "ps" and "tree".
+	Segments int
 }
 
 // VarInit pairs a variable name with its initializer.
@@ -40,6 +59,24 @@ type MLPJob struct {
 	// FeedNames returns worker k's input/label placeholder names.
 	FeedNames func(worker int) (x, labels string)
 	Config    MLPConfig
+	// Topology is the parsed communication plane.
+	Topology comm.Topology
+	// Buckets is the gradient bucket layout the all-reduce planes wired
+	// (nil for the PS plane).
+	Buckets []comm.Bucket
+}
+
+// VarName maps a logical variable ("w1") to the concrete node name for
+// one worker: the shared PS variable, or that worker's replica.
+func (j *MLPJob) VarName(logical string, worker int) string {
+	if j.Topology == comm.TopologyPS {
+		return logical
+	}
+	return replicaName(logical, worker)
+}
+
+func replicaName(logical string, worker int) string {
+	return fmt.Sprintf("%s/w%d", logical, worker)
 }
 
 // lookup finds a node by name among the builder's nodes.
@@ -52,25 +89,109 @@ func lookup(b *graph.Builder, name string) (*graph.Node, error) {
 	return nil, fmt.Errorf("%w: node %q not found", ErrSetup, name)
 }
 
-// BuildMLPTraining constructs the job. Initialize variables with
-// Cluster.InitVariable using the returned VarInits after Launch.
+// mlpVarSpec is one logical trainable variable of the MLP, in declaration
+// order (the order the PS layout assigns tasks and draws initializers).
+type mlpVarSpec struct {
+	name   string
+	sig    graph.Sig
+	glorot bool
+}
+
+func mlpVarSpecs(cfg MLPConfig) []mlpVarSpec {
+	return []mlpVarSpec{
+		{name: "w1", sig: graph.Static(tensor.Float32, cfg.In, cfg.Hidden), glorot: true},
+		{name: "b1", sig: graph.Static(tensor.Float32, cfg.Hidden)},
+		{name: "w2", sig: graph.Static(tensor.Float32, cfg.Hidden, cfg.Classes), glorot: true},
+		{name: "b2", sig: graph.Static(tensor.Float32, cfg.Classes)},
+	}
+}
+
+// optimizerApply returns the plane Apply callback for the configured
+// optimizer. The node name follows the replica ("apply_w1",
+// "apply_w1/w2"), so it is unique per task.
+func optimizerApply(cfg MLPConfig) (comm.ApplyFn, error) {
+	switch cfg.Optimizer {
+	case "", "sgd":
+		return func(b *graph.Builder, _ int, v, g *graph.Node) *graph.Node {
+			return b.ApplySGD("apply_"+v.Name(), v, g, cfg.LR)
+		}, nil
+	case "momentum":
+		return func(b *graph.Builder, _ int, v, g *graph.Node) *graph.Node {
+			return b.ApplyMomentum("apply_"+v.Name(), v, g, cfg.LR, 0.9)
+		}, nil
+	case "adam":
+		return func(b *graph.Builder, _ int, v, g *graph.Node) *graph.Node {
+			return b.ApplyAdam("apply_"+v.Name(), v, g, cfg.LR)
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown optimizer %q", ErrSetup, cfg.Optimizer)
+	}
+}
+
+// addWorkerForward builds worker k's placeholders, forward pass and loss
+// against the given parameter nodes (shared PS variables or the worker's
+// replicas, in mlpVarSpecs order: w1, b1, w2, b2). Node names are
+// identical across topologies so runs stay comparable.
+func addWorkerForward(b *graph.Builder, cfg MLPConfig, k int, params []*graph.Node) *graph.Node {
+	w1, b1, w2, b2 := params[0], params[1], params[2], params[3]
+	x := b.Placeholder(fmt.Sprintf("x%d", k), graph.Static(tensor.Float32, cfg.Batch, cfg.In))
+	labels := b.Placeholder(fmt.Sprintf("labels%d", k), graph.Static(tensor.Int32, cfg.Batch))
+	h := b.ReLU(fmt.Sprintf("h%d", k),
+		b.BiasAdd(fmt.Sprintf("z1_%d", k), b.MatMul(fmt.Sprintf("mm1_%d", k), x, w1), b1))
+	logits := b.BiasAdd(fmt.Sprintf("logits%d", k),
+		b.MatMul(fmt.Sprintf("mm2_%d", k), h, w2), b2)
+	return b.SoftmaxXent(fmt.Sprintf("loss%d", k), logits, labels)
+}
+
+// pruneToTraining drops dangling gradient nodes (e.g. toward
+// placeholders): keep the losses and the stateful optimizer updates.
+func pruneToTraining(b *graph.Builder, workers int) error {
+	keep := b.StatefulNodes()
+	for k := 0; k < workers; k++ {
+		n, err := lookup(b, fmt.Sprintf("loss%d", k))
+		if err != nil {
+			return err
+		}
+		keep = append(keep, n)
+	}
+	b.Prune(keep...)
+	return b.Err()
+}
+
+// BuildMLPTraining constructs the job over the configured communication
+// plane. Initialize variables with Cluster.InitVariable using the
+// returned VarInits after Launch.
 func BuildMLPTraining(cfg MLPConfig, seed int64) (*MLPJob, error) {
+	topo, err := comm.ParseTopology(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	if topo == comm.TopologyPS {
+		return buildPSMLP(cfg, seed)
+	}
+	return buildAllReduceMLP(cfg, topo, seed)
+}
+
+// buildPSMLP is the parameter-server layout, wired through the PS plane.
+// Node names (gsum_*, apply_*) match the pre-plane builder exactly.
+func buildPSMLP(cfg MLPConfig, seed int64) (*MLPJob, error) {
 	if cfg.Workers < 1 || cfg.PSCount < 1 {
 		return nil, fmt.Errorf("%w: need at least one worker and one ps", ErrSetup)
+	}
+	apply, err := optimizerApply(cfg)
+	if err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(seed))
 	b := graph.NewBuilder()
 	psTask := func(i int) string { return fmt.Sprintf("ps%d", i%cfg.PSCount) }
 
-	b.OnTask(psTask(0))
-	w1 := b.Variable("w1", graph.Static(tensor.Float32, cfg.In, cfg.Hidden))
-	b.OnTask(psTask(1))
-	b1 := b.Variable("b1", graph.Static(tensor.Float32, cfg.Hidden))
-	b.OnTask(psTask(2))
-	w2 := b.Variable("w2", graph.Static(tensor.Float32, cfg.Hidden, cfg.Classes))
-	b.OnTask(psTask(3))
-	b2 := b.Variable("b2", graph.Static(tensor.Float32, cfg.Classes))
-	vars := []*graph.Node{w1, b1, w2, b2}
+	specs := mlpVarSpecs(cfg)
+	vars := make([]*graph.Node, len(specs))
+	for i, s := range specs {
+		b.OnTask(psTask(i))
+		vars[i] = b.Variable(s.name, s.sig)
+	}
 
 	grads := make(map[*graph.Node][]*graph.Node)
 	var workerTasks []string
@@ -78,13 +199,7 @@ func BuildMLPTraining(cfg MLPConfig, seed int64) (*MLPJob, error) {
 		task := fmt.Sprintf("worker%d", k)
 		workerTasks = append(workerTasks, task)
 		b.OnTask(task)
-		x := b.Placeholder(fmt.Sprintf("x%d", k), graph.Static(tensor.Float32, cfg.Batch, cfg.In))
-		labels := b.Placeholder(fmt.Sprintf("labels%d", k), graph.Static(tensor.Int32, cfg.Batch))
-		h := b.ReLU(fmt.Sprintf("h%d", k),
-			b.BiasAdd(fmt.Sprintf("z1_%d", k), b.MatMul(fmt.Sprintf("mm1_%d", k), x, w1), b1))
-		logits := b.BiasAdd(fmt.Sprintf("logits%d", k),
-			b.MatMul(fmt.Sprintf("mm2_%d", k), h, w2), b2)
-		loss := b.SoftmaxXent(fmt.Sprintf("loss%d", k), logits, labels)
+		loss := addWorkerForward(b, cfg, k, vars)
 		g, err := graph.Gradients(b, loss, vars)
 		if err != nil {
 			return nil, err
@@ -93,36 +208,21 @@ func BuildMLPTraining(cfg MLPConfig, seed int64) (*MLPJob, error) {
 			grads[v] = append(grads[v], g[v])
 		}
 	}
+
+	job := &comm.Job{Workers: workerTasks, Apply: apply}
 	for _, v := range vars {
-		b.OnTask(v.Task())
-		sum := grads[v][0]
-		for i := 1; i < len(grads[v]); i++ {
-			sum = b.Add(fmt.Sprintf("gsum_%s_%d", v.Name(), i), sum, grads[v][i])
-		}
-		switch cfg.Optimizer {
-		case "", "sgd":
-			b.ApplySGD("apply_"+v.Name(), v, sum, cfg.LR)
-		case "momentum":
-			b.ApplyMomentum("apply_"+v.Name(), v, sum, cfg.LR, 0.9)
-		case "adam":
-			b.ApplyAdam("apply_"+v.Name(), v, sum, cfg.LR)
-		default:
-			return nil, fmt.Errorf("%w: unknown optimizer %q", ErrSetup, cfg.Optimizer)
-		}
+		job.Vars = append(job.Vars, &comm.VarSet{
+			Name: v.Name(), Replicas: []*graph.Node{v}, Grads: grads[v]})
 	}
-	// Drop dangling gradient nodes (e.g. toward placeholders): keep the
-	// losses and optimizer updates.
-	keep := b.StatefulNodes()
-	for k := 0; k < cfg.Workers; k++ {
-		n, err := lookup(b, fmt.Sprintf("loss%d", k))
-		if err != nil {
-			return nil, err
-		}
-		keep = append(keep, n)
+	plane, err := comm.NewPlane(comm.TopologyPS)
+	if err != nil {
+		return nil, err
 	}
-	b.Prune(keep...)
-	if b.Err() != nil {
-		return nil, b.Err()
+	if err := plane.WireUpdates(b, job, comm.Options{}); err != nil {
+		return nil, err
+	}
+	if err := pruneToTraining(b, cfg.Workers); err != nil {
+		return nil, err
 	}
 
 	inits := []VarInit{
@@ -139,7 +239,109 @@ func BuildMLPTraining(cfg MLPConfig, seed int64) (*MLPJob, error) {
 		FeedNames: func(k int) (string, string) {
 			return fmt.Sprintf("x%d", k), fmt.Sprintf("labels%d", k)
 		},
-		Config: cfg,
+		Config:   cfg,
+		Topology: comm.TopologyPS,
+	}, nil
+}
+
+// buildAllReduceMLP is the replicated data-parallel layout: per-worker
+// variable copies, gradients bucketed and all-reduced over the ring or
+// tree plane, optimizer applied per replica. Replicas are initialized
+// from prototype tensors drawn in the same RNG order as the PS layout's
+// initializers, so a DP run from seed S starts — and, because the
+// reduction order matches the PS fold, stays — bit-identical to the PS
+// run from seed S.
+func buildAllReduceMLP(cfg MLPConfig, topo comm.Topology, seed int64) (*MLPJob, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("%w: need at least one worker", ErrSetup)
+	}
+	apply, err := optimizerApply(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	specs := mlpVarSpecs(cfg)
+
+	replicas := make(map[string][]*graph.Node, len(specs))
+	gradsByVar := make(map[string][]*graph.Node, len(specs))
+	var workerTasks []string
+	for k := 0; k < cfg.Workers; k++ {
+		task := fmt.Sprintf("worker%d", k)
+		workerTasks = append(workerTasks, task)
+		b.OnTask(task)
+		params := make([]*graph.Node, len(specs))
+		for i, s := range specs {
+			params[i] = b.Variable(replicaName(s.name, k), s.sig)
+		}
+		loss := addWorkerForward(b, cfg, k, params)
+		g, err := graph.Gradients(b, loss, params)
+		if err != nil {
+			return nil, err
+		}
+		for i, s := range specs {
+			replicas[s.name] = append(replicas[s.name], params[i])
+			gradsByVar[s.name] = append(gradsByVar[s.name], g[params[i]])
+		}
+	}
+
+	// Vars in backward-flush order (output layer first) so the first
+	// buckets fill while the remaining backward compute still runs.
+	job := &comm.Job{Workers: workerTasks, Apply: apply}
+	for i := len(specs) - 1; i >= 0; i-- {
+		name := specs[i].name
+		job.Vars = append(job.Vars, &comm.VarSet{
+			Name: name, Replicas: replicas[name], Grads: gradsByVar[name]})
+	}
+	opts := comm.Options{BucketBytes: cfg.BucketBytes, Segments: cfg.Segments}
+	plane, err := comm.NewPlane(topo)
+	if err != nil {
+		return nil, err
+	}
+	if err := plane.WireUpdates(b, job, opts); err != nil {
+		return nil, err
+	}
+	buckets, err := comm.BucketsForJob(job, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := pruneToTraining(b, cfg.Workers); err != nil {
+		return nil, err
+	}
+
+	// Prototype initial values, drawn in mlpVarSpecs order — the exact
+	// sequence the PS inits consume from the same seed.
+	var inits []VarInit
+	for _, s := range specs {
+		var proto *tensor.Tensor
+		if s.glorot {
+			proto = tensor.New(s.sig.DType, s.sig.Shape...)
+			tensor.GlorotInit(proto, rng)
+		}
+		for k := 0; k < cfg.Workers; k++ {
+			var init func(*tensor.Tensor)
+			if proto != nil {
+				p := proto
+				init = func(t *tensor.Tensor) {
+					if err := t.CopyFrom(p); err != nil {
+						panic(err)
+					}
+				}
+			}
+			inits = append(inits, VarInit{Name: replicaName(s.name, k), Init: init})
+		}
+	}
+	return &MLPJob{
+		Builder:     b,
+		WorkerTasks: workerTasks,
+		VarInits:    inits,
+		LossName:    func(k int) string { return fmt.Sprintf("loss%d", k) },
+		FeedNames: func(k int) (string, string) {
+			return fmt.Sprintf("x%d", k), fmt.Sprintf("labels%d", k)
+		},
+		Config:   cfg,
+		Topology: topo,
+		Buckets:  buckets,
 	}, nil
 }
 

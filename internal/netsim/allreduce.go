@@ -1,0 +1,203 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/distributed"
+)
+
+// This file prices one step of gradient exchange under the collective
+// topologies of internal/comm, plus a NetReduce-style in-network reduction
+// the emulated fabric cannot execute (it needs a programmable switch). The
+// models share the per-mechanism Params so the ablation compares
+// topologies, not calibrations:
+//
+//   - PS: every worker pushes its full gradient to the PS shard(s) and
+//     pulls the reduced copy back. With one shard the PS NIC serializes
+//     2·N·G bytes — the incast the collectives exist to avoid.
+//   - Ring (the comm package's prefix chain): S segments pipeline along
+//     the rank chain for 2(N-1) hops; every link carries 2·G bytes
+//     regardless of N, so per-task goodput is nearly flat in N.
+//   - Tree: raw packs gather to the root (its NIC ingests (N-1)·G) and
+//     totals broadcast down 2·ceil(log2 N) levels; wins at small sizes
+//     where per-hop fixed cost dominates.
+//   - NetReduce: each worker sends G once to the switch, which folds at
+//     line rate and multicasts the totals back — one up + one down
+//     transfer plus switch latency, independent of N.
+type AllReduceModel struct {
+	// Tasks is the worker count.
+	Tasks int
+	// Params is the underlying transfer mechanism's cost model.
+	Params Params
+	// Segments is the ring's pipeline depth (<=0 selects Tasks).
+	Segments int
+	// PSShards spreads the PS gradient across shards (<=0 selects 1).
+	PSShards int
+	// SwitchUS is the in-network reduction's switch traversal latency and
+	// SwitchGBps its fold rate (<=0 selects the wire rate).
+	SwitchUS   float64
+	SwitchGBps float64
+}
+
+// AllReduceKind selects a topology model.
+type AllReduceKind int
+
+const (
+	ARPS AllReduceKind = iota
+	ARRing
+	ARTree
+	ARNetReduce
+)
+
+func (k AllReduceKind) String() string {
+	switch k {
+	case ARPS:
+		return "ps"
+	case ARRing:
+		return "ring"
+	case ARTree:
+		return "tree"
+	case ARNetReduce:
+		return "netreduce"
+	}
+	return fmt.Sprintf("allreduce(%d)", int(k))
+}
+
+// NewAllReduceModel builds the model over a device mechanism's params with
+// the paper-calibrated switch constants (a programmable switch adds a few
+// microseconds of pipeline traversal and folds at line rate).
+func NewAllReduceModel(tasks int, kind distributed.Kind) *AllReduceModel {
+	return &AllReduceModel{
+		Tasks:    tasks,
+		Params:   ParamsFor(kind, true /* collectives move host-packed buckets */),
+		SwitchUS: 3.0,
+	}
+}
+
+// hopUS is one fixed per-message cost on a path: software dispatch plus
+// one-way wire latency.
+func (m *AllReduceModel) hopUS() float64 {
+	return m.Params.FixedUS + m.Params.WireLatUS
+}
+
+// StepUS returns the modeled wall time (µs) of all-reducing gradBytes of
+// gradient state across Tasks workers under the topology.
+func (m *AllReduceModel) StepUS(kind AllReduceKind, gradBytes int64) float64 {
+	if m.Tasks < 1 || gradBytes < 0 {
+		return 0
+	}
+	if m.Tasks == 1 {
+		return 0 // degenerate: local apply, no exchange
+	}
+	switch kind {
+	case ARPS:
+		return m.psStepUS(gradBytes)
+	case ARRing:
+		return m.ringStepUS(gradBytes)
+	case ARTree:
+		return m.treeStepUS(gradBytes)
+	case ARNetReduce:
+		return m.netReduceStepUS(gradBytes)
+	}
+	return math.NaN()
+}
+
+// psStepUS prices the push and pull phases over per-NIC busy-until
+// timelines: each worker's NIC serializes its own messages, and the
+// shard's rx (push) and tx (pull) directions serialize the incast — the
+// contention TransferDelay-style per-message models miss.
+func (m *AllReduceModel) psStepUS(g int64) float64 {
+	n := m.Tasks
+	shards := m.PSShards
+	if shards < 1 {
+		shards = 1
+	}
+	chunk := func(s int) int64 {
+		per := g / int64(shards)
+		if s == shards-1 {
+			per = g - per*int64(shards-1)
+		}
+		return per
+	}
+	occupy := func(size int64) float64 { return m.Params.FixedUS + us(size, m.Params.WireGBps) }
+
+	phase := func() Time {
+		workerNIC := make([]Resource, n)
+		shardNIC := make([]Resource, shards)
+		var done Time
+		for w := 0; w < n; w++ {
+			for s := 0; s < shards; s++ {
+				dur := occupy(chunk(s))
+				start, _ := workerNIC[w].Use(0, dur)
+				_, end := shardNIC[s].Use(start, dur)
+				if end += m.Params.WireLatUS; end > done {
+					done = end
+				}
+			}
+		}
+		return done
+	}
+	// Push and pull are symmetric transfer sets over opposite NIC
+	// directions, separated by the synchronous reduce barrier.
+	return phase() + phase()
+}
+
+// ringStepUS prices the comm package's pipelined prefix chain: a segment
+// crosses 2(N-1) links (reduce up the chain, broadcast back around), and
+// with S in-flight segments the pipeline drains in (2(N-1)+S-1) hop
+// times. Every link carries exactly 2·G bytes however large N grows —
+// the bandwidth-optimality argument of ring all-reduce.
+func (m *AllReduceModel) ringStepUS(g int64) float64 {
+	n := m.Tasks
+	segs := m.Segments
+	if segs < 1 {
+		segs = n
+	}
+	if int64(segs) > g && g > 0 {
+		segs = int(g)
+	}
+	segBytes := (g + int64(segs) - 1) / int64(segs)
+	hop := m.hopUS() + us(segBytes, m.Params.WireGBps)
+	stages := 2*(n-1) + segs - 1
+	return float64(stages) * hop
+}
+
+// treeStepUS prices the bit-parity binary tree: raw packs gather to the
+// root — whose NIC rx serializes all (N-1) ingressing packs — then totals
+// broadcast down, each parent forwarding to at most two children per
+// level. Depth hops of fixed cost bound the small-message latency at
+// O(log N) versus the chain's O(N).
+func (m *AllReduceModel) treeStepUS(g int64) float64 {
+	n := m.Tasks
+	depth := int(math.Ceil(math.Log2(float64(n))))
+	wire := us(g, m.Params.WireGBps)
+	rootRx := float64(n-1) * wire
+	gather := float64(depth)*m.hopUS() + rootRx
+	bcast := float64(depth) * (2*m.hopUS() + 2*wire)
+	return gather + bcast
+}
+
+// netReduceStepUS prices in-network reduction: gradients stream up to the
+// switch, which folds cut-through at its pipeline rate and multicasts the
+// totals back down — the down stream overlaps the up stream at packet
+// granularity, so the payload crosses the wire-rate bottleneck once, plus
+// two fixed hops and the switch traversal. No term depends on N — the
+// signature property of the approach.
+func (m *AllReduceModel) netReduceStepUS(g int64) float64 {
+	bw := m.Params.WireGBps
+	if m.SwitchGBps > 0 && m.SwitchGBps < bw {
+		bw = m.SwitchGBps
+	}
+	return 2*m.hopUS() + m.SwitchUS + us(g, bw)
+}
+
+// GoodputMBPerTaskSec converts a step time into per-task all-reduce
+// goodput (each task contributes and receives gradBytes per step).
+func (m *AllReduceModel) GoodputMBPerTaskSec(kind AllReduceKind, gradBytes int64) float64 {
+	step := m.StepUS(kind, gradBytes)
+	if step <= 0 {
+		return 0
+	}
+	return float64(gradBytes) / step // bytes/µs == MB/s
+}

@@ -1,0 +1,97 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/distributed"
+)
+
+func TestAllReduceRingBeatsPSAtScale(t *testing.T) {
+	const grad = 64 << 20 // a bandwidth-bound exchange
+	for _, tasks := range []int{4, 8} {
+		m := NewAllReduceModel(tasks, distributed.RDMA)
+		ps := m.StepUS(ARPS, grad)
+		ring := m.StepUS(ARRing, grad)
+		if ring >= ps {
+			t.Errorf("tasks=%d: ring %.0fµs not faster than ps %.0fµs", tasks, ring, ps)
+		}
+	}
+	// Ring per-task goodput is nearly flat in N (every link carries 2G
+	// regardless); the PS NIC serializes 2·N·G so its goodput collapses.
+	m2 := NewAllReduceModel(2, distributed.RDMA)
+	m8 := NewAllReduceModel(8, distributed.RDMA)
+	ringDrop := m2.GoodputMBPerTaskSec(ARRing, grad) / m8.GoodputMBPerTaskSec(ARRing, grad)
+	psDrop := m2.GoodputMBPerTaskSec(ARPS, grad) / m8.GoodputMBPerTaskSec(ARPS, grad)
+	if ringDrop > 2 || psDrop < 3 {
+		t.Errorf("scaling: ring 2->8 drop %.2fx, ps drop %.2fx", ringDrop, psDrop)
+	}
+}
+
+func TestAllReduceTreeWinsSmallTensors(t *testing.T) {
+	m := NewAllReduceModel(8, distributed.RDMA)
+	small := int64(4 << 10)
+	if tree, ring := m.StepUS(ARTree, small), m.StepUS(ARRing, small); tree >= ring {
+		t.Errorf("small tensors: tree %.1fµs not faster than ring %.1fµs", tree, ring)
+	}
+	large := int64(64 << 20)
+	if tree, ring := m.StepUS(ARTree, large), m.StepUS(ARRing, large); ring >= tree {
+		t.Errorf("large tensors: ring %.0fµs not faster than tree %.0fµs (root incast must bite)", ring, tree)
+	}
+}
+
+func TestAllReduceNetReduceIndependentOfN(t *testing.T) {
+	const grad = 16 << 20
+	base := NewAllReduceModel(2, distributed.RDMA).StepUS(ARNetReduce, grad)
+	for _, tasks := range []int{4, 8, 32} {
+		got := NewAllReduceModel(tasks, distributed.RDMA).StepUS(ARNetReduce, grad)
+		if got != base {
+			t.Errorf("tasks=%d: netreduce %.1fµs, want N-independent %.1fµs", tasks, got, base)
+		}
+	}
+	// And it beats even the ring: no 2(N-1)-hop pipeline to drain.
+	m := NewAllReduceModel(8, distributed.RDMA)
+	if nr, ring := m.StepUS(ARNetReduce, grad), m.StepUS(ARRing, grad); nr >= ring {
+		t.Errorf("netreduce %.0fµs not faster than ring %.0fµs", nr, ring)
+	}
+}
+
+func TestAllReduceModelDeterministicAndDegenerate(t *testing.T) {
+	m := NewAllReduceModel(8, distributed.RDMA)
+	for _, kind := range []AllReduceKind{ARPS, ARRing, ARTree, ARNetReduce} {
+		a, b := m.StepUS(kind, 1<<20), m.StepUS(kind, 1<<20)
+		if a != b || a <= 0 {
+			t.Errorf("%v: non-deterministic or non-positive step (%v, %v)", kind, a, b)
+		}
+	}
+	single := NewAllReduceModel(1, distributed.RDMA)
+	if got := single.StepUS(ARRing, 1<<20); got != 0 {
+		t.Errorf("single task must be free, got %.1fµs", got)
+	}
+	// Sharding the PS across all tasks recovers most of the incast.
+	m.PSShards = 8
+	if sharded, lone := m.StepUS(ARPS, 64<<20), NewAllReduceModel(8, distributed.RDMA).StepUS(ARPS, 64<<20); sharded >= lone {
+		t.Errorf("sharded ps %.0fµs not faster than single-shard %.0fµs", sharded, lone)
+	}
+}
+
+// BenchmarkAllReduceModel reports the modeled per-task goodput for the
+// ablation table (scripts/bench.sh scrapes the model_MB/s/task metric);
+// NetReduce is the third column no emulated topology can reach.
+func BenchmarkAllReduceModel(b *testing.B) {
+	const grad = 32 << 20
+	for _, kind := range []AllReduceKind{ARPS, ARRing, ARTree, ARNetReduce} {
+		for _, tasks := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("topo=%s/tasks=%d", kind, tasks), func(b *testing.B) {
+				m := NewAllReduceModel(tasks, distributed.RDMA)
+				var sink float64
+				for i := 0; i < b.N; i++ {
+					sink += m.StepUS(kind, grad)
+				}
+				_ = sink
+				b.ReportMetric(m.GoodputMBPerTaskSec(kind, grad), "model_MB/s/task")
+				b.ReportMetric(m.StepUS(kind, grad), "model_step_us")
+			})
+		}
+	}
+}

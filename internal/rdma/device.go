@@ -481,6 +481,11 @@ func (d *Device) executeTransfer(peer string, wr workRequest) error {
 			sleep(delay)
 		}
 	}
+	if hooks.PathDelay != nil {
+		if delay := hooks.PathDelay(wr.op, wr.size, d.endpoint, peer); delay > 0 {
+			sleep(delay)
+		}
+	}
 	if hooks.TransferFault != nil {
 		if err := hooks.TransferFault(wr.op, wr.size); err != nil {
 			return err

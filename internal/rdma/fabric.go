@@ -38,6 +38,13 @@ type Hooks struct {
 	// TransferDelay, if non-nil, returns an artificial latency applied
 	// before a one-sided transfer of the given size executes.
 	TransferDelay func(op Op, size int) time.Duration
+	// PathDelay, if non-nil, returns an artificial latency for a
+	// one-sided transfer between two named endpoints. Unlike
+	// TransferDelay it sees the path, so a model can serialize transfers
+	// sharing a NIC (e.g. a parameter server's incast) while letting
+	// disjoint paths proceed concurrently. Applied in addition to
+	// TransferDelay.
+	PathDelay func(op Op, size int, src, dst string) time.Duration
 	// OnTransfer, if non-nil, is invoked after every completed one-sided
 	// transfer (for counters).
 	OnTransfer func(op Op, size int)

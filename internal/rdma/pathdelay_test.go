@@ -1,0 +1,48 @@
+package rdma
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// PathDelay sees the (src, dst) endpoints of every one-sided transfer and
+// stacks with TransferDelay, so endpoint-aware NIC contention models can
+// ride alongside size-based wire-time models.
+func TestPathDelayHookSeesEndpoints(t *testing.T) {
+	f, a, b := newPair(t)
+	var mu sync.Mutex
+	var paths [][2]string
+	var transferCalls int
+	f.SetHooks(Hooks{
+		TransferDelay: func(Op, int) time.Duration {
+			mu.Lock()
+			transferCalls++
+			mu.Unlock()
+			return 0
+		},
+		PathDelay: func(op Op, size int, src, dst string) time.Duration {
+			if op != OpWrite || size != 64 {
+				t.Errorf("path hook saw op=%v size=%d", op, size)
+			}
+			mu.Lock()
+			paths = append(paths, [2]string{src, dst})
+			mu.Unlock()
+			return 0
+		},
+	})
+	src, _ := a.AllocateMemRegion(64)
+	dst, _ := b.AllocateMemRegion(64)
+	ch, _ := a.GetChannel("hostB:1", 0)
+	if err := ch.MemcpySync(0, src, 0, dst.Descriptor(), 64, OpWrite); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(paths) != 1 || paths[0] != [2]string{"hostA:1", "hostB:1"} {
+		t.Fatalf("paths = %v, want [[hostA:1 hostB:1]]", paths)
+	}
+	if transferCalls != 1 {
+		t.Fatalf("TransferDelay calls = %d, want 1 (hooks must compose)", transferCalls)
+	}
+}

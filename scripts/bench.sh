@@ -2,6 +2,7 @@
 # Kernel microbenchmarks -> BENCH_kernels.json.
 # Transfer benchmarks (striping + coalescing) -> BENCH_transfer.json.
 # Observability overhead (histograms / tracing on the train step) -> BENCH_obs.json.
+# All-reduce topology ablation (ps vs ring vs tree, emulated + modeled) -> BENCH_allreduce.json.
 #
 # Runs the tensor kernel benchmarks (seed kernel vs new serial vs new
 # parallel) and the exec train-step benchmark (recycle on/off, -benchmem),
@@ -21,6 +22,7 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_kernels.json}"
 OUT_TRANSFER="${2:-BENCH_transfer.json}"
 OUT_OBS="${3:-BENCH_obs.json}"
+OUT_AR="${4:-BENCH_allreduce.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -165,3 +167,73 @@ END {
 }' "$TMP/obs.txt" > "$OUT_OBS"
 
 echo "wrote $OUT_OBS" >&2
+
+# All-reduce topology ablation. Two sources feed one JSON:
+#   - BenchmarkAllReduceTopology trains the real data-parallel MLP over the
+#     emulated fabric under ps/ring/tree at 2/4/8 tasks, with a busy-until
+#     timeline per NIC direction so the PS incast actually serializes
+#     (see internal/distributed/bench_allreduce_test.go). Each iteration is
+#     a full synchronous training step, so it runs a fixed 3 iterations
+#     rather than scaling with BENCHTIME.
+#   - BenchmarkAllReduceModel prices the same exchange under the netsim
+#     alpha-beta cost model, adding the NetReduce in-network-reduction
+#     column the emulated fabric cannot execute (it needs a programmable
+#     switch folding gradients at line rate).
+echo "== all-reduce topology ablation (3 steps/cell + netsim model) ==" >&2
+go test -run='^$' -bench='^BenchmarkAllReduceTopology$' -benchtime=3x -timeout=20m \
+    ./internal/distributed/ | tee "$TMP/allreduce.txt" >&2
+go test -run='^$' -bench='^BenchmarkAllReduceModel$' -benchtime=100x \
+    ./internal/netsim/ | tee -a "$TMP/allreduce.txt" >&2
+
+awk -v num_cpu="$(nproc)" -v go_ver="$(go env GOVERSION)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "MB/s/task")       mbs[name] = $i
+        if ($(i+1) == "ms/step")         ms[name]  = $i
+        if ($(i+1) == "comm_frac")       cf[name]  = $i
+        if ($(i+1) == "model_MB/s/task") mmbs[name] = $i
+        if ($(i+1) == "model_step_us")   mus[name]  = $i
+    }
+}
+function emu(topo, tasks) { return "AllReduceTopology/topo=" topo "/tasks=" tasks }
+function mod(topo, tasks) { return "AllReduceModel/topo=" topo "/tasks=" tasks }
+function ratio(den, num) { return (den > 0 && num > 0) ? sprintf("%.2f", num / den) : "null" }
+END {
+    printf "{\n  \"num_cpu\": %d,\n  \"go\": \"%s\",\n", num_cpu, go_ver
+    printf "  \"note\": \"emulated = the real MLP trained over the RDMA emulator (per-task gradient goodput; NIC directions serialize at the modeled wire rate so the PS incast costs 2NG while ring links overlap); model = netsim alpha-beta pricing of the same exchange, with NetReduce in-network reduction as the third ablation column\",\n"
+    printf "  \"emulated\": [\n"
+    first = 1
+    split("ps ring tree", topos, " ")
+    for (t = 1; t <= 3; t++) for (k = 2; k <= 8; k *= 2) {
+        name = emu(topos[t], k)
+        if (mbs[name] == "") continue
+        printf "%s    {\"topology\": \"%s\", \"tasks\": %d, \"mb_per_s_per_task\": %s, \"ms_per_step\": %s, \"comm_frac\": %s}",
+            (first ? "" : ",\n"), topos[t], k, mbs[name], ms[name], cf[name]
+        first = 0
+    }
+    printf "\n  ],\n"
+    printf "  \"ring_vs_ps_speedup\": {\n"
+    printf "    \"tasks_2\": %s,\n", ratio(mbs[emu("ps", 2)], mbs[emu("ring", 2)])
+    printf "    \"tasks_4\": %s,\n", ratio(mbs[emu("ps", 4)], mbs[emu("ring", 4)])
+    printf "    \"tasks_8\": %s\n",  ratio(mbs[emu("ps", 8)], mbs[emu("ring", 8)])
+    printf "  },\n"
+    printf "  \"ring_beats_ps_at_8_tasks\": %s,\n", (mbs[emu("ring", 8)] + 0 > mbs[emu("ps", 8)] + 0) ? "true" : "false"
+    printf "  \"model\": [\n"
+    first = 1
+    split("ps ring tree netreduce", mtopos, " ")
+    for (t = 1; t <= 4; t++) for (k = 2; k <= 8; k *= 2) {
+        name = mod(mtopos[t], k)
+        if (mmbs[name] == "") continue
+        printf "%s    {\"topology\": \"%s\", \"tasks\": %d, \"model_mb_per_s_per_task\": %s, \"model_step_us\": %s}",
+            (first ? "" : ",\n"), mtopos[t], k, mmbs[name], mus[name]
+        first = 0
+    }
+    printf "\n  ],\n"
+    printf "  \"model_netreduce_vs_ring_tasks_8\": %s\n", ratio(mmbs[mod("ring", 8)], mmbs[mod("netreduce", 8)])
+    printf "}\n"
+}' "$TMP/allreduce.txt" > "$OUT_AR"
+
+echo "wrote $OUT_AR" >&2

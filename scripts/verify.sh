@@ -36,6 +36,15 @@ go test -race -run '^TestWritePromGolden$|^TestPromScrapeParsesAndIsConsistent$|
 go test -race -run '^TestMetricsTraceConsistency$|^TestObsConsistencySurvivesRecovery$' ./internal/distributed/
 go test -race -run '^TestHistogramConcurrentRecord$|^TestRecorderOverflowIsVisible$' ./internal/metrics/ ./internal/trace/
 
+# Collective-plane gates: the comm package in full, topology parity (ring
+# and tree must produce the PS plane's exact bits across worker counts and
+# bucket geometries), and the ring under chaos — seeded faults retried to
+# identical bits, a mid-all-reduce crash recovered bit-identically.
+echo "== collective plane & topology parity gates (-race) =="
+go test -race ./internal/comm/
+go test -race -run '^TestTopologyParityMLP$|^TestTopologyParityWorkerSweep$|^TestSingleGradientModelTrainsAllTopologies$' ./internal/distributed/
+go test -race -run '^TestRingChaosBitIdenticalUnderFaults$|^TestRecoveryRingCrashBitIdentical$' ./internal/distributed/
+
 # Fuzz smoke: each target gets a short budget. The engine accepts one
 # -fuzz pattern per invocation, so loop explicitly.
 FUZZTIME="${FUZZTIME:-5s}"
@@ -48,5 +57,6 @@ go test -run=NONE -fuzz='^FuzzUnmarshalCoalescedSlotDesc$' -fuzztime="$FUZZTIME"
 go test -run=NONE -fuzz='^FuzzTensorMessageUnmarshal$' -fuzztime="$FUZZTIME" ./internal/wire/
 go test -run=NONE -fuzz='^FuzzDecodeBatch$' -fuzztime="$FUZZTIME" ./internal/wire/
 go test -run=NONE -fuzz='^FuzzHistogramRecord$' -fuzztime="$FUZZTIME" ./internal/metrics/
+go test -run=NONE -fuzz='^FuzzUnmarshalBucketDesc$' -fuzztime="$FUZZTIME" ./internal/comm/
 
 echo "verify: OK"
