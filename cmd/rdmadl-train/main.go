@@ -6,7 +6,8 @@
 // Usage:
 //
 //	rdmadl-train [-mechanism rdma|rdma-copy|grpc-rdma|grpc-tcp]
-//	             [-topology ps|ring|tree] [-bucket-bytes N]
+//	             [-topology ps|sharded-ps|ring|tree] [-bucket-bytes N]
+//	             [-ps-shards K] [-agg-group N]
 //	             [-workers N] [-ps N] [-iters N] [-batch N]
 //	             [-stripes N] [-coalesce BYTES]
 //	             [-heartbeat DUR] [-checkpoint-every N]
@@ -54,8 +55,10 @@ func parseKind(s string) (distributed.Kind, error) {
 
 func main() {
 	mech := flag.String("mechanism", "rdma", "rdma | rdma-copy | grpc-rdma | grpc-tcp")
-	topology := flag.String("topology", "ps", "gradient exchange: ps | ring | tree (ring/tree replicate variables on every worker and all-reduce gradients; -ps is ignored)")
+	topology := flag.String("topology", "ps", "gradient exchange: ps | sharded-ps | ring | tree (sharded-ps spreads buckets across -ps-shards shard tasks; ring/tree replicate variables on every worker and all-reduce gradients; -ps is ignored)")
 	bucketBytes := flag.Int("bucket-bytes", 0, "all-reduce gradient bucket capacity in bytes (0 = 64 KiB; gradients pack same-dtype buckets in backward-flush order)")
+	psShards := flag.Int("ps-shards", 2, "sharded-ps: shard-task count K; buckets map to shards by the deterministic least-loaded map")
+	aggGroup := flag.Int("agg-group", 0, "sharded-ps: two-level hierarchical aggregation group size (0/1 = flat; groups of N fold at a head before pushing partials to the shards)")
 	workers := flag.Int("workers", 2, "worker count")
 	psCount := flag.Int("ps", 2, "parameter-server count (ps topology only)")
 	iters := flag.Int("iters", 30, "training iterations")
@@ -86,14 +89,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rdmadl-train: -stripes %d below 1\n", *stripes)
 		os.Exit(2)
 	}
-	if err := run(kind, *topology, *bucketBytes, *workers, *psCount, *iters, *batch, *kernelWorkers, *optimizer, *dot, *tracePath,
+	if err := run(kind, *topology, *bucketBytes, *psShards, *aggGroup, *workers, *psCount, *iters, *batch, *kernelWorkers, *optimizer, *dot, *tracePath,
 		*dropRate, *chaosSeed, *stripes, *coalesce, *heartbeat, *ckptEvery, *obsAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "rdmadl-train: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind distributed.Kind, topology string, bucketBytes, workers, psCount, iters, batch, kernelWorkers int, optimizer, dotPath, tracePath string,
+func run(kind distributed.Kind, topology string, bucketBytes, psShards, aggGroup, workers, psCount, iters, batch, kernelWorkers int, optimizer, dotPath, tracePath string,
 	dropRate float64, chaosSeed int64, stripes, coalesce int, heartbeat time.Duration, ckptEvery int, obsAddr string) error {
 	var rec *trace.Recorder
 	if tracePath != "" {
@@ -104,6 +107,7 @@ func run(kind distributed.Kind, topology string, bucketBytes, workers, psCount, 
 		In: 32, Hidden: 64, Classes: 8, LR: 0.2,
 		Optimizer: optimizer,
 		Topology:  topology, BucketBytes: bucketBytes,
+		PSShards: psShards, AggGroup: aggGroup,
 	}, 1)
 	if err != nil {
 		return err
@@ -173,6 +177,18 @@ func run(kind distributed.Kind, topology string, bucketBytes, workers, psCount, 
 	if job.Topology == comm.TopologyPS {
 		fmt.Printf("mechanism=%s topology=%s workers=%d ps=%d batch=%d optimizer=%s stripes=%d coalesce=%dB\n",
 			kind, job.Topology, workers, psCount, batch, optimizer, stripes, coalesce)
+	} else if job.Topology == comm.TopologyShardedPS {
+		fmt.Printf("mechanism=%s topology=%s workers=%d shards=%d agg-group=%d batch=%d optimizer=%s stripes=%d coalesce=%dB (-ps ignored: one task per shard)\n",
+			kind, job.Topology, workers, job.ShardMap.Shards, aggGroup, batch, optimizer, stripes, coalesce)
+		fmt.Printf("bucket -> shard map (capacity %dB, least-loaded):\n", bucketCap(bucketBytes))
+		for _, b := range job.Buckets {
+			names := make([]string, len(b.Members))
+			for i, m := range b.Members {
+				names[i] = m.Name
+			}
+			fmt.Printf("  bucket %d -> ps%d: %6dB %s %v\n",
+				b.Index, job.ShardMap.Assign[b.Index], b.ByteSize(), b.DType, names)
+		}
 	} else {
 		fmt.Printf("mechanism=%s topology=%s workers=%d batch=%d optimizer=%s stripes=%d coalesce=%dB (-ps ignored: variables replicate on every worker)\n",
 			kind, job.Topology, workers, batch, optimizer, stripes, coalesce)

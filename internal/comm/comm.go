@@ -9,11 +9,16 @@
 // striping, coalescing, crash recovery, and the step profiler therefore
 // all apply to collectives with no new transport code.
 //
-// Three planes exist:
+// Four planes exist:
 //
 //   - PS: the parameter-server push/pull the repo trained with since PR 1,
 //     refactored behind the Plane interface (gradient left-fold on the
 //     variable's task, optimizer applied there, weights pulled back).
+//   - Sharded PS: the PS plane with gradient buckets partitioned across K
+//     PS shard tasks via a serialized bucket->shard map, optionally with
+//     two-level hierarchical aggregation (workers reduce to a local
+//     aggregator, aggregators chain to the shard), so no single task's
+//     ingress carries N*G bytes.
 //   - Ring: a bucketed, segmented all-reduce for bandwidth-bound tensors.
 //     Each link carries ~2x the gradient bytes per step regardless of the
 //     worker count, so per-task throughput does not degrade with scale the
@@ -45,6 +50,10 @@ const (
 	TopologyRing
 	// TopologyTree is the binary-tree all-reduce plane for small tensors.
 	TopologyTree
+	// TopologyShardedPS is the parameter-server plane with gradient
+	// buckets partitioned across K PS shard tasks, optionally with
+	// two-level hierarchical aggregation.
+	TopologyShardedPS
 )
 
 // ParseTopology maps a flag string to a Topology. The empty string means
@@ -57,8 +66,10 @@ func ParseTopology(s string) (Topology, error) {
 		return TopologyRing, nil
 	case "tree":
 		return TopologyTree, nil
+	case "sharded-ps":
+		return TopologyShardedPS, nil
 	default:
-		return TopologyPS, fmt.Errorf("%w: unknown topology %q (want ps|ring|tree)", ErrPlane, s)
+		return TopologyPS, fmt.Errorf("%w: unknown topology %q (want ps|sharded-ps|ring|tree)", ErrPlane, s)
 	}
 }
 
@@ -70,6 +81,8 @@ func (t Topology) String() string {
 		return "ring"
 	case TopologyTree:
 		return "tree"
+	case TopologyShardedPS:
+		return "sharded-ps"
 	default:
 		return fmt.Sprintf("topology(%d)", int(t))
 	}

@@ -14,6 +14,16 @@ type Options struct {
 	// Segments is the ring's per-bucket segment count (<=0 selects one
 	// segment per worker, clamped to the bucket's element count).
 	Segments int
+	// Shards is the sharded-PS plane's shard count (<=0 selects one
+	// shard, i.e. plain PS placement of every bucket on one task).
+	Shards int
+	// AggGroup enables the sharded-PS plane's two-level hierarchical
+	// aggregation: workers are grouped into contiguous rank blocks of
+	// this size, each block left-folds on its first member (the local
+	// aggregator), and the running prefix chains aggregator to
+	// aggregator — the identical binary-add sequence to the flat fold.
+	// <=1 disables the hierarchy (all adds placed on the shard task).
+	AggGroup int
 }
 
 // VarSet is one logical trainable variable as a plane sees it: its
@@ -59,6 +69,8 @@ func NewPlane(t Topology) (Plane, error) {
 		return ringPlane{}, nil
 	case TopologyTree:
 		return treePlane{}, nil
+	case TopologyShardedPS:
+		return shardedPlane{}, nil
 	default:
 		return nil, fmt.Errorf("%w: no plane for topology %d", ErrPlane, int(t))
 	}

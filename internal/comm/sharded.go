@@ -1,0 +1,186 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// shardedPlane is the parameter-server plane with gradient buckets
+// partitioned across K PS shard tasks. Workers pack each bucket exactly as
+// the ring/tree planes do; the packed buckets flow to their shard (the
+// partitioner inserts the send/recv pairs), are left-folded there in
+// worker rank order, and the optimizer applies to the shared replicas in
+// place. Downstream reads of the variables on worker tasks become the
+// weight pull, exactly as with plain PS — but each shard's ingress is only
+// its buckets' share of the gradient bytes, so no single task eats the
+// N*G incast.
+//
+// With Options.AggGroup > 1 the fold runs hierarchically: workers are
+// grouped into contiguous rank blocks, each block left-folds its packs on
+// its first member (the local aggregator), and the running prefix chains
+// aggregator to aggregator before the bucket total lands on the shard.
+// The chained prefix performs the *identical* binary-add sequence as the
+// flat fold — aggregator j receives ((g0+..)+g_{lo-1}) and continues
+// Add(prefix, g_lo), Add(.., g_lo+1), ... — so the hierarchy changes only
+// where the adds execute, never their operand order, and bit-parity with
+// ps/ring/tree holds (DESIGN.md §14).
+//
+// Bit-parity with the per-variable PS fold follows from pack linearity:
+// a pack is a concatenation, elementwise add distributes over
+// concatenation, so unpacking the folded bucket yields each member's
+// ((g0+g1)+g2)+... exactly.
+type shardedPlane struct{}
+
+func (shardedPlane) Topology() Topology { return TopologyShardedPS }
+
+func (shardedPlane) WireUpdates(b *graph.Builder, job *Job, opts Options) error {
+	if job == nil || job.Apply == nil || len(job.Workers) < 1 {
+		return fmt.Errorf("%w: job needs workers and an apply function", ErrPlane)
+	}
+	if len(job.Vars) == 0 {
+		return fmt.Errorf("%w: job has no variables", ErrPlane)
+	}
+	byName := make(map[string]*VarSet, len(job.Vars))
+	for _, vs := range job.Vars {
+		if len(vs.Replicas) != 1 {
+			return fmt.Errorf("%w: sharded-PS var %q wants exactly one shared replica, has %d",
+				ErrPlane, vs.Name, len(vs.Replicas))
+		}
+		if len(vs.Grads) != len(job.Workers) {
+			return fmt.Errorf("%w: var %q has %d gradients for %d workers",
+				ErrPlane, vs.Name, len(vs.Grads), len(job.Workers))
+		}
+		byName[vs.Name] = vs
+	}
+	buckets, err := BucketsForJob(job, opts)
+	if err != nil {
+		return err
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	built, err := BuildShardMap(buckets, shards)
+	if err != nil {
+		return err
+	}
+	// Round-trip the map through its wire form: the serialized descriptor
+	// is the production artifact (what FuzzUnmarshalShardMap hammers), so
+	// the wiring below consumes only validated, decoded bytes.
+	sm, err := UnmarshalShardMap(built.Marshal())
+	if err != nil {
+		return err
+	}
+	if err := sm.Validate(buckets); err != nil {
+		return err
+	}
+	// Resolve each shard's task from the replica placements and insist
+	// they are consistent: every variable of a bucket must live on the
+	// bucket's shard task, and two shards must not collapse onto one task.
+	shardTask := make([]string, sm.Shards)
+	taskShard := make(map[string]int, sm.Shards)
+	for bi := range buckets {
+		s := sm.Assign[bi]
+		for _, m := range buckets[bi].Members {
+			vs := byName[m.Name]
+			task := vs.Replicas[0].Task()
+			switch {
+			case shardTask[s] == "":
+				if owner, ok := taskShard[task]; ok && owner != s {
+					return fmt.Errorf("%w: task %q hosts shards %d and %d", ErrPlane, task, owner, s)
+				}
+				shardTask[s] = task
+				taskShard[task] = s
+			case shardTask[s] != task:
+				return fmt.Errorf("%w: var %q placed on %q, but its bucket %d maps to shard %d on %q",
+					ErrPlane, m.Name, task, bi, s, shardTask[s])
+			}
+		}
+	}
+	n := len(job.Workers)
+	for bi := range buckets {
+		bk := &buckets[bi]
+		desc := bk.Desc(1)
+		descBytes := desc.Marshal()
+		packs := make([]*graph.Node, n)
+		for w := 0; w < n; w++ {
+			grads, err := memberGrads(job, bk, w)
+			if err != nil {
+				return err
+			}
+			op, err := PackFromDesc(descBytes)
+			if err != nil {
+				return err
+			}
+			b.OnTask(job.Workers[w])
+			packs[w] = b.AddNode(fmt.Sprintf("ar.p/b%d/w%d", bk.Index, w), op, grads...)
+		}
+		total := foldPacks(b, job, bk, packs, shardTask[sm.Assign[bi]], opts.AggGroup)
+		if err := unpackAndApplyShared(b, job, bk, descBytes, shardTask[sm.Assign[bi]], total); err != nil {
+			return err
+		}
+	}
+	return b.Err()
+}
+
+// foldPacks realizes the left fold ((p0+p1)+p2)+... over the workers'
+// packed buckets. With aggGroup <= 1 every add is placed on the shard
+// task (flat incast of K-th of the gradient bytes per shard). With
+// aggGroup > 1 the adds run on per-group aggregators — the first worker
+// of each contiguous rank block — and the running prefix chains from
+// aggregator to aggregator. Both placements execute the identical add
+// sequence, so the results are bit-identical; only the edge pattern (and
+// therefore each task's ingress) differs.
+func foldPacks(b *graph.Builder, job *Job, bk *Bucket, packs []*graph.Node, shardTask string, aggGroup int) *graph.Node {
+	n := len(packs)
+	if aggGroup <= 1 {
+		b.OnTask(shardTask)
+		prefix := packs[0]
+		for i := 1; i < n; i++ {
+			prefix = b.Add(fmt.Sprintf("ar.r/b%d/a%d", bk.Index, i), prefix, packs[i])
+		}
+		return prefix
+	}
+	var prefix *graph.Node
+	for lo := 0; lo < n; lo += aggGroup {
+		hi := lo + aggGroup
+		if hi > n {
+			hi = n
+		}
+		b.OnTask(job.Workers[lo])
+		i := lo
+		if prefix == nil {
+			prefix = packs[lo]
+			i = lo + 1
+		}
+		for ; i < hi; i++ {
+			prefix = b.Add(fmt.Sprintf("ar.r/b%d/a%d", bk.Index, i), prefix, packs[i])
+		}
+	}
+	return prefix
+}
+
+// unpackAndApplyShared is unpackAndApply's shared-replica twin: the
+// reduced bucket is sliced on the shard task and the optimizer applies to
+// the single shared replica there (worker -1, like the PS plane).
+func unpackAndApplyShared(b *graph.Builder, job *Job, bk *Bucket, descBytes []byte, shardTask string, whole *graph.Node) error {
+	byName := make(map[string]*VarSet, len(job.Vars))
+	for _, vs := range job.Vars {
+		byName[vs.Name] = vs
+	}
+	b.OnTask(shardTask)
+	for i, m := range bk.Members {
+		vs, ok := byName[m.Name]
+		if !ok {
+			return fmt.Errorf("%w: bucket member %q has no variable set", ErrPlane, m.Name)
+		}
+		op, err := UnpackFromDesc(descBytes, i)
+		if err != nil {
+			return err
+		}
+		g := b.AddNode(fmt.Sprintf("ar.u/b%d/m%d", bk.Index, i), op, whole)
+		job.Apply(b, -1, vs.Replicas[0], g)
+	}
+	return b.Err()
+}

@@ -1,0 +1,155 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ShardMap assigns every gradient bucket to one of K PS shard tasks. Like
+// BucketDesc it is a versioned wire descriptor: every task derives its
+// collective wiring from the *unmarshaled* bytes, so all tasks provably
+// agree on the same placement and a corrupted or adversarial map is
+// rejected at construction time. The format is little-endian:
+//
+//	u32 magic "ARSM"  u16 version
+//	u16 shards  u16 buckets
+//	per bucket: u16 shard, u32 payload bytes
+//
+// The recorded payload bytes let consumers cross-check the map against
+// their local bucket layout (a map built for a different layout fails
+// loudly instead of scattering gradients to the wrong tasks).
+type ShardMap struct {
+	Shards int
+	Assign []int // bucket index -> shard index
+	Bytes  []int // bucket index -> payload bytes at build time
+}
+
+const (
+	shardMapMagic   = uint32(0x4152534D) // "ARSM"
+	shardMapVersion = uint16(1)
+
+	maxShardMapShards  = 1 << 10
+	maxShardMapBuckets = 1 << 16
+	maxShardMapBytes   = 1 << 31
+)
+
+// BuildShardMap assigns buckets to shards with a deterministic greedy
+// least-loaded-by-bytes policy: buckets are processed in index order and
+// each goes to the shard with the fewest assigned payload bytes so far
+// (ties break toward the lowest shard index). Every task runs the same
+// deterministic function over the same bucket layout, so the placement
+// needs no coordination.
+func BuildShardMap(buckets []Bucket, shards int) (*ShardMap, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("%w: shard map needs at least one shard, got %d", ErrPlane, shards)
+	}
+	if shards > maxShardMapShards {
+		return nil, fmt.Errorf("%w: shard count %d out of range", ErrPlane, shards)
+	}
+	if len(buckets) == 0 {
+		return nil, fmt.Errorf("%w: shard map needs at least one bucket", ErrPlane)
+	}
+	if len(buckets) > maxShardMapBuckets {
+		return nil, fmt.Errorf("%w: bucket count %d out of range", ErrPlane, len(buckets))
+	}
+	sm := &ShardMap{
+		Shards: shards,
+		Assign: make([]int, len(buckets)),
+		Bytes:  make([]int, len(buckets)),
+	}
+	load := make([]int64, shards)
+	for i := range buckets {
+		size := buckets[i].ByteSize()
+		if size < 1 || size >= maxShardMapBytes {
+			return nil, fmt.Errorf("%w: bucket %d payload %d bytes out of range", ErrPlane, i, size)
+		}
+		best := 0
+		for s := 1; s < shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		sm.Assign[i] = best
+		sm.Bytes[i] = size
+		load[best] += int64(size)
+	}
+	return sm, nil
+}
+
+// Marshal encodes the map.
+func (sm *ShardMap) Marshal() []byte {
+	buf := make([]byte, 0, 10+len(sm.Assign)*6)
+	buf = binary.LittleEndian.AppendUint32(buf, shardMapMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, shardMapVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(sm.Shards))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(sm.Assign)))
+	for i, s := range sm.Assign {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(s))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(sm.Bytes[i]))
+	}
+	return buf
+}
+
+// UnmarshalShardMap decodes and validates a shard map. The structural
+// invariants the sharded plane relies on are checked here: bounded shard
+// and bucket counts, every assignment inside [0, shards), and a non-empty
+// recorded payload per bucket — so the plane never indexes a shard that
+// does not exist.
+func UnmarshalShardMap(buf []byte) (*ShardMap, error) {
+	r := &descReader{buf: buf}
+	if magic := r.u32(); r.err == nil && magic != shardMapMagic {
+		return nil, fmt.Errorf("%w: bad shard map magic %#x", ErrPlane, magic)
+	}
+	if v := r.u16(); r.err == nil && v != shardMapVersion {
+		return nil, fmt.Errorf("%w: shard map version %d (want %d)", ErrPlane, v, shardMapVersion)
+	}
+	sm := &ShardMap{}
+	sm.Shards = int(r.u16())
+	buckets := int(r.u16())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if sm.Shards < 1 || sm.Shards > maxShardMapShards {
+		return nil, fmt.Errorf("%w: shard map shard count %d out of range", ErrPlane, sm.Shards)
+	}
+	if buckets < 1 || buckets > maxShardMapBuckets {
+		return nil, fmt.Errorf("%w: shard map bucket count %d out of range", ErrPlane, buckets)
+	}
+	sm.Assign = make([]int, buckets)
+	sm.Bytes = make([]int, buckets)
+	for i := 0; i < buckets; i++ {
+		shard := int(r.u16())
+		size := int(r.u32())
+		if r.err != nil {
+			return nil, r.err
+		}
+		if shard >= sm.Shards {
+			return nil, fmt.Errorf("%w: bucket %d assigned to shard %d of %d", ErrPlane, i, shard, sm.Shards)
+		}
+		if size < 1 {
+			return nil, fmt.Errorf("%w: bucket %d records %d payload bytes", ErrPlane, i, size)
+		}
+		sm.Assign[i] = shard
+		sm.Bytes[i] = size
+	}
+	if r.off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after shard map", ErrPlane, len(buf)-r.off)
+	}
+	return sm, nil
+}
+
+// Validate cross-checks the map against a bucket layout: same bucket
+// count, and each bucket's payload matching the recorded size.
+func (sm *ShardMap) Validate(buckets []Bucket) error {
+	if len(sm.Assign) != len(buckets) {
+		return fmt.Errorf("%w: shard map covers %d buckets, layout has %d",
+			ErrPlane, len(sm.Assign), len(buckets))
+	}
+	for i := range buckets {
+		if got := buckets[i].ByteSize(); got != sm.Bytes[i] {
+			return fmt.Errorf("%w: shard map bucket %d records %d bytes, layout has %d",
+				ErrPlane, i, sm.Bytes[i], got)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// TestBuildShardMapLeastLoaded pins the deterministic placement policy:
+// buckets in index order, each to the byte-least-loaded shard, ties to the
+// lowest index.
+func TestBuildShardMapLeastLoaded(t *testing.T) {
+	buckets := []Bucket{
+		{Index: 0, DType: tensor.Float32, Elems: 100}, // 400 B -> shard 0
+		{Index: 1, DType: tensor.Float32, Elems: 10},  // 40 B  -> shard 1
+		{Index: 2, DType: tensor.Float32, Elems: 10},  // 40 B  -> shard 1 (80 < 400)
+		{Index: 3, DType: tensor.Float32, Elems: 50},  // 200 B -> shard 1 (280 < 400)
+		{Index: 4, DType: tensor.Float32, Elems: 1},   // 4 B   -> shard 1 (280 < 400)
+	}
+	sm, err := BuildShardMap(buckets, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 1, 1, 1}
+	if !reflect.DeepEqual(sm.Assign, want) {
+		t.Fatalf("assign = %v, want %v", sm.Assign, want)
+	}
+	// More shards than buckets: each bucket gets its own shard, the rest
+	// stay empty, and nothing explodes.
+	sm, err = BuildShardMap(buckets[:2], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Assign[0] != 0 || sm.Assign[1] != 1 {
+		t.Fatalf("sparse assign = %v", sm.Assign)
+	}
+	if _, err := BuildShardMap(buckets, 0); err == nil {
+		t.Fatal("accepted zero shards")
+	}
+	if _, err := BuildShardMap(nil, 2); err == nil {
+		t.Fatal("accepted empty bucket layout")
+	}
+}
+
+func TestShardMapRoundTrip(t *testing.T) {
+	buckets := []Bucket{
+		{Index: 0, DType: tensor.Float32, Elems: 7},
+		{Index: 1, DType: tensor.Float32, Elems: 31},
+		{Index: 2, DType: tensor.Float32, Elems: 5},
+	}
+	sm, err := BuildShardMap(buckets, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalShardMap(sm.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sm, got) {
+		t.Fatalf("round trip changed map: %+v vs %+v", sm, got)
+	}
+	if err := got.Validate(buckets); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(buckets[:2]); err == nil {
+		t.Fatal("validated against a shorter layout")
+	}
+	buckets[1].Elems++
+	if err := got.Validate(buckets); err == nil {
+		t.Fatal("validated against changed bucket bytes")
+	}
+}
+
+func TestUnmarshalShardMapRejectsCorruption(t *testing.T) {
+	sm := &ShardMap{Shards: 2, Assign: []int{0, 1}, Bytes: []int{16, 32}}
+	good := sm.Marshal()
+	if _, err := UnmarshalShardMap(good); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": good[:len(good)-3],
+		"trailing":  append(append([]byte{}, good...), 0),
+	}
+	badMagic := append([]byte{}, good...)
+	badMagic[0] ^= 0xff
+	cases["magic"] = badMagic
+	badVer := append([]byte{}, good...)
+	binary.LittleEndian.PutUint16(badVer[4:], 9)
+	cases["version"] = badVer
+	zeroShards := append([]byte{}, good...)
+	binary.LittleEndian.PutUint16(zeroShards[6:], 0)
+	cases["zero shards"] = zeroShards
+	assignOOR := append([]byte{}, good...)
+	binary.LittleEndian.PutUint16(assignOOR[10:], 7) // bucket 0 -> shard 7 of 2
+	cases["assignment out of range"] = assignOOR
+	zeroBytes := append([]byte{}, good...)
+	binary.LittleEndian.PutUint32(zeroBytes[12:], 0) // bucket 0 records 0 bytes
+	cases["zero payload"] = zeroBytes
+	for name, buf := range cases {
+		if _, err := UnmarshalShardMap(buf); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+}
+
+// buildSharedJob wires a synthetic sharded-PS job: one shared replica per
+// logical var, placed on the ps task its bucket maps to (computed with the
+// same deterministic layout the plane derives).
+func buildSharedJob(t *testing.T, workers int, opts Options, dims ...int) (*graph.Builder, *Job) {
+	t.Helper()
+	specs := make([]GradSpec, len(dims))
+	for i, d := range dims {
+		specs[i] = GradSpec{Name: fmt.Sprintf("v%d", i), Sig: f32(d)}
+	}
+	buckets, err := BuildBuckets(specs, opts.BucketBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	sm, err := BuildShardMap(buckets, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardOf := map[string]int{}
+	for bi := range buckets {
+		for _, m := range buckets[bi].Members {
+			shardOf[m.Name] = sm.Assign[bi]
+		}
+	}
+	b := graph.NewBuilder()
+	job := &Job{
+		Apply: func(b *graph.Builder, worker int, v, g *graph.Node) *graph.Node {
+			return b.ApplySGD("apply_"+v.Name(), v, g, 0.1)
+		},
+	}
+	for w := 0; w < workers; w++ {
+		job.Workers = append(job.Workers, fmt.Sprintf("worker%d", w))
+	}
+	for vi, d := range dims {
+		name := fmt.Sprintf("v%d", vi)
+		vs := &VarSet{Name: name}
+		b.OnTask(fmt.Sprintf("ps%d", shardOf[name]))
+		vs.Replicas = []*graph.Node{b.Variable(name, f32(d))}
+		for w := 0; w < workers; w++ {
+			b.OnTask(job.Workers[w])
+			vs.Grads = append(vs.Grads, b.Placeholder(fmt.Sprintf("g%d/w%d", vi, w), f32(d)))
+		}
+		job.Vars = append(job.Vars, vs)
+	}
+	return b, job
+}
+
+func TestShardedPlaneWiresValidGraph(t *testing.T) {
+	// Two single-var buckets (capacity 64 B, vars 40 B and 28 B) across
+	// two shards: flat fold adds on the shard tasks.
+	opts := Options{BucketBytes: 64, Shards: 2}
+	b, job := buildSharedJob(t, 3, opts, 10, 7)
+	plane, err := NewPlane(TopologyShardedPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plane.WireUpdates(b, job, opts); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, n := range g.Nodes() {
+		if ph := CoalescePhase(n.Name()); ph != "" {
+			counts[ph]++
+		}
+		// Flat mode: every fold add and every unpack sits on a ps task.
+		if strings.HasPrefix(n.Name(), "ar.r/") || strings.HasPrefix(n.Name(), "ar.u/") {
+			if !strings.HasPrefix(n.Task(), "ps") {
+				t.Fatalf("%s placed on %s, want a shard task", n.Name(), n.Task())
+			}
+		}
+	}
+	// 2 buckets x 3 workers packs; 2 adds per bucket; 1 unpack per bucket
+	// (single-member buckets).
+	if counts["ar.p"] != 6 || counts["ar.r"] != 4 || counts["ar.u"] != 2 {
+		t.Fatalf("phase counts %v", counts)
+	}
+	for _, vs := range job.Vars {
+		n, err := g.Node("apply_" + vs.Name)
+		if err != nil {
+			t.Fatalf("missing apply for %s: %v", vs.Name, err)
+		}
+		if n.Task() != vs.Replicas[0].Task() {
+			t.Fatalf("apply_%s on %s, variable on %s", vs.Name, n.Task(), vs.Replicas[0].Task())
+		}
+	}
+}
+
+func TestShardedPlaneHierarchicalPlacesAggregators(t *testing.T) {
+	// 4 workers, aggregator groups of 2: the fold adds must sit on the
+	// group heads (worker0, worker2), never on the shard.
+	opts := Options{BucketBytes: 1 << 20, Shards: 1, AggGroup: 2}
+	b, job := buildSharedJob(t, 4, opts, 10, 7)
+	plane, err := NewPlane(TopologyShardedPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plane.WireUpdates(b, job, opts); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addTasks := map[string]int{}
+	for _, n := range g.Nodes() {
+		if strings.HasPrefix(n.Name(), "ar.r/") {
+			addTasks[n.Task()]++
+		}
+	}
+	// One bucket, fold ((p0+p1)+p2)+p3: adds a1 on worker0, a2 and a3 on
+	// worker2.
+	if addTasks["worker0"] != 1 || addTasks["worker2"] != 2 || len(addTasks) != 2 {
+		t.Fatalf("aggregator add placement %v", addTasks)
+	}
+}
+
+func TestShardedPlaneValidation(t *testing.T) {
+	// A replicated (per-worker) var set must be rejected: sharded-PS wants
+	// exactly one shared replica.
+	b, job := buildFakeJob(t, 2, 8)
+	plane, err := NewPlane(TopologyShardedPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plane.WireUpdates(b, job, Options{Shards: 2}); err == nil {
+		t.Fatal("accepted per-worker replicas")
+	}
+
+	// Variables of one bucket split across two tasks must be rejected:
+	// the job was placed for two single-var buckets, but wiring with a
+	// capacity that merges them puts one bucket's members on ps0 AND ps1.
+	placed := Options{BucketBytes: 64, Shards: 2}
+	b2, job2 := buildSharedJob(t, 2, placed, 10, 7)
+	if err := plane.WireUpdates(b2, job2, Options{BucketBytes: 1 << 20, Shards: 2}); err == nil {
+		t.Fatal("accepted one bucket's variables on two tasks")
+	}
+
+	// Two shards collapsing onto one task must be rejected: the job was
+	// placed for a single shard (everything on ps0), but wiring asks for
+	// two.
+	single := Options{BucketBytes: 64, Shards: 1}
+	b3, job3 := buildSharedJob(t, 2, single, 10, 7)
+	if err := plane.WireUpdates(b3, job3, Options{BucketBytes: 64, Shards: 2}); err == nil {
+		t.Fatal("accepted two shards hosted by one task")
+	}
+}
+
+// FuzzUnmarshalShardMap: arbitrary bytes must either be rejected or
+// produce a map whose re-marshal round-trips bit-for-bit.
+func FuzzUnmarshalShardMap(f *testing.F) {
+	sm := &ShardMap{Shards: 3, Assign: []int{0, 2, 1, 0}, Bytes: []int{4, 400, 44, 4000}}
+	f.Add(sm.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0x4D, 0x53, 0x52, 0x41})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalShardMap(data)
+		if err != nil {
+			return
+		}
+		re, err := UnmarshalShardMap(got.Marshal())
+		if err != nil {
+			t.Fatalf("accepted shard map does not round-trip: %v", err)
+		}
+		if !reflect.DeepEqual(got, re) {
+			t.Fatalf("round trip changed map: %+v vs %+v", got, re)
+		}
+	})
+}

@@ -58,7 +58,7 @@ func runMLPTopology(t testing.TB, mcfg MLPConfig, cfg Config, steps int) ([]floa
 	vars := make(map[string][][]float32)
 	for _, name := range mlpLogicalVars {
 		replicas := 1
-		if job.Topology != comm.TopologyPS {
+		if job.Topology != comm.TopologyPS && job.Topology != comm.TopologyShardedPS {
 			replicas = mcfg.Workers
 		}
 		for w := 0; w < replicas; w++ {
@@ -209,7 +209,7 @@ func TestSingleGradientModelTrainsAllTopologies(t *testing.T) {
 		want[i] = -float32(steps) * sum
 	}
 
-	for _, topo := range []comm.Topology{comm.TopologyPS, comm.TopologyRing, comm.TopologyTree} {
+	for _, topo := range []comm.Topology{comm.TopologyPS, comm.TopologyShardedPS, comm.TopologyRing, comm.TopologyTree} {
 		b := graph.NewBuilder()
 		job := &comm.Job{
 			Apply: func(b *graph.Builder, worker int, v, g *graph.Node) *graph.Node {
@@ -220,13 +220,14 @@ func TestSingleGradientModelTrainsAllTopologies(t *testing.T) {
 		for w := 0; w < workers; w++ {
 			job.Workers = append(job.Workers, fmt.Sprintf("worker%d", w))
 		}
-		if topo == comm.TopologyPS {
+		shared := topo == comm.TopologyPS || topo == comm.TopologyShardedPS
+		if shared {
 			b.OnTask("ps0")
 			vs.Replicas = []*graph.Node{b.Variable("v", graph.Static(tensor.Float32, elems))}
 		}
 		for w := 0; w < workers; w++ {
 			b.OnTask(job.Workers[w])
-			if topo != comm.TopologyPS {
+			if !shared {
 				vs.Replicas = append(vs.Replicas,
 					b.Variable(fmt.Sprintf("v/w%d", w), graph.Static(tensor.Float32, elems)))
 			}

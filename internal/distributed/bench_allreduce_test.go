@@ -114,6 +114,97 @@ func BenchmarkAllReduceTopology(b *testing.B) {
 	}
 }
 
+// BenchmarkScale is the BENCH_scale.json story: per-task gradient goodput
+// for the single PS, the K=2 sharded PS, and the ring at 4 and 8 tasks,
+// under the same nicTimeline contention model as the topology ablation. The
+// claim under test: at 8 tasks the single PS NIC serializes 2·N·G bytes and
+// per-task goodput collapses, while splitting the buckets across two shard
+// NICs recovers roughly half the incast — bit-identical parameters on the
+// same seed (the parity suite pins that) at materially higher goodput.
+//
+// Shard placement is bucket-granular and a variable never splits across
+// buckets, so the model is a symmetric MLP (in == classes) whose two weight
+// matrices carry equal gradient mass: the greedy least-loaded shard map
+// puts them on different shard tasks and the incast genuinely halves. A
+// model dominated by one giant tensor would pin its whole bucket to one
+// shard and cap the win at that bucket's share.
+func BenchmarkScale(b *testing.B) {
+	const in, hidden, classes, batch = 256, 512, 256, 8
+	gradBytes := int64(in*hidden+hidden+hidden*classes+classes) * 4
+	for _, topo := range []string{"ps", "sharded-ps", "ring"} {
+		for _, tasks := range []int{4, 8} {
+			b.Run(fmt.Sprintf("topo=%s/tasks=%d", topo, tasks), func(b *testing.B) {
+				mcfg := MLPConfig{Workers: tasks, PSCount: 1, Batch: batch,
+					In: in, Hidden: hidden, Classes: classes, LR: 0.05, Topology: topo}
+				if topo == "sharded-ps" {
+					mcfg.PSShards = 2
+				}
+				job, err := BuildMLPTraining(mcfg, 99)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl, err := Launch(job.Builder, Config{
+					Kind:        RDMA,
+					ArenaBytes:  64 << 20,
+					PollTimeout: 60 * time.Second,
+					Transfer:    rdma.TransferOpts{Deadline: 60 * time.Second},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cl.Close()
+				if err := job.InitAll(cl); err != nil {
+					b.Fatal(err)
+				}
+				cl.Fabric().SetHooks(rdma.Hooks{PathDelay: newNICTimeline().delay})
+				feeds := job.SyntheticDataset(7)
+				fetches := make(map[string][]string)
+				for k, task := range job.WorkerTasks {
+					fetches[task] = []string{job.LossName(k)}
+				}
+				if _, err := cl.Step(0, feeds, fetches); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					if _, err := cl.Step(i+1, feeds, fetches); err != nil {
+						b.Fatal(err)
+					}
+				}
+				elapsed := time.Since(start)
+				b.StopTimer()
+				stepSec := elapsed.Seconds() / float64(b.N)
+				b.ReportMetric(float64(gradBytes)/1e6/stepSec, "MB/s/task")
+				b.ReportMetric(stepSec*1e3, "ms/step")
+				b.ReportMetric(commShare(cl.StepSummaries(), job.WorkerTasks), "comm_frac")
+				b.ReportMetric(commPollShare(cl.StepSummaries(), job.WorkerTasks), "commpoll_frac")
+			})
+		}
+	}
+}
+
+// commPollShare widens commShare to the full communication-bound worker
+// share: communication-occupied time plus poll-wait time (workers spinning
+// on not-yet-landed receive flags) over total accounted worker time. The
+// batched completion scan shows up here — fewer lock round-trips per ready
+// flag means less of the step is poll-bound.
+func commPollShare(sums map[string]metrics.StepSummary, workerTasks []string) float64 {
+	var bound, wall time.Duration
+	for _, task := range workerTasks {
+		s, ok := sums[task]
+		if !ok || s.Steps == 0 {
+			continue
+		}
+		bound += s.Totals.Comm + s.Totals.PollWait
+		wall += s.Totals.Wall * time.Duration(s.Totals.Workers)
+	}
+	if wall <= 0 {
+		return 0
+	}
+	return float64(bound) / float64(wall)
+}
+
 // commShare is the PR-5 profiler's communication fraction across the
 // worker tasks: communication-occupied worker time (sync kernels + async
 // dispatch) over total accounted worker time.

@@ -255,12 +255,13 @@ func (mb *mailbox) takeStash() (mailboxItem, bool) {
 	return item, ok
 }
 
-// xferOpts returns the server's transfer bounds with the retry and per-lane
-// stripe counters wired into the metrics sink.
+// xferOpts returns the server's transfer bounds with the retry, per-lane
+// stripe, and doorbell-flush counters wired into the metrics sink.
 func (e *Env) xferOpts() rdma.TransferOpts {
 	o := e.Xfer
 	o.OnRetry = func(error) { e.Metrics.AddRetry() }
 	o.OnStripe = func(lane, n int) { e.Metrics.AddStripe(lane, n) }
+	o.OnDoorbell = func(lane, chunks int) { e.Metrics.AddDoorbellFlush() }
 	return o
 }
 

@@ -58,16 +58,18 @@ func (op *rdmaSendOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 		return
 	}
 	// Zero-copy when the input already lives in the staging slot (the
-	// analyzer arranged the allocation site); otherwise copy first — the
-	// RDMA.cp path. The copy-then-write sequence holds the slot's send
-	// lock until the write completes so sibling edges sharing the staging
-	// cannot clobber bytes mid-flight.
+	// analyzer arranged the allocation site); otherwise the RDMA.cp path,
+	// pipelined: SendRetryFrom stages the payload lane by lane, so early
+	// lanes' writes are in flight while later lanes are still being copied.
+	// The slot's send lock is held until the write completes so sibling
+	// edges sharing the staging cannot clobber bytes mid-flight.
 	complete := done
+	var payload []byte
 	if &in.Bytes()[0] == &st.slot.tensor.Bytes()[0] {
 		env.Metrics.AddZeroCopy()
 	} else {
 		st.slot.sendMu.Lock()
-		copy(st.sender.Buffer(), in.Bytes())
+		payload = in.Bytes()
 		env.Metrics.AddCopy(in.ByteSize())
 		complete = func(err error) {
 			st.slot.sendMu.Unlock()
@@ -88,7 +90,13 @@ func (op *rdmaSendOp) ComputeAsync(ctx *graph.Context, done func(error)) {
 	opts := env.xferOptsFor(op.spec.Key)
 	opts.Canceled = ctx.Canceled
 	go func() {
-		complete(env.edgeErr(op.spec.Key, st.sender.SendRetry(opts)))
+		var err error
+		if payload != nil {
+			err = st.sender.SendRetryFrom(payload, opts)
+		} else {
+			err = st.sender.SendRetry(opts)
+		}
+		complete(env.edgeErr(op.spec.Key, err))
 	}()
 }
 

@@ -15,13 +15,18 @@ import (
 //   - "ps" (default): the paper's Figure-3 layout — shared variables live
 //     on the PS tasks round-robin, workers push gradients, the PS sums
 //     them and applies the optimizer, workers pull weights back.
+//   - "sharded-ps": the PS layout with gradient buckets partitioned
+//     across PSShards shard tasks by the deterministic bucket->shard map
+//     (comm.BuildShardMap); each variable lives on its bucket's shard,
+//     workers push packed buckets, each shard folds and applies only its
+//     partition. AggGroup > 1 adds two-level hierarchical aggregation.
 //   - "ring"/"tree": pure data-parallel all-reduce — every worker holds a
 //     replica of each variable (identically initialized), gradients are
 //     bucketed and all-reduced over the selected collective, and every
 //     worker applies the optimizer locally. PSCount is ignored.
 //
 // All topologies reduce in the same deterministic order, so runs from the
-// same seed are bit-identical across planes (DESIGN.md §13).
+// same seed are bit-identical across planes (DESIGN.md §13-14).
 type MLPConfig struct {
 	Workers int
 	PSCount int
@@ -41,6 +46,13 @@ type MLPConfig struct {
 	// Segments is the ring's per-bucket segment count (<=0 selects one
 	// segment per worker). Ignored for "ps" and "tree".
 	Segments int
+	// PSShards is the "sharded-ps" plane's shard-task count (<=0 selects
+	// one shard). Ignored by the other topologies.
+	PSShards int
+	// AggGroup enables the "sharded-ps" plane's two-level hierarchical
+	// aggregation (contiguous rank blocks of this size fold on a local
+	// aggregator; <=1 folds flat on the shard tasks).
+	AggGroup int
 }
 
 // VarInit pairs a variable name with its initializer.
@@ -61,15 +73,18 @@ type MLPJob struct {
 	Config    MLPConfig
 	// Topology is the parsed communication plane.
 	Topology comm.Topology
-	// Buckets is the gradient bucket layout the all-reduce planes wired
+	// Buckets is the gradient bucket layout the bucketing planes wired
 	// (nil for the PS plane).
 	Buckets []comm.Bucket
+	// ShardMap is the sharded-PS bucket->shard assignment (nil for the
+	// other planes).
+	ShardMap *comm.ShardMap
 }
 
 // VarName maps a logical variable ("w1") to the concrete node name for
 // one worker: the shared PS variable, or that worker's replica.
 func (j *MLPJob) VarName(logical string, worker int) string {
-	if j.Topology == comm.TopologyPS {
+	if j.Topology == comm.TopologyPS || j.Topology == comm.TopologyShardedPS {
 		return logical
 	}
 	return replicaName(logical, worker)
@@ -169,6 +184,9 @@ func BuildMLPTraining(cfg MLPConfig, seed int64) (*MLPJob, error) {
 	if topo == comm.TopologyPS {
 		return buildPSMLP(cfg, seed)
 	}
+	if topo == comm.TopologyShardedPS {
+		return buildShardedPSMLP(cfg, seed)
+	}
 	return buildAllReduceMLP(cfg, topo, seed)
 }
 
@@ -241,6 +259,116 @@ func buildPSMLP(cfg MLPConfig, seed int64) (*MLPJob, error) {
 		},
 		Config:   cfg,
 		Topology: comm.TopologyPS,
+	}, nil
+}
+
+// buildShardedPSMLP is the sharded parameter-server layout: the gradient
+// bucket layout is derived up front (same backward-flush order as the
+// all-reduce planes), every bucket is mapped to a shard by the
+// deterministic comm.BuildShardMap, and each variable is created on its
+// bucket's shard task with its logical name. Workers, gradients, and
+// initializers match buildPSMLP exactly — same RNG draw order from the
+// same seed — so a sharded run starts, and stays, bit-identical to the
+// single-PS run.
+func buildShardedPSMLP(cfg MLPConfig, seed int64) (*MLPJob, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("%w: need at least one worker", ErrSetup)
+	}
+	shards := cfg.PSShards
+	if shards < 1 {
+		shards = 1
+	}
+	apply, err := optimizerApply(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	specs := mlpVarSpecs(cfg)
+
+	// Bucket the gradients (backward-flush order: output layer first) and
+	// shard the buckets before any variable exists — placement must be
+	// known at creation time. The plane re-derives the identical map from
+	// the job and cross-checks these placements.
+	gspecs := make([]comm.GradSpec, 0, len(specs))
+	for i := len(specs) - 1; i >= 0; i-- {
+		gspecs = append(gspecs, comm.GradSpec{Name: specs[i].name, Sig: specs[i].sig})
+	}
+	buckets, err := comm.BuildBuckets(gspecs, cfg.BucketBytes)
+	if err != nil {
+		return nil, err
+	}
+	sm, err := comm.BuildShardMap(buckets, shards)
+	if err != nil {
+		return nil, err
+	}
+	shardOf := make(map[string]int, len(specs))
+	for bi := range buckets {
+		for _, m := range buckets[bi].Members {
+			shardOf[m.Name] = sm.Assign[bi]
+		}
+	}
+
+	vars := make([]*graph.Node, len(specs))
+	for i, s := range specs {
+		b.OnTask(fmt.Sprintf("ps%d", shardOf[s.name]))
+		vars[i] = b.Variable(s.name, s.sig)
+	}
+
+	grads := make(map[*graph.Node][]*graph.Node)
+	var workerTasks []string
+	for k := 0; k < cfg.Workers; k++ {
+		task := fmt.Sprintf("worker%d", k)
+		workerTasks = append(workerTasks, task)
+		b.OnTask(task)
+		loss := addWorkerForward(b, cfg, k, vars)
+		g, err := graph.Gradients(b, loss, vars)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vars {
+			grads[v] = append(grads[v], g[v])
+		}
+	}
+
+	// Vars in the same backward-flush order the bucket layout was built
+	// from, so the plane's layout matches the placements above.
+	job := &comm.Job{Workers: workerTasks, Apply: apply}
+	for i := len(vars) - 1; i >= 0; i-- {
+		v := vars[i]
+		job.Vars = append(job.Vars, &comm.VarSet{
+			Name: v.Name(), Replicas: []*graph.Node{v}, Grads: grads[v]})
+	}
+	opts := comm.Options{BucketBytes: cfg.BucketBytes, Shards: shards, AggGroup: cfg.AggGroup}
+	plane, err := comm.NewPlane(comm.TopologyShardedPS)
+	if err != nil {
+		return nil, err
+	}
+	if err := plane.WireUpdates(b, job, opts); err != nil {
+		return nil, err
+	}
+	if err := pruneToTraining(b, cfg.Workers); err != nil {
+		return nil, err
+	}
+
+	inits := []VarInit{
+		{Name: "w1", Init: func(t *tensor.Tensor) { tensor.GlorotInit(t, rng) }},
+		{Name: "b1", Init: nil},
+		{Name: "w2", Init: func(t *tensor.Tensor) { tensor.GlorotInit(t, rng) }},
+		{Name: "b2", Init: nil},
+	}
+	return &MLPJob{
+		Builder:     b,
+		WorkerTasks: workerTasks,
+		VarInits:    inits,
+		LossName:    func(k int) string { return fmt.Sprintf("loss%d", k) },
+		FeedNames: func(k int) (string, string) {
+			return fmt.Sprintf("x%d", k), fmt.Sprintf("labels%d", k)
+		},
+		Config:   cfg,
+		Topology: comm.TopologyShardedPS,
+		Buckets:  buckets,
+		ShardMap: sm,
 	}, nil
 }
 

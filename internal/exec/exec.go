@@ -75,7 +75,8 @@ type Executor struct {
 	stats   *statsTable
 	recycle *recycler // nil unless the policy opted in
 
-	pollWaitHist *metrics.Histogram // nil unless cfg.Hists is set
+	pollWaitHist  *metrics.Histogram // nil unless cfg.Hists is set
+	pollBatchHist *metrics.Histogram // nil unless cfg.Hists is set
 
 	runMu   sync.Mutex
 	current *runState // in-flight iteration, abortable from outside
@@ -109,6 +110,7 @@ func New(g *graph.Graph, cfg Config) (*Executor, error) {
 	}
 	if cfg.Hists != nil {
 		e.pollWaitHist = cfg.Hists.Hist(metrics.HistPollWaitNs)
+		e.pollBatchHist = cfg.Hists.Hist(metrics.HistPolledBatch)
 	}
 	for _, n := range all {
 		if cfg.Task == "" || n.Task() == cfg.Task {
@@ -246,11 +248,17 @@ func isPollingNode(n *graph.Node) bool {
 // sleep delays only this worker's next poll — it cannot delay the data —
 // and the FIFO requeue keeps multiple starved pollers taking turns at the
 // queue head instead of one monopolizing the misses.
+//
+// pollBatchMax caps the batched completion scan: when a worker pops a
+// polling operator it drains every other queued polling operator (up to the
+// cap) in the same lock acquisition and polls the whole set in one pass, so
+// N starved receives cost one queue round-trip instead of N.
 const (
 	pollSpinBudget  = 16
 	pollBackoffMin  = 5 * time.Microsecond
 	pollBackoffMax  = time.Millisecond
 	pollBackoffExpo = 8 // doublings until the cap is pinned
+	pollBatchMax    = 64
 )
 
 func pollBackoff(misses int) time.Duration {
@@ -343,17 +351,46 @@ func (st *runState) next() (*graph.Node, bool) {
 	}
 }
 
-// requeue puts a not-ready polling node back at the tail (§4: "it simply
-// re-enqueues this operator into the tail of the ready queue"). It reports
-// whether non-polling work is queued: when only polling operators remain,
-// callers back off instead of busy-spinning (polling "has a lower priority
-// than other ready tasks ... to minimize its impact").
-func (st *runState) requeue(n *graph.Node) bool {
+// grabPollBatch extracts up to max additional polling operators from the
+// ready queue in one lock acquisition, marking each in flight. Non-polling
+// nodes keep their relative order (and nonPolling count); only polling
+// operators are pulled, so the batch poll below scans the whole starved set
+// in one pass instead of cycling them through the queue one at a time.
+func (st *runState) grabPollBatch(max int) []*graph.Node {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.inflight--
+	if max <= 0 || len(st.queue) == 0 {
+		return nil
+	}
+	var batch []*graph.Node
+	kept := st.queue[:0]
+	for _, n := range st.queue {
+		if len(batch) < max && isPollingNode(n) {
+			batch = append(batch, n)
+			st.inflight++
+		} else {
+			kept = append(kept, n)
+		}
+	}
+	tail := st.queue[len(kept):]
+	for i := range tail {
+		tail[i] = nil
+	}
+	st.queue = kept
+	return batch
+}
+
+// requeueBatch puts not-ready polling nodes back at the tail (§4: "it simply
+// re-enqueues this operator into the tail of the ready queue") under one
+// lock. It reports whether non-polling work is queued: when only polling
+// operators remain, callers back off instead of busy-spinning (polling "has
+// a lower priority than other ready tasks ... to minimize its impact").
+func (st *runState) requeueBatch(nodes []*graph.Node) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.inflight -= len(nodes)
 	hadOther := st.nonPolling > 0
-	st.queue = append(st.queue, n)
+	st.queue = append(st.queue, nodes...)
 	st.cond.Broadcast()
 	return hadOther
 }
@@ -500,35 +537,76 @@ func (e *Executor) worker(st *runState, startAt time.Time) {
 		ctx := e.newContext(st, n)
 		acct.Idle += tick() // context assembly
 
-		// Polling-async phase 1: poll, and on not-ready re-enqueue at the
-		// tail so other ready operators run first.
-		if pk, isPolling := n.Op().(graph.PollingKernel); isPolling {
-			ready, err := pk.Poll(ctx)
+		// Polling-async phase 1, batched: when the head is a polling
+		// operator, drain every other queued polling operator (one lock)
+		// and poll the whole set in one pass. Misses go back to the tail
+		// together (one lock); hits execute right here. N starved receives
+		// cost one queue round-trip and one backoff decision per pass
+		// instead of N.
+		if _, isPolling := n.Op().(graph.PollingKernel); isPolling {
+			batch := append([]*graph.Node{n}, st.grabPollBatch(pollBatchMax-1)...)
+			e.pollBatchHist.Record(int64(len(batch)))
+			ctxs := make([]*graph.Context, len(batch))
+			ctxs[0] = ctx
+			var ready []int
+			var waiting []*graph.Node
+			var pollErr error
+			var errNode *graph.Node
+			for i, pn := range batch {
+				if ctxs[i] == nil {
+					ctxs[i] = e.newContext(st, pn)
+				}
+				hit, err := pn.Op().(graph.PollingKernel).Poll(ctxs[i])
+				if err != nil {
+					errNode, pollErr = pn, err
+					waiting = append(waiting, batch[i+1:]...) // unpolled rest
+					break
+				}
+				if hit {
+					ready = append(ready, i)
+				} else {
+					waiting = append(waiting, pn)
+				}
+			}
 			acct.PollWait += tick()
-			if err != nil {
-				st.complete(n, nil, err)
+			if pollErr != nil {
+				// The failed node carries the error; everything else —
+				// including ready-but-unexecuted hits, which will poll
+				// ready again — goes back so its completion stays owned
+				// by the queue.
+				for _, i := range ready {
+					waiting = append(waiting, batch[i])
+				}
+				if len(waiting) > 0 {
+					st.requeueBatch(waiting)
+				}
+				st.complete(errNode, nil, pollErr)
 				return
 			}
-			if !ready {
+			if len(ready) == 0 {
 				e.stats.recordPollMiss(n.Op().Name())
 				if d := e.cfg.PollTimeout; d > 0 {
 					st.mu.Lock()
 					stalled := time.Since(st.progress) > d
 					pending := st.pending
-					// Queued nodes minus the non-polling ones = how many other
-					// polling operators are also spinning on unarrived data —
-					// distinguishes one dead edge from a task-wide partition.
-					polling := len(st.queue) - st.nonPolling
+					// Queued + batched polling nodes minus this one = how
+					// many other polling operators are also spinning on
+					// unarrived data — distinguishes one dead edge from a
+					// task-wide partition.
+					polling := len(st.queue) - st.nonPolling + len(waiting) - 1
 					st.mu.Unlock()
 					if stalled {
 						e.stats.recordPollTimeout(n.Op().Name())
 						acct.PollWait += tick()
+						if len(waiting) > 1 {
+							st.requeueBatch(waiting[1:]) // waiting[0] == n
+						}
 						st.complete(n, nil, fmt.Errorf("%w: %s made no progress for %v at iter %d with %d nodes pending, %d other polling operators starved (peer dead or network partitioned?)",
 							ErrPollTimeout, n.Name(), d, st.iter, pending, polling))
 						return
 					}
 				}
-				hadOther := st.requeue(n)
+				hadOther := st.requeueBatch(waiting)
 				if hadOther {
 					pollMisses = 0
 				} else {
@@ -545,59 +623,73 @@ func (e *Executor) worker(st *runState, startAt time.Time) {
 				acct.PollWait += tick() // requeue + backoff sleep
 				continue
 			}
+			if len(waiting) > 0 {
+				st.requeueBatch(waiting)
+			}
+			pollMisses = 0
+			acct.PollWait += tick() // requeue bookkeeping
+			for _, i := range ready {
+				e.execNode(st, batch[i], ctxs[i], &acct, tick)
+			}
+			continue
 		}
 		pollMisses = 0
+		e.execNode(st, n, ctx, &acct, tick)
+	}
+}
 
-		// Phase 2: execute asynchronously if supported, else synchronously.
-		isEdge := isEdgeNode(n)
-		start := time.Now()
-		var endSpan func()
-		if e.cfg.Trace != nil {
-			endSpan = e.cfg.Trace.Span(e.traceLane(), "exec", n.Op().Name(), n.Name(),
-				map[string]any{"iter": st.iter})
-		}
-		switch k := n.Op().(type) {
-		case graph.AsyncKernel:
-			k.ComputeAsync(ctx, func(err error) {
-				d := time.Since(start)
-				e.stats.recordExec(n.Op().Name(), d)
-				metrics.AddKernelTime(n.Op().Name(), d)
-				if isEdge {
-					st.inflightNsAt.Add(d.Nanoseconds())
-				}
-				if endSpan != nil {
-					endSpan()
-				}
-				st.complete(n, ctx.Output, err)
-			})
-			// The dispatch portion occupied this worker; the rest of the
-			// operation's latency flies concurrently and lands in
-			// CommInflight via the callback above.
-			if isEdge {
-				acct.Comm += tick()
-			} else {
-				acct.Compute += tick()
-			}
-			acct.Ops++
-		case graph.Kernel:
-			err := k.Compute(ctx)
+// execNode is phase 2: execute one ready node asynchronously if supported,
+// else synchronously. tick attributes the elapsed lap to the worker's
+// breakdown (Comm for EdgeKernel operators, Compute otherwise).
+func (e *Executor) execNode(st *runState, n *graph.Node, ctx *graph.Context, acct *metrics.StepBreakdown, tick func() time.Duration) {
+	isEdge := isEdgeNode(n)
+	start := time.Now()
+	var endSpan func()
+	if e.cfg.Trace != nil {
+		endSpan = e.cfg.Trace.Span(e.traceLane(), "exec", n.Op().Name(), n.Name(),
+			map[string]any{"iter": st.iter})
+	}
+	switch k := n.Op().(type) {
+	case graph.AsyncKernel:
+		k.ComputeAsync(ctx, func(err error) {
 			d := time.Since(start)
 			e.stats.recordExec(n.Op().Name(), d)
 			metrics.AddKernelTime(n.Op().Name(), d)
+			if isEdge {
+				st.inflightNsAt.Add(d.Nanoseconds())
+			}
 			if endSpan != nil {
 				endSpan()
 			}
-			if isEdge {
-				acct.Comm += tick()
-			} else {
-				acct.Compute += tick()
-			}
-			acct.Ops++
 			st.complete(n, ctx.Output, err)
-			acct.Idle += tick() // completion bookkeeping
-		default:
-			st.complete(n, nil, fmt.Errorf("exec: op %s has no kernel: %w", n.Op().Name(), ErrExec))
+		})
+		// The dispatch portion occupied this worker; the rest of the
+		// operation's latency flies concurrently and lands in
+		// CommInflight via the callback above.
+		if isEdge {
+			acct.Comm += tick()
+		} else {
+			acct.Compute += tick()
 		}
+		acct.Ops++
+	case graph.Kernel:
+		err := k.Compute(ctx)
+		d := time.Since(start)
+		e.stats.recordExec(n.Op().Name(), d)
+		metrics.AddKernelTime(n.Op().Name(), d)
+		if endSpan != nil {
+			endSpan()
+		}
+		if isEdge {
+			acct.Comm += tick()
+		} else {
+			acct.Compute += tick()
+		}
+		acct.Ops++
+		st.complete(n, ctx.Output, err)
+		acct.Idle += tick() // completion bookkeeping
+	default:
+		st.complete(n, nil, fmt.Errorf("exec: op %s has no kernel: %w", n.Op().Name(), ErrExec))
 	}
 }
 

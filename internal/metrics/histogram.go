@@ -264,4 +264,8 @@ const (
 	// HistStepNs: per-task wall step time (ns), fed by the cluster step
 	// loop; the straggler detector reads it.
 	HistStepNs = "step_ns"
+	// HistPolledBatch: how many pending polling ops the scheduler scanned
+	// per batched-poll pass (count, not ns). A distribution leaning above
+	// 1 means the batch scan is amortizing per-op poll overhead.
+	HistPolledBatch = "exec_polled_batch_size"
 )

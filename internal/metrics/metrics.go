@@ -29,6 +29,7 @@ type Comm struct {
 	laneBytes       [MaxLanes]atomic.Int64
 	coalesceFlushes atomic.Int64
 	coalesceMsgs    atomic.Int64
+	doorbellFlushes atomic.Int64
 }
 
 // CommSnapshot is an immutable view of a Comm.
@@ -55,6 +56,11 @@ type CommSnapshot struct {
 	// sub-messages they carried; their ratio is the coalescing hit rate.
 	CoalesceFlushes   int64
 	CoalescedMessages int64
+	// DoorbellFlushes counts doorbell-batched posts: a lane's stripe
+	// chunks entering the send queue as one flush instead of one post
+	// per chunk. StripeSegments / DoorbellFlushes is the chunks-per-
+	// doorbell batching factor.
+	DoorbellFlushes int64
 }
 
 // AddSent records an outbound transfer.
@@ -103,6 +109,9 @@ func (c *Comm) AddStripe(lane, n int) {
 // AddStripedTransfer records a transfer that was split across >1 lanes.
 func (c *Comm) AddStripedTransfer() { c.stripedOps.Add(1) }
 
+// AddDoorbellFlush records one doorbell-batched post of a lane's chunks.
+func (c *Comm) AddDoorbellFlush() { c.doorbellFlushes.Add(1) }
+
 // AddCoalesced records one batch flush carrying msgs coalesced sub-messages.
 func (c *Comm) AddCoalesced(msgs int) {
 	c.coalesceFlushes.Add(1)
@@ -127,6 +136,7 @@ func (c *Comm) Snapshot() CommSnapshot {
 		StripedTransfers:  c.stripedOps.Load(),
 		CoalesceFlushes:   c.coalesceFlushes.Load(),
 		CoalescedMessages: c.coalesceMsgs.Load(),
+		DoorbellFlushes:   c.doorbellFlushes.Load(),
 	}
 	for i := range c.laneBytes {
 		s.LaneBytes[i] = c.laneBytes[i].Load()

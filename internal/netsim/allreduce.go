@@ -25,6 +25,10 @@ import (
 //   - NetReduce: each worker sends G once to the switch, which folds at
 //     line rate and multicasts the totals back — one up + one down
 //     transfer plus switch latency, independent of N.
+//   - Sharded PS: the gradient is chunked across PSShards shard tasks so
+//     the incast divides by K; optional two-level aggregation (AggGroup)
+//     folds packs at group heads first, shrinking the shard-side push
+//     incast from N pushers to ceil(N/AggGroup).
 type AllReduceModel struct {
 	// Tasks is the worker count.
 	Tasks int
@@ -34,6 +38,10 @@ type AllReduceModel struct {
 	Segments int
 	// PSShards spreads the PS gradient across shards (<=0 selects 1).
 	PSShards int
+	// AggGroup enables two-level hierarchical aggregation for the sharded
+	// PS: workers in groups of AggGroup fold locally at a group head before
+	// the heads push partials to the shards (<=1 selects flat).
+	AggGroup int
 	// SwitchUS is the in-network reduction's switch traversal latency and
 	// SwitchGBps its fold rate (<=0 selects the wire rate).
 	SwitchUS   float64
@@ -48,6 +56,7 @@ const (
 	ARRing
 	ARTree
 	ARNetReduce
+	ARShardedPS
 )
 
 func (k AllReduceKind) String() string {
@@ -60,6 +69,8 @@ func (k AllReduceKind) String() string {
 		return "tree"
 	case ARNetReduce:
 		return "netreduce"
+	case ARShardedPS:
+		return "sharded-ps"
 	}
 	return fmt.Sprintf("allreduce(%d)", int(k))
 }
@@ -99,6 +110,8 @@ func (m *AllReduceModel) StepUS(kind AllReduceKind, gradBytes int64) float64 {
 		return m.treeStepUS(gradBytes)
 	case ARNetReduce:
 		return m.netReduceStepUS(gradBytes)
+	case ARShardedPS:
+		return m.shardedStepUS(gradBytes)
 	}
 	return math.NaN()
 }
@@ -108,7 +121,16 @@ func (m *AllReduceModel) StepUS(kind AllReduceKind, gradBytes int64) float64 {
 // shard's rx (push) and tx (pull) directions serialize the incast — the
 // contention TransferDelay-style per-message models miss.
 func (m *AllReduceModel) psStepUS(g int64) float64 {
-	n := m.Tasks
+	// Push and pull are symmetric transfer sets over opposite NIC
+	// directions, separated by the synchronous reduce barrier.
+	return m.psPhaseUS(g, m.Tasks) + m.psPhaseUS(g, m.Tasks)
+}
+
+// psPhaseUS prices one PS transfer phase (push or pull) with `endpoints`
+// worker-side NICs each exchanging its full gradient, split per shard, with
+// the shard NICs. The shard side serializes the incast; the worker side
+// serializes its own per-shard chunks.
+func (m *AllReduceModel) psPhaseUS(g int64, endpoints int) float64 {
 	shards := m.PSShards
 	if shards < 1 {
 		shards = 1
@@ -121,26 +143,45 @@ func (m *AllReduceModel) psStepUS(g int64) float64 {
 		return per
 	}
 	occupy := func(size int64) float64 { return m.Params.FixedUS + us(size, m.Params.WireGBps) }
-
-	phase := func() Time {
-		workerNIC := make([]Resource, n)
-		shardNIC := make([]Resource, shards)
-		var done Time
-		for w := 0; w < n; w++ {
-			for s := 0; s < shards; s++ {
-				dur := occupy(chunk(s))
-				start, _ := workerNIC[w].Use(0, dur)
-				_, end := shardNIC[s].Use(start, dur)
-				if end += m.Params.WireLatUS; end > done {
-					done = end
-				}
+	workerNIC := make([]Resource, endpoints)
+	shardNIC := make([]Resource, shards)
+	var done Time
+	for w := 0; w < endpoints; w++ {
+		for s := 0; s < shards; s++ {
+			dur := occupy(chunk(s))
+			start, _ := workerNIC[w].Use(0, dur)
+			_, end := shardNIC[s].Use(start, dur)
+			if end += m.Params.WireLatUS; end > done {
+				done = end
 			}
 		}
-		return done
 	}
-	// Push and pull are symmetric transfer sets over opposite NIC
-	// directions, separated by the synchronous reduce barrier.
-	return phase() + phase()
+	return float64(done)
+}
+
+// shardedStepUS prices the sharded-PS plane: the gradient is chunked across
+// PSShards shard tasks so no single NIC serializes the full 2·N·G incast.
+// Flat mode is exactly the PS phases with the shard split. Hierarchical mode
+// (AggGroup > 1) adds a group-ingest stage — members push their full pack to
+// the group head, whose NIC rx serializes them — and in exchange only the
+// group heads push partials to the shards, shrinking the push incast from N
+// pushers to ceil(N/AggGroup). The pull is unchanged: every worker still
+// fetches the reduced chunks from the shards.
+func (m *AllReduceModel) shardedStepUS(g int64) float64 {
+	if m.AggGroup <= 1 {
+		return m.psStepUS(g)
+	}
+	n := m.Tasks
+	agg := m.AggGroup
+	if agg > n {
+		agg = n
+	}
+	groups := (n + agg - 1) / agg
+	occupy := func(size int64) float64 { return m.Params.FixedUS + us(size, m.Params.WireGBps) }
+	// The step waits for the largest group's head to finish ingesting its
+	// agg-1 member packs (groups ingest in parallel on distinct head NICs).
+	ingest := float64(agg-1)*occupy(g) + m.Params.WireLatUS
+	return ingest + m.psPhaseUS(g, groups) + m.psPhaseUS(g, n)
 }
 
 // ringStepUS prices the comm package's pipelined prefix chain: a segment

@@ -75,15 +75,53 @@ func TestAllReduceModelDeterministicAndDegenerate(t *testing.T) {
 	}
 }
 
+func TestAllReduceShardedPS(t *testing.T) {
+	const grad = 64 << 20
+	// Flat sharded-ps with one shard is exactly the single PS.
+	m := NewAllReduceModel(8, distributed.RDMA)
+	if sp, ps := m.StepUS(ARShardedPS, grad), m.StepUS(ARPS, grad); sp != ps {
+		t.Errorf("flat 1-shard sharded-ps %.0fµs != ps %.0fµs", sp, ps)
+	}
+	// K=2 shards must beat the single PS at 8 tasks — the incast halves.
+	// This is the BENCH_scale claim the emulated plane has to reproduce.
+	lone := m.StepUS(ARPS, grad)
+	m.PSShards = 2
+	sharded := m.StepUS(ARShardedPS, grad)
+	if sharded >= lone {
+		t.Errorf("tasks=8: sharded-ps K=2 %.0fµs not faster than ps %.0fµs", sharded, lone)
+	}
+	// More shards keep helping monotonically (the chunks shrink).
+	m.PSShards = 4
+	if quad := m.StepUS(ARShardedPS, grad); quad >= sharded {
+		t.Errorf("K=4 %.0fµs not faster than K=2 %.0fµs", quad, sharded)
+	}
+	// Hierarchical aggregation trades a group-ingest stage for a smaller
+	// push incast; with groups of 4 at 8 tasks the trade wins for a
+	// bandwidth-bound gradient.
+	m.PSShards = 2
+	flat := m.StepUS(ARShardedPS, grad)
+	m.AggGroup = 4
+	hier := m.StepUS(ARShardedPS, grad)
+	if hier >= flat {
+		t.Errorf("hierarchical %.0fµs not faster than flat %.0fµs at 8 tasks", hier, flat)
+	}
+	if a, b := m.StepUS(ARShardedPS, grad), m.StepUS(ARShardedPS, grad); a != b || a <= 0 {
+		t.Errorf("hierarchical sharded-ps non-deterministic or non-positive (%v, %v)", a, b)
+	}
+}
+
 // BenchmarkAllReduceModel reports the modeled per-task goodput for the
 // ablation table (scripts/bench.sh scrapes the model_MB/s/task metric);
 // NetReduce is the third column no emulated topology can reach.
 func BenchmarkAllReduceModel(b *testing.B) {
 	const grad = 32 << 20
-	for _, kind := range []AllReduceKind{ARPS, ARRing, ARTree, ARNetReduce} {
+	for _, kind := range []AllReduceKind{ARPS, ARShardedPS, ARRing, ARTree, ARNetReduce} {
 		for _, tasks := range []int{2, 4, 8} {
 			b.Run(fmt.Sprintf("topo=%s/tasks=%d", kind, tasks), func(b *testing.B) {
 				m := NewAllReduceModel(tasks, distributed.RDMA)
+				if kind == ARShardedPS {
+					m.PSShards = 2
+				}
 				var sink float64
 				for i := 0; i < b.N; i++ {
 					sink += m.StepUS(kind, grad)

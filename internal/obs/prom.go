@@ -42,6 +42,7 @@ func commCounters(s metrics.CommSnapshot) []struct {
 		{"striped_transfers_total", s.StripedTransfers},
 		{"coalesce_flushes_total", s.CoalesceFlushes},
 		{"coalesced_messages_total", s.CoalescedMessages},
+		{"doorbell_flushes_total", s.DoorbellFlushes},
 	}
 }
 

@@ -114,6 +114,22 @@ func (q *guardedQueue[T]) post(v T) bool {
 	return true
 }
 
+// postAll enqueues every value under one lock acquisition — the doorbell
+// batch. All-or-none with respect to shutdown: close takes the write lock,
+// so either the whole batch lands in the buffer before the queue closes or
+// none of it does.
+func (q *guardedQueue[T]) postAll(vs []T) bool {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return false
+	}
+	for _, v := range vs {
+		q.ch <- v
+	}
+	return true
+}
+
 func (q *guardedQueue[T]) close() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -430,6 +446,16 @@ func (qp *queuePair) post(wr workRequest) error {
 	return nil
 }
 
+// postBatch rings the doorbell once for a group of work requests: they enter
+// the send queue contiguously under one lock acquisition, or — if the QP is
+// already closed — none of them do.
+func (qp *queuePair) postBatch(wrs []workRequest) error {
+	if !qp.wq.postAll(wrs) {
+		return ErrClosed
+	}
+	return nil
+}
+
 func (qp *queuePair) run() {
 	for wr := range qp.wq.ch {
 		if qp.down.Load() || qp.dev.closed.Load() {
@@ -605,24 +631,65 @@ func (c *Channel) Remote() string { return c.remote }
 // completes. Validation errors are returned synchronously.
 func (c *Channel) Memcpy(localOff int, local *MemRegion, remoteOff int, remote RemoteRegion,
 	size int, dir Op, cb func(error)) error {
+	wr, err := transferWR(localOff, local, remoteOff, remote, size, dir, cb)
+	if err != nil {
+		return err
+	}
+	return c.qp.post(wr)
+}
+
+// transferWR validates one transfer's bounds and builds its work request.
+func transferWR(localOff int, local *MemRegion, remoteOff int, remote RemoteRegion,
+	size int, dir Op, cb func(error)) (workRequest, error) {
 	if local == nil {
-		return fmt.Errorf("rdma: nil local region: %w", ErrBadConfig)
+		return workRequest{}, fmt.Errorf("rdma: nil local region: %w", ErrBadConfig)
 	}
 	if size < 0 {
-		return fmt.Errorf("rdma: negative size %d: %w", size, ErrBadConfig)
+		return workRequest{}, fmt.Errorf("rdma: negative size %d: %w", size, ErrBadConfig)
 	}
 	if localOff < 0 || localOff+size > local.Size() {
-		return fmt.Errorf("rdma: local [%d,+%d) of %d: %w", localOff, size, local.Size(), ErrBounds)
+		return workRequest{}, fmt.Errorf("rdma: local [%d,+%d) of %d: %w", localOff, size, local.Size(), ErrBounds)
 	}
 	if remoteOff < 0 || uint64(remoteOff)+uint64(size) > remote.Size {
-		return fmt.Errorf("rdma: remote [%d,+%d) of %d: %w", remoteOff, size, remote.Size, ErrBounds)
+		return workRequest{}, fmt.Errorf("rdma: remote [%d,+%d) of %d: %w", remoteOff, size, remote.Size, ErrBounds)
 	}
-	return c.qp.post(workRequest{
+	return workRequest{
 		kind: wrTransfer, op: dir,
 		local: local, localOff: localOff,
 		remote: remote, remoteOff: remoteOff,
 		size: size, cb: cb,
-	})
+	}, nil
+}
+
+// MemcpyReq describes one transfer of a doorbell batch (see MemcpyBatch).
+type MemcpyReq struct {
+	LocalOff  int
+	Local     *MemRegion
+	RemoteOff int
+	Remote    RemoteRegion
+	Size      int
+	Dir       Op
+	CB        func(error)
+}
+
+// MemcpyBatch posts several transfers with one doorbell ring: every request
+// is validated up front, then the whole group enters the QP's send queue
+// under a single lock acquisition — the emulator's rendering of a verbs
+// doorbell batch, where a linked list of work requests costs one MMIO write
+// instead of one per WR. On a validation error nothing is posted and the
+// error is returned synchronously; on a closed QP nothing is posted either
+// (all-or-none). Completion callbacks fire individually per request, in
+// queue order, exactly as with Memcpy.
+func (c *Channel) MemcpyBatch(reqs []MemcpyReq) error {
+	wrs := make([]workRequest, len(reqs))
+	for i, r := range reqs {
+		wr, err := transferWR(r.LocalOff, r.Local, r.RemoteOff, r.Remote, r.Size, r.Dir, r.CB)
+		if err != nil {
+			return err
+		}
+		wrs[i] = wr
+	}
+	return c.qp.postBatch(wrs)
 }
 
 // MemcpySync is Memcpy that blocks until completion, for callers without an

@@ -79,6 +79,10 @@ type TransferOpts struct {
 	// OnStripe, if non-nil, observes every issued stripe as (lane index,
 	// bytes on the wire) — the per-lane byte accounting hook.
 	OnStripe func(lane, bytes int)
+	// OnDoorbell, if non-nil, observes each doorbell-batched post as (lane
+	// index, chunks in the flush): a lane's stripe chunks entering the send
+	// queue together instead of one post per chunk.
+	OnDoorbell func(lane, chunks int)
 	// OnComplete, if non-nil, observes each successful blocking transfer
 	// (SendRetry / FetchRetry / FlushRetry) as (payload bytes, wall duration
 	// including retries and backoff). The distributed layer feeds per-edge
@@ -241,12 +245,33 @@ func (c *Channel) CallRetry(method string, req []byte, opts TransferOpts) ([]byt
 // striped attempt only writes the flag after every stripe completed), and a
 // re-send writes the same bytes.
 func (s *StaticSender) SendRetry(opts TransferOpts) error {
+	return s.sendRetryFrom(nil, opts)
+}
+
+// SendRetryFrom is SendRetry for a payload that lives outside registered
+// memory: instead of staging all the bytes up front (SendFrom) and only then
+// posting the first write, each attempt copies the payload into staging lane
+// by lane, flushing every lane's chunks as soon as they are staged — so lane
+// L's writes fly while lane L+1's bytes are still being copied (sender-side
+// copy/transmit pipelining). A retry re-copies the same bytes, which is
+// safe: the completion callback fires only after every chunk of the attempt
+// completed, so no attempt's copy can overlap its own in-flight writes, and
+// a failed attempt never made the flag visible.
+func (s *StaticSender) SendRetryFrom(payload []byte, opts TransferOpts) error {
+	if len(payload) != s.desc.PayloadSize {
+		return fmt.Errorf("rdma: payload %d bytes, slot holds %d: %w",
+			len(payload), s.desc.PayloadSize, ErrBounds)
+	}
+	return s.sendRetryFrom(payload, opts)
+}
+
+func (s *StaticSender) sendRetryFrom(payload []byte, opts TransferOpts) error {
 	o := opts.withDefaults()
 	start := time.Now()
 	err := retryLoop(o, fmt.Sprintf("static send %dB to %s", s.desc.PayloadSize, s.ch.Remote()),
 		func() error {
 			done := make(chan error, 1)
-			if err := s.SendStriped(o.Stripes, o.OnStripe, func(err error) {
+			if err := s.sendStriped(payload, o.Stripes, o.OnStripe, o.OnDoorbell, func(err error) {
 				select {
 				case done <- err:
 				default:

@@ -3,6 +3,7 @@ package rdma
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -164,14 +165,40 @@ func (s *StaticSender) Lanes() int { return len(s.lanes) }
 // SendStriped transfers the staging buffer like Send, but splits the payload
 // into up to `stripes` chunks issued round-robin over the sender's lanes,
 // and writes the tail flag in a separate transfer only after every payload
-// stripe completed. onStripe, if non-nil, observes (lane, bytes) for each
+// stripe completed. Each lane's chunks are posted as one doorbell batch
+// (MemcpyBatch), so a lane pays one send-queue entry cost per flush instead
+// of one per chunk. onStripe, if non-nil, observes (lane, bytes) for each
 // issued chunk. With one effective chunk or one lane it degenerates to the
 // single ascending payload+flag write of Send. cb fires on a CQ poller when
 // the flag write (or the first failing stripe) completes; a failed striped
 // send leaves no flag visible, so re-sending the identical bytes is safe.
 func (s *StaticSender) SendStriped(stripes int, onStripe func(lane, bytes int), cb func(error)) error {
+	return s.sendStriped(nil, stripes, onStripe, nil, cb)
+}
+
+// sendStriped is the shared striped-send engine behind SendStriped,
+// SendRetry, and SendRetryFrom. Chunk i rides lane i%L, same placement as
+// always; what varies is staging and post granularity:
+//
+//   - payload == nil (staged/zero-copy): every chunk is already in the
+//     staging buffer, so each lane's whole chunk group is posted as one
+//     doorbell batch — one send-queue flush per lane instead of one per
+//     chunk.
+//   - payload != nil (pipelined): the copy into staging proceeds in rounds
+//     of one chunk per lane; each round is posted as soon as it is copied,
+//     so the wire drains round r while round r+1 is still being memcpy'd.
+//     The copy/transmit overlap is bought at doorbell granularity one —
+//     each flush carries a single chunk — the classic tradeoff between
+//     batching posts and posting early.
+//
+// onDoorbell, if non-nil, observes each flush as (lane, chunks posted).
+func (s *StaticSender) sendStriped(payload []byte, stripes int,
+	onStripe func(lane, bytes int), onDoorbell func(lane, chunks int), cb func(error)) error {
 	chunks := StripeDesc{PayloadSize: uint64(s.desc.PayloadSize), Stripes: uint32(stripes)}.Chunks()
 	if len(chunks) <= 1 || len(s.lanes) <= 1 {
+		if payload != nil {
+			copy(s.Buffer(), payload)
+		}
 		if onStripe != nil {
 			onStripe(0, StaticSlotSize(s.desc.PayloadSize))
 		}
@@ -194,17 +221,67 @@ func (s *StaticSender) SendStriped(stripes int, onStripe func(lane, bytes int), 
 			cb(err)
 		}
 	})
-	for i, chk := range chunks {
-		lane := i % len(s.lanes)
-		if onStripe != nil {
-			onStripe(lane, chk.Size)
+	nl := len(s.lanes)
+	req := func(i int) MemcpyReq {
+		chk := chunks[i]
+		return MemcpyReq{
+			LocalOff: s.off + chk.Off, Local: s.mr,
+			RemoteOff: s.desc.Off + chk.Off, Remote: s.desc.Region,
+			Size: chk.Size, Dir: OpWrite, CB: join.chunkCB(i),
 		}
-		if err := s.lanes[lane].Memcpy(s.off+chk.Off, s.mr, s.desc.Off+chk.Off, s.desc.Region,
-			chk.Size, OpWrite, join.chunkCB(i)); err != nil {
-			// Synchronous post failure counts as this chunk's completion;
-			// remaining chunks still drain through the join.
-			join.chunkCB(i)(err)
+	}
+	flush := func(lane int, batch []MemcpyReq) {
+		if onDoorbell != nil {
+			onDoorbell(lane, len(batch))
 		}
+		if err := s.lanes[lane].MemcpyBatch(batch); err != nil {
+			// A failed flush posted nothing (all-or-none): count it as every
+			// batched chunk's completion; other lanes still drain through
+			// the join.
+			for _, r := range batch {
+				r.CB(err)
+			}
+		}
+	}
+	if payload == nil {
+		for lane := 0; lane < nl; lane++ {
+			var batch []MemcpyReq
+			for i := lane; i < len(chunks); i += nl {
+				if onStripe != nil {
+					onStripe(lane, chunks[i].Size)
+				}
+				batch = append(batch, req(i))
+			}
+			if len(batch) > 0 {
+				flush(lane, batch)
+			}
+		}
+		return nil
+	}
+	staging := s.mr.Bytes()
+	for start := 0; start < len(chunks); start += nl {
+		end := start + nl
+		if end > len(chunks) {
+			end = len(chunks)
+		}
+		for i := start; i < end; i++ {
+			chk := chunks[i]
+			copy(staging[s.off+chk.Off:s.off+chk.Off+chk.Size], payload[chk.Off:chk.Off+chk.Size])
+		}
+		for i := start; i < end; i++ {
+			if onStripe != nil {
+				onStripe(i%nl, chunks[i].Size)
+			}
+			flush(i%nl, []MemcpyReq{req(i)})
+		}
+		// On a real NIC the doorbell write activates the DMA engine at once;
+		// in the emulator each lane is a goroutine that must be scheduled to
+		// start its wire timer. Yield after every round so the posted writes
+		// are actually in flight while the next round is being copied —
+		// otherwise, on a small GOMAXPROCS, the copy loop can starve the
+		// lanes until the whole payload is staged and the pipeline degrades
+		// to the staged path.
+		runtime.Gosched()
 	}
 	return nil
 }

@@ -3,6 +3,7 @@
 # Transfer benchmarks (striping + coalescing) -> BENCH_transfer.json.
 # Observability overhead (histograms / tracing on the train step) -> BENCH_obs.json.
 # All-reduce topology ablation (ps vs ring vs tree, emulated + modeled) -> BENCH_allreduce.json.
+# Scale story (ps vs sharded-ps vs ring per-task goodput at 4/8 tasks) -> BENCH_scale.json.
 #
 # Runs the tensor kernel benchmarks (seed kernel vs new serial vs new
 # parallel) and the exec train-step benchmark (recycle on/off, -benchmem),
@@ -23,6 +24,7 @@ OUT="${1:-BENCH_kernels.json}"
 OUT_TRANSFER="${2:-BENCH_transfer.json}"
 OUT_OBS="${3:-BENCH_obs.json}"
 OUT_AR="${4:-BENCH_allreduce.json}"
+OUT_SCALE="${5:-BENCH_scale.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -81,7 +83,7 @@ END {
 echo "wrote $OUT" >&2
 
 echo "== transfer benchmarks (benchtime=$BENCHTIME) ==" >&2
-go test -run='^$' -bench='^(BenchmarkTransferStriped|BenchmarkTransferCoalesce)$' \
+go test -run='^$' -bench='^(BenchmarkTransferStriped|BenchmarkTransferPipelined|BenchmarkTransferCoalesce)$' \
     -benchtime="$BENCHTIME" ./internal/rdma/ | tee "$TMP/transfer.txt" >&2
 
 awk -v num_cpu="$(nproc)" -v go_ver="$(go env GOVERSION)" '
@@ -95,7 +97,7 @@ awk -v num_cpu="$(nproc)" -v go_ver="$(go env GOVERSION)" '
 function ratio(a, b) { return (mbs[a] > 0 && mbs[b] > 0) ? sprintf("%.2f", mbs[b] / mbs[a]) : "null" }
 END {
     printf "{\n  \"num_cpu\": %d,\n  \"go\": \"%s\",\n", num_cpu, go_ver
-    printf "  \"note\": \"MB/s under the modeled per-lane wire time (1 GB/s/lane + 2us post cost); stripe speedups are vs the stripes=1 row, coalesce speedup is one batch flush vs 64 individual flagged writes\",\n"
+    printf "  \"note\": \"MB/s under the modeled per-lane wire time (1 GB/s/lane + 2us post cost); stripe speedups are vs the stripes=1 row, pipelined speedup is SendRetryFrom (copy overlapped with posted writes) vs copy-then-send on the same 16-chunk/4-lane transfer, coalesce speedup is one batch flush vs 64 individual flagged writes\",\n"
     printf "  \"striped\": [\n"
     first = 1
     for (s = 1; s <= 16; s *= 2) {
@@ -109,6 +111,11 @@ END {
     printf "    \"stripes_2\": %s,\n", ratio("TransferStriped/stripes=1", "TransferStriped/stripes=2")
     printf "    \"stripes_4\": %s,\n", ratio("TransferStriped/stripes=1", "TransferStriped/stripes=4")
     printf "    \"stripes_8\": %s\n",  ratio("TransferStriped/stripes=1", "TransferStriped/stripes=8")
+    printf "  },\n"
+    printf "  \"pipelined\": {\n"
+    printf "    \"staged_mb_per_s\": %s,\n", mbs["TransferPipelined/staged"]
+    printf "    \"pipelined_mb_per_s\": %s,\n", mbs["TransferPipelined/pipelined"]
+    printf "    \"speedup\": %s\n", ratio("TransferPipelined/staged", "TransferPipelined/pipelined")
     printf "  },\n"
     printf "  \"coalesce\": {\n"
     printf "    \"individual_mb_per_s\": %s,\n", mbs["TransferCoalesce/individual"]
@@ -223,8 +230,8 @@ END {
     printf "  \"ring_beats_ps_at_8_tasks\": %s,\n", (mbs[emu("ring", 8)] + 0 > mbs[emu("ps", 8)] + 0) ? "true" : "false"
     printf "  \"model\": [\n"
     first = 1
-    split("ps ring tree netreduce", mtopos, " ")
-    for (t = 1; t <= 4; t++) for (k = 2; k <= 8; k *= 2) {
+    split("ps sharded-ps ring tree netreduce", mtopos, " ")
+    for (t = 1; t <= 5; t++) for (k = 2; k <= 8; k *= 2) {
         name = mod(mtopos[t], k)
         if (mmbs[name] == "") continue
         printf "%s    {\"topology\": \"%s\", \"tasks\": %d, \"model_mb_per_s_per_task\": %s, \"model_step_us\": %s}",
@@ -237,3 +244,54 @@ END {
 }' "$TMP/allreduce.txt" > "$OUT_AR"
 
 echo "wrote $OUT_AR" >&2
+
+# Scale story: per-task gradient goodput for the single PS, the K=2 sharded
+# PS, and the ring at 4 and 8 tasks under the NIC-direction contention
+# model. Each cell is a full synchronous training run (3 steps/iteration),
+# repeated 5 times; the JSON keeps the best run per cell (max goodput, min
+# step time) because scheduler noise on a loaded box only ever slows a cell
+# down. The headline boolean is the PR's acceptance claim: splitting the
+# gradient buckets across two shard NICs must beat the single-PS incast at
+# 8 tasks.
+echo "== scale ablation (ps vs sharded-ps vs ring, 3 steps/cell, best of 5) ==" >&2
+go test -run='^$' -bench='^BenchmarkScale$' -benchtime=3x -count=5 -timeout=30m \
+    ./internal/distributed/ | tee "$TMP/scale.txt" >&2
+
+awk -v num_cpu="$(nproc)" -v go_ver="$(go env GOVERSION)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^BenchmarkScale\//, "", name)
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "MB/s/task")     { if (mbs[name] == "" || $i + 0 > mbs[name] + 0) mbs[name] = $i }
+        if ($(i+1) == "ms/step")       { if (ms[name] == ""  || $i + 0 < ms[name] + 0)  ms[name]  = $i }
+        if ($(i+1) == "comm_frac")     { if (cf[name] == ""  || $i + 0 < cf[name] + 0)  cf[name]  = $i }
+        if ($(i+1) == "commpoll_frac") { if (cpf[name] == "" || $i + 0 < cpf[name] + 0) cpf[name] = $i }
+    }
+    if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+}
+function cell(topo, tasks) { return "topo=" topo "/tasks=" tasks }
+function ratio(den, num) { return (den > 0 && num > 0) ? sprintf("%.2f", num / den) : "null" }
+END {
+    printf "{\n  \"num_cpu\": %d,\n  \"go\": \"%s\",\n", num_cpu, go_ver
+    printf "  \"note\": \"per-task gradient goodput of the symmetric benchmark MLP under NIC-direction contention; best of 5 runs per cell (max MB/s, min ms/step); sharded-ps runs K=2 shard tasks with the deterministic bucket->shard map, bit-identical to the single PS from the same seed; commpoll_frac is the workers Comm+PollWait share of accounted time\",\n"
+    printf "  \"cells\": [\n"
+    first = 1
+    split("ps sharded-ps ring", topos, " ")
+    for (t = 1; t <= 3; t++) for (k = 4; k <= 8; k *= 2) {
+        name = cell(topos[t], k)
+        if (mbs[name] == "") continue
+        printf "%s    {\"topology\": \"%s\", \"tasks\": %d, \"mb_per_s_per_task\": %s, \"ms_per_step\": %s, \"comm_frac\": %s, \"commpoll_frac\": %s}",
+            (first ? "" : ",\n"), topos[t], k, mbs[name], ms[name], cf[name], cpf[name]
+        first = 0
+    }
+    printf "\n  ],\n"
+    printf "  \"sharded_vs_ps_speedup\": {\n"
+    printf "    \"tasks_4\": %s,\n", ratio(mbs[cell("ps", 4)], mbs[cell("sharded-ps", 4)])
+    printf "    \"tasks_8\": %s\n",  ratio(mbs[cell("ps", 8)], mbs[cell("sharded-ps", 8)])
+    printf "  },\n"
+    printf "  \"sharded_beats_ps_at_8_tasks\": %s\n", (mbs[cell("sharded-ps", 8)] + 0 > mbs[cell("ps", 8)] + 0) ? "true" : "false"
+    printf "}\n"
+}' "$TMP/scale.txt" > "$OUT_SCALE"
+
+echo "wrote $OUT_SCALE" >&2

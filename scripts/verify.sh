@@ -45,6 +45,18 @@ go test -race ./internal/comm/
 go test -race -run '^TestTopologyParityMLP$|^TestTopologyParityWorkerSweep$|^TestSingleGradientModelTrainsAllTopologies$' ./internal/distributed/
 go test -race -run '^TestRingChaosBitIdenticalUnderFaults$|^TestRecoveryRingCrashBitIdentical$' ./internal/distributed/
 
+# Sharded-PS gates: shard/worker-sweep and hierarchical parity against the
+# single-PS bits, plus the sharded plane under chaos and crash recovery.
+echo "== sharded-PS parity & chaos gates (-race) =="
+go test -race -run '^TestShardedPSParityShardWorkerSweep$|^TestShardedPSHierarchicalParity$|^TestShardedPSParityBucketSizes$' ./internal/distributed/
+go test -race -run '^TestShardedPSChaosBitIdenticalUnderFaults$|^TestRecoveryShardedPSCrashBitIdentical$' ./internal/distributed/
+
+# Pipelined-stripe gates: the copy-overlapped send path must stay
+# bit-identical to the staged path, keep per-lane doorbell batching on the
+# staged path, and heal injected drops by re-staging the same bytes.
+echo "== pipelined stripe & doorbell batch gates (-race) =="
+go test -race -run '^TestSendRetryFromParity$|^TestSendRetryDoorbellBatchesPerLane$|^TestSendRetryFromRecoversFromDrops$|^TestMemcpyBatchValidatesBeforePosting$' ./internal/rdma/
+
 # Fuzz smoke: each target gets a short budget. The engine accepts one
 # -fuzz pattern per invocation, so loop explicitly.
 FUZZTIME="${FUZZTIME:-5s}"
@@ -58,5 +70,6 @@ go test -run=NONE -fuzz='^FuzzTensorMessageUnmarshal$' -fuzztime="$FUZZTIME" ./i
 go test -run=NONE -fuzz='^FuzzDecodeBatch$' -fuzztime="$FUZZTIME" ./internal/wire/
 go test -run=NONE -fuzz='^FuzzHistogramRecord$' -fuzztime="$FUZZTIME" ./internal/metrics/
 go test -run=NONE -fuzz='^FuzzUnmarshalBucketDesc$' -fuzztime="$FUZZTIME" ./internal/comm/
+go test -run=NONE -fuzz='^FuzzUnmarshalShardMap$' -fuzztime="$FUZZTIME" ./internal/comm/
 
 echo "verify: OK"
