@@ -10,6 +10,7 @@
 //	             [-ps-shards K] [-agg-group N]
 //	             [-workers N] [-ps N] [-iters N] [-batch N]
 //	             [-stripes N] [-coalesce BYTES]
+//	             [-qp-slots N] [-lossy-fabric] [-chunk-drop-rate F]
 //	             [-heartbeat DUR] [-checkpoint-every N]
 //	             [-obs-addr HOST:PORT]
 package main
@@ -71,6 +72,9 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: schedule seed (reproducible fault stream)")
 	stripes := flag.Int("stripes", 1, "stripe large tensor transfers across up to N QP lanes per peer (1 = single lane)")
 	coalesce := flag.Int("coalesce", 0, "batch static tensors smaller than N bytes into one coalesced write per peer pair (0 = off)")
+	qpSlots := flag.Int("qp-slots", 0, "multiplex all peer channels over a bounded pool of N QP slots per device (0 = direct per-peer QPs; with N, per-task QP state is O(slots) instead of O(peers))")
+	lossyFabric := flag.Bool("lossy-fabric", false, "run one-sided writes under the lossy-fabric protocol: every chunk is tagged (tensor-id, seq) and dropped chunks are NACKed and selectively retransmitted (RDMA mechanism only)")
+	chunkDropRate := flag.Float64("chunk-drop-rate", 0, "chaos: fraction of tagged chunks to drop silently on the wire (requires -lossy-fabric; recovered per-chunk, never by connection replay)")
 	heartbeat := flag.Duration("heartbeat", 0, "enable the lease failure detector and crash recovery, pinging each task at this period (0 = off; lease timeout is 10x the period; RDMA mechanisms only)")
 	ckptEvery := flag.Int("checkpoint-every", 5, "with -heartbeat, checkpoint the cluster every N steps (rollback target after a crash)")
 	obsAddr := flag.String("obs-addr", "", "serve live observability HTTP on this address (Prometheus /metrics, /trace JSON, /steps report, /debug/pprof/); empty = off")
@@ -89,15 +93,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rdmadl-train: -stripes %d below 1\n", *stripes)
 		os.Exit(2)
 	}
+	if *chunkDropRate < 0 || *chunkDropRate >= 1 {
+		fmt.Fprintf(os.Stderr, "rdmadl-train: -chunk-drop-rate %v outside [0, 1)\n", *chunkDropRate)
+		os.Exit(2)
+	}
+	if *chunkDropRate > 0 && !*lossyFabric {
+		fmt.Fprintf(os.Stderr, "rdmadl-train: -chunk-drop-rate needs -lossy-fabric (plain writes have no per-chunk recovery)\n")
+		os.Exit(2)
+	}
+	if *qpSlots < 0 {
+		fmt.Fprintf(os.Stderr, "rdmadl-train: -qp-slots %d below 0\n", *qpSlots)
+		os.Exit(2)
+	}
 	if err := run(kind, *topology, *bucketBytes, *psShards, *aggGroup, *workers, *psCount, *iters, *batch, *kernelWorkers, *optimizer, *dot, *tracePath,
-		*dropRate, *chaosSeed, *stripes, *coalesce, *heartbeat, *ckptEvery, *obsAddr); err != nil {
+		*dropRate, *chaosSeed, *stripes, *coalesce, *qpSlots, *lossyFabric, *chunkDropRate, *heartbeat, *ckptEvery, *obsAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "rdmadl-train: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(kind distributed.Kind, topology string, bucketBytes, psShards, aggGroup, workers, psCount, iters, batch, kernelWorkers int, optimizer, dotPath, tracePath string,
-	dropRate float64, chaosSeed int64, stripes, coalesce int, heartbeat time.Duration, ckptEvery int, obsAddr string) error {
+	dropRate float64, chaosSeed int64, stripes, coalesce, qpSlots int, lossyFabric bool, chunkDropRate float64, heartbeat time.Duration, ckptEvery int, obsAddr string) error {
 	var rec *trace.Recorder
 	if tracePath != "" {
 		rec = trace.NewRecorder(0)
@@ -118,6 +134,8 @@ func run(kind distributed.Kind, topology string, bucketBytes, psShards, aggGroup
 		KernelWorkers: kernelWorkers,
 		RingCfg:       transport.RingConfig{Slots: 32, SlotSize: 64 << 10},
 		Trace:         rec,
+		QPSlots:       qpSlots,
+		LossyFabric:   lossyFabric,
 		Transfer: rdma.TransferOpts{
 			Stripes:           stripes,
 			CoalesceThreshold: coalesce,
@@ -147,12 +165,17 @@ func run(kind distributed.Kind, topology string, bucketBytes, psShards, aggGroup
 	}
 
 	var inj *chaos.Injector
-	if dropRate > 0 {
-		inj = chaos.New(chaos.Plan{Seed: chaosSeed, DropRate: dropRate})
+	if dropRate > 0 || chunkDropRate > 0 {
+		inj = chaos.New(chaos.Plan{Seed: chaosSeed, DropRate: dropRate, ChunkDropRate: chunkDropRate})
 		inj.Install(cl.Fabric())
 		inj.Start()
 		defer inj.Stop()
-		fmt.Printf("chaos: dropping %.0f%% of transfers (seed %d)\n", dropRate*100, chaosSeed)
+		if dropRate > 0 {
+			fmt.Printf("chaos: dropping %.0f%% of transfers (seed %d)\n", dropRate*100, chaosSeed)
+		}
+		if chunkDropRate > 0 {
+			fmt.Printf("chaos: dropping %.0f%% of tagged chunks on the wire (seed %d; selective retransmit heals them)\n", chunkDropRate*100, chaosSeed)
+		}
 	}
 
 	feeds := job.SyntheticDataset(7)
@@ -256,11 +279,16 @@ func run(kind distributed.Kind, topology string, bucketBytes, psShards, aggGroup
 			task, m.BytesSent, m.Messages, m.MemCopies, m.CopiedBytes, m.SerializedBytes, m.ZeroCopyOps,
 			m.Retries, m.Timeouts, m.StripedTransfers, m.StripeSegments, m.ActiveLanes(),
 			m.CoalescedMessages, m.CoalesceFlushes)
+		if qpSlots > 0 || lossyFabric {
+			fmt.Printf("  %-9s qp_slots_active=%2d leases=%3d evictions=%4d busy=%4d retransmit_chunks=%4d nacks=%4d\n",
+				"", m.QPSlotsActive, m.QPLeases, m.QPEvictions, m.QPBusy,
+				m.RetransmitChunks, m.NacksSent)
+		}
 	}
 	if inj != nil {
 		c := inj.Counters()
 		fmt.Printf("chaos: injected %d faults over %d decisions\n",
-			c.Total(), c.Checked[chaos.Drop])
+			c.Total(), c.Checked[chaos.Drop]+c.Checked[chaos.ChunkDrop])
 	}
 	if recov != nil {
 		rs := recov.Metrics()

@@ -46,6 +46,13 @@ const (
 	DelayCompletion
 	// MsgDrop fails a two-sided message send (RPC traffic).
 	MsgDrop
+	// ChunkDrop silently loses a semantically tagged chunk write on a lossy
+	// fabric — no error, no NAK; recovery is the lossy protocol's per-tensor
+	// selective retransmit (rdma.LossySender).
+	ChunkDrop
+	// ChunkStale counts tagged chunks the receiver's epoch guard discarded
+	// (a retransmit straggling past its iteration).
+	ChunkStale
 	// PartitionEvent counts script-driven Partition/Heal transitions.
 	PartitionEvent
 	// CrashEvent counts script-driven task crashes and restarts.
@@ -70,6 +77,10 @@ func (f Fault) String() string {
 		return "delay-completion"
 	case MsgDrop:
 		return "msg-drop"
+	case ChunkDrop:
+		return "chunk-drop"
+	case ChunkStale:
+		return "chunk-stale"
 	case PartitionEvent:
 		return "partition-event"
 	case CrashEvent:
@@ -118,6 +129,18 @@ type Plan struct {
 	DelayCompletionRate float64
 	// MsgDropRate drops two-sided messages (RPC requests and responses).
 	MsgDropRate float64
+	// ChunkDropRate silently loses semantically tagged chunk writes (the
+	// lossy-fabric model): the sender sees a successful completion, the
+	// bytes never land, and recovery is the per-tensor selective-retransmit
+	// protocol. A non-zero rate switches the hook set's Lossy mode on.
+	ChunkDropRate float64
+	// TargetTensor, when non-zero, restricts chunk loss to the one tensor
+	// with that id — the blackhole scenario (with ChunkDropRate 1.0, every
+	// chunk of exactly that tensor is lost and its edge must fail typed and
+	// bounded). Filtering happens before the deterministic decision draw,
+	// so the decision stream for the targeted tensor is unchanged by other
+	// tensors' traffic volume.
+	TargetTensor uint64
 
 	// Script is the timed partition/heal and crash/restart sequence,
 	// applied from Start.
@@ -228,6 +251,17 @@ func (i *Injector) Hooks() rdma.Hooks {
 				return fmt.Errorf("chaos: dropped %d-byte message: %w", size, rdma.ErrInjected)
 			}
 			return nil
+		},
+		Lossy: i.plan.ChunkDropRate > 0,
+		ChunkDrop: func(tag rdma.ChunkTag, size int) bool {
+			if i.plan.TargetTensor != 0 && tag.TensorID != i.plan.TargetTensor {
+				return false
+			}
+			hit, _ := i.decide(ChunkDrop, i.plan.ChunkDropRate)
+			return hit
+		},
+		OnChunkStale: func(tag rdma.ChunkTag) {
+			i.injected[ChunkStale].Add(1)
 		},
 	}
 }

@@ -3,6 +3,7 @@ package distributed
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -39,6 +40,18 @@ type Config struct {
 	// NumCQs and QPsPerPeer configure the RDMA devices (default 4/4, the
 	// paper's evaluation setting).
 	NumCQs, QPsPerPeer int
+	// QPSlots, when positive, multiplexes each device's peer channels over
+	// a bounded pool of QP slots (rdma.QPMux): at most QPSlots peers hold
+	// live QP groups at a time, LRU-evicted as traffic shifts. QP state is
+	// then O(tasks × QPSlots) cluster-wide instead of O(tasks²). Zero keeps
+	// direct per-peer QPs.
+	QPSlots int
+	// LossyFabric runs statically placed edges over the per-tensor
+	// selective-retransmit protocol (rdma.LossySender/LossyReceiver), the
+	// configuration for fabrics that drop packets instead of NAKing them.
+	// Dropped chunks are NACKed and re-sent individually; training results
+	// stay bit-identical to a lossless run from the same seed.
+	LossyFabric bool
 	// PollTimeout aborts a step whose receive operators make no progress
 	// (dead peer, partitioned fabric). Default 30s; negative disables.
 	PollTimeout time.Duration
@@ -82,6 +95,10 @@ type Server struct {
 	// it is carried across a recovery restart, so the books stay balanced
 	// over the task's whole lifetime, rebuilds included.
 	Hists *metrics.Set
+	// Mux, when Config.QPSlots is set, multiplexes this device's peer
+	// channels over a bounded QP-slot pool; senders and receivers lease
+	// lanes through it per transfer attempt.
+	Mux *rdma.QPMux
 
 	rpcSrv  *rpc.Server
 	rpcAddr string
@@ -124,6 +141,7 @@ const (
 	edgeDescMethod    = "edge.desc"
 	edgeScratchMethod = "edge.scratch"
 	edgeCoalAckMethod = "edge.coalack"
+	edgeNackMethod    = "edge.nack"
 	rpcTimeout        = 10 * time.Second
 )
 
@@ -225,6 +243,13 @@ func (c *Cluster) newServer(task string) (*Server, error) {
 	srv.Env = newEnv(task, c.cfg.Kind, policy, m, arena, arenaMR)
 	srv.Env.Xfer = c.cfg.Transfer
 	srv.Env.Hists = hists
+	if c.cfg.QPSlots > 0 {
+		mux, err := rdma.NewQPMux(dev, c.cfg.QPSlots, c.muxLanes())
+		if err != nil {
+			return nil, err
+		}
+		srv.Mux = mux
+	}
 	dev.RegisterRPC(edgeDescMethod, func(from string, req []byte) ([]byte, error) {
 		srv.descMu.Lock()
 		defer srv.descMu.Unlock()
@@ -268,6 +293,25 @@ func (c *Cluster) newServer(task string) (*Server, error) {
 		g.mu.Lock()
 		g.senderAck, g.haveAck = ack, true
 		g.mu.Unlock()
+		return nil, nil
+	})
+	dev.RegisterRPC(edgeNackMethod, func(from string, req []byte) ([]byte, error) {
+		key, desc, err := splitKeyPayload(req)
+		if err != nil {
+			return nil, err
+		}
+		scratch, err := rdma.UnmarshalDynSlotDesc(desc)
+		if err != nil {
+			return nil, err
+		}
+		st, err := srv.Env.staticRecvState(key)
+		if err != nil {
+			return nil, err
+		}
+		if st.lossy == nil {
+			return nil, fmt.Errorf("%w: edge %q on %s is not lossy", ErrSetup, key, task)
+		}
+		st.lossy.SetSenderScratch(scratch)
 		return nil, nil
 	})
 	// Lease pings ride the same vanilla-RPC seam as address distribution
@@ -367,7 +411,8 @@ func coalPlans(res *analyzer.Result, threshold int) []*coalPlan {
 // setupRDMAEdges performs the two setup phases: receivers preallocate slots
 // and publish descriptors; senders fetch descriptors, build their staging
 // or scratch state, and (for dynamic edges) push their scratch descriptor
-// back for the ack path.
+// back for the ack path. With QP muxing on, every setup-time channel is a
+// short-lived lease, so even the setup round never exceeds the slot cap.
 func (c *Cluster) setupRDMAEdges(res *analyzer.Result) error {
 	plans := coalPlans(res, c.cfg.Transfer.CoalesceThreshold)
 	// Phase A: receiver-side preallocation.
@@ -375,105 +420,147 @@ func (c *Cluster) setupRDMAEdges(res *analyzer.Result) error {
 		if coalescible(e, c.cfg.Transfer.CoalesceThreshold) {
 			continue // handled per pair below
 		}
-		dst := c.servers[e.DstTask]
-		if e.Sig.Static {
-			payload := e.Sig.ByteSize()
-			mr, err := dst.allocEdgeMR(rdma.StaticSlotSize(payload))
-			if err != nil {
-				return fmt.Errorf("edge %s: %w", e.Key, err)
-			}
-			recv, err := rdma.NewStaticReceiver(mr, 0, payload)
-			if err != nil {
-				return fmt.Errorf("edge %s: %w", e.Key, err)
-			}
-			dst.Env.mu.Lock()
-			dst.Env.staticRecv[e.Key] = &staticRecvState{spec: e, recv: recv}
-			dst.Env.mu.Unlock()
-			dst.putDesc(e.Key, recv.Desc().Marshal())
-		} else {
-			metaMR, err := dst.allocEdgeMR(rdma.DynMetaSize)
-			if err != nil {
-				return fmt.Errorf("edge %s: %w", e.Key, err)
-			}
-			ch, err := dst.Dev.GetChannel(e.SrcTask, dst.nextQP(e.SrcTask, c.cfg.QPsPerPeer))
-			if err != nil {
-				return fmt.Errorf("edge %s: %w", e.Key, err)
-			}
-			recv, err := rdma.NewDynReceiver(ch, metaMR, 0)
-			if err != nil {
-				return fmt.Errorf("edge %s: %w", e.Key, err)
-			}
-			// Striping: the dyn fetch is receiver-driven, so the extra QP
-			// lanes live on the receiver.
-			for i := 1; i < c.stripeLanes(); i++ {
-				lane, err := dst.Dev.GetChannel(e.SrcTask, dst.nextQP(e.SrcTask, c.cfg.QPsPerPeer))
-				if err != nil {
-					return fmt.Errorf("edge %s lane %d: %w", e.Key, i, err)
-				}
-				if err := recv.AddLane(lane); err != nil {
-					return fmt.Errorf("edge %s lane %d: %w", e.Key, i, err)
-				}
-			}
-			dst.Env.mu.Lock()
-			dst.Env.dynRecv[e.Key] = &dynRecvState{spec: e, recv: recv}
-			dst.Env.mu.Unlock()
-			dst.putDesc(e.Key, recv.Desc().Marshal())
+		if err := c.setupRecvEdge(c.servers[e.DstTask], e); err != nil {
+			return err
 		}
 	}
 	// Phase A': coalesced batch slots, one per (src, dst) pair.
 	for _, p := range plans {
-		dst := c.servers[p.dstTask]
-		mr, err := dst.allocEdgeMR(rdma.StaticSlotSize(p.capacity))
-		if err != nil {
-			return fmt.Errorf("coalesce group %s: %w", p.key, err)
+		if err := c.setupCoalRecvGroup(c.servers[p.dstTask], p); err != nil {
+			return err
 		}
-		ch, err := dst.Dev.GetChannel(p.srcTask, dst.nextQP(p.srcTask, c.cfg.QPsPerPeer))
-		if err != nil {
-			return fmt.Errorf("coalesce group %s: %w", p.key, err)
-		}
-		recv, err := rdma.NewCoalescedReceiver(ch, mr, 0, p.capacity)
-		if err != nil {
-			return fmt.Errorf("coalesce group %s: %w", p.key, err)
-		}
-		g := &coalRecvGroup{key: p.key, recv: recv, pending: make(map[uint32][]byte)}
-		dst.Env.mu.Lock()
-		dst.Env.coalRecvGroups[p.key] = g
-		for id, e := range p.members {
-			dst.Env.coalRecvEdges[e.Key] = &coalRecvEdge{spec: e, group: g, id: uint32(id)}
-		}
-		dst.Env.mu.Unlock()
-		dst.putDesc(p.key, recv.Desc().Marshal())
 	}
 	// Phase B: sender-side setup via address distribution.
 	for _, e := range res.Edges {
 		if coalescible(e, c.cfg.Transfer.CoalesceThreshold) {
 			continue
 		}
-		src := c.servers[e.SrcTask]
-		ch, err := src.Dev.GetChannel(e.DstTask, src.nextQP(e.DstTask, c.cfg.QPsPerPeer))
+		if err := c.setupSendEdge(c.servers[e.SrcTask], e); err != nil {
+			return err
+		}
+	}
+	// Phase B': coalesced batch senders, plus ack-word distribution back to
+	// the receiver group.
+	for _, p := range plans {
+		if err := c.setupCoalSendGroup(c.servers[p.srcTask], p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// setupRecvEdge builds one edge's receiver-side state and publishes its
+// slot descriptor.
+func (c *Cluster) setupRecvEdge(dst *Server, e analyzer.EdgeSpec) error {
+	if e.Sig.Static {
+		payload := e.Sig.ByteSize()
+		if c.cfg.LossyFabric {
+			mr, err := dst.allocEdgeMR(rdma.LossySlotSize(payload))
+			if err != nil {
+				return fmt.Errorf("edge %s: %w", e.Key, err)
+			}
+			ch, release, err := c.chanFor(dst, e.SrcTask)
+			if err != nil {
+				return fmt.Errorf("edge %s: %w", e.Key, err)
+			}
+			defer release()
+			m := dst.Metrics
+			recv, err := rdma.NewLossyReceiver(ch, mr, 0, payload, edgeTensorID(e.Key),
+				rdma.LossyReceiverConfig{
+					OnNack: func(int) { m.AddNack() },
+					Source: muxSource(dst),
+				})
+			if err != nil {
+				return fmt.Errorf("edge %s: %w", e.Key, err)
+			}
+			dst.Env.mu.Lock()
+			dst.Env.staticRecv[e.Key] = &staticRecvState{spec: e, lossy: recv}
+			dst.Env.mu.Unlock()
+			dst.putDesc(e.Key, recv.Desc().Marshal())
+			return nil
+		}
+		mr, err := dst.allocEdgeMR(rdma.StaticSlotSize(payload))
 		if err != nil {
 			return fmt.Errorf("edge %s: %w", e.Key, err)
 		}
-		// Address distribution is idempotent (the handler only reads the
-		// published descriptor), so transient faults are retried.
-		descBytes, err := ch.CallRetry(edgeDescMethod, []byte(e.Key),
-			rdma.TransferOpts{Deadline: rpcTimeout})
+		recv, err := rdma.NewStaticReceiver(mr, 0, payload)
 		if err != nil {
 			return fmt.Errorf("edge %s: %w", e.Key, err)
 		}
-		if e.Sig.Static {
-			desc, err := rdma.UnmarshalStaticSlotDesc(descBytes)
+		dst.Env.mu.Lock()
+		dst.Env.staticRecv[e.Key] = &staticRecvState{spec: e, recv: recv}
+		dst.Env.mu.Unlock()
+		dst.putDesc(e.Key, recv.Desc().Marshal())
+		return nil
+	}
+	metaMR, err := dst.allocEdgeMR(rdma.DynMetaSize)
+	if err != nil {
+		return fmt.Errorf("edge %s: %w", e.Key, err)
+	}
+	ch, release, err := c.chanFor(dst, e.SrcTask)
+	if err != nil {
+		return fmt.Errorf("edge %s: %w", e.Key, err)
+	}
+	defer release()
+	recv, err := rdma.NewDynReceiver(ch, metaMR, 0)
+	if err != nil {
+		return fmt.Errorf("edge %s: %w", e.Key, err)
+	}
+	if dst.Mux != nil {
+		// Muxed: every fetch leases its lanes per attempt.
+		recv.SetLaneSource(dst.Mux)
+	} else {
+		// Striping: the dyn fetch is receiver-driven, so the extra QP
+		// lanes live on the receiver.
+		for i := 1; i < c.stripeLanes(); i++ {
+			lane, err := dst.Dev.GetChannel(e.SrcTask, dst.nextQP(e.SrcTask, c.cfg.QPsPerPeer))
 			if err != nil {
-				return fmt.Errorf("edge %s: %w", e.Key, err)
+				return fmt.Errorf("edge %s lane %d: %w", e.Key, i, err)
 			}
-			slot, err := src.stagingFor(e.SrcNode, e.Sig)
-			if err != nil {
-				return fmt.Errorf("edge %s: %w", e.Key, err)
+			if err := recv.AddLane(lane); err != nil {
+				return fmt.Errorf("edge %s lane %d: %w", e.Key, i, err)
 			}
-			sender, err := rdma.NewStaticSender(ch, slot.mr, 0, desc)
-			if err != nil {
-				return fmt.Errorf("edge %s: %w", e.Key, err)
-			}
+		}
+	}
+	dst.Env.mu.Lock()
+	dst.Env.dynRecv[e.Key] = &dynRecvState{spec: e, recv: recv}
+	dst.Env.mu.Unlock()
+	dst.putDesc(e.Key, recv.Desc().Marshal())
+	return nil
+}
+
+// setupSendEdge builds one edge's sender-side state: descriptor fetch via
+// address distribution, staging/scratch wiring, stripe lanes or mux source,
+// and — on a lossy fabric — the NACK-scratch push back to the receiver.
+func (c *Cluster) setupSendEdge(src *Server, e analyzer.EdgeSpec) error {
+	ch, release, err := c.chanFor(src, e.DstTask)
+	if err != nil {
+		return fmt.Errorf("edge %s: %w", e.Key, err)
+	}
+	defer release()
+	// Address distribution is idempotent (the handler only reads the
+	// published descriptor), so transient faults are retried.
+	descBytes, err := ch.CallRetry(edgeDescMethod, []byte(e.Key),
+		rdma.TransferOpts{Deadline: rpcTimeout})
+	if err != nil {
+		return fmt.Errorf("edge %s: %w", e.Key, err)
+	}
+	if e.Sig.Static {
+		desc, err := rdma.UnmarshalStaticSlotDesc(descBytes)
+		if err != nil {
+			return fmt.Errorf("edge %s: %w", e.Key, err)
+		}
+		slot, err := src.stagingFor(e.SrcNode, e.Sig)
+		if err != nil {
+			return fmt.Errorf("edge %s: %w", e.Key, err)
+		}
+		sender, err := rdma.NewStaticSender(ch, slot.mr, 0, desc)
+		if err != nil {
+			return fmt.Errorf("edge %s: %w", e.Key, err)
+		}
+		if src.Mux != nil {
+			sender.SetLaneSource(src.Mux)
+		} else {
 			// Striping: extra sender-side QP lanes for the write path.
 			for i := 1; i < c.stripeLanes(); i++ {
 				lane, err := src.Dev.GetChannel(e.DstTask, src.nextQP(e.DstTask, c.cfg.QPsPerPeer))
@@ -484,75 +571,128 @@ func (c *Cluster) setupRDMAEdges(res *analyzer.Result) error {
 					return fmt.Errorf("edge %s lane %d: %w", e.Key, i, err)
 				}
 			}
-			src.Env.mu.Lock()
-			src.Env.staticSend[e.Key] = &staticSendState{spec: e, slot: slot, sender: sender}
-			src.Env.mu.Unlock()
-			if c.cfg.Kind.ZeroCopy() {
-				src.Policy.BindStaging(e.SrcNode, slot.tensor)
-			}
-		} else {
-			desc, err := rdma.UnmarshalDynSlotDesc(descBytes)
+		}
+		st := &staticSendState{spec: e, slot: slot, sender: sender}
+		if c.cfg.LossyFabric {
+			ls, err := rdma.NewLossySender(sender, edgeTensorID(e.Key))
 			if err != nil {
 				return fmt.Errorf("edge %s: %w", e.Key, err)
 			}
-			scratchMR, err := src.allocEdgeMR(rdma.DynMetaSize)
-			if err != nil {
-				return fmt.Errorf("edge %s: %w", e.Key, err)
-			}
-			sender, err := rdma.NewDynSender(ch, scratchMR, 0, desc)
-			if err != nil {
-				return fmt.Errorf("edge %s: %w", e.Key, err)
-			}
-			src.Env.mu.Lock()
-			src.Env.dynSend[e.Key] = &dynSendState{spec: e, sender: sender, dev: src.Dev}
-			src.Env.mu.Unlock()
-			req := joinKeyPayload(e.Key, sender.ScratchDesc().Marshal())
-			// Idempotent too: the handler overwrites the scratch descriptor
-			// with the same value.
-			if _, err := ch.CallRetry(edgeScratchMethod, req,
+			// The receiver cannot NACK until it knows where the sender's
+			// NACK block lives; push it over the same idempotent RPC seam.
+			req := joinKeyPayload(e.Key, ls.NackScratch().Marshal())
+			if _, err := ch.CallRetry(edgeNackMethod, req,
 				rdma.TransferOpts{Deadline: rpcTimeout}); err != nil {
-				return fmt.Errorf("edge %s scratch distribution: %w", e.Key, err)
+				ls.Close()
+				return fmt.Errorf("edge %s nack distribution: %w", e.Key, err)
 			}
+			st.lossy = ls
 		}
-	}
-	// Phase B': coalesced batch senders, plus ack-word distribution back to
-	// the receiver group.
-	for _, p := range plans {
-		src := c.servers[p.srcTask]
-		ch, err := src.Dev.GetChannel(p.dstTask, src.nextQP(p.dstTask, c.cfg.QPsPerPeer))
-		if err != nil {
-			return fmt.Errorf("coalesce group %s: %w", p.key, err)
-		}
-		descBytes, err := ch.CallRetry(edgeDescMethod, []byte(p.key),
-			rdma.TransferOpts{Deadline: rpcTimeout})
-		if err != nil {
-			return fmt.Errorf("coalesce group %s: %w", p.key, err)
-		}
-		desc, err := rdma.UnmarshalCoalescedSlotDesc(descBytes)
-		if err != nil {
-			return fmt.Errorf("coalesce group %s: %w", p.key, err)
-		}
-		mr, err := src.allocEdgeMR(rdma.StaticSlotSize(desc.Capacity) + rdma.FlagWordSize)
-		if err != nil {
-			return fmt.Errorf("coalesce group %s: %w", p.key, err)
-		}
-		sender, err := rdma.NewCoalescedSender(ch, mr, 0, desc)
-		if err != nil {
-			return fmt.Errorf("coalesce group %s: %w", p.key, err)
-		}
-		g := &coalSendGroup{key: p.key, sender: sender, members: len(p.members)}
 		src.Env.mu.Lock()
-		src.Env.coalSendGroups[p.key] = g
-		for id, e := range p.members {
-			src.Env.coalSendEdges[e.Key] = &coalSendEdge{spec: e, group: g, id: uint32(id)}
-		}
+		src.Env.staticSend[e.Key] = st
 		src.Env.mu.Unlock()
-		req := joinKeyPayload(p.key, sender.AckDesc().Marshal())
-		// Idempotent: the handler overwrites the ack descriptor in place.
-		if _, err := ch.CallRetry(edgeCoalAckMethod, req,
-			rdma.TransferOpts{Deadline: rpcTimeout}); err != nil {
-			return fmt.Errorf("coalesce group %s ack distribution: %w", p.key, err)
+		if c.cfg.Kind.ZeroCopy() {
+			src.Policy.BindStaging(e.SrcNode, slot.tensor)
 		}
+		return nil
+	}
+	desc, err := rdma.UnmarshalDynSlotDesc(descBytes)
+	if err != nil {
+		return fmt.Errorf("edge %s: %w", e.Key, err)
+	}
+	scratchMR, err := src.allocEdgeMR(rdma.DynMetaSize)
+	if err != nil {
+		return fmt.Errorf("edge %s: %w", e.Key, err)
+	}
+	sender, err := rdma.NewDynSender(ch, scratchMR, 0, desc)
+	if err != nil {
+		return fmt.Errorf("edge %s: %w", e.Key, err)
+	}
+	if src.Mux != nil {
+		sender.SetLaneSource(src.Mux)
+	}
+	src.Env.mu.Lock()
+	src.Env.dynSend[e.Key] = &dynSendState{spec: e, sender: sender, dev: src.Dev}
+	src.Env.mu.Unlock()
+	req := joinKeyPayload(e.Key, sender.ScratchDesc().Marshal())
+	// Idempotent too: the handler overwrites the scratch descriptor
+	// with the same value.
+	if _, err := ch.CallRetry(edgeScratchMethod, req,
+		rdma.TransferOpts{Deadline: rpcTimeout}); err != nil {
+		return fmt.Errorf("edge %s scratch distribution: %w", e.Key, err)
+	}
+	return nil
+}
+
+// setupCoalRecvGroup builds one pair's coalesced batch slot.
+func (c *Cluster) setupCoalRecvGroup(dst *Server, p *coalPlan) error {
+	mr, err := dst.allocEdgeMR(rdma.StaticSlotSize(p.capacity))
+	if err != nil {
+		return fmt.Errorf("coalesce group %s: %w", p.key, err)
+	}
+	ch, release, err := c.chanFor(dst, p.srcTask)
+	if err != nil {
+		return fmt.Errorf("coalesce group %s: %w", p.key, err)
+	}
+	defer release()
+	recv, err := rdma.NewCoalescedReceiver(ch, mr, 0, p.capacity)
+	if err != nil {
+		return fmt.Errorf("coalesce group %s: %w", p.key, err)
+	}
+	if dst.Mux != nil {
+		recv.SetLaneSource(dst.Mux)
+	}
+	g := &coalRecvGroup{key: p.key, recv: recv, pending: make(map[uint32][]byte)}
+	dst.Env.mu.Lock()
+	dst.Env.coalRecvGroups[p.key] = g
+	for id, e := range p.members {
+		dst.Env.coalRecvEdges[e.Key] = &coalRecvEdge{spec: e, group: g, id: uint32(id)}
+	}
+	dst.Env.mu.Unlock()
+	dst.putDesc(p.key, recv.Desc().Marshal())
+	return nil
+}
+
+// setupCoalSendGroup builds one pair's coalesced batch sender and pushes
+// the reuse-ack word back to the receiver group.
+func (c *Cluster) setupCoalSendGroup(src *Server, p *coalPlan) error {
+	ch, release, err := c.chanFor(src, p.dstTask)
+	if err != nil {
+		return fmt.Errorf("coalesce group %s: %w", p.key, err)
+	}
+	defer release()
+	descBytes, err := ch.CallRetry(edgeDescMethod, []byte(p.key),
+		rdma.TransferOpts{Deadline: rpcTimeout})
+	if err != nil {
+		return fmt.Errorf("coalesce group %s: %w", p.key, err)
+	}
+	desc, err := rdma.UnmarshalCoalescedSlotDesc(descBytes)
+	if err != nil {
+		return fmt.Errorf("coalesce group %s: %w", p.key, err)
+	}
+	mr, err := src.allocEdgeMR(rdma.StaticSlotSize(desc.Capacity) + rdma.FlagWordSize)
+	if err != nil {
+		return fmt.Errorf("coalesce group %s: %w", p.key, err)
+	}
+	sender, err := rdma.NewCoalescedSender(ch, mr, 0, desc)
+	if err != nil {
+		return fmt.Errorf("coalesce group %s: %w", p.key, err)
+	}
+	if src.Mux != nil {
+		sender.SetLaneSource(src.Mux)
+	}
+	g := &coalSendGroup{key: p.key, sender: sender, members: len(p.members)}
+	src.Env.mu.Lock()
+	src.Env.coalSendGroups[p.key] = g
+	for id, e := range p.members {
+		src.Env.coalSendEdges[e.Key] = &coalSendEdge{spec: e, group: g, id: uint32(id)}
+	}
+	src.Env.mu.Unlock()
+	req := joinKeyPayload(p.key, sender.AckDesc().Marshal())
+	// Idempotent: the handler overwrites the ack descriptor in place.
+	if _, err := ch.CallRetry(edgeCoalAckMethod, req,
+		rdma.TransferOpts{Deadline: rpcTimeout}); err != nil {
+		return fmt.Errorf("coalesce group %s ack distribution: %w", p.key, err)
 	}
 	return nil
 }
@@ -565,6 +705,68 @@ func (c *Cluster) stripeLanes() int {
 		s = rdma.MaxStripes
 	}
 	return s
+}
+
+// muxLanes is the per-lease lane count when QP muxing is on: the stripe
+// lane count, at least 1, clamped to the device's QPs per peer (a mux slot
+// can hand out at most one peer connection's worth of QPs).
+func (c *Cluster) muxLanes() int {
+	lanes := c.stripeLanes()
+	if lanes < 1 {
+		lanes = 1
+	}
+	qpp := c.cfg.QPsPerPeer
+	if qpp == 0 {
+		qpp = 4
+	}
+	if lanes > qpp {
+		lanes = qpp
+	}
+	return lanes
+}
+
+// chanFor resolves a channel to peer for setup-time traffic: a short mux
+// lease (released via the returned func) when muxing is on, else a direct
+// round-robin QP. Senders and receivers built on a leased channel must be
+// given the mux as their lane source before the lease is released — after
+// that the constructor channel only names the peer, and every transfer
+// re-leases live lanes per attempt.
+func (c *Cluster) chanFor(s *Server, peer string) (*rdma.Channel, func(), error) {
+	if s.Mux != nil {
+		lanes, release, err := s.Mux.AcquireLanes(peer)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lanes[0], release, nil
+	}
+	ch, err := s.Dev.GetChannel(peer, s.nextQP(peer, c.cfg.QPsPerPeer))
+	if err != nil {
+		return nil, nil, err
+	}
+	return ch, func() {}, nil
+}
+
+// muxSource returns the server's mux as a lane source, or a nil interface
+// when muxing is off (a plain `s.Mux` would be a typed nil the rdma layer
+// cannot distinguish from a live source).
+func muxSource(s *Server) rdma.LaneSource {
+	if s.Mux == nil {
+		return nil
+	}
+	return s.Mux
+}
+
+// edgeTensorID derives the stable non-zero tensor identity the lossy
+// protocol tags every chunk with from the edge key. Both ends hash the
+// same key, so no extra exchange is needed.
+func edgeTensorID(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	id := h.Sum64()
+	if id == 0 {
+		id = 1
+	}
+	return id
 }
 
 // stagingFor returns (or creates) the shared sender staging slot for a
@@ -839,6 +1041,11 @@ func (c *Cluster) severPeer(task string) {
 	defer c.mu.RUnlock()
 	for name, srv := range c.servers {
 		if name != task && !srv.Dev.Closed() {
+			if srv.Mux != nil {
+				// Drop the mux's slot first so a later lease rebuilds fresh
+				// QPs instead of handing out the severed group.
+				srv.Mux.Invalidate(task)
+			}
 			srv.Dev.ClosePeer(task)
 		}
 	}
@@ -888,6 +1095,8 @@ func (c *Cluster) teardownEdges() {
 			continue
 		}
 		srv.Env.mu.Lock()
+		staticSends := srv.Env.staticSend
+		staticRecvs := srv.Env.staticRecv
 		dynRecvs := srv.Env.dynRecv
 		dynSends := srv.Env.dynSend
 		coalSends := srv.Env.coalSendGroups
@@ -904,6 +1113,18 @@ func (c *Cluster) teardownEdges() {
 		// the aborted step; fail them so no waiter is left parked forever.
 		for _, g := range coalSends {
 			g.failPending(fmt.Errorf("%w: coalesce group %s torn down for edge rebuild", ErrComm, g.key))
+		}
+		// Lossy endpoints own side regions (NACK scratch, staging) outside
+		// the edgeMR list; Close frees them.
+		for _, st := range staticSends {
+			if st.lossy != nil {
+				st.lossy.Close()
+			}
+		}
+		for _, st := range staticRecvs {
+			if st.lossy != nil {
+				st.lossy.Close()
+			}
 		}
 		for _, st := range dynRecvs {
 			st.recv.Close()
@@ -956,6 +1177,10 @@ func (c *Cluster) MetricsSnapshot() map[string]metrics.CommSnapshot {
 	srvs := c.serversSnapshot()
 	out := make(map[string]metrics.CommSnapshot, len(srvs))
 	for task, srv := range srvs {
+		if srv.Mux != nil {
+			st := srv.Mux.Stats()
+			srv.Metrics.SetQPStats(st.ActiveSlots, st.ActiveLeases, st.Evictions, st.Busy)
+		}
 		out[task] = srv.Metrics.Snapshot()
 	}
 	return out

@@ -175,11 +175,16 @@ type staticSendState struct {
 	spec   analyzer.EdgeSpec
 	slot   *stagingSlot
 	sender *rdma.StaticSender
+	// lossy, when non-nil, wraps sender with the selective-retransmit
+	// protocol (Config.LossyFabric); the send kernels go through it.
+	lossy *rdma.LossySender
 }
 
 type staticRecvState struct {
 	spec analyzer.EdgeSpec
 	recv *rdma.StaticReceiver
+	// lossy replaces recv on a lossy fabric (exactly one of the two is set).
+	lossy *rdma.LossyReceiver
 }
 
 type dynSendState struct {
@@ -262,6 +267,7 @@ func (e *Env) xferOpts() rdma.TransferOpts {
 	o.OnRetry = func(error) { e.Metrics.AddRetry() }
 	o.OnStripe = func(lane, n int) { e.Metrics.AddStripe(lane, n) }
 	o.OnDoorbell = func(lane, chunks int) { e.Metrics.AddDoorbellFlush() }
+	o.OnRetransmit = func(chunks int) { e.Metrics.AddRetransmit(chunks) }
 	return o
 }
 

@@ -30,6 +30,14 @@ type Comm struct {
 	coalesceFlushes atomic.Int64
 	coalesceMsgs    atomic.Int64
 	doorbellFlushes atomic.Int64
+
+	retransmitChunks atomic.Int64
+	nacksSent        atomic.Int64
+
+	qpSlotsActive atomic.Int64
+	qpLeases      atomic.Int64
+	qpEvictions   atomic.Int64
+	qpBusy        atomic.Int64
 }
 
 // CommSnapshot is an immutable view of a Comm.
@@ -61,6 +69,19 @@ type CommSnapshot struct {
 	// per chunk. StripeSegments / DoorbellFlushes is the chunks-per-
 	// doorbell batching factor.
 	DoorbellFlushes int64
+	// RetransmitChunks counts chunks the lossy protocol selectively
+	// re-sent; NacksSent counts the receiver-side NACKs that asked for
+	// them. Under chunk loss these grow while Retries stays flat — the
+	// signature of per-tensor recovery without connection-level replay.
+	RetransmitChunks int64
+	NacksSent        int64
+	// QPSlotsActive / QPLeases are mux gauges (bound slots, outstanding
+	// leases); QPEvictions and QPBusy count LRU rebinds and lease-
+	// exhaustion rejections since start.
+	QPSlotsActive int64
+	QPLeases      int64
+	QPEvictions   int64
+	QPBusy        int64
 }
 
 // AddSent records an outbound transfer.
@@ -118,6 +139,21 @@ func (c *Comm) AddCoalesced(msgs int) {
 	c.coalesceMsgs.Add(int64(msgs))
 }
 
+// AddRetransmit records one served NACK that selectively re-sent n chunks.
+func (c *Comm) AddRetransmit(n int) { c.retransmitChunks.Add(int64(n)) }
+
+// AddNack records one NACK posted by a lossy receiver.
+func (c *Comm) AddNack() { c.nacksSent.Add(1) }
+
+// SetQPStats publishes the QP mux state: current bound slots and
+// outstanding leases (gauges), cumulative evictions and busy rejections.
+func (c *Comm) SetQPStats(slotsActive, leases int, evictions, busy int64) {
+	c.qpSlotsActive.Store(int64(slotsActive))
+	c.qpLeases.Store(int64(leases))
+	c.qpEvictions.Store(evictions)
+	c.qpBusy.Store(busy)
+}
+
 // Snapshot returns the current counter values.
 func (c *Comm) Snapshot() CommSnapshot {
 	s := CommSnapshot{
@@ -137,6 +173,12 @@ func (c *Comm) Snapshot() CommSnapshot {
 		CoalesceFlushes:   c.coalesceFlushes.Load(),
 		CoalescedMessages: c.coalesceMsgs.Load(),
 		DoorbellFlushes:   c.doorbellFlushes.Load(),
+		RetransmitChunks:  c.retransmitChunks.Load(),
+		NacksSent:         c.nacksSent.Load(),
+		QPSlotsActive:     c.qpSlotsActive.Load(),
+		QPLeases:          c.qpLeases.Load(),
+		QPEvictions:       c.qpEvictions.Load(),
+		QPBusy:            c.qpBusy.Load(),
 	}
 	for i := range c.laneBytes {
 		s.LaneBytes[i] = c.laneBytes[i].Load()

@@ -1,0 +1,114 @@
+package netsim
+
+import "fmt"
+
+// This file prices the fabric's per-connection state at scale: what a
+// reliable-connection QP costs a NIC in context memory and setup time, and
+// how the two wiring strategies of internal/rdma compare as the task count
+// grows.
+//
+//   - Direct wiring opens QPsPerPeer queue pairs to every other task, so
+//     each task holds (N-1)·K QP contexts and the fabric holds N·(N-1)·K —
+//     the O(N²) state that blows the NIC's context cache (QP context lives
+//     in NIC SRAM; once the working set spills to host memory every verb
+//     pays a PCIe context fetch) and serializes N-1 connection handshakes
+//     per task at startup.
+//   - Muxed wiring (rdma.QPMux) leases at most Slots peer bindings of
+//     Lanes QPs each, so a task's live context is min(Slots, N-1)·Lanes
+//     regardless of N — the O(N·K) budget the mux exists to enforce.
+//
+// The constants are calibrated to commodity RNICs (ConnectX-class): a QP
+// context (QPC + companion CQ/WQE cache lines) is on the order of 16 KB of
+// on-NIC state, a reliable-connection handshake costs tens of microseconds
+// of driver/firmware work, and the context cache holds a few hundred QPs
+// before thrashing.
+type QPCost struct {
+	// StateBytes is the per-QP context footprint (QPC, CQ slice, WQE
+	// cache lines) counted against the NIC context cache.
+	StateBytes int64
+	// SetupUS is the per-QP connection setup cost (create, modify
+	// INIT→RTR→RTS, exchange). Setup is serialized per task: the driver
+	// path is a lock-held firmware command queue.
+	SetupUS float64
+	// CacheQPs is how many QP contexts fit in NIC SRAM before the
+	// working set spills and verbs start paying context fetches.
+	CacheQPs int
+	// ThrashFactor multiplies effective per-op overhead once the live QP
+	// count exceeds CacheQPs (PCIe round trip per context miss).
+	ThrashFactor float64
+}
+
+// DefaultQPCost returns the ConnectX-class calibration described above.
+func DefaultQPCost() QPCost {
+	return QPCost{
+		StateBytes:   16 << 10,
+		SetupUS:      50,
+		CacheQPs:     256,
+		ThrashFactor: 4,
+	}
+}
+
+// ScaleReport is the per-task and fabric-wide QP bill for one wiring
+// strategy at one cluster size.
+type ScaleReport struct {
+	Tasks int
+	// QPsPerTask is the live QP context count one task holds.
+	QPsPerTask int
+	// TotalQPs is the fabric-wide context count (Tasks · QPsPerTask).
+	TotalQPs int
+	// StateBytesPerTask charges QPsPerTask contexts against the NIC.
+	StateBytesPerTask int64
+	// SetupUSPerTask is the serialized connection-setup time one task
+	// spends bringing its QPs to RTS.
+	SetupUSPerTask float64
+	// Thrashing reports whether QPsPerTask exceeds the context cache, so
+	// steady-state verbs pay the ThrashFactor context-fetch penalty.
+	Thrashing bool
+	// OpOverheadFactor is 1 when the working set fits the cache and
+	// ThrashFactor once it spills.
+	OpOverheadFactor float64
+}
+
+func (c QPCost) report(tasks, qpsPerTask int) ScaleReport {
+	r := ScaleReport{
+		Tasks:             tasks,
+		QPsPerTask:        qpsPerTask,
+		TotalQPs:          tasks * qpsPerTask,
+		StateBytesPerTask: int64(qpsPerTask) * c.StateBytes,
+		SetupUSPerTask:    float64(qpsPerTask) * c.SetupUS,
+		OpOverheadFactor:  1,
+	}
+	if c.CacheQPs > 0 && qpsPerTask > c.CacheQPs {
+		r.Thrashing = true
+		r.OpOverheadFactor = c.ThrashFactor
+	}
+	return r
+}
+
+// Direct prices all-pairs wiring: every task keeps qpsPerPeer QPs to each
+// of the tasks-1 peers.
+func (c QPCost) Direct(tasks, qpsPerPeer int) ScaleReport {
+	if tasks < 1 || qpsPerPeer < 1 {
+		return ScaleReport{Tasks: tasks, OpOverheadFactor: 1}
+	}
+	return c.report(tasks, (tasks-1)*qpsPerPeer)
+}
+
+// Muxed prices QPMux wiring: at most slots peer bindings of lanes QPs
+// each, independent of the peer count once tasks-1 exceeds slots.
+func (c QPCost) Muxed(tasks, slots, lanes int) ScaleReport {
+	if tasks < 1 || slots < 1 || lanes < 1 {
+		return ScaleReport{Tasks: tasks, OpOverheadFactor: 1}
+	}
+	bindings := slots
+	if peers := tasks - 1; peers < bindings {
+		bindings = peers
+	}
+	return c.report(tasks, bindings*lanes)
+}
+
+func (r ScaleReport) String() string {
+	return fmt.Sprintf("tasks=%d qps/task=%d total=%d state=%.1fKB/task setup=%.2fms/task thrash=%v",
+		r.Tasks, r.QPsPerTask, r.TotalQPs,
+		float64(r.StateBytesPerTask)/1024, r.SetupUSPerTask/1000, r.Thrashing)
+}

@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestScale256TaskQPBudgets is the 256-task netsim scale gate: muxed wiring
+// must hold every task inside explicit QP state and connection-setup
+// budgets that all-pairs wiring demonstrably blows.
+func TestScale256TaskQPBudgets(t *testing.T) {
+	const (
+		tasks      = 256
+		qpsPerPeer = 4 // the fabric's default QPsPerPeer
+		slots      = 16
+		lanes      = 2
+		// Budgets the muxed fabric must meet at 256 tasks.
+		stateBudgetBytes = 1 << 20 // 1 MB of NIC context per task
+		setupBudgetUS    = 5000    // 5 ms to bring a task's QPs to RTS
+	)
+	c := DefaultQPCost()
+
+	muxed := c.Muxed(tasks, slots, lanes)
+	t.Logf("muxed:  %s", muxed)
+	if muxed.QPsPerTask != slots*lanes {
+		t.Errorf("muxed QPs/task = %d, want slots·lanes = %d", muxed.QPsPerTask, slots*lanes)
+	}
+	if muxed.StateBytesPerTask > stateBudgetBytes {
+		t.Errorf("muxed state %d B/task exceeds %d B budget", muxed.StateBytesPerTask, stateBudgetBytes)
+	}
+	if muxed.SetupUSPerTask > setupBudgetUS {
+		t.Errorf("muxed setup %.0fµs/task exceeds %dµs budget", muxed.SetupUSPerTask, setupBudgetUS)
+	}
+	if muxed.Thrashing {
+		t.Errorf("muxed working set (%d QPs) must fit the %d-QP context cache", muxed.QPsPerTask, c.CacheQPs)
+	}
+
+	direct := c.Direct(tasks, qpsPerPeer)
+	t.Logf("direct: %s", direct)
+	if want := (tasks - 1) * qpsPerPeer; direct.QPsPerTask != want {
+		t.Errorf("direct QPs/task = %d, want (N-1)·K = %d", direct.QPsPerTask, want)
+	}
+	if direct.StateBytesPerTask <= stateBudgetBytes {
+		t.Errorf("direct state %d B/task unexpectedly within budget; model lost its point", direct.StateBytesPerTask)
+	}
+	if direct.SetupUSPerTask <= setupBudgetUS {
+		t.Errorf("direct setup %.0fµs/task unexpectedly within budget", direct.SetupUSPerTask)
+	}
+	if !direct.Thrashing || direct.OpOverheadFactor <= 1 {
+		t.Errorf("direct %d QPs/task must thrash the %d-QP context cache", direct.QPsPerTask, c.CacheQPs)
+	}
+
+	// The mux's defining property: per-task state is O(K), flat in N.
+	for _, n := range []int{64, 256, 1024} {
+		if got := c.Muxed(n, slots, lanes).QPsPerTask; got != muxed.QPsPerTask {
+			t.Errorf("muxed QPs/task at N=%d is %d, want N-independent %d", n, got, muxed.QPsPerTask)
+		}
+	}
+	// While direct grows linearly per task (quadratically fabric-wide).
+	if d64 := c.Direct(64, qpsPerPeer); direct.TotalQPs <= d64.TotalQPs*4 {
+		t.Errorf("direct total QPs must grow superlinearly: 256 tasks %d vs 64 tasks %d", direct.TotalQPs, d64.TotalQPs)
+	}
+}
+
+func TestQPCostDegenerate(t *testing.T) {
+	c := DefaultQPCost()
+	for _, r := range []ScaleReport{
+		c.Direct(1, 4), c.Muxed(1, 16, 2), c.Direct(0, 4), c.Muxed(8, 0, 2),
+	} {
+		if r.QPsPerTask != 0 || r.StateBytesPerTask != 0 || r.Thrashing {
+			t.Errorf("degenerate config must cost nothing: %+v", r)
+		}
+	}
+	// A small cluster never leases more bindings than it has peers.
+	if got := c.Muxed(4, 16, 2).QPsPerTask; got != 3*2 {
+		t.Errorf("4-task muxed QPs/task = %d, want peers·lanes = 6", got)
+	}
+	// Determinism.
+	if a, b := c.Direct(256, 4), c.Direct(256, 4); a != b {
+		t.Errorf("model must be deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// BenchmarkQPScale emits the QP state and setup bill per wiring strategy
+// for scripts/bench.sh to fold into BENCH_scale.json.
+func BenchmarkQPScale(b *testing.B) {
+	c := DefaultQPCost()
+	for _, mode := range []string{"direct", "muxed"} {
+		for _, tasks := range []int{8, 64, 256} {
+			b.Run(fmt.Sprintf("mode=%s/tasks=%d", mode, tasks), func(b *testing.B) {
+				var r ScaleReport
+				for i := 0; i < b.N; i++ {
+					if mode == "direct" {
+						r = c.Direct(tasks, 4)
+					} else {
+						r = c.Muxed(tasks, 16, 2)
+					}
+				}
+				b.ReportMetric(float64(r.StateBytesPerTask), "qp_state_bytes/task")
+				b.ReportMetric(r.SetupUSPerTask, "setup_us/task")
+				b.ReportMetric(float64(r.QPsPerTask), "qps/task")
+			})
+		}
+	}
+}

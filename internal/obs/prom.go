@@ -43,6 +43,12 @@ func commCounters(s metrics.CommSnapshot) []struct {
 		{"coalesce_flushes_total", s.CoalesceFlushes},
 		{"coalesced_messages_total", s.CoalescedMessages},
 		{"doorbell_flushes_total", s.DoorbellFlushes},
+		{"retransmit_chunks_total", s.RetransmitChunks},
+		{"nacks_sent_total", s.NacksSent},
+		{"qp_slots_active", s.QPSlotsActive},
+		{"qp_leases_active", s.QPLeases},
+		{"qp_evictions_total", s.QPEvictions},
+		{"qp_busy_total", s.QPBusy},
 	}
 }
 

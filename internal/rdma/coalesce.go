@@ -60,7 +60,12 @@ type CoalescedReceiver struct {
 	capacity int
 	ch       *Channel   // channel to the sender, for ack writes
 	ackSrc   *MemRegion // one word containing FlagSet
+	// source, when set, supplies AckRetry's channel per attempt (QP mux).
+	source LaneSource
 }
+
+// SetLaneSource routes AckRetry through a per-attempt lane source.
+func (r *CoalescedReceiver) SetLaneSource(src LaneSource) { r.source = src }
 
 // NewCoalescedReceiver claims [off, off+StaticSlotSize(capacity)) of mr as
 // the batch slot for a sender reached via ch, and clears its flag.
@@ -110,8 +115,15 @@ func (r *CoalescedReceiver) Consume() { r.mr.ClearFlag(r.flagOff()) }
 // next Flush. Call after Consume (and after copying any payloads out); the
 // ack is a constant one-word write, so retrying it is idempotent.
 func (r *CoalescedReceiver) AckRetry(senderAck DynSlotDesc, opts TransferOpts) error {
-	return r.ch.MemcpyRetry(0, r.ackSrc, senderAck.Off, senderAck.Region,
-		FlagWordSize, OpWrite, opts)
+	return retryLoop(opts, fmt.Sprintf("coalesced ack to %s", r.ch.Remote()), func() error {
+		ch, release, err := laneFor(r.source, r.ch.Remote(), r.ch)
+		if err != nil {
+			return err
+		}
+		defer release()
+		return ch.memcpyAttempt(0, r.ackSrc, senderAck.Off, senderAck.Region,
+			FlagWordSize, OpWrite)
+	})
 }
 
 // CoalescedSender stages sub-messages for one peer's batch slot and flushes
@@ -123,8 +135,13 @@ type CoalescedSender struct {
 	capacity int
 	desc     CoalescedSlotDesc
 	w        *wire.BatchWriter
-	started  atomic.Bool // atomic: flushers and scheduler pollers race
+	// source, when set, supplies FlushRetry's channel per attempt (QP mux).
+	source  LaneSource
+	started atomic.Bool // atomic: flushers and scheduler pollers race
 }
+
+// SetLaneSource routes FlushRetry through a per-attempt lane source.
+func (s *CoalescedSender) SetLaneSource(src LaneSource) { s.source = src }
 
 // NewCoalescedSender claims [off, off+StaticSlotSize(capacity)+FlagWordSize)
 // of mr: the staging batch, the staged tail flag, and the ack word the
@@ -187,14 +204,17 @@ func (s *CoalescedSender) PollReusable() bool {
 // write, exactly like StaticSender.Send, so the flag is never visible before
 // the full batch. Returns ErrBusy while the previous batch is unacked. cb
 // fires on a CQ poller when the write completes locally.
-func (s *CoalescedSender) Flush(cb func(error)) error {
+func (s *CoalescedSender) Flush(cb func(error)) error { return s.flushOn(s.ch, cb) }
+
+// flushOn is Flush over an explicit channel (per-attempt lane acquisition).
+func (s *CoalescedSender) flushOn(ch *Channel, cb func(error)) error {
 	if !s.PollReusable() {
 		return ErrBusy
 	}
 	s.started.Store(true)
 	s.mr.ClearFlag(s.ackOff())
 	s.mr.SetFlagLocal(s.flagOff())
-	return s.ch.Memcpy(s.off, s.mr, s.desc.Off, s.desc.Region,
+	return ch.Memcpy(s.off, s.mr, s.desc.Off, s.desc.Region,
 		StaticSlotSize(s.capacity), OpWrite, cb)
 }
 
@@ -208,8 +228,13 @@ func (s *CoalescedSender) FlushRetry(opts TransferOpts) error {
 	staged := s.w.Len()
 	err := retryLoop(opts, fmt.Sprintf("coalesced flush %dB to %s", staged, s.ch.Remote()),
 		func() error {
+			ch, release, lerr := laneFor(s.source, s.ch.Remote(), s.ch)
+			if lerr != nil {
+				return lerr
+			}
+			defer release()
 			done := make(chan error, 1)
-			if err := s.Flush(func(err error) {
+			if err := s.flushOn(ch, func(err error) {
 				select {
 				case done <- err:
 				default:

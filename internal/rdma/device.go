@@ -231,6 +231,21 @@ func (d *Device) RegionCount() int {
 	return len(d.regions)
 }
 
+// PeerCount reports the number of peers with live QP groups.
+func (d *Device) PeerCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.peers)
+}
+
+// QPCount reports the number of live queue pairs on this device (scale
+// tests assert the mux keeps it at O(slots·lanes), not O(peers)).
+func (d *Device) QPCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.peers) * d.cfg.QPsPerPeer
+}
+
 func (d *Device) lookupRegion(id uint32) (*MemRegion, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -432,6 +447,12 @@ type workRequest struct {
 	// one-sided atomic operation
 	atomic atomicRequest
 
+	// tag, when non-nil, marks this write as part of the lossy selective-
+	// retransmit protocol (see retransmit.go): chunk writes become silently
+	// droppable and land via epoch-guarded placement; arm writes publish a
+	// slot's live epoch.
+	tag *writeTag
+
 	cb func(error)
 }
 
@@ -529,6 +550,9 @@ func (d *Device) executeTransfer(peer string, wr workRequest) error {
 	if err != nil {
 		return err
 	}
+	if wr.tag != nil {
+		return d.executeTagged(remoteMR, wr, hooks)
+	}
 	local, err := wr.local.Slice(wr.localOff, wr.size)
 	if err != nil {
 		return err
@@ -547,6 +571,38 @@ func (d *Device) executeTransfer(peer string, wr workRequest) error {
 		}
 	case OpRead:
 		orderedCopy(local, wr.localOff, remote, wr.remoteOff)
+	}
+	if hooks.OnTransfer != nil {
+		hooks.OnTransfer(wr.op, wr.size)
+	}
+	return nil
+}
+
+// executeTagged performs a semantically tagged write of the lossy
+// protocol. Arm writes publish the slot's live epoch; chunk writes carry a
+// (tensor-id, chunk-seq, epoch) header, may be silently dropped by the
+// lossy hooks (the completion still succeeds — the emulator's rendering of
+// a packet lost on an unreliable fabric), and otherwise land through the
+// region's epoch-guarded placement, which discards stale-epoch chunks and
+// stamps the per-chunk arrival word the receiver's NACK scan reads.
+func (d *Device) executeTagged(remoteMR *MemRegion, wr workRequest, hooks Hooks) error {
+	t := wr.tag
+	if t.kind == tagArm {
+		return remoteMR.armEpoch(t.guardOff, t.tag.Epoch)
+	}
+	if hooks.Lossy && hooks.ChunkDrop != nil && hooks.ChunkDrop(t.tag, wr.size) {
+		return nil // lost on the wire: memory untouched, completion succeeds
+	}
+	local, err := wr.local.Slice(wr.localOff, wr.size)
+	if err != nil {
+		return err
+	}
+	placed, err := remoteMR.placeChunk(t, wr.remoteOff, local)
+	if err != nil {
+		return err
+	}
+	if !placed && hooks.OnChunkStale != nil {
+		hooks.OnChunkStale(t.tag)
 	}
 	if hooks.OnTransfer != nil {
 		hooks.OnTransfer(wr.op, wr.size)

@@ -63,6 +63,21 @@ type Hooks struct {
 	// MessageFault, if non-nil, is consulted before a two-sided message is
 	// delivered; a non-nil return fails the send without delivery.
 	MessageFault func(size int) error
+	// Lossy switches the fabric's loss model for semantically tagged chunk
+	// writes (the lossy selective-retransmit protocol, retransmit.go): with
+	// Lossy set, a ChunkDrop hit loses the chunk silently — the sender's
+	// completion still succeeds, the memory stays untouched — the way an
+	// unreliable datagram fabric drops packets without NAKing. Untagged
+	// writes (all the lossless protocols, and the lossy protocol's control
+	// words) keep reliable error-based semantics regardless.
+	Lossy bool
+	// ChunkDrop, if non-nil and Lossy is set, decides per tagged chunk
+	// write whether the fabric loses it.
+	ChunkDrop func(tag ChunkTag, size int) bool
+	// OnChunkStale, if non-nil, observes tagged chunks discarded by the
+	// receiver-side epoch guard (a retransmit landing after its iteration
+	// was superseded or aborted).
+	OnChunkStale func(tag ChunkTag)
 }
 
 // Fabric is the emulated RDMA network: a registry of devices keyed by

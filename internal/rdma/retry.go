@@ -28,7 +28,9 @@ var ErrCanceled = errors.New("rdma: transfer canceled")
 // Retryable classifies an error as transient (worth retrying: the fault may
 // heal) versus fatal (misconfiguration, closed device, or out-of-bounds
 // access that no retry can fix). ErrTimeout itself is fatal: it means a
-// retry budget was already spent.
+// retry budget was already spent. ErrQPBusy (mux lease exhaustion) is
+// transient too, but retryLoop handles it on its own backoff curve — slot
+// contention is expected at scale and must not burn the fault budget.
 func Retryable(err error) bool {
 	if err == nil || errors.Is(err, ErrTimeout) {
 		return false
@@ -36,6 +38,7 @@ func Retryable(err error) bool {
 	return errors.Is(err, ErrUnreachable) ||
 		errors.Is(err, ErrInjected) ||
 		errors.Is(err, ErrBusy) ||
+		errors.Is(err, ErrQPBusy) ||
 		errors.Is(err, ErrRPCTimeout)
 }
 
@@ -88,6 +91,10 @@ type TransferOpts struct {
 	// including retries and backoff). The distributed layer feeds per-edge
 	// transfer-latency histograms from it.
 	OnComplete func(bytes int, d time.Duration)
+	// OnRetransmit, if non-nil, observes each NACK the lossy protocol serves
+	// with the number of chunks selectively re-sent (see LossySender). It
+	// never fires for whole-transfer retries — those go through OnRetry.
+	OnRetransmit func(chunks int)
 	// Canceled, if non-nil, is polled between retry attempts and backoff
 	// waits; once it returns true the operation fails fast with ErrCanceled
 	// instead of retrying. Executors wire it to their iteration's abort
@@ -138,7 +145,8 @@ func retryLoop(opts TransferOpts, what string, attempt func() error) error {
 	o := opts.withDefaults()
 	deadline := time.Now().Add(o.Deadline)
 	backoff := o.Backoff
-	for tries := 0; ; tries++ {
+	busyBackoff := o.Backoff
+	for tries := 0; ; {
 		if o.Canceled != nil && o.Canceled() {
 			return fmt.Errorf("rdma: %s: %w after %d attempts", what, ErrCanceled, tries)
 		}
@@ -149,13 +157,34 @@ func retryLoop(opts TransferOpts, what string, attempt func() error) error {
 		if !Retryable(err) {
 			return err
 		}
+		if errors.Is(err, ErrQPBusy) {
+			// Mux-slot contention: every QP slot is pinned by another live
+			// attempt. That is scheduling pressure, not a fabric fault, so
+			// it waits on its own backoff curve bounded by the deadline
+			// alone — at 64 tasks a stretch of busy slots must not eat the
+			// MaxRetries budget a real drop needs later.
+			if !time.Now().Add(busyBackoff).Before(deadline) {
+				return fmt.Errorf("rdma: %s: qp slots busy past deadline: %w (last: %w)",
+					what, ErrTimeout, err)
+			}
+			if o.OnRetry != nil {
+				o.OnRetry(err)
+			}
+			sleep(busyBackoff)
+			busyBackoff *= 2
+			if busyBackoff > o.MaxBackoff {
+				busyBackoff = o.MaxBackoff
+			}
+			continue
+		}
 		if tries >= o.MaxRetries || !time.Now().Add(backoff).Before(deadline) {
 			return fmt.Errorf("rdma: %s: gave up after %d attempts: %w (last: %w)",
 				what, tries+1, ErrTimeout, err)
 		}
+		tries++
 		if o.Canceled != nil && o.Canceled() {
 			return fmt.Errorf("rdma: %s: %w after %d attempts (last: %w)",
-				what, ErrCanceled, tries+1, err)
+				what, ErrCanceled, tries, err)
 		}
 		if o.OnRetry != nil {
 			o.OnRetry(err)
@@ -270,16 +299,28 @@ func (s *StaticSender) sendRetryFrom(payload []byte, opts TransferOpts) error {
 	start := time.Now()
 	err := retryLoop(o, fmt.Sprintf("static send %dB to %s", s.desc.PayloadSize, s.ch.Remote()),
 		func() error {
-			done := make(chan error, 1)
-			if err := s.sendStriped(payload, o.Stripes, o.OnStripe, o.OnDoorbell, func(err error) {
-				select {
-				case done <- err:
-				default:
-				}
-			}); err != nil {
+			// Lanes are acquired per attempt: with a LaneSource (mux mode)
+			// the slot is pinned only while this attempt's writes are in
+			// flight and released once its completions drained, so an idle
+			// or backing-off edge holds no QP slot.
+			lanes, release, err := s.acquireLanes()
+			if err != nil {
 				return err
 			}
-			return <-done
+			done := make(chan error, 1)
+			if err := s.sendStripedOn(lanes, payload, o.Stripes, o.OnStripe, o.OnDoorbell,
+				func(err error) {
+					select {
+					case done <- err:
+					default:
+					}
+				}); err != nil {
+				release()
+				return err
+			}
+			err = <-done
+			release()
+			return err
 		})
 	return observeComplete(o, s.desc.PayloadSize, start, err)
 }
@@ -302,8 +343,13 @@ func (s *DynSender) SendRetry(payloadMR *MemRegion, payloadOff, payloadSize int,
 	start := time.Now()
 	err := retryLoop(opts, fmt.Sprintf("dyn send %dB to %s", payloadSize, s.ch.Remote()),
 		func() error {
+			ch, release, lerr := laneFor(s.source, s.ch.Remote(), s.ch)
+			if lerr != nil {
+				return lerr
+			}
+			defer release()
 			done := make(chan error, 1)
-			if err := s.Send(payloadMR, payloadOff, payloadSize, dtype, dims, func(err error) {
+			if err := s.sendOn(ch, payloadMR, payloadOff, payloadSize, dtype, dims, func(err error) {
 				select {
 				case done <- err:
 				default:
@@ -355,19 +401,32 @@ func (r *DynReceiver) FetchRetry(meta DynMeta, senderScratch DynSlotDesc,
 	start := time.Now()
 	r.mr.ClearFlag(r.off + dynMetaFlagOff)
 	size := int(meta.PayloadSize)
+	// With a LaneSource the lease spans the whole fetch (reads + ack): the
+	// per-chunk MemcpyRetry loops below already recover chunk-granular, and
+	// re-leasing between chunks of one tensor would only churn the pool.
+	lanes := r.lanes
+	release := func() {}
+	if r.source != nil {
+		var err error
+		lanes, release, err = r.source.AcquireLanes(r.sender)
+		if err != nil {
+			return fmt.Errorf("rdma: dyn fetch lanes: %w", err)
+		}
+	}
+	defer release()
 	chunks := StripeDesc{PayloadSize: meta.PayloadSize, Stripes: uint32(o.Stripes)}.Chunks()
-	if len(chunks) <= 1 || len(r.lanes) <= 1 {
+	if len(chunks) <= 1 || len(lanes) <= 1 {
 		if o.OnStripe != nil && size > 0 {
 			o.OnStripe(0, size)
 		}
-		if err := r.ch.MemcpyRetry(dstOff, dst, int(meta.SrcOff), meta.Src, size, OpRead, o); err != nil {
+		if err := lanes[0].MemcpyRetry(dstOff, dst, int(meta.SrcOff), meta.Src, size, OpRead, o); err != nil {
 			return fmt.Errorf("rdma: dyn fetch read: %w", err)
 		}
 	} else {
 		var wg sync.WaitGroup
 		errs := make([]error, len(chunks))
 		for i, chk := range chunks {
-			lane := i % len(r.lanes)
+			lane := i % len(lanes)
 			if o.OnStripe != nil {
 				o.OnStripe(lane, chk.Size)
 			}
@@ -376,7 +435,7 @@ func (r *DynReceiver) FetchRetry(meta DynMeta, senderScratch DynSlotDesc,
 				defer wg.Done()
 				errs[i] = ch.MemcpyRetry(dstOff+chk.Off, dst, int(meta.SrcOff)+chk.Off,
 					meta.Src, chk.Size, OpRead, o)
-			}(i, chk, r.lanes[lane])
+			}(i, chk, lanes[lane])
 		}
 		wg.Wait()
 		for _, err := range errs {
@@ -385,7 +444,7 @@ func (r *DynReceiver) FetchRetry(meta DynMeta, senderScratch DynSlotDesc,
 			}
 		}
 	}
-	if err := r.ch.MemcpyRetry(0, r.ackSrc, senderScratch.Off+dynMetaAckOff,
+	if err := lanes[0].MemcpyRetry(0, r.ackSrc, senderScratch.Off+dynMetaAckOff,
 		senderScratch.Region, FlagWordSize, OpWrite, o); err != nil {
 		return fmt.Errorf("rdma: dyn fetch ack: %w", err)
 	}

@@ -173,12 +173,14 @@ func (s *StaticSender) Lanes() int { return len(s.lanes) }
 // the flag write (or the first failing stripe) completes; a failed striped
 // send leaves no flag visible, so re-sending the identical bytes is safe.
 func (s *StaticSender) SendStriped(stripes int, onStripe func(lane, bytes int), cb func(error)) error {
-	return s.sendStriped(nil, stripes, onStripe, nil, cb)
+	return s.sendStripedOn(s.lanes, nil, stripes, onStripe, nil, cb)
 }
 
-// sendStriped is the shared striped-send engine behind SendStriped,
-// SendRetry, and SendRetryFrom. Chunk i rides lane i%L, same placement as
-// always; what varies is staging and post granularity:
+// sendStripedOn is the shared striped-send engine behind SendStriped,
+// SendRetry, and SendRetryFrom, parameterized over the attempt's lanes
+// (cached ones, or a per-attempt lease from a LaneSource). Chunk i rides
+// lane i%L, same placement as always; what varies is staging and post
+// granularity:
 //
 //   - payload == nil (staged/zero-copy): every chunk is already in the
 //     staging buffer, so each lane's whole chunk group is posted as one
@@ -192,17 +194,17 @@ func (s *StaticSender) SendStriped(stripes int, onStripe func(lane, bytes int), 
 //     batching posts and posting early.
 //
 // onDoorbell, if non-nil, observes each flush as (lane, chunks posted).
-func (s *StaticSender) sendStriped(payload []byte, stripes int,
+func (s *StaticSender) sendStripedOn(lanes []*Channel, payload []byte, stripes int,
 	onStripe func(lane, bytes int), onDoorbell func(lane, chunks int), cb func(error)) error {
 	chunks := StripeDesc{PayloadSize: uint64(s.desc.PayloadSize), Stripes: uint32(stripes)}.Chunks()
-	if len(chunks) <= 1 || len(s.lanes) <= 1 {
+	if len(chunks) <= 1 || len(lanes) <= 1 {
 		if payload != nil {
 			copy(s.Buffer(), payload)
 		}
 		if onStripe != nil {
 			onStripe(0, StaticSlotSize(s.desc.PayloadSize))
 		}
-		return s.Send(cb)
+		return s.sendOn(lanes[0], cb)
 	}
 	flagOff := s.off + alignUp(s.desc.PayloadSize)
 	remoteFlagOff := s.desc.Off + alignUp(s.desc.PayloadSize)
@@ -216,12 +218,12 @@ func (s *StaticSender) sendStriped(payload []byte, stripes int,
 		if onStripe != nil {
 			onStripe(0, FlagWordSize)
 		}
-		if err := s.lanes[0].Memcpy(flagOff, s.mr, remoteFlagOff, s.desc.Region,
+		if err := lanes[0].Memcpy(flagOff, s.mr, remoteFlagOff, s.desc.Region,
 			FlagWordSize, OpWrite, cb); err != nil {
 			cb(err)
 		}
 	})
-	nl := len(s.lanes)
+	nl := len(lanes)
 	req := func(i int) MemcpyReq {
 		chk := chunks[i]
 		return MemcpyReq{
@@ -234,7 +236,7 @@ func (s *StaticSender) sendStriped(payload []byte, stripes int,
 		if onDoorbell != nil {
 			onDoorbell(lane, len(batch))
 		}
-		if err := s.lanes[lane].MemcpyBatch(batch); err != nil {
+		if err := lanes[lane].MemcpyBatch(batch); err != nil {
 			// A failed flush posted nothing (all-or-none): count it as every
 			// batched chunk's completion; other lanes still drain through
 			// the join.

@@ -125,6 +125,22 @@ type StaticSender struct {
 	off   int
 	desc  StaticSlotDesc
 	lanes []*Channel // channels for striped sends; lanes[0] == ch
+	// source, when set, supplies lanes per attempt instead of the cached
+	// ones (QP multiplexing: the edge pins a slot only while sending).
+	source LaneSource
+}
+
+// SetLaneSource routes this sender's blocking sends through a per-attempt
+// lane source (see LaneSource). Cached lanes remain the fallback for the
+// non-blocking Send/SendStriped paths.
+func (s *StaticSender) SetLaneSource(src LaneSource) { s.source = src }
+
+// acquireLanes resolves the lanes for one attempt.
+func (s *StaticSender) acquireLanes() ([]*Channel, func(), error) {
+	if s.source == nil {
+		return s.lanes, func() {}, nil
+	}
+	return s.source.AcquireLanes(s.ch.Remote())
 }
 
 // NewStaticSender claims [off, off+StaticSlotSize(desc.PayloadSize)) of the
@@ -153,11 +169,14 @@ func (s *StaticSender) Buffer() []byte {
 // Send transfers the staging buffer (payload + set flag) to the remote slot
 // with a single one-sided write. cb fires on a CQ poller when the write
 // completes locally.
-func (s *StaticSender) Send(cb func(error)) error {
+func (s *StaticSender) Send(cb func(error)) error { return s.sendOn(s.ch, cb) }
+
+// sendOn is Send over an explicit channel (per-attempt lane acquisition).
+func (s *StaticSender) sendOn(ch *Channel, cb func(error)) error {
 	flagOff := s.off + alignUp(s.desc.PayloadSize)
 	s.mr.SetFlagLocal(flagOff)
 	size := StaticSlotSize(s.desc.PayloadSize)
-	return s.ch.Memcpy(s.off, s.mr, s.desc.Off, s.desc.Region, size, OpWrite, cb)
+	return ch.Memcpy(s.off, s.mr, s.desc.Off, s.desc.Region, size, OpWrite, cb)
 }
 
 // SendFrom copies payload into the staging buffer first and then performs
@@ -243,7 +262,12 @@ type DynReceiver struct {
 	ch     *Channel
 	ackSrc *MemRegion // one word containing FlagSet, source of ack writes
 	lanes  []*Channel // channels for striped fetches; lanes[0] == ch
+	// source, when set, supplies FetchRetry's lanes per call (QP mux mode).
+	source LaneSource
 }
+
+// SetLaneSource routes FetchRetry through a per-call lane source.
+func (r *DynReceiver) SetLaneSource(src LaneSource) { r.source = src }
 
 // NewDynReceiver claims DynMetaSize bytes at off in mr as the metadata slot
 // for an edge whose sender is reached via ch.
@@ -346,10 +370,15 @@ type DynSender struct {
 	mr   *MemRegion
 	off  int
 	meta DynSlotDesc // receiver's metadata slot
+	// source, when set, supplies SendRetry's channel per attempt (QP mux).
+	source LaneSource
 	// started is atomic: the scheduler polls PollReusable from its worker
 	// goroutine while Send runs on the edge's transfer goroutine.
 	started atomic.Bool
 }
+
+// SetLaneSource routes SendRetry through a per-attempt lane source.
+func (s *DynSender) SetLaneSource(src LaneSource) { s.source = src }
 
 // NewDynSender claims DynMetaSize bytes at off in mr as scratch for sends to
 // the given receiver metadata slot.
@@ -390,6 +419,12 @@ func (s *DynSender) PollReusable() bool {
 // Returns ErrBusy if the previous transfer has not been acked yet.
 func (s *DynSender) Send(payloadMR *MemRegion, payloadOff, payloadSize int,
 	dtype uint32, dims []uint64, cb func(error)) error {
+	return s.sendOn(s.ch, payloadMR, payloadOff, payloadSize, dtype, dims, cb)
+}
+
+// sendOn is Send over an explicit channel (per-attempt lane acquisition).
+func (s *DynSender) sendOn(ch *Channel, payloadMR *MemRegion, payloadOff, payloadSize int,
+	dtype uint32, dims []uint64, cb func(error)) error {
 	if len(dims) > MaxDims {
 		return fmt.Errorf("rdma: rank %d exceeds MaxDims %d: %w", len(dims), MaxDims, ErrBadConfig)
 	}
@@ -420,6 +455,6 @@ func (s *DynSender) Send(payloadMR *MemRegion, payloadOff, payloadSize int,
 	s.mr.SetFlagLocal(s.off + dynMetaFlagOff)
 
 	// Write metadata + flag (but not the ack word) in one ascending write.
-	return s.ch.Memcpy(s.off, s.mr, s.meta.Off, s.meta.Region,
+	return ch.Memcpy(s.off, s.mr, s.meta.Off, s.meta.Region,
 		dynMetaFlagOff+FlagWordSize, OpWrite, cb)
 }

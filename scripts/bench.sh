@@ -253,9 +253,18 @@ echo "wrote $OUT_AR" >&2
 # down. The headline boolean is the PR's acceptance claim: splitting the
 # gradient buckets across two shard NICs must beat the single-PS incast at
 # 8 tasks.
+#
+# The qp_scale section prices per-task QP context state and connection
+# setup at 8/64/256 tasks under the netsim QP cost model: all-pairs direct
+# wiring (QPsPerPeer=4) against the QPMux lease pool (16 slots x 2 lanes).
+# The muxed column must stay flat from 64 to 256 tasks — that is the
+# O(N*K)-not-O(N^2) acceptance claim of the QP mux.
 echo "== scale ablation (ps vs sharded-ps vs ring, 3 steps/cell, best of 5) ==" >&2
 go test -run='^$' -bench='^BenchmarkScale$' -benchtime=3x -count=5 -timeout=30m \
     ./internal/distributed/ | tee "$TMP/scale.txt" >&2
+echo "== QP state & setup scale model (direct vs muxed at 8/64/256 tasks) ==" >&2
+go test -run='^$' -bench='^BenchmarkQPScale$' -benchtime=100x \
+    ./internal/netsim/ | tee -a "$TMP/scale.txt" >&2
 
 awk -v num_cpu="$(nproc)" -v go_ver="$(go env GOVERSION)" '
 /^Benchmark/ {
@@ -263,14 +272,18 @@ awk -v num_cpu="$(nproc)" -v go_ver="$(go env GOVERSION)" '
     sub(/-[0-9]+$/, "", name)
     sub(/^BenchmarkScale\//, "", name)
     for (i = 2; i < NF; i++) {
-        if ($(i+1) == "MB/s/task")     { if (mbs[name] == "" || $i + 0 > mbs[name] + 0) mbs[name] = $i }
-        if ($(i+1) == "ms/step")       { if (ms[name] == ""  || $i + 0 < ms[name] + 0)  ms[name]  = $i }
-        if ($(i+1) == "comm_frac")     { if (cf[name] == ""  || $i + 0 < cf[name] + 0)  cf[name]  = $i }
-        if ($(i+1) == "commpoll_frac") { if (cpf[name] == "" || $i + 0 < cpf[name] + 0) cpf[name] = $i }
+        if ($(i+1) == "MB/s/task")          { if (mbs[name] == "" || $i + 0 > mbs[name] + 0) mbs[name] = $i }
+        if ($(i+1) == "ms/step")            { if (ms[name] == ""  || $i + 0 < ms[name] + 0)  ms[name]  = $i }
+        if ($(i+1) == "comm_frac")          { if (cf[name] == ""  || $i + 0 < cf[name] + 0)  cf[name]  = $i }
+        if ($(i+1) == "commpoll_frac")      { if (cpf[name] == "" || $i + 0 < cpf[name] + 0) cpf[name] = $i }
+        if ($(i+1) == "qp_state_bytes/task") qsb[name] = $i
+        if ($(i+1) == "setup_us/task")       qsu[name] = $i
+        if ($(i+1) == "qps/task")            qpt[name] = $i
     }
     if (!(name in seen)) { seen[name] = 1; order[++n] = name }
 }
 function cell(topo, tasks) { return "topo=" topo "/tasks=" tasks }
+function qcell(mode, tasks) { return "BenchmarkQPScale/mode=" mode "/tasks=" tasks }
 function ratio(den, num) { return (den > 0 && num > 0) ? sprintf("%.2f", num / den) : "null" }
 END {
     printf "{\n  \"num_cpu\": %d,\n  \"go\": \"%s\",\n", num_cpu, go_ver
@@ -290,7 +303,22 @@ END {
     printf "    \"tasks_4\": %s,\n", ratio(mbs[cell("ps", 4)], mbs[cell("sharded-ps", 4)])
     printf "    \"tasks_8\": %s\n",  ratio(mbs[cell("ps", 8)], mbs[cell("sharded-ps", 8)])
     printf "  },\n"
-    printf "  \"sharded_beats_ps_at_8_tasks\": %s\n", (mbs[cell("sharded-ps", 8)] + 0 > mbs[cell("ps", 8)] + 0) ? "true" : "false"
+    printf "  \"sharded_beats_ps_at_8_tasks\": %s,\n", (mbs[cell("sharded-ps", 8)] + 0 > mbs[cell("ps", 8)] + 0) ? "true" : "false"
+    printf "  \"qp_scale\": [\n"
+    first = 1
+    split("direct muxed", modes, " ")
+    split("8 64 256", qtasks, " ")
+    for (m = 1; m <= 2; m++) for (q = 1; q <= 3; q++) {
+        k = qtasks[q]
+        name = qcell(modes[m], k)
+        if (qsb[name] == "") continue
+        printf "%s    {\"mode\": \"%s\", \"tasks\": %d, \"qps_per_task\": %s, \"qp_state_bytes_per_task\": %s, \"setup_us_per_task\": %s}",
+            (first ? "" : ",\n"), modes[m], k, qpt[name], qsb[name], qsu[name]
+        first = 0
+    }
+    printf "\n  ],\n"
+    printf "  \"muxed_qp_state_flat_64_to_256\": %s,\n", (qsb[qcell("muxed", 64)] != "" && qsb[qcell("muxed", 64)] + 0 == qsb[qcell("muxed", 256)] + 0) ? "true" : "false"
+    printf "  \"direct_vs_muxed_state_ratio_256\": %s\n", ratio(qsb[qcell("muxed", 256)], qsb[qcell("direct", 256)])
     printf "}\n"
 }' "$TMP/scale.txt" > "$OUT_SCALE"
 

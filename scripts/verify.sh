@@ -57,6 +57,20 @@ go test -race -run '^TestShardedPSChaosBitIdenticalUnderFaults$|^TestRecoverySha
 echo "== pipelined stripe & doorbell batch gates (-race) =="
 go test -race -run '^TestSendRetryFromParity$|^TestSendRetryDoorbellBatchesPerLane$|^TestSendRetryFromRecoversFromDrops$|^TestMemcpyBatchValidatesBeforePosting$' ./internal/rdma/
 
+# QP-scale & lossy-fabric gates: the 256-task netsim budget check (muxed
+# wiring within explicit per-task QP state and setup-time budgets that
+# all-pairs wiring blows), the 64-task real-bytes training run through the
+# QP mux under the race detector, and the lossy-fabric recovery suite —
+# seeded chunk drops healed bit-identically by per-tensor selective
+# retransmit, a blackholed tensor failing typed and bounded, and a
+# mid-loss step abort never leaking a retransmitted chunk into a later
+# iteration.
+echo "== QP-scale & lossy-fabric gates (-race) =="
+go test -run '^TestScale256TaskQPBudgets$' ./internal/netsim/
+go test -race -run '^Test64TaskMuxTrainingUnderRace$|^TestMuxTrainingParity$' ./internal/distributed/
+go test -race -run '^TestLossyTrainingBitIdentical$|^TestLossyTensorBlackholeFailsTyped$|^TestLossyStepAbortThenRecover$' ./internal/distributed/
+go test -race -run '^TestQPBusyRetriesDoNotBurnRetryBudget$' ./internal/rdma/
+
 # Fuzz smoke: each target gets a short budget. The engine accepts one
 # -fuzz pattern per invocation, so loop explicitly.
 FUZZTIME="${FUZZTIME:-5s}"
@@ -66,6 +80,8 @@ go test -run=NONE -fuzz='^FuzzUnmarshalDynSlotDesc$' -fuzztime="$FUZZTIME" ./int
 go test -run=NONE -fuzz='^FuzzDecodeDynMeta$' -fuzztime="$FUZZTIME" ./internal/rdma/
 go test -run=NONE -fuzz='^FuzzUnmarshalStripeDesc$' -fuzztime="$FUZZTIME" ./internal/rdma/
 go test -run=NONE -fuzz='^FuzzUnmarshalCoalescedSlotDesc$' -fuzztime="$FUZZTIME" ./internal/rdma/
+go test -run=NONE -fuzz='^FuzzUnmarshalRetransmitDesc$' -fuzztime="$FUZZTIME" ./internal/rdma/
+go test -run=NONE -fuzz='^FuzzUnmarshalNackDesc$' -fuzztime="$FUZZTIME" ./internal/rdma/
 go test -run=NONE -fuzz='^FuzzTensorMessageUnmarshal$' -fuzztime="$FUZZTIME" ./internal/wire/
 go test -run=NONE -fuzz='^FuzzDecodeBatch$' -fuzztime="$FUZZTIME" ./internal/wire/
 go test -run=NONE -fuzz='^FuzzHistogramRecord$' -fuzztime="$FUZZTIME" ./internal/metrics/
