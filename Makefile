@@ -17,6 +17,8 @@ fuzz:
 	FUZZTIME=$${FUZZTIME:-30s} ./scripts/verify.sh
 
 # Kernel + train-step microbenchmarks -> BENCH_kernels.json;
-# striping/coalescing transfer benchmarks -> BENCH_transfer.json.
+# striping/coalescing transfer benchmarks -> BENCH_transfer.json;
+# obs overhead -> BENCH_obs.json; all-reduce ablation -> BENCH_allreduce.json;
+# scale story -> BENCH_scale.json; serving plane -> BENCH_serve.json.
 bench:
 	./scripts/bench.sh

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/distributed"
+)
+
+// trainFlags collects every parsed flag value that participates in
+// cross-flag validation, plus which flags the user set explicitly — rules
+// like "-ps-shards only under -topology sharded-ps" must not trip on the
+// flag's default value, so main fills the *Set fields from flag.Visit.
+type trainFlags struct {
+	Kind     distributed.Kind
+	Topology comm.Topology
+
+	DropRate      float64
+	Stripes       int
+	QPSlots       int
+	LossyFabric   bool
+	ChunkDropRate float64
+
+	PSShardsSet bool
+	AggGroupSet bool
+}
+
+// validateFlags rejects flag combinations that would otherwise run with a
+// silently ignored or meaningless option. Each rule names both the flag and
+// why the combination cannot work, so the error doubles as documentation.
+func validateFlags(f trainFlags) error {
+	if f.DropRate < 0 || f.DropRate >= 1 {
+		return fmt.Errorf("-drop-rate %v outside [0, 1)", f.DropRate)
+	}
+	if f.Stripes < 1 {
+		return fmt.Errorf("-stripes %d below 1", f.Stripes)
+	}
+	if f.ChunkDropRate < 0 || f.ChunkDropRate >= 1 {
+		return fmt.Errorf("-chunk-drop-rate %v outside [0, 1)", f.ChunkDropRate)
+	}
+	if f.ChunkDropRate > 0 && !f.LossyFabric {
+		return fmt.Errorf("-chunk-drop-rate needs -lossy-fabric (plain writes have no per-chunk recovery)")
+	}
+	if f.QPSlots < 0 {
+		return fmt.Errorf("-qp-slots %d below 0", f.QPSlots)
+	}
+	// The fabric-level options only exist on the one-sided RDMA data path;
+	// the gRPC mechanisms move tensors through the RPC layer and would
+	// silently ignore them.
+	if f.Kind.UsesRPC() {
+		switch {
+		case f.LossyFabric:
+			return fmt.Errorf("-lossy-fabric needs an RDMA mechanism; %s moves tensors over RPC with no tagged-chunk protocol", f.Kind)
+		case f.QPSlots > 0:
+			return fmt.Errorf("-qp-slots needs an RDMA mechanism; %s does not lease QP slots", f.Kind)
+		case f.Stripes > 1:
+			return fmt.Errorf("-stripes needs an RDMA mechanism; %s cannot stripe RPC messages across QP lanes", f.Kind)
+		}
+	}
+	// Sharding knobs describe the sharded-ps gradient exchange; under any
+	// other topology an explicit value would be dropped on the floor.
+	if f.Topology != comm.TopologyShardedPS {
+		if f.PSShardsSet {
+			return fmt.Errorf("-ps-shards set but -topology %s has no shard tasks (use -topology sharded-ps)", f.Topology)
+		}
+		if f.AggGroupSet {
+			return fmt.Errorf("-agg-group set but -topology %s has no hierarchical aggregation (use -topology sharded-ps)", f.Topology)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/distributed"
+)
+
+// valid returns a flag set that passes validation; tests perturb one knob.
+func valid() trainFlags {
+	return trainFlags{Kind: distributed.RDMA, Topology: comm.TopologyPS, Stripes: 1}
+}
+
+// TestValidateFlags is the regression suite for the cross-flag rules: one
+// case per rejected combination (and its accepted dual), so a future flag
+// rearrangement cannot silently drop a rule.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*trainFlags)
+		wantErr string // empty = must pass
+	}{
+		{"baseline", func(f *trainFlags) {}, ""},
+
+		// Range rules.
+		{"drop-rate negative", func(f *trainFlags) { f.DropRate = -0.1 }, "-drop-rate"},
+		{"drop-rate one", func(f *trainFlags) { f.DropRate = 1 }, "-drop-rate"},
+		{"stripes zero", func(f *trainFlags) { f.Stripes = 0 }, "-stripes"},
+		{"qp-slots negative", func(f *trainFlags) { f.QPSlots = -1 }, "-qp-slots"},
+		{"chunk-drop-rate negative", func(f *trainFlags) { f.ChunkDropRate = -0.5 }, "-chunk-drop-rate"},
+
+		// -chunk-drop-rate requires the lossy-fabric protocol.
+		{"chunk-drop without lossy-fabric",
+			func(f *trainFlags) { f.ChunkDropRate = 0.1 }, "-chunk-drop-rate needs -lossy-fabric"},
+		{"chunk-drop with lossy-fabric",
+			func(f *trainFlags) { f.ChunkDropRate = 0.1; f.LossyFabric = true }, ""},
+
+		// Fabric-level options under RPC mechanisms.
+		{"lossy-fabric under grpc-tcp",
+			func(f *trainFlags) { f.Kind = distributed.GRPCTCP; f.LossyFabric = true }, "-lossy-fabric needs an RDMA mechanism"},
+		{"lossy-fabric under grpc-rdma",
+			func(f *trainFlags) { f.Kind = distributed.GRPCRDMA; f.LossyFabric = true }, "-lossy-fabric needs an RDMA mechanism"},
+		{"qp-slots under grpc-tcp",
+			func(f *trainFlags) { f.Kind = distributed.GRPCTCP; f.QPSlots = 16 }, "-qp-slots needs an RDMA mechanism"},
+		{"qp-slots under grpc-rdma",
+			func(f *trainFlags) { f.Kind = distributed.GRPCRDMA; f.QPSlots = 16 }, "-qp-slots needs an RDMA mechanism"},
+		{"stripes under grpc-tcp",
+			func(f *trainFlags) { f.Kind = distributed.GRPCTCP; f.Stripes = 4 }, "-stripes needs an RDMA mechanism"},
+		{"stripes under grpc-rdma",
+			func(f *trainFlags) { f.Kind = distributed.GRPCRDMA; f.Stripes = 4 }, "-stripes needs an RDMA mechanism"},
+		// The same options are fine on the RDMA mechanisms.
+		{"lossy-fabric under rdma", func(f *trainFlags) { f.LossyFabric = true }, ""},
+		{"qp-slots under rdma-copy",
+			func(f *trainFlags) { f.Kind = distributed.RDMACopy; f.QPSlots = 16 }, ""},
+		{"stripes under rdma", func(f *trainFlags) { f.Stripes = 4 }, ""},
+		// Default stripes=1 must not trip the RPC rule.
+		{"grpc-tcp with default stripes",
+			func(f *trainFlags) { f.Kind = distributed.GRPCTCP }, ""},
+
+		// Sharding knobs only under sharded-ps, and only when explicitly set.
+		{"ps-shards set under ps topology",
+			func(f *trainFlags) { f.PSShardsSet = true }, "-ps-shards set but -topology ps"},
+		{"agg-group set under ring topology",
+			func(f *trainFlags) { f.Topology = comm.TopologyRing; f.AggGroupSet = true }, "-agg-group set but -topology ring"},
+		{"ps-shards set under tree topology",
+			func(f *trainFlags) { f.Topology = comm.TopologyTree; f.PSShardsSet = true }, "-ps-shards set but -topology tree"},
+		{"ps-shards set under sharded-ps",
+			func(f *trainFlags) { f.Topology = comm.TopologyShardedPS; f.PSShardsSet = true }, ""},
+		{"agg-group set under sharded-ps",
+			func(f *trainFlags) { f.Topology = comm.TopologyShardedPS; f.AggGroupSet = true }, ""},
+		// Defaults under a non-sharded topology must pass: the values exist
+		// but the user never asked for them.
+		{"ps topology with unset shard knobs", func(f *trainFlags) {}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := valid()
+			tc.mutate(&f)
+			err := validateFlags(f)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want pass, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -85,24 +85,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rdmadl-train: %v\n", err)
 		os.Exit(2)
 	}
-	if *dropRate < 0 || *dropRate >= 1 {
-		fmt.Fprintf(os.Stderr, "rdmadl-train: -drop-rate %v outside [0, 1)\n", *dropRate)
+	topo, err := comm.ParseTopology(*topology)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdmadl-train: %v\n", err)
 		os.Exit(2)
 	}
-	if *stripes < 1 {
-		fmt.Fprintf(os.Stderr, "rdmadl-train: -stripes %d below 1\n", *stripes)
-		os.Exit(2)
+	tf := trainFlags{
+		Kind: kind, Topology: topo,
+		DropRate: *dropRate, Stripes: *stripes, QPSlots: *qpSlots,
+		LossyFabric: *lossyFabric, ChunkDropRate: *chunkDropRate,
 	}
-	if *chunkDropRate < 0 || *chunkDropRate >= 1 {
-		fmt.Fprintf(os.Stderr, "rdmadl-train: -chunk-drop-rate %v outside [0, 1)\n", *chunkDropRate)
-		os.Exit(2)
-	}
-	if *chunkDropRate > 0 && !*lossyFabric {
-		fmt.Fprintf(os.Stderr, "rdmadl-train: -chunk-drop-rate needs -lossy-fabric (plain writes have no per-chunk recovery)\n")
-		os.Exit(2)
-	}
-	if *qpSlots < 0 {
-		fmt.Fprintf(os.Stderr, "rdmadl-train: -qp-slots %d below 0\n", *qpSlots)
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "ps-shards":
+			tf.PSShardsSet = true
+		case "agg-group":
+			tf.AggGroupSet = true
+		}
+	})
+	if err := validateFlags(tf); err != nil {
+		fmt.Fprintf(os.Stderr, "rdmadl-train: %v\n", err)
 		os.Exit(2)
 	}
 	if err := run(kind, *topology, *bucketBytes, *psShards, *aggGroup, *workers, *psCount, *iters, *batch, *kernelWorkers, *optimizer, *dot, *tracePath,

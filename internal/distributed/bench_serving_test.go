@@ -1,0 +1,106 @@
+package distributed
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// BenchmarkServingFleet drives the real serving plane over the emulated
+// fabric: each iteration publishes one weight version and serves one full
+// batch of queries per replica through the frontend. scripts/bench.sh folds
+// the reported served_qps and staleness into BENCH_serve.json next to the
+// netsim model curve.
+func BenchmarkServingFleet(b *testing.B) {
+	const n = 16
+	spec := servingTestSpec(8, n)
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			vars := exec.NewVarStore()
+			if err := vars.Create("w", tensor.New(tensor.Float32, n, n)); err != nil {
+				b.Fatal(err)
+			}
+			if err := vars.Create("b", tensor.New(tensor.Float32, n)); err != nil {
+				b.Fatal(err)
+			}
+			met := &metrics.Serve{}
+			fleet, err := NewServingFleet(ServingConfig{
+				Replicas: replicas, Spec: spec, Vars: vars, Metrics: met,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fleet.Close()
+
+			fill := func(v float32) {
+				for _, name := range []string{"w", "b"} {
+					t, err := vars.VarTensor(name)
+					if err != nil {
+						b.Fatal(err)
+					}
+					t.Fill(v)
+				}
+			}
+			x := make([]float32, n)
+			for i := range x {
+				x[i] = 1
+			}
+			queries := spec.Batch * replicas
+			var served, shed int64
+			var mu sync.Mutex
+
+			// Warm up: first version published and swapped in everywhere, so
+			// the timed region measures steady-state serving, not boot.
+			fill(1)
+			if _, err := fleet.Publish(); err != nil {
+				b.Fatal(err)
+			}
+			for {
+				if _, err := fleet.Query(x); err == nil {
+					break
+				}
+			}
+
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				fill(float32(i + 2))
+				if _, err := fleet.Publish(); err != nil {
+					b.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				for q := 0; q < queries; q++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						_, err := fleet.Query(x)
+						mu.Lock()
+						if err == nil {
+							served++
+						} else {
+							shed++
+						}
+						mu.Unlock()
+					}()
+				}
+				wg.Wait()
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+
+			if elapsed > 0 {
+				b.ReportMetric(float64(served)/elapsed.Seconds(), "served_qps")
+			}
+			total := served + shed
+			if total > 0 {
+				b.ReportMetric(float64(shed)/float64(total)*100, "shed_pct")
+			}
+			b.ReportMetric(float64(met.Snapshot().StalenessVersionsMax), "staleness_versions")
+		})
+	}
+}

@@ -62,6 +62,12 @@ type Config struct {
 	// (metrics.HistPollWaitNs). Histogram pointers are resolved once per op
 	// at first execution, so the per-record cost is a few atomic adds.
 	Hists *metrics.Set
+	// Frozen rejects graphs that mutate variables (optimizer updates) at
+	// construction time. Serving executors run against variable stores
+	// aliasing publisher-owned bank memory, where an in-place update would
+	// corrupt a shared weight snapshot; Frozen makes that a build error
+	// instead of a data race.
+	Frozen bool
 }
 
 // Executor runs one graph partition iteration by iteration.
@@ -87,6 +93,11 @@ type Executor struct {
 // partition node must itself be in the partition (cross-server edges must
 // already have been replaced by send/recv pairs).
 func New(g *graph.Graph, cfg Config) (*Executor, error) {
+	if cfg.Frozen {
+		if err := graph.ForwardOnly(g); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}

@@ -1,0 +1,68 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// TestFrozenRejectsStatefulGraph pins the serving-executor guard: a graph
+// with an optimizer update cannot be built Frozen — its store may alias
+// publisher-owned weight-bank memory that must never be written locally.
+func TestFrozenRejectsStatefulGraph(t *testing.T) {
+	b := graph.NewBuilder()
+	x := b.Placeholder("x", graph.Static(tensor.Float32, 2, 2))
+	w := b.Variable("w", graph.Static(tensor.Float32, 2, 2))
+	y := b.MatMul("y", x, w)
+	b.ApplySGD("apply_w", w, y, 0.1)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := NewVarStore()
+	if err := vars.Create("w", tensor.New(tensor.Float32, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(g, Config{Vars: vars, Frozen: true}); !errors.Is(err, graph.ErrBadGraph) {
+		t.Fatalf("Frozen accepted a stateful graph: err=%v", err)
+	}
+	// The same graph builds fine unfrozen.
+	if _, err := New(g, Config{Vars: vars}); err != nil {
+		t.Fatalf("unfrozen build failed: %v", err)
+	}
+}
+
+// TestFrozenAllowsForwardGraph: pure inference builds and runs Frozen, and
+// never mutates the variable bytes it reads.
+func TestFrozenAllowsForwardGraph(t *testing.T) {
+	b := graph.NewBuilder()
+	x := b.Placeholder("x", graph.Static(tensor.Float32, 1, 2))
+	w := b.Variable("w", graph.Static(tensor.Float32, 2, 2))
+	b.MatMul("y", x, w)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := NewVarStore()
+	wt, _ := tensor.FromFloat32(tensor.Shape{2, 2}, []float32{1, 2, 3, 4})
+	if err := vars.Create("w", wt); err != nil {
+		t.Fatal(err)
+	}
+	before := append([]byte(nil), wt.Bytes()...)
+	e, err := New(g, Config{Vars: vars, Frozen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := tensor.FromFloat32(tensor.Shape{1, 2}, []float32{1, 1})
+	out := mustRun(t, e, 0, map[string]*tensor.Tensor{"x": in}, "y")
+	if got := out["y"].Float32s(); got[0] != 4 || got[1] != 6 {
+		t.Fatalf("y = %v, want [4 6]", got)
+	}
+	for i := range before {
+		if wt.Bytes()[i] != before[i] {
+			t.Fatal("frozen run mutated variable bytes")
+		}
+	}
+}

@@ -90,3 +90,16 @@ func (b *Builder) StatefulNodes() []*Node {
 	}
 	return out
 }
+
+// ForwardOnly verifies the graph is pure inference: no node updates a
+// variable. Serving replicas run executors whose stores alias read-only
+// published weight banks, so a stateful node there would scribble on memory
+// the publisher owns; this check turns that into a construction error.
+func ForwardOnly(g *Graph) error {
+	for _, n := range g.StatefulNodes() {
+		name, _ := UpdatedVariable(n.op)
+		return fmt.Errorf("graph: %q updates variable %q in a forward-only graph: %w",
+			n.name, name, ErrBadGraph)
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/tensor"
@@ -130,5 +131,38 @@ func TestPrunedTrainingStillConverges(t *testing.T) {
 	g2, _, _ := build(true)
 	if len(g2.Nodes()) >= len(g1.Nodes()) {
 		t.Fatalf("pruned graph not smaller: %d vs %d", len(g2.Nodes()), len(g1.Nodes()))
+	}
+}
+
+// TestForwardOnly pins the serving guard: stateful graphs are rejected
+// with ErrBadGraph naming the offending update; pure forward graphs pass.
+func TestForwardOnly(t *testing.T) {
+	b := NewBuilder()
+	x := b.Placeholder("x", Static(tensor.Float32, 2, 2))
+	w := b.Variable("w", Static(tensor.Float32, 2, 2))
+	b.MatMul("y", x, w)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ForwardOnly(g); err != nil {
+		t.Fatalf("forward graph rejected: %v", err)
+	}
+
+	b2 := NewBuilder()
+	x2 := b2.Placeholder("x", Static(tensor.Float32, 2, 2))
+	w2 := b2.Variable("w", Static(tensor.Float32, 2, 2))
+	y2 := b2.MatMul("y", x2, w2)
+	b2.ApplySGD("apply_w", w2, y2, 0.1)
+	g2, err := b2.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ForwardOnly(g2)
+	if !errors.Is(err, ErrBadGraph) {
+		t.Fatalf("stateful graph passed ForwardOnly: %v", err)
+	}
+	if !strings.Contains(err.Error(), "apply_w") || !strings.Contains(err.Error(), `"w"`) {
+		t.Fatalf("error does not name the offending update: %v", err)
 	}
 }

@@ -111,8 +111,19 @@ func (s HistogramSnapshot) Mean() float64 {
 // inclusive upper bound of the first bucket whose cumulative count reaches
 // rank ceil(q*Count). The error is at most 2x (one power-of-two bucket).
 // Monotone in q; returns 0 for an empty histogram.
+//
+// The rank is clamped to the bucket total, not Count: Record bumps the
+// count before the bucket, so a snapshot taken mid-record can carry
+// Count > ΣBuckets, and an unclamped rank would walk off the end of the
+// bucket array and report MaxInt64 for a histogram whose every observation
+// was tiny. Under the clamp a torn snapshot answers from the observations
+// actually present.
 func (s HistogramSnapshot) Quantile(q float64) int64 {
-	if s.Count <= 0 {
+	var total int64
+	for i := range s.Buckets {
+		total += s.Buckets[i]
+	}
+	if s.Count <= 0 || total == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -124,6 +135,9 @@ func (s HistogramSnapshot) Quantile(q float64) int64 {
 	rank := int64(math.Ceil(q * float64(s.Count)))
 	if rank < 1 {
 		rank = 1
+	}
+	if rank > total {
+		rank = total
 	}
 	var cum int64
 	for i := range s.Buckets {
@@ -241,6 +255,23 @@ func FamilyTotal(fam map[string]HistogramSnapshot) HistogramSnapshot {
 		total = total.Merge(fam[l])
 	}
 	return total
+}
+
+// MergeFamilies merges two label-keyed family snapshots label by label,
+// keeping the union of labels: a label present on only one side carries
+// over unchanged rather than silently dropping. This is the rollup shape
+// cluster aggregation needs — per-task families rarely have identical
+// label sets (each task only records the edges it owns), and intersecting
+// would erase every edge the two tasks don't share.
+func MergeFamilies(a, b map[string]HistogramSnapshot) map[string]HistogramSnapshot {
+	out := make(map[string]HistogramSnapshot, len(a)+len(b))
+	for l, s := range a {
+		out[l] = s
+	}
+	for l, s := range b {
+		out[l] = out[l].Merge(s)
+	}
+	return out
 }
 
 // Canonical histogram names used across the stack. Keeping them in one

@@ -255,3 +255,124 @@ func TestStragglers(t *testing.T) {
 		t.Fatalf("two-task cluster flagged %v", got)
 	}
 }
+
+// TestQuantileTornSnapshot pins the fix for mid-record snapshots: Record
+// bumps Count before the bucket, so a concurrent Snapshot can observe
+// Count > ΣBuckets. The quantile must answer from the buckets actually
+// present, never fall off the array and report MaxInt64.
+func TestQuantileTornSnapshot(t *testing.T) {
+	var s HistogramSnapshot
+	s.Count = 5 // three observations still in flight
+	s.Buckets[bucketOf(100)] = 2
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != BucketUpper(bucketOf(100)) {
+			t.Fatalf("torn snapshot Quantile(%v) = %d, want bucket upper %d",
+				q, got, BucketUpper(bucketOf(100)))
+		}
+	}
+	// Fully torn: count ahead, no bucket landed yet. Empty answer, not max.
+	var empty HistogramSnapshot
+	empty.Count = 3
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("all-torn snapshot Quantile = %d, want 0", got)
+	}
+}
+
+// TestQuantileEdgeCases pins empty and single-bucket behavior.
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	var h Histogram
+	h.Record(7)
+	s := h.Snapshot()
+	want := BucketUpper(bucketOf(7))
+	for _, q := range []float64{-0.5, 0, 0.25, 1, 1.5} {
+		if got := s.Quantile(q); got != want {
+			t.Fatalf("single-bucket Quantile(%v) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+// TestQuantileProperty: for random fills, every quantile is an upper bound
+// of some recorded value's bucket, monotone in q, and never exceeds the
+// max recorded value's bucket upper bound.
+func TestQuantileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		var h Histogram
+		n := rng.Intn(40) + 1
+		maxV := int64(0)
+		for i := 0; i < n; i++ {
+			v := rng.Int63n(1 << uint(rng.Intn(40)))
+			if v > maxV {
+				maxV = v
+			}
+			h.Record(v)
+		}
+		s := h.Snapshot()
+		prev := int64(-1)
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+			got := s.Quantile(q)
+			if got < prev {
+				t.Fatalf("trial %d: Quantile not monotone: q=%v got %d < prev %d", trial, q, got, prev)
+			}
+			prev = got
+			if got > BucketUpper(bucketOf(maxV)) {
+				t.Fatalf("trial %d: Quantile(%v)=%d exceeds max bucket %d",
+					trial, q, got, BucketUpper(bucketOf(maxV)))
+			}
+		}
+	}
+}
+
+// TestMergeFamiliesUnion pins the label-preservation contract: merging
+// family snapshots with mismatched label sets keeps the union, and shared
+// labels merge element-wise.
+func TestMergeFamiliesUnion(t *testing.T) {
+	var ha, hb, hshared1, hshared2 Histogram
+	ha.Record(10)
+	hb.Record(20)
+	hb.Record(30)
+	hshared1.Record(5)
+	hshared2.Record(6)
+	a := map[string]HistogramSnapshot{
+		"only-a": ha.Snapshot(),
+		"shared": hshared1.Snapshot(),
+	}
+	b := map[string]HistogramSnapshot{
+		"only-b": hb.Snapshot(),
+		"shared": hshared2.Snapshot(),
+	}
+	out := MergeFamilies(a, b)
+	if len(out) != 3 {
+		t.Fatalf("merged %d labels, want 3 (union): %v", len(out), out)
+	}
+	if out["only-a"].Count != 1 || out["only-a"].Sum != 10 {
+		t.Fatalf("only-a dropped or mangled: %+v", out["only-a"])
+	}
+	if out["only-b"].Count != 2 || out["only-b"].Sum != 50 {
+		t.Fatalf("only-b dropped or mangled: %+v", out["only-b"])
+	}
+	if out["shared"].Count != 2 || out["shared"].Sum != 11 {
+		t.Fatalf("shared not merged element-wise: %+v", out["shared"])
+	}
+	// Inputs untouched.
+	if a["shared"].Count != 1 || b["shared"].Count != 1 {
+		t.Fatal("MergeFamilies mutated an input")
+	}
+	// Commutative on every label, including one-sided ones.
+	out2 := MergeFamilies(b, a)
+	for l := range out {
+		if out[l] != out2[l] {
+			t.Fatalf("MergeFamilies not commutative at %q", l)
+		}
+	}
+	// Total count is conserved.
+	if got := FamilyTotal(out).Count; got != 5 {
+		t.Fatalf("merged total count %d, want 5", got)
+	}
+}

@@ -1,0 +1,142 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// millionUsers is the headline load point: 10^6 users with a 10 s think
+// time offer 100k QPS against the fleet.
+func millionUsers() ServeLoad {
+	return ServeLoad{Users: 1_000_000, ThinkTimeS: 10}
+}
+
+// TestServeModelMillionUsers is the population-scale serving gate: a
+// provisioned fleet absorbs a million users without shedding while holding
+// the one-version staleness bound, and an under-provisioned fleet sheds
+// the excess instead of queueing it.
+func TestServeModelMillionUsers(t *testing.T) {
+	const payload = 256 << 20 // a 256 MB model version
+	load := millionUsers()
+	if got := load.OfferedQPS(); got != 100_000 {
+		t.Fatalf("offered QPS = %v, want 100000", got)
+	}
+
+	// Provisioned: 8 replicas, 1 s publish cadence.
+	r := DefaultServeCost(8, payload).Report(load, 1000)
+	t.Logf("provisioned: %s", r)
+	if r.CapacityQPS <= r.OfferedQPS {
+		t.Fatalf("8 replicas must cover 100k QPS: capacity %.0f", r.CapacityQPS)
+	}
+	if r.ShedFraction != 0 || r.ServedQPS != r.OfferedQPS {
+		t.Fatalf("provisioned fleet must serve everything: %+v", r)
+	}
+	if r.StalenessMaxVersions != 1 {
+		t.Fatalf("fan-out inside the cadence must keep the 1-version bound, got %d", r.StalenessMaxVersions)
+	}
+	if r.StalenessMaxMS <= r.PublishIntervalMS {
+		t.Fatalf("wall staleness must include the fan-out: %.1fms", r.StalenessMaxMS)
+	}
+
+	// Under-provisioned: 2 replicas cannot carry the same load; the
+	// admission controller sheds, it does not queue.
+	u := DefaultServeCost(2, payload).Report(load, 1000)
+	t.Logf("under-provisioned: %s", u)
+	if u.ShedFraction <= 0.3 {
+		t.Fatalf("2 replicas under 100k QPS must shed heavily, shed=%.2f", u.ShedFraction)
+	}
+	if u.ServedQPS != u.CapacityQPS {
+		t.Fatalf("a saturated fleet serves exactly its capacity: served %.0f capacity %.0f",
+			u.ServedQPS, u.CapacityQPS)
+	}
+	if u.ServedQPS+u.ShedFraction*u.OfferedQPS-u.OfferedQPS > 1e-6 {
+		t.Fatalf("served + shed must account for all offered load: %+v", u)
+	}
+}
+
+// TestServeStalenessThroughputTradeoff pins the curve's shape: shrinking
+// the publish interval monotonically tightens wall-clock staleness and
+// monotonically costs capacity (swap-drain duty cycle), and once the
+// fan-out no longer fits the cadence the one-version protocol bound breaks
+// — which the model must report, not hide.
+func TestServeStalenessThroughputTradeoff(t *testing.T) {
+	c := DefaultServeCost(8, 256<<20)
+	load := millionUsers()
+	intervals := []float64{5000, 2000, 1000, 500, 200, 100, 50, 20, 10, 5}
+	curve := c.StalenessSweep(load, intervals)
+	if len(curve) != len(intervals) {
+		t.Fatalf("sweep returned %d points, want %d", len(curve), len(intervals))
+	}
+	for i, r := range curve {
+		t.Logf("%s", r)
+		if i == 0 {
+			continue
+		}
+		prev := curve[i-1]
+		if r.StalenessMaxMS >= prev.StalenessMaxMS {
+			t.Errorf("interval %v→%v: staleness must tighten (%.1f → %.1f ms)",
+				prev.PublishIntervalMS, r.PublishIntervalMS, prev.StalenessMaxMS, r.StalenessMaxMS)
+		}
+		if r.CapacityQPS > prev.CapacityQPS {
+			t.Errorf("interval %v→%v: capacity must not grow as publishes get denser (%.0f → %.0f)",
+				prev.PublishIntervalMS, r.PublishIntervalMS, prev.CapacityQPS, r.CapacityQPS)
+		}
+		if r.StalenessMaxVersions < prev.StalenessMaxVersions {
+			t.Errorf("version gap must not shrink as the cadence outruns the fan-out")
+		}
+	}
+	// The fan-out of 8×256 MB takes ~180 ms: second-scale cadences keep
+	// the protocol bound, 10 ms cadences must be reported as breaking it.
+	if first := curve[0]; first.StalenessMaxVersions != 1 {
+		t.Errorf("5 s cadence must hold the 1-version bound, got %d", first.StalenessMaxVersions)
+	}
+	if last := curve[len(curve)-1]; last.StalenessMaxVersions <= 1 {
+		t.Errorf("5 ms cadence against a %.0f ms fan-out must break the bound", last.PublishUS/1e3)
+	}
+}
+
+func TestServeCostDegenerate(t *testing.T) {
+	load := millionUsers()
+	for _, r := range []ServeReport{
+		DefaultServeCost(0, 1<<20).Report(load, 1000),
+		DefaultServeCost(4, 1<<20).Report(load, 0),
+		DefaultServeCost(4, 1<<20).Report(ServeLoad{}, 1000),
+	} {
+		if r.ServedQPS != 0 || r.ShedFraction != 0 {
+			if r.OfferedQPS != 0 { // zero-load point legitimately serves 0
+				t.Errorf("degenerate config must serve nothing: %+v", r)
+			}
+		}
+	}
+	// Determinism: the model is pure arithmetic.
+	c := DefaultServeCost(8, 64<<20)
+	if a, b := c.Report(load, 500), c.Report(load, 500); a != b {
+		t.Errorf("model must be deterministic: %+v vs %+v", a, b)
+	}
+	// Zero lanes is clamped, not divided by.
+	c.Lanes = 0
+	if r := c.Report(load, 500); r.PublishUS <= 0 {
+		t.Errorf("lane clamp failed: %+v", r)
+	}
+}
+
+// BenchmarkServeModel emits the staleness-vs-throughput curve for
+// scripts/bench.sh to fold into BENCH_serve.json: one sub-benchmark per
+// publish cadence at the million-user load point.
+func BenchmarkServeModel(b *testing.B) {
+	c := DefaultServeCost(8, 256<<20)
+	load := millionUsers()
+	for _, intervalMS := range []float64{5000, 1000, 500, 200, 100, 50} {
+		b.Run(fmt.Sprintf("interval_ms=%v", intervalMS), func(b *testing.B) {
+			var r ServeReport
+			for i := 0; i < b.N; i++ {
+				r = c.Report(load, intervalMS)
+			}
+			b.ReportMetric(r.ServedQPS, "model_served_qps")
+			b.ReportMetric(r.ShedFraction*100, "model_shed_pct")
+			b.ReportMetric(r.StalenessMaxMS, "model_staleness_ms")
+			b.ReportMetric(float64(r.StalenessMaxVersions), "model_staleness_versions")
+			b.ReportMetric(r.PublishUS, "model_publish_us")
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+)
+
+// serveCounters lists ServeSnapshot's scalar fields in export order, the
+// same table-driven shape as commCounters so the encoder and its test stay
+// in lockstep. Gauges carry no _total suffix.
+func serveCounters(s metrics.ServeSnapshot) []struct {
+	Name  string
+	Value int64
+} {
+	return []struct {
+		Name  string
+		Value int64
+	}{
+		{"serve_weight_publishes_total", s.WeightPublishes},
+		{"serve_published_bytes_total", s.PublishedBytes},
+		{"serve_republishes_total", s.Republishes},
+		{"serve_bank_swaps_total", s.BankSwaps},
+		{"serve_queries_served_total", s.QueriesServed},
+		{"serve_queries_shed_total", s.QueriesShed},
+		{"serve_batches_total", s.ServeBatches},
+		{"serve_routing_rejects_total", s.RoutingRejects},
+		{"serve_staleness_versions_max", s.StalenessVersionsMax},
+		{"serve_active_replicas", s.ActiveReplicas},
+	}
+}
+
+// WriteServeProm encodes per-deployment serving counters in the Prometheus
+// text exposition format, deterministically (deployments and names sorted).
+// It composes with WriteProm on the same stream: the serving series are
+// namespaced apart from the communication series.
+func WriteServeProm(w io.Writer, serve map[string]metrics.ServeSnapshot) error {
+	names := sortedKeys(serve)
+	if len(names) == 0 {
+		return nil
+	}
+	for _, c := range serveCounters(metrics.ServeSnapshot{}) {
+		kind := "counter"
+		if c.Name == "serve_staleness_versions_max" || c.Name == "serve_active_replicas" {
+			kind = "gauge"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s%s %s\n", promPrefix, c.Name, kind); err != nil {
+			return err
+		}
+		for _, task := range names {
+			for _, tc := range serveCounters(serve[task]) {
+				if tc.Name == c.Name {
+					if _, err := fmt.Fprintf(w, "%s%s{task=%q} %d\n",
+						promPrefix, c.Name, task, tc.Value); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func sampleServe() map[string]metrics.ServeSnapshot {
+	var s metrics.Serve
+	s.AddPublish(1 << 20)
+	s.AddPublish(1 << 20)
+	s.AddRepublish(1 << 20)
+	s.AddBankSwap()
+	s.AddServed(7)
+	s.AddShed()
+	s.AddShed()
+	s.AddRoutingReject()
+	s.ObserveStaleness(1)
+	s.SetActiveReplicas(3)
+	return map[string]metrics.ServeSnapshot{"serving": s.Snapshot()}
+}
+
+// TestWriteServeProm pins the serving encoder: every ServeSnapshot field
+// exported, deterministic ordering, gauges typed as gauges.
+func TestWriteServeProm(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteServeProm(&buf, sampleServe()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	wantSamples := map[string]int64{
+		"serve_weight_publishes_total": 2,
+		"serve_published_bytes_total":  3 << 20,
+		"serve_republishes_total":      1,
+		"serve_bank_swaps_total":       1,
+		"serve_queries_served_total":   7,
+		"serve_queries_shed_total":     2,
+		"serve_batches_total":          1,
+		"serve_routing_rejects_total":  1,
+		"serve_staleness_versions_max": 1,
+		"serve_active_replicas":        3,
+	}
+	for name, val := range wantSamples {
+		want := fmt.Sprintf("%s%s{task=\"serving\"} %d\n", promPrefix, name, val)
+		if !strings.Contains(out, want) {
+			t.Errorf("missing sample %q in:\n%s", strings.TrimSpace(want), out)
+		}
+	}
+	// Gauges must not be declared counters.
+	for _, g := range []string{"serve_staleness_versions_max", "serve_active_replicas"} {
+		if !strings.Contains(out, fmt.Sprintf("# TYPE %s%s gauge\n", promPrefix, g)) {
+			t.Errorf("%s must be typed gauge", g)
+		}
+		if strings.Contains(out, fmt.Sprintf("# TYPE %s%s counter\n", promPrefix, g)) {
+			t.Errorf("%s must not be typed counter", g)
+		}
+	}
+	// The table covers every exported counter name exactly once.
+	if got, want := strings.Count(out, "# TYPE"), len(wantSamples); got != want {
+		t.Errorf("TYPE headers = %d, want %d", got, want)
+	}
+	// Determinism.
+	var buf2 strings.Builder
+	if err := WriteServeProm(&buf2, sampleServe()); err != nil {
+		t.Fatal(err)
+	}
+	if out != buf2.String() {
+		t.Error("encoder output is not deterministic")
+	}
+	// Empty input emits nothing (the shared /metrics stream stays clean).
+	var empty strings.Builder
+	if err := WriteServeProm(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("nil map produced output: %q", empty.String())
+	}
+}
+
+// TestMetricsEndpointIncludesServe scrapes /metrics with a Serve provider
+// attached and checks the serving series ride the same exposition, each
+// sample well-formed.
+func TestMetricsEndpointIncludesServe(t *testing.T) {
+	srv := NewServer(Options{
+		Metrics: func() map[string]metrics.CommSnapshot {
+			return map[string]metrics.CommSnapshot{"worker0": {BytesSent: 42}}
+		},
+		Serve: sampleServe,
+	})
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, promPrefix+"bytes_sent_total{task=\"worker0\"} 42") {
+		t.Fatalf("comm series missing:\n%s", body)
+	}
+	if !strings.Contains(body, promPrefix+"serve_queries_served_total{task=\"serving\"} 7") {
+		t.Fatalf("serve series missing:\n%s", body)
+	}
+	// Every non-comment line parses as name{labels} value.
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var name string
+		var val int64
+		if _, err := fmt.Sscanf(strings.NewReplacer("{", " ", "}", " ").Replace(line), "%s", &name); err != nil {
+			t.Fatalf("unparseable line %q: %v", line, err)
+		}
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &val); err != nil {
+			t.Fatalf("sample %q has non-integer value: %v", line, err)
+		}
+	}
+}

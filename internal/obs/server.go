@@ -19,6 +19,8 @@ type Options struct {
 	Metrics func() map[string]metrics.CommSnapshot
 	// Hists supplies per-task histogram registries (/metrics).
 	Hists func() map[string]metrics.SetSnapshot
+	// Serve supplies per-deployment serving-plane counters (/metrics).
+	Serve func() map[string]metrics.ServeSnapshot
 	// Steps supplies per-task step summaries (/steps).
 	Steps func() map[string]metrics.StepSummary
 	// Trace, when non-nil, serves the recorded timeline at /trace.
@@ -88,6 +90,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		hists = s.opts.Hists()
 	}
 	_ = WriteProm(w, comm, hists)
+	if s.opts.Serve != nil {
+		_ = WriteServeProm(w, s.opts.Serve())
+	}
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {

@@ -681,6 +681,11 @@ type Channel struct {
 // Remote returns the peer endpoint this channel targets.
 func (c *Channel) Remote() string { return c.remote }
 
+// Down reports whether the channel's QP has been closed (ClosePeer or
+// device shutdown): posted work on a down channel fails with ErrClosed.
+// Pool layers use it to detect a binding whose QPs died underneath it.
+func (c *Channel) Down() bool { return c.qp.down.Load() }
+
 // Memcpy asynchronously copies size bytes between the local region (at
 // localOff) and the remote region (at remoteOff); dir selects RDMA write or
 // read. The callback runs on a CQ poller goroutine when the transfer

@@ -76,6 +76,17 @@ type muxSlot struct {
 	lastUse uint64
 }
 
+// stale reports whether any of the slot's lane QPs has been closed — the
+// binding outlived its physical channels and must not serve new leases.
+func (s *muxSlot) stale() bool {
+	for _, ch := range s.chans {
+		if ch.Down() {
+			return true
+		}
+	}
+	return false
+}
+
 // NewQPMux builds a mux over dev with the given slot cap and lanes per
 // slot. lanes is clamped by the device's QPsPerPeer (the QP group is what
 // physically exists per bound peer).
@@ -105,11 +116,23 @@ func (m *QPMux) Acquire(peer string) (*QPLease, error) {
 	defer m.mu.Unlock()
 	m.clock++
 	if s, ok := m.bound[peer]; ok {
-		s.refcnt++
-		s.lastUse = m.clock
-		m.hits++
-		m.leases++
-		return &QPLease{mux: m, slot: s}, nil
+		if s.stale() {
+			// The slot's QPs died underneath the binding: Acquire can race
+			// recovery's Invalidate→ClosePeer window and rebind fresh QPs
+			// that ClosePeer then severs. Handing the dead group to new
+			// leases would poison the peer until LRU pressure happened to
+			// evict it; drop the binding and rebuild below instead.
+			// In-flight leases on the old slot fail fast with ErrClosed and
+			// release against the orphaned slot object, so the gauges stay
+			// consistent.
+			delete(m.bound, peer)
+		} else {
+			s.refcnt++
+			s.lastUse = m.clock
+			m.hits++
+			m.leases++
+			return &QPLease{mux: m, slot: s}, nil
+		}
 	}
 	if len(m.bound) >= m.slots {
 		var victim *muxSlot

@@ -331,3 +331,99 @@ func TestQPMuxInvalidate(t *testing.T) {
 	l0b.Release()
 	l1.Release()
 }
+
+// TestQPMuxSeverRace is the regression test for the recovery-teardown race:
+// severing a dead peer runs Invalidate then ClosePeer, and an Acquire
+// landing between the two rebinds fresh QPs that ClosePeer immediately
+// severs. Without the stale-slot check in Acquire's hit path, that leaves a
+// permanently bound slot full of dead channels — every later lease gets
+// ErrClosed until LRU pressure happens to evict it. The test hammers the
+// interleaving and asserts the mux always self-heals to a live binding with
+// consistent gauges.
+func TestQPMuxSeverRace(t *testing.T) {
+	const rounds = 200
+	hub, _ := muxFabric(t, 1, Config{QPsPerPeer: 2})
+	m, err := NewQPMux(hub, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const peer = "peer0:1"
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l, err := m.Acquire(peer)
+				if err != nil {
+					if errors.Is(err, ErrQPBusy) || errors.Is(err, ErrClosed) {
+						continue
+					}
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				l.Release()
+			}
+		}()
+	}
+	for i := 0; i < rounds; i++ {
+		// The teardown order recovery uses (severPeer): drop the binding,
+		// then sever the physical QPs.
+		m.Invalidate(peer)
+		hub.ClosePeer(peer)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Deterministic reproduction of the race's end state: a binding exists,
+	// then ClosePeer severs its QPs with no Invalidate following (in the
+	// race, the bind lands between Invalidate and ClosePeer, so the
+	// interleaving is exactly bind-then-sever). The next Acquire must not
+	// hand out the dead group.
+	if l, err := m.Acquire(peer); err == nil {
+		l.Release()
+	}
+	hub.ClosePeer(peer)
+	if l, err := m.Acquire(peer); err == nil {
+		for i, ch := range l.Chans() {
+			if ch.Down() {
+				t.Fatalf("lane %d acquired after sever is down (poisoned slot handed out)", i)
+			}
+		}
+		l.Release()
+	} else {
+		t.Fatalf("acquire after sever: %v", err)
+	}
+
+	// Self-heal: after the dust settles the peer must be acquirable with
+	// live channels in bounded attempts.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l, err := m.Acquire(peer)
+		if err == nil {
+			for i, ch := range l.Chans() {
+				if ch.Down() {
+					t.Fatalf("lane %d of healed lease is down", i)
+				}
+			}
+			l.Release()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mux never healed after sever race: %v", err)
+		}
+	}
+	st := m.Stats()
+	if st.ActiveLeases != 0 {
+		t.Fatalf("leaked leases after sever race: %+v", st)
+	}
+	if st.ActiveSlots < 0 || st.ActiveSlots > m.Slots() {
+		t.Fatalf("slot gauge out of range: %+v", st)
+	}
+}

@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/rdma"
+)
+
+// Publisher-side errors.
+var (
+	// ErrBankHeld is returned when a replica never releases the bank a
+	// publication targets within the publish deadline: the staleness bound
+	// forbids overwriting a bank a reader may still observe.
+	ErrBankHeld = errors.New("serve: target bank not released in time")
+)
+
+// defaultChunkBytes splits a bank payload into stripe chunks; one chunk is
+// one work request, chunks round-robin the publisher's QP lanes and each
+// lane's chunks post under one doorbell.
+const defaultChunkBytes = 128 << 10
+
+// ReplicaTarget is everything the publisher needs to reach one replica's
+// weight banks: the fabric endpoint and the two bank regions. It is
+// produced by Replica.Target and crosses the control plane (an RPC during
+// fleet setup), after which every publication is purely one-sided.
+type ReplicaTarget struct {
+	Task  string
+	Banks [2]rdma.RemoteRegion
+}
+
+// PublisherConfig parameterizes NewWeightPublisher.
+type PublisherConfig struct {
+	// Dev is the trainer-side device publications are posted from.
+	Dev *rdma.Device
+	// Vars is the trainer's variable store (the snapshot source).
+	Vars *exec.VarStore
+	// Layout is the shared weight layout (LayoutFor over the same set).
+	Layout *WeightLayout
+	// Lanes stripes each bank write across this many QP lanes (default 1,
+	// clamped to the device's QPsPerPeer).
+	Lanes int
+	// ChunkBytes is the stripe chunk size (default 128 KiB).
+	ChunkBytes int
+	// PublishTimeout bounds one Publish call end to end: release-ack wait
+	// plus the writes themselves (default 5s).
+	PublishTimeout time.Duration
+	// Metrics / Hists receive publication counters and latency (optional).
+	Metrics *metrics.Serve
+	Hists   *metrics.Set
+}
+
+// WeightPublisher pushes weight versions to a replica fleet. One Publish
+// call snapshots the variable store once into registered scratch, then
+// writes the blob to every replica's target bank concurrently — payload
+// chunks first, the 8-byte version word last, exactly the training path's
+// flag-after-payload discipline.
+type WeightPublisher struct {
+	cfg     PublisherConfig
+	scratch *rdma.MemRegion // staged snapshot + version word
+
+	mu       sync.Mutex
+	replicas map[string]*replicaState
+	// staged is the last version snapshotted into scratch; committed the
+	// last version every replica received in full. A failed fan-out leaves
+	// staged ahead of committed: the version number is consumed (its bytes
+	// may sit in some banks) but the trainer's externally visible version
+	// — the one staleness is measured against — only advances on success.
+	staged    uint64
+	committed uint64
+
+	// crashBeforeCommit, when set (tests only), runs after a replica's
+	// payload chunks complete but before its version word is written — the
+	// trainer-crash-mid-publication window.
+	crashBeforeCommit func(task string)
+}
+
+// replicaState is the publisher's view of one replica.
+type replicaState struct {
+	target ReplicaTarget
+	// ack is the local region the replica's release writes land in: word b
+	// holds the highest version released from bank b (0 before the bank's
+	// first release).
+	ack *rdma.MemRegion
+	// published is the last version this replica received (0 = none);
+	// written[b] the version bank b currently holds in this incarnation
+	// (0 = never filled, so the first write into it needs no release).
+	published uint64
+	written   [2]uint64
+}
+
+// NewWeightPublisher validates the config and registers the staging
+// scratch on the publisher device.
+func NewWeightPublisher(cfg PublisherConfig) (*WeightPublisher, error) {
+	if cfg.Dev == nil || cfg.Vars == nil || cfg.Layout == nil {
+		return nil, fmt.Errorf("serve: publisher needs Dev, Vars, Layout: %w", rdma.ErrBadConfig)
+	}
+	if cfg.Lanes < 1 {
+		cfg.Lanes = 1
+	}
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = defaultChunkBytes
+	}
+	if cfg.PublishTimeout <= 0 {
+		cfg.PublishTimeout = 5 * time.Second
+	}
+	scratch, err := cfg.Dev.AllocateMemRegion(cfg.Layout.BankBytes())
+	if err != nil {
+		return nil, fmt.Errorf("serve: publisher scratch: %w", err)
+	}
+	return &WeightPublisher{
+		cfg:      cfg,
+		scratch:  scratch,
+		replicas: make(map[string]*replicaState),
+	}, nil
+}
+
+// Version returns the last fully committed publication (0 before the
+// first): the newest version every replica has received end to end, which
+// is the reference point staleness is measured against. A version that is
+// still fanning out is not yet the trainer's version — no replica can be
+// blamed for not serving it.
+func (p *WeightPublisher) Version() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.committed
+}
+
+// AckRegion returns the descriptor and word offset a replica's release
+// acks must target. Registered (or re-registered, on restart) before the
+// replica is published to.
+func (p *WeightPublisher) AckRegion(task string) (rdma.RemoteRegion, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, ok := p.replicas[task]
+	if !ok {
+		return rdma.RemoteRegion{}, fmt.Errorf("serve: unknown replica %q", task)
+	}
+	return r.ack.Descriptor(), nil
+}
+
+// AddReplica registers (or, after a restart, replaces) a replica target.
+// A replaced target starts from empty banks: both release acks reset to
+// the free sentinel and its published version to 0.
+func (p *WeightPublisher) AddReplica(t ReplicaTarget) error {
+	if t.Task == "" {
+		return fmt.Errorf("serve: replica target without task: %w", rdma.ErrBadConfig)
+	}
+	for b, bank := range t.Banks {
+		if int(bank.Size) < p.cfg.Layout.BankBytes() {
+			return fmt.Errorf("serve: replica %s bank %d is %dB, need %dB: %w",
+				t.Task, b, bank.Size, p.cfg.Layout.BankBytes(), rdma.ErrBadConfig)
+		}
+	}
+	ack, err := p.cfg.Dev.AllocateMemRegion(2 * versionWordSize)
+	if err != nil {
+		return fmt.Errorf("serve: ack region for %s: %w", t.Task, err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, ok := p.replicas[t.Task]
+	if !ok {
+		r = &replicaState{ack: ack}
+		p.replicas[t.Task] = r
+	} else {
+		// Restarted incarnation: fresh ack words, fresh banks. The old ack
+		// region is abandoned (the dead incarnation can no longer write it).
+		r.ack = ack
+	}
+	r.target = t
+	r.published = 0
+	r.written = [2]uint64{}
+	r.ack.StoreWord(0, 0)
+	r.ack.StoreWord(versionWordSize, 0)
+	return nil
+}
+
+// RemoveReplica drops a replica from the publication set (a detector
+// eviction): the trainer keeps publishing to the survivors, and a dead
+// replica's unreleased banks can no longer stall anyone. A readmitted
+// incarnation re-registers through AddReplica.
+func (p *WeightPublisher) RemoveReplica(task string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.replicas, task)
+}
+
+// Publish snapshots the variable store as the next version and writes it
+// to every registered replica concurrently. It returns the published
+// version; a replica that fails (crashed mid-publication, bank never
+// released) is reported in err but does not block the others — the caller
+// evicts it through the routing table while the survivors serve on.
+func (p *WeightPublisher) Publish() (uint64, error) {
+	start := time.Now()
+	p.mu.Lock()
+	v := p.staged + 1
+	if err := p.stageLocked(v); err != nil {
+		p.mu.Unlock()
+		return 0, err
+	}
+	p.staged = v
+	targets := p.replicaListLocked()
+	p.mu.Unlock()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(targets))
+	for i, r := range targets {
+		wg.Add(1)
+		go func(i int, r *replicaState) {
+			defer wg.Done()
+			errs[i] = p.writeVersion(r, v)
+		}(i, r)
+	}
+	wg.Wait()
+
+	var firstErr error
+	for i, err := range errs {
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("serve: publishing v%d to %s: %w", v, targets[i].target.Task, err)
+		}
+	}
+	if firstErr == nil {
+		p.mu.Lock()
+		p.committed = v
+		p.mu.Unlock()
+		if p.cfg.Metrics != nil {
+			p.cfg.Metrics.AddPublish(p.cfg.Layout.Payload * len(targets))
+		}
+	}
+	if p.cfg.Hists != nil {
+		p.cfg.Hists.Hist(metrics.HistServePublishNs).Record(time.Since(start).Nanoseconds())
+	}
+	return v, firstErr
+}
+
+// Republish pushes the current (already staged) version to one replica —
+// the catch-up path for a readmitted restart. The fresh target's banks are
+// empty, so the write needs no release wait.
+func (p *WeightPublisher) Republish(task string) (uint64, error) {
+	p.mu.Lock()
+	v := p.staged
+	r, ok := p.replicas[task]
+	p.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("serve: republish to unknown replica %q", task)
+	}
+	if v == 0 {
+		return 0, nil // nothing published yet; the replica warms up normally
+	}
+	if err := p.writeVersion(r, v); err != nil {
+		return 0, fmt.Errorf("serve: republishing v%d to %s: %w", v, task, err)
+	}
+	if p.cfg.Metrics != nil {
+		p.cfg.Metrics.AddRepublish(p.cfg.Layout.Payload)
+	}
+	return v, nil
+}
+
+// stageLocked copies the store into scratch and stamps the staged version
+// word. Caller holds p.mu.
+func (p *WeightPublisher) stageLocked(v uint64) error {
+	if err := p.cfg.Layout.Snapshot(p.cfg.Vars, p.scratch.Bytes()); err != nil {
+		return err
+	}
+	p.scratch.StoreWord(p.cfg.Layout.VersionOff(), v)
+	return nil
+}
+
+// replicaListLocked snapshots the replica set. Caller holds p.mu.
+func (p *WeightPublisher) replicaListLocked() []*replicaState {
+	out := make([]*replicaState, 0, len(p.replicas))
+	for _, r := range p.replicas {
+		out = append(out, r)
+	}
+	return out
+}
+
+// writeVersion performs one replica's publication of version v: wait for
+// the target bank's release ack, stripe the payload across lanes (one
+// doorbell batch per lane), then write the version word last.
+func (p *WeightPublisher) writeVersion(r *replicaState, v uint64) error {
+	deadline := time.Now().Add(p.cfg.PublishTimeout)
+	bank := int(v % 2)
+	if err := p.waitBankFree(r, bank, deadline); err != nil {
+		return err
+	}
+
+	lanes, err := p.lanesFor(r.target.Task)
+	if err != nil {
+		return err
+	}
+
+	// Payload chunks round-robin the lanes; each lane's chunks enter the
+	// send queue under one doorbell. Completions join before the version
+	// word is posted — the flag-after-payload invariant.
+	payload := p.cfg.Layout.Payload
+	reqs := make([][]rdma.MemcpyReq, len(lanes))
+	nchunks := 0
+	done := make(chan error, payload/p.cfg.ChunkBytes+2)
+	for off := 0; off < payload; off += p.cfg.ChunkBytes {
+		n := p.cfg.ChunkBytes
+		if off+n > payload {
+			n = payload - off
+		}
+		lane := nchunks % len(lanes)
+		reqs[lane] = append(reqs[lane], rdma.MemcpyReq{
+			LocalOff: off, Local: p.scratch,
+			RemoteOff: off, Remote: r.target.Banks[bank],
+			Size: n, Dir: rdma.OpWrite,
+			CB: func(err error) { done <- err },
+		})
+		nchunks++
+	}
+	for lane, batch := range reqs {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := lanes[lane].MemcpyBatch(batch); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < nchunks; i++ {
+		if err := <-done; err != nil {
+			return err
+		}
+	}
+
+	// All payload chunks are in remote memory; commit the version word.
+	if p.crashBeforeCommit != nil {
+		p.crashBeforeCommit(r.target.Task)
+	}
+	off := p.cfg.Layout.VersionOff()
+	if err := lanes[0].MemcpySync(off, p.scratch, off, r.target.Banks[bank], versionWordSize, rdma.OpWrite); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	r.published = v
+	r.written[bank] = v
+	p.mu.Unlock()
+	return nil
+}
+
+// waitBankFree blocks until the replica has released whatever committed
+// version the target bank currently holds (the replica swapped past it and
+// its readers drained). A bank never filled in this incarnation needs no
+// release — that covers the first two publications and every readmitted
+// restart. This wait is the staleness bound's enforcement point: refusing
+// to overwrite an unreleased bank is exactly what keeps a pinned reader's
+// weights intact and the fleet within one version of the trainer.
+func (p *WeightPublisher) waitBankFree(r *replicaState, bank int, deadline time.Time) error {
+	p.mu.Lock()
+	need := r.written[bank]
+	p.mu.Unlock()
+	if need == 0 {
+		return nil
+	}
+	for {
+		if ackd := r.ack.LoadWord(bank * versionWordSize); ackd >= need {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: bank %d of %s holds v%d unreleased",
+				ErrBankHeld, bank, r.target.Task, need)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// lanesFor resolves the publisher's QP lanes to one replica.
+func (p *WeightPublisher) lanesFor(task string) ([]*rdma.Channel, error) {
+	lanes := make([]*rdma.Channel, 0, p.cfg.Lanes)
+	for i := 0; i < p.cfg.Lanes; i++ {
+		ch, err := p.cfg.Dev.GetChannel(task, i)
+		if err != nil {
+			if i > 0 && errors.Is(err, rdma.ErrBadConfig) {
+				break // device has fewer QPs per peer than requested lanes
+			}
+			return nil, err
+		}
+		lanes = append(lanes, ch)
+	}
+	return lanes, nil
+}

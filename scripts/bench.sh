@@ -4,6 +4,7 @@
 # Observability overhead (histograms / tracing on the train step) -> BENCH_obs.json.
 # All-reduce topology ablation (ps vs ring vs tree, emulated + modeled) -> BENCH_allreduce.json.
 # Scale story (ps vs sharded-ps vs ring per-task goodput at 4/8 tasks) -> BENCH_scale.json.
+# Serving plane (emulated fleet + netsim million-user staleness-vs-throughput model) -> BENCH_serve.json.
 #
 # Runs the tensor kernel benchmarks (seed kernel vs new serial vs new
 # parallel) and the exec train-step benchmark (recycle on/off, -benchmem),
@@ -25,6 +26,7 @@ OUT_TRANSFER="${2:-BENCH_transfer.json}"
 OUT_OBS="${3:-BENCH_obs.json}"
 OUT_AR="${4:-BENCH_allreduce.json}"
 OUT_SCALE="${5:-BENCH_scale.json}"
+OUT_SERVE="${6:-BENCH_serve.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -323,3 +325,69 @@ END {
 }' "$TMP/scale.txt" > "$OUT_SCALE"
 
 echo "wrote $OUT_SCALE" >&2
+
+# Serving plane: staleness vs throughput. Two sources feed one JSON:
+#   - BenchmarkServingFleet drives the real publisher/replica/frontend stack
+#     over the emulated fabric at 1/2/4 replicas; each iteration publishes a
+#     version and serves a full batch per replica. The staleness_versions
+#     metric must report 1 (the protocol's bound) in every cell.
+#   - BenchmarkServeModel prices the million-user load point under the
+#     netsim closed-form model across publish cadences — the curve where
+#     denser publication tightens wall-clock staleness but costs capacity,
+#     and a cadence the fan-out cannot keep up with breaks the one-version
+#     bound.
+echo "== serving plane (emulated fleet + netsim million-user model) ==" >&2
+go test -run='^$' -bench='^BenchmarkServingFleet$' -benchtime=5x -timeout=10m \
+    ./internal/distributed/ | tee "$TMP/serve.txt" >&2
+go test -run='^$' -bench='^BenchmarkServeModel$' -benchtime=100x \
+    ./internal/netsim/ | tee -a "$TMP/serve.txt" >&2
+
+awk -v num_cpu="$(nproc)" -v go_ver="$(go env GOVERSION)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "served_qps")               qps[name] = $i
+        if ($(i+1) == "shed_pct")                 shed[name] = $i
+        if ($(i+1) == "staleness_versions")       sv[name] = $i
+        if ($(i+1) == "model_served_qps")         mqps[name] = $i
+        if ($(i+1) == "model_shed_pct")           mshed[name] = $i
+        if ($(i+1) == "model_staleness_ms")       mms[name] = $i
+        if ($(i+1) == "model_staleness_versions") msv[name] = $i
+        if ($(i+1) == "model_publish_us")         mpub[name] = $i
+    }
+}
+function fleet(r) { return "ServingFleet/replicas=" r }
+function model(ms) { return "ServeModel/interval_ms=" ms }
+END {
+    printf "{\n  \"num_cpu\": %d,\n  \"go\": \"%s\",\n", num_cpu, go_ver
+    printf "  \"note\": \"emulated = the real zero-copy publication stack (double-buffered banks, version word last, batching frontend) serving while the trainer publishes every iteration; staleness_versions must be 1 in every cell. model = netsim closed-form pricing of a million-user load across publish cadences: denser publication tightens staleness_ms but costs swap-drain capacity, and once one fan-out outlasts the cadence the one-version bound breaks (staleness_versions > 1).\",\n"
+    printf "  \"emulated\": [\n"
+    first = 1
+    for (r = 1; r <= 4; r *= 2) {
+        name = fleet(r)
+        if (qps[name] == "") continue
+        printf "%s    {\"replicas\": %d, \"served_qps\": %s, \"shed_pct\": %s, \"staleness_versions\": %s}",
+            (first ? "" : ",\n"), r, qps[name], shed[name], sv[name]
+        first = 0
+        if (sv[name] + 0 > 1) bound_broken = 1
+    }
+    printf "\n  ],\n"
+    printf "  \"emulated_staleness_bound_holds\": %s,\n", bound_broken ? "false" : "true"
+    printf "  \"model_curve\": [\n"
+    first = 1
+    split("5000 1000 500 200 100 50", cadences, " ")
+    for (c = 1; c <= 6; c++) {
+        name = model(cadences[c])
+        if (mqps[name] == "") continue
+        printf "%s    {\"publish_interval_ms\": %s, \"served_qps\": %s, \"shed_pct\": %s, \"staleness_ms\": %s, \"staleness_versions\": %s, \"publish_us\": %s}",
+            (first ? "" : ",\n"), cadences[c], mqps[name], mshed[name], mms[name], msv[name], mpub[name]
+        first = 0
+    }
+    printf "\n  ],\n"
+    printf "  \"model_staleness_ms_5000_vs_50\": [%s, %s]\n", mms[model(5000)], mms[model(50)]
+    printf "}\n"
+}' "$TMP/serve.txt" > "$OUT_SERVE"
+
+echo "wrote $OUT_SERVE" >&2

@@ -71,6 +71,25 @@ go test -race -run '^Test64TaskMuxTrainingUnderRace$|^TestMuxTrainingParity$' ./
 go test -race -run '^TestLossyTrainingBitIdentical$|^TestLossyTensorBlackholeFailsTyped$|^TestLossyStepAbortThenRecover$' ./internal/distributed/
 go test -race -run '^TestQPBusyRetriesDoNotBurnRetryBudget$' ./internal/rdma/
 
+# Serving-plane gates: the zero-copy weight-publication protocol proven
+# under the race detector. Staleness bound — no replica serves weights more
+# than one version behind the trainer, bit-identical to the trainer's
+# snapshot, under continuous publication and concurrent queries. Torn-read
+# — a trainer crash mid-publication leaves every replica on the last
+# complete version (the version word is written after the payload, so a
+# partial bank is never observable). Overload-shed — the frontend's bounded
+# queue sheds typed ErrOverloaded instead of queueing unboundedly. Plus the
+# crash/readmission cycle through the lease detector, the QP-mux sever-race
+# regression, the histogram torn-snapshot fixes, the netsim million-user
+# model, and the trainer-flag validation matrix.
+echo "== serving plane gates (-race) =="
+go test -race -run '^TestStalenessBoundUnderLoad$|^TestPublishBitIdentical$|^TestTrainerCrashMidPublication$|^TestOverloadShed$|^TestPublisherBankHeldTimeout$|^TestReplicaRestartReadmission$' ./internal/serve/
+go test -race -run '^TestServingFleetCrashRecovery$|^TestServingFleetOverload$' ./internal/distributed/
+go test -race -run '^TestQPMuxSeverRace$' ./internal/rdma/
+go test -race -run '^TestQuantileTornSnapshot$|^TestQuantileEdgeCases$|^TestMergeFamiliesUnion$' ./internal/metrics/
+go test -run '^TestServeModelMillionUsers$|^TestServeStalenessThroughputTradeoff$' ./internal/netsim/
+go test -race -run '^TestValidateFlags$' ./cmd/rdmadl-train/
+
 # Fuzz smoke: each target gets a short budget. The engine accepts one
 # -fuzz pattern per invocation, so loop explicitly.
 FUZZTIME="${FUZZTIME:-5s}"
